@@ -1,0 +1,66 @@
+//===- bench/bench_common.h - Shared helpers for the experiment harness --===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_BENCH_BENCH_COMMON_H
+#define LCM_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/GlobalCse.h"
+#include "baseline/Licm.h"
+#include "baseline/MorelRenvoise.h"
+#include "core/Lcm.h"
+#include "core/LocalCse.h"
+#include "metrics/Compare.h"
+#include "support/Table.h"
+#include "workload/Corpus.h"
+
+namespace lcm {
+
+/// Returns the default corpus with the paper's LCSE precondition applied.
+inline std::vector<CorpusEntry> experimentCorpus() {
+  std::vector<CorpusEntry> Corpus = makeDefaultCorpus();
+  for (CorpusEntry &Entry : Corpus) {
+    auto Raw = Entry.Make;
+    Entry.Make = [Raw] {
+      Function Fn = Raw();
+      runLocalCse(Fn);
+      return Fn;
+    };
+  }
+  return Corpus;
+}
+
+/// The strategies the table experiments sweep (name -> transform).
+inline std::vector<std::pair<std::string, TransformFn>>
+allStrategies() {
+  return {
+      {"none", [](Function &) {}},
+      {"CSE", [](Function &F) { runGlobalCse(F); }},
+      {"LICM-safe",
+       [](Function &F) { runLicm(F, LicmMode::SafeOnly); }},
+      {"LICM-spec",
+       [](Function &F) { runLicm(F, LicmMode::Speculative); }},
+      {"MR", [](Function &F) { runMorelRenvoise(F); }},
+      {"BCM", [](Function &F) { runPre(F, PreStrategy::Busy); }},
+      {"ALCM", [](Function &F) { runPre(F, PreStrategy::AlmostLazy); }},
+      {"LCM", [](Function &F) { runPre(F, PreStrategy::Lazy); }},
+  };
+}
+
+inline void printHeading(const char *Id, const char *Title) {
+  std::printf("\n=== %s: %s ===\n\n", Id, Title);
+}
+
+inline void printTable(const Table &T) {
+  std::fputs(T.render().c_str(), stdout);
+}
+
+} // namespace lcm
+
+#endif // LCM_BENCH_BENCH_COMMON_H

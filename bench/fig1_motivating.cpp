@@ -1,0 +1,107 @@
+//===- bench/fig1_motivating.cpp - Reproduces paper Figure 1 -------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment F1 (see EXPERIMENTS.md): the paper's motivating example.
+// Prints the example CFG, the placements chosen by BCM and LCM, and the
+// transformed programs, then times the full LCM pipeline on the example.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "core/Lcm.h"
+#include "ir/Printer.h"
+#include "metrics/Compare.h"
+#include "workload/PaperExamples.h"
+
+using namespace lcm;
+
+namespace {
+
+void printPlacement(const Function &Fn, const CfgEdges &Edges,
+                    const PrePlacement &P, const char *Name) {
+  std::printf("-- %s placement --\n", Name);
+  if (!P.InsertEdge.empty()) {
+    for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
+      if (P.InsertEdge[E].none())
+        continue;
+      const CfgEdge &Edge = Edges.edge(E);
+      for (size_t Bit : P.InsertEdge[E])
+        std::printf("  insert %-8s on edge %s -> %s\n",
+                    Fn.exprText(ExprId(Bit)).c_str(),
+                    Fn.block(Edge.From).label().c_str(),
+                    Fn.block(Edge.To).label().c_str());
+    }
+  }
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    for (size_t Bit : P.Delete[B])
+      std::printf("  delete %-8s in block %s\n",
+                  Fn.exprText(ExprId(Bit)).c_str(),
+                  Fn.block(B).label().c_str());
+    for (size_t Bit : P.Save[B])
+      std::printf("  save   %-8s in block %s\n",
+                  Fn.exprText(ExprId(Bit)).c_str(),
+                  Fn.block(B).label().c_str());
+  }
+}
+
+void reproduceFigure1() {
+  Function Fn = makeMotivatingExample();
+  std::printf("=== F1: the motivating example ===\n\n%s\n",
+              printFunction(Fn).c_str());
+
+  CfgEdges Edges(Fn);
+  LocalProperties LP(Fn);
+  LazyCodeMotion Engine(Fn, Edges, LP);
+
+  PrePlacement Busy = Engine.placement(PreStrategy::Busy);
+  PrePlacement Lazy = Engine.placement(PreStrategy::Lazy);
+  printPlacement(Fn, Edges, Busy, "BCM (busy)");
+  printPlacement(Fn, Edges, Lazy, "LCM (lazy)");
+
+  StrategyOutcome None =
+      evaluateStrategy("none", Fn, identityTransform());
+  StrategyOutcome B = evaluateStrategy(
+      "BCM", Fn, [](Function &F) { runPre(F, PreStrategy::Busy); });
+  StrategyOutcome L = evaluateStrategy(
+      "LCM", Fn, [](Function &F) { runPre(F, PreStrategy::Lazy); });
+
+  std::printf("\n-- outcome --\n");
+  std::printf("  %-5s staticOps=%llu dynEvals=%llu tempLiveSlots=%llu\n",
+              None.Strategy.c_str(), (unsigned long long)None.StaticOps,
+              (unsigned long long)None.DynamicEvals,
+              (unsigned long long)None.TempLiveSlots);
+  for (const StrategyOutcome &O : {B, L})
+    std::printf("  %-5s staticOps=%llu dynEvals=%llu tempLiveSlots=%llu\n",
+                O.Strategy.c_str(), (unsigned long long)O.StaticOps,
+                (unsigned long long)O.DynamicEvals,
+                (unsigned long long)O.TempLiveSlots);
+
+  Function After = makeMotivatingExample();
+  runPre(After, PreStrategy::Lazy);
+  std::printf("\n-- program after LCM --\n%s\n", printFunction(After).c_str());
+}
+
+void BM_Figure1Pipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    Function Fn = makeMotivatingExample();
+    PreRunResult R = runPre(Fn, PreStrategy::Lazy);
+    benchmark::DoNotOptimize(R.Placement.numDeletions());
+  }
+}
+BENCHMARK(BM_Figure1Pipeline);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  reproduceFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,139 @@
+//===- bench/perf_scaling.cpp - Pipeline throughput and scaling ----------===//
+//
+// Experiment T3 companion (see EXPERIMENTS.md): wall-clock scaling of the
+// full LCM pipeline and of each analysis with CFG size, on both structured
+// and arbitrary random graphs.  The bit-vector round-robin solvers should
+// scale near-linearly in blocks for reducible (structured) graphs, with
+// modest extra passes for irreducible random ones.  Also prints a pass-
+// count scaling table.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+using namespace lcm;
+
+namespace {
+
+Function makeStructuredOfSize(unsigned Depth) {
+  StructuredGenOptions Opts;
+  Opts.Seed = 42;
+  Opts.MaxDepth = Depth;
+  Opts.MaxStmtsPerSeq = 5;
+  Opts.NumVars = 8;
+  Function Fn = generateStructured(Opts);
+  runLocalCse(Fn);
+  return Fn;
+}
+
+Function makeRandomOfSize(unsigned Blocks) {
+  RandomCfgOptions Opts;
+  Opts.Seed = 42;
+  Opts.NumBlocks = Blocks;
+  Opts.NumVars = 8;
+  Function Fn = generateRandomCfg(Opts);
+  runLocalCse(Fn);
+  return Fn;
+}
+
+void printScalingTable() {
+  printHeading("T3b", "solver pass counts vs CFG size");
+  Table T({"graph", "blocks", "edges", "exprs", "avail passes",
+           "ant passes", "later passes", "MR passes"});
+  auto addRow = [&T](const char *Kind, Function Fn) {
+    CfgEdges Edges(Fn);
+    LocalProperties LP(Fn);
+    LazyCodeMotion Engine(Fn, Edges, LP);
+    (void)Engine.placement(PreStrategy::Lazy);
+    MorelRenvoiseResult MR = computeMorelRenvoise(Fn, Edges);
+    T.row()
+        .add(Kind)
+        .add(uint64_t(Fn.numBlocks()))
+        .add(uint64_t(Edges.numEdges()))
+        .add(uint64_t(Fn.exprs().size()))
+        .add(Engine.availStats().Passes)
+        .add(Engine.antStats().Passes)
+        .add(Engine.laterStats().Passes)
+        .add(MR.Stats.Passes);
+  };
+  for (unsigned Depth : {2u, 3u, 4u, 5u, 6u})
+    addRow("structured", makeStructuredOfSize(Depth));
+  for (unsigned Blocks : {16u, 64u, 256u, 1024u})
+    addRow("random", makeRandomOfSize(Blocks));
+  printTable(T);
+}
+
+void BM_LcmPipelineStructured(benchmark::State &State) {
+  Function Fn = makeStructuredOfSize(unsigned(State.range(0)));
+  uint64_t Blocks = Fn.numBlocks();
+  for (auto _ : State) {
+    Function Copy = Fn;
+    PreRunResult R = runPre(Copy, PreStrategy::Lazy);
+    benchmark::DoNotOptimize(R.Placement.numDeletions());
+  }
+  State.counters["blocks"] = double(Blocks);
+  State.counters["blocks/s"] = benchmark::Counter(
+      double(Blocks) * double(State.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LcmPipelineStructured)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_LcmPipelineRandom(benchmark::State &State) {
+  Function Fn = makeRandomOfSize(unsigned(State.range(0)));
+  uint64_t Blocks = Fn.numBlocks();
+  for (auto _ : State) {
+    Function Copy = Fn;
+    PreRunResult R = runPre(Copy, PreStrategy::Lazy);
+    benchmark::DoNotOptimize(R.Placement.numDeletions());
+  }
+  State.counters["blocks"] = double(Blocks);
+  State.counters["blocks/s"] = benchmark::Counter(
+      double(Blocks) * double(State.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LcmPipelineRandom)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Arg(4096);
+
+void BM_AvailabilityOnly(benchmark::State &State) {
+  Function Fn = makeRandomOfSize(unsigned(State.range(0)));
+  LocalProperties LP(Fn);
+  for (auto _ : State) {
+    DataflowResult R = computeAvailability(Fn, LP);
+    benchmark::DoNotOptimize(R.Stats.Passes);
+  }
+}
+BENCHMARK(BM_AvailabilityOnly)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_MorelRenvoiseScaling(benchmark::State &State) {
+  Function Fn = makeRandomOfSize(unsigned(State.range(0)));
+  CfgEdges Edges(Fn);
+  for (auto _ : State) {
+    MorelRenvoiseResult R = computeMorelRenvoise(Fn, Edges);
+    benchmark::DoNotOptimize(R.Stats.Passes);
+  }
+}
+BENCHMARK(BM_MorelRenvoiseScaling)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_LocalPropertiesOnly(benchmark::State &State) {
+  Function Fn = makeRandomOfSize(unsigned(State.range(0)));
+  for (auto _ : State) {
+    LocalProperties LP(Fn);
+    benchmark::DoNotOptimize(LP.numExprs());
+  }
+}
+BENCHMARK(BM_LocalPropertiesOnly)->Arg(64)->Arg(1024)->Arg(4096);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printScalingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- bench/table0_corpus.cpp - Workload characterization (T0) ----------===//
+//
+// Experiment T0 (see EXPERIMENTS.md): what the corpus actually looks like
+// — the table a paper would print before its results.  For every program:
+// size, expression universe, loop structure, critical edges, reducibility,
+// and the static-profile cost estimate, plus how many PRE candidate bits
+// the safety analyses light up.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/BlockFrequency.h"
+#include "graph/CriticalEdges.h"
+#include "graph/Dominators.h"
+#include "graph/Loops.h"
+#include "graph/Reducibility.h"
+#include "bench_common.h"
+
+using namespace lcm;
+
+namespace {
+
+void runTable0() {
+  printHeading("T0", "corpus characterization");
+  auto Corpus = experimentCorpus();
+
+  Table T({"program", "blocks", "edges", "instrs", "ops", "exprs", "loops",
+           "maxDepth", "critEdges", "reducible", "estCost"});
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Fn = Entry.Make();
+    CfgEdges Edges(Fn);
+    Dominators Dom(Fn);
+    LoopForest Forest(Fn, Dom);
+    uint32_t MaxDepth = 0;
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B)
+      MaxDepth = std::max(MaxDepth, Forest.depth(B));
+    size_t Instrs = 0;
+    for (const BasicBlock &B : Fn.blocks())
+      Instrs += B.instrs().size();
+    BlockFrequencies BF = estimateBlockFrequencies(Fn);
+
+    T.row()
+        .add(Entry.Name)
+        .add(uint64_t(Fn.numBlocks()))
+        .add(uint64_t(Edges.numEdges()))
+        .add(uint64_t(Instrs))
+        .add(uint64_t(Fn.countOperations()))
+        .add(uint64_t(Fn.exprs().size()))
+        .add(uint64_t(Forest.loops().size()))
+        .add(uint64_t(MaxDepth))
+        .add(uint64_t(findCriticalEdges(Fn).size()))
+        .add(isReducible(Fn, Dom) ? "yes" : "no")
+        .add(estimatedOperationCost(Fn, BF), 1);
+  }
+  printTable(T);
+}
+
+void BM_CorpusConstruction(benchmark::State &State) {
+  auto Corpus = experimentCorpus();
+  for (auto _ : State) {
+    size_t Blocks = 0;
+    for (const CorpusEntry &Entry : Corpus)
+      Blocks += Entry.Make().numBlocks();
+    benchmark::DoNotOptimize(Blocks);
+  }
+}
+BENCHMARK(BM_CorpusConstruction);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runTable0();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

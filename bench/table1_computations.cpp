@@ -1,0 +1,101 @@
+//===- bench/table1_computations.cpp - Computational optimality (T1) -----===//
+//
+// Experiment T1 (see EXPERIMENTS.md): the paper's computational-optimality
+// theorem, measured.  For every corpus program and every strategy we
+// report static operations, loop-depth-weighted static operations, and
+// dynamic evaluations summed over five seeded runs.  Expected shape:
+//
+//   LCM == ALCM == BCM  <=  MR <= none,  CSE <= none,  LCM <= every row.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace lcm;
+
+namespace {
+
+void runTable1() {
+  printHeading("T1", "computation counts per strategy (dyn = 5 seeded runs)");
+  auto Corpus = experimentCorpus();
+  auto Strategies = allStrategies();
+
+  Table T({"program", "strategy", "staticOps", "weightedStatic", "dynEvals",
+           "allRunsExit"});
+  uint64_t ShapeViolations = 0;
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Original = Entry.Make();
+    std::map<std::string, StrategyOutcome> Outcomes;
+    for (auto &[Name, Transform] : Strategies) {
+      StrategyOutcome O = evaluateStrategy(Name, Original, Transform);
+      Outcomes[Name] = O;
+      T.row()
+          .add(Entry.Name)
+          .add(O.Strategy)
+          .add(O.StaticOps)
+          .add(O.WeightedStaticOps)
+          .add(O.DynamicEvals)
+          .add(O.AllRunsReachedExit ? "yes" : "no");
+    }
+    // Shape checks, on fully-terminating programs only.
+    if (Outcomes["none"].AllRunsReachedExit) {
+      const uint64_t Lcm = Outcomes["LCM"].DynamicEvals;
+      ShapeViolations += Outcomes["BCM"].DynamicEvals != Lcm;
+      ShapeViolations += Outcomes["ALCM"].DynamicEvals != Lcm;
+      ShapeViolations += Lcm > Outcomes["MR"].DynamicEvals;
+      ShapeViolations += Lcm > Outcomes["CSE"].DynamicEvals;
+      ShapeViolations += Lcm > Outcomes["none"].DynamicEvals;
+      ShapeViolations +=
+          Outcomes["MR"].DynamicEvals > Outcomes["none"].DynamicEvals;
+      ShapeViolations +=
+          Outcomes["CSE"].DynamicEvals > Outcomes["none"].DynamicEvals;
+    }
+  }
+  printTable(T);
+  std::printf("\nshape check (BCM==ALCM==LCM <= MR,CSE <= none): %s"
+              " (%llu violations)\n",
+              ShapeViolations == 0 ? "HOLDS" : "VIOLATED",
+              (unsigned long long)ShapeViolations);
+
+  // Aggregate winners row.
+  Table Agg({"strategy", "total dynEvals", "vs none"});
+  std::map<std::string, uint64_t> Totals;
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Original = Entry.Make();
+    for (auto &[Name, Transform] : Strategies)
+      Totals[Name] +=
+          evaluateStrategy(Name, Original, Transform).DynamicEvals;
+  }
+  for (auto &[Name, Transform] : Strategies) {
+    Agg.row().add(Name).add(Totals[Name]).add(
+        100.0 * double(Totals[Name]) / double(Totals["none"]), 1);
+  }
+  std::printf("\n");
+  printTable(Agg);
+}
+
+void BM_Table1FullSweep(benchmark::State &State) {
+  auto Corpus = experimentCorpus();
+  for (auto _ : State) {
+    uint64_t Total = 0;
+    for (const CorpusEntry &Entry : Corpus) {
+      Function Fn = Entry.Make();
+      Total += runPre(Fn, PreStrategy::Lazy).Placement.numDeletions();
+    }
+    benchmark::DoNotOptimize(Total);
+  }
+}
+BENCHMARK(BM_Table1FullSweep);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===- bench/table2_lifetimes.cpp - Lifetime optimality (T2) -------------===//
+//
+// Experiment T2 (see EXPERIMENTS.md): the paper's lifetime-optimality
+// theorem, measured.  For the three placements of the LCM family (same
+// computation counts by T1), we report the temp-lifetime footprint:
+// number of temps, total live block-boundary slots, and peak simultaneous
+// pressure.  Expected shape: LCM <= ALCM and LCM <= BCM everywhere.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "metrics/Cost.h"
+
+using namespace lcm;
+
+namespace {
+
+void runTable2() {
+  printHeading("T2", "temporary lifetimes per placement strategy");
+  auto Corpus = experimentCorpus();
+
+  Table T({"program", "strategy", "temps", "liveSlots", "maxPressure"});
+  uint64_t ShapeViolations = 0;
+  uint64_t TotalSlots[3] = {0, 0, 0};
+  const PreStrategy Order[3] = {PreStrategy::Busy, PreStrategy::AlmostLazy,
+                                PreStrategy::Lazy};
+
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Original = Entry.Make();
+    LifetimeStats Stats[3];
+    for (int I = 0; I != 3; ++I) {
+      Function Fn = Original;
+      runPre(Fn, Order[I]);
+      Stats[I] = measureTempLifetimes(Fn, Original.numVars());
+      TotalSlots[I] += Stats[I].LiveBlockSlots;
+      T.row()
+          .add(Entry.Name)
+          .add(preStrategyName(Order[I]))
+          .add(Stats[I].NumTemps)
+          .add(Stats[I].LiveBlockSlots)
+          .add(Stats[I].MaxPressure);
+    }
+    ShapeViolations += Stats[2].LiveBlockSlots > Stats[0].LiveBlockSlots;
+    ShapeViolations += Stats[2].LiveBlockSlots > Stats[1].LiveBlockSlots;
+    ShapeViolations += Stats[2].MaxPressure > Stats[0].MaxPressure;
+  }
+  printTable(T);
+  std::printf("\ntotals: BCM=%llu ALCM=%llu LCM=%llu live slots\n",
+              (unsigned long long)TotalSlots[0],
+              (unsigned long long)TotalSlots[1],
+              (unsigned long long)TotalSlots[2]);
+  std::printf("shape check (LCM <= ALCM, LCM <= BCM): %s (%llu violations)\n",
+              ShapeViolations == 0 ? "HOLDS" : "VIOLATED",
+              (unsigned long long)ShapeViolations);
+}
+
+void BM_LifetimeMeasurement(benchmark::State &State) {
+  auto Corpus = experimentCorpus();
+  Function Fn = Corpus.front().Make();
+  size_t OrigVars = Fn.numVars();
+  runPre(Fn, PreStrategy::Lazy);
+  for (auto _ : State) {
+    LifetimeStats S = measureTempLifetimes(Fn, OrigVars);
+    benchmark::DoNotOptimize(S.LiveBlockSlots);
+  }
+}
+BENCHMARK(BM_LifetimeMeasurement);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- bench/table3_dataflow_cost.cpp - Analysis cost (T3) ---------------===//
+//
+// Experiment T3 (see EXPERIMENTS.md): the paper's engineering claim that
+// optimal PRE decomposes into *unidirectional* bit-vector problems.  For
+// every corpus program we report round-robin passes and bit-vector word
+// operations for each of LCM's four analyses, against the coupled
+// bidirectional Morel-Renvoise system.  Expected shape: each LCM analysis
+// converges in no more passes than the bidirectional system, and the MR
+// word-op cost exceeds any single LCM pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace lcm;
+
+namespace {
+
+void runTable3() {
+  printHeading("T3", "dataflow solver cost: 4x unidirectional vs "
+                     "bidirectional");
+  auto Corpus = experimentCorpus();
+
+  Table T({"program", "blocks", "exprs", "avail p/w", "ant p/w",
+           "later p/w", "isol p/w", "LCM total w", "MR bidir p/w",
+           "MR total w"});
+  uint64_t LcmTotal = 0, MrTotal = 0, MaxLcmPasses = 0, MaxMrPasses = 0;
+  auto cell = [](const SolverStats &S) {
+    return std::to_string(S.Passes) + "/" + std::to_string(S.WordOps);
+  };
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Fn = Entry.Make();
+    Function ForLcm = Fn;
+    PreRunResult R = runPre(ForLcm, PreStrategy::Lazy);
+
+    CfgEdges Edges(Fn);
+    MorelRenvoiseResult MR = computeMorelRenvoise(Fn, Edges);
+    // MR's bidirectional system consumes availability and partial
+    // availability as inputs; charge those prerequisite solves to it.
+    LocalProperties LP(Fn);
+    uint64_t MrPrereq = computeAvailability(Fn, LP).Stats.WordOps +
+                        computePartialAvailability(Fn, LP).Stats.WordOps;
+    uint64_t MrWords = MR.Stats.WordOps + MrPrereq;
+
+    uint64_t LcmWords = R.AvailStats.WordOps + R.AntStats.WordOps +
+                        R.LaterStats.WordOps + R.IsolationStats.WordOps;
+    LcmTotal += LcmWords;
+    MrTotal += MrWords;
+    for (const SolverStats *S :
+         {&R.AvailStats, &R.AntStats, &R.LaterStats, &R.IsolationStats})
+      MaxLcmPasses = std::max(MaxLcmPasses, S->Passes);
+    MaxMrPasses = std::max(MaxMrPasses, MR.Stats.Passes);
+
+    T.row()
+        .add(Entry.Name)
+        .add(uint64_t(Fn.numBlocks()))
+        .add(uint64_t(Fn.exprs().size()))
+        .add(cell(R.AvailStats))
+        .add(cell(R.AntStats))
+        .add(cell(R.LaterStats))
+        .add(cell(R.IsolationStats))
+        .add(LcmWords)
+        .add(cell(MR.Stats))
+        .add(MrWords);
+  }
+  printTable(T);
+  std::printf("\ntotals: LCM(all four analyses)=%llu word ops, "
+              "MR(avail + partial-avail + bidirectional)=%llu word ops\n",
+              (unsigned long long)LcmTotal, (unsigned long long)MrTotal);
+  std::printf("max passes: any single LCM analysis=%llu, MR=%llu\n",
+              (unsigned long long)MaxLcmPasses,
+              (unsigned long long)MaxMrPasses);
+  std::printf("shape check (MR needs at least as many passes as any "
+              "unidirectional analysis): %s\n",
+              MaxMrPasses >= MaxLcmPasses ? "HOLDS" : "VIOLATED");
+}
+
+void BM_LcmAnalyses(benchmark::State &State) {
+  auto Corpus = experimentCorpus();
+  Function Fn = Corpus.back().Make();
+  CfgEdges Edges(Fn);
+  LocalProperties LP(Fn);
+  for (auto _ : State) {
+    LazyCodeMotion Engine(Fn, Edges, LP);
+    PrePlacement P = Engine.placement(PreStrategy::Lazy);
+    benchmark::DoNotOptimize(P.numDeletions());
+  }
+}
+BENCHMARK(BM_LcmAnalyses);
+
+void BM_MorelRenvoiseAnalyses(benchmark::State &State) {
+  auto Corpus = experimentCorpus();
+  Function Fn = Corpus.back().Make();
+  CfgEdges Edges(Fn);
+  for (auto _ : State) {
+    MorelRenvoiseResult R = computeMorelRenvoise(Fn, Edges);
+    benchmark::DoNotOptimize(R.Placement.numDeletions());
+  }
+}
+BENCHMARK(BM_MorelRenvoiseAnalyses);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runTable3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

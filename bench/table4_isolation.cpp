@@ -1,0 +1,88 @@
+//===- bench/table4_isolation.cpp - Isolation analysis ablation (T4) -----===//
+//
+// Experiment T4 (see EXPERIMENTS.md): what the paper's isolation analysis
+// buys.  ALCM (= LCM minus isolation) initializes a temp at every kept
+// downward-exposed computation; LCM initializes only where a replaced
+// computation actually consumes the value.  We report saves emitted,
+// useless saves avoided, and the temp-lifetime footprint of the residue.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "metrics/Cost.h"
+
+using namespace lcm;
+
+namespace {
+
+void runTable4() {
+  printHeading("T4", "isolation ablation: ALCM vs LCM save pruning");
+  auto Corpus = experimentCorpus();
+
+  Table T({"program", "saves ALCM", "saves LCM", "avoided", "temps ALCM",
+           "temps LCM", "slots ALCM", "slots LCM"});
+  uint64_t TotalAvoided = 0, ShapeViolations = 0;
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Original = Entry.Make();
+    CfgEdges Edges(Original);
+    LocalProperties LP(Original);
+    LazyCodeMotion Engine(Original, Edges, LP);
+    PrePlacement Almost = Engine.placement(PreStrategy::AlmostLazy);
+    PrePlacement Lazy = Engine.placement(PreStrategy::Lazy);
+
+    Function AfterAlmost = Original;
+    runPre(AfterAlmost, PreStrategy::AlmostLazy);
+    Function AfterLazy = Original;
+    runPre(AfterLazy, PreStrategy::Lazy);
+    LifetimeStats SA = measureTempLifetimes(AfterAlmost, Original.numVars());
+    LifetimeStats SL = measureTempLifetimes(AfterLazy, Original.numVars());
+
+    uint64_t Avoided = Almost.numSaves() - Lazy.numSaves();
+    TotalAvoided += Avoided;
+    ShapeViolations += Lazy.numSaves() > Almost.numSaves();
+    ShapeViolations += SL.LiveBlockSlots > SA.LiveBlockSlots;
+
+    T.row()
+        .add(Entry.Name)
+        .add(Almost.numSaves())
+        .add(Lazy.numSaves())
+        .add(Avoided)
+        .add(SA.NumTemps)
+        .add(SL.NumTemps)
+        .add(SA.LiveBlockSlots)
+        .add(SL.LiveBlockSlots);
+  }
+  printTable(T);
+  std::printf("\ntotal useless saves avoided by isolation: %llu\n",
+              (unsigned long long)TotalAvoided);
+  std::printf("shape check (LCM saves <= ALCM saves, LCM slots <= ALCM "
+              "slots): %s (%llu violations)\n",
+              ShapeViolations == 0 ? "HOLDS" : "VIOLATED",
+              (unsigned long long)ShapeViolations);
+}
+
+void BM_IsolationAnalysis(benchmark::State &State) {
+  auto Corpus = experimentCorpus();
+  Function Fn = Corpus.back().Make();
+  CfgEdges Edges(Fn);
+  LocalProperties LP(Fn);
+  LazyCodeMotion Engine(Fn, Edges, LP);
+  for (auto _ : State) {
+    PrePlacement P = Engine.placement(PreStrategy::Lazy);
+    benchmark::DoNotOptimize(P.numSaves());
+  }
+}
+BENCHMARK(BM_IsolationAnalysis);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runTable4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

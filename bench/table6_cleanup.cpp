@@ -1,0 +1,117 @@
+//===- bench/table6_cleanup.cpp - PRE copy overhead and cleanup (T6) -----===//
+//
+// Experiment T6 (see EXPERIMENTS.md): PRE trades computations for copies
+// (`x = h` replacements and `h = e; x = h` saves).  The paper argues the
+// copies are cheap and largely coalesced away downstream; this table
+// measures it: dynamic instruction counts before PRE, after LCM, and after
+// LCM followed by copy propagation + dead code elimination with the
+// original variables observable.  Expected shape: LCM lowers evaluations
+// but raises instruction count slightly; cleanup removes most of that
+// overhead without changing evaluations.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/Cleanup.h"
+#include "bench_common.h"
+#include "interp/Interpreter.h"
+#include "metrics/Cost.h"
+
+using namespace lcm;
+
+namespace {
+
+struct Measured {
+  uint64_t Evals = 0;
+  uint64_t Instrs = 0;
+};
+
+Measured measure(const Function &Fn, size_t NumInputVars,
+                 uint32_t OriginalBlockCount) {
+  Measured M;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    RandomOracle Oracle(Seed ^ 0x94d049bb133111ebULL);
+    Interpreter::Options Opts;
+    Opts.MaxOriginalBlockVisits = 20000;
+    Opts.OriginalBlockCount = OriginalBlockCount;
+    InterpResult R = Interpreter::run(
+        Fn, makeSeededInputs(Seed, NumInputVars), Oracle, Opts);
+    M.Evals += R.TotalEvals;
+    M.Instrs += R.InstrsExecuted;
+  }
+  return M;
+}
+
+void runTable6() {
+  printHeading("T6", "copy overhead of PRE and its cleanup (5 seeded runs)");
+  auto Corpus = experimentCorpus();
+
+  Table T({"program", "evals none", "instrs none", "evals LCM",
+           "instrs LCM", "evals LCM+cleanup", "instrs LCM+cleanup",
+           "copies folded", "instrs removed"});
+  uint64_t ShapeViolations = 0;
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Original = Entry.Make();
+    Measured None =
+        measure(Original, Original.numVars(), uint32_t(Original.numBlocks()));
+
+    Function Lcm = Original;
+    runPre(Lcm, PreStrategy::Lazy);
+    Measured AfterLcm =
+        measure(Lcm, Original.numVars(), uint32_t(Original.numBlocks()));
+
+    Function Cleaned = Lcm;
+    CleanupOptions Opts;
+    Opts.NumObservableVars = Original.numVars();
+    CleanupReport CR = runCleanup(Cleaned, Opts);
+    Measured AfterCleanup =
+        measure(Cleaned, Original.numVars(), uint32_t(Original.numBlocks()));
+
+    T.row()
+        .add(Entry.Name)
+        .add(None.Evals)
+        .add(None.Instrs)
+        .add(AfterLcm.Evals)
+        .add(AfterLcm.Instrs)
+        .add(AfterCleanup.Evals)
+        .add(AfterCleanup.Instrs)
+        .add(CR.CopiesPropagated)
+        .add(CR.InstrsRemoved);
+
+    ShapeViolations += AfterLcm.Evals > None.Evals;
+    ShapeViolations += AfterCleanup.Evals > AfterLcm.Evals;
+    ShapeViolations += AfterCleanup.Instrs > AfterLcm.Instrs;
+  }
+  printTable(T);
+  std::printf("\nshape check (LCM evals <= none; cleanup lowers instrs "
+              "without raising evals): %s (%llu violations)\n",
+              ShapeViolations == 0 ? "HOLDS" : "VIOLATED",
+              (unsigned long long)ShapeViolations);
+}
+
+void BM_CleanupPass(benchmark::State &State) {
+  auto Corpus = experimentCorpus();
+  Function Base = Corpus.back().Make();
+  size_t OrigVars = Base.numVars();
+  runPre(Base, PreStrategy::Lazy);
+  for (auto _ : State) {
+    Function Fn = Base;
+    CleanupOptions Opts;
+    Opts.NumObservableVars = OrigVars;
+    CleanupReport R = runCleanup(Fn, Opts);
+    benchmark::DoNotOptimize(R.InstrsRemoved);
+  }
+}
+BENCHMARK(BM_CleanupPass);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runTable6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

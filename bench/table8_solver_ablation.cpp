@@ -1,0 +1,121 @@
+//===- bench/table8_solver_ablation.cpp - Solver strategy ablation (T8) --===//
+//
+// Experiment T8 (see EXPERIMENTS.md): round-robin over reverse post-order
+// (the classic bit-vector iteration the paper assumes) versus a
+// change-driven worklist.  Both reach the same fixpoint (worklist_test);
+// this table compares block visits and bit-vector word operations across
+// graph shapes and sizes.  Expected shape: the worklist never visits more
+// blocks; round-robin's advantage is pure streaming locality.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+using namespace lcm;
+
+namespace {
+
+std::vector<GenKill> availTransfers(const Function &Fn,
+                                    const LocalProperties &LP) {
+  std::vector<GenKill> T(Fn.numBlocks());
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    T[B].Gen = LP.comp(B);
+    T[B].Kill = complement(LP.transp(B));
+  }
+  return T;
+}
+
+void runTable8() {
+  printHeading("T8", "round-robin vs worklist solver (availability)");
+
+  Table T({"graph", "blocks", "RR visits", "RR wordOps", "WL visits",
+           "WL wordOps"});
+  uint64_t ShapeViolations = 0;
+  auto addRow = [&](const char *Kind, Function Fn) {
+    LocalProperties LP(Fn);
+    auto Transfers = availTransfers(Fn, LP);
+    BitVector Empty(LP.numExprs());
+    DataflowResult RR = solveGenKill(Fn, Direction::Forward,
+                                     Meet::Intersection, Transfers, Empty);
+    DataflowResult WL = solveGenKillWorklist(
+        Fn, Direction::Forward, Meet::Intersection, Transfers, Empty);
+    T.row()
+        .add(Kind)
+        .add(uint64_t(Fn.numBlocks()))
+        .add(RR.Stats.NodeVisits)
+        .add(RR.Stats.WordOps)
+        .add(WL.Stats.NodeVisits)
+        .add(WL.Stats.WordOps);
+    ShapeViolations += WL.Stats.NodeVisits > RR.Stats.NodeVisits;
+  };
+
+  for (unsigned Depth : {4u, 6u}) {
+    StructuredGenOptions Opts;
+    Opts.Seed = 42;
+    Opts.MaxDepth = Depth;
+    Opts.ControlPercent = 50;
+    Function Fn = generateStructured(Opts);
+    runLocalCse(Fn);
+    addRow("structured", std::move(Fn));
+  }
+  for (unsigned Blocks : {32u, 256u, 2048u}) {
+    RandomCfgOptions Opts;
+    Opts.Seed = 9;
+    Opts.NumBlocks = Blocks;
+    Function Fn = generateRandomCfg(Opts);
+    runLocalCse(Fn);
+    addRow("random", std::move(Fn));
+  }
+  printTable(T);
+  std::printf("\nshape check (worklist visits <= round-robin visits): %s "
+              "(%llu violations)\n",
+              ShapeViolations == 0 ? "HOLDS" : "VIOLATED",
+              (unsigned long long)ShapeViolations);
+}
+
+void BM_RoundRobinSolver(benchmark::State &State) {
+  RandomCfgOptions Opts;
+  Opts.Seed = 9;
+  Opts.NumBlocks = unsigned(State.range(0));
+  Function Fn = generateRandomCfg(Opts);
+  LocalProperties LP(Fn);
+  auto Transfers = availTransfers(Fn, LP);
+  BitVector Empty(LP.numExprs());
+  for (auto _ : State) {
+    DataflowResult R = solveGenKill(Fn, Direction::Forward,
+                                    Meet::Intersection, Transfers, Empty);
+    benchmark::DoNotOptimize(R.Stats.NodeVisits);
+  }
+}
+BENCHMARK(BM_RoundRobinSolver)->Arg(256)->Arg(2048);
+
+void BM_WorklistSolver(benchmark::State &State) {
+  RandomCfgOptions Opts;
+  Opts.Seed = 9;
+  Opts.NumBlocks = unsigned(State.range(0));
+  Function Fn = generateRandomCfg(Opts);
+  LocalProperties LP(Fn);
+  auto Transfers = availTransfers(Fn, LP);
+  BitVector Empty(LP.numExprs());
+  for (auto _ : State) {
+    DataflowResult R = solveGenKillWorklist(
+        Fn, Direction::Forward, Meet::Intersection, Transfers, Empty);
+    benchmark::DoNotOptimize(R.Stats.NodeVisits);
+  }
+}
+BENCHMARK(BM_WorklistSolver)->Arg(256)->Arg(2048);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runTable8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

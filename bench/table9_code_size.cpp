@@ -1,0 +1,103 @@
+//===- bench/table9_code_size.cpp - Code-size vs dynamic tradeoff (T9) ---===//
+//
+// Experiment T9 (see EXPERIMENTS.md): lazy code motion optimizes dynamic
+// behaviour, and on joins with several unavailable predecessors it pays
+// with static growth (k insertions for one deleted occurrence).  The
+// code-size filter (after the authors' later "code-size sensitive PRE"
+// line of work) drops exactly those expressions.  This table quantifies
+// the trade: static operations and dynamic evaluations for none / LCM /
+// size-filtered LCM over the corpus plus the adversarial join family.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "ir/Parser.h"
+#include "bench_common.h"
+
+using namespace lcm;
+
+namespace {
+
+void sizedLcm(Function &F) {
+  CfgEdges Edges(F);
+  LocalProperties LP(F);
+  LazyCodeMotion Engine(F, Edges, LP);
+  PrePlacement P =
+      filterPlacementForCodeSize(Engine.placement(PreStrategy::Lazy));
+  applyPlacement(F, Edges, P);
+}
+
+/// Join with K killing predecessors and one computing predecessor.
+Function makeWideJoin(unsigned K) {
+  std::string Src = "block b0\n  br p0";
+  for (unsigned I = 1; I <= K; ++I)
+    Src += " p" + std::to_string(I);
+  Src += "\nblock p0\n  x = a + b\n  goto j\n";
+  for (unsigned I = 1; I <= K; ++I)
+    Src += "block p" + std::to_string(I) + "\n  a = " + std::to_string(I) +
+           "\n  goto j\n";
+  Src += "block j\n  y = a + b\n  goto d\nblock d\n  exit\n";
+  ParseResult R = parseFunction(Src);
+  assert(R.Ok && "wide join must parse");
+  return std::move(R.Fn);
+}
+
+void runTable9() {
+  printHeading("T9", "static code size vs dynamic optimality");
+
+  Table T({"program", "ops none", "ops LCM", "ops sized-LCM", "dyn none",
+           "dyn LCM", "dyn sized-LCM"});
+  uint64_t ShapeViolations = 0;
+
+  auto addRow = [&](const std::string &Name, const Function &Original) {
+    StrategyOutcome None =
+        evaluateStrategy("none", Original, identityTransform());
+    StrategyOutcome Lcm = evaluateStrategy(
+        "LCM", Original, [](Function &F) { runPre(F, PreStrategy::Lazy); });
+    StrategyOutcome Sized = evaluateStrategy("sized", Original, sizedLcm);
+    T.row()
+        .add(Name)
+        .add(None.StaticOps)
+        .add(Lcm.StaticOps)
+        .add(Sized.StaticOps)
+        .add(None.DynamicEvals)
+        .add(Lcm.DynamicEvals)
+        .add(Sized.DynamicEvals);
+    ShapeViolations += Sized.StaticOps > None.StaticOps;
+    ShapeViolations += Sized.DynamicEvals > None.DynamicEvals;
+    ShapeViolations += Lcm.DynamicEvals > Sized.DynamicEvals;
+  };
+
+  for (unsigned K : {2u, 4u, 8u})
+    addRow("wide-join k=" + std::to_string(K), makeWideJoin(K));
+  for (const CorpusEntry &Entry : experimentCorpus())
+    addRow(Entry.Name, Entry.Make());
+
+  printTable(T);
+  std::printf("\nshape check (sized-LCM never grows static ops and sits "
+              "between none and LCM dynamically): %s (%llu violations)\n",
+              ShapeViolations == 0 ? "HOLDS" : "VIOLATED",
+              (unsigned long long)ShapeViolations);
+}
+
+void BM_SizeFilteredPipeline(benchmark::State &State) {
+  Function Base = makeWideJoin(8);
+  for (auto _ : State) {
+    Function Fn = Base;
+    sizedLcm(Fn);
+    benchmark::DoNotOptimize(Fn.countOperations());
+  }
+}
+BENCHMARK(BM_SizeFilteredPipeline);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runTable9();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- examples/address_kernel.cpp - Full pipeline on array addressing ---===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// The workload PRE was invented for: array address arithmetic inside loop
+// nests.  This example generates a deterministic 2-deep kernel full of
+// `base + i*stride` computations, then runs the complete optimization
+// pipeline (constfold -> lcse -> sr -> lcm -> cleanup) and reports how
+// the dynamic operation mix changes at every stage.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "workload/AddressGen.h"
+
+using namespace lcm;
+
+namespace {
+
+struct Mix {
+  uint64_t Muls = 0;
+  uint64_t Other = 0;
+  uint64_t Instrs = 0;
+};
+
+Mix measure(const Function &Fn) {
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  std::vector<int64_t> Inputs(Fn.numVars());
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    Inputs[I] = int64_t(1000 * I);
+  InterpResult R = Interpreter::run(Fn, Inputs, Oracle, Opts);
+  Mix M;
+  M.Instrs = R.InstrsExecuted;
+  for (ExprId E = 0; E != Fn.exprs().size(); ++E) {
+    if (Fn.exprs().expr(E).Op == Opcode::Mul)
+      M.Muls += R.EvalsPerExpr[E];
+    else
+      M.Other += R.EvalsPerExpr[E];
+  }
+  return M;
+}
+
+} // namespace
+
+int main() {
+  AddressGenOptions Opts;
+  Opts.Seed = 5;
+  Opts.Depth = 2;
+  Opts.TripCount = 8;
+  Opts.StmtsPerBody = 5;
+  Function Fn = generateAddressKernel(Opts);
+  std::printf("== address kernel (2-deep nest, trip 8) ==\n%s\n",
+              printFunction(Fn).c_str());
+
+  Mix Before = measure(Fn);
+  std::printf("%-28s muls=%-6llu other-ops=%-6llu instrs=%llu\n",
+              "original:", (unsigned long long)Before.Muls,
+              (unsigned long long)Before.Other,
+              (unsigned long long)Before.Instrs);
+
+  const char *Stages[] = {"constfold", "lcse", "sr", "copyprop",
+                          "lcm", "cleanup"};
+  for (const char *Stage : Stages) {
+    PipelineParse P = parsePipeline(Stage);
+    if (!P) {
+      std::fprintf(stderr, "error: %s\n", P.Error.c_str());
+      return 1;
+    }
+    Pipeline::RunResult R = P.P.run(Fn);
+    if (!R.Ok) {
+      std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    Mix M = measure(Fn);
+    std::printf("after %-22s muls=%-6llu other-ops=%-6llu instrs=%llu "
+                "(%llu changes)\n",
+                (std::string(Stage) + ":").c_str(),
+                (unsigned long long)M.Muls, (unsigned long long)M.Other,
+                (unsigned long long)M.Instrs,
+                (unsigned long long)R.Steps[0].Changes);
+  }
+
+  std::printf("\nThe multiplications disappear into induction updates (sr),\n"
+              "the repeated address computations into temps (lcm), and the\n"
+              "copy overhead into nothing (cleanup).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- examples/loop_invariant.cpp - LCM subsumes loop-invariant motion --===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's introduction motivates PRE as the optimization subsuming
+// loop-invariant code motion — but with a safety guarantee classic LICM
+// lacks.  This example builds a nested loop, then contrasts:
+//
+//   - LCM: moves `a * b` exactly to the entry of the region that uses it
+//     (never executed when the loop does not run);
+//   - speculative LICM: hoists it to the preheader unconditionally;
+//   - safe LICM: refuses (the expression is not anticipated above the
+//     loop guard), demonstrating why down-safety needs edge placement.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "baseline/Licm.h"
+#include "core/Lcm.h"
+#include "ir/Printer.h"
+#include "metrics/Compare.h"
+#include "workload/PaperExamples.h"
+
+using namespace lcm;
+
+int main() {
+  Function Original = makeLoopNestExample();
+  std::printf("== nested-loop program ==\n%s\n",
+              printFunction(Original).c_str());
+
+  // Lazy code motion.
+  Function AfterLcm = Original;
+  PreRunResult R = runPre(AfterLcm, PreStrategy::Lazy);
+  std::printf("== after LCM (deleted %llu, saved %llu, inserted %llu) ==\n%s\n",
+              (unsigned long long)R.Placement.numDeletions(),
+              (unsigned long long)R.Placement.numSaves(),
+              (unsigned long long)R.Placement.numEdgeInsertions(),
+              printFunction(AfterLcm).c_str());
+
+  // LICM, both safety policies.
+  Function AfterSpec = Original;
+  LicmReport Spec = runLicm(AfterSpec, LicmMode::Speculative);
+  Function AfterSafe = Original;
+  LicmReport Safe = runLicm(AfterSafe, LicmMode::SafeOnly);
+  std::printf("speculative LICM hoisted %llu expression(s); "
+              "safe LICM hoisted %llu\n\n",
+              (unsigned long long)Spec.HoistedExprs,
+              (unsigned long long)Safe.HoistedExprs);
+
+  // Quantify: dynamic evaluations over aligned seeded runs.
+  std::printf("dynamic expression evaluations (5 seeded runs):\n");
+  for (auto &[Name, Transform] :
+       std::vector<std::pair<std::string, TransformFn>>{
+           {"original", [](Function &) {}},
+           {"LCM", [](Function &F) { runPre(F, PreStrategy::Lazy); }},
+           {"LICM-speculative",
+            [](Function &F) { runLicm(F, LicmMode::Speculative); }},
+           {"LICM-safe",
+            [](Function &F) { runLicm(F, LicmMode::SafeOnly); }}}) {
+    StrategyOutcome O = evaluateStrategy(Name, Original, Transform);
+    std::printf("  %-18s %llu\n", O.Strategy.c_str(),
+                (unsigned long long)O.DynamicEvals);
+  }
+  std::printf("\nLCM gets the loop-invariant win without ever executing a\n"
+              "computation the original program would not have executed.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- examples/register_pressure.cpp - Busy vs lazy temp lifetimes ------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// Lifetime optimality made visible: runs Busy Code Motion and Lazy Code
+// Motion on the paper's motivating example and prints, block by block,
+// where each strategy's temporary is live.  Both remove the same
+// computations (T1); only the lazy placement keeps the temp's live range
+// minimal (T2).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "analysis/VarLiveness.h"
+#include "core/Lcm.h"
+#include "ir/Printer.h"
+#include "metrics/Cost.h"
+#include "workload/PaperExamples.h"
+
+using namespace lcm;
+
+namespace {
+
+void showLifetimes(const char *Name, PreStrategy S) {
+  Function Fn = makeMotivatingExample();
+  size_t OrigVars = Fn.numVars();
+  runPre(Fn, S);
+
+  VarLivenessResult Live = computeVarLiveness(Fn);
+  std::printf("-- %s --\n", Name);
+  std::printf("  %-10s %-8s %-8s\n", "block", "temp-in", "temp-out");
+  for (const BasicBlock &B : Fn.blocks()) {
+    bool In = false, Out = false;
+    for (size_t V = OrigVars; V != Fn.numVars(); ++V) {
+      In |= Live.LiveIn[B.id()].test(V);
+      Out |= Live.LiveOut[B.id()].test(V);
+    }
+    std::printf("  %-10s %-8s %-8s\n", B.label().c_str(), In ? "live" : ".",
+                Out ? "live" : ".");
+  }
+  LifetimeStats Stats = measureTempLifetimes(Fn, OrigVars);
+  std::printf("  => %llu live block-boundary slots, peak pressure %llu\n\n",
+              (unsigned long long)Stats.LiveBlockSlots,
+              (unsigned long long)Stats.MaxPressure);
+}
+
+} // namespace
+
+int main() {
+  Function Fn = makeMotivatingExample();
+  std::printf("== program ==\n%s\n", printFunction(Fn).c_str());
+  showLifetimes("BCM: as early as possible", PreStrategy::Busy);
+  showLifetimes("LCM: as late as possible", PreStrategy::Lazy);
+  std::printf("Both eliminate the same evaluations; the lazy placement\n"
+              "shrinks the temporary's live range (the paper's second\n"
+              "optimality theorem).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- analysis/BlockFrequency.cpp -----------------------------------------===//
+
+#include "analysis/BlockFrequency.h"
+
+#include "graph/Dfs.h"
+#include "graph/Dominators.h"
+#include "graph/Loops.h"
+
+using namespace lcm;
+
+BlockFrequencies lcm::estimateBlockFrequencies(const Function &Fn,
+                                               double TripWeight) {
+  Dominators Dom(Fn);
+  LoopForest Forest(Fn, Dom);
+
+  // Propagate along the acyclic skeleton: dominator back edges carry no
+  // mass (their effect is modeled by the loop-depth scaling below).
+  BlockFrequencies R;
+  R.Freq.assign(Fn.numBlocks(), 0.0);
+  R.Freq[Fn.entry()] = 1.0;
+  for (BlockId B : reversePostOrder(Fn)) {
+    double Out = R.Freq[B];
+    const auto &Succs = Fn.block(B).succs();
+    if (Succs.empty() || Out == 0.0)
+      continue;
+    double Share = Out / double(Succs.size());
+    for (BlockId S : Succs) {
+      if (Dom.dominates(S, B))
+        continue; // Back edge.
+      R.Freq[S] += Share;
+    }
+  }
+
+  // Loop scaling: a block nested in d loops runs TripWeight^d more often.
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    double Scale = 1.0;
+    for (uint32_t D = 0; D != Forest.depth(B); ++D)
+      Scale *= TripWeight;
+    R.Freq[B] *= Scale;
+  }
+
+  // Headers reachable only through back edges at skeleton level (e.g. a
+  // self-loop entered through a fresh preheader) always get entry mass
+  // through the skeleton since natural-loop headers dominate their
+  // latches; no special case is needed.
+  return R;
+}
+
+double lcm::estimatedOperationCost(const Function &Fn,
+                                   const BlockFrequencies &Freqs) {
+  double Cost = 0.0;
+  for (const BasicBlock &B : Fn.blocks()) {
+    size_t Ops = 0;
+    for (const Instr &I : B.instrs())
+      Ops += I.isOperation();
+    Cost += double(Ops) * Freqs.of(B.id());
+  }
+  return Cost;
+}

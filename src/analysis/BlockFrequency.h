@@ -1,0 +1,49 @@
+//===- analysis/BlockFrequency.h - Static execution frequency estimate ---===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Wu–Larus-flavoured static profile: branch probabilities are uniform
+/// over successors, frequencies propagate through the acyclic skeleton
+/// (dominator back edges removed) in reverse post-order, and every block
+/// is then scaled by TripWeight^loop-depth.  Classic PRE is
+/// profile-independent — LCM's placement does not consult frequencies —
+/// but the estimator gives experiments a deterministic cost model that
+/// does not require running the program, and weightedStaticCost() gets a
+/// principled sibling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_ANALYSIS_BLOCKFREQUENCY_H
+#define LCM_ANALYSIS_BLOCKFREQUENCY_H
+
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Estimated relative execution frequencies (entry == 1.0 before loop
+/// scaling).
+struct BlockFrequencies {
+  std::vector<double> Freq;
+
+  double of(BlockId B) const { return Freq[B]; }
+};
+
+/// Computes the estimate; \p TripWeight is the assumed iteration count of
+/// each loop level.
+BlockFrequencies estimateBlockFrequencies(const Function &Fn,
+                                          double TripWeight = 10.0);
+
+/// Frequency-weighted operation cost: sum over blocks of
+/// (operations in block) * estimated frequency.
+double estimatedOperationCost(const Function &Fn,
+                              const BlockFrequencies &Freqs);
+
+} // namespace lcm
+
+#endif // LCM_ANALYSIS_BLOCKFREQUENCY_H

@@ -1,0 +1,49 @@
+//===- analysis/ExprDataflow.cpp -------------------------------------------===//
+
+#include "analysis/ExprDataflow.h"
+
+using namespace lcm;
+
+namespace {
+
+/// Builds the shared gen/kill transfers: Gen = availability/anticipability
+/// generator per block, Kill = ~TRANSP.
+std::vector<GenKill> makeTransfers(const LocalProperties &LP,
+                                   const std::vector<BitVector> &Gen) {
+  std::vector<GenKill> Transfers(LP.numBlocks());
+  for (size_t B = 0; B != LP.numBlocks(); ++B) {
+    Transfers[B].Gen = Gen[B];
+    Transfers[B].Kill = complement(LP.transp(B));
+  }
+  return Transfers;
+}
+
+} // namespace
+
+DataflowResult lcm::computeAvailability(const Function &Fn,
+                                        const LocalProperties &LP) {
+  return solveGenKill(Fn, Direction::Forward, Meet::Intersection,
+                      makeTransfers(LP, LP.compAll()),
+                      BitVector(LP.numExprs()));
+}
+
+DataflowResult lcm::computeAnticipability(const Function &Fn,
+                                          const LocalProperties &LP) {
+  return solveGenKill(Fn, Direction::Backward, Meet::Intersection,
+                      makeTransfers(LP, LP.antlocAll()),
+                      BitVector(LP.numExprs()));
+}
+
+DataflowResult lcm::computePartialAvailability(const Function &Fn,
+                                               const LocalProperties &LP) {
+  return solveGenKill(Fn, Direction::Forward, Meet::Union,
+                      makeTransfers(LP, LP.compAll()),
+                      BitVector(LP.numExprs()));
+}
+
+DataflowResult lcm::computePartialAnticipability(const Function &Fn,
+                                                 const LocalProperties &LP) {
+  return solveGenKill(Fn, Direction::Backward, Meet::Union,
+                      makeTransfers(LP, LP.antlocAll()),
+                      BitVector(LP.numExprs()));
+}

@@ -1,0 +1,50 @@
+//===- analysis/ExprDataflow.h - Availability and anticipability ---------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The safety analyses of the paper, instantiated on the generic gen/kill
+/// framework:
+///
+/// - *availability* ("up-safety"): e has been computed on every path from
+///   the entry and not killed since;
+/// - *anticipability* ("down-safety"): e will be computed on every path to
+///   the exit before any operand is killed;
+/// - their "partial" (may) variants, needed by the Morel–Renvoise baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_ANALYSIS_EXPRDATAFLOW_H
+#define LCM_ANALYSIS_EXPRDATAFLOW_H
+
+#include "analysis/LocalProperties.h"
+#include "dataflow/Dataflow.h"
+
+namespace lcm {
+
+/// Full availability: forward, intersection.
+///   AVIN[n]  = n==entry ? 0 : AND_p AVOUT[p]
+///   AVOUT[n] = COMP[n] | (AVIN[n] & TRANSP[n])
+DataflowResult computeAvailability(const Function &Fn,
+                                   const LocalProperties &LP);
+
+/// Full anticipability: backward, intersection.
+///   ANTOUT[n] = n==exit ? 0 : AND_s ANTIN[s]
+///   ANTIN[n]  = ANTLOC[n] | (ANTOUT[n] & TRANSP[n])
+DataflowResult computeAnticipability(const Function &Fn,
+                                     const LocalProperties &LP);
+
+/// Partial availability (some path): forward, union.
+DataflowResult computePartialAvailability(const Function &Fn,
+                                          const LocalProperties &LP);
+
+/// Partial anticipability (some path): backward, union.
+DataflowResult computePartialAnticipability(const Function &Fn,
+                                            const LocalProperties &LP);
+
+} // namespace lcm
+
+#endif // LCM_ANALYSIS_EXPRDATAFLOW_H

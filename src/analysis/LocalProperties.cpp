@@ -1,0 +1,45 @@
+//===- analysis/LocalProperties.cpp ----------------------------------------===//
+
+#include "analysis/LocalProperties.h"
+
+using namespace lcm;
+
+LocalProperties::LocalProperties(const Function &Fn)
+    : NumExprs(Fn.exprs().size()) {
+  const ExprPool &Pool = Fn.exprs();
+  AntLoc.assign(Fn.numBlocks(), BitVector(NumExprs));
+  Comp.assign(Fn.numBlocks(), BitVector(NumExprs));
+  Transp.assign(Fn.numBlocks(), BitVector(NumExprs, true));
+
+  BitVector Killed(NumExprs);
+  for (const BasicBlock &B : Fn.blocks()) {
+    const auto &Instrs = B.instrs();
+
+    // Forward pass: upward exposure and transparency.
+    Killed.resetAll();
+    for (const Instr &I : Instrs) {
+      if (I.isOperation()) {
+        ExprId E = I.exprId();
+        if (!Killed.test(E))
+          AntLoc[B.id()].set(E);
+      }
+      const BitVector &Readers = Pool.exprsReadingVar(I.dest());
+      Killed |= Readers;
+      Transp[B.id()].andNot(Readers);
+    }
+
+    // Backward pass: downward exposure.  An occurrence is downward exposed
+    // iff no later instruction (including its own destination write) kills
+    // the expression.
+    Killed.resetAll();
+    for (size_t I = Instrs.size(); I-- != 0;) {
+      const Instr &In = Instrs[I];
+      if (In.isOperation()) {
+        ExprId E = In.exprId();
+        if (!Killed.test(E) && !Pool.reads(E, In.dest()))
+          Comp[B.id()].set(E);
+      }
+      Killed |= Pool.exprsReadingVar(In.dest());
+    }
+  }
+}

@@ -1,0 +1,59 @@
+//===- analysis/LocalProperties.h - ANTLOC / COMP / TRANSP per block -----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three local predicates every PRE analysis consumes, computed per
+/// block over the function's expression universe:
+///
+/// - ANTLOC(b, e): b contains an *upward-exposed* computation of e — an
+///   occurrence not preceded in b by any assignment to e's operands;
+/// - COMP(b, e): b contains a *downward-exposed* computation of e — an
+///   occurrence not followed in b (nor clobbered by its own destination)
+///   by any assignment to e's operands;
+/// - TRANSP(b, e): b assigns to none of e's operands ("transparent").
+///
+/// A block can have ANTLOC and COMP for the same e with TRANSP false: two
+/// distinct occurrences separated by an operand kill.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_ANALYSIS_LOCALPROPERTIES_H
+#define LCM_ANALYSIS_LOCALPROPERTIES_H
+
+#include <vector>
+
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+namespace lcm {
+
+/// Per-block local dataflow predicates over the expression universe.
+class LocalProperties {
+public:
+  explicit LocalProperties(const Function &Fn);
+
+  size_t numExprs() const { return NumExprs; }
+  size_t numBlocks() const { return AntLoc.size(); }
+
+  const BitVector &antloc(BlockId B) const { return AntLoc[B]; }
+  const BitVector &comp(BlockId B) const { return Comp[B]; }
+  const BitVector &transp(BlockId B) const { return Transp[B]; }
+
+  const std::vector<BitVector> &antlocAll() const { return AntLoc; }
+  const std::vector<BitVector> &compAll() const { return Comp; }
+  const std::vector<BitVector> &transpAll() const { return Transp; }
+
+private:
+  size_t NumExprs;
+  std::vector<BitVector> AntLoc;
+  std::vector<BitVector> Comp;
+  std::vector<BitVector> Transp;
+};
+
+} // namespace lcm
+
+#endif // LCM_ANALYSIS_LOCALPROPERTIES_H

@@ -1,0 +1,83 @@
+//===- analysis/TempLiveness.cpp -------------------------------------------===//
+
+#include "analysis/TempLiveness.h"
+
+#include "graph/Dfs.h"
+
+using namespace lcm;
+
+TempLivenessResult
+lcm::computeTempLiveness(const Function &Fn, const CfgEdges &Edges,
+                         const LocalProperties &LP,
+                         const std::vector<BitVector> &Delete,
+                         const std::vector<BitVector> &EdgeInserts,
+                         const std::vector<BitVector> &NodeInserts) {
+  const size_t Universe = LP.numExprs();
+  const uint64_t OpsBefore = BitVectorOps::snapshot();
+
+  TempLivenessResult R;
+  R.LiveIn.assign(Fn.numBlocks(), BitVector(Universe));
+  R.LiveOut.assign(Fn.numBlocks(), BitVector(Universe));
+
+  // Propagation mask through a block: TRANSP & ~(COMP & ~DELETE).  A kept
+  // downward-exposed computation is itself a (potential) definition of h_e;
+  // a deleted one is a copy from h_e and leaves it live.
+  std::vector<BitVector> Propagate(Fn.numBlocks());
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    BitVector KeptComp = LP.comp(B);
+    KeptComp.andNot(Delete[B]);
+    Propagate[B] = LP.transp(B);
+    Propagate[B].andNot(KeptComp);
+  }
+
+  const std::vector<BlockId> Order = postOrder(Fn);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.Stats.Passes;
+    for (BlockId B : Order) {
+      ++R.Stats.NodeVisits;
+      // Liveness after all insertions attached to B's exit.
+      BitVector AtEnd(Universe);
+      for (EdgeId E : Edges.outEdges(B)) {
+        BitVector Along = R.LiveIn[Edges.edge(E).To];
+        if (!EdgeInserts.empty())
+          Along.andNot(EdgeInserts[E]);
+        AtEnd |= Along;
+      }
+      // Step over the end-of-block insertion point, if any.
+      if (!NodeInserts.empty())
+        AtEnd.andNot(NodeInserts[B]);
+      if (AtEnd != R.LiveOut[B]) {
+        R.LiveOut[B] = std::move(AtEnd);
+        Changed = true;
+      }
+      BitVector NewIn = R.LiveOut[B];
+      NewIn &= Propagate[B];
+      NewIn |= Delete[B];
+      if (NewIn != R.LiveIn[B]) {
+        R.LiveIn[B] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+
+  R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
+  return R;
+}
+
+std::vector<BitVector>
+lcm::computeSaves(const LocalProperties &LP,
+                  const std::vector<BitVector> &Delete,
+                  const TempLivenessResult &Live) {
+  std::vector<BitVector> Save(LP.numBlocks());
+  for (BlockId B = 0; B != LP.numBlocks(); ++B) {
+    // SAVE = COMP & LIVEOUT & ~(DELETE & TRANSP).
+    Save[B] = LP.comp(B);
+    Save[B] &= Live.LiveOut[B];
+    BitVector DeletedHere = Delete[B];
+    DeletedHere &= LP.transp(B);
+    Save[B].andNot(DeletedHere);
+  }
+  return Save;
+}

@@ -1,0 +1,69 @@
+//===- analysis/TempLiveness.h - Isolation analysis as temp liveness -----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *isolation* analysis decides which computations of e must
+/// additionally initialize the temporary h_e ("saves").  A placement point
+/// is isolated when no replaced (deleted) computation downstream consumes
+/// its value.  Isolation is exactly the complement of liveness of h_e, so
+/// we compute backward liveness where:
+///
+/// - uses are the deleted upward-exposed computations (they read h_e at
+///   block entry);
+/// - definitions are the edge insertions, the (optional) end-of-block
+///   insertions of the Morel–Renvoise baseline, and the kept
+///   downward-exposed computations (the candidate save points themselves);
+/// - an operand kill (~TRANSP) also ends liveness: past a kill, safety
+///   guarantees any further use is preceded by a fresh definition of h_e.
+///
+/// The resulting save set is
+///   SAVE[n] = COMP[n] & LIVEOUT[n] & ~(DELETE[n] & TRANSP[n]),
+/// i.e. a kept downward-exposed computation whose temp is live afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_ANALYSIS_TEMPLIVENESS_H
+#define LCM_ANALYSIS_TEMPLIVENESS_H
+
+#include "analysis/LocalProperties.h"
+#include "dataflow/Dataflow.h"
+#include "graph/CfgEdges.h"
+
+namespace lcm {
+
+/// Result of the isolation/liveness analysis.
+struct TempLivenessResult {
+  /// Liveness of h_e at block entry (a deleted use at the entry counts).
+  std::vector<BitVector> LiveIn;
+  /// Liveness of h_e after the block body but before any end-of-block or
+  /// edge insertion — the fact the save decision consumes.
+  std::vector<BitVector> LiveOut;
+  SolverStats Stats;
+};
+
+/// Computes temp liveness.
+///
+/// \param EdgeInserts per-EdgeId insertion sets; pass an empty vector when
+///        the transformation inserts on no edges.
+/// \param NodeInserts per-block end-of-block insertion sets (the
+///        Morel–Renvoise baseline); empty vector if unused.
+TempLivenessResult
+computeTempLiveness(const Function &Fn, const CfgEdges &Edges,
+                    const LocalProperties &LP,
+                    const std::vector<BitVector> &Delete,
+                    const std::vector<BitVector> &EdgeInserts,
+                    const std::vector<BitVector> &NodeInserts);
+
+/// Derives the save set from liveness (see file comment for the formula).
+std::vector<BitVector>
+computeSaves(const LocalProperties &LP,
+             const std::vector<BitVector> &Delete,
+             const TempLivenessResult &Live);
+
+} // namespace lcm
+
+#endif // LCM_ANALYSIS_TEMPLIVENESS_H

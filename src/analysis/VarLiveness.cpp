@@ -1,0 +1,52 @@
+//===- analysis/VarLiveness.cpp --------------------------------------------===//
+
+#include "analysis/VarLiveness.h"
+
+using namespace lcm;
+
+VarLivenessResult lcm::computeVarLiveness(const Function &Fn,
+                                          const BitVector *ExitLive) {
+  const size_t NumVars = Fn.numVars();
+  std::vector<GenKill> Transfers(Fn.numBlocks());
+
+  for (const BasicBlock &B : Fn.blocks()) {
+    BitVector Use(NumVars), Def(NumVars);
+    // Upward-exposed uses and definitions, scanning forward.
+    auto noteUse = [&](Operand O) {
+      if (O.isVar() && !Def.test(O.var()))
+        Use.set(O.var());
+    };
+    for (const Instr &I : B.instrs()) {
+      if (I.isOperation()) {
+        const Expr &E = Fn.exprs().expr(I.exprId());
+        noteUse(E.Lhs);
+        if (E.isBinary())
+          noteUse(E.Rhs);
+      } else {
+        noteUse(I.src());
+      }
+      Def.set(I.dest());
+    }
+    // The branch condition is read at the end of the block; it is an
+    // upward-exposed use only if the block did not define it.
+    if (B.hasConditionalBranch() && !Def.test(*B.condVar()))
+      Use.set(*B.condVar());
+    // Conditions defined in the block are a use of the definition, which is
+    // within the block; they do not extend LiveIn.  However, a condition is
+    // always live *out* of the body into the branch; for block-boundary
+    // metrics we approximate the branch read as part of the block.
+    Transfers[B.id()].Gen = std::move(Use);
+    Transfers[B.id()].Kill = std::move(Def);
+  }
+
+  assert((!ExitLive || ExitLive->size() == NumVars) &&
+         "exit-liveness universe mismatch");
+  DataflowResult D =
+      solveGenKill(Fn, Direction::Backward, Meet::Union, Transfers,
+                   ExitLive ? *ExitLive : BitVector(NumVars));
+  VarLivenessResult R;
+  R.LiveIn = std::move(D.In);
+  R.LiveOut = std::move(D.Out);
+  R.Stats = D.Stats;
+  return R;
+}

@@ -1,0 +1,45 @@
+//===- baseline/Canonicalize.cpp -------------------------------------------===//
+
+#include "baseline/Canonicalize.h"
+
+using namespace lcm;
+
+bool lcm::isCommutativeOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+uint64_t lcm::canonicalizeCommutative(Function &Fn) {
+  uint64_t Swaps = 0;
+  ExprPool &Pool = Fn.exprs();
+
+  // Canonical order: variables before constants, then ascending var id /
+  // constant value — i.e. the Operand total order.
+  for (BasicBlock &B : Fn.blocks()) {
+    for (Instr &I : B.instrs()) {
+      if (!I.isOperation())
+        continue;
+      const Expr &E = Pool.expr(I.exprId());
+      if (!E.isBinary() || !isCommutativeOpcode(E.Op))
+        continue;
+      if (!(E.Rhs < E.Lhs))
+        continue;
+      Expr Swapped{E.Op, E.Rhs, E.Lhs};
+      I = Instr::makeOperation(I.dest(), Pool.intern(Swapped));
+      ++Swaps;
+    }
+  }
+  return Swaps;
+}

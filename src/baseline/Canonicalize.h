@@ -1,0 +1,38 @@
+//===- baseline/Canonicalize.h - Commutative operand normalization -------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PRE is purely syntactic: `a + b` and `b + a` are different expressions
+/// to it.  This pass normalizes the operand order of commutative
+/// operations (constants last, then by variable id), so syntactically
+/// twisted redundancies become visible to every downstream analysis — the
+/// standard front-end courtesy real compilers perform during IR
+/// construction.  Exactly the commutative opcodes are rewritten:
+/// + * & | ^ min max == !=; subtraction, shifts, division, and the
+/// ordered comparisons are left alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_BASELINE_CANONICALIZE_H
+#define LCM_BASELINE_CANONICALIZE_H
+
+#include <cstdint>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// True for opcodes where op(a,b) == op(b,a) under the total semantics.
+bool isCommutativeOpcode(Opcode Op);
+
+/// Normalizes every commutative operation in place; returns the number of
+/// operand swaps performed.
+uint64_t canonicalizeCommutative(Function &Fn);
+
+} // namespace lcm
+
+#endif // LCM_BASELINE_CANONICALIZE_H

@@ -1,0 +1,143 @@
+//===- baseline/Cleanup.cpp ------------------------------------------------===//
+
+#include "baseline/Cleanup.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/VarLiveness.h"
+
+using namespace lcm;
+
+namespace {
+
+/// Resolves \p V through the current copy map.
+VarId rootOf(const std::map<VarId, VarId> &CopyOf, VarId V) {
+  auto It = CopyOf.find(V);
+  return It == CopyOf.end() ? V : It->second;
+}
+
+/// Invalidates every fact involving \p W (as source or destination).
+void clobber(std::map<VarId, VarId> &CopyOf, VarId W) {
+  CopyOf.erase(W);
+  for (auto It = CopyOf.begin(); It != CopyOf.end();) {
+    if (It->second == W)
+      It = CopyOf.erase(It);
+    else
+      ++It;
+  }
+}
+
+} // namespace
+
+uint64_t lcm::propagateCopies(Function &Fn) {
+  uint64_t Rewritten = 0;
+  ExprPool &Pool = Fn.exprs();
+
+  for (BasicBlock &B : Fn.blocks()) {
+    std::map<VarId, VarId> CopyOf;
+    auto rewriteOperand = [&](Operand O) {
+      if (!O.isVar())
+        return O;
+      VarId Root = rootOf(CopyOf, O.var());
+      if (Root != O.var())
+        ++Rewritten;
+      return Operand::makeVar(Root);
+    };
+
+    for (Instr &I : B.instrs()) {
+      if (I.isOperation()) {
+        const Expr &Old = Pool.expr(I.exprId());
+        Expr New = Old;
+        New.Lhs = rewriteOperand(Old.Lhs);
+        if (Old.isBinary())
+          New.Rhs = rewriteOperand(Old.Rhs);
+        if (!(New == Old))
+          I = Instr::makeOperation(I.dest(), Pool.intern(New));
+      } else {
+        Operand Src = rewriteOperand(I.src());
+        if (!(Src == I.src()))
+          I = Instr::makeCopy(I.dest(), Src);
+      }
+
+      VarId Dest = I.dest();
+      clobber(CopyOf, Dest);
+      if (I.isCopy() && I.src().isVar() && I.src().var() != Dest)
+        CopyOf[Dest] = I.src().var();
+    }
+
+    // The branch condition is read at the very end of the block.
+    if (B.hasConditionalBranch()) {
+      VarId Root = rootOf(CopyOf, *B.condVar());
+      if (Root != *B.condVar()) {
+        B.setCondVar(Root);
+        ++Rewritten;
+      }
+    }
+  }
+  return Rewritten;
+}
+
+CleanupReport lcm::eliminateDeadCode(Function &Fn,
+                                     const CleanupOptions &Opts) {
+  CleanupReport Report;
+  const size_t NumVars = Fn.numVars();
+  BitVector Observable(NumVars);
+  for (size_t V = 0; V != NumVars && V < Opts.NumObservableVars; ++V)
+    Observable.set(V);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Report.Iterations;
+    VarLivenessResult Live = computeVarLiveness(Fn, &Observable);
+
+    for (BasicBlock &B : Fn.blocks()) {
+      BitVector LiveAfter = Live.LiveOut[B.id()];
+      if (B.hasConditionalBranch())
+        LiveAfter.set(*B.condVar());
+
+      // Backward in-block sweep, keeping only live assignments.
+      std::vector<Instr> Kept;
+      auto &Instrs = B.instrs();
+      Kept.reserve(Instrs.size());
+      for (size_t I = Instrs.size(); I-- != 0;) {
+        const Instr &In = Instrs[I];
+        if (!LiveAfter.test(In.dest())) {
+          ++Report.InstrsRemoved;
+          Changed = true;
+          continue; // Dead: expressions have no side effects.
+        }
+        LiveAfter.reset(In.dest());
+        if (In.isOperation()) {
+          const Expr &E = Fn.exprs().expr(In.exprId());
+          if (E.Lhs.isVar())
+            LiveAfter.set(E.Lhs.var());
+          if (E.isBinary() && E.Rhs.isVar())
+            LiveAfter.set(E.Rhs.var());
+        } else if (In.src().isVar()) {
+          LiveAfter.set(In.src().var());
+        }
+        Kept.push_back(In);
+      }
+      if (Kept.size() != Instrs.size()) {
+        std::reverse(Kept.begin(), Kept.end());
+        Instrs = std::move(Kept);
+      }
+    }
+  }
+  return Report;
+}
+
+CleanupReport lcm::runCleanup(Function &Fn, const CleanupOptions &Opts) {
+  CleanupReport Total;
+  while (true) {
+    uint64_t Copies = propagateCopies(Fn);
+    CleanupReport Dce = eliminateDeadCode(Fn, Opts);
+    Total.CopiesPropagated += Copies;
+    Total.InstrsRemoved += Dce.InstrsRemoved;
+    Total.Iterations += Dce.Iterations;
+    if (Copies == 0 && Dce.InstrsRemoved == 0)
+      return Total;
+  }
+}

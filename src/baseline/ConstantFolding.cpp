@@ -1,0 +1,167 @@
+//===- baseline/ConstantFolding.cpp ----------------------------------------===//
+
+#include "baseline/ConstantFolding.h"
+
+#include <map>
+
+using namespace lcm;
+
+std::optional<Operand> lcm::simplifyExpr(const Expr &E) {
+  // Fully constant: evaluate.
+  if (!E.isBinary()) {
+    if (E.Lhs.isConst())
+      return Operand::makeConst(evalOpcode(E.Op, E.Lhs.constVal(), 0));
+    return std::nullopt;
+  }
+  if (E.Lhs.isConst() && E.Rhs.isConst())
+    return Operand::makeConst(
+        evalOpcode(E.Op, E.Lhs.constVal(), E.Rhs.constVal()));
+
+  const bool SameVar =
+      E.Lhs.isVar() && E.Rhs.isVar() && E.Lhs.var() == E.Rhs.var();
+  auto lhsConst = [&](int64_t C) {
+    return E.Lhs.isConst() && E.Lhs.constVal() == C;
+  };
+  auto rhsConst = [&](int64_t C) {
+    return E.Rhs.isConst() && E.Rhs.constVal() == C;
+  };
+
+  switch (E.Op) {
+  case Opcode::Add:
+    if (rhsConst(0))
+      return E.Lhs;
+    if (lhsConst(0))
+      return E.Rhs;
+    break;
+  case Opcode::Sub:
+    if (rhsConst(0))
+      return E.Lhs;
+    if (SameVar)
+      return Operand::makeConst(0);
+    break;
+  case Opcode::Mul:
+    if (rhsConst(1))
+      return E.Lhs;
+    if (lhsConst(1))
+      return E.Rhs;
+    if (rhsConst(0) || lhsConst(0))
+      return Operand::makeConst(0);
+    break;
+  case Opcode::Div:
+    if (rhsConst(1))
+      return E.Lhs;
+    break;
+  case Opcode::Mod:
+    if (rhsConst(1))
+      return Operand::makeConst(0);
+    break;
+  case Opcode::And:
+    if (rhsConst(0) || lhsConst(0))
+      return Operand::makeConst(0);
+    if (rhsConst(-1))
+      return E.Lhs;
+    if (lhsConst(-1))
+      return E.Rhs;
+    if (SameVar)
+      return E.Lhs;
+    break;
+  case Opcode::Or:
+    if (rhsConst(0))
+      return E.Lhs;
+    if (lhsConst(0))
+      return E.Rhs;
+    if (rhsConst(-1) || lhsConst(-1))
+      return Operand::makeConst(-1);
+    if (SameVar)
+      return E.Lhs;
+    break;
+  case Opcode::Xor:
+    if (rhsConst(0))
+      return E.Lhs;
+    if (lhsConst(0))
+      return E.Rhs;
+    if (SameVar)
+      return Operand::makeConst(0);
+    break;
+  case Opcode::Shl:
+  case Opcode::Shr:
+    if (rhsConst(0))
+      return E.Lhs;
+    if (lhsConst(0))
+      return Operand::makeConst(0);
+    break;
+  case Opcode::CmpEq:
+  case Opcode::CmpLe:
+  case Opcode::CmpGe:
+    if (SameVar)
+      return Operand::makeConst(1);
+    break;
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpGt:
+    if (SameVar)
+      return Operand::makeConst(0);
+    break;
+  case Opcode::Min:
+  case Opcode::Max:
+    if (SameVar)
+      return E.Lhs;
+    break;
+  case Opcode::Neg:
+  case Opcode::Not:
+    break;
+  }
+  return std::nullopt;
+}
+
+ConstantFoldingReport lcm::runConstantFolding(Function &Fn) {
+  ConstantFoldingReport R;
+  ExprPool &Pool = Fn.exprs();
+
+  for (BasicBlock &B : Fn.blocks()) {
+    std::map<VarId, int64_t> Known;
+    auto propagate = [&](Operand O) {
+      if (O.isVar()) {
+        auto It = Known.find(O.var());
+        if (It != Known.end()) {
+          ++R.OperandsPropagated;
+          return Operand::makeConst(It->second);
+        }
+      }
+      return O;
+    };
+
+    for (Instr &I : B.instrs()) {
+      if (I.isOperation()) {
+        Expr E = Pool.expr(I.exprId());
+        Expr Propagated = E;
+        Propagated.Lhs = propagate(E.Lhs);
+        if (E.isBinary())
+          Propagated.Rhs = propagate(E.Rhs);
+
+        if (std::optional<Operand> Simp = simplifyExpr(Propagated)) {
+          bool AllConst = Propagated.Lhs.isConst() &&
+                          (!Propagated.isBinary() || Propagated.Rhs.isConst());
+          if (AllConst)
+            ++R.OpsFolded;
+          else
+            ++R.OpsSimplified;
+          I = Instr::makeCopy(I.dest(), *Simp);
+        } else if (!(Propagated == E)) {
+          I = Instr::makeOperation(I.dest(), Pool.intern(Propagated));
+        }
+      } else {
+        Operand Src = propagate(I.src());
+        if (!(Src == I.src()))
+          I = Instr::makeCopy(I.dest(), Src);
+      }
+
+      // Update the local constant environment.
+      if (I.isCopy() && I.src().isConst())
+        Known[I.dest()] = I.src().constVal();
+      else
+        Known.erase(I.dest());
+    }
+  }
+  return R;
+}

@@ -1,0 +1,57 @@
+//===- baseline/ConstantFolding.h - Local constant folding / simplify ----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic local scalar-optimization pass, part of the substrate a real
+/// compiler would run around PRE.  Per block (no dataflow needed):
+///
+/// - *local constant propagation*: after `x = 5`, uses of x (within the
+///   block, until x is redefined) read the constant 5;
+/// - *constant folding*: operations whose operands are all constants
+///   become copies of the evaluated result (total evalOpcode semantics);
+/// - *algebraic simplification*: identity/absorption patterns become
+///   copies or constants — x+0, x-0, x*1, x*0, x&0, x|0, x^0, x<<0,
+///   x>>0, x/1, x%1, x-x, x^x, x&x, x|x, min(x,x), max(x,x).
+///
+/// Branches are never folded (the CFG shape stays fixed; DESIGN.md notes
+/// this as an explicit non-goal since block removal would renumber ids).
+/// Running before PRE shrinks the candidate universe; running after it
+/// cleans up nothing PRE produced (PRE introduces no constant operations),
+/// which the tests assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_BASELINE_CONSTANTFOLDING_H
+#define LCM_BASELINE_CONSTANTFOLDING_H
+
+#include <cstdint>
+#include <optional>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+struct ConstantFoldingReport {
+  /// Variable operands replaced by known constants.
+  uint64_t OperandsPropagated = 0;
+  /// Operations that became constant copies.
+  uint64_t OpsFolded = 0;
+  /// Operations that simplified to a copy of an operand or a constant.
+  uint64_t OpsSimplified = 0;
+};
+
+/// Runs local constant propagation + folding + simplification in place.
+ConstantFoldingReport runConstantFolding(Function &Fn);
+
+/// Attempts to simplify a single expression; returns a replacement
+/// operand (constant or variable) if the operation is unnecessary, or
+/// std::nullopt when it must stay.  Exposed for unit testing.
+std::optional<Operand> simplifyExpr(const Expr &E);
+
+} // namespace lcm
+
+#endif // LCM_BASELINE_CONSTANTFOLDING_H

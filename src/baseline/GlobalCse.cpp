@@ -1,0 +1,34 @@
+//===- baseline/GlobalCse.cpp ----------------------------------------------===//
+
+#include "baseline/GlobalCse.h"
+
+#include "analysis/ExprDataflow.h"
+#include "analysis/TempLiveness.h"
+
+using namespace lcm;
+
+PrePlacement lcm::computeGlobalCse(const Function &Fn,
+                                   const CfgEdges &Edges) {
+  LocalProperties LP(Fn);
+  DataflowResult Avail = computeAvailability(Fn, LP);
+
+  PrePlacement P;
+  P.NumExprs = LP.numExprs();
+  P.Delete.assign(Fn.numBlocks(), BitVector(LP.numExprs()));
+  P.Save.assign(Fn.numBlocks(), BitVector(LP.numExprs()));
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    P.Delete[B] = LP.antloc(B);
+    P.Delete[B] &= Avail.In[B];
+  }
+
+  TempLivenessResult Live = computeTempLiveness(
+      Fn, Edges, LP, P.Delete, /*EdgeInserts=*/{}, /*NodeInserts=*/{});
+  P.Save = computeSaves(LP, P.Delete, Live);
+  return P;
+}
+
+ApplyReport lcm::runGlobalCse(Function &Fn) {
+  CfgEdges Edges(Fn);
+  PrePlacement P = computeGlobalCse(Fn, Edges);
+  return applyPlacement(Fn, Edges, P);
+}

@@ -1,0 +1,35 @@
+//===- baseline/GlobalCse.h - Full-redundancy elimination baseline -------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global common-subexpression elimination: removes only *fully* redundant
+/// computations (available on every incoming path), inserting nothing.
+/// This is the pre-PRE state of the art the paper's introduction contrasts
+/// against — it misses every partial redundancy and every loop invariant.
+///
+///   DELETE[n] = ANTLOC[n] & AVIN[n]
+///
+/// with saves derived from the shared isolation liveness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_BASELINE_GLOBALCSE_H
+#define LCM_BASELINE_GLOBALCSE_H
+
+#include "core/Placement.h"
+
+namespace lcm {
+
+/// Computes the global-CSE placement for \p Fn.
+PrePlacement computeGlobalCse(const Function &Fn, const CfgEdges &Edges);
+
+/// Analysis + rewrite in one call.
+ApplyReport runGlobalCse(Function &Fn);
+
+} // namespace lcm
+
+#endif // LCM_BASELINE_GLOBALCSE_H

@@ -1,0 +1,85 @@
+//===- baseline/Licm.cpp ---------------------------------------------------===//
+
+#include "baseline/Licm.h"
+
+#include <algorithm>
+
+#include "analysis/ExprDataflow.h"
+#include "graph/Dominators.h"
+#include "graph/Loops.h"
+
+using namespace lcm;
+
+LicmReport lcm::runLicm(Function &Fn, LicmMode Mode) {
+  LicmReport Report;
+
+  Dominators Dom(Fn);
+  LoopForest Forest(Fn, Dom);
+
+  // Down-safety at block entry, for SafeOnly mode (computed once on the
+  // original function; hoisting only removes computations from the loop
+  // body after the check, which cannot invalidate anticipability of the
+  // remaining candidates at the preheader's position).
+  LocalProperties LP(Fn);
+  DataflowResult Ant = computeAnticipability(Fn, LP);
+
+  // Innermost-first: ascending body size.
+  std::vector<size_t> LoopOrder(Forest.loops().size());
+  for (size_t I = 0; I != LoopOrder.size(); ++I)
+    LoopOrder[I] = I;
+  std::sort(LoopOrder.begin(), LoopOrder.end(), [&Forest](size_t A, size_t B) {
+    if (Forest.loops()[A].Body.size() != Forest.loops()[B].Body.size())
+      return Forest.loops()[A].Body.size() < Forest.loops()[B].Body.size();
+    return Forest.loops()[A].Header < Forest.loops()[B].Header;
+  });
+
+  for (size_t LI : LoopOrder) {
+    const Loop &L = Forest.loops()[LI];
+    ++Report.LoopsProcessed;
+
+    // Variables assigned anywhere in the loop (per current code).
+    std::vector<bool> DefinedInLoop(Fn.numVars(), false);
+    for (BlockId B : L.Body)
+      for (const Instr &I : Fn.block(B).instrs())
+        DefinedInLoop[I.dest()] = true;
+
+    // Invariant candidate expressions occurring in the loop.
+    std::vector<ExprId> Candidates;
+    std::vector<bool> Seen(Fn.exprs().size(), false);
+    for (BlockId B : L.Body) {
+      for (const Instr &I : Fn.block(B).instrs()) {
+        if (!I.isOperation() || Seen[I.exprId()])
+          continue;
+        Seen[I.exprId()] = true;
+        bool Invariant = true;
+        for (VarId V : Fn.exprs().varsRead(I.exprId()))
+          Invariant &= !DefinedInLoop[V];
+        if (!Invariant)
+          continue;
+        if (Mode == LicmMode::SafeOnly &&
+            (I.exprId() >= Ant.In[L.Header].size() ||
+             !Ant.In[L.Header].test(I.exprId())))
+          continue;
+        Candidates.push_back(I.exprId());
+      }
+    }
+    if (Candidates.empty())
+      continue;
+
+    BlockId Pre = ensureLoopPreheader(Fn, L, &Report.PreheadersCreated);
+    for (ExprId E : Candidates) {
+      VarId H = Fn.addTempVar("li");
+      Fn.block(Pre).instrs().push_back(Instr::makeOperation(H, E));
+      ++Report.HoistedExprs;
+      for (BlockId B : L.Body) {
+        for (Instr &I : Fn.block(B).instrs()) {
+          if (I.isOperation() && I.exprId() == E) {
+            I = Instr::makeCopy(I.dest(), Operand::makeVar(H));
+            ++Report.RewrittenOccurrences;
+          }
+        }
+      }
+    }
+  }
+  return Report;
+}

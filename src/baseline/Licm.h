@@ -1,0 +1,54 @@
+//===- baseline/Licm.h - Loop-invariant code motion baseline -------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic hoist-to-preheader loop-invariant code motion.  LCM subsumes it:
+/// every down-safe invariant is moved by LCM automatically, while plain
+/// LICM must either *speculate* (hoist an expression the loop may never
+/// evaluate — this implementation's Speculative mode, well-defined here
+/// only because expression semantics are total) or restrict itself to
+/// anticipated expressions (SafeOnly mode, which checks down-safety at the
+/// loop header like the paper's safety criterion).
+///
+/// One pass, innermost loops first.  Each processed loop gets a preheader
+/// block; invariant operations (every variable operand unassigned anywhere
+/// in the loop) are computed into a temp there and their occurrences in the
+/// loop body become copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_BASELINE_LICM_H
+#define LCM_BASELINE_LICM_H
+
+#include <cstdint>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Hoisting policy.
+enum class LicmMode {
+  /// Hoist every invariant computation, even if no path executes it.
+  Speculative,
+  /// Hoist only expressions anticipated on entry to the loop header.
+  SafeOnly,
+};
+
+/// Outcome counters for one LICM run.
+struct LicmReport {
+  uint64_t LoopsProcessed = 0;
+  uint64_t PreheadersCreated = 0;
+  uint64_t HoistedExprs = 0;
+  uint64_t RewrittenOccurrences = 0;
+};
+
+/// Runs LICM over \p Fn in place.
+LicmReport runLicm(Function &Fn, LicmMode Mode);
+
+} // namespace lcm
+
+#endif // LCM_BASELINE_LICM_H

@@ -1,0 +1,58 @@
+//===- baseline/MorelRenvoise.h - The 1979 bidirectional PRE baseline ----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Morel & Renvoise's original PRE (CACM 1979), the algorithm Lazy Code
+/// Motion was designed to supersede.  It couples forward and backward
+/// information in one *bidirectional* "placement possible" system:
+///
+///   PPIN[n]  = PAVIN[n]
+///            & (ANTLOC[n] | (TRANSP[n] & PPOUT[n]))
+///            & AND over preds p of (PPOUT[p] | AVOUT[p])      (entry: 0)
+///   PPOUT[n] = AND over succs s of PPIN[s]                     (exit: 0)
+///
+/// solved as a greatest fixpoint by round-robin iteration.  Insertions go
+/// at node exits:
+///
+///   INSERT[n] = PPOUT[n] & ~AVOUT[n] & (~PPIN[n] | ~TRANSP[n])
+///   DELETE[n] = ANTLOC[n] & PPIN[n]
+///
+/// Relative to LCM it (a) needs a bidirectional solver — measurably more
+/// iterations (experiment T3); (b) misses motion blocked by critical edges
+/// because it cannot insert on edges (experiment T1); and (c) performs
+/// redundant motion that lengthens temp lifetimes (experiment T2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_BASELINE_MORELRENVOISE_H
+#define LCM_BASELINE_MORELRENVOISE_H
+
+#include "analysis/LocalProperties.h"
+#include "core/Placement.h"
+#include "dataflow/Dataflow.h"
+
+namespace lcm {
+
+/// The Morel–Renvoise analysis facts plus the derived placement.
+struct MorelRenvoiseResult {
+  std::vector<BitVector> PpIn;
+  std::vector<BitVector> PpOut;
+  PrePlacement Placement;
+  /// Bidirectional solver cost (passes over the CFG, word ops).
+  SolverStats Stats;
+};
+
+/// Runs the analysis on \p Fn.
+MorelRenvoiseResult computeMorelRenvoise(const Function &Fn,
+                                         const CfgEdges &Edges);
+
+/// Analysis + rewrite in one call.
+ApplyReport runMorelRenvoise(Function &Fn);
+
+} // namespace lcm
+
+#endif // LCM_BASELINE_MORELRENVOISE_H

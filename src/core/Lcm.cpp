@@ -1,0 +1,161 @@
+//===- core/Lcm.cpp --------------------------------------------------------===//
+
+#include "core/Lcm.h"
+
+#include "analysis/TempLiveness.h"
+#include "graph/Dfs.h"
+#include "support/Stats.h"
+
+using namespace lcm;
+
+const char *lcm::preStrategyName(PreStrategy S) {
+  switch (S) {
+  case PreStrategy::Busy:
+    return "BCM";
+  case PreStrategy::AlmostLazy:
+    return "ALCM";
+  case PreStrategy::Lazy:
+    return "LCM";
+  }
+  return "?";
+}
+
+LazyCodeMotion::LazyCodeMotion(const Function &Fn, const CfgEdges &Edges,
+                               const LocalProperties &LP)
+    : Fn(Fn), Edges(Edges), LP(LP), Avail(computeAvailability(Fn, LP)),
+      Ant(computeAnticipability(Fn, LP)) {
+  computeEarliest();
+  computeLater();
+}
+
+void LazyCodeMotion::computeEarliest() {
+  const size_t Universe = LP.numExprs();
+  Earliest.assign(Edges.numEdges(), BitVector(Universe));
+  for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
+    const CfgEdge &Edge = Edges.edge(E);
+    // EARLIEST = ANTIN[j] & ~AVOUT[i] & (~TRANSP[i] | ~ANTOUT[i]).
+    // The last factor expresses "i cannot host the value itself": either i
+    // kills the expression, or insertion at i's exit would be unsafe on
+    // some other path out of i.  Edges out of the entry omit it: nothing
+    // can be moved above the entry.
+    BitVector V = Ant.In[Edge.To];
+    V.andNot(Avail.Out[Edge.From]);
+    if (Edge.From != Fn.entry()) {
+      BitVector Blocked = complement(LP.transp(Edge.From));
+      Blocked |= complement(Ant.Out[Edge.From]);
+      V &= Blocked;
+    }
+    Earliest[E] = std::move(V);
+  }
+}
+
+void LazyCodeMotion::computeLater() {
+  const size_t Universe = LP.numExprs();
+  const uint64_t OpsBefore = BitVectorOps::snapshot();
+
+  // Greatest fixpoint: interior initialized to all-ones, the entry to the
+  // empty set (insertions can never be postponed past the entry's start).
+  LaterIn.assign(Fn.numBlocks(), BitVector(Universe, true));
+  LaterIn[Fn.entry()].resetAll();
+
+  const std::vector<BlockId> Rpo = reversePostOrder(Fn);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++LaterStatsVal.Passes;
+    for (BlockId B : Rpo) {
+      ++LaterStatsVal.NodeVisits;
+      if (B == Fn.entry())
+        continue;
+      BitVector NewIn(Universe, true);
+      for (EdgeId E : Edges.inEdges(B)) {
+        const CfgEdge &Edge = Edges.edge(E);
+        // LATER[(i,B)] = EARLIEST[(i,B)] | (LATERIN[i] & ~ANTLOC[i]).
+        BitVector Along = LaterIn[Edge.From];
+        Along.andNot(LP.antloc(Edge.From));
+        Along |= Earliest[E];
+        NewIn &= Along;
+      }
+      if (NewIn != LaterIn[B]) {
+        LaterIn[B] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+
+  // Materialize the per-edge LATER facts from the converged LATERIN.
+  Later.assign(Edges.numEdges(), BitVector(Universe));
+  for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
+    const CfgEdge &Edge = Edges.edge(E);
+    BitVector V = LaterIn[Edge.From];
+    V.andNot(LP.antloc(Edge.From));
+    V |= Earliest[E];
+    Later[E] = std::move(V);
+  }
+
+  LaterStatsVal.WordOps = BitVectorOps::snapshot() - OpsBefore;
+  Stats::bump("lcm.later.passes", LaterStatsVal.Passes);
+}
+
+PrePlacement LazyCodeMotion::placement(PreStrategy S) const {
+  const size_t Universe = LP.numExprs();
+  PrePlacement P;
+  P.NumExprs = Universe;
+  P.InsertEdge.assign(Edges.numEdges(), BitVector(Universe));
+  P.Delete.assign(Fn.numBlocks(), BitVector(Universe));
+  P.Save.assign(Fn.numBlocks(), BitVector(Universe));
+
+  if (S == PreStrategy::Busy) {
+    // Insert at the earliest frontier; every upward-exposed computation
+    // (except in the entry, above which nothing exists) becomes redundant.
+    P.InsertEdge = Earliest;
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B)
+      if (B != Fn.entry())
+        P.Delete[B] = LP.antloc(B);
+  } else {
+    // Lazy placements: INSERT = LATER & ~LATERIN, DELETE = ANTLOC & ~LATERIN.
+    for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
+      BitVector V = Later[E];
+      V.andNot(LaterIn[Edges.edge(E).To]);
+      P.InsertEdge[E] = std::move(V);
+    }
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      if (B == Fn.entry())
+        continue;
+      BitVector V = LP.antloc(B);
+      V.andNot(LaterIn[B]);
+      P.Delete[B] = std::move(V);
+    }
+  }
+
+  if (S == PreStrategy::AlmostLazy) {
+    // No isolation pruning: every kept downward-exposed computation saves.
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      BitVector DeletedHere = P.Delete[B];
+      DeletedHere &= LP.transp(B);
+      P.Save[B] = LP.comp(B);
+      P.Save[B].andNot(DeletedHere);
+    }
+    IsolationStatsVal = SolverStats{};
+  } else {
+    TempLivenessResult Live = computeTempLiveness(
+        Fn, Edges, LP, P.Delete, P.InsertEdge, /*NodeInserts=*/{});
+    P.Save = computeSaves(LP, P.Delete, Live);
+    IsolationStatsVal = Live.Stats;
+  }
+  return P;
+}
+
+PreRunResult lcm::runPre(Function &Fn, PreStrategy S) {
+  CfgEdges Edges(Fn);
+  LocalProperties LP(Fn);
+  LazyCodeMotion Engine(Fn, Edges, LP);
+  PreRunResult R;
+  R.Placement = Engine.placement(S);
+  R.AvailStats = Engine.availStats();
+  R.AntStats = Engine.antStats();
+  R.LaterStats = Engine.laterStats();
+  R.IsolationStats = Engine.isolationStats();
+  R.Report = applyPlacement(Fn, Edges, R.Placement);
+  return R;
+}

@@ -1,0 +1,121 @@
+//===- core/Lcm.h - Lazy Code Motion (Knoop/Ruething/Steffen, PLDI'92) ---===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's algorithm.  Given local predicates, four unidirectional
+/// bit-vector analyses produce a provably computationally- and
+/// lifetime-optimal PRE placement:
+///
+/// 1. availability (up-safety) and anticipability (down-safety);
+/// 2. the derived *earliest* edge frontier
+///      EARLIEST[(i,j)] = ANTIN[j] & ~AVOUT[i] & (~TRANSP[i] | ~ANTOUT[i])
+///    (Busy Code Motion inserts exactly there);
+/// 3. the *later* system, which delays earliest insertions downward as long
+///    as no use intervenes
+///      LATERIN[j]   = AND over in-edges of LATER[(i,j)]   (entry: empty)
+///      LATER[(i,j)] = EARLIEST[(i,j)] | (LATERIN[i] & ~ANTLOC[i])
+///    yielding INSERT[(i,j)] = LATER[(i,j)] & ~LATERIN[j] and
+///    DELETE[n] = ANTLOC[n] & ~LATERIN[n];
+/// 4. isolation, realized as liveness of the temporaries (TempLiveness),
+///    which prunes save points whose value no replaced computation uses.
+///
+/// This is the edge-placement formulation (Drechsler & Stadel's variation
+/// of the paper's equations, also used by GCC and Machine SUIF); the
+/// single-instruction-node engine in SingleInstr.h re-runs the same system
+/// at the paper's original node granularity for cross-validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_CORE_LCM_H
+#define LCM_CORE_LCM_H
+
+#include "analysis/ExprDataflow.h"
+#include "analysis/LocalProperties.h"
+#include "core/Placement.h"
+#include "graph/CfgEdges.h"
+
+namespace lcm {
+
+/// Which of the paper's transformations to compute.
+enum class PreStrategy {
+  /// Busy Code Motion: insert at the earliest (safest-soonest) points.
+  /// Computationally optimal; maximal temp lifetimes.
+  Busy,
+  /// LCM without the isolation pruning: same insertions and deletions as
+  /// Lazy, but every kept downward-exposed computation saves its temp.
+  AlmostLazy,
+  /// Full Lazy Code Motion: computationally and lifetime optimal.
+  Lazy,
+};
+
+const char *preStrategyName(PreStrategy S);
+
+/// Runs the paper's analyses over one function snapshot and derives
+/// placements.  The object retains every intermediate fact so tests and the
+/// figure benches can inspect them.
+class LazyCodeMotion {
+public:
+  LazyCodeMotion(const Function &Fn, const CfgEdges &Edges,
+                 const LocalProperties &LP);
+
+  //===--- Intermediate facts --------------------------------------------===
+
+  const BitVector &avIn(BlockId B) const { return Avail.In[B]; }
+  const BitVector &avOut(BlockId B) const { return Avail.Out[B]; }
+  const BitVector &antIn(BlockId B) const { return Ant.In[B]; }
+  const BitVector &antOut(BlockId B) const { return Ant.Out[B]; }
+  const BitVector &earliest(EdgeId E) const { return Earliest[E]; }
+  const BitVector &later(EdgeId E) const { return Later[E]; }
+  const BitVector &laterIn(BlockId B) const { return LaterIn[B]; }
+
+  //===--- Placements ----------------------------------------------------===
+
+  /// Derives the full placement for \p S, including the save set (which for
+  /// Busy/Lazy runs the isolation liveness, and for AlmostLazy does not).
+  PrePlacement placement(PreStrategy S) const;
+
+  //===--- Instrumentation ------------------------------------------------===
+
+  const SolverStats &availStats() const { return Avail.Stats; }
+  const SolverStats &antStats() const { return Ant.Stats; }
+  const SolverStats &laterStats() const { return LaterStatsVal; }
+  /// Stats of the most recent isolation liveness run (placement() fills it).
+  const SolverStats &isolationStats() const { return IsolationStatsVal; }
+
+private:
+  const Function &Fn;
+  const CfgEdges &Edges;
+  const LocalProperties &LP;
+
+  DataflowResult Avail;
+  DataflowResult Ant;
+  std::vector<BitVector> Earliest; ///< per EdgeId
+  std::vector<BitVector> Later;    ///< per EdgeId
+  std::vector<BitVector> LaterIn;  ///< per BlockId
+  SolverStats LaterStatsVal;
+  mutable SolverStats IsolationStatsVal;
+
+  void computeEarliest();
+  void computeLater();
+};
+
+/// One-call convenience pipeline: analyze \p Fn, derive the placement for
+/// \p S, and rewrite \p Fn in place.
+struct PreRunResult {
+  PrePlacement Placement;
+  ApplyReport Report;
+  SolverStats AvailStats;
+  SolverStats AntStats;
+  SolverStats LaterStats;
+  SolverStats IsolationStats;
+};
+
+PreRunResult runPre(Function &Fn, PreStrategy S);
+
+} // namespace lcm
+
+#endif // LCM_CORE_LCM_H

@@ -1,0 +1,69 @@
+//===- core/LocalCse.cpp ---------------------------------------------------===//
+
+#include "core/LocalCse.h"
+
+#include <map>
+#include <set>
+
+#include "support/BitVector.h"
+
+using namespace lcm;
+
+uint64_t lcm::runLocalCse(Function &Fn) {
+  uint64_t Replaced = 0;
+  const ExprPool &Pool = Fn.exprs();
+  const size_t Universe = Pool.size();
+
+  for (BasicBlock &B : Fn.blocks()) {
+    auto &Instrs = B.instrs();
+
+    // Pass 1: find the expressions recomputed while still available
+    // (operands unkilled since an earlier computation).  These need a
+    // holder temp: the original destination may itself be overwritten.
+    BitVector Avail(Universe);
+    std::set<ExprId> Reused;
+    for (const Instr &I : Instrs) {
+      if (I.isOperation() && Avail.test(I.exprId()))
+        Reused.insert(I.exprId());
+      Avail.andNot(Pool.exprsReadingVar(I.dest()));
+      if (I.isOperation() && !Pool.reads(I.exprId(), I.dest()))
+        Avail.set(I.exprId());
+    }
+    if (Reused.empty())
+      continue;
+
+    // Pass 2: compute each reused expression into a block-local temp at
+    // its defining occurrences and copy from the temp at reuses.
+    std::map<ExprId, VarId> TempOf;
+    auto tempFor = [&](ExprId E) {
+      auto [It, New] = TempOf.try_emplace(E, InvalidVar);
+      if (New)
+        It->second = Fn.addTempVar("cse");
+      return It->second;
+    };
+
+    std::vector<Instr> NewInstrs;
+    NewInstrs.reserve(Instrs.size() + Reused.size());
+    Avail.resetAll();
+    for (const Instr &I : Instrs) {
+      if (I.isOperation() && Reused.count(I.exprId())) {
+        ExprId E = I.exprId();
+        VarId T = tempFor(E);
+        if (Avail.test(E)) {
+          NewInstrs.push_back(Instr::makeCopy(I.dest(), Operand::makeVar(T)));
+          ++Replaced;
+        } else {
+          NewInstrs.push_back(Instr::makeOperation(T, E));
+          NewInstrs.push_back(Instr::makeCopy(I.dest(), Operand::makeVar(T)));
+        }
+      } else {
+        NewInstrs.push_back(I);
+      }
+      Avail.andNot(Pool.exprsReadingVar(I.dest()));
+      if (I.isOperation() && !Pool.reads(I.exprId(), I.dest()))
+        Avail.set(I.exprId());
+    }
+    Instrs = std::move(NewInstrs);
+  }
+  return Replaced;
+}

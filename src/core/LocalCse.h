@@ -1,0 +1,37 @@
+//===- core/LocalCse.h - Local common subexpression elimination ----------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper assumes programs are *locally* optimized before PRE runs: "as
+/// is customary, we assume that local common subexpression elimination has
+/// already been applied".  This pass establishes that precondition: within
+/// each block, a recomputation of an expression whose value is still held
+/// in a variable becomes a copy from that variable.
+///
+/// After this pass, a block evaluates each expression at most once between
+/// kills, which is exactly when block-granularity local predicates
+/// (ANTLOC/COMP) carry full information — and when the block- and
+/// node-granularity LCM engines coincide (experiment T5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_CORE_LOCALCSE_H
+#define LCM_CORE_LOCALCSE_H
+
+#include <cstdint>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Rewrites \p Fn in place; returns the number of computations replaced by
+/// copies.
+uint64_t runLocalCse(Function &Fn);
+
+} // namespace lcm
+
+#endif // LCM_CORE_LOCALCSE_H

@@ -1,0 +1,56 @@
+//===- core/SingleInstr.cpp ------------------------------------------------===//
+
+#include "core/SingleInstr.h"
+
+using namespace lcm;
+
+Function lcm::expandToSingleInstructionNodes(const Function &Fn) {
+  Function Out(Fn.name() + ".x1");
+
+  // Preserve variable ids by registering names in id order.
+  for (VarId V = 0; V != Fn.numVars(); ++V) {
+    VarId NewV = Out.getOrAddVar(Fn.varName(V));
+    (void)NewV;
+    assert(NewV == V && "variable ids must be preserved");
+  }
+
+  // Build one chain per original block.
+  std::vector<BlockId> FirstNode(Fn.numBlocks());
+  std::vector<BlockId> LastNode(Fn.numBlocks());
+  for (const BasicBlock &B : Fn.blocks()) {
+    const auto &Instrs = B.instrs();
+    BlockId Prev = InvalidBlock;
+    size_t NumNodes = Instrs.empty() ? 1 : Instrs.size();
+    for (size_t I = 0; I != NumNodes; ++I) {
+      BlockId Node =
+          Out.addBlock(B.label() + "." + std::to_string(I));
+      if (I < Instrs.size()) {
+        const Instr &In = Instrs[I];
+        if (In.isOperation()) {
+          // Re-intern the expression into the new pool.
+          ExprId E = Out.exprs().intern(Fn.exprs().expr(In.exprId()));
+          Out.block(Node).instrs().push_back(
+              Instr::makeOperation(In.dest(), E));
+        } else {
+          Out.block(Node).instrs().push_back(In);
+        }
+      }
+      if (Prev != InvalidBlock)
+        Out.addEdge(Prev, Node);
+      else
+        FirstNode[B.id()] = Node;
+      Prev = Node;
+    }
+    LastNode[B.id()] = Prev;
+  }
+
+  // Carry over edges and branch conditions onto the chain endpoints.
+  for (const BasicBlock &B : Fn.blocks()) {
+    for (BlockId S : B.succs())
+      Out.addEdge(LastNode[B.id()], FirstNode[S]);
+    Out.block(LastNode[B.id()]).setCondVar(B.condVar());
+  }
+
+  Out.setEntry(FirstNode[Fn.entry()]);
+  return Out;
+}

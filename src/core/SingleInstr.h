@@ -1,0 +1,37 @@
+//===- core/SingleInstr.h - The paper's single-instruction-node model ----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PLDI'92 states its equations over flow graphs whose nodes carry a single
+/// statement; basic-block granularity is the engineering refinement.  This
+/// file expands a function into that node-per-instruction form (each block
+/// becomes a chain; empty blocks become one empty node; edges and branch
+/// conditions carry over).  Running the same analyses on the expanded graph
+/// realizes the paper's original formulation, and the equivalence tests
+/// check that block- and node-granularity LCM produce behaviourally
+/// identical optimizations (same residual computation counts, same
+/// semantics) — the cross-validation this reproduction uses in place of the
+/// paper's hand proofs.
+///
+/// Variable ids are preserved, so interpreter states of the original and
+/// expanded programs are directly comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_CORE_SINGLEINSTR_H
+#define LCM_CORE_SINGLEINSTR_H
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Expands \p Fn so every block holds at most one instruction.
+Function expandToSingleInstructionNodes(const Function &Fn);
+
+} // namespace lcm
+
+#endif // LCM_CORE_SINGLEINSTR_H

@@ -1,0 +1,169 @@
+//===- dataflow/Dataflow.cpp -----------------------------------------------===//
+
+#include "dataflow/Dataflow.h"
+
+#include "graph/Dfs.h"
+#include "support/Stats.h"
+
+using namespace lcm;
+
+namespace {
+
+/// Applies Out = Gen | (In & ~Kill) into \p Dst; returns true if changed.
+bool applyTransfer(const GenKill &T, const BitVector &In, BitVector &Dst) {
+  BitVector New = In;
+  New.andNot(T.Kill);
+  New |= T.Gen;
+  if (New == Dst)
+    return false;
+  Dst = std::move(New);
+  return true;
+}
+
+/// Meets \p Src into \p Acc.
+void meetInto(BitVector &Acc, const BitVector &Src, Meet M) {
+  if (M == Meet::Intersection)
+    Acc &= Src;
+  else
+    Acc |= Src;
+}
+
+} // namespace
+
+DataflowResult lcm::solveGenKill(const Function &Fn, Direction Dir, Meet M,
+                                 const std::vector<GenKill> &Transfers,
+                                 const BitVector &Boundary) {
+  assert(Transfers.size() == Fn.numBlocks() && "one transfer per block");
+  const size_t Universe = Boundary.size();
+  const uint64_t OpsBefore = BitVectorOps::snapshot();
+
+  DataflowResult R;
+  const bool Neutral = (M == Meet::Intersection);
+  R.In.assign(Fn.numBlocks(), BitVector(Universe, Neutral));
+  R.Out.assign(Fn.numBlocks(), BitVector(Universe, Neutral));
+
+  const std::vector<BlockId> Order =
+      Dir == Direction::Forward ? reversePostOrder(Fn) : postOrder(Fn);
+  const BlockId BoundaryBlock =
+      Dir == Direction::Forward ? Fn.entry() : Fn.exit();
+
+  if (Dir == Direction::Forward)
+    R.In[BoundaryBlock] = Boundary;
+  else
+    R.Out[BoundaryBlock] = Boundary;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++R.Stats.Passes;
+    for (BlockId B : Order) {
+      ++R.Stats.NodeVisits;
+      if (Dir == Direction::Forward) {
+        if (B != BoundaryBlock) {
+          BitVector NewIn(Universe, Neutral);
+          for (BlockId P : Fn.block(B).preds())
+            meetInto(NewIn, R.Out[P], M);
+          R.In[B] = std::move(NewIn);
+        }
+        Changed |= applyTransfer(Transfers[B], R.In[B], R.Out[B]);
+      } else {
+        if (B != BoundaryBlock) {
+          BitVector NewOut(Universe, Neutral);
+          for (BlockId S : Fn.block(B).succs())
+            meetInto(NewOut, R.In[S], M);
+          R.Out[B] = std::move(NewOut);
+        }
+        Changed |= applyTransfer(Transfers[B], R.Out[B], R.In[B]);
+      }
+    }
+  }
+
+  R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
+  Stats::bump("dataflow.solves");
+  Stats::bump("dataflow.passes", R.Stats.Passes);
+  return R;
+}
+
+DataflowResult lcm::solveGenKillWorklist(const Function &Fn, Direction Dir,
+                                         Meet M,
+                                         const std::vector<GenKill> &Transfers,
+                                         const BitVector &Boundary) {
+  assert(Transfers.size() == Fn.numBlocks() && "one transfer per block");
+  const size_t Universe = Boundary.size();
+  const uint64_t OpsBefore = BitVectorOps::snapshot();
+
+  DataflowResult R;
+  const bool Neutral = (M == Meet::Intersection);
+  R.In.assign(Fn.numBlocks(), BitVector(Universe, Neutral));
+  R.Out.assign(Fn.numBlocks(), BitVector(Universe, Neutral));
+
+  const std::vector<BlockId> Order =
+      Dir == Direction::Forward ? reversePostOrder(Fn) : postOrder(Fn);
+  const BlockId BoundaryBlock =
+      Dir == Direction::Forward ? Fn.entry() : Fn.exit();
+  if (Dir == Direction::Forward)
+    R.In[BoundaryBlock] = Boundary;
+  else
+    R.Out[BoundaryBlock] = Boundary;
+
+  // FIFO worklist seeded in iteration order; OnList dedups membership.
+  std::vector<BlockId> Queue(Order);
+  std::vector<bool> OnList(Fn.numBlocks(), true);
+  size_t Head = 0;
+  auto push = [&Queue, &OnList](BlockId B) {
+    if (!OnList[B]) {
+      OnList[B] = true;
+      Queue.push_back(B);
+    }
+  };
+
+  while (Head != Queue.size()) {
+    BlockId B = Queue[Head++];
+    OnList[B] = false;
+    ++R.Stats.NodeVisits;
+
+    if (Dir == Direction::Forward) {
+      if (B != BoundaryBlock) {
+        BitVector NewIn(Universe, Neutral);
+        for (BlockId P : Fn.block(B).preds()) {
+          if (M == Meet::Intersection)
+            NewIn &= R.Out[P];
+          else
+            NewIn |= R.Out[P];
+        }
+        R.In[B] = std::move(NewIn);
+      }
+      BitVector NewOut = R.In[B];
+      NewOut.andNot(Transfers[B].Kill);
+      NewOut |= Transfers[B].Gen;
+      if (NewOut != R.Out[B]) {
+        R.Out[B] = std::move(NewOut);
+        for (BlockId S : Fn.block(B).succs())
+          push(S);
+      }
+    } else {
+      if (B != BoundaryBlock) {
+        BitVector NewOut(Universe, Neutral);
+        for (BlockId S : Fn.block(B).succs()) {
+          if (M == Meet::Intersection)
+            NewOut &= R.In[S];
+          else
+            NewOut |= R.In[S];
+        }
+        R.Out[B] = std::move(NewOut);
+      }
+      BitVector NewIn = R.Out[B];
+      NewIn.andNot(Transfers[B].Kill);
+      NewIn |= Transfers[B].Gen;
+      if (NewIn != R.In[B]) {
+        R.In[B] = std::move(NewIn);
+        for (BlockId P : Fn.block(B).preds())
+          push(P);
+      }
+    }
+  }
+
+  R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
+  Stats::bump("dataflow.worklist.solves");
+  return R;
+}

@@ -1,0 +1,159 @@
+//===- driver/Pipeline.cpp -------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <cctype>
+#include <map>
+
+#include "baseline/Canonicalize.h"
+#include "baseline/Cleanup.h"
+#include "baseline/ConstantFolding.h"
+#include "baseline/GlobalCse.h"
+#include "baseline/Licm.h"
+#include "baseline/MorelRenvoise.h"
+#include "core/Lcm.h"
+#include "core/LocalCse.h"
+#include "ext/StrengthReduction.h"
+#include "ir/Verifier.h"
+
+using namespace lcm;
+
+Pipeline &Pipeline::add(std::string Name, PassFn Pass) {
+  Steps.push_back({std::move(Name), std::move(Pass)});
+  return *this;
+}
+
+Pipeline::RunResult Pipeline::run(Function &Fn) const {
+  RunResult R;
+  for (const Step &S : Steps) {
+    StepResult SR;
+    SR.Name = S.Name;
+    SR.Changes = S.Pass(Fn);
+    R.Steps.push_back(SR);
+    std::vector<std::string> Errors = verifyFunction(Fn);
+    if (!Errors.empty()) {
+      R.Ok = false;
+      R.Error = "pass " + S.Name + ": " + Errors.front();
+      return R;
+    }
+  }
+  return R;
+}
+
+namespace {
+
+uint64_t preChanges(const PreRunResult &R) {
+  return R.Report.EdgeInsertions + R.Report.NodeInsertions +
+         R.Report.Replacements + R.Report.Saves;
+}
+
+const std::map<std::string, PassFn> &registry() {
+  static const std::map<std::string, PassFn> Registry = {
+      {"canon", [](Function &F) { return canonicalizeCommutative(F); }},
+      {"lcse", [](Function &F) { return runLocalCse(F); }},
+      {"constfold",
+       [](Function &F) {
+         ConstantFoldingReport R = runConstantFolding(F);
+         return R.OperandsPropagated + R.OpsFolded + R.OpsSimplified;
+       }},
+      {"lcm",
+       [](Function &F) { return preChanges(runPre(F, PreStrategy::Lazy)); }},
+      {"bcm",
+       [](Function &F) { return preChanges(runPre(F, PreStrategy::Busy)); }},
+      {"alcm",
+       [](Function &F) {
+         return preChanges(runPre(F, PreStrategy::AlmostLazy));
+       }},
+      {"sized-lcm",
+       [](Function &F) {
+         CfgEdges Edges(F);
+         LocalProperties LP(F);
+         LazyCodeMotion Engine(F, Edges, LP);
+         PrePlacement P = filterPlacementForCodeSize(
+             Engine.placement(PreStrategy::Lazy));
+         ApplyReport R = applyPlacement(F, Edges, P);
+         return R.EdgeInsertions + R.Replacements + R.Saves;
+       }},
+      {"cse",
+       [](Function &F) {
+         ApplyReport R = runGlobalCse(F);
+         return R.Replacements + R.Saves;
+       }},
+      {"mr",
+       [](Function &F) {
+         ApplyReport R = runMorelRenvoise(F);
+         return R.NodeInsertions + R.Replacements + R.Saves;
+       }},
+      {"licm",
+       [](Function &F) {
+         LicmReport R = runLicm(F, LicmMode::Speculative);
+         return R.HoistedExprs + R.RewrittenOccurrences;
+       }},
+      {"licm-safe",
+       [](Function &F) {
+         LicmReport R = runLicm(F, LicmMode::SafeOnly);
+         return R.HoistedExprs + R.RewrittenOccurrences;
+       }},
+      {"sr",
+       [](Function &F) {
+         StrengthReductionReport R = runStrengthReduction(F);
+         return R.CandidatesReduced + R.OccurrencesRewritten;
+       }},
+      {"copyprop", [](Function &F) { return propagateCopies(F); }},
+      {"dce",
+       [](Function &F) {
+         return eliminateDeadCode(F, CleanupOptions{}).InstrsRemoved;
+       }},
+      {"cleanup",
+       [](Function &F) {
+         CleanupReport R = runCleanup(F, CleanupOptions{});
+         return R.CopiesPropagated + R.InstrsRemoved;
+       }},
+  };
+  return Registry;
+}
+
+} // namespace
+
+std::vector<std::string> lcm::standardPassNames() {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Pass] : registry())
+    Names.push_back(Name);
+  return Names;
+}
+
+PassFn lcm::lookupStandardPass(const std::string &Name) {
+  auto It = registry().find(Name);
+  return It == registry().end() ? PassFn() : It->second;
+}
+
+PipelineParse lcm::parsePipeline(const std::string &Spec) {
+  PipelineParse Result;
+  std::string Current;
+  std::vector<std::string> Names;
+  for (char C : Spec + ",") {
+    if (C == ',') {
+      if (!Current.empty()) {
+        Names.push_back(Current);
+        Current.clear();
+      }
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      Current.push_back(C);
+  }
+  if (Names.empty()) {
+    Result.Error = "empty pipeline";
+    return Result;
+  }
+  for (const std::string &Name : Names) {
+    PassFn Pass = lookupStandardPass(Name);
+    if (!Pass) {
+      Result.Error = "unknown pass '" + Name + "'";
+      return Result;
+    }
+    Result.P.add(Name, std::move(Pass));
+  }
+  Result.Ok = true;
+  return Result;
+}

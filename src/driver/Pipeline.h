@@ -1,0 +1,100 @@
+//===- driver/Pipeline.h - Named pass pipelines over a Function ----------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal pass manager: an ordered list of named passes run over one
+/// function, with the structural verifier executed after every pass (a
+/// broken pass is reported by name instead of corrupting downstream
+/// passes).  A registry exposes every optimization in the repository under
+/// a stable name, and `parsePipeline("lcse,lcm,cleanup")` builds pipelines
+/// from the comma-separated syntax the optimize_tool example accepts.
+///
+/// Standard pass names:
+///   canon      commutative operand normalization (a+b == b+a)
+///   lcse       local common subexpression elimination (PRE precondition)
+///   constfold  local constant propagation/folding/simplification
+///   lcm        lazy code motion            (the paper)
+///   bcm        busy code motion            (the paper, no delay)
+///   alcm       almost-lazy code motion     (the paper, no isolation)
+///   sized-lcm  LCM with the code-size profitability filter
+///   cse        global full-redundancy elimination
+///   mr         Morel-Renvoise 1979 PRE
+///   licm       speculative loop-invariant code motion
+///   licm-safe  down-safe loop-invariant code motion
+///   sr         loop strength reduction
+///   copyprop   local copy propagation
+///   dce        dead code elimination (all variables observable)
+///   cleanup    copyprop + dce to a fixpoint
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_DRIVER_PIPELINE_H
+#define LCM_DRIVER_PIPELINE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// A pass: transforms the function, returns a rough "changes made" count
+/// (zero means the pass found nothing to do).
+using PassFn = std::function<uint64_t(Function &)>;
+
+/// An ordered, named pass sequence.
+class Pipeline {
+public:
+  Pipeline &add(std::string Name, PassFn Pass);
+
+  size_t size() const { return Steps.size(); }
+  const std::string &stepName(size_t I) const { return Steps[I].Name; }
+
+  struct StepResult {
+    std::string Name;
+    uint64_t Changes = 0;
+  };
+  struct RunResult {
+    bool Ok = true;
+    /// "pass NAME: first verifier error" when !Ok.
+    std::string Error;
+    std::vector<StepResult> Steps;
+  };
+
+  /// Runs every pass in order; verifies structural invariants after each
+  /// one and aborts the pipeline (reporting the offender) on violation.
+  RunResult run(Function &Fn) const;
+
+private:
+  struct Step {
+    std::string Name;
+    PassFn Pass;
+  };
+  std::vector<Step> Steps;
+};
+
+/// Names of all registered standard passes (sorted).
+std::vector<std::string> standardPassNames();
+
+/// Looks up a standard pass; empty function if unknown.
+PassFn lookupStandardPass(const std::string &Name);
+
+/// Builds a pipeline from "name,name,...".  Whitespace around names is
+/// ignored; unknown names produce an error.
+struct PipelineParse {
+  bool Ok = false;
+  std::string Error;
+  Pipeline P;
+
+  explicit operator bool() const { return Ok; }
+};
+PipelineParse parsePipeline(const std::string &Spec);
+
+} // namespace lcm
+
+#endif // LCM_DRIVER_PIPELINE_H

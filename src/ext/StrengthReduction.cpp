@@ -1,0 +1,183 @@
+//===- ext/StrengthReduction.cpp -------------------------------------------===//
+
+#include "ext/StrengthReduction.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "graph/Dominators.h"
+#include "graph/Loops.h"
+
+using namespace lcm;
+
+namespace {
+
+/// A recognized basic induction variable within one loop.
+struct InductionVar {
+  VarId Var;
+  int64_t Step; ///< Signed per-iteration delta.
+};
+
+/// Recognizes `i = i + c`, `i = c + i`, `i = i - c` and returns the step.
+std::optional<int64_t> matchIvUpdate(const Function &Fn, const Instr &I) {
+  if (!I.isOperation())
+    return std::nullopt;
+  const Expr &E = Fn.exprs().expr(I.exprId());
+  VarId Dest = I.dest();
+  if (E.Op == Opcode::Add) {
+    if (E.Lhs.isVar() && E.Lhs.var() == Dest && E.Rhs.isConst())
+      return E.Rhs.constVal();
+    if (E.Rhs.isVar() && E.Rhs.var() == Dest && E.Lhs.isConst())
+      return E.Lhs.constVal();
+  } else if (E.Op == Opcode::Sub) {
+    if (E.Lhs.isVar() && E.Lhs.var() == Dest && E.Rhs.isConst())
+      return int64_t(0 - uint64_t(E.Rhs.constVal()));
+  }
+  return std::nullopt;
+}
+
+/// Locates the unique update instruction of \p Iv within the loop body.
+/// Returns (block, index) — re-scanned before every insertion so earlier
+/// rewrites cannot stale the position.
+std::pair<BlockId, size_t> findIvUpdate(const Function &Fn, const Loop &L,
+                                        VarId Iv) {
+  for (BlockId B : L.Body) {
+    const auto &Instrs = Fn.block(B).instrs();
+    for (size_t I = 0; I != Instrs.size(); ++I)
+      if (Instrs[I].dest() == Iv && matchIvUpdate(Fn, Instrs[I]))
+        return {B, I};
+  }
+  assert(false && "induction update vanished");
+  return {InvalidBlock, 0};
+}
+
+} // namespace
+
+StrengthReductionReport lcm::runStrengthReduction(Function &Fn) {
+  StrengthReductionReport Report;
+
+  Dominators Dom(Fn);
+  LoopForest Forest(Fn, Dom);
+
+  // Innermost-first (ascending body size), like the LICM baseline.
+  std::vector<size_t> Order(Forest.loops().size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&Forest](size_t A, size_t B) {
+    if (Forest.loops()[A].Body.size() != Forest.loops()[B].Body.size())
+      return Forest.loops()[A].Body.size() < Forest.loops()[B].Body.size();
+    return Forest.loops()[A].Header < Forest.loops()[B].Header;
+  });
+
+  for (size_t LI : Order) {
+    const Loop &L = Forest.loops()[LI];
+    ++Report.LoopsProcessed;
+
+    // Count in-loop assignments per variable (current code).
+    std::map<VarId, unsigned> DefCount;
+    for (BlockId B : L.Body)
+      for (const Instr &I : Fn.block(B).instrs())
+        ++DefCount[I.dest()];
+
+    // Basic induction variables: exactly one assignment, of update shape.
+    std::map<VarId, int64_t> IvStep;
+    for (BlockId B : L.Body) {
+      for (const Instr &I : Fn.block(B).instrs()) {
+        auto Step = matchIvUpdate(Fn, I);
+        if (Step && DefCount[I.dest()] == 1)
+          IvStep[I.dest()] = *Step;
+      }
+    }
+    Report.InductionVarsFound += IvStep.size();
+    if (IvStep.empty())
+      continue;
+
+    // Candidates: unique Mul expressions i * k with i basic IV and k
+    // constant or loop-invariant variable.
+    struct Candidate {
+      ExprId E;
+      VarId Iv;
+      Operand K;
+    };
+    std::vector<Candidate> Candidates;
+    std::vector<bool> Seen(Fn.exprs().size(), false);
+    auto classify = [&](ExprId EId) -> std::optional<Candidate> {
+      const Expr &E = Fn.exprs().expr(EId);
+      if (E.Op != Opcode::Mul)
+        return std::nullopt;
+      for (int Side = 0; Side != 2; ++Side) {
+        Operand IvOp = Side == 0 ? E.Lhs : E.Rhs;
+        Operand KOp = Side == 0 ? E.Rhs : E.Lhs;
+        if (!IvOp.isVar() || !IvStep.count(IvOp.var()))
+          continue;
+        bool KInvariant =
+            KOp.isConst() ||
+            (KOp.isVar() && DefCount.find(KOp.var()) == DefCount.end());
+        if (KInvariant && !(KOp.isVar() && KOp.var() == IvOp.var()))
+          return Candidate{EId, IvOp.var(), KOp};
+      }
+      return std::nullopt;
+    };
+    for (BlockId B : L.Body) {
+      for (const Instr &I : Fn.block(B).instrs()) {
+        if (!I.isOperation() || Seen[I.exprId()])
+          continue;
+        Seen[I.exprId()] = true;
+        // The IV update itself must stay a computation.
+        if (matchIvUpdate(Fn, I) && IvStep.count(I.dest()))
+          continue;
+        if (auto C = classify(I.exprId()))
+          Candidates.push_back(*C);
+      }
+    }
+    if (Candidates.empty())
+      continue;
+
+    BlockId Pre = ensureLoopPreheader(Fn, L, &Report.PreheadersCreated);
+
+    for (const Candidate &C : Candidates) {
+      int64_t Step = IvStep[C.Iv];
+      VarId T = Fn.addTempVar("sr");
+
+      // Preheader: t = i * k (operand order preserved from the original
+      // expression is unnecessary — multiplication is re-interned).
+      ExprId InitE = Fn.exprs().intern(
+          Expr{Opcode::Mul, Operand::makeVar(C.Iv), C.K});
+      Fn.block(Pre).instrs().push_back(Instr::makeOperation(T, InitE));
+
+      // Per-iteration delta d = step * k.
+      Operand Delta;
+      if (C.K.isConst()) {
+        Delta = Operand::makeConst(
+            evalOpcode(Opcode::Mul, Step, C.K.constVal()));
+      } else {
+        VarId D = Fn.addTempVar("srd");
+        ExprId DeltaE = Fn.exprs().intern(
+            Expr{Opcode::Mul, C.K, Operand::makeConst(Step)});
+        Fn.block(Pre).instrs().push_back(Instr::makeOperation(D, DeltaE));
+        Delta = Operand::makeVar(D);
+      }
+
+      // After the IV update: t = t + d.
+      auto [UpdBlock, UpdIdx] = findIvUpdate(Fn, L, C.Iv);
+      ExprId BumpE = Fn.exprs().intern(
+          Expr{Opcode::Add, Operand::makeVar(T), Delta});
+      auto &UpdInstrs = Fn.block(UpdBlock).instrs();
+      UpdInstrs.insert(UpdInstrs.begin() + long(UpdIdx) + 1,
+                       Instr::makeOperation(T, BumpE));
+
+      // Rewrite every in-loop occurrence of the candidate expression.
+      for (BlockId B : L.Body) {
+        for (Instr &I : Fn.block(B).instrs()) {
+          if (I.isOperation() && I.exprId() == C.E) {
+            I = Instr::makeCopy(I.dest(), Operand::makeVar(T));
+            ++Report.OccurrencesRewritten;
+          }
+        }
+      }
+      ++Report.CandidatesReduced;
+    }
+  }
+  return Report;
+}

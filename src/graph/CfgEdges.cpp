@@ -1,0 +1,19 @@
+//===- graph/CfgEdges.cpp --------------------------------------------------===//
+
+#include "graph/CfgEdges.h"
+
+using namespace lcm;
+
+CfgEdges::CfgEdges(const Function &Fn) {
+  Out.resize(Fn.numBlocks());
+  In.resize(Fn.numBlocks());
+  for (const BasicBlock &B : Fn.blocks()) {
+    const auto &Succs = B.succs();
+    for (uint32_t I = 0; I != Succs.size(); ++I) {
+      EdgeId Id = EdgeId(Edges.size());
+      Edges.push_back({B.id(), Succs[I], I});
+      Out[B.id()].push_back(Id);
+      In[Succs[I]].push_back(Id);
+    }
+  }
+}

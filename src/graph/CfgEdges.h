@@ -1,0 +1,71 @@
+//===- graph/CfgEdges.h - Materialized edge list of a CFG ----------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LCM's distinctive analyses (earliest, later, insert) attach facts to CFG
+/// *edges*, not blocks.  CfgEdges snapshots a Function's edges with dense
+/// EdgeIds plus per-block in/out edge lists.  Parallel edges get distinct
+/// ids (they are distinguished by successor position).
+///
+/// The snapshot is immutable; rebuild it after CFG surgery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_GRAPH_CFGEDGES_H
+#define LCM_GRAPH_CFGEDGES_H
+
+#include <cassert>
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Dense id of a CFG edge within a CfgEdges snapshot.
+using EdgeId = uint32_t;
+
+/// One directed edge; SuccIdx is its position in From's successor list,
+/// which disambiguates parallel edges and is what splitEdge() consumes.
+struct CfgEdge {
+  BlockId From;
+  BlockId To;
+  uint32_t SuccIdx;
+};
+
+/// Immutable edge snapshot of a Function.
+class CfgEdges {
+public:
+  explicit CfgEdges(const Function &Fn);
+
+  size_t numEdges() const { return Edges.size(); }
+
+  const CfgEdge &edge(EdgeId Id) const {
+    assert(Id < Edges.size() && "bad edge id");
+    return Edges[Id];
+  }
+
+  /// Ids of edges leaving \p B, in successor order.
+  const std::vector<EdgeId> &outEdges(BlockId B) const {
+    assert(B < Out.size() && "bad block id");
+    return Out[B];
+  }
+
+  /// Ids of edges entering \p B (order unspecified but deterministic).
+  const std::vector<EdgeId> &inEdges(BlockId B) const {
+    assert(B < In.size() && "bad block id");
+    return In[B];
+  }
+
+private:
+  std::vector<CfgEdge> Edges;
+  std::vector<std::vector<EdgeId>> Out;
+  std::vector<std::vector<EdgeId>> In;
+};
+
+} // namespace lcm
+
+#endif // LCM_GRAPH_CFGEDGES_H

@@ -1,0 +1,35 @@
+//===- graph/CriticalEdges.cpp ---------------------------------------------===//
+
+#include "graph/CriticalEdges.h"
+
+using namespace lcm;
+
+bool lcm::isCriticalEdge(const Function &Fn, BlockId From, size_t SuccIdx) {
+  const BasicBlock &FromBlock = Fn.block(From);
+  assert(SuccIdx < FromBlock.succs().size() && "bad successor index");
+  if (FromBlock.succs().size() < 2)
+    return false;
+  return Fn.block(FromBlock.succs()[SuccIdx]).preds().size() >= 2;
+}
+
+std::vector<std::pair<BlockId, size_t>>
+lcm::findCriticalEdges(const Function &Fn) {
+  std::vector<std::pair<BlockId, size_t>> Result;
+  for (const BasicBlock &B : Fn.blocks())
+    for (size_t I = 0; I != B.succs().size(); ++I)
+      if (isCriticalEdge(Fn, B.id(), I))
+        Result.push_back({B.id(), I});
+  return Result;
+}
+
+std::vector<BlockId> lcm::splitAllCriticalEdges(Function &Fn) {
+  // Collect first: splitting changes predecessor counts, but splitting one
+  // critical edge never makes a non-critical edge critical (the new block
+  // has exactly one pred and one succ), so the snapshot stays correct.
+  std::vector<std::pair<BlockId, size_t>> Critical = findCriticalEdges(Fn);
+  std::vector<BlockId> NewBlocks;
+  NewBlocks.reserve(Critical.size());
+  for (auto [From, SuccIdx] : Critical)
+    NewBlocks.push_back(Fn.splitEdge(From, SuccIdx));
+  return NewBlocks;
+}

@@ -1,0 +1,40 @@
+//===- graph/CriticalEdges.h - Critical edge detection and splitting -----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *critical* edge leaves a block with several successors and enters a
+/// block with several predecessors.  The paper's Figure on critical edges
+/// shows that optimal code motion needs a place "on" such edges: neither
+/// endpoint can host the inserted computation without either executing it
+/// too often (speculation) or blocking the motion.  Splitting every
+/// critical edge with a fresh empty block restores node-based optimality;
+/// the edge-based placement engine instead splits lazily, only where it
+/// actually inserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_GRAPH_CRITICALEDGES_H
+#define LCM_GRAPH_CRITICALEDGES_H
+
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// True if the \p SuccIdx-th out-edge of \p From is critical.
+bool isCriticalEdge(const Function &Fn, BlockId From, size_t SuccIdx);
+
+/// All critical edges as (From, SuccIdx) pairs.
+std::vector<std::pair<BlockId, size_t>> findCriticalEdges(const Function &Fn);
+
+/// Splits every critical edge; returns the ids of the inserted blocks.
+std::vector<BlockId> splitAllCriticalEdges(Function &Fn);
+
+} // namespace lcm
+
+#endif // LCM_GRAPH_CRITICALEDGES_H

@@ -1,0 +1,52 @@
+//===- graph/Dfs.cpp -------------------------------------------------------===//
+
+#include "graph/Dfs.h"
+
+#include <algorithm>
+
+using namespace lcm;
+
+std::vector<BlockId> lcm::postOrder(const Function &Fn) {
+  std::vector<BlockId> Order;
+  if (Fn.numBlocks() == 0)
+    return Order;
+  std::vector<uint8_t> State(Fn.numBlocks(), 0); // 0=unseen 1=open 2=done
+  // Iterative DFS with an explicit (block, next-successor-index) stack.
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(Fn.entry(), 0);
+  State[Fn.entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const auto &Succs = Fn.block(B).succs();
+    bool Descended = false;
+    while (NextSucc < Succs.size()) {
+      BlockId S = Succs[NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+        Descended = true;
+        break;
+      }
+    }
+    if (Descended)
+      continue;
+    State[B] = 2;
+    Order.push_back(B);
+    Stack.pop_back();
+  }
+  return Order;
+}
+
+std::vector<BlockId> lcm::reversePostOrder(const Function &Fn) {
+  std::vector<BlockId> Order = postOrder(Fn);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+std::vector<uint32_t> lcm::orderIndex(const Function &Fn,
+                                      const std::vector<BlockId> &Order) {
+  std::vector<uint32_t> Index(Fn.numBlocks(), ~uint32_t(0));
+  for (uint32_t I = 0; I != Order.size(); ++I)
+    Index[Order[I]] = I;
+  return Index;
+}

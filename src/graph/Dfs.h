@@ -1,0 +1,37 @@
+//===- graph/Dfs.h - Depth-first traversal orders -------------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reverse post-order (for forward dataflow) and post-order (for backward
+/// dataflow) over a Function's CFG.  Traversal starts at the entry and is
+/// deterministic: successors are visited in list order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_GRAPH_DFS_H
+#define LCM_GRAPH_DFS_H
+
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Blocks in post-order (every block after all its DFS-tree successors).
+std::vector<BlockId> postOrder(const Function &Fn);
+
+/// Blocks in reverse post-order (the canonical forward iteration order).
+std::vector<BlockId> reversePostOrder(const Function &Fn);
+
+/// Position of each block within \p Order (InvalidBlock-sized sentinel for
+/// blocks absent from the order).
+std::vector<uint32_t> orderIndex(const Function &Fn,
+                                 const std::vector<BlockId> &Order);
+
+} // namespace lcm
+
+#endif // LCM_GRAPH_DFS_H

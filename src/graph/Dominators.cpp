@@ -1,0 +1,58 @@
+//===- graph/Dominators.cpp ------------------------------------------------===//
+
+#include "graph/Dominators.h"
+
+#include "graph/Dfs.h"
+
+using namespace lcm;
+
+Dominators::Dominators(const Function &Fn) {
+  const std::vector<BlockId> Rpo = reversePostOrder(Fn);
+  const std::vector<uint32_t> RpoIndex = orderIndex(Fn, Rpo);
+
+  Idom.assign(Fn.numBlocks(), InvalidBlock);
+  Idom[Fn.entry()] = Fn.entry();
+
+  auto intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      if (B == Fn.entry())
+        continue;
+      BlockId NewIdom = InvalidBlock;
+      for (BlockId P : Fn.block(B).preds()) {
+        if (Idom[P] == InvalidBlock)
+          continue; // Not yet processed.
+        NewIdom = NewIdom == InvalidBlock ? P : intersect(P, NewIdom);
+      }
+      if (NewIdom != InvalidBlock && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  Depth.assign(Fn.numBlocks(), 0);
+  for (BlockId B : Rpo)
+    if (B != Fn.entry() && Idom[B] != InvalidBlock)
+      Depth[B] = Depth[Idom[B]] + 1;
+}
+
+bool Dominators::dominates(BlockId A, BlockId B) const {
+  // Walk B up the tree to A's depth, then compare.
+  if (Idom[B] == InvalidBlock)
+    return false; // B unreachable.
+  while (Depth[B] > Depth[A])
+    B = Idom[B];
+  return A == B;
+}

@@ -1,0 +1,45 @@
+//===- graph/Dominators.h - Iterative dominator tree computation ---------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominators via the Cooper–Harvey–Kennedy iterative algorithm
+/// over reverse post-order.  Used by the loop forest (back-edge detection)
+/// and by the loop-invariant code motion baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_GRAPH_DOMINATORS_H
+#define LCM_GRAPH_DOMINATORS_H
+
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Dominator tree of a Function's CFG rooted at the entry block.
+class Dominators {
+public:
+  explicit Dominators(const Function &Fn);
+
+  /// Immediate dominator of \p B; the entry block is its own idom.
+  BlockId idom(BlockId B) const { return Idom[B]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// Depth of \p B in the dominator tree (entry is depth 0).
+  uint32_t depth(BlockId B) const { return Depth[B]; }
+
+private:
+  std::vector<BlockId> Idom;
+  std::vector<uint32_t> Depth;
+};
+
+} // namespace lcm
+
+#endif // LCM_GRAPH_DOMINATORS_H

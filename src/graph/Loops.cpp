@@ -1,0 +1,119 @@
+//===- graph/Loops.cpp -----------------------------------------------------===//
+
+#include "graph/Loops.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lcm;
+
+LoopForest::LoopForest(const Function &Fn, const Dominators &Dom) {
+  // Collect back edges: Latch -> Header where Header dominates Latch.
+  std::map<BlockId, std::vector<BlockId>> LatchesOf;
+  for (const BasicBlock &B : Fn.blocks())
+    for (BlockId S : B.succs())
+      if (Dom.dominates(S, B.id()))
+        LatchesOf[S].push_back(B.id());
+
+  // Build each loop body by walking predecessors back from the latches,
+  // stopping at the header (the classic natural-loop construction).
+  for (const auto &[Header, Latches] : LatchesOf) {
+    Loop L;
+    L.Header = Header;
+    L.Latches = Latches;
+    std::vector<bool> InBody(Fn.numBlocks(), false);
+    InBody[Header] = true;
+    std::vector<BlockId> Stack;
+    for (BlockId Latch : Latches) {
+      if (!InBody[Latch]) {
+        InBody[Latch] = true;
+        Stack.push_back(Latch);
+      }
+    }
+    while (!Stack.empty()) {
+      BlockId B = Stack.back();
+      Stack.pop_back();
+      for (BlockId P : Fn.block(B).preds()) {
+        if (!InBody[P]) {
+          InBody[P] = true;
+          Stack.push_back(P);
+        }
+      }
+    }
+    L.Body.push_back(Header);
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B)
+      if (InBody[B] && B != Header)
+        L.Body.push_back(B);
+    InLoop.push_back(std::move(InBody));
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting: sort loop indices by body size ascending so the innermost
+  // (smallest) loop claims a block first.
+  std::vector<int> BySize(Loops.size());
+  for (size_t I = 0; I != Loops.size(); ++I)
+    BySize[I] = int(I);
+  std::sort(BySize.begin(), BySize.end(), [this](int A, int B) {
+    if (Loops[A].Body.size() != Loops[B].Body.size())
+      return Loops[A].Body.size() < Loops[B].Body.size();
+    return Loops[A].Header < Loops[B].Header;
+  });
+
+  DepthOf.assign(Fn.numBlocks(), 0);
+  InnermostOf.assign(Fn.numBlocks(), -1);
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    for (int LI : BySize) {
+      if (InLoop[LI][B]) {
+        ++DepthOf[B];
+        if (InnermostOf[B] < 0)
+          InnermostOf[B] = LI;
+      }
+    }
+  }
+
+  // Parent: the smallest strictly-larger loop containing the header.
+  for (size_t I = 0; I != Loops.size(); ++I) {
+    for (int CandIdx : BySize) {
+      size_t Cand = size_t(CandIdx);
+      if (Cand == I || Loops[Cand].Body.size() < Loops[I].Body.size())
+        continue;
+      if (Cand != I && InLoop[Cand][Loops[I].Header] &&
+          Loops[Cand].Body.size() > Loops[I].Body.size()) {
+        Loops[I].Parent = int(Cand);
+        break;
+      }
+    }
+  }
+}
+
+BlockId lcm::ensureLoopPreheader(Function &Fn, const Loop &L,
+                                 uint64_t *CreatedCounter) {
+  // Outside predecessors are everything that is not a latch.
+  std::vector<BlockId> OutsidePreds;
+  for (BlockId P : Fn.block(L.Header).preds())
+    if (std::find(L.Latches.begin(), L.Latches.end(), P) == L.Latches.end())
+      OutsidePreds.push_back(P);
+
+  if (OutsidePreds.size() == 1 &&
+      Fn.block(OutsidePreds[0]).succs().size() == 1)
+    return OutsidePreds[0];
+
+  BlockId Pre = Fn.addBlock("pre." + Fn.block(L.Header).label());
+  if (CreatedCounter)
+    ++*CreatedCounter;
+  // Redirect every outside edge into the preheader; successor slots are
+  // scanned by value so parallel edges are handled one at a time.
+  for (BlockId P : OutsidePreds) {
+    auto &Succs = Fn.block(P).succs();
+    for (size_t I = 0; I != Succs.size(); ++I)
+      if (Succs[I] == L.Header)
+        Fn.redirectEdge(P, I, Pre);
+  }
+  Fn.addEdge(Pre, L.Header);
+  return Pre;
+}
+
+bool LoopForest::contains(int LoopIdx, BlockId B) const {
+  assert(LoopIdx >= 0 && size_t(LoopIdx) < InLoop.size() && "bad loop index");
+  return InLoop[LoopIdx][B];
+}

@@ -1,0 +1,70 @@
+//===- graph/Loops.h - Natural loop forest --------------------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops from dominator back edges, with per-block nesting depth.
+/// Loop depth doubles as the static execution-frequency model used by the
+/// workload metrics, and the loop bodies drive the loop-invariant code
+/// motion baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_GRAPH_LOOPS_H
+#define LCM_GRAPH_LOOPS_H
+
+#include <vector>
+
+#include "graph/Dominators.h"
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// One natural loop: header plus its body (header included).
+struct Loop {
+  BlockId Header;
+  /// Sources of the back edges Latch -> Header that define the loop.
+  std::vector<BlockId> Latches;
+  /// All blocks in the loop, header first; remainder sorted ascending.
+  std::vector<BlockId> Body;
+  /// Index of the enclosing loop in LoopForest::loops(), or -1 if outermost.
+  int Parent = -1;
+};
+
+/// Ensures loop \p L has a preheader: a block outside the loop whose only
+/// successor is the header and through which every loop entry flows.  An
+/// existing sole outside predecessor with a single successor is reused;
+/// otherwise a fresh block is created (and \p CreatedCounter, if non-null,
+/// incremented).  Returns the preheader id.
+BlockId ensureLoopPreheader(Function &Fn, const Loop &L,
+                            uint64_t *CreatedCounter = nullptr);
+
+/// The set of natural loops of a function (merged by shared header).
+class LoopForest {
+public:
+  LoopForest(const Function &Fn, const Dominators &Dom);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Nesting depth of a block: number of loops containing it (0 = no loop).
+  uint32_t depth(BlockId B) const { return DepthOf[B]; }
+
+  /// Index of the innermost loop containing \p B, or -1.
+  int innermostLoop(BlockId B) const { return InnermostOf[B]; }
+
+  /// True if \p B is inside loop \p LoopIdx.
+  bool contains(int LoopIdx, BlockId B) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<uint32_t> DepthOf;
+  std::vector<int> InnermostOf;
+  std::vector<std::vector<bool>> InLoop; ///< [loop][block]
+};
+
+} // namespace lcm
+
+#endif // LCM_GRAPH_LOOPS_H

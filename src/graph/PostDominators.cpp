@@ -1,0 +1,94 @@
+//===- graph/PostDominators.cpp --------------------------------------------===//
+
+#include "graph/PostDominators.h"
+
+#include <algorithm>
+
+using namespace lcm;
+
+namespace {
+
+/// Post-order over the *reversed* CFG starting at the exit.
+std::vector<BlockId> reversedPostOrder(const Function &Fn, BlockId Exit) {
+  std::vector<BlockId> Order;
+  std::vector<uint8_t> State(Fn.numBlocks(), 0);
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(Exit, 0);
+  State[Exit] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextPred] = Stack.back();
+    const auto &Preds = Fn.block(B).preds();
+    bool Descended = false;
+    while (NextPred < Preds.size()) {
+      BlockId P = Preds[NextPred++];
+      if (State[P] == 0) {
+        State[P] = 1;
+        Stack.emplace_back(P, 0);
+        Descended = true;
+        break;
+      }
+    }
+    if (Descended)
+      continue;
+    State[B] = 2;
+    Order.push_back(B);
+    Stack.pop_back();
+  }
+  return Order;
+}
+
+} // namespace
+
+PostDominators::PostDominators(const Function &Fn) {
+  const BlockId Exit = Fn.exit();
+  std::vector<BlockId> Po = reversedPostOrder(Fn, Exit);
+  std::vector<BlockId> Rpo(Po.rbegin(), Po.rend());
+  std::vector<uint32_t> RpoIndex(Fn.numBlocks(), ~uint32_t(0));
+  for (uint32_t I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  Ipdom.assign(Fn.numBlocks(), InvalidBlock);
+  Ipdom[Exit] = Exit;
+
+  auto intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Ipdom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Ipdom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      if (B == Exit)
+        continue;
+      BlockId NewIpdom = InvalidBlock;
+      for (BlockId S : Fn.block(B).succs()) {
+        if (Ipdom[S] == InvalidBlock)
+          continue;
+        NewIpdom = NewIpdom == InvalidBlock ? S : intersect(S, NewIpdom);
+      }
+      if (NewIpdom != InvalidBlock && Ipdom[B] != NewIpdom) {
+        Ipdom[B] = NewIpdom;
+        Changed = true;
+      }
+    }
+  }
+
+  Depth.assign(Fn.numBlocks(), 0);
+  for (BlockId B : Rpo)
+    if (B != Exit && Ipdom[B] != InvalidBlock)
+      Depth[B] = Depth[Ipdom[B]] + 1;
+}
+
+bool PostDominators::postDominates(BlockId A, BlockId B) const {
+  if (Ipdom[B] == InvalidBlock)
+    return false;
+  while (Depth[B] > Depth[A])
+    B = Ipdom[B];
+  return A == B;
+}

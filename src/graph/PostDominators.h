@@ -1,0 +1,49 @@
+//===- graph/PostDominators.h - Iterative post-dominator computation -----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Post-dominators: A post-dominates B when every path from B to the exit
+/// passes through A.  The mirror of Dominators over reversed edges, rooted
+/// at the unique exit the flow-graph model guarantees.  Down-safety has a
+/// classical connection to post-dominance — a block containing an
+/// upward-exposed computation of e that post-dominates P makes e
+/// anticipated at P absent intervening kills — which the tests exercise as
+/// a cross-check on the anticipability analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_GRAPH_POSTDOMINATORS_H
+#define LCM_GRAPH_POSTDOMINATORS_H
+
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Post-dominator tree rooted at the exit block.
+class PostDominators {
+public:
+  explicit PostDominators(const Function &Fn);
+
+  /// Immediate post-dominator of \p B; the exit is its own ipdom.
+  BlockId ipdom(BlockId B) const { return Ipdom[B]; }
+
+  /// True if \p A post-dominates \p B (reflexive).
+  bool postDominates(BlockId A, BlockId B) const;
+
+  /// Depth of \p B in the post-dominator tree (exit is depth 0).
+  uint32_t depth(BlockId B) const { return Depth[B]; }
+
+private:
+  std::vector<BlockId> Ipdom;
+  std::vector<uint32_t> Depth;
+};
+
+} // namespace lcm
+
+#endif // LCM_GRAPH_POSTDOMINATORS_H

@@ -1,0 +1,42 @@
+//===- graph/Reducibility.cpp ----------------------------------------------===//
+
+#include "graph/Reducibility.h"
+
+using namespace lcm;
+
+bool lcm::isReducible(const Function &Fn) {
+  Dominators Dom(Fn);
+  return isReducible(Fn, Dom);
+}
+
+bool lcm::isReducible(const Function &Fn, const Dominators &Dom) {
+  // DFS cycle check over the graph without dominator back edges.
+  // State: 0 = unseen, 1 = on stack, 2 = done.
+  std::vector<uint8_t> State(Fn.numBlocks(), 0);
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(Fn.entry(), 0);
+  State[Fn.entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const auto &Succs = Fn.block(B).succs();
+    bool Descended = false;
+    while (NextSucc < Succs.size()) {
+      BlockId S = Succs[NextSucc++];
+      if (Dom.dominates(S, B))
+        continue; // Dominator back edge: part of a natural loop.
+      if (State[S] == 1)
+        return false; // Cycle not closed by a dominator back edge.
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+        Descended = true;
+        break;
+      }
+    }
+    if (Descended)
+      continue;
+    State[B] = 2;
+    Stack.pop_back();
+  }
+  return true;
+}

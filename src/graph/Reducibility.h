@@ -1,0 +1,35 @@
+//===- graph/Reducibility.h - Reducible flow graph detection -------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CFG is *reducible* when removing its dominator back edges (edges
+/// whose target dominates their source) leaves a DAG — equivalently, when
+/// every cycle is a natural loop.  LCM itself needs no reducibility (its
+/// analyses are plain fixpoints), but the experiments report it because
+/// the random-CFG generator intentionally produces irreducible graphs
+/// while the structured generator cannot, and solver pass counts react to
+/// the difference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_GRAPH_REDUCIBILITY_H
+#define LCM_GRAPH_REDUCIBILITY_H
+
+#include "graph/Dominators.h"
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// True if the CFG of \p Fn is reducible.
+bool isReducible(const Function &Fn);
+
+/// Same, reusing an existing dominator tree.
+bool isReducible(const Function &Fn, const Dominators &Dom);
+
+} // namespace lcm
+
+#endif // LCM_GRAPH_REDUCIBILITY_H

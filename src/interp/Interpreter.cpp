@@ -1,0 +1,79 @@
+//===- interp/Interpreter.cpp ----------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+using namespace lcm;
+
+InterpResult Interpreter::run(const Function &Fn,
+                              const std::vector<int64_t> &InitialVars,
+                              BranchOracle &Oracle, const Options &Opts) {
+  InterpResult R;
+  R.Vars.assign(Fn.numVars(), 0);
+  for (size_t V = 0; V != InitialVars.size() && V != R.Vars.size(); ++V)
+    R.Vars[V] = InitialVars[V];
+  R.EvalsPerExpr.assign(Fn.exprs().size(), 0);
+  R.VisitsPerBlock.assign(Fn.numBlocks(), 0);
+
+  auto operandValue = [&R](Operand O) {
+    return O.isConst() ? O.constVal() : R.Vars[O.var()];
+  };
+
+  uint64_t Decisions = 0;
+  BlockId Cur = Fn.entry();
+  while (true) {
+    if (Cur < Opts.OriginalBlockCount) {
+      if (R.OriginalBlocksExecuted == Opts.MaxOriginalBlockVisits)
+        break; // Budget exhausted; stop at a comparison point.
+      ++R.OriginalBlocksExecuted;
+    }
+    ++R.BlocksExecuted;
+    ++R.VisitsPerBlock[Cur];
+
+    const BasicBlock &B = Fn.block(Cur);
+    for (const Instr &I : B.instrs()) {
+      ++R.InstrsExecuted;
+      if (I.isOperation()) {
+        const Expr &E = Fn.exprs().expr(I.exprId());
+        int64_t A = operandValue(E.Lhs);
+        int64_t C = E.isBinary() ? operandValue(E.Rhs) : 0;
+        R.Vars[I.dest()] = evalOpcode(E.Op, A, C);
+        ++R.TotalEvals;
+        ++R.EvalsPerExpr[I.exprId()];
+      } else {
+        R.Vars[I.dest()] = operandValue(I.src());
+      }
+    }
+
+    const auto &Succs = B.succs();
+    if (Succs.empty()) {
+      R.ReachedExit = true;
+      break;
+    }
+    if (Succs.size() == 1) {
+      Cur = Succs[0];
+    } else if (B.hasConditionalBranch()) {
+      Cur = R.Vars[*B.condVar()] != 0 ? Succs[0] : Succs[1];
+    } else {
+      size_t Choice = Oracle.decide(Cur, Succs.size(), Decisions++);
+      assert(Choice < Succs.size() && "oracle returned bad successor");
+      Cur = Succs[Choice];
+    }
+  }
+  return R;
+}
+
+bool lcm::sameObservableBehaviour(const InterpResult &A,
+                                  const InterpResult &B,
+                                  size_t NumOriginalVars) {
+  if (A.ReachedExit != B.ReachedExit)
+    return false;
+  if (A.OriginalBlocksExecuted != B.OriginalBlocksExecuted)
+    return false;
+  for (size_t V = 0; V != NumOriginalVars; ++V) {
+    if (A.Vars.size() <= V || B.Vars.size() <= V)
+      return false;
+    if (A.Vars[V] != B.Vars[V])
+      return false;
+  }
+  return true;
+}

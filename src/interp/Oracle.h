@@ -1,0 +1,80 @@
+//===- interp/Oracle.h - Branch oracles for replayable executions --------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocks whose branch is not decided by program state (multiway `br`, or
+/// two-way branches without a condition variable — the paper's
+/// "nondeterministic" control flow) consult a BranchOracle.  Two runs with
+/// identically seeded oracles follow corresponding paths, which is how the
+/// equivalence experiments compare a program against its transformed form:
+/// PRE never changes the number of successors of an original block, so the
+/// decision sequences align one-to-one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_INTERP_ORACLE_H
+#define LCM_INTERP_ORACLE_H
+
+#include <cstdint>
+
+#include "ir/Function.h"
+#include "support/Rng.h"
+
+namespace lcm {
+
+/// Supplies successor choices for state-independent branches.
+class BranchOracle {
+public:
+  virtual ~BranchOracle() = default;
+
+  /// Returns the index (< NumSuccs) of the successor to take.
+  /// \p DecisionIndex counts oracle consultations within the run.
+  virtual size_t decide(BlockId B, size_t NumSuccs,
+                        uint64_t DecisionIndex) = 0;
+};
+
+/// Uniformly random, deterministic in the seed.
+class RandomOracle : public BranchOracle {
+public:
+  explicit RandomOracle(uint64_t Seed) : R(Seed) {}
+
+  size_t decide(BlockId, size_t NumSuccs, uint64_t) override {
+    return size_t(R.below(NumSuccs));
+  }
+
+private:
+  Rng R;
+};
+
+/// Replays an explicit decision sequence (from path enumeration).  Running
+/// past the end of the sequence falls back to the first successor.
+class ReplayOracle : public BranchOracle {
+public:
+  explicit ReplayOracle(std::vector<size_t> Decisions)
+      : Decisions(std::move(Decisions)) {}
+
+  size_t decide(BlockId, size_t NumSuccs, uint64_t Index) override {
+    if (Index >= Decisions.size())
+      return 0;
+    assert(Decisions[Index] < NumSuccs && "replayed decision out of range");
+    return Decisions[Index];
+  }
+
+private:
+  std::vector<size_t> Decisions;
+};
+
+/// Always takes the first successor (shortest loop-free behaviour for
+/// structured CFGs whose loop back edge is the second successor).
+class FirstSuccessorOracle : public BranchOracle {
+public:
+  size_t decide(BlockId, size_t, uint64_t) override { return 0; }
+};
+
+} // namespace lcm
+
+#endif // LCM_INTERP_ORACLE_H

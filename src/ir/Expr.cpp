@@ -1,0 +1,219 @@
+//===- ir/Expr.cpp ---------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+using namespace lcm;
+
+bool lcm::isBinaryOpcode(Opcode Op) {
+  return Op != Opcode::Neg && Op != Opcode::Not;
+}
+
+const char *lcm::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  }
+  return "?";
+}
+
+const char *lcm::opcodeSymbol(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "+";
+  case Opcode::Sub:
+    return "-";
+  case Opcode::Mul:
+    return "*";
+  case Opcode::Div:
+    return "/";
+  case Opcode::Mod:
+    return "%";
+  case Opcode::And:
+    return "&";
+  case Opcode::Or:
+    return "|";
+  case Opcode::Xor:
+    return "^";
+  case Opcode::Shl:
+    return "<<";
+  case Opcode::Shr:
+    return ">>";
+  case Opcode::CmpEq:
+    return "==";
+  case Opcode::CmpNe:
+    return "!=";
+  case Opcode::CmpLt:
+    return "<";
+  case Opcode::CmpLe:
+    return "<=";
+  case Opcode::CmpGt:
+    return ">";
+  case Opcode::CmpGe:
+    return ">=";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Neg:
+    return "-";
+  case Opcode::Not:
+    return "~";
+  }
+  return "?";
+}
+
+int64_t lcm::evalOpcode(Opcode Op, int64_t A, int64_t B) {
+  // Arithmetic wraps: compute in uint64_t and cast back.
+  uint64_t UA = uint64_t(A), UB = uint64_t(B);
+  switch (Op) {
+  case Opcode::Add:
+    return int64_t(UA + UB);
+  case Opcode::Sub:
+    return int64_t(UA - UB);
+  case Opcode::Mul:
+    return int64_t(UA * UB);
+  case Opcode::Div:
+    if (B == 0)
+      return 0;
+    if (A == INT64_MIN && B == -1)
+      return A;
+    return A / B;
+  case Opcode::Mod:
+    if (B == 0)
+      return 0;
+    if (A == INT64_MIN && B == -1)
+      return 0;
+    return A % B;
+  case Opcode::And:
+    return int64_t(UA & UB);
+  case Opcode::Or:
+    return int64_t(UA | UB);
+  case Opcode::Xor:
+    return int64_t(UA ^ UB);
+  case Opcode::Shl:
+    return int64_t(UA << (UB & 63));
+  case Opcode::Shr:
+    return int64_t(UA >> (UB & 63));
+  case Opcode::CmpEq:
+    return A == B;
+  case Opcode::CmpNe:
+    return A != B;
+  case Opcode::CmpLt:
+    return A < B;
+  case Opcode::CmpLe:
+    return A <= B;
+  case Opcode::CmpGt:
+    return A > B;
+  case Opcode::CmpGe:
+    return A >= B;
+  case Opcode::Min:
+    return A < B ? A : B;
+  case Opcode::Max:
+    return A > B ? A : B;
+  case Opcode::Neg:
+    return int64_t(0 - UA);
+  case Opcode::Not:
+    return int64_t(~UA);
+  }
+  return 0;
+}
+
+ExprId ExprPool::intern(const Expr &E) {
+  Expr Canonical = E;
+  if (!isBinaryOpcode(E.Op))
+    Canonical.Rhs = Operand::makeConst(0); // Normalize the unused slot.
+  auto [It, Inserted] = Index.try_emplace(Canonical, ExprId(Exprs.size()));
+  if (!Inserted)
+    return It->second;
+  ExprId Id = ExprId(Exprs.size());
+  Exprs.push_back(Canonical);
+  if (Canonical.Lhs.isVar())
+    noteReader(Canonical.Lhs.var(), Id);
+  if (Canonical.isBinary() && Canonical.Rhs.isVar())
+    noteReader(Canonical.Rhs.var(), Id);
+  return Id;
+}
+
+ExprId ExprPool::lookup(const Expr &E) const {
+  Expr Canonical = E;
+  if (!isBinaryOpcode(E.Op))
+    Canonical.Rhs = Operand::makeConst(0);
+  auto It = Index.find(Canonical);
+  return It == Index.end() ? InvalidExpr : It->second;
+}
+
+void ExprPool::noteReader(VarId V, ExprId E) {
+  if (ReadersOfVar.size() <= V)
+    ReadersOfVar.resize(V + 1);
+  BitVector &BV = ReadersOfVar[V];
+  if (BV.size() < Exprs.size() + 1)
+    BV.resize(Exprs.size() + 1);
+  BV.set(E);
+}
+
+const BitVector &ExprPool::exprsReadingVar(VarId V) const {
+  if (V >= ReadersOfVar.size()) {
+    EmptyReaders.resize(Exprs.size());
+    return EmptyReaders;
+  }
+  BitVector &BV = ReadersOfVar[V];
+  if (BV.size() != Exprs.size())
+    BV.resize(Exprs.size());
+  return BV;
+}
+
+bool ExprPool::reads(ExprId Id, VarId V) const {
+  const Expr &E = expr(Id);
+  if (E.Lhs.isVar() && E.Lhs.var() == V)
+    return true;
+  return E.isBinary() && E.Rhs.isVar() && E.Rhs.var() == V;
+}
+
+std::vector<VarId> ExprPool::varsRead(ExprId Id) const {
+  const Expr &E = expr(Id);
+  std::vector<VarId> Vars;
+  if (E.Lhs.isVar())
+    Vars.push_back(E.Lhs.var());
+  if (E.isBinary() && E.Rhs.isVar() &&
+      (Vars.empty() || Vars[0] != E.Rhs.var()))
+    Vars.push_back(E.Rhs.var());
+  return Vars;
+}

@@ -1,0 +1,114 @@
+//===- ir/Function.cpp -----------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace lcm;
+
+VarId Function::getOrAddVar(const std::string &VarName) {
+  auto [It, Inserted] = VarIndex.try_emplace(VarName, VarId(VarNames.size()));
+  if (Inserted)
+    VarNames.push_back(VarName);
+  return It->second;
+}
+
+VarId Function::addTempVar(const std::string &Hint) {
+  while (true) {
+    std::string Candidate = Hint + "." + std::to_string(NextTempSuffix++);
+    if (VarIndex.find(Candidate) == VarIndex.end())
+      return getOrAddVar(Candidate);
+  }
+}
+
+VarId Function::findVar(const std::string &VarName) const {
+  auto It = VarIndex.find(VarName);
+  return It == VarIndex.end() ? InvalidVar : It->second;
+}
+
+BlockId Function::addBlock(std::string Label) {
+  BlockId Id = BlockId(Blocks.size());
+  if (Label.empty())
+    Label = "b" + std::to_string(Id);
+  Blocks.emplace_back(Id, std::move(Label));
+  if (EntryId == InvalidBlock)
+    EntryId = Id;
+  return Id;
+}
+
+BlockId Function::exit() const {
+  BlockId Exit = InvalidBlock;
+  for (const BasicBlock &B : Blocks) {
+    if (!B.succs().empty())
+      continue;
+    assert(Exit == InvalidBlock && "multiple exit blocks");
+    Exit = B.id();
+  }
+  assert(Exit != InvalidBlock && "no exit block");
+  return Exit;
+}
+
+void Function::addEdge(BlockId From, BlockId To) {
+  assert(From < Blocks.size() && To < Blocks.size() && "bad block id");
+  Blocks[From].Succs.push_back(To);
+  Blocks[To].Preds.push_back(From);
+}
+
+void Function::redirectEdge(BlockId From, size_t SuccIdx, BlockId NewTo) {
+  assert(From < Blocks.size() && NewTo < Blocks.size() && "bad block id");
+  BasicBlock &FromBlock = Blocks[From];
+  assert(SuccIdx < FromBlock.Succs.size() && "bad successor index");
+  BlockId OldTo = FromBlock.Succs[SuccIdx];
+  FromBlock.Succs[SuccIdx] = NewTo;
+
+  // Remove exactly one occurrence of From from OldTo's preds.
+  auto &OldPreds = Blocks[OldTo].Preds;
+  auto It = std::find(OldPreds.begin(), OldPreds.end(), From);
+  assert(It != OldPreds.end() && "pred/succ lists out of sync");
+  OldPreds.erase(It);
+
+  Blocks[NewTo].Preds.push_back(From);
+}
+
+BlockId Function::splitEdge(BlockId From, size_t SuccIdx) {
+  BlockId OldTo = Blocks[From].Succs[SuccIdx];
+  BlockId Mid = addBlock(Blocks[From].label() + "." + Blocks[OldTo].label());
+  redirectEdge(From, SuccIdx, Mid);
+  addEdge(Mid, OldTo);
+  return Mid;
+}
+
+std::string Function::operandText(Operand O) const {
+  if (O.isConst())
+    return std::to_string(O.constVal());
+  return varName(O.var());
+}
+
+std::string Function::exprText(ExprId E) const {
+  const Expr &Ex = Exprs.expr(E);
+  if (!Ex.isBinary())
+    return std::string(opcodeSymbol(Ex.Op)) + " " + operandText(Ex.Lhs);
+  if (Ex.Op == Opcode::Min || Ex.Op == Opcode::Max)
+    return std::string(opcodeSymbol(Ex.Op)) + " " + operandText(Ex.Lhs) +
+           " " + operandText(Ex.Rhs);
+  return operandText(Ex.Lhs) + " " + opcodeSymbol(Ex.Op) + " " +
+         operandText(Ex.Rhs);
+}
+
+std::string Function::instrText(const Instr &I) const {
+  std::string Out = varName(I.dest()) + " = ";
+  if (I.isOperation())
+    Out += exprText(I.exprId());
+  else
+    Out += operandText(I.src());
+  return Out;
+}
+
+size_t Function::countOperations() const {
+  size_t N = 0;
+  for (const BasicBlock &B : Blocks)
+    for (const Instr &I : B.instrs())
+      if (I.isOperation())
+        ++N;
+  return N;
+}

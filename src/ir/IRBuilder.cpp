@@ -1,0 +1,55 @@
+//===- ir/IRBuilder.cpp ----------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace lcm;
+
+BlockId IRBuilder::startBlock(const std::string &Label) {
+  Cur = Fn.addBlock(Label);
+  return Cur;
+}
+
+IRBuilder &IRBuilder::op(const std::string &Dest, Opcode Op, Operand Lhs,
+                         Operand Rhs) {
+  assert(Cur != InvalidBlock && "no current block");
+  assert(isBinaryOpcode(Op) && "use unop for unary opcodes");
+  VarId D = Fn.getOrAddVar(Dest);
+  ExprId E = Fn.exprs().intern(Expr{Op, Lhs, Rhs});
+  Fn.block(Cur).instrs().push_back(Instr::makeOperation(D, E));
+  return *this;
+}
+
+IRBuilder &IRBuilder::unop(const std::string &Dest, Opcode Op, Operand Lhs) {
+  assert(Cur != InvalidBlock && "no current block");
+  assert(!isBinaryOpcode(Op) && "use op for binary opcodes");
+  VarId D = Fn.getOrAddVar(Dest);
+  ExprId E = Fn.exprs().intern(Expr{Op, Lhs, Operand::makeConst(0)});
+  Fn.block(Cur).instrs().push_back(Instr::makeOperation(D, E));
+  return *this;
+}
+
+IRBuilder &IRBuilder::copy(const std::string &Dest, Operand Src) {
+  assert(Cur != InvalidBlock && "no current block");
+  VarId D = Fn.getOrAddVar(Dest);
+  Fn.block(Cur).instrs().push_back(Instr::makeCopy(D, Src));
+  return *this;
+}
+
+void IRBuilder::jump(BlockId Target) {
+  assert(Cur != InvalidBlock && "no current block");
+  Fn.addEdge(Cur, Target);
+}
+
+void IRBuilder::branch(const std::string &CondName, BlockId IfTrue,
+                       BlockId IfFalse) {
+  assert(Cur != InvalidBlock && "no current block");
+  Fn.block(Cur).setCondVar(Fn.getOrAddVar(CondName));
+  Fn.addEdge(Cur, IfTrue);
+  Fn.addEdge(Cur, IfFalse);
+}
+
+void IRBuilder::multiway(const std::vector<BlockId> &Targets) {
+  assert(Cur != InvalidBlock && "no current block");
+  for (BlockId T : Targets)
+    Fn.addEdge(Cur, T);
+}

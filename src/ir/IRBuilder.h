@@ -1,0 +1,73 @@
+//===- ir/IRBuilder.h - Convenience API for constructing CFGs ------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent builder used by tests, examples, and the workload
+/// generators.  Variables are referred to by name; blocks by the BlockId
+/// returned from startBlock().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_IR_IRBUILDER_H
+#define LCM_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Builds instructions into a current block and wires up edges.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &Fn) : Fn(Fn) {}
+
+  Function &function() { return Fn; }
+
+  /// Creates a new block, makes it current, and returns its id.
+  BlockId startBlock(const std::string &Label = "");
+
+  /// Makes an existing block current.
+  void setBlock(BlockId Id) { Cur = Id; }
+  BlockId currentBlock() const { return Cur; }
+
+  /// Operand helpers.
+  Operand var(const std::string &Name) {
+    return Operand::makeVar(Fn.getOrAddVar(Name));
+  }
+  static Operand cst(int64_t Value) { return Operand::makeConst(Value); }
+
+  /// Appends `Dest = Lhs Op Rhs` to the current block.
+  IRBuilder &op(const std::string &Dest, Opcode Op, Operand Lhs, Operand Rhs);
+
+  /// Appends `Dest = Op Lhs` (unary) to the current block.
+  IRBuilder &unop(const std::string &Dest, Opcode Op, Operand Lhs);
+
+  /// Appends `Dest = Src` to the current block.
+  IRBuilder &copy(const std::string &Dest, Operand Src);
+
+  /// Shorthand for the ubiquitous `Dest = A + B` over variables.
+  IRBuilder &add(const std::string &Dest, const std::string &A,
+                 const std::string &B) {
+    return op(Dest, Opcode::Add, var(A), var(B));
+  }
+
+  /// Terminators: unconditional edge.
+  void jump(BlockId Target);
+
+  /// Conditional branch on variable \p CondName: \p IfTrue else \p IfFalse.
+  void branch(const std::string &CondName, BlockId IfTrue, BlockId IfFalse);
+
+  /// Oracle-decided multiway branch.
+  void multiway(const std::vector<BlockId> &Targets);
+
+private:
+  Function &Fn;
+  BlockId Cur = InvalidBlock;
+};
+
+} // namespace lcm
+
+#endif // LCM_IR_IRBUILDER_H

@@ -1,0 +1,79 @@
+//===- ir/Instr.h - Three-address instructions ----------------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions are assignments in three-address form, exactly the shape the
+/// paper assumes: either `x = op(a, b)` (an *operation*, the PRE candidates)
+/// or `x = a` (a *copy*, which PRE introduces and which is never itself a
+/// redundancy candidate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_IR_INSTR_H
+#define LCM_IR_INSTR_H
+
+#include <cassert>
+
+#include "ir/Expr.h"
+
+namespace lcm {
+
+/// One assignment.  Every instruction defines exactly one variable.
+class Instr {
+public:
+  enum class Kind : uint8_t {
+    /// Dest = op(operands); Operation references an interned ExprId.
+    Operation,
+    /// Dest = Src (variable or constant).
+    Copy,
+  };
+
+  static Instr makeOperation(VarId Dest, ExprId E) {
+    Instr I;
+    I.TheKind = Kind::Operation;
+    I.Dest = Dest;
+    I.TheExpr = E;
+    return I;
+  }
+
+  static Instr makeCopy(VarId Dest, Operand Src) {
+    Instr I;
+    I.TheKind = Kind::Copy;
+    I.Dest = Dest;
+    I.Src = Src;
+    return I;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isOperation() const { return TheKind == Kind::Operation; }
+  bool isCopy() const { return TheKind == Kind::Copy; }
+
+  VarId dest() const { return Dest; }
+  void setDest(VarId V) { Dest = V; }
+
+  ExprId exprId() const {
+    assert(isOperation() && "not an operation");
+    return TheExpr;
+  }
+
+  Operand src() const {
+    assert(isCopy() && "not a copy");
+    return Src;
+  }
+
+private:
+  Instr() = default;
+
+  Kind TheKind = Kind::Copy;
+  VarId Dest = InvalidVar;
+  ExprId TheExpr = InvalidExpr;
+  Operand Src;
+};
+
+} // namespace lcm
+
+#endif // LCM_IR_INSTR_H

@@ -1,0 +1,298 @@
+//===- ir/Parser.cpp -------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace lcm;
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens, honoring '#' comments.
+std::vector<std::string> tokenize(std::string_view Line) {
+  std::vector<std::string> Tokens;
+  std::string Cur;
+  for (char C : Line) {
+    if (C == '#')
+      break;
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      if (!Cur.empty()) {
+        Tokens.push_back(Cur);
+        Cur.clear();
+      }
+      continue;
+    }
+    Cur.push_back(C);
+  }
+  if (!Cur.empty())
+    Tokens.push_back(Cur);
+  return Tokens;
+}
+
+bool isIntegerToken(const std::string &Tok) {
+  if (Tok.empty())
+    return false;
+  size_t I = (Tok[0] == '-' || Tok[0] == '+') ? 1 : 0;
+  if (I == Tok.size())
+    return false;
+  for (; I != Tok.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(Tok[I])))
+      return false;
+  return true;
+}
+
+std::optional<Opcode> infixOpcode(const std::string &Sym) {
+  static const std::map<std::string, Opcode> Map = {
+      {"+", Opcode::Add},    {"-", Opcode::Sub},    {"*", Opcode::Mul},
+      {"/", Opcode::Div},    {"%", Opcode::Mod},    {"&", Opcode::And},
+      {"|", Opcode::Or},     {"^", Opcode::Xor},    {"<<", Opcode::Shl},
+      {">>", Opcode::Shr},   {"==", Opcode::CmpEq}, {"!=", Opcode::CmpNe},
+      {"<", Opcode::CmpLt},  {"<=", Opcode::CmpLe}, {">", Opcode::CmpGt},
+      {">=", Opcode::CmpGe},
+  };
+  auto It = Map.find(Sym);
+  if (It == Map.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<Opcode> mnemonicOpcode(const std::string &Sym) {
+  if (Sym == "min")
+    return Opcode::Min;
+  if (Sym == "max")
+    return Opcode::Max;
+  return std::nullopt;
+}
+
+/// Edge request recorded during parsing, resolved once all labels exist.
+struct PendingEdges {
+  BlockId From;
+  int Line;
+  std::vector<std::string> Targets;
+  std::string CondName; ///< Nonempty for `if ... then ... else ...`.
+};
+
+struct ParserState {
+  Function Fn;
+  std::map<std::string, BlockId> LabelToBlock;
+  std::vector<PendingEdges> Edges;
+  BlockId Cur = InvalidBlock;
+  bool CurTerminated = false;
+};
+
+std::string err(int Line, const std::string &Msg) {
+  return "line " + std::to_string(Line) + ": " + Msg;
+}
+
+/// Parses an operand token (identifier or integer literal).
+bool parseOperand(ParserState &S, const std::string &Tok, Operand &Out,
+                  int Line, std::string &Error) {
+  if (isIntegerToken(Tok)) {
+    Out = Operand::makeConst(std::strtoll(Tok.c_str(), nullptr, 10));
+    return true;
+  }
+  if (!std::isalpha(static_cast<unsigned char>(Tok[0])) && Tok[0] != '_') {
+    Error = err(Line, "expected operand, got '" + Tok + "'");
+    return false;
+  }
+  Out = Operand::makeVar(S.Fn.getOrAddVar(Tok));
+  return true;
+}
+
+/// Parses one assignment line: Tokens = [dst, "=", rhs...].
+bool parseAssignment(ParserState &S, const std::vector<std::string> &Tokens,
+                     int Line, std::string &Error) {
+  if (S.Cur == InvalidBlock) {
+    Error = err(Line, "instruction outside of a block");
+    return false;
+  }
+  if (S.CurTerminated) {
+    Error = err(Line, "instruction after terminator");
+    return false;
+  }
+  VarId Dest = S.Fn.getOrAddVar(Tokens[0]);
+  auto &Instrs = S.Fn.block(S.Cur).instrs();
+
+  const size_t N = Tokens.size();
+  if (N == 3) {
+    // Copy: dst = operand.
+    Operand Src;
+    if (!parseOperand(S, Tokens[2], Src, Line, Error))
+      return false;
+    Instrs.push_back(Instr::makeCopy(Dest, Src));
+    return true;
+  }
+  if (N == 4) {
+    // Unary: dst = (-|~) operand.
+    Opcode Op;
+    if (Tokens[2] == "-")
+      Op = Opcode::Neg;
+    else if (Tokens[2] == "~")
+      Op = Opcode::Not;
+    else {
+      Error = err(Line, "unknown unary operator '" + Tokens[2] + "'");
+      return false;
+    }
+    Operand Src;
+    if (!parseOperand(S, Tokens[3], Src, Line, Error))
+      return false;
+    ExprId E = S.Fn.exprs().intern(Expr{Op, Src, Operand::makeConst(0)});
+    Instrs.push_back(Instr::makeOperation(Dest, E));
+    return true;
+  }
+  if (N == 5) {
+    // Binary: either "dst = a OP b" or "dst = min a b".
+    Opcode Op;
+    Operand Lhs, Rhs;
+    if (auto Mn = mnemonicOpcode(Tokens[2])) {
+      Op = *Mn;
+      if (!parseOperand(S, Tokens[3], Lhs, Line, Error) ||
+          !parseOperand(S, Tokens[4], Rhs, Line, Error))
+        return false;
+    } else if (auto In = infixOpcode(Tokens[3])) {
+      Op = *In;
+      if (!parseOperand(S, Tokens[2], Lhs, Line, Error) ||
+          !parseOperand(S, Tokens[4], Rhs, Line, Error))
+        return false;
+    } else {
+      Error = err(Line, "unknown operator in '" + Tokens[2] + " " +
+                            Tokens[3] + " " + Tokens[4] + "'");
+      return false;
+    }
+    ExprId E = S.Fn.exprs().intern(Expr{Op, Lhs, Rhs});
+    Instrs.push_back(Instr::makeOperation(Dest, E));
+    return true;
+  }
+  Error = err(Line, "malformed assignment");
+  return false;
+}
+
+} // namespace
+
+ParseResult lcm::parseFunction(std::string_view Source) {
+  ParseResult Result;
+  ParserState S;
+
+  int Line = 0;
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t Nl = Source.find('\n', Pos);
+    std::string_view Raw = Source.substr(
+        Pos, Nl == std::string_view::npos ? std::string_view::npos
+                                          : Nl - Pos);
+    Pos = Nl == std::string_view::npos ? Source.size() + 1 : Nl + 1;
+    ++Line;
+
+    std::vector<std::string> Tokens = tokenize(Raw);
+    if (Tokens.empty())
+      continue;
+
+    const std::string &Head = Tokens[0];
+    if (Head == "func") {
+      if (Tokens.size() != 2) {
+        Result.Error = err(Line, "expected 'func NAME'");
+        return Result;
+      }
+      S.Fn = Function(Tokens[1]);
+      continue;
+    }
+    if (Head == "block") {
+      if (Tokens.size() != 2) {
+        Result.Error = err(Line, "expected 'block LABEL'");
+        return Result;
+      }
+      if (S.Cur != InvalidBlock && !S.CurTerminated) {
+        Result.Error = err(Line, "previous block lacks a terminator");
+        return Result;
+      }
+      if (S.LabelToBlock.count(Tokens[1])) {
+        Result.Error = err(Line, "duplicate block label '" + Tokens[1] + "'");
+        return Result;
+      }
+      S.Cur = S.Fn.addBlock(Tokens[1]);
+      S.LabelToBlock[Tokens[1]] = S.Cur;
+      S.CurTerminated = false;
+      continue;
+    }
+    if (S.Cur == InvalidBlock) {
+      Result.Error = err(Line, "statement outside of a block");
+      return Result;
+    }
+    if (Head == "goto") {
+      if (Tokens.size() != 2) {
+        Result.Error = err(Line, "expected 'goto LABEL'");
+        return Result;
+      }
+      S.Edges.push_back({S.Cur, Line, {Tokens[1]}, ""});
+      S.CurTerminated = true;
+      continue;
+    }
+    if (Head == "if") {
+      if (Tokens.size() != 6 || Tokens[2] != "then" || Tokens[4] != "else") {
+        Result.Error = err(Line, "expected 'if VAR then L1 else L2'");
+        return Result;
+      }
+      S.Edges.push_back({S.Cur, Line, {Tokens[3], Tokens[5]}, Tokens[1]});
+      S.CurTerminated = true;
+      continue;
+    }
+    if (Head == "br") {
+      if (Tokens.size() < 2) {
+        Result.Error = err(Line, "expected 'br LABEL...'");
+        return Result;
+      }
+      PendingEdges E{S.Cur, Line, {}, ""};
+      for (size_t I = 1; I != Tokens.size(); ++I)
+        E.Targets.push_back(Tokens[I]);
+      S.Edges.push_back(std::move(E));
+      S.CurTerminated = true;
+      continue;
+    }
+    if (Head == "exit") {
+      if (Tokens.size() != 1) {
+        Result.Error = err(Line, "expected bare 'exit'");
+        return Result;
+      }
+      S.CurTerminated = true;
+      continue;
+    }
+    // Otherwise this must be an assignment: dst = ...
+    if (Tokens.size() < 3 || Tokens[1] != "=") {
+      Result.Error = err(Line, "unrecognized statement '" + Head + "'");
+      return Result;
+    }
+    if (!parseAssignment(S, Tokens, Line, Result.Error))
+      return Result;
+  }
+
+  if (S.Cur == InvalidBlock) {
+    Result.Error = "empty function";
+    return Result;
+  }
+  if (!S.CurTerminated) {
+    Result.Error = err(Line, "last block lacks a terminator");
+    return Result;
+  }
+
+  // Resolve edges now that every label is known.
+  for (const PendingEdges &E : S.Edges) {
+    for (const std::string &Target : E.Targets) {
+      auto It = S.LabelToBlock.find(Target);
+      if (It == S.LabelToBlock.end()) {
+        Result.Error = err(E.Line, "unknown label '" + Target + "'");
+        return Result;
+      }
+      S.Fn.addEdge(E.From, It->second);
+    }
+    if (!E.CondName.empty())
+      S.Fn.block(E.From).setCondVar(S.Fn.getOrAddVar(E.CondName));
+  }
+
+  Result.Ok = true;
+  Result.Fn = std::move(S.Fn);
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===- ir/Parser.h - Textual IR parser ------------------------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the line-oriented textual IR that Printer emits, so functions
+/// round-trip.  Grammar (one construct per line, '#' starts a comment):
+///
+/// \code
+///   func NAME                      # optional header
+///   block LABEL                    # starts a basic block
+///     x = a + b                    # binary operation
+///     x = min a b                  # mnemonic binary operation
+///     x = - a                      # unary operation (also ~)
+///     x = a                        # copy (variable or integer constant)
+///     goto LABEL                   # unconditional terminator
+///     if c then L1 else L2         # conditional terminator
+///     br L1 L2 ...                 # oracle-decided multiway terminator
+///     exit                         # function exit
+/// \endcode
+///
+/// The first block is the entry.  Labels may be referenced before they are
+/// defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_IR_PARSER_H
+#define LCM_IR_PARSER_H
+
+#include <string>
+#include <string_view>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Result of parsing: either a function or a diagnostic.
+struct ParseResult {
+  bool Ok = false;
+  std::string Error; ///< "line N: message" when !Ok.
+  Function Fn;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses \p Source into a Function.  Never throws; reports the first error.
+ParseResult parseFunction(std::string_view Source);
+
+} // namespace lcm
+
+#endif // LCM_IR_PARSER_H

@@ -1,0 +1,51 @@
+//===- ir/Printer.cpp ------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+using namespace lcm;
+
+std::string lcm::printFunction(const Function &Fn) {
+  std::string Out = "func " + Fn.name() + "\n";
+  for (const BasicBlock &B : Fn.blocks()) {
+    Out += "block " + B.label() + "\n";
+    for (const Instr &I : B.instrs())
+      Out += "  " + Fn.instrText(I) + "\n";
+    if (B.succs().empty()) {
+      Out += "  exit\n";
+    } else if (B.succs().size() == 1) {
+      Out += "  goto " + Fn.block(B.succs()[0]).label() + "\n";
+    } else if (B.hasConditionalBranch()) {
+      Out += "  if " + Fn.varName(*B.condVar()) + " then " +
+             Fn.block(B.succs()[0]).label() + " else " +
+             Fn.block(B.succs()[1]).label() + "\n";
+    } else {
+      Out += "  br";
+      for (BlockId S : B.succs())
+        Out += " " + Fn.block(S).label();
+      Out += "\n";
+    }
+  }
+  return Out;
+}
+
+std::string lcm::printDot(const Function &Fn) {
+  std::string Out = "digraph \"" + Fn.name() + "\" {\n";
+  Out += "  node [shape=box, fontname=monospace];\n";
+  for (const BasicBlock &B : Fn.blocks()) {
+    std::string Body = B.label();
+    for (const Instr &I : B.instrs())
+      Body += "\\n" + Fn.instrText(I);
+    Out += "  n" + std::to_string(B.id()) + " [label=\"" + Body + "\"];\n";
+  }
+  for (const BasicBlock &B : Fn.blocks()) {
+    for (size_t I = 0; I != B.succs().size(); ++I) {
+      Out += "  n" + std::to_string(B.id()) + " -> n" +
+             std::to_string(B.succs()[I]);
+      if (B.hasConditionalBranch())
+        Out += I == 0 ? " [label=\"T\"]" : " [label=\"F\"]";
+      Out += ";\n";
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

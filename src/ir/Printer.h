@@ -1,0 +1,31 @@
+//===- ir/Printer.h - Textual and Graphviz rendering of functions --------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Function as the textual IR the parser accepts (round-trips) or
+/// as a Graphviz digraph for the figure reproductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_IR_PRINTER_H
+#define LCM_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Renders \p Fn in the parseable textual format.
+std::string printFunction(const Function &Fn);
+
+/// Renders \p Fn as a Graphviz dot digraph (blocks as record nodes).
+std::string printDot(const Function &Fn);
+
+} // namespace lcm
+
+#endif // LCM_IR_PRINTER_H

@@ -1,0 +1,138 @@
+//===- ir/Verifier.cpp -----------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lcm;
+
+namespace {
+
+/// Marks everything reachable from \p Start following \p NextOf.
+template <typename SuccFn>
+std::vector<bool> reach(const Function &Fn, BlockId Start, SuccFn NextOf) {
+  std::vector<bool> Seen(Fn.numBlocks(), false);
+  std::vector<BlockId> Stack{Start};
+  Seen[Start] = true;
+  while (!Stack.empty()) {
+    BlockId B = Stack.back();
+    Stack.pop_back();
+    for (BlockId N : NextOf(B)) {
+      if (!Seen[N]) {
+        Seen[N] = true;
+        Stack.push_back(N);
+      }
+    }
+  }
+  return Seen;
+}
+
+} // namespace
+
+std::vector<std::string> lcm::verifyFunction(const Function &Fn) {
+  std::vector<std::string> Errors;
+  auto fail = [&Errors](std::string Msg) { Errors.push_back(std::move(Msg)); };
+
+  if (Fn.numBlocks() == 0) {
+    fail("function has no blocks");
+    return Errors;
+  }
+  if (Fn.entry() >= Fn.numBlocks()) {
+    fail("entry block id out of range");
+    return Errors;
+  }
+  if (!Fn.block(Fn.entry()).preds().empty())
+    fail("entry block has predecessors");
+
+  // Unique exit.
+  std::vector<BlockId> Exits;
+  for (const BasicBlock &B : Fn.blocks())
+    if (B.succs().empty())
+      Exits.push_back(B.id());
+  if (Exits.size() != 1)
+    fail("expected exactly one exit block, found " +
+         std::to_string(Exits.size()));
+
+  // Edge symmetry: succ multiset of edges must equal pred multiset.
+  std::map<std::pair<BlockId, BlockId>, int> EdgeCount;
+  for (const BasicBlock &B : Fn.blocks()) {
+    for (BlockId S : B.succs()) {
+      if (S >= Fn.numBlocks()) {
+        fail("block " + B.label() + " has out-of-range successor");
+        continue;
+      }
+      ++EdgeCount[{B.id(), S}];
+    }
+  }
+  for (const BasicBlock &B : Fn.blocks()) {
+    for (BlockId P : B.preds()) {
+      if (P >= Fn.numBlocks()) {
+        fail("block " + B.label() + " has out-of-range predecessor");
+        continue;
+      }
+      if (--EdgeCount[{P, B.id()}] < 0)
+        fail("pred list of " + B.label() + " names " + Fn.block(P).label() +
+             " more often than the successor lists do");
+    }
+  }
+  for (const auto &[Edge, Count] : EdgeCount)
+    if (Count > 0)
+      fail("edge " + Fn.block(Edge.first).label() + " -> " +
+           Fn.block(Edge.second).label() + " missing from pred list");
+
+  // Branch condition sanity.
+  for (const BasicBlock &B : Fn.blocks()) {
+    if (B.condVar() && *B.condVar() >= Fn.numVars())
+      fail("block " + B.label() + " branches on an out-of-range variable");
+    if (B.condVar() && B.succs().size() != 2)
+      fail("block " + B.label() +
+           " has a condition variable but not exactly two successors");
+  }
+
+  // Instruction sanity.
+  for (const BasicBlock &B : Fn.blocks()) {
+    for (const Instr &I : B.instrs()) {
+      if (I.dest() >= Fn.numVars()) {
+        fail("block " + B.label() + ": destination variable out of range");
+        continue;
+      }
+      if (I.isOperation()) {
+        if (I.exprId() >= Fn.exprs().size()) {
+          fail("block " + B.label() + ": expression id out of range");
+          continue;
+        }
+        const Expr &E = Fn.exprs().expr(I.exprId());
+        if (E.Lhs.isVar() && E.Lhs.var() >= Fn.numVars())
+          fail("block " + B.label() + ": expression operand out of range");
+        if (E.isBinary() && E.Rhs.isVar() && E.Rhs.var() >= Fn.numVars())
+          fail("block " + B.label() + ": expression operand out of range");
+      } else if (I.src().isVar() && I.src().var() >= Fn.numVars()) {
+        fail("block " + B.label() + ": copy source out of range");
+      }
+    }
+  }
+
+  // Reachability: every block reachable from entry, exit reachable from all.
+  std::vector<bool> FromEntry =
+      reach(Fn, Fn.entry(),
+            [&Fn](BlockId B) -> const std::vector<BlockId> & {
+              return Fn.block(B).succs();
+            });
+  for (const BasicBlock &B : Fn.blocks())
+    if (!FromEntry[B.id()])
+      fail("block " + B.label() + " unreachable from entry");
+
+  if (Exits.size() == 1) {
+    std::vector<bool> ToExit =
+        reach(Fn, Exits[0],
+              [&Fn](BlockId B) -> const std::vector<BlockId> & {
+                return Fn.block(B).preds();
+              });
+    for (const BasicBlock &B : Fn.blocks())
+      if (!ToExit[B.id()])
+        fail("block " + B.label() + " cannot reach the exit");
+  }
+
+  return Errors;
+}

@@ -1,0 +1,42 @@
+//===- ir/Verifier.h - Structural invariants of the flow-graph model -----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the invariants the paper's flow-graph model requires and that the
+/// analyses assume:
+///
+/// - a unique entry block with no predecessors;
+/// - a unique exit block with no successors;
+/// - every block lies on some entry-to-exit path;
+/// - predecessor/successor lists are mutually consistent (as multisets);
+/// - instruction operands, destinations, expression ids, and branch
+///   condition variables are all in range;
+/// - a condition variable is only meaningful on two-successor blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_IR_VERIFIER_H
+#define LCM_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Returns all invariant violations found in \p Fn (empty means valid).
+std::vector<std::string> verifyFunction(const Function &Fn);
+
+/// Convenience predicate.
+inline bool isValidFunction(const Function &Fn) {
+  return verifyFunction(Fn).empty();
+}
+
+} // namespace lcm
+
+#endif // LCM_IR_VERIFIER_H

@@ -1,0 +1,35 @@
+//===- metrics/Compare.cpp -------------------------------------------------===//
+
+#include "metrics/Compare.h"
+
+using namespace lcm;
+
+StrategyOutcome lcm::evaluateStrategy(const std::string &Name,
+                                      const Function &Original,
+                                      const TransformFn &Transform,
+                                      uint64_t DynSeedBase,
+                                      unsigned NumDynRuns) {
+  StrategyOutcome O;
+  O.Strategy = Name;
+
+  Function Fn = Original;
+  Transform(Fn);
+
+  O.StaticOps = Fn.countOperations();
+  O.WeightedStaticOps = weightedStaticCost(Fn);
+  O.BlocksAfter = Fn.numBlocks();
+
+  for (unsigned Run = 0; Run != NumDynRuns; ++Run) {
+    DynamicCost C =
+        measureDynamicCost(Fn, DynSeedBase + Run, Original.numVars(),
+                           uint32_t(Original.numBlocks()));
+    O.DynamicEvals += C.Evals;
+    O.AllRunsReachedExit &= C.ReachedExit;
+  }
+
+  LifetimeStats L = measureTempLifetimes(Fn, Original.numVars());
+  O.TempLiveSlots = L.LiveBlockSlots;
+  O.TempMaxPressure = L.MaxPressure;
+  O.NumTemps = L.NumTemps;
+  return O;
+}

@@ -1,0 +1,64 @@
+//===- metrics/Compare.h - Strategy-vs-strategy evaluation ----------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applies a named transformation to a private copy of a program and
+/// measures everything the experiments report: static and dynamic
+/// computation counts (summed over several seeded runs), temp lifetimes,
+/// and peak temp pressure.  All table benches and several property tests
+/// are built on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_METRICS_COMPARE_H
+#define LCM_METRICS_COMPARE_H
+
+#include <functional>
+#include <string>
+
+#include "metrics/Cost.h"
+
+namespace lcm {
+
+/// In-place program transformation under measurement.
+using TransformFn = std::function<void(Function &)>;
+
+/// Everything measured for one (program, strategy) pair.
+struct StrategyOutcome {
+  std::string Strategy;
+  uint64_t StaticOps = 0;
+  uint64_t WeightedStaticOps = 0;
+  /// Summed over the seeded runs.
+  uint64_t DynamicEvals = 0;
+  /// True iff every seeded run reached the exit within budget.
+  bool AllRunsReachedExit = true;
+  uint64_t TempLiveSlots = 0;
+  uint64_t TempMaxPressure = 0;
+  uint64_t NumTemps = 0;
+  uint64_t BlocksAfter = 0;
+};
+
+/// Measures \p Transform applied to (a copy of) \p Original.
+///
+/// Dynamic runs use seeds DynSeedBase .. DynSeedBase+NumDynRuns-1; inputs
+/// and oracles depend only on the seed and the *original* shape, so
+/// outcomes of different strategies on the same program are path-aligned
+/// and directly comparable.
+StrategyOutcome evaluateStrategy(const std::string &Name,
+                                 const Function &Original,
+                                 const TransformFn &Transform,
+                                 uint64_t DynSeedBase = 1,
+                                 unsigned NumDynRuns = 5);
+
+/// The identity transformation (the "none" baseline row).
+inline TransformFn identityTransform() {
+  return [](Function &) {};
+}
+
+} // namespace lcm
+
+#endif // LCM_METRICS_COMPARE_H

@@ -1,0 +1,74 @@
+//===- metrics/Cost.cpp ----------------------------------------------------===//
+
+#include "metrics/Cost.h"
+
+#include "analysis/VarLiveness.h"
+#include "graph/Dominators.h"
+#include "graph/Loops.h"
+#include "support/Rng.h"
+
+using namespace lcm;
+
+std::vector<int64_t> lcm::makeSeededInputs(uint64_t Seed,
+                                           size_t NumInputVars) {
+  Rng R(Seed * 0x2545f4914f6cdd1dULL + 0xd6e8feb86659fd93ULL);
+  std::vector<int64_t> Inputs(NumInputVars);
+  for (int64_t &V : Inputs)
+    V = R.range(-4, 9);
+  return Inputs;
+}
+
+DynamicCost lcm::measureDynamicCost(const Function &Fn, uint64_t Seed,
+                                    size_t NumInputVars,
+                                    uint32_t OriginalBlockCount,
+                                    uint64_t MaxVisits) {
+  RandomOracle Oracle(Seed ^ 0x94d049bb133111ebULL);
+  Interpreter::Options Opts;
+  Opts.MaxOriginalBlockVisits = MaxVisits;
+  Opts.OriginalBlockCount = OriginalBlockCount;
+  InterpResult R = Interpreter::run(Fn, makeSeededInputs(Seed, NumInputVars),
+                                    Oracle, Opts);
+  DynamicCost C;
+  C.Evals = R.TotalEvals;
+  C.ReachedExit = R.ReachedExit;
+  C.OriginalBlocksExecuted = R.OriginalBlocksExecuted;
+  return C;
+}
+
+LifetimeStats lcm::measureTempLifetimes(const Function &Fn,
+                                        size_t FirstTempVar) {
+  LifetimeStats S;
+  S.NumTemps = Fn.numVars() > FirstTempVar ? Fn.numVars() - FirstTempVar : 0;
+  if (S.NumTemps == 0)
+    return S;
+
+  VarLivenessResult Live = computeVarLiveness(Fn);
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    uint64_t InCount = 0, OutCount = 0;
+    for (size_t V = FirstTempVar; V != Fn.numVars(); ++V) {
+      InCount += Live.LiveIn[B].test(V);
+      OutCount += Live.LiveOut[B].test(V);
+    }
+    S.LiveBlockSlots += InCount + OutCount;
+    if (OutCount > S.MaxPressure)
+      S.MaxPressure = OutCount;
+    if (InCount > S.MaxPressure)
+      S.MaxPressure = InCount;
+  }
+  return S;
+}
+
+uint64_t lcm::weightedStaticCost(const Function &Fn) {
+  Dominators Dom(Fn);
+  LoopForest Forest(Fn, Dom);
+  uint64_t Cost = 0;
+  for (const BasicBlock &B : Fn.blocks()) {
+    uint64_t Weight = 1;
+    for (uint32_t D = 0; D != Forest.depth(B.id()); ++D)
+      Weight *= 10;
+    for (const Instr &I : B.instrs())
+      if (I.isOperation())
+        Cost += Weight;
+  }
+  return Cost;
+}

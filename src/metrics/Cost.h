@@ -1,0 +1,70 @@
+//===- metrics/Cost.h - Static/dynamic cost and lifetime measurement -----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantities the paper's theorems speak about, made measurable:
+///
+/// - *dynamic computation cost*: expression evaluations along an executed
+///   path (computational optimality bounds this path-wise);
+/// - *temporary lifetimes*: block boundaries at which an introduced temp is
+///   live, and the peak number of simultaneously live temps (lifetime
+///   optimality minimizes these);
+/// - *weighted static cost*: operations weighted by 10^loop-depth, the
+///   classic static stand-in for execution frequency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_METRICS_COST_H
+#define LCM_METRICS_COST_H
+
+#include <cstdint>
+
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Result of one measured execution.
+struct DynamicCost {
+  uint64_t Evals = 0;
+  bool ReachedExit = false;
+  uint64_t OriginalBlocksExecuted = 0;
+};
+
+/// Runs \p Fn once with inputs and oracle derived from \p Seed.
+///
+/// \param NumInputVars number of variables receiving seeded initial values
+///        (use the *original* function's variable count so original and
+///        transformed programs get identical inputs).
+/// \param OriginalBlockCount visit-budget scope (see Interpreter::Options).
+DynamicCost measureDynamicCost(const Function &Fn, uint64_t Seed,
+                               size_t NumInputVars,
+                               uint32_t OriginalBlockCount,
+                               uint64_t MaxVisits = 20000);
+
+/// Generates the seeded initial variable values measureDynamicCost uses.
+std::vector<int64_t> makeSeededInputs(uint64_t Seed, size_t NumInputVars);
+
+/// Lifetime metrics of the temporaries a transformation introduced
+/// (every variable with id >= FirstTempVar counts as a temp).
+struct LifetimeStats {
+  /// Sum over block boundaries (entry and exit) of the number of live
+  /// temps — the block-granular total register-lifetime of the transform.
+  uint64_t LiveBlockSlots = 0;
+  /// Peak number of temps simultaneously live out of a block.
+  uint64_t MaxPressure = 0;
+  uint64_t NumTemps = 0;
+};
+
+LifetimeStats measureTempLifetimes(const Function &Fn, size_t FirstTempVar);
+
+/// Static operation count weighted by 10^loop-depth per block.
+uint64_t weightedStaticCost(const Function &Fn);
+
+} // namespace lcm
+
+#endif // LCM_METRICS_COST_H

@@ -1,0 +1,83 @@
+//===- support/Rng.h - Deterministic pseudo-random number generator ------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, fully deterministic RNG (splitmix64 seeded xoshiro256**)
+/// used by the workload generators, the interpreter's branch oracles, and
+/// the property tests.  Determinism across platforms matters more here than
+/// statistical quality, which is why <random> distributions are avoided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_RNG_H
+#define LCM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lcm {
+
+/// Deterministic 64-bit PRNG with a tiny state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed) {
+    for (uint64_t &Word : State) {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value (xoshiro256**).
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound).  \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Debiased modulo is unnecessary for our workloads; plain modulo keeps
+    // sequences stable and is bias-free for power-of-two-ish bounds anyway.
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + int64_t(below(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability Numer/Denom.
+  bool chance(uint64_t Numer, uint64_t Denom) {
+    assert(Denom != 0 && "zero denominator");
+    return below(Denom) < Numer;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace lcm
+
+#endif // LCM_SUPPORT_RNG_H

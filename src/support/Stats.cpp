@@ -1,0 +1,23 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+using namespace lcm;
+
+std::map<std::string, uint64_t> &Stats::registry() {
+  static std::map<std::string, uint64_t> Registry;
+  return Registry;
+}
+
+void Stats::bump(const std::string &Name, uint64_t Delta) {
+  registry()[Name] += Delta;
+}
+
+uint64_t Stats::get(const std::string &Name) {
+  auto It = registry().find(Name);
+  return It == registry().end() ? 0 : It->second;
+}
+
+void Stats::resetAll() { registry().clear(); }
+
+std::map<std::string, uint64_t> Stats::all() { return registry(); }

@@ -1,0 +1,48 @@
+//===- support/Stats.h - Named counters for analysis instrumentation -----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny named-counter registry, in the spirit of LLVM's Statistic class.
+/// Solvers and transforms bump counters ("solver.iterations",
+/// "transform.insertions", ...) and the benchmark harness reads them back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_STATS_H
+#define LCM_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lcm {
+
+/// Process-wide registry of named uint64 counters.
+///
+/// The registry is intentionally not thread-safe: every experiment in this
+/// repository is single-threaded and determinism is the priority.
+class Stats {
+public:
+  /// Adds \p Delta to the named counter (creating it at zero).
+  static void bump(const std::string &Name, uint64_t Delta = 1);
+
+  /// Current value, or zero if never bumped.
+  static uint64_t get(const std::string &Name);
+
+  /// Clears every counter.
+  static void resetAll();
+
+  /// Snapshot of all counters (sorted by name, for deterministic dumps).
+  static std::map<std::string, uint64_t> all();
+
+private:
+  static std::map<std::string, uint64_t> &registry();
+};
+
+} // namespace lcm
+
+#endif // LCM_SUPPORT_STATS_H

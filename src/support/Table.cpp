@@ -1,0 +1,78 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace lcm;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+Table &Table::row() {
+  Rows.emplace_back();
+  return *this;
+}
+
+Table &Table::add(std::string Cell) {
+  assert(!Rows.empty() && "call row() before add()");
+  Rows.back().push_back(std::move(Cell));
+  return *this;
+}
+
+Table &Table::add(uint64_t Value) { return add(std::to_string(Value)); }
+
+Table &Table::add(int64_t Value) { return add(std::to_string(Value)); }
+
+Table &Table::add(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return add(std::string(Buf));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I != Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size() && I != Widths.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto appendCell = [](std::string &Out, const std::string &Cell,
+                       size_t Width) {
+    // Right-align pure numbers, left-align text.
+    bool Numeric = !Cell.empty();
+    for (char C : Cell)
+      if (!(C >= '0' && C <= '9') && C != '.' && C != '-' && C != '+')
+        Numeric = false;
+    if (Numeric)
+      Out.append(Width - Cell.size(), ' ');
+    Out += Cell;
+    if (!Numeric)
+      Out.append(Width - Cell.size(), ' ');
+  };
+
+  std::string Out;
+  for (size_t I = 0; I != Header.size(); ++I) {
+    if (I)
+      Out += " | ";
+    appendCell(Out, Header[I], Widths[I]);
+  }
+  Out += '\n';
+  for (size_t I = 0; I != Header.size(); ++I) {
+    if (I)
+      Out += "-+-";
+    Out.append(Widths[I], '-');
+  }
+  Out += '\n';
+  for (const auto &Row : Rows) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I)
+        Out += " | ";
+      appendCell(Out, Row[I], I < Widths.size() ? Widths[I] : Row[I].size());
+    }
+    Out += '\n';
+  }
+  return Out;
+}

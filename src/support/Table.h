@@ -1,0 +1,52 @@
+//===- support/Table.h - ASCII table rendering for experiment output -----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal ASCII table builder used by the benchmark harness to print the
+/// rows EXPERIMENTS.md records.  Columns are sized to fit; numbers are
+/// rendered right-aligned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_TABLE_H
+#define LCM_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcm {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Starts a new row; cells are appended with add().
+  Table &row();
+
+  Table &add(std::string Cell);
+  Table &add(const char *Cell) { return add(std::string(Cell)); }
+  Table &add(uint64_t Value);
+  Table &add(int64_t Value);
+  Table &add(int Value) { return add(int64_t(Value)); }
+  /// Renders with \p Decimals fractional digits.
+  Table &add(double Value, int Decimals = 2);
+
+  /// Renders the complete table, including header and separator.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace lcm
+
+#endif // LCM_SUPPORT_TABLE_H

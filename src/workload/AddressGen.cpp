@@ -1,0 +1,136 @@
+//===- workload/AddressGen.cpp ---------------------------------------------===//
+
+#include "workload/AddressGen.h"
+
+#include <string>
+#include <vector>
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+using namespace lcm;
+
+namespace {
+
+class KernelBuilder {
+public:
+  KernelBuilder(Function &Fn, const AddressGenOptions &Opts)
+      : Fn(Fn), B(Fn), Opts(Opts), R(Opts.Seed * 0x9e3779b97f4a7c15ULL + 7) {}
+
+  void run() {
+    Cur = B.startBlock("entry");
+    // Accumulator starts defined so the kernel's result is reproducible.
+    B.setBlock(Cur);
+    B.copy("s", IRBuilder::cst(0));
+    buildLoop(0);
+  }
+
+private:
+  Function &Fn;
+  IRBuilder B;
+  AddressGenOptions Opts;
+  Rng R;
+  BlockId Cur = InvalidBlock;
+  unsigned NextTemp = 0;
+
+  /// An address pattern: base + idx * stride.  The product variable is
+  /// stable per pattern so the `base + t` addition recurs *syntactically*
+  /// at every use — the redundancy shape real address code has.
+  struct Pattern {
+    std::string Base;
+    std::string Idx;
+    int64_t Stride;
+    std::string ProductVar;
+  };
+  std::vector<Pattern> Memo;
+
+  std::string counter(unsigned Level) const {
+    return "i" + std::to_string(Level);
+  }
+
+  Pattern randomPattern(unsigned InnermostLevel) {
+    if (!Memo.empty() && R.chance(Opts.ReusePercent, 100))
+      return Memo[R.below(Memo.size())];
+    static const int64_t Strides[] = {4, 8, 16, 24};
+    Pattern P;
+    P.Base = "b" + std::to_string(R.below(Opts.NumArrays));
+    P.Idx = counter(unsigned(R.below(InnermostLevel + 1)));
+    P.Stride = Strides[R.below(std::size(Strides))];
+    P.ProductVar = "p" + std::to_string(Memo.size());
+    Memo.push_back(P);
+    return P;
+  }
+
+  /// Emits `p = idx * stride; a = base + p; s = s + a` into Cur.
+  void emitAddressStmt(unsigned InnermostLevel) {
+    Pattern P = randomPattern(InnermostLevel);
+    std::string A = "a" + std::to_string(NextTemp);
+    ++NextTemp;
+    B.setBlock(Cur);
+    B.op(P.ProductVar, Opcode::Mul, B.var(P.Idx), IRBuilder::cst(P.Stride));
+    B.op(A, Opcode::Add, B.var(P.Base), B.var(P.ProductVar));
+    B.op("s", Opcode::Add, B.var("s"), B.var(A));
+  }
+
+  /// Occasionally: a combined row/column index feeding one address.
+  void emitCombinedStmt(unsigned InnermostLevel) {
+    if (InnermostLevel == 0)
+      return emitAddressStmt(InnermostLevel);
+    std::string Row = counter(unsigned(R.below(InnermostLevel)));
+    std::string Col = counter(InnermostLevel);
+    std::string T = "t" + std::to_string(NextTemp);
+    std::string A = "a" + std::to_string(NextTemp);
+    ++NextTemp;
+    B.setBlock(Cur);
+    B.op(T, Opcode::Add, B.var(Row), B.var(Col));
+    B.op(A, Opcode::Shl, B.var(T), IRBuilder::cst(3));
+    B.op("s", Opcode::Add, B.var("s"), B.var(A));
+  }
+
+  void buildLoop(unsigned Level) {
+    std::string I = counter(Level);
+    B.setBlock(Cur);
+    B.copy(I, IRBuilder::cst(0));
+
+    BlockId Header = B.startBlock("h" + std::to_string(Level));
+    BlockId Body = B.startBlock("body" + std::to_string(Level));
+    BlockId After = B.startBlock("after" + std::to_string(Level));
+
+    B.setBlock(Cur);
+    B.jump(Header);
+
+    B.setBlock(Header);
+    std::string Cond = "c" + std::to_string(Level);
+    B.op(Cond, Opcode::CmpLt, B.var(I), IRBuilder::cst(Opts.TripCount));
+    B.branch(Cond, Body, After);
+
+    Cur = Body;
+    if (Level + 1 < Opts.Depth) {
+      // A little work before the inner nest, then the nest itself.
+      emitAddressStmt(Level);
+      buildLoop(Level + 1);
+    } else {
+      for (unsigned S = 0; S != Opts.StmtsPerBody; ++S) {
+        if (R.chance(1, 4))
+          emitCombinedStmt(Level);
+        else
+          emitAddressStmt(Level);
+      }
+    }
+    B.setBlock(Cur);
+    B.op(I, Opcode::Add, B.var(I), IRBuilder::cst(1));
+    B.jump(Header);
+
+    Cur = After;
+  }
+};
+
+} // namespace
+
+Function lcm::generateAddressKernel(const AddressGenOptions &Opts) {
+  assert(Opts.Depth >= 1 && "need at least one loop");
+  Function Fn("addr." + std::to_string(Opts.Seed));
+  KernelBuilder KB(Fn, Opts);
+  KB.run();
+  return Fn;
+}

@@ -1,0 +1,47 @@
+//===- workload/AddressGen.h - Array address-computation kernels ---------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload family PRE papers traditionally motivate with: array
+/// address arithmetic.  Generated kernels are perfect nests of counted
+/// loops whose bodies compute addresses `base_k + idx * stride` (idx a
+/// loop counter, occasionally an inner-plus-outer combination), reduce
+/// them into an accumulator, and recompute some of them verbatim — the
+/// redundancies global CSE misses, LCM removes, and strength reduction
+/// turns into additions.  Fully deterministic and always terminating.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_WORKLOAD_ADDRESSGEN_H
+#define LCM_WORKLOAD_ADDRESSGEN_H
+
+#include <cstdint>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+struct AddressGenOptions {
+  uint64_t Seed = 1;
+  /// Loop nest depth (1..3 are sensible).
+  unsigned Depth = 2;
+  /// Trip count of every loop level.
+  unsigned TripCount = 4;
+  /// Number of simulated arrays (base variables).
+  unsigned NumArrays = 3;
+  /// Address computations per loop body.
+  unsigned StmtsPerBody = 4;
+  /// Percent chance a statement repeats an earlier address expression.
+  unsigned ReusePercent = 50;
+};
+
+/// Generates one address-computation kernel.
+Function generateAddressKernel(const AddressGenOptions &Opts);
+
+} // namespace lcm
+
+#endif // LCM_WORKLOAD_ADDRESSGEN_H

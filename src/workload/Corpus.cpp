@@ -1,0 +1,69 @@
+//===- workload/Corpus.cpp -------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+#include "workload/AddressGen.h"
+#include "workload/PaperExamples.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+using namespace lcm;
+
+std::vector<CorpusEntry> lcm::makeDefaultCorpus() {
+  std::vector<CorpusEntry> Corpus;
+  Corpus.push_back({"motivating", [] { return makeMotivatingExample(); }});
+  Corpus.push_back(
+      {"critical_edge", [] { return makeCriticalEdgeExample(); }});
+  Corpus.push_back({"diamond", [] { return makeDiamondExample(); }});
+  Corpus.push_back({"loop_nest", [] { return makeLoopNestExample(); }});
+
+  for (unsigned Seed = 1; Seed <= 6; ++Seed) {
+    Corpus.push_back({"structured." + std::to_string(Seed), [Seed] {
+                        StructuredGenOptions Opts;
+                        Opts.Seed = Seed;
+                        Opts.MaxDepth = 3;
+                        // Enough control flow that every corpus member has
+                        // real joins and loops to move code across.
+                        Opts.ControlPercent = 50;
+                        Opts.MaxStmtsPerSeq = 6;
+                        return generateStructured(Opts);
+                      }});
+  }
+  for (unsigned Seed = 1; Seed <= 6; ++Seed) {
+    Corpus.push_back({"randcfg." + std::to_string(Seed), [Seed] {
+                        RandomCfgOptions Opts;
+                        Opts.Seed = Seed;
+                        Opts.NumBlocks = 14;
+                        return generateRandomCfg(Opts);
+                      }});
+  }
+  for (unsigned Seed = 1; Seed <= 3; ++Seed) {
+    Corpus.push_back({"addr." + std::to_string(Seed), [Seed] {
+                        AddressGenOptions Opts;
+                        Opts.Seed = Seed;
+                        Opts.Depth = 1 + Seed % 3;
+                        return generateAddressKernel(Opts);
+                      }});
+  }
+  return Corpus;
+}
+
+std::vector<CorpusEntry> lcm::makeGeneratedCorpus(unsigned StructuredCount,
+                                                  unsigned RandomCount) {
+  std::vector<CorpusEntry> Corpus;
+  for (unsigned Seed = 1; Seed <= StructuredCount; ++Seed) {
+    Corpus.push_back({"structured." + std::to_string(Seed), [Seed] {
+                        StructuredGenOptions Opts;
+                        Opts.Seed = Seed;
+                        return generateStructured(Opts);
+                      }});
+  }
+  for (unsigned Seed = 1; Seed <= RandomCount; ++Seed) {
+    Corpus.push_back({"randcfg." + std::to_string(Seed), [Seed] {
+                        RandomCfgOptions Opts;
+                        Opts.Seed = Seed;
+                        return generateRandomCfg(Opts);
+                      }});
+  }
+  return Corpus;
+}

@@ -1,0 +1,42 @@
+//===- workload/Corpus.h - Named workload suite for the experiments ------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed program suite every table experiment runs over: the paper's
+/// worked examples plus deterministic samples from both generators.  Each
+/// entry is rebuilt on demand so experiments can transform their own copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_WORKLOAD_CORPUS_H
+#define LCM_WORKLOAD_CORPUS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// A named, reproducible program source.
+struct CorpusEntry {
+  std::string Name;
+  std::function<Function()> Make;
+};
+
+/// The default experiment suite (paper examples, structured seeds, random
+/// CFG seeds).
+std::vector<CorpusEntry> makeDefaultCorpus();
+
+/// A larger suite of generated programs only, for the property sweeps.
+std::vector<CorpusEntry> makeGeneratedCorpus(unsigned StructuredCount,
+                                             unsigned RandomCount);
+
+} // namespace lcm
+
+#endif // LCM_WORKLOAD_CORPUS_H

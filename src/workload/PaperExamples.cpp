@@ -1,0 +1,172 @@
+//===- workload/PaperExamples.cpp ------------------------------------------===//
+
+#include "workload/PaperExamples.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace lcm;
+
+Function lcm::makeMotivatingExample() {
+  Function Fn("motivating");
+  IRBuilder B(Fn);
+
+  BlockId Entry = B.startBlock("entry");
+  BlockId B1 = B.startBlock("b1");
+  BlockId B2 = B.startBlock("b2");
+  BlockId B3 = B.startBlock("b3");
+  BlockId B4 = B.startBlock("b4");
+  BlockId B5 = B.startBlock("b5");
+  BlockId B6 = B.startBlock("b6");
+  BlockId B8 = B.startBlock("b8");
+  BlockId Done = B.startBlock("done");
+
+  B.setBlock(Entry);
+  B.jump(B1);
+
+  B.setBlock(B1);
+  B.branch("p", B2, B3);
+
+  B.setBlock(B2);
+  B.add("x", "a", "b");
+  B.jump(B4);
+
+  B.setBlock(B3);
+  B.copy("a", B.var("k")); // Kills a + b on this arm.
+  B.jump(B4);
+
+  B.setBlock(B4);
+  B.branch("q", B5, B8);
+
+  B.setBlock(B5);
+  B.jump(B6);
+
+  B.setBlock(B6);
+  B.add("y", "a", "b"); // Loop invariant.
+  B.op("i", Opcode::Sub, B.var("i"), IRBuilder::cst(1));
+  B.op("ci", Opcode::CmpGt, B.var("i"), IRBuilder::cst(0));
+  B.branch("ci", B6, B8);
+
+  B.setBlock(B8);
+  B.add("z", "a", "b"); // Fully redundant by now.
+  B.jump(Done);
+
+  B.setBlock(Done);
+  // Exit: no successors.
+  return Fn;
+}
+
+Function lcm::makeCriticalEdgeExample() {
+  Function Fn("critical_edge");
+  IRBuilder B(Fn);
+
+  BlockId Entry = B.startBlock("entry");
+  BlockId C1 = B.startBlock("c1");
+  BlockId Q = B.startBlock("q");
+  BlockId R = B.startBlock("r");
+  BlockId J = B.startBlock("j");
+  BlockId K = B.startBlock("k");
+  BlockId Done = B.startBlock("done");
+
+  B.setBlock(Entry);
+  B.jump(C1);
+
+  B.setBlock(C1);
+  B.branch("p", Q, R);
+
+  B.setBlock(Q);
+  B.add("x", "a", "b");
+  B.jump(J);
+
+  B.setBlock(R);
+  B.branch("s", J, K); // r -> j is the critical edge.
+
+  B.setBlock(J);
+  B.add("y", "a", "b"); // Partially redundant via q.
+  B.jump(Done);
+
+  B.setBlock(K);
+  B.jump(Done);
+
+  B.setBlock(Done);
+  return Fn;
+}
+
+Function lcm::makeDiamondExample() {
+  Function Fn("diamond");
+  IRBuilder B(Fn);
+
+  BlockId Entry = B.startBlock("entry");
+  BlockId C = B.startBlock("c");
+  BlockId L = B.startBlock("l");
+  BlockId R = B.startBlock("r");
+  BlockId J = B.startBlock("j");
+  BlockId Done = B.startBlock("done");
+
+  B.setBlock(Entry);
+  B.jump(C);
+
+  B.setBlock(C);
+  B.branch("p", L, R);
+
+  B.setBlock(L);
+  B.add("x", "a", "b");
+  B.jump(J);
+
+  B.setBlock(R);
+  B.copy("t", B.var("c")); // Transparent for a + b.
+  B.jump(J);
+
+  B.setBlock(J);
+  B.add("y", "a", "b");
+  B.jump(Done);
+
+  B.setBlock(Done);
+  return Fn;
+}
+
+Function lcm::makeLoopNestExample() {
+  Function Fn("loop_nest");
+  IRBuilder B(Fn);
+
+  BlockId Entry = B.startBlock("entry");
+  BlockId OuterPre = B.startBlock("outerpre");
+  BlockId Oh = B.startBlock("oh");
+  BlockId Obody = B.startBlock("obody");
+  BlockId Ih = B.startBlock("ih");
+  BlockId Ibody = B.startBlock("ibody");
+  BlockId Oend = B.startBlock("oend");
+  BlockId Done = B.startBlock("done");
+
+  B.setBlock(Entry);
+  B.jump(OuterPre);
+
+  B.setBlock(OuterPre);
+  B.copy("i", IRBuilder::cst(3));
+  B.jump(Oh);
+
+  B.setBlock(Oh);
+  B.op("ci", Opcode::CmpGt, B.var("i"), IRBuilder::cst(0));
+  B.branch("ci", Obody, Done);
+
+  B.setBlock(Obody);
+  B.op("u", Opcode::Mul, B.var("a"), B.var("b")); // Invariant in both loops.
+  B.copy("j", IRBuilder::cst(2));
+  B.jump(Ih);
+
+  B.setBlock(Ih);
+  B.op("cj", Opcode::CmpGt, B.var("j"), IRBuilder::cst(0));
+  B.branch("cj", Ibody, Oend);
+
+  B.setBlock(Ibody);
+  B.op("v", Opcode::Mul, B.var("a"), B.var("b")); // Redundant with u.
+  B.add("w", "c", "i"); // Invariant in the inner loop only.
+  B.op("j", Opcode::Sub, B.var("j"), IRBuilder::cst(1));
+  B.jump(Ih);
+
+  B.setBlock(Oend);
+  B.op("i", Opcode::Sub, B.var("i"), IRBuilder::cst(1));
+  B.jump(Oh);
+
+  B.setBlock(Done);
+  return Fn;
+}

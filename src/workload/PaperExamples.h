@@ -1,0 +1,80 @@
+//===- workload/PaperExamples.h - The paper's worked flow graphs ---------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructions of the flow graphs PLDI'92 uses to motivate and
+/// illustrate Lazy Code Motion.  (The original figure artwork is not
+/// available to this reproduction; each graph is rebuilt to exhibit exactly
+/// the phenomenon the corresponding figure demonstrates, and EXPERIMENTS.md
+/// records the expected-vs-measured placement sets.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_WORKLOAD_PAPEREXAMPLES_H
+#define LCM_WORKLOAD_PAPEREXAMPLES_H
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// The motivating example (paper Fig. 1 flavor): one expression `a + b`
+/// that is (i) computed on one arm of a branch, (ii) killed on the other,
+/// (iii) loop-invariant in a later loop, and (iv) fully redundant at the
+/// final block.  BCM hoists to the very top of the unkilled arm; LCM keeps
+/// the computation where it is and inserts only after the kill:
+///
+///         entry
+///           |
+///          b1 ---------.
+///           |          |
+///          b2:x=a+b   b3:a=k     (kill)
+///           '----. .---'
+///                b4
+///            .---' '-----.
+///           b5           |
+///            |           |
+///          b6: y=a+b <-. |      (self loop, a+b invariant; counted
+///            |  i=i-1   | |       down with ci = i > 0 as the guard)
+///            |  ci=i>0 -' |
+///            '---------- b8: z=a+b
+///                        |
+///                       exit
+///
+/// Expected LCM placement: INSERT {(b3,b4)}, DELETE {b6, b8}, SAVE {b2}.
+/// Expected BCM placement: INSERT {(b1,b2), (b3,b4)}, DELETE {b2, b6, b8}.
+Function makeMotivatingExample();
+
+/// The critical-edge example (paper Fig. 2 flavor): the join j is partially
+/// redundant via q, but the only insertion point that is both safe and
+/// profitable is the edge r->j, which is critical (r branches, j joins).
+/// Node-based insertion (the Morel–Renvoise baseline) must give up; LCM
+/// splits the edge and removes the redundancy.
+///
+///        entry
+///          |
+///         c1 -------.
+///          |        |
+///        q:x=a+b    r ------.
+///          |        |       |
+///          '--. .---'       k
+///              j:y=a+b      |
+///              '------. .---'
+///                     done
+Function makeCriticalEdgeExample();
+
+/// A plain diamond partial redundancy (no critical edges, no loops): both
+/// LCM and Morel–Renvoise optimize it identically.  Used as the agreement
+/// case in the baseline comparisons.
+Function makeDiamondExample();
+
+/// A two-level loop nest where `a * b` is invariant in both loops and
+/// `c + i` only in the inner one; exercises hierarchical motion.
+Function makeLoopNestExample();
+
+} // namespace lcm
+
+#endif // LCM_WORKLOAD_PAPEREXAMPLES_H

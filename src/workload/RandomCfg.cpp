@@ -1,0 +1,79 @@
+//===- workload/RandomCfg.cpp ----------------------------------------------===//
+
+#include "workload/RandomCfg.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+using namespace lcm;
+
+Function lcm::generateRandomCfg(const RandomCfgOptions &Opts) {
+  assert(Opts.NumBlocks >= 2 && "need at least entry and exit");
+  Function Fn("randcfg." + std::to_string(Opts.Seed));
+  IRBuilder B(Fn);
+  Rng R(Opts.Seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  const unsigned N = Opts.NumBlocks;
+  for (unsigned I = 0; I != N; ++I)
+    B.startBlock("n" + std::to_string(I));
+
+  // Instructions: random assignments drawn from a recurring expression pool.
+  std::vector<Expr> Memo;
+  auto randomOperand = [&]() -> Operand {
+    if (R.chance(1, 5))
+      return Operand::makeConst(R.range(0, 7));
+    return Operand::makeVar(
+        Fn.getOrAddVar("v" + std::to_string(R.below(Opts.NumVars))));
+  };
+  auto randomExpr = [&]() -> Expr {
+    if (!Memo.empty() && R.chance(Opts.ReusePercent, 100))
+      return Memo[R.below(Memo.size())];
+    static const Opcode Pool[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                  Opcode::Xor, Opcode::Or,  Opcode::Min};
+    Expr E{Pool[R.below(std::size(Pool))], randomOperand(), randomOperand()};
+    Memo.push_back(E);
+    return E;
+  };
+
+  for (unsigned I = 0; I != N; ++I) {
+    B.setBlock(BlockId(I));
+    unsigned NumInstrs = unsigned(R.below(Opts.MaxInstrsPerBlock + 1));
+    for (unsigned K = 0; K != NumInstrs; ++K) {
+      Expr E = randomExpr();
+      B.op("v" + std::to_string(R.below(Opts.NumVars)), E.Op, E.Lhs, E.Rhs);
+    }
+  }
+
+  // Skeleton edges guaranteeing the flow-graph model:
+  // - every block j > 0 has a predecessor with a smaller id
+  //   (reachable from the entry by induction);
+  // - every block i < N-1 has a successor with a larger id
+  //   (reaches the exit by induction).
+  std::vector<bool> HasForward(N, false);
+  for (unsigned J = 1; J != N; ++J) {
+    unsigned I = unsigned(R.below(J));
+    Fn.addEdge(BlockId(I), BlockId(J));
+    HasForward[I] = true;
+  }
+  for (unsigned I = 0; I + 1 != N; ++I) {
+    if (!HasForward[I]) {
+      unsigned J = I + 1 + unsigned(R.below(N - I - 1));
+      Fn.addEdge(BlockId(I), BlockId(J));
+      HasForward[I] = true;
+    }
+  }
+
+  // Extra edges: any source except the exit, any target except the entry.
+  // Backward targets create (possibly irreducible) cycles; duplicate pairs
+  // create parallel edges.  Cap the out-degree to keep graphs readable.
+  for (unsigned I = 0; I + 1 != N; ++I) {
+    while (Fn.block(BlockId(I)).succs().size() < 4 &&
+           R.chance(Opts.ExtraEdgePercent, 100)) {
+      unsigned J = Opts.Acyclic ? I + 1 + unsigned(R.below(N - I - 1))
+                                : 1 + unsigned(R.below(N - 1));
+      Fn.addEdge(BlockId(I), BlockId(J));
+    }
+  }
+
+  return Fn;
+}

@@ -1,0 +1,51 @@
+//===- workload/RandomCfg.h - Arbitrary random flow-graph generator ------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates arbitrary (not necessarily reducible) CFGs that satisfy the
+/// paper's flow-graph model: unique entry/exit, every block on some
+/// entry-to-exit path.  Branches are oracle-decided (the paper's
+/// nondeterministic control flow), so runs are compared under identically
+/// seeded oracles.  These graphs stress the analyses far beyond what
+/// structured programs produce: irreducible loops, critical edges, parallel
+/// edges, and blocks with many predecessors all occur.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_WORKLOAD_RANDOMCFG_H
+#define LCM_WORKLOAD_RANDOMCFG_H
+
+#include <cstdint>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Tuning knobs for the random CFG generator.
+struct RandomCfgOptions {
+  uint64_t Seed = 1;
+  /// Total number of blocks (>= 2; block 0 is entry, last block is exit).
+  unsigned NumBlocks = 12;
+  /// Percent chance of each extra (possibly backward) edge per block.
+  unsigned ExtraEdgePercent = 35;
+  /// Maximum instructions per block.
+  unsigned MaxInstrsPerBlock = 3;
+  /// Number of program variables.
+  unsigned NumVars = 5;
+  /// Percent chance an assignment reuses a previously drawn expression.
+  unsigned ReusePercent = 60;
+  /// Restrict extra edges to higher block ids, yielding a DAG.  Used by
+  /// the exhaustive path-enumeration tests.
+  bool Acyclic = false;
+};
+
+/// Generates one random CFG program.
+Function generateRandomCfg(const RandomCfgOptions &Opts);
+
+} // namespace lcm
+
+#endif // LCM_WORKLOAD_RANDOMCFG_H

@@ -1,0 +1,51 @@
+//===- workload/StructuredGen.h - Random structured program generator ----===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random but fully deterministic structured programs: sequences
+/// of assignments, if/else diamonds on computed conditions, and *counted*
+/// while loops (a fresh counter initialized to a small constant and
+/// decremented each iteration), so every generated program terminates and
+/// its dynamic behaviour depends only on the initial variable values.
+///
+/// Expression redundancy is induced by drawing operations from a small
+/// recurring pool, giving PRE real opportunities at every nesting level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_WORKLOAD_STRUCTUREDGEN_H
+#define LCM_WORKLOAD_STRUCTUREDGEN_H
+
+#include <cstdint>
+
+#include "ir/Function.h"
+
+namespace lcm {
+
+/// Tuning knobs for the structured generator.
+struct StructuredGenOptions {
+  uint64_t Seed = 1;
+  /// Maximum nesting depth of if/while constructs.
+  unsigned MaxDepth = 3;
+  /// Maximum statements per sequence level.
+  unsigned MaxStmtsPerSeq = 5;
+  /// Number of program variables (named v0..v<n-1>).
+  unsigned NumVars = 6;
+  /// Maximum trip count of generated loops.
+  unsigned MaxTripCount = 4;
+  /// Percent chance a generated statement is a control construct.
+  unsigned ControlPercent = 35;
+  /// Percent chance an assignment reuses a previously drawn expression.
+  unsigned ReusePercent = 55;
+};
+
+/// Generates one structured program.
+Function generateStructured(const StructuredGenOptions &Opts);
+
+} // namespace lcm
+
+#endif // LCM_WORKLOAD_STRUCTUREDGEN_H

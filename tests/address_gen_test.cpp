@@ -1,0 +1,116 @@
+//===- tests/address_gen_test.cpp - Address-kernel workload tests --------===//
+
+#include "baseline/GlobalCse.h"
+#include "core/Lcm.h"
+#include "core/LocalCse.h"
+#include "ext/StrengthReduction.h"
+#include "graph/Reducibility.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/AddressGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+InterpResult runKernel(const Function &Fn) {
+  FirstSuccessorOracle Oracle; // Branches are all computed.
+  Interpreter::Options Opts;
+  Opts.MaxOriginalBlockVisits = 1000000;
+  std::vector<int64_t> Inputs(Fn.numVars());
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    Inputs[I] = int64_t(I * 100);
+  return Interpreter::run(Fn, Inputs, Oracle, Opts);
+}
+
+TEST(AddressGen, ProducesValidTerminatingKernels) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    AddressGenOptions Opts;
+    Opts.Seed = Seed;
+    Opts.Depth = 1 + Seed % 3;
+    Function Fn = generateAddressKernel(Opts);
+    auto Errors = verifyFunction(Fn);
+    ASSERT_TRUE(Errors.empty()) << "seed " << Seed << ": " << Errors.front();
+    EXPECT_TRUE(isReducible(Fn)) << "seed " << Seed;
+    InterpResult R = runKernel(Fn);
+    EXPECT_TRUE(R.ReachedExit) << "seed " << Seed;
+    EXPECT_GT(R.TotalEvals, 0u);
+  }
+}
+
+TEST(AddressGen, IsDeterministic) {
+  AddressGenOptions Opts;
+  Opts.Seed = 5;
+  EXPECT_EQ(printFunction(generateAddressKernel(Opts)),
+            printFunction(generateAddressKernel(Opts)));
+}
+
+TEST(AddressGen, OffersPreOpportunities) {
+  // With reuse enabled, LCM should strictly reduce dynamic evaluations on
+  // most kernels; require it on the aggregate.
+  uint64_t Before = 0, After = 0;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    AddressGenOptions Opts;
+    Opts.Seed = Seed;
+    Opts.ReusePercent = 70;
+    Function Fn = generateAddressKernel(Opts);
+    runLocalCse(Fn);
+    Before += runKernel(Fn).TotalEvals;
+    runPre(Fn, PreStrategy::Lazy);
+    After += runKernel(Fn).TotalEvals;
+  }
+  EXPECT_LT(After, Before);
+}
+
+TEST(AddressGen, OffersStrengthReductionCandidates) {
+  AddressGenOptions Opts;
+  Opts.Seed = 3;
+  Opts.Depth = 2;
+  Function Fn = generateAddressKernel(Opts);
+  Function Original = Fn;
+  StrengthReductionReport R = runStrengthReduction(Fn);
+  EXPECT_GT(R.CandidatesReduced, 0u)
+      << "idx * stride patterns must be reducible";
+
+  // Semantics preserved.
+  InterpResult A = runKernel(Original);
+  InterpResult B = runKernel(Fn);
+  ASSERT_TRUE(A.ReachedExit);
+  ASSERT_TRUE(B.ReachedExit);
+  EXPECT_EQ(A.Vars[Original.findVar("s")], B.Vars[Fn.findVar("s")]);
+}
+
+TEST(AddressGen, TripCountControlsWork) {
+  AddressGenOptions Small, Large;
+  Small.Seed = Large.Seed = 2;
+  Small.TripCount = 2;
+  Large.TripCount = 8;
+  uint64_t SmallEvals = runKernel(generateAddressKernel(Small)).TotalEvals;
+  uint64_t LargeEvals = runKernel(generateAddressKernel(Large)).TotalEvals;
+  EXPECT_GT(LargeEvals, SmallEvals);
+}
+
+TEST(AddressGen, SemanticsStableUnderFullPipeline) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    AddressGenOptions Opts;
+    Opts.Seed = Seed;
+    Opts.Depth = 2;
+    Function Original = generateAddressKernel(Opts);
+    Function Fn = Original;
+    runLocalCse(Fn);
+    runStrengthReduction(Fn);
+    runPre(Fn, PreStrategy::Lazy);
+    runGlobalCse(Fn);
+    ASSERT_TRUE(isValidFunction(Fn)) << "seed " << Seed;
+    InterpResult A = runKernel(Original);
+    InterpResult B = runKernel(Fn);
+    EXPECT_EQ(A.Vars[Original.findVar("s")], B.Vars[Fn.findVar("s")])
+        << "seed " << Seed;
+    EXPECT_LE(B.TotalEvals, A.TotalEvals) << "seed " << Seed;
+  }
+}
+
+} // namespace

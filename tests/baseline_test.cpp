@@ -1,0 +1,277 @@
+//===- tests/baseline_test.cpp - CSE, Morel-Renvoise, and LICM tests -----===//
+
+#include "baseline/GlobalCse.h"
+#include "baseline/Licm.h"
+#include "baseline/MorelRenvoise.h"
+#include "core/Lcm.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "metrics/Compare.h"
+#include "workload/PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+struct Fixture {
+  Function Fn;
+  explicit Fixture(const char *Source) {
+    ParseResult R = parseFunction(Source);
+    EXPECT_TRUE(R) << R.Error;
+    Fn = std::move(R.Fn);
+  }
+  BlockId block(const char *Label) const {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == Label)
+        return B.id();
+    ADD_FAILURE() << "no block '" << Label << "'";
+    return InvalidBlock;
+  }
+  ExprId expr(const char *Text) const {
+    for (ExprId E = 0; E != Fn.exprs().size(); ++E)
+      if (Fn.exprText(E) == Text)
+        return E;
+    ADD_FAILURE() << "no expression '" << Text << "'";
+    return InvalidExpr;
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Global CSE
+//===----------------------------------------------------------------------===
+
+TEST(GlobalCse, RemovesFullRedundancy) {
+  Fixture F(R"(
+block b0
+  x = a + b
+  goto b1
+block b1
+  y = a + b
+  goto b2
+block b2
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = computeGlobalCse(F.Fn, Edges);
+  EXPECT_TRUE(P.Delete[F.block("b1")].test(F.expr("a + b")));
+  EXPECT_TRUE(P.Save[F.block("b0")].test(F.expr("a + b")));
+  applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(F.Fn.countOperations(), 1u);
+  EXPECT_TRUE(isValidFunction(F.Fn));
+}
+
+TEST(GlobalCse, IgnoresPartialRedundancy) {
+  Function Fn = makeDiamondExample();
+  ApplyReport R = runGlobalCse(Fn);
+  EXPECT_EQ(R.Replacements, 0u)
+      << "a+b is only partially redundant at the join; CSE must not touch it";
+  EXPECT_EQ(R.Saves, 0u);
+}
+
+TEST(GlobalCse, NeverInserts) {
+  Function Fn = makeMotivatingExample();
+  CfgEdges Edges(Fn);
+  PrePlacement P = computeGlobalCse(Fn, Edges);
+  EXPECT_EQ(P.numEdgeInsertions(), 0u);
+  EXPECT_EQ(P.numNodeInsertions(), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Morel-Renvoise
+//===----------------------------------------------------------------------===
+
+TEST(MorelRenvoise, OptimizesTheDiamond) {
+  // No critical edges here: MR matches LCM exactly.
+  Function Fn = makeDiamondExample();
+  CfgEdges Edges(Fn);
+  MorelRenvoiseResult R = computeMorelRenvoise(Fn, Edges);
+  Fixture Helper(printFunction(Fn).c_str());
+  // Insert at the end of r, delete in j.
+  BlockId RBlock = 3, JBlock = 4; // entry,c,l,r,j,done construction order.
+  EXPECT_EQ(R.Placement.InsertEndOfBlock[RBlock].count(), 1u);
+  EXPECT_EQ(R.Placement.Delete[JBlock].count(), 1u);
+
+  applyPlacement(Fn, Edges, R.Placement);
+  EXPECT_TRUE(isValidFunction(Fn));
+
+  // Dynamic agreement with LCM on this program.
+  Function Orig = makeDiamondExample();
+  StrategyOutcome MR = evaluateStrategy(
+      "MR", Orig, [](Function &F) { runMorelRenvoise(F); });
+  StrategyOutcome LCM = evaluateStrategy(
+      "LCM", Orig, [](Function &F) { runPre(F, PreStrategy::Lazy); });
+  EXPECT_EQ(MR.DynamicEvals, LCM.DynamicEvals);
+}
+
+TEST(MorelRenvoise, BlockedByCriticalEdge) {
+  // The motion into r->j needs an edge placement MR cannot express.
+  Function Fn = makeCriticalEdgeExample();
+  CfgEdges Edges(Fn);
+  MorelRenvoiseResult R = computeMorelRenvoise(Fn, Edges);
+  EXPECT_TRUE(R.Placement.isNoop())
+      << "MR should be unable to optimize across the critical edge";
+
+  // ...while LCM removes the redundancy (strictly better dynamically).
+  Function Orig = makeCriticalEdgeExample();
+  StrategyOutcome MR = evaluateStrategy(
+      "MR", Orig, [](Function &F) { runMorelRenvoise(F); });
+  StrategyOutcome LCM = evaluateStrategy(
+      "LCM", Orig, [](Function &F) { runPre(F, PreStrategy::Lazy); });
+  EXPECT_LT(LCM.DynamicEvals, MR.DynamicEvals);
+}
+
+TEST(MorelRenvoise, HandlesMotivatingExampleWithoutCriticalEdges) {
+  // On the motivating example the needed insertion point is the end of
+  // b3 (b3 -> b4 is not critical), so node-insertion MR matches LCM.
+  Function Fn = makeMotivatingExample();
+  CfgEdges Edges(Fn);
+  MorelRenvoiseResult R = computeMorelRenvoise(Fn, Edges);
+  Fixture Names(printFunction(Fn).c_str());
+  ExprId AB = Names.expr("a + b");
+  EXPECT_TRUE(R.Placement.InsertEndOfBlock[Names.block("b3")].test(AB));
+  EXPECT_TRUE(R.Placement.Delete[Names.block("b6")].test(AB));
+  EXPECT_TRUE(R.Placement.Delete[Names.block("b8")].test(AB));
+  EXPECT_FALSE(R.Placement.Delete[Names.block("b2")].test(AB));
+  EXPECT_TRUE(R.Placement.Save[Names.block("b2")].test(AB));
+
+  StrategyOutcome MR = evaluateStrategy(
+      "MR", Fn, [](Function &F) { runMorelRenvoise(F); });
+  StrategyOutcome LCM = evaluateStrategy(
+      "LCM", Fn, [](Function &F) { runPre(F, PreStrategy::Lazy); });
+  EXPECT_EQ(MR.DynamicEvals, LCM.DynamicEvals);
+}
+
+TEST(MorelRenvoise, BidirectionalSolverReportsPasses) {
+  Function Fn = makeMotivatingExample();
+  CfgEdges Edges(Fn);
+  MorelRenvoiseResult R = computeMorelRenvoise(Fn, Edges);
+  EXPECT_GE(R.Stats.Passes, 2u);
+  EXPECT_GT(R.Stats.WordOps, 0u);
+}
+
+TEST(MorelRenvoise, PpinSubsetOfAnticipability) {
+  // The safety containment the insertion correctness rests on.
+  for (Function Fn : {makeMotivatingExample(), makeCriticalEdgeExample(),
+                      makeDiamondExample(), makeLoopNestExample()}) {
+    CfgEdges Edges(Fn);
+    LocalProperties LP(Fn);
+    DataflowResult Ant = computeAnticipability(Fn, LP);
+    MorelRenvoiseResult R = computeMorelRenvoise(Fn, Edges);
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B)
+      EXPECT_TRUE(R.PpIn[B].isSubsetOf(Ant.In[B])) << Fn.name();
+  }
+}
+
+//===----------------------------------------------------------------------===
+// LICM
+//===----------------------------------------------------------------------===
+
+TEST(Licm, HoistsInvariantOutOfLoop) {
+  Fixture F(R"(
+block b0
+  n = 3
+  goto h
+block h
+  c = n > 0
+  if c then w else d
+block w
+  x = a * b
+  n = n - 1
+  goto h
+block d
+  exit
+)");
+  LicmReport R = runLicm(F.Fn, LicmMode::Speculative);
+  EXPECT_EQ(R.HoistedExprs, 1u);
+  EXPECT_EQ(R.RewrittenOccurrences, 1u);
+  // b0 has a single successor and is the only outside predecessor, so it
+  // serves as the preheader without creating a new block.
+  EXPECT_EQ(R.PreheadersCreated, 0u);
+  EXPECT_TRUE(isValidFunction(F.Fn));
+  std::string After = printFunction(F.Fn);
+  EXPECT_NE(After.find("n = 3\n  li.0 = a * b"), std::string::npos) << After;
+  EXPECT_NE(After.find("x = li.0"), std::string::npos) << After;
+}
+
+TEST(Licm, VariantExpressionsStayPut) {
+  Fixture F(R"(
+block b0
+  n = 3
+  goto h
+block h
+  c = n > 0
+  if c then w else d
+block w
+  x = a * n
+  n = n - 1
+  goto h
+block d
+  exit
+)");
+  LicmReport R = runLicm(F.Fn, LicmMode::Speculative);
+  EXPECT_EQ(R.HoistedExprs, 0u) << "a * n depends on the loop counter";
+}
+
+TEST(Licm, SafeModeRequiresAnticipation) {
+  // The invariant computation sits behind a branch inside the loop, so it
+  // is not anticipated at the header: safe LICM must leave it.
+  Fixture F(R"(
+block b0
+  n = 3
+  goto h
+block h
+  c = n > 0
+  if c then w else d
+block w
+  if p then w1 else w2
+block w1
+  x = a * b
+  goto l
+block w2
+  goto l
+block l
+  n = n - 1
+  goto h
+block d
+  exit
+)");
+  Function Speculative = F.Fn;
+  LicmReport Safe = runLicm(F.Fn, LicmMode::SafeOnly);
+  EXPECT_EQ(Safe.HoistedExprs, 0u);
+  LicmReport Spec = runLicm(Speculative, LicmMode::Speculative);
+  EXPECT_EQ(Spec.HoistedExprs, 1u) << "speculative mode hoists anyway";
+  EXPECT_TRUE(isValidFunction(Speculative));
+}
+
+TEST(Licm, NestedLoopsHoistToOuterPreheaderStepwise) {
+  Function Fn = makeLoopNestExample();
+  LicmReport R = runLicm(Fn, LicmMode::Speculative);
+  // a*b invariant in both loops; c+i only in the inner one.  One pass
+  // hoists a*b out of the inner loop (innermost first) and then the
+  // original outer occurrence out of the outer loop.
+  EXPECT_GE(R.HoistedExprs, 2u);
+  EXPECT_TRUE(isValidFunction(Fn));
+}
+
+TEST(Licm, PreservesSemanticsOnExamples) {
+  for (Function Orig : {makeMotivatingExample(), makeLoopNestExample(),
+                        makeDiamondExample()}) {
+    for (LicmMode Mode : {LicmMode::Speculative, LicmMode::SafeOnly}) {
+      StrategyOutcome None = evaluateStrategy("none", Orig,
+                                              identityTransform());
+      StrategyOutcome Licm = evaluateStrategy(
+          "LICM", Orig, [Mode](Function &F) { runLicm(F, Mode); });
+      // evaluateStrategy uses aligned seeds: equal behaviour shows up as
+      // both reaching exits; semantic checks live in property_test.  Here
+      // just require structural validity and no pessimization for SafeOnly.
+      if (Mode == LicmMode::SafeOnly && None.AllRunsReachedExit) {
+        EXPECT_LE(Licm.DynamicEvals, None.DynamicEvals) << Orig.name();
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- tests/bitvector_test.cpp - BitVector unit tests --------------------===//
+
+#include "support/BitVector.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+TEST(BitVector, StartsEmpty) {
+  BitVector BV(130);
+  EXPECT_EQ(BV.size(), 130u);
+  EXPECT_TRUE(BV.none());
+  EXPECT_EQ(BV.count(), 0u);
+}
+
+TEST(BitVector, SetResetTest) {
+  BitVector BV(100);
+  BV.set(0);
+  BV.set(63);
+  BV.set(64);
+  BV.set(99);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(63));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(99));
+  EXPECT_FALSE(BV.test(1));
+  EXPECT_EQ(BV.count(), 4u);
+  BV.reset(63);
+  EXPECT_FALSE(BV.test(63));
+  EXPECT_EQ(BV.count(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  BitVector BV(70);
+  BV.setAll();
+  EXPECT_EQ(BV.count(), 70u);
+  BV.flipAll();
+  EXPECT_TRUE(BV.none());
+}
+
+TEST(BitVector, OrAndXor) {
+  BitVector A(128), B(128);
+  A.set(1);
+  A.set(100);
+  B.set(100);
+  B.set(2);
+
+  BitVector Or = A | B;
+  EXPECT_TRUE(Or.test(1));
+  EXPECT_TRUE(Or.test(2));
+  EXPECT_TRUE(Or.test(100));
+  EXPECT_EQ(Or.count(), 3u);
+
+  BitVector And = A & B;
+  EXPECT_EQ(And.count(), 1u);
+  EXPECT_TRUE(And.test(100));
+
+  BitVector X = A;
+  X ^= B;
+  EXPECT_TRUE(X.test(1));
+  EXPECT_TRUE(X.test(2));
+  EXPECT_FALSE(X.test(100));
+}
+
+TEST(BitVector, AndNotAndComplement) {
+  BitVector A(65), B(65);
+  A.set(0);
+  A.set(64);
+  B.set(64);
+  BitVector D = andNot(A, B);
+  EXPECT_TRUE(D.test(0));
+  EXPECT_FALSE(D.test(64));
+
+  BitVector C = complement(B);
+  EXPECT_EQ(C.count(), 64u);
+  EXPECT_FALSE(C.test(64));
+  EXPECT_TRUE(C.test(0));
+}
+
+TEST(BitVector, FindFirstAndNext) {
+  BitVector BV(200);
+  EXPECT_EQ(BV.findFirst(), 200u);
+  BV.set(5);
+  BV.set(64);
+  BV.set(199);
+  EXPECT_EQ(BV.findFirst(), 5u);
+  EXPECT_EQ(BV.findNext(6), 64u);
+  EXPECT_EQ(BV.findNext(65), 199u);
+  EXPECT_EQ(BV.findNext(200), 200u);
+}
+
+TEST(BitVector, Iteration) {
+  BitVector BV(90);
+  BV.set(3);
+  BV.set(70);
+  BV.set(89);
+  std::vector<size_t> Bits;
+  for (size_t Bit : BV)
+    Bits.push_back(Bit);
+  EXPECT_EQ(Bits, (std::vector<size_t>{3, 70, 89}));
+  EXPECT_EQ(BV.setBits(), Bits);
+}
+
+TEST(BitVector, SubsetAndCommon) {
+  BitVector A(64), B(64);
+  A.set(1);
+  B.set(1);
+  B.set(2);
+  EXPECT_TRUE(A.isSubsetOf(B));
+  EXPECT_FALSE(B.isSubsetOf(A));
+  EXPECT_TRUE(A.anyCommon(B));
+  A.reset(1);
+  EXPECT_FALSE(A.anyCommon(B));
+  EXPECT_TRUE(A.isSubsetOf(B));
+}
+
+TEST(BitVector, ResizeGrowsWithValue) {
+  BitVector BV(10);
+  BV.set(9);
+  BV.resize(80, true);
+  EXPECT_TRUE(BV.test(9));
+  EXPECT_FALSE(BV.test(0));
+  EXPECT_TRUE(BV.test(10));
+  EXPECT_TRUE(BV.test(79));
+  EXPECT_EQ(BV.count(), 71u);
+}
+
+TEST(BitVector, EqualityCountsOps) {
+  BitVector A(256), B(256);
+  A.set(200);
+  B.set(200);
+  uint64_t Before = BitVectorOps::snapshot();
+  EXPECT_TRUE(A == B);
+  EXPECT_GT(BitVectorOps::snapshot(), Before);
+}
+
+TEST(BitVector, ToString) {
+  BitVector BV(4);
+  BV.set(1);
+  BV.set(3);
+  EXPECT_EQ(BV.toString(), "0101");
+}

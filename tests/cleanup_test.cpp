@@ -1,0 +1,215 @@
+//===- tests/cleanup_test.cpp - Copy propagation and DCE tests -----------===//
+
+#include "baseline/Cleanup.h"
+#include "core/LocalCse.h"
+#include "core/Lcm.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+Function parse(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+TEST(CopyPropagation, RewritesUsesWithinBlock) {
+  Function Fn = parse(R"(
+block b0
+  x = h
+  y = x + 1
+  z = x + x
+  exit
+)");
+  uint64_t N = propagateCopies(Fn);
+  EXPECT_EQ(N, 3u);
+  std::string After = printFunction(Fn);
+  EXPECT_NE(After.find("y = h + 1"), std::string::npos) << After;
+  EXPECT_NE(After.find("z = h + h"), std::string::npos) << After;
+}
+
+TEST(CopyPropagation, StopsAtRedefinition) {
+  Function Fn = parse(R"(
+block b0
+  x = h
+  h = 5
+  y = x + 1
+  exit
+)");
+  uint64_t N = propagateCopies(Fn);
+  EXPECT_EQ(N, 0u) << "h was clobbered; x must keep its old value";
+}
+
+TEST(CopyPropagation, ChainsThroughCopies) {
+  Function Fn = parse(R"(
+block b0
+  x = h
+  y = x
+  z = y + 1
+  exit
+)");
+  propagateCopies(Fn);
+  std::string After = printFunction(Fn);
+  EXPECT_NE(After.find("z = h + 1"), std::string::npos) << After;
+}
+
+TEST(CopyPropagation, RewritesBranchCondition) {
+  Function Fn = parse(R"(
+block b0
+  c2 = c
+  if c2 then l else r
+block l
+  goto j
+block r
+  goto j
+block j
+  exit
+)");
+  propagateCopies(Fn);
+  std::string After = printFunction(Fn);
+  EXPECT_NE(After.find("if c then"), std::string::npos) << After;
+}
+
+TEST(DeadCodeElim, RemovesUnusedAssignments) {
+  Function Fn = parse(R"(
+block b0
+  x = a + b
+  x = a - b
+  goto b1
+block b1
+  exit
+)");
+  CleanupOptions Opts;
+  Opts.NumObservableVars = Fn.numVars(); // x observable at exit.
+  CleanupReport R = eliminateDeadCode(Fn, Opts);
+  EXPECT_EQ(R.InstrsRemoved, 1u) << "the overwritten first assignment dies";
+  EXPECT_EQ(Fn.countOperations(), 1u);
+}
+
+TEST(DeadCodeElim, ObservabilityKeepsFinalWrites) {
+  Function Fn = parse("block b0\n  x = a + b\n  exit\n");
+  // With nothing observable the assignment is dead...
+  Function Nothing = Fn;
+  CleanupOptions None;
+  None.NumObservableVars = 0;
+  EXPECT_EQ(eliminateDeadCode(Nothing, None).InstrsRemoved, 1u);
+  // ...with everything observable it stays.
+  CleanupOptions All;
+  EXPECT_EQ(eliminateDeadCode(Fn, All).InstrsRemoved, 0u);
+}
+
+TEST(DeadCodeElim, CascadesThroughChains) {
+  Function Fn = parse(R"(
+block b0
+  a = 1
+  b = a + a
+  c = b * b
+  exit
+)");
+  CleanupOptions Opts;
+  Opts.NumObservableVars = 0;
+  CleanupReport R = eliminateDeadCode(Fn, Opts);
+  EXPECT_EQ(R.InstrsRemoved, 3u);
+  EXPECT_GE(R.Iterations, 2u) << "chain removal needs a fixpoint";
+}
+
+TEST(DeadCodeElim, KeepsBranchConditions) {
+  Function Fn = parse(R"(
+block b0
+  c = a < b
+  if c then l else r
+block l
+  goto j
+block r
+  goto j
+block j
+  exit
+)");
+  CleanupOptions Opts;
+  Opts.NumObservableVars = 0;
+  CleanupReport R = eliminateDeadCode(Fn, Opts);
+  EXPECT_EQ(R.InstrsRemoved, 0u) << "the branch reads c";
+}
+
+TEST(DeadCodeElim, LoopCarriedValuesStayLive) {
+  Function Fn = parse(R"(
+block b0
+  i = 5
+  goto h
+block h
+  c = i > 0
+  if c then w else d
+block w
+  i = i - 1
+  goto h
+block d
+  exit
+)");
+  CleanupOptions Opts;
+  Opts.NumObservableVars = 0;
+  CleanupReport R = eliminateDeadCode(Fn, Opts);
+  EXPECT_EQ(R.InstrsRemoved, 0u);
+}
+
+TEST(Cleanup, ShrinksLcmCopyOverhead) {
+  // After LCM, a save introduces h = e; x = h; cleanup folds the copies
+  // where the saved variable is itself unused afterwards.
+  StructuredGenOptions GenOpts;
+  GenOpts.Seed = 4;
+  Function Fn = generateStructured(GenOpts);
+  runLocalCse(Fn);
+  Function Original = Fn;
+  runPre(Fn, PreStrategy::Lazy);
+
+  size_t InstrsBefore = 0;
+  for (const BasicBlock &B : Fn.blocks())
+    InstrsBefore += B.instrs().size();
+
+  CleanupOptions Opts;
+  Opts.NumObservableVars = Original.numVars();
+  CleanupReport R = runCleanup(Fn, Opts);
+  EXPECT_TRUE(isValidFunction(Fn));
+
+  size_t InstrsAfter = 0;
+  for (const BasicBlock &B : Fn.blocks())
+    InstrsAfter += B.instrs().size();
+  EXPECT_EQ(InstrsAfter, InstrsBefore - R.InstrsRemoved);
+
+  // Semantics on observable variables preserved.
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options IOpts;
+  std::vector<int64_t> Inputs(Original.numVars(), 2);
+  InterpResult A = Interpreter::run(Original, Inputs, Oracle, IOpts);
+  InterpResult B = Interpreter::run(Fn, Inputs, Oracle, IOpts);
+  ASSERT_TRUE(A.ReachedExit);
+  ASSERT_TRUE(B.ReachedExit);
+  for (size_t V = 0; V != Original.numVars(); ++V)
+    EXPECT_EQ(A.Vars[V], B.Vars[V]) << Original.varName(VarId(V));
+}
+
+TEST(Cleanup, FixpointIsIdempotent) {
+  Function Fn = parse(R"(
+block b0
+  h = a + b
+  x = h
+  y = x + 1
+  exit
+)");
+  CleanupOptions Opts;
+  runCleanup(Fn, Opts);
+  std::string Once = printFunction(Fn);
+  CleanupReport R = runCleanup(Fn, Opts);
+  EXPECT_EQ(R.CopiesPropagated, 0u);
+  EXPECT_EQ(R.InstrsRemoved, 0u);
+  EXPECT_EQ(printFunction(Fn), Once);
+}
+
+} // namespace

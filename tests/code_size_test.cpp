@@ -1,0 +1,143 @@
+//===- tests/code_size_test.cpp - Code-size profitability filter ---------===//
+
+#include "core/Lcm.h"
+#include "core/LocalCse.h"
+#include "core/Placement.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "metrics/Compare.h"
+#include "workload/PaperExamples.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+Function parse(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+/// A join fed by one available and two killing predecessors: deleting the
+/// single occurrence in j needs two insertions.  LCM accepts the static
+/// growth (dynamic optimality); the filter refuses it.
+const char *GrowthSrc = R"(
+block b0
+  br p1 p2 p3
+block p1
+  x = a + b
+  goto j
+block p2
+  a = 1
+  goto j
+block p3
+  a = 2
+  goto j
+block j
+  y = a + b
+  goto d
+block d
+  exit
+)";
+
+TEST(CodeSizeFilter, LcmCanGrowStaticCode) {
+  Function Fn = parse(GrowthSrc);
+  size_t OpsBefore = Fn.countOperations();
+  runPre(Fn, PreStrategy::Lazy);
+  EXPECT_GT(Fn.countOperations(), OpsBefore)
+      << "two insertions for one deletion must grow the operation count";
+}
+
+TEST(CodeSizeFilter, FilterRefusesUnprofitableMotion) {
+  Function Fn = parse(GrowthSrc);
+  CfgEdges Edges(Fn);
+  LocalProperties LP(Fn);
+  LazyCodeMotion Engine(Fn, Edges, LP);
+  PrePlacement Lazy = Engine.placement(PreStrategy::Lazy);
+  EXPECT_EQ(Lazy.numEdgeInsertions(), 2u);
+  EXPECT_EQ(Lazy.numDeletions(), 1u);
+
+  uint64_t Dropped = 0;
+  PrePlacement Filtered = filterPlacementForCodeSize(Lazy, &Dropped);
+  EXPECT_EQ(Dropped, 1u);
+  EXPECT_TRUE(Filtered.isNoop());
+}
+
+TEST(CodeSizeFilter, KeepsProfitableMotionUntouched) {
+  for (Function Fn : {makeMotivatingExample(), makeCriticalEdgeExample(),
+                      makeDiamondExample()}) {
+    CfgEdges Edges(Fn);
+    LocalProperties LP(Fn);
+    LazyCodeMotion Engine(Fn, Edges, LP);
+    PrePlacement Lazy = Engine.placement(PreStrategy::Lazy);
+    uint64_t Dropped = 0;
+    PrePlacement Filtered = filterPlacementForCodeSize(Lazy, &Dropped);
+    EXPECT_EQ(Dropped, 0u) << Fn.name();
+    EXPECT_EQ(Filtered.numEdgeInsertions(), Lazy.numEdgeInsertions());
+    EXPECT_EQ(Filtered.numDeletions(), Lazy.numDeletions());
+    EXPECT_EQ(Filtered.numSaves(), Lazy.numSaves());
+  }
+}
+
+class CodeSizeSweep : public testing::TestWithParam<unsigned> {};
+
+TEST_P(CodeSizeSweep, NeverGrowsCodeAndStaysSound) {
+  Function Original = [&] {
+    if (GetParam() % 2 == 0) {
+      StructuredGenOptions Opts;
+      Opts.Seed = GetParam() + 1;
+      return generateStructured(Opts);
+    }
+    RandomCfgOptions Opts;
+    Opts.Seed = GetParam() + 1;
+    Opts.NumBlocks = 6 + GetParam() % 14;
+    return generateRandomCfg(Opts);
+  }();
+  runLocalCse(Original);
+
+  Function Fn = Original;
+  CfgEdges Edges(Fn);
+  LocalProperties LP(Fn);
+  LazyCodeMotion Engine(Fn, Edges, LP);
+  PrePlacement Filtered =
+      filterPlacementForCodeSize(Engine.placement(PreStrategy::Lazy));
+  applyPlacement(Fn, Edges, Filtered);
+  ASSERT_TRUE(isValidFunction(Fn));
+
+  // The static operation count never grows.
+  EXPECT_LE(Fn.countOperations(), Original.countOperations())
+      << "seed " << GetParam();
+
+  // Semantics preserved, and dynamic counts sit between LCM and original.
+  Function FullLcm = Original;
+  runPre(FullLcm, PreStrategy::Lazy);
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    auto runOne = [&](const Function &F) {
+      RandomOracle Oracle(Seed ^ 0x94d049bb133111ebULL);
+      Interpreter::Options Opts;
+      Opts.MaxOriginalBlockVisits = 3000;
+      Opts.OriginalBlockCount = uint32_t(Original.numBlocks());
+      return Interpreter::run(F, makeSeededInputs(Seed, Original.numVars()),
+                              Oracle, Opts);
+    };
+    InterpResult Base = runOne(Original);
+    InterpResult Sized = runOne(Fn);
+    InterpResult Full = runOne(FullLcm);
+    EXPECT_TRUE(sameObservableBehaviour(Base, Sized, Original.numVars()))
+        << "seed " << GetParam() << "/" << Seed;
+    if (Base.ReachedExit && Sized.ReachedExit && Full.ReachedExit) {
+      EXPECT_LE(Sized.TotalEvals, Base.TotalEvals);
+      EXPECT_GE(Sized.TotalEvals, Full.TotalEvals);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generated, CodeSizeSweep, testing::Range(0u, 24u));
+
+} // namespace

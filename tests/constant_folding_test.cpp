@@ -1,0 +1,186 @@
+//===- tests/constant_folding_test.cpp - Folding/simplification tests ----===//
+
+#include "baseline/ConstantFolding.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+Function parse(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+Expr makeBin(Opcode Op, Operand L, Operand R) { return Expr{Op, L, R}; }
+Operand var(VarId V) { return Operand::makeVar(V); }
+Operand cst(int64_t C) { return Operand::makeConst(C); }
+
+TEST(SimplifyExpr, FullyConstantFolds) {
+  auto S = simplifyExpr(makeBin(Opcode::Add, cst(2), cst(3)));
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->constVal(), 5);
+
+  S = simplifyExpr(Expr{Opcode::Neg, cst(7), cst(0)});
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->constVal(), -7);
+
+  // Division by zero folds to the total semantics value.
+  S = simplifyExpr(makeBin(Opcode::Div, cst(9), cst(0)));
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->constVal(), 0);
+}
+
+struct IdentityCase {
+  const char *Name;
+  Expr E;
+  /// Expected replacement: variable id or constant.
+  Operand Want;
+};
+
+class Identities : public testing::TestWithParam<IdentityCase> {};
+
+TEST_P(Identities, Simplifies) {
+  auto S = simplifyExpr(GetParam().E);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_TRUE(*S == GetParam().Want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algebra, Identities,
+    testing::Values(
+        IdentityCase{"AddZeroR", makeBin(Opcode::Add, var(3), cst(0)),
+                     var(3)},
+        IdentityCase{"AddZeroL", makeBin(Opcode::Add, cst(0), var(3)),
+                     var(3)},
+        IdentityCase{"SubZero", makeBin(Opcode::Sub, var(3), cst(0)),
+                     var(3)},
+        IdentityCase{"SubSelf", makeBin(Opcode::Sub, var(3), var(3)),
+                     cst(0)},
+        IdentityCase{"MulOne", makeBin(Opcode::Mul, var(3), cst(1)),
+                     var(3)},
+        IdentityCase{"MulZero", makeBin(Opcode::Mul, cst(0), var(3)),
+                     cst(0)},
+        IdentityCase{"DivOne", makeBin(Opcode::Div, var(3), cst(1)),
+                     var(3)},
+        IdentityCase{"ModOne", makeBin(Opcode::Mod, var(3), cst(1)),
+                     cst(0)},
+        IdentityCase{"AndZero", makeBin(Opcode::And, var(3), cst(0)),
+                     cst(0)},
+        IdentityCase{"AndOnes", makeBin(Opcode::And, var(3), cst(-1)),
+                     var(3)},
+        IdentityCase{"AndSelf", makeBin(Opcode::And, var(3), var(3)),
+                     var(3)},
+        IdentityCase{"OrZero", makeBin(Opcode::Or, var(3), cst(0)), var(3)},
+        IdentityCase{"OrOnes", makeBin(Opcode::Or, var(3), cst(-1)),
+                     cst(-1)},
+        IdentityCase{"XorSelf", makeBin(Opcode::Xor, var(3), var(3)),
+                     cst(0)},
+        IdentityCase{"ShlZero", makeBin(Opcode::Shl, var(3), cst(0)),
+                     var(3)},
+        IdentityCase{"ShrOfZero", makeBin(Opcode::Shr, cst(0), var(3)),
+                     cst(0)},
+        IdentityCase{"EqSelf", makeBin(Opcode::CmpEq, var(3), var(3)),
+                     cst(1)},
+        IdentityCase{"LtSelf", makeBin(Opcode::CmpLt, var(3), var(3)),
+                     cst(0)},
+        IdentityCase{"MinSelf", makeBin(Opcode::Min, var(3), var(3)),
+                     var(3)}),
+    [](const testing::TestParamInfo<IdentityCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(SimplifyExpr, LeavesRealWorkAlone) {
+  EXPECT_FALSE(simplifyExpr(makeBin(Opcode::Add, var(1), var(2))));
+  EXPECT_FALSE(simplifyExpr(makeBin(Opcode::Mul, var(1), cst(2))));
+  EXPECT_FALSE(simplifyExpr(makeBin(Opcode::Div, var(1), var(1))))
+      << "x/x is 1 only when x != 0; total semantics say x/0 = 0";
+  EXPECT_FALSE(simplifyExpr(Expr{Opcode::Neg, var(1), cst(0)}));
+}
+
+TEST(ConstantFolding, PropagatesThroughBlock) {
+  Function Fn = parse(R"(
+block b0
+  a = 4
+  b = 3
+  x = a + b
+  y = x * c
+  exit
+)");
+  ConstantFoldingReport R = runConstantFolding(Fn);
+  EXPECT_GE(R.OperandsPropagated, 3u);
+  EXPECT_EQ(R.OpsFolded, 1u);
+  std::string After = printFunction(Fn);
+  EXPECT_NE(After.find("x = 7"), std::string::npos) << After;
+  EXPECT_NE(After.find("y = 7 * c"), std::string::npos) << After;
+}
+
+TEST(ConstantFolding, StopsAtRedefinition) {
+  Function Fn = parse(R"(
+block b0
+  a = 4
+  a = c
+  x = a + 1
+  exit
+)");
+  ConstantFoldingReport R = runConstantFolding(Fn);
+  EXPECT_EQ(R.OpsFolded, 0u);
+  std::string After = printFunction(Fn);
+  EXPECT_NE(After.find("x = a + 1"), std::string::npos) << After;
+}
+
+TEST(ConstantFolding, DoesNotCrossBlocks) {
+  Function Fn = parse(
+      "block b0\n  a = 4\n  goto b1\nblock b1\n  x = a + 1\n  exit\n");
+  ConstantFoldingReport R = runConstantFolding(Fn);
+  EXPECT_EQ(R.OpsFolded + R.OperandsPropagated, 0u)
+      << "this pass is local by design";
+}
+
+TEST(ConstantFolding, PreservesSemanticsOnGeneratedPrograms) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    StructuredGenOptions Opts;
+    Opts.Seed = Seed;
+    Function Original = generateStructured(Opts);
+    Function Folded = Original;
+    runConstantFolding(Folded);
+
+    FirstSuccessorOracle Oracle;
+    Interpreter::Options IOpts;
+    std::vector<int64_t> Inputs(Original.numVars());
+    for (size_t I = 0; I != Inputs.size(); ++I)
+      Inputs[I] = int64_t(I) - 3;
+    InterpResult A = Interpreter::run(Original, Inputs, Oracle, IOpts);
+    InterpResult B = Interpreter::run(Folded, Inputs, Oracle, IOpts);
+    ASSERT_TRUE(A.ReachedExit);
+    ASSERT_TRUE(B.ReachedExit);
+    for (size_t V = 0; V != Original.numVars(); ++V)
+      EXPECT_EQ(A.Vars[V], B.Vars[V])
+          << "seed " << Seed << " " << Original.varName(VarId(V));
+    EXPECT_LE(B.TotalEvals, A.TotalEvals);
+  }
+}
+
+TEST(ConstantFolding, IsIdempotent) {
+  Function Fn = parse(R"(
+block b0
+  a = 4
+  x = a + 0
+  y = x * 1
+  z = y - y
+  exit
+)");
+  runConstantFolding(Fn);
+  std::string Once = printFunction(Fn);
+  ConstantFoldingReport R = runConstantFolding(Fn);
+  EXPECT_EQ(R.OpsFolded + R.OpsSimplified, 0u);
+  EXPECT_EQ(printFunction(Fn), Once);
+}
+
+} // namespace

@@ -1,0 +1,292 @@
+//===- tests/dataflow_test.cpp - Generic solver + safety analyses --------===//
+
+#include "analysis/ExprDataflow.h"
+#include "ir/Parser.h"
+#include "workload/PaperExamples.h"
+#include "workload/RandomCfg.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+struct Fixture {
+  Function Fn;
+  explicit Fixture(const char *Source) {
+    ParseResult R = parseFunction(Source);
+    EXPECT_TRUE(R) << R.Error;
+    Fn = std::move(R.Fn);
+  }
+  ExprId expr(const char *Text) const {
+    for (ExprId E = 0; E != Fn.exprs().size(); ++E)
+      if (Fn.exprText(E) == Text)
+        return E;
+    ADD_FAILURE() << "no expression '" << Text << "'";
+    return InvalidExpr;
+  }
+  BlockId block(const char *Label) const {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == Label)
+        return B.id();
+    ADD_FAILURE() << "no block '" << Label << "'";
+    return InvalidBlock;
+  }
+};
+
+const char *DiamondSrc = R"(
+block entry
+  goto c
+block c
+  if p then l else r
+block l
+  x = a + b
+  goto j
+block r
+  a = k
+  goto j
+block j
+  y = a + b
+  goto done
+block done
+  exit
+)";
+
+TEST(Availability, DiamondWithOneSidedKill) {
+  Fixture F(DiamondSrc);
+  LocalProperties LP(F.Fn);
+  DataflowResult Av = computeAvailability(F.Fn, LP);
+  ExprId E = F.expr("a + b");
+  EXPECT_FALSE(Av.In[F.block("entry")].test(E));
+  EXPECT_FALSE(Av.In[F.block("l")].test(E));
+  EXPECT_TRUE(Av.Out[F.block("l")].test(E));
+  EXPECT_FALSE(Av.Out[F.block("r")].test(E)) << "killed by a = k";
+  EXPECT_FALSE(Av.In[F.block("j")].test(E)) << "only available on one path";
+  EXPECT_TRUE(Av.Out[F.block("j")].test(E));
+  EXPECT_TRUE(Av.In[F.block("done")].test(E));
+}
+
+TEST(Anticipability, DiamondWithOneSidedKill) {
+  Fixture F(DiamondSrc);
+  LocalProperties LP(F.Fn);
+  DataflowResult Ant = computeAnticipability(F.Fn, LP);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(Ant.In[F.block("j")].test(E));
+  EXPECT_TRUE(Ant.Out[F.block("l")].test(E));
+  EXPECT_TRUE(Ant.In[F.block("l")].test(E)) << "computed locally";
+  EXPECT_TRUE(Ant.Out[F.block("r")].test(E));
+  EXPECT_FALSE(Ant.In[F.block("r")].test(E)) << "kill blocks anticipation";
+  // At the branch, both paths eventually compute a+b before killing it...
+  // except the r path kills first, so only the l path anticipates.
+  EXPECT_FALSE(Ant.Out[F.block("c")].test(E));
+  EXPECT_FALSE(Ant.In[F.block("done")].test(E));
+}
+
+TEST(PartialAvailability, UnionSemantics) {
+  Fixture F(DiamondSrc);
+  LocalProperties LP(F.Fn);
+  DataflowResult Pav = computePartialAvailability(F.Fn, LP);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(Pav.In[F.block("j")].test(E)) << "available via l";
+  EXPECT_FALSE(Pav.In[F.block("l")].test(E));
+}
+
+TEST(PartialAnticipability, UnionSemantics) {
+  Fixture F(DiamondSrc);
+  LocalProperties LP(F.Fn);
+  DataflowResult Pant = computePartialAnticipability(F.Fn, LP);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(Pant.Out[F.block("c")].test(E)) << "anticipated via l";
+  EXPECT_FALSE(Pant.Out[F.block("j")].test(E));
+}
+
+TEST(Availability, LoopCarriesFacts) {
+  Fixture F(R"(
+block entry
+  x = a + b
+  goto h
+block h
+  y = a + b
+  if c then h else done
+block done
+  exit
+)");
+  LocalProperties LP(F.Fn);
+  DataflowResult Av = computeAvailability(F.Fn, LP);
+  ExprId E = F.expr("a + b");
+  // Available around the loop: the meet over both h-preds holds.
+  EXPECT_TRUE(Av.In[F.block("h")].test(E));
+  EXPECT_TRUE(Av.In[F.block("done")].test(E));
+}
+
+TEST(Anticipability, LoopInvariantIsAnticipatedAtHeader) {
+  Fixture F(R"(
+block entry
+  goto h
+block h
+  y = a + b
+  if c then h else done
+block done
+  exit
+)");
+  LocalProperties LP(F.Fn);
+  DataflowResult Ant = computeAnticipability(F.Fn, LP);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(Ant.In[F.block("h")].test(E));
+  // Not anticipated at the exit side.
+  EXPECT_FALSE(Ant.In[F.block("done")].test(E));
+}
+
+TEST(Solver, ReportsPasses) {
+  Fixture F(DiamondSrc);
+  LocalProperties LP(F.Fn);
+  DataflowResult Av = computeAvailability(F.Fn, LP);
+  // Fixpoint detection costs one extra no-change pass.
+  EXPECT_GE(Av.Stats.Passes, 2u);
+  EXPECT_LE(Av.Stats.Passes, 4u);
+  EXPECT_GT(Av.Stats.WordOps, 0u);
+  EXPECT_EQ(Av.Stats.NodeVisits, Av.Stats.Passes * F.Fn.numBlocks());
+}
+
+/// On any graph, the fixpoint must satisfy the dataflow equations: a direct
+/// re-evaluation of every equation must not change anything.
+TEST(Solver, FixpointSatisfiesEquationsOnRandomGraphs) {
+  for (unsigned Seed = 1; Seed <= 12; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed;
+    Function Fn = generateRandomCfg(Opts);
+    LocalProperties LP(Fn);
+    DataflowResult Av = computeAvailability(Fn, LP);
+    DataflowResult Ant = computeAnticipability(Fn, LP);
+
+    for (const BasicBlock &B : Fn.blocks()) {
+      // AVIN = AND over preds of AVOUT.
+      if (B.id() != Fn.entry()) {
+        BitVector Expect(LP.numExprs(), true);
+        for (BlockId P : B.preds())
+          Expect &= Av.Out[P];
+        EXPECT_EQ(Expect, Av.In[B.id()]) << "seed " << Seed;
+      } else {
+        EXPECT_TRUE(Av.In[B.id()].none());
+      }
+      // AVOUT = COMP | (AVIN & TRANSP).
+      BitVector Out = Av.In[B.id()];
+      Out &= LP.transp(B.id());
+      Out |= LP.comp(B.id());
+      EXPECT_EQ(Out, Av.Out[B.id()]) << "seed " << Seed;
+
+      // ANTOUT = AND over succs of ANTIN.
+      if (B.id() != Fn.exit()) {
+        BitVector Expect(LP.numExprs(), true);
+        for (BlockId S : B.succs())
+          Expect &= Ant.In[S];
+        EXPECT_EQ(Expect, Ant.Out[B.id()]) << "seed " << Seed;
+      } else {
+        EXPECT_TRUE(Ant.Out[B.id()].none());
+      }
+      // ANTIN = ANTLOC | (ANTOUT & TRANSP).
+      BitVector In = Ant.Out[B.id()];
+      In &= LP.transp(B.id());
+      In |= LP.antloc(B.id());
+      EXPECT_EQ(In, Ant.In[B.id()]) << "seed " << Seed;
+    }
+  }
+}
+
+/// Partial (union) variants bound the full (intersection) variants.
+TEST(Solver, FullImpliesPartial) {
+  for (unsigned Seed = 1; Seed <= 12; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed + 100;
+    Function Fn = generateRandomCfg(Opts);
+    LocalProperties LP(Fn);
+    DataflowResult Av = computeAvailability(Fn, LP);
+    DataflowResult Pav = computePartialAvailability(Fn, LP);
+    DataflowResult Ant = computeAnticipability(Fn, LP);
+    DataflowResult Pant = computePartialAnticipability(Fn, LP);
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      EXPECT_TRUE(Av.In[B].isSubsetOf(Pav.In[B]));
+      EXPECT_TRUE(Av.Out[B].isSubsetOf(Pav.Out[B]));
+      EXPECT_TRUE(Ant.In[B].isSubsetOf(Pant.In[B]));
+      EXPECT_TRUE(Ant.Out[B].isSubsetOf(Pant.Out[B]));
+    }
+  }
+}
+
+TEST(Solver, SingleBlockFunction) {
+  Fixture F("block only\n  x = a + b\n  exit\n");
+  LocalProperties LP(F.Fn);
+  DataflowResult Av = computeAvailability(F.Fn, LP);
+  DataflowResult Ant = computeAnticipability(F.Fn, LP);
+  ExprId E = F.expr("a + b");
+  // The only block is both entry and exit: boundaries pin both ends.
+  EXPECT_FALSE(Av.In[0].test(E));
+  EXPECT_TRUE(Av.Out[0].test(E));
+  EXPECT_TRUE(Ant.In[0].test(E));
+  EXPECT_FALSE(Ant.Out[0].test(E));
+}
+
+TEST(Solver, ParallelEdgesMeetOnce) {
+  // A conditional branch whose both targets are the same block: the meet
+  // over the two (identical) predecessors must behave like one.
+  Fixture F(R"(
+block b0
+  x = a + b
+  br b1 b1
+block b1
+  y = a + b
+  goto b2
+block b2
+  exit
+)");
+  LocalProperties LP(F.Fn);
+  DataflowResult Av = computeAvailability(F.Fn, LP);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(Av.In[1].test(E));
+}
+
+TEST(Solver, UnionBoundaryIsRespected) {
+  // Backward union with an explicit boundary value (the DCE usage).
+  Fixture F("block b0\n  x = a + b\n  goto b1\nblock b1\n  exit\n");
+  std::vector<GenKill> Transfers(F.Fn.numBlocks());
+  for (auto &T : Transfers) {
+    T.Gen = BitVector(1);
+    T.Kill = BitVector(1);
+  }
+  BitVector Boundary(1);
+  Boundary.set(0);
+  DataflowResult R = solveGenKill(F.Fn, Direction::Backward, Meet::Union,
+                                  Transfers, Boundary);
+  EXPECT_TRUE(R.Out[1].test(0)) << "exit boundary";
+  EXPECT_TRUE(R.In[0].test(0)) << "flows all the way back";
+}
+
+TEST(PaperExample, MotivatingFacts) {
+  Function Fn = makeMotivatingExample();
+  LocalProperties LP(Fn);
+  DataflowResult Av = computeAvailability(Fn, LP);
+  DataflowResult Ant = computeAnticipability(Fn, LP);
+  ExprId AB = InvalidExpr;
+  for (ExprId E = 0; E != Fn.exprs().size(); ++E)
+    if (Fn.exprText(E) == "a + b")
+      AB = E;
+  ASSERT_NE(AB, InvalidExpr);
+
+  auto blockByLabel = [&Fn](const char *L) {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == L)
+        return B.id();
+    return InvalidBlock;
+  };
+  // Down-safe everywhere below the branch; killed in b3.
+  EXPECT_TRUE(Ant.In[blockByLabel("b4")].test(AB));
+  EXPECT_TRUE(Ant.In[blockByLabel("b6")].test(AB));
+  EXPECT_TRUE(Ant.In[blockByLabel("b8")].test(AB));
+  EXPECT_FALSE(Ant.In[blockByLabel("b3")].test(AB));
+  // Available only below b2 / the insertion frontier.
+  EXPECT_TRUE(Av.Out[blockByLabel("b2")].test(AB));
+  EXPECT_FALSE(Av.Out[blockByLabel("b3")].test(AB));
+  EXPECT_FALSE(Av.In[blockByLabel("b4")].test(AB));
+}
+
+} // namespace

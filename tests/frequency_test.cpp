@@ -1,0 +1,146 @@
+//===- tests/frequency_test.cpp - Static block frequency estimator -------===//
+
+#include "analysis/BlockFrequency.h"
+#include "interp/Interpreter.h"
+#include "core/Lcm.h"
+#include "ir/Parser.h"
+#include "workload/PaperExamples.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+struct Fixture {
+  Function Fn;
+  explicit Fixture(const char *Source) {
+    ParseResult R = parseFunction(Source);
+    EXPECT_TRUE(R) << R.Error;
+    Fn = std::move(R.Fn);
+  }
+  BlockId block(const char *Label) const {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == Label)
+        return B.id();
+    ADD_FAILURE() << "no block '" << Label << "'";
+    return InvalidBlock;
+  }
+};
+
+TEST(BlockFrequency, StraightLineIsUniform) {
+  Fixture F("block b0\n  goto b1\nblock b1\n  goto b2\nblock b2\n  exit\n");
+  BlockFrequencies BF = estimateBlockFrequencies(F.Fn);
+  EXPECT_DOUBLE_EQ(BF.of(0), 1.0);
+  EXPECT_DOUBLE_EQ(BF.of(1), 1.0);
+  EXPECT_DOUBLE_EQ(BF.of(2), 1.0);
+}
+
+TEST(BlockFrequency, DiamondSplitsEvenly) {
+  Fixture F(R"(
+block b0
+  if c then l else r
+block l
+  goto j
+block r
+  goto j
+block j
+  exit
+)");
+  BlockFrequencies BF = estimateBlockFrequencies(F.Fn);
+  EXPECT_DOUBLE_EQ(BF.of(F.block("l")), 0.5);
+  EXPECT_DOUBLE_EQ(BF.of(F.block("r")), 0.5);
+  EXPECT_DOUBLE_EQ(BF.of(F.block("j")), 1.0);
+}
+
+TEST(BlockFrequency, LoopBodiesScaleByDepth) {
+  Function Fn = makeLoopNestExample();
+  BlockFrequencies BF = estimateBlockFrequencies(Fn, 10.0);
+  auto blockByLabel = [&Fn](const char *L) {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == L)
+        return B.id();
+    return InvalidBlock;
+  };
+  double Outer = BF.of(blockByLabel("obody"));
+  double Inner = BF.of(blockByLabel("ibody"));
+  double Entry = BF.of(blockByLabel("entry"));
+  EXPECT_GT(Outer, Entry);
+  EXPECT_GT(Inner, Outer);
+  // One extra nesting level = one extra TripWeight factor (up to the
+  // branch-probability haircut).
+  EXPECT_GT(Inner / Outer, 2.0);
+  EXPECT_LE(Inner / Outer, 10.0);
+}
+
+TEST(BlockFrequency, TripWeightIsConfigurable) {
+  Function Fn = makeLoopNestExample();
+  BlockFrequencies Small = estimateBlockFrequencies(Fn, 2.0);
+  BlockFrequencies Large = estimateBlockFrequencies(Fn, 100.0);
+  auto ibody = [&Fn] {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == "ibody")
+        return B.id();
+    return InvalidBlock;
+  }();
+  EXPECT_LT(Small.of(ibody), Large.of(ibody));
+}
+
+TEST(BlockFrequency, EstimatedCostTracksLoopPlacement) {
+  // The loop-invariant y = a+b dominates the estimated cost; after LCM it
+  // leaves the loop, so the estimate must drop.
+  Function Fn = makeMotivatingExample();
+  BlockFrequencies Before = estimateBlockFrequencies(Fn);
+  double CostBefore = estimatedOperationCost(Fn, Before);
+
+  runPre(Fn, PreStrategy::Lazy);
+  BlockFrequencies After = estimateBlockFrequencies(Fn);
+  double CostAfter = estimatedOperationCost(Fn, After);
+  EXPECT_LT(CostAfter, CostBefore);
+}
+
+TEST(BlockFrequency, OrdersBlocksLikeTheInterpreter) {
+  // Sanity for the estimator: on the loop-nest example, the measured
+  // visit counts and the estimate agree on the ordering
+  // inner body > outer body > preheader.
+  Function Fn = makeLoopNestExample();
+  BlockFrequencies BF = estimateBlockFrequencies(Fn, 3.0);
+
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  std::vector<int64_t> Inputs(Fn.numVars(), 0);
+  InterpResult R = Interpreter::run(Fn, Inputs, Oracle, Opts);
+  ASSERT_TRUE(R.ReachedExit);
+
+  auto blockByLabel = [&Fn](const char *L) {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == L)
+        return B.id();
+    return InvalidBlock;
+  };
+  BlockId Pre = blockByLabel("outerpre");
+  BlockId Outer = blockByLabel("obody");
+  BlockId Inner = blockByLabel("ibody");
+  EXPECT_GT(R.VisitsPerBlock[Outer], R.VisitsPerBlock[Pre]);
+  EXPECT_GT(R.VisitsPerBlock[Inner], R.VisitsPerBlock[Outer]);
+  EXPECT_GT(BF.of(Outer), BF.of(Pre));
+  EXPECT_GT(BF.of(Inner), BF.of(Outer));
+}
+
+TEST(BlockFrequency, DeterministicOnGeneratedPrograms) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    StructuredGenOptions Opts;
+    Opts.Seed = Seed;
+    Function Fn = generateStructured(Opts);
+    BlockFrequencies A = estimateBlockFrequencies(Fn);
+    BlockFrequencies B = estimateBlockFrequencies(Fn);
+    EXPECT_EQ(A.Freq, B.Freq);
+    // Entry mass is exact; all frequencies non-negative.
+    EXPECT_DOUBLE_EQ(A.of(Fn.entry()), 1.0);
+    for (double V : A.Freq)
+      EXPECT_GE(V, 0.0);
+  }
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/graph_test.cpp - DFS, dominators, loops, critical edges -----===//
+
+#include "graph/CfgEdges.h"
+#include "graph/CriticalEdges.h"
+#include "graph/Dfs.h"
+#include "graph/Dominators.h"
+#include "graph/Loops.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "workload/PaperExamples.h"
+#include "workload/RandomCfg.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+/// entry -> a -> (b | c) -> d(loop header) ... classic diamond + loop:
+///   0:entry -> 1 -> {2,3} -> 4 ; 4 -> {5,1?}... keep simple below.
+Function makeDiamondLoop() {
+  Function Fn("g");
+  IRBuilder B(Fn);
+  BlockId E = B.startBlock("entry");
+  BlockId A = B.startBlock("a");
+  BlockId L = B.startBlock("l");
+  BlockId R = B.startBlock("r");
+  BlockId J = B.startBlock("j");
+  BlockId X = B.startBlock("x");
+  B.setBlock(E);
+  B.jump(A);
+  B.setBlock(A);
+  B.branch("c", L, R);
+  B.setBlock(L);
+  B.jump(J);
+  B.setBlock(R);
+  B.jump(J);
+  B.setBlock(J);
+  B.branch("d", A, X); // Back edge J -> A.
+  B.setBlock(X);
+  return Fn;
+}
+
+TEST(Dfs, ReversePostOrderStartsAtEntry) {
+  Function Fn = makeDiamondLoop();
+  auto Rpo = reversePostOrder(Fn);
+  ASSERT_EQ(Rpo.size(), Fn.numBlocks());
+  EXPECT_EQ(Rpo.front(), Fn.entry());
+  // Every block appears exactly once.
+  auto Sorted = Rpo;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B)
+    EXPECT_EQ(Sorted[B], B);
+}
+
+TEST(Dfs, RpoRespectsAcyclicEdges) {
+  Function Fn = makeDiamondLoop();
+  auto Rpo = reversePostOrder(Fn);
+  auto Index = orderIndex(Fn, Rpo);
+  // For the forward (non-back) edges of this graph, source precedes target.
+  EXPECT_LT(Index[0], Index[1]);
+  EXPECT_LT(Index[1], Index[2]);
+  EXPECT_LT(Index[1], Index[3]);
+  EXPECT_LT(Index[2], Index[4]);
+  EXPECT_LT(Index[4], Index[5]);
+}
+
+TEST(Dfs, PostOrderIsReverseOfRpo) {
+  Function Fn = makeDiamondLoop();
+  auto Po = postOrder(Fn);
+  auto Rpo = reversePostOrder(Fn);
+  std::reverse(Po.begin(), Po.end());
+  EXPECT_EQ(Po, Rpo);
+}
+
+TEST(CfgEdges, SnapshotsEdgesWithSlots) {
+  Function Fn = makeDiamondLoop();
+  CfgEdges Edges(Fn);
+  EXPECT_EQ(Edges.numEdges(), 7u);
+  // a (=1) has two out-edges, in successor order.
+  const auto &Out = Edges.outEdges(1);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Edges.edge(Out[0]).To, 2u);
+  EXPECT_EQ(Edges.edge(Out[0]).SuccIdx, 0u);
+  EXPECT_EQ(Edges.edge(Out[1]).To, 3u);
+  EXPECT_EQ(Edges.edge(Out[1]).SuccIdx, 1u);
+  // j (=4) has two in-edges.
+  EXPECT_EQ(Edges.inEdges(4).size(), 2u);
+  // a (=1) has in-edges from entry and the latch.
+  EXPECT_EQ(Edges.inEdges(1).size(), 2u);
+}
+
+TEST(Dominators, DiamondLoop) {
+  Function Fn = makeDiamondLoop();
+  Dominators Dom(Fn);
+  EXPECT_EQ(Dom.idom(0), 0u);
+  EXPECT_EQ(Dom.idom(1), 0u);
+  EXPECT_EQ(Dom.idom(2), 1u);
+  EXPECT_EQ(Dom.idom(3), 1u);
+  EXPECT_EQ(Dom.idom(4), 1u); // Join dominated by the branch, not an arm.
+  EXPECT_EQ(Dom.idom(5), 4u);
+  EXPECT_TRUE(Dom.dominates(0, 5));
+  EXPECT_TRUE(Dom.dominates(1, 4));
+  EXPECT_FALSE(Dom.dominates(2, 4));
+  EXPECT_TRUE(Dom.dominates(4, 4));
+  EXPECT_EQ(Dom.depth(0), 0u);
+  EXPECT_EQ(Dom.depth(5), 3u);
+}
+
+TEST(Loops, FindsNaturalLoop) {
+  Function Fn = makeDiamondLoop();
+  Dominators Dom(Fn);
+  LoopForest Forest(Fn, Dom);
+  ASSERT_EQ(Forest.loops().size(), 1u);
+  const Loop &L = Forest.loops()[0];
+  EXPECT_EQ(L.Header, 1u);
+  EXPECT_EQ(L.Latches, (std::vector<BlockId>{4}));
+  // Body: header a, both arms, join.
+  EXPECT_EQ(L.Body.size(), 4u);
+  EXPECT_EQ(Forest.depth(1), 1u);
+  EXPECT_EQ(Forest.depth(4), 1u);
+  EXPECT_EQ(Forest.depth(0), 0u);
+  EXPECT_EQ(Forest.depth(5), 0u);
+  EXPECT_EQ(Forest.innermostLoop(2), 0);
+  EXPECT_EQ(Forest.innermostLoop(5), -1);
+}
+
+TEST(Loops, NestedLoopsHaveDepthTwo) {
+  Function Fn = makeLoopNestExample();
+  Dominators Dom(Fn);
+  LoopForest Forest(Fn, Dom);
+  ASSERT_EQ(Forest.loops().size(), 2u);
+  BlockId Ibody = 5; // From the construction order in makeLoopNestExample.
+  EXPECT_EQ(Forest.depth(Ibody), 2u);
+  // The inner loop's parent is the outer loop.
+  const Loop &Inner =
+      Forest.loops()[size_t(Forest.innermostLoop(Ibody))];
+  EXPECT_GE(Inner.Parent, 0);
+}
+
+TEST(CriticalEdges, DetectsOnlyTrueCriticals) {
+  Function Fn = makeCriticalEdgeExample();
+  // r -> j is critical (r branches, j joins); everything else is not.
+  auto Crit = findCriticalEdges(Fn);
+  ASSERT_EQ(Crit.size(), 1u);
+  auto [From, SuccIdx] = Crit[0];
+  EXPECT_EQ(Fn.block(From).label(), "r");
+  EXPECT_EQ(Fn.block(Fn.block(From).succs()[SuccIdx]).label(), "j");
+  EXPECT_TRUE(isCriticalEdge(Fn, From, SuccIdx));
+  EXPECT_FALSE(isCriticalEdge(Fn, From, 1 - SuccIdx));
+}
+
+TEST(CriticalEdges, SplitAllLeavesNoCriticalEdges) {
+  for (unsigned Seed = 1; Seed <= 10; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed;
+    Opts.NumBlocks = 16;
+    Function Fn = generateRandomCfg(Opts);
+    ASSERT_TRUE(isValidFunction(Fn));
+    splitAllCriticalEdges(Fn);
+    EXPECT_TRUE(findCriticalEdges(Fn).empty()) << "seed " << Seed;
+    EXPECT_TRUE(isValidFunction(Fn));
+  }
+}
+
+TEST(Dominators, RandomGraphsEntryDominatesAll) {
+  for (unsigned Seed = 1; Seed <= 8; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed;
+    Function Fn = generateRandomCfg(Opts);
+    Dominators Dom(Fn);
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      EXPECT_TRUE(Dom.dominates(Fn.entry(), B));
+      // The idom of a non-entry block strictly dominates it.
+      if (B != Fn.entry()) {
+        EXPECT_TRUE(Dom.dominates(Dom.idom(B), B));
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===- tests/interp_test.cpp - Interpreter semantics and determinism -----===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "workload/PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+Function parse(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+TEST(Interpreter, StraightLineArithmetic) {
+  Function Fn = parse(R"(
+block b0
+  x = a + b
+  y = x * x
+  z = y - a
+  exit
+)");
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  std::vector<int64_t> Inputs(Fn.numVars(), 0);
+  Inputs[Fn.findVar("a")] = 3;
+  Inputs[Fn.findVar("b")] = 4;
+  InterpResult R = Interpreter::run(Fn, Inputs, Oracle, Opts);
+  EXPECT_TRUE(R.ReachedExit);
+  EXPECT_EQ(R.Vars[Fn.findVar("x")], 7);
+  EXPECT_EQ(R.Vars[Fn.findVar("y")], 49);
+  EXPECT_EQ(R.Vars[Fn.findVar("z")], 46);
+  EXPECT_EQ(R.TotalEvals, 3u);
+  EXPECT_EQ(R.InstrsExecuted, 3u);
+}
+
+TEST(Interpreter, ConditionalBranchFollowsState) {
+  Function Fn = parse(R"(
+block b0
+  c = a < b
+  if c then t else f
+block t
+  r = 1
+  goto done
+block f
+  r = 2
+  goto done
+block done
+  exit
+)");
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  std::vector<int64_t> Inputs(Fn.numVars(), 0);
+  Inputs[Fn.findVar("a")] = 1;
+  Inputs[Fn.findVar("b")] = 5;
+  InterpResult R = Interpreter::run(Fn, Inputs, Oracle, Opts);
+  EXPECT_EQ(R.Vars[Fn.findVar("r")], 1);
+
+  Inputs[Fn.findVar("a")] = 9;
+  R = Interpreter::run(Fn, Inputs, Oracle, Opts);
+  EXPECT_EQ(R.Vars[Fn.findVar("r")], 2);
+}
+
+TEST(Interpreter, CountedLoopRunsExactly) {
+  Function Fn = parse(R"(
+block b0
+  i = 5
+  s = 0
+  goto h
+block h
+  c = i > 0
+  if c then body else done
+block body
+  s = s + i
+  i = i - 1
+  goto h
+block done
+  exit
+)");
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  InterpResult R =
+      Interpreter::run(Fn, std::vector<int64_t>(), Oracle, Opts);
+  EXPECT_TRUE(R.ReachedExit);
+  EXPECT_EQ(R.Vars[Fn.findVar("s")], 15);
+  EXPECT_EQ(R.Vars[Fn.findVar("i")], 0);
+  // c computed 6 times, body ops 5 times each.
+  EXPECT_EQ(R.TotalEvals, 6u + 5u + 5u);
+}
+
+TEST(Interpreter, BudgetStopsEndlessLoops) {
+  Function Fn = parse(R"(
+block b0
+  goto h
+block h
+  x = x + 1
+  br h done
+block done
+  exit
+)");
+  // An oracle that always loops.
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  Opts.MaxOriginalBlockVisits = 50;
+  InterpResult R =
+      Interpreter::run(Fn, std::vector<int64_t>(), Oracle, Opts);
+  EXPECT_FALSE(R.ReachedExit);
+  EXPECT_EQ(R.OriginalBlocksExecuted, 50u);
+}
+
+TEST(Interpreter, OracleDrivenBranchesAreSeedDeterministic) {
+  Function Fn = makeCriticalEdgeExample();
+  std::vector<int64_t> Inputs(Fn.numVars(), 1);
+  Interpreter::Options Opts;
+
+  RandomOracle O1(42), O2(42), O3(43);
+  InterpResult R1 = Interpreter::run(Fn, Inputs, O1, Opts);
+  InterpResult R2 = Interpreter::run(Fn, Inputs, O2, Opts);
+  InterpResult R3 = Interpreter::run(Fn, Inputs, O3, Opts);
+  EXPECT_EQ(R1.Vars, R2.Vars);
+  EXPECT_EQ(R1.VisitsPerBlock, R2.VisitsPerBlock);
+  // A different seed may take a different path; at minimum it must still
+  // terminate at the exit.
+  EXPECT_TRUE(R3.ReachedExit);
+}
+
+TEST(Interpreter, PerExprCountsSumToTotal) {
+  Function Fn = makeMotivatingExample();
+  std::vector<int64_t> Inputs(Fn.numVars(), 2);
+  RandomOracle Oracle(7);
+  Interpreter::Options Opts;
+  InterpResult R = Interpreter::run(Fn, Inputs, Oracle, Opts);
+  uint64_t Sum = 0;
+  for (uint64_t C : R.EvalsPerExpr)
+    Sum += C;
+  EXPECT_EQ(Sum, R.TotalEvals);
+  EXPECT_TRUE(R.ReachedExit);
+}
+
+TEST(Interpreter, TempsStartAtZero) {
+  Function Fn = parse("block b0\n  x = t + 1\n  exit\n");
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  InterpResult R =
+      Interpreter::run(Fn, std::vector<int64_t>(), Oracle, Opts);
+  EXPECT_EQ(R.Vars[Fn.findVar("x")], 1);
+}
+
+TEST(Interpreter, ReplayOracleFollowsItsScript) {
+  Function Fn = parse(R"(
+block b0
+  br l r
+block l
+  x = 1
+  goto j
+block r
+  x = 2
+  goto j
+block j
+  br l2 r2
+block l2
+  y = 1
+  goto d
+block r2
+  y = 2
+  goto d
+block d
+  exit
+)");
+  Interpreter::Options Opts;
+  ReplayOracle TakeRL({1, 0});
+  InterpResult R = Interpreter::run(Fn, {}, TakeRL, Opts);
+  EXPECT_EQ(R.Vars[Fn.findVar("x")], 2) << "first decision picked r";
+  EXPECT_EQ(R.Vars[Fn.findVar("y")], 1) << "second decision picked l2";
+  // Exhausted scripts default to the first successor.
+  ReplayOracle Short({1});
+  R = Interpreter::run(Fn, {}, Short, Opts);
+  EXPECT_EQ(R.Vars[Fn.findVar("x")], 2);
+  EXPECT_EQ(R.Vars[Fn.findVar("y")], 1);
+}
+
+TEST(Interpreter, MultiwayBranchUsesOracleIndex) {
+  Function Fn = parse(R"(
+block b0
+  br a b c
+block a
+  x = 10
+  goto d
+block b
+  x = 20
+  goto d
+block c
+  x = 30
+  goto d
+block d
+  exit
+)");
+  Interpreter::Options Opts;
+  for (size_t Choice = 0; Choice != 3; ++Choice) {
+    ReplayOracle Oracle({Choice});
+    InterpResult R = Interpreter::run(Fn, {}, Oracle, Opts);
+    EXPECT_EQ(R.Vars[Fn.findVar("x")], int64_t(10 * (Choice + 1)));
+  }
+}
+
+TEST(Interpreter, SameObservableBehaviourComparesPrefix) {
+  InterpResult A, B;
+  A.ReachedExit = B.ReachedExit = true;
+  A.OriginalBlocksExecuted = B.OriginalBlocksExecuted = 10;
+  A.Vars = {1, 2, 3};
+  B.Vars = {1, 2, 99, 42}; // Extra temp differs; prefix of 2 matches.
+  EXPECT_TRUE(sameObservableBehaviour(A, B, 2));
+  EXPECT_FALSE(sameObservableBehaviour(A, B, 3));
+  B.OriginalBlocksExecuted = 11;
+  EXPECT_FALSE(sameObservableBehaviour(A, B, 2));
+}
+
+} // namespace

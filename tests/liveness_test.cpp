@@ -1,0 +1,269 @@
+//===- tests/liveness_test.cpp - Variable and temp (isolation) liveness --===//
+
+#include "analysis/TempLiveness.h"
+#include "analysis/VarLiveness.h"
+#include "core/Lcm.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+struct Fixture {
+  Function Fn;
+  explicit Fixture(const char *Source) {
+    ParseResult R = parseFunction(Source);
+    EXPECT_TRUE(R) << R.Error;
+    Fn = std::move(R.Fn);
+  }
+  BlockId block(const char *Label) const {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == Label)
+        return B.id();
+    ADD_FAILURE() << "no block '" << Label << "'";
+    return InvalidBlock;
+  }
+  ExprId expr(const char *Text) const {
+    for (ExprId E = 0; E != Fn.exprs().size(); ++E)
+      if (Fn.exprText(E) == Text)
+        return E;
+    ADD_FAILURE() << "no expression '" << Text << "'";
+    return InvalidExpr;
+  }
+};
+
+TEST(VarLiveness, StraightLine) {
+  Fixture F(R"(
+block b0
+  x = a + b
+  goto b1
+block b1
+  y = x * c
+  goto b2
+block b2
+  exit
+)");
+  VarLivenessResult L = computeVarLiveness(F.Fn);
+  VarId X = F.Fn.findVar("x");
+  VarId A = F.Fn.findVar("a");
+  EXPECT_TRUE(L.LiveIn[F.block("b0")].test(A));
+  EXPECT_FALSE(L.LiveIn[F.block("b0")].test(X));
+  EXPECT_TRUE(L.LiveOut[F.block("b0")].test(X));
+  EXPECT_TRUE(L.LiveIn[F.block("b1")].test(X));
+  EXPECT_FALSE(L.LiveOut[F.block("b1")].test(X));
+}
+
+TEST(VarLiveness, BranchConditionIsUsed) {
+  Fixture F(R"(
+block b0
+  if c then l else r
+block l
+  goto j
+block r
+  goto j
+block j
+  exit
+)");
+  VarLivenessResult L = computeVarLiveness(F.Fn);
+  EXPECT_TRUE(L.LiveIn[F.block("b0")].test(F.Fn.findVar("c")));
+}
+
+TEST(VarLiveness, LoopKeepsCounterLive) {
+  Fixture F(R"(
+block b0
+  i = 5
+  goto h
+block h
+  c = i > 0
+  if c then w else d
+block w
+  i = i - 1
+  goto h
+block d
+  exit
+)");
+  VarLivenessResult L = computeVarLiveness(F.Fn);
+  VarId I = F.Fn.findVar("i");
+  EXPECT_TRUE(L.LiveOut[F.block("b0")].test(I));
+  EXPECT_TRUE(L.LiveIn[F.block("h")].test(I));
+  EXPECT_TRUE(L.LiveOut[F.block("w")].test(I));
+  EXPECT_FALSE(L.LiveIn[F.block("d")].test(I));
+}
+
+/// A value computed in l but never reused downstream: isolation liveness
+/// must leave it dead, so LCM emits no save; ALCM emits the useless one.
+TEST(TempLiveness, IsolatedComputationStaysDead) {
+  Fixture F(R"(
+block b0
+  if c then l else r
+block l
+  x = a + b
+  goto j
+block r
+  goto j
+block j
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  LocalProperties LP(F.Fn);
+  LazyCodeMotion Engine(F.Fn, Edges, LP);
+
+  PrePlacement Lazy = Engine.placement(PreStrategy::Lazy);
+  EXPECT_TRUE(Lazy.isNoop()) << "nothing is redundant here";
+
+  PrePlacement Almost = Engine.placement(PreStrategy::AlmostLazy);
+  EXPECT_EQ(Almost.numSaves(), 1u) << "the unpruned variant saves anyway";
+  EXPECT_TRUE(Almost.Save[F.block("l")].test(F.expr("a + b")));
+}
+
+TEST(TempLiveness, DeletedUseMakesTempLive) {
+  Fixture F(R"(
+block b0
+  x = a + b
+  goto b1
+block b1
+  y = a + b
+  goto b2
+block b2
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+
+  std::vector<BitVector> Delete(F.Fn.numBlocks(), BitVector(LP.numExprs()));
+  Delete[F.block("b1")].set(E);
+  TempLivenessResult Live =
+      computeTempLiveness(F.Fn, Edges, LP, Delete, {}, {});
+  EXPECT_TRUE(Live.LiveIn[F.block("b1")].test(E));
+  EXPECT_TRUE(Live.LiveOut[F.block("b0")].test(E));
+  EXPECT_FALSE(Live.LiveOut[F.block("b1")].test(E));
+
+  auto Save = computeSaves(LP, Delete, Live);
+  EXPECT_TRUE(Save[F.block("b0")].test(E));
+  EXPECT_FALSE(Save[F.block("b1")].test(E)) << "the use itself is deleted";
+}
+
+TEST(TempLiveness, EdgeInsertionCutsLiveness) {
+  Fixture F(R"(
+block b0
+  x = a + b
+  goto b1
+block b1
+  y = a + b
+  goto b2
+block b2
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+
+  std::vector<BitVector> Delete(F.Fn.numBlocks(), BitVector(LP.numExprs()));
+  Delete[F.block("b1")].set(E);
+  // Pretend an insertion sits on b0 -> b1: upstream liveness must stop.
+  std::vector<BitVector> EdgeInserts(Edges.numEdges(),
+                                     BitVector(LP.numExprs()));
+  for (EdgeId EId = 0; EId != Edges.numEdges(); ++EId)
+    if (Edges.edge(EId).From == F.block("b0"))
+      EdgeInserts[EId].set(E);
+  TempLivenessResult Live =
+      computeTempLiveness(F.Fn, Edges, LP, Delete, EdgeInserts, {});
+  EXPECT_FALSE(Live.LiveOut[F.block("b0")].test(E));
+  auto Save = computeSaves(LP, Delete, Live);
+  EXPECT_FALSE(Save[F.block("b0")].test(E));
+}
+
+TEST(TempLiveness, KillBlocksPropagation) {
+  Fixture F(R"(
+block b0
+  x = a + b
+  goto b1
+block b1
+  a = 1
+  goto b2
+block b2
+  y = a + b
+  goto b3
+block b3
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  std::vector<BitVector> Delete(F.Fn.numBlocks(), BitVector(LP.numExprs()));
+  // Claim b2's occurrence is deleted (as if an insertion fed it); the kill
+  // in b1 must still stop liveness from reaching b0.
+  Delete[F.block("b2")].set(E);
+  TempLivenessResult Live =
+      computeTempLiveness(F.Fn, Edges, LP, Delete, {}, {});
+  EXPECT_TRUE(Live.LiveIn[F.block("b2")].test(E));
+  EXPECT_FALSE(Live.LiveIn[F.block("b1")].test(E));
+  EXPECT_FALSE(Live.LiveOut[F.block("b0")].test(E));
+}
+
+TEST(TempLiveness, KeptComputationRedefines) {
+  // b1 recomputes a+b (kept): upstream defs are not needed by b2's use.
+  Fixture F(R"(
+block b0
+  x = a + b
+  goto b1
+block b1
+  z = a + b
+  goto b2
+block b2
+  y = a + b
+  goto b3
+block b3
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  std::vector<BitVector> Delete(F.Fn.numBlocks(), BitVector(LP.numExprs()));
+  Delete[F.block("b2")].set(E);
+  TempLivenessResult Live =
+      computeTempLiveness(F.Fn, Edges, LP, Delete, {}, {});
+  EXPECT_TRUE(Live.LiveOut[F.block("b1")].test(E));
+  EXPECT_FALSE(Live.LiveIn[F.block("b1")].test(E))
+      << "the kept computation in b1 redefines the temp";
+  auto Save = computeSaves(LP, Delete, Live);
+  EXPECT_TRUE(Save[F.block("b1")].test(E));
+  EXPECT_FALSE(Save[F.block("b0")].test(E));
+}
+
+TEST(TempLiveness, DeletedTransparentOccurrencePropagatesThrough) {
+  // If b1's own occurrence is deleted too (transparent block), the def
+  // must come from above: liveness flows through b1.
+  Fixture F(R"(
+block b0
+  x = a + b
+  goto b1
+block b1
+  z = a + b
+  goto b2
+block b2
+  y = a + b
+  goto b3
+block b3
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  std::vector<BitVector> Delete(F.Fn.numBlocks(), BitVector(LP.numExprs()));
+  Delete[F.block("b1")].set(E);
+  Delete[F.block("b2")].set(E);
+  TempLivenessResult Live =
+      computeTempLiveness(F.Fn, Edges, LP, Delete, {}, {});
+  EXPECT_TRUE(Live.LiveIn[F.block("b1")].test(E));
+  EXPECT_TRUE(Live.LiveOut[F.block("b0")].test(E));
+  auto Save = computeSaves(LP, Delete, Live);
+  EXPECT_TRUE(Save[F.block("b0")].test(E));
+  EXPECT_FALSE(Save[F.block("b1")].test(E))
+      << "a deleted occurrence never saves";
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/local_cse_test.cpp - Local CSE precondition pass tests ------===//
+
+#include "core/LocalCse.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+Function parse(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+TEST(LocalCse, EliminatesPlainReuse) {
+  Function Fn = parse("block b0\n  x = a + b\n  y = a + b\n  exit\n");
+  uint64_t N = runLocalCse(Fn);
+  EXPECT_EQ(N, 1u);
+  EXPECT_EQ(Fn.countOperations(), 1u);
+  std::string After = printFunction(Fn);
+  // First occurrence computes into the temp; both dests copy from it.
+  EXPECT_NE(After.find("cse.0 = a + b\n  x = cse.0\n  y = cse.0"),
+            std::string::npos)
+      << After;
+}
+
+TEST(LocalCse, SurvivesDeadHolder) {
+  // The original destination is overwritten between use sites — the case a
+  // value-numbering-free CSE misses.
+  Function Fn = parse(
+      "block b0\n  v = a + b\n  v = c\n  w = a + b\n  exit\n");
+  uint64_t N = runLocalCse(Fn);
+  EXPECT_EQ(N, 1u);
+  EXPECT_EQ(Fn.countOperations(), 1u);
+  EXPECT_TRUE(isValidFunction(Fn));
+}
+
+TEST(LocalCse, RespectsKills) {
+  Function Fn = parse(
+      "block b0\n  x = a + b\n  a = 1\n  y = a + b\n  exit\n");
+  EXPECT_EQ(runLocalCse(Fn), 0u);
+  EXPECT_EQ(Fn.countOperations(), 2u);
+}
+
+TEST(LocalCse, SelfKillIsNotReusable) {
+  Function Fn = parse("block b0\n  x = x + 1\n  y = x + 1\n  exit\n");
+  EXPECT_EQ(runLocalCse(Fn), 0u)
+      << "x = x + 1 kills x + 1 before the second occurrence";
+}
+
+TEST(LocalCse, DoesNotCrossBlocks) {
+  Function Fn = parse(
+      "block b0\n  x = a + b\n  goto b1\nblock b1\n  y = a + b\n  exit\n");
+  EXPECT_EQ(runLocalCse(Fn), 0u) << "global redundancy is PRE's job";
+}
+
+TEST(LocalCse, ChainsOfReuses) {
+  Function Fn = parse(
+      "block b0\n  x = a + b\n  y = a + b\n  z = a + b\n  exit\n");
+  EXPECT_EQ(runLocalCse(Fn), 2u);
+  EXPECT_EQ(Fn.countOperations(), 1u);
+}
+
+TEST(LocalCse, PreservesSemantics) {
+  const char *Source = R"(
+block b0
+  x = a + b
+  v = a + b
+  v = x * 2
+  w = a + b
+  a = w
+  y = a + b
+  z = a + b
+  exit
+)";
+  Function Before = parse(Source);
+  Function After = parse(Source);
+  runLocalCse(After);
+  EXPECT_TRUE(isValidFunction(After));
+
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  std::vector<int64_t> Inputs(Before.numVars());
+  for (size_t I = 0; I != Inputs.size(); ++I)
+    Inputs[I] = 3 * int64_t(I) - 4;
+  InterpResult A = Interpreter::run(Before, Inputs, Oracle, Opts);
+  InterpResult B = Interpreter::run(After, Inputs, Oracle, Opts);
+  for (size_t V = 0; V != Before.numVars(); ++V)
+    EXPECT_EQ(A.Vars[V], B.Vars[V]) << Before.varName(VarId(V));
+  EXPECT_LT(B.TotalEvals, A.TotalEvals);
+}
+
+TEST(LocalCse, IsIdempotent) {
+  Function Fn = parse(
+      "block b0\n  x = a + b\n  y = a + b\n  v = c * c\n  w = c * c\n  exit\n");
+  EXPECT_GT(runLocalCse(Fn), 0u);
+  std::string Once = printFunction(Fn);
+  EXPECT_EQ(runLocalCse(Fn), 0u);
+  EXPECT_EQ(printFunction(Fn), Once);
+}
+
+} // namespace

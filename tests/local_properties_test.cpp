@@ -1,0 +1,127 @@
+//===- tests/local_properties_test.cpp - ANTLOC/COMP/TRANSP tests --------===//
+
+#include "analysis/LocalProperties.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+/// Parses and returns the function plus the id of the expression whose
+/// text is \p ExprToFind (must exist).
+struct Fixture {
+  Function Fn;
+  explicit Fixture(const char *Source) {
+    ParseResult R = parseFunction(Source);
+    EXPECT_TRUE(R) << R.Error;
+    Fn = std::move(R.Fn);
+  }
+
+  ExprId expr(const char *Text) {
+    for (ExprId E = 0; E != Fn.exprs().size(); ++E)
+      if (Fn.exprText(E) == Text)
+        return E;
+    ADD_FAILURE() << "no expression '" << Text << "'";
+    return InvalidExpr;
+  }
+};
+
+TEST(LocalProperties, PlainOccurrence) {
+  Fixture F("block b0\n  x = a + b\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(LP.antloc(0).test(E));
+  EXPECT_TRUE(LP.comp(0).test(E));
+  EXPECT_TRUE(LP.transp(0).test(E));
+}
+
+TEST(LocalProperties, KillBeforeOccurrence) {
+  Fixture F("block b0\n  a = 1\n  x = a + b\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  EXPECT_FALSE(LP.antloc(0).test(E)) << "occurrence is not upward exposed";
+  EXPECT_TRUE(LP.comp(0).test(E));
+  EXPECT_FALSE(LP.transp(0).test(E));
+}
+
+TEST(LocalProperties, KillAfterOccurrence) {
+  Fixture F("block b0\n  x = a + b\n  a = 1\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(LP.antloc(0).test(E));
+  EXPECT_FALSE(LP.comp(0).test(E)) << "occurrence is not downward exposed";
+  EXPECT_FALSE(LP.transp(0).test(E));
+}
+
+TEST(LocalProperties, TwoOccurrencesAroundKill) {
+  // Both ANTLOC and COMP with TRANSP false: the paper's dual-exposure case.
+  Fixture F("block b0\n  x = a + b\n  a = 1\n  y = a + b\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(LP.antloc(0).test(E));
+  EXPECT_TRUE(LP.comp(0).test(E));
+  EXPECT_FALSE(LP.transp(0).test(E));
+}
+
+TEST(LocalProperties, SelfKillingOccurrence) {
+  // x = x + 1 computes x+1 and immediately kills it.
+  Fixture F("block b0\n  x = x + 1\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("x + 1");
+  EXPECT_TRUE(LP.antloc(0).test(E));
+  EXPECT_FALSE(LP.comp(0).test(E));
+  EXPECT_FALSE(LP.transp(0).test(E));
+}
+
+TEST(LocalProperties, CopiesKillToo) {
+  Fixture F("block b0\n  x = a + b\n  a = c\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  EXPECT_FALSE(LP.transp(0).test(E));
+  EXPECT_FALSE(LP.comp(0).test(E));
+}
+
+TEST(LocalProperties, ConstOperandsAreNeverKilled) {
+  Fixture F("block b0\n  x = 2 + 3\n  y = 9\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("2 + 3");
+  EXPECT_TRUE(LP.antloc(0).test(E));
+  EXPECT_TRUE(LP.comp(0).test(E));
+  EXPECT_TRUE(LP.transp(0).test(E));
+}
+
+TEST(LocalProperties, DestOverlapOnlyKillsReaders) {
+  // Writing x kills x+1 but not a+b.
+  Fixture F("block b0\n  x = a + b\n  y = x + 1\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId AB = F.expr("a + b");
+  ExprId X1 = F.expr("x + 1");
+  EXPECT_TRUE(LP.transp(0).test(AB));
+  EXPECT_FALSE(LP.transp(0).test(X1)) << "x is written in the block";
+  EXPECT_FALSE(LP.antloc(0).test(X1)) << "x+1 reads x after x's def";
+  EXPECT_TRUE(LP.comp(0).test(X1));
+  EXPECT_TRUE(LP.comp(0).test(AB));
+}
+
+TEST(LocalProperties, EmptyBlocksAreFullyTransparent) {
+  Fixture F("block b0\n  x = a + b\n  goto b1\nblock b1\n  goto b2\n"
+            "block b2\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("a + b");
+  EXPECT_TRUE(LP.transp(1).test(E));
+  EXPECT_FALSE(LP.antloc(1).test(E));
+  EXPECT_FALSE(LP.comp(1).test(E));
+}
+
+TEST(LocalProperties, UnaryExpressions) {
+  Fixture F("block b0\n  x = - a\n  a = 1\n  y = - a\n  exit\n");
+  LocalProperties LP(F.Fn);
+  ExprId E = F.expr("- a");
+  EXPECT_TRUE(LP.antloc(0).test(E));
+  EXPECT_TRUE(LP.comp(0).test(E));
+  EXPECT_FALSE(LP.transp(0).test(E));
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+//===- tests/metrics_test.cpp - Cost and comparison machinery tests ------===//
+
+#include "core/Lcm.h"
+#include "ir/Parser.h"
+#include "metrics/Compare.h"
+#include "workload/PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+TEST(SeededInputs, DeterministicPerSeed) {
+  auto A = makeSeededInputs(5, 8);
+  auto B = makeSeededInputs(5, 8);
+  auto C = makeSeededInputs(6, 8);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.size(), 8u);
+  for (int64_t V : A) {
+    EXPECT_GE(V, -4);
+    EXPECT_LE(V, 9);
+  }
+}
+
+TEST(DynamicCost, CountsEvaluations) {
+  ParseResult R = parseFunction(R"(
+block b0
+  x = a + b
+  y = x * x
+  goto b1
+block b1
+  exit
+)");
+  ASSERT_TRUE(R) << R.Error;
+  DynamicCost C = measureDynamicCost(R.Fn, 1, R.Fn.numVars(),
+                                     uint32_t(R.Fn.numBlocks()));
+  EXPECT_TRUE(C.ReachedExit);
+  EXPECT_EQ(C.Evals, 2u);
+  EXPECT_EQ(C.OriginalBlocksExecuted, 2u);
+}
+
+TEST(TempLifetimes, NoTempsMeansZero) {
+  Function Fn = makeDiamondExample();
+  LifetimeStats S = measureTempLifetimes(Fn, Fn.numVars());
+  EXPECT_EQ(S.NumTemps, 0u);
+  EXPECT_EQ(S.LiveBlockSlots, 0u);
+  EXPECT_EQ(S.MaxPressure, 0u);
+}
+
+TEST(TempLifetimes, CountsTempBoundaries) {
+  Function Fn = makeDiamondExample();
+  size_t OrigVars = Fn.numVars();
+  runPre(Fn, PreStrategy::Lazy);
+  LifetimeStats S = measureTempLifetimes(Fn, OrigVars);
+  EXPECT_EQ(S.NumTemps, 1u);
+  EXPECT_GT(S.LiveBlockSlots, 0u);
+  EXPECT_EQ(S.MaxPressure, 1u);
+}
+
+TEST(WeightedStaticCost, LoopDepthWeighting) {
+  ParseResult R = parseFunction(R"(
+block b0
+  x = a + b
+  goto h
+block h
+  y = a * b
+  if c then h else d
+block d
+  exit
+)");
+  ASSERT_TRUE(R) << R.Error;
+  // One op at depth 0 (weight 1) + one at depth 1 (weight 10).
+  EXPECT_EQ(weightedStaticCost(R.Fn), 11u);
+}
+
+TEST(EvaluateStrategy, IdentityBaselineMeasuresOriginal) {
+  Function Fn = makeMotivatingExample();
+  StrategyOutcome O = evaluateStrategy("none", Fn, identityTransform());
+  EXPECT_EQ(O.Strategy, "none");
+  EXPECT_EQ(O.StaticOps, Fn.countOperations());
+  EXPECT_EQ(O.NumTemps, 0u);
+  EXPECT_EQ(O.BlocksAfter, Fn.numBlocks());
+  EXPECT_TRUE(O.AllRunsReachedExit);
+  EXPECT_GT(O.DynamicEvals, 0u);
+}
+
+TEST(EvaluateStrategy, AlignedSeedsMakeStrategiesComparable) {
+  Function Fn = makeMotivatingExample();
+  StrategyOutcome None = evaluateStrategy("none", Fn, identityTransform());
+  StrategyOutcome Lcm = evaluateStrategy(
+      "LCM", Fn, [](Function &F) { runPre(F, PreStrategy::Lazy); });
+  EXPECT_LE(Lcm.DynamicEvals, None.DynamicEvals);
+  EXPECT_GT(Lcm.NumTemps, 0u);
+}
+
+TEST(EvaluateStrategy, RepeatedEvaluationIsDeterministic) {
+  Function Fn = makeLoopNestExample();
+  auto T = [](Function &F) { runPre(F, PreStrategy::Lazy); };
+  StrategyOutcome A = evaluateStrategy("LCM", Fn, T);
+  StrategyOutcome B = evaluateStrategy("LCM", Fn, T);
+  EXPECT_EQ(A.DynamicEvals, B.DynamicEvals);
+  EXPECT_EQ(A.StaticOps, B.StaticOps);
+  EXPECT_EQ(A.TempLiveSlots, B.TempLiveSlots);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/parser_test.cpp - Textual IR parser and printer tests -------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/PaperExamples.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+TEST(Parser, MinimalFunction) {
+  ParseResult R = parseFunction("block b0\n  exit\n");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Fn.numBlocks(), 1u);
+  EXPECT_TRUE(isValidFunction(R.Fn));
+}
+
+TEST(Parser, AllInstructionForms) {
+  ParseResult R = parseFunction(R"(
+func forms
+block b0
+  x = a + b
+  y = a << 2
+  z = min a b
+  u = max 3 b
+  n = - x
+  m = ~ x
+  c = x
+  k = 42
+  cmp = a <= b
+  exit
+)");
+  ASSERT_TRUE(R) << R.Error;
+  const auto &I = R.Fn.block(0).instrs();
+  ASSERT_EQ(I.size(), 9u);
+  EXPECT_EQ(R.Fn.instrText(I[0]), "x = a + b");
+  EXPECT_EQ(R.Fn.instrText(I[1]), "y = a << 2");
+  EXPECT_EQ(R.Fn.instrText(I[2]), "z = min a b");
+  EXPECT_EQ(R.Fn.instrText(I[3]), "u = max 3 b");
+  EXPECT_EQ(R.Fn.instrText(I[4]), "n = - x");
+  EXPECT_EQ(R.Fn.instrText(I[5]), "m = ~ x");
+  EXPECT_EQ(R.Fn.instrText(I[6]), "c = x");
+  EXPECT_EQ(R.Fn.instrText(I[7]), "k = 42");
+  EXPECT_EQ(R.Fn.instrText(I[8]), "cmp = a <= b");
+}
+
+TEST(Parser, Terminators) {
+  ParseResult R = parseFunction(R"(
+block b0
+  if c then b1 else b2
+block b1
+  goto b3
+block b2
+  br b3 b3
+block b3
+  exit
+)");
+  ASSERT_TRUE(R) << R.Error;
+  const Function &Fn = R.Fn;
+  EXPECT_TRUE(Fn.block(0).hasConditionalBranch());
+  EXPECT_EQ(Fn.block(0).succs().size(), 2u);
+  EXPECT_EQ(Fn.block(1).succs().size(), 1u);
+  // Parallel edges from the multiway branch.
+  EXPECT_EQ(Fn.block(2).succs(), (std::vector<BlockId>{3, 3}));
+  EXPECT_TRUE(isValidFunction(Fn));
+}
+
+TEST(Parser, ForwardReferences) {
+  ParseResult R = parseFunction(R"(
+block b0
+  goto later
+block later
+  exit
+)");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Fn.block(0).succs(), (std::vector<BlockId>{1}));
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  ParseResult R = parseFunction(R"(
+# leading comment
+
+block b0   # trailing comment
+  x = a + b  # another
+  exit
+)");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Fn.block(0).instrs().size(), 1u);
+}
+
+TEST(Parser, NegativeConstants) {
+  ParseResult R = parseFunction("block b0\n  x = a + -3\n  y = -5\n  exit\n");
+  ASSERT_TRUE(R) << R.Error;
+  const auto &I = R.Fn.block(0).instrs();
+  const Expr &E = R.Fn.exprs().expr(I[0].exprId());
+  EXPECT_EQ(E.Rhs.constVal(), -3);
+  EXPECT_EQ(I[1].src().constVal(), -5);
+}
+
+struct ErrorCase {
+  const char *Name;
+  const char *Source;
+  const char *Fragment;
+};
+
+class ParserErrors : public testing::TestWithParam<ErrorCase> {};
+
+TEST_P(ParserErrors, ReportsDiagnostic) {
+  ParseResult R = parseFunction(GetParam().Source);
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find(GetParam().Fragment), std::string::npos)
+      << "got: " << R.Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ParserErrors,
+    testing::Values(
+        ErrorCase{"Empty", "", "empty function"},
+        ErrorCase{"InstrOutsideBlock", "x = a + b\n", "outside of a block"},
+        ErrorCase{"MissingTerminator", "block b0\n  x = a + b\n",
+                  "terminator"},
+        ErrorCase{"DuplicateLabel", "block b0\n  exit\nblock b0\n  exit\n",
+                  "duplicate block label"},
+        ErrorCase{"UnknownLabel", "block b0\n  goto nowhere\n",
+                  "unknown label"},
+        ErrorCase{"BadOperator", "block b0\n  x = a ? b\n  exit\n",
+                  "unknown operator"},
+        ErrorCase{"BadUnary", "block b0\n  x = ! a\n  exit\n",
+                  "unknown unary operator"},
+        ErrorCase{"BadIf", "block b0\n  if c then x\n  exit\n",
+                  "expected 'if"},
+        ErrorCase{"AfterTerminator",
+                  "block b0\n  goto b1\n  x = a + b\nblock b1\n  exit\n",
+                  "after terminator"},
+        ErrorCase{"Garbage", "block b0\n  frobnicate\n  exit\n",
+                  "unrecognized statement"}),
+    [](const testing::TestParamInfo<ErrorCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(Printer, RoundTripsPaperExamples) {
+  for (Function Fn : {makeMotivatingExample(), makeCriticalEdgeExample(),
+                      makeDiamondExample(), makeLoopNestExample()}) {
+    std::string Text = printFunction(Fn);
+    ParseResult R = parseFunction(Text);
+    ASSERT_TRUE(R) << R.Error << "\n" << Text;
+    EXPECT_EQ(printFunction(R.Fn), Text);
+    EXPECT_TRUE(isValidFunction(R.Fn));
+  }
+}
+
+TEST(Printer, DotOutputContainsNodesAndEdges) {
+  Function Fn = makeDiamondExample();
+  std::string Dot = printDot(Fn);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("x = a + b"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+  // Conditional branch edges are labeled.
+  EXPECT_NE(Dot.find("[label=\"T\"]"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/pipeline_test.cpp - Pass manager and registry tests ---------===//
+
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/PaperExamples.h"
+#include "workload/StructuredGen.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+TEST(Registry, ContainsTheExpectedPasses) {
+  std::vector<std::string> Names = standardPassNames();
+  for (const char *Want :
+       {"canon", "lcse", "constfold", "lcm", "bcm", "alcm", "sized-lcm", "cse", "mr",
+        "licm", "licm-safe", "sr", "copyprop", "dce", "cleanup"}) {
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Want), Names.end())
+        << Want;
+  }
+  EXPECT_FALSE(lookupStandardPass("nonsense"));
+  EXPECT_TRUE(lookupStandardPass("lcm"));
+}
+
+TEST(ParsePipeline, AcceptsCommaSeparatedNames) {
+  PipelineParse P = parsePipeline("lcse, lcm ,cleanup");
+  ASSERT_TRUE(P) << P.Error;
+  ASSERT_EQ(P.P.size(), 3u);
+  EXPECT_EQ(P.P.stepName(0), "lcse");
+  EXPECT_EQ(P.P.stepName(1), "lcm");
+  EXPECT_EQ(P.P.stepName(2), "cleanup");
+}
+
+TEST(ParsePipeline, RejectsUnknownAndEmpty) {
+  EXPECT_FALSE(parsePipeline(""));
+  EXPECT_FALSE(parsePipeline(" , ,"));
+  PipelineParse P = parsePipeline("lcse,frobnicate");
+  ASSERT_FALSE(P);
+  EXPECT_NE(P.Error.find("frobnicate"), std::string::npos);
+}
+
+TEST(Pipeline, RunsStepsInOrderAndReportsChanges) {
+  Function Fn = makeMotivatingExample();
+  PipelineParse P = parsePipeline("lcse,lcm,cleanup");
+  ASSERT_TRUE(P) << P.Error;
+  Pipeline::RunResult R = P.P.run(Fn);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Steps.size(), 3u);
+  EXPECT_EQ(R.Steps[0].Changes, 0u) << "examples are already LCSE-clean";
+  EXPECT_GT(R.Steps[1].Changes, 0u) << "LCM must move a + b";
+  EXPECT_TRUE(isValidFunction(Fn));
+}
+
+TEST(Pipeline, CatchesABrokenPassByName) {
+  Function Fn = makeDiamondExample();
+  Pipeline P;
+  P.add("fine", [](Function &) { return uint64_t(0); });
+  P.add("vandal", [](Function &F) {
+    // Corrupt the CFG: push a successor without the pred back-link.
+    F.blocks()[0] = F.block(0); // no-op to keep the lambda non-trivial
+    F.block(0).instrs().push_back(
+        Instr::makeCopy(VarId(9999), Operand::makeConst(1)));
+    return uint64_t(1);
+  });
+  P.add("never-reached", [](Function &) {
+    ADD_FAILURE() << "pipeline must stop at the broken pass";
+    return uint64_t(0);
+  });
+  Pipeline::RunResult R = P.run(Fn);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("vandal"), std::string::npos) << R.Error;
+  EXPECT_EQ(R.Steps.size(), 2u);
+}
+
+TEST(Pipeline, FullStackPreservesSemantics) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    StructuredGenOptions Opts;
+    Opts.Seed = Seed;
+    Function Original = generateStructured(Opts);
+    Function Fn = Original;
+    PipelineParse P =
+        parsePipeline("constfold,lcse,sr,lcm,copyprop,dce,cleanup");
+    ASSERT_TRUE(P) << P.Error;
+    Pipeline::RunResult R = P.P.run(Fn);
+    ASSERT_TRUE(R.Ok) << R.Error;
+
+    FirstSuccessorOracle Oracle;
+    Interpreter::Options IOpts;
+    std::vector<int64_t> Inputs(Original.numVars(), 1);
+    InterpResult A = Interpreter::run(Original, Inputs, Oracle, IOpts);
+    InterpResult B = Interpreter::run(Fn, Inputs, Oracle, IOpts);
+    ASSERT_TRUE(A.ReachedExit);
+    ASSERT_TRUE(B.ReachedExit);
+    for (size_t V = 0; V != Original.numVars(); ++V)
+      EXPECT_EQ(A.Vars[V], B.Vars[V])
+          << "seed " << Seed << " " << Original.varName(VarId(V));
+    EXPECT_LE(B.TotalEvals, A.TotalEvals) << "seed " << Seed;
+  }
+}
+
+TEST(Pipeline, RepeatedLcmIsStable) {
+  Function Fn = makeCriticalEdgeExample();
+  PipelineParse P = parsePipeline("lcse,lcm,lcm,lcm");
+  ASSERT_TRUE(P) << P.Error;
+  Pipeline::RunResult R = P.P.run(Fn);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.Steps[1].Changes, 0u);
+  EXPECT_EQ(R.Steps[2].Changes, 0u) << "second LCM run must be a no-op";
+  EXPECT_EQ(R.Steps[3].Changes, 0u);
+}
+
+} // namespace

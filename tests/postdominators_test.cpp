@@ -1,0 +1,107 @@
+//===- tests/postdominators_test.cpp - Post-dominator tree tests ---------===//
+
+#include "analysis/ExprDataflow.h"
+#include "graph/PostDominators.h"
+#include "ir/Parser.h"
+#include "workload/PaperExamples.h"
+#include "workload/RandomCfg.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+Function parse(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+TEST(PostDominators, DiamondJoinPostDominatesArms) {
+  Function Fn = parse(R"(
+block e
+  if c then l else r
+block l
+  goto j
+block r
+  goto j
+block j
+  goto x
+block x
+  exit
+)");
+  PostDominators PDom(Fn);
+  BlockId E = 0, L = 1, R = 2, J = 3, X = 4;
+  EXPECT_EQ(PDom.ipdom(L), J);
+  EXPECT_EQ(PDom.ipdom(R), J);
+  EXPECT_EQ(PDom.ipdom(E), J) << "the join, not an arm";
+  EXPECT_EQ(PDom.ipdom(J), X);
+  EXPECT_EQ(PDom.ipdom(X), X);
+  EXPECT_TRUE(PDom.postDominates(X, E));
+  EXPECT_TRUE(PDom.postDominates(J, L));
+  EXPECT_FALSE(PDom.postDominates(L, E));
+  EXPECT_TRUE(PDom.postDominates(J, J));
+  EXPECT_EQ(PDom.depth(X), 0u);
+  EXPECT_EQ(PDom.depth(E), 2u);
+}
+
+TEST(PostDominators, LoopExitPostDominatesBody) {
+  Function Fn = makeMotivatingExample();
+  PostDominators PDom(Fn);
+  BlockId Done = Fn.exit();
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B)
+    EXPECT_TRUE(PDom.postDominates(Done, B));
+}
+
+TEST(PostDominators, EveryBlockBelowExitOnRandomGraphs) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed;
+    Function Fn = generateRandomCfg(Opts);
+    PostDominators PDom(Fn);
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      EXPECT_TRUE(PDom.postDominates(Fn.exit(), B)) << "seed " << Seed;
+      if (B != Fn.exit()) {
+        EXPECT_TRUE(PDom.postDominates(PDom.ipdom(B), B)) << "seed " << Seed;
+        EXPECT_NE(PDom.ipdom(B), B) << "seed " << Seed;
+      }
+    }
+  }
+}
+
+/// Cross-check with anticipability: if block D contains an upward-exposed
+/// computation of e, D post-dominates B, and no block on any B ~> D prefix
+/// kills e, then e is anticipated at B.  We verify the contrapositive-free
+/// special case where *no block in the whole function* kills e: then
+/// ANTIN[B] must hold whenever such a D post-dominates B.
+TEST(PostDominators, AgreesWithAnticipabilityWithoutKills) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed + 40;
+    Opts.NumBlocks = 10;
+    Function Fn = generateRandomCfg(Opts);
+    PostDominators PDom(Fn);
+    LocalProperties LP(Fn);
+    DataflowResult Ant = computeAnticipability(Fn, LP);
+
+    for (ExprId E = 0; E != Fn.exprs().size(); ++E) {
+      // Only expressions never killed anywhere.
+      bool Killed = false;
+      for (BlockId B = 0; B != Fn.numBlocks(); ++B)
+        Killed |= !LP.transp(B).test(E);
+      if (Killed)
+        continue;
+      for (BlockId D = 0; D != Fn.numBlocks(); ++D) {
+        if (!LP.antloc(D).test(E))
+          continue;
+        for (BlockId B = 0; B != Fn.numBlocks(); ++B)
+          if (PDom.postDominates(D, B))
+            EXPECT_TRUE(Ant.In[B].test(E))
+                << "seed " << Seed << " expr " << Fn.exprText(E);
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/reducibility_test.cpp - Reducible flow-graph detection ------===//
+
+#include "graph/Reducibility.h"
+#include "ir/Parser.h"
+#include "workload/PaperExamples.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+Function parse(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+TEST(Reducibility, PaperExamplesAreReducible) {
+  EXPECT_TRUE(isReducible(makeMotivatingExample()));
+  EXPECT_TRUE(isReducible(makeCriticalEdgeExample()));
+  EXPECT_TRUE(isReducible(makeDiamondExample()));
+  EXPECT_TRUE(isReducible(makeLoopNestExample()));
+}
+
+TEST(Reducibility, StructuredProgramsAlwaysReducible) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    StructuredGenOptions Opts;
+    Opts.Seed = Seed;
+    EXPECT_TRUE(isReducible(generateStructured(Opts))) << "seed " << Seed;
+  }
+}
+
+TEST(Reducibility, ClassicIrreducibleTriangle) {
+  // Two loop entries neither of which dominates the other: entry branches
+  // into the middle of a cycle a <-> b.
+  Function Fn = parse(R"(
+block e
+  if c then a else b
+block a
+  br b x
+block b
+  br a x
+block x
+  exit
+)");
+  EXPECT_FALSE(isReducible(Fn));
+}
+
+TEST(Reducibility, SelfLoopIsReducible) {
+  Function Fn = parse(R"(
+block e
+  goto h
+block h
+  br h x
+block x
+  exit
+)");
+  EXPECT_TRUE(isReducible(Fn));
+}
+
+TEST(Reducibility, AcyclicGraphsAreReducible) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed;
+    Opts.Acyclic = true;
+    EXPECT_TRUE(isReducible(generateRandomCfg(Opts))) << "seed " << Seed;
+  }
+}
+
+TEST(Reducibility, RandomGeneratorProducesBothKinds) {
+  unsigned Irreducible = 0;
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed;
+    Opts.NumBlocks = 14;
+    Irreducible += !isReducible(generateRandomCfg(Opts));
+  }
+  EXPECT_GT(Irreducible, 3u) << "the stress generator should produce "
+                                "irreducible graphs regularly";
+  EXPECT_LT(Irreducible, 30u);
+}
+
+} // namespace

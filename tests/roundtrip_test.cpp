@@ -1,0 +1,138 @@
+//===- tests/roundtrip_test.cpp - Print/parse round-trips and fuzzing ----===//
+
+#include "core/Lcm.h"
+#include "core/LocalCse.h"
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "support/Rng.h"
+#include "workload/AddressGen.h"
+#include "workload/Corpus.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+/// Every opcode survives print -> parse -> print unchanged, in both the
+/// var/var and var/const operand shapes.
+class OpcodeRoundTrip : public testing::TestWithParam<unsigned> {};
+
+TEST_P(OpcodeRoundTrip, PrintParsePrint) {
+  Opcode Op = Opcode(GetParam());
+  Function Fn("f");
+  IRBuilder B(Fn);
+  B.startBlock("b0");
+  if (isBinaryOpcode(Op)) {
+    B.op("x", Op, B.var("a"), B.var("b"));
+    B.op("y", Op, B.var("a"), IRBuilder::cst(-7));
+  } else {
+    B.unop("x", Op, B.var("a"));
+    B.unop("y", Op, IRBuilder::cst(5));
+  }
+
+  std::string Text = printFunction(Fn);
+  ParseResult R = parseFunction(Text);
+  ASSERT_TRUE(R) << opcodeName(Op) << ": " << R.Error << "\n" << Text;
+  EXPECT_EQ(printFunction(R.Fn), Text) << opcodeName(Op);
+
+  // The reparsed instructions denote the same operations.
+  const auto &I = R.Fn.block(0).instrs();
+  ASSERT_EQ(I.size(), 2u);
+  EXPECT_EQ(R.Fn.exprs().expr(I[0].exprId()).Op, Op);
+  EXPECT_EQ(R.Fn.exprs().expr(I[1].exprId()).Op, Op);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         testing::Range(0u, NumOpcodes),
+                         [](const testing::TestParamInfo<unsigned> &Info) {
+                           return opcodeName(Opcode(Info.param));
+                         });
+
+TEST(RoundTrip, WholeCorpus) {
+  for (const CorpusEntry &Entry : makeDefaultCorpus()) {
+    Function Fn = Entry.Make();
+    std::string Text = printFunction(Fn);
+    ParseResult R = parseFunction(Text);
+    ASSERT_TRUE(R) << Entry.Name << ": " << R.Error;
+    EXPECT_EQ(printFunction(R.Fn), Text) << Entry.Name;
+    EXPECT_TRUE(isValidFunction(R.Fn)) << Entry.Name;
+    // The reparsed function has the same shape.
+    EXPECT_EQ(R.Fn.numBlocks(), Fn.numBlocks()) << Entry.Name;
+    EXPECT_EQ(R.Fn.numVars(), Fn.numVars()) << Entry.Name;
+    EXPECT_EQ(R.Fn.exprs().size(), Fn.exprs().size()) << Entry.Name;
+  }
+}
+
+/// The parser must reject or accept—but never crash on—mutated inputs.
+TEST(ParserFuzz, MutatedProgramsNeverCrash) {
+  StructuredGenOptions Opts;
+  Opts.Seed = 3;
+  std::string Base = printFunction(generateStructured(Opts));
+  Rng R(0xf22);
+
+  unsigned Accepted = 0, Rejected = 0;
+  for (int Round = 0; Round != 400; ++Round) {
+    std::string Mutated = Base;
+    unsigned NumEdits = 1 + unsigned(R.below(4));
+    for (unsigned E = 0; E != NumEdits && !Mutated.empty(); ++E) {
+      size_t Pos = R.below(Mutated.size());
+      switch (R.below(3)) {
+      case 0:
+        Mutated.erase(Pos, 1);
+        break;
+      case 1:
+        Mutated[Pos] = char(' ' + R.below(95));
+        break;
+      default:
+        Mutated.insert(Pos, 1, char(' ' + R.below(95)));
+        break;
+      }
+    }
+    ParseResult Res = parseFunction(Mutated);
+    if (Res) {
+      ++Accepted;
+      // Anything accepted must at least be printable and reparseable.
+      ParseResult Again = parseFunction(printFunction(Res.Fn));
+      EXPECT_TRUE(Again) << Again.Error;
+    } else {
+      ++Rejected;
+      EXPECT_FALSE(Res.Error.empty());
+    }
+  }
+  // Both outcomes occur: the fuzz is actually probing the grammar edge.
+  EXPECT_GT(Accepted, 0u);
+  EXPECT_GT(Rejected, 0u);
+}
+
+TEST(ParserFuzz, RandomGarbageNeverCrashes) {
+  Rng R(99);
+  for (int Round = 0; Round != 200; ++Round) {
+    std::string Garbage;
+    size_t Len = R.below(200);
+    for (size_t I = 0; I != Len; ++I)
+      Garbage.push_back(char(R.below(256)));
+    ParseResult Res = parseFunction(Garbage);
+    if (Res)
+      EXPECT_TRUE(parseFunction(printFunction(Res.Fn)));
+  }
+}
+
+TEST(RoundTrip, TransformedProgramsStillRoundTrip) {
+  // Split blocks, temps, and saves must all survive the textual format.
+  for (const CorpusEntry &Entry : makeDefaultCorpus()) {
+    Function Fn = Entry.Make();
+    runLocalCse(Fn);
+    runPre(Fn, PreStrategy::Lazy);
+    std::string Text = printFunction(Fn);
+    ParseResult R = parseFunction(Text);
+    ASSERT_TRUE(R) << Entry.Name << ": " << R.Error;
+    EXPECT_EQ(printFunction(R.Fn), Text) << Entry.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- tests/single_instr_test.cpp - Node-granularity expansion tests ----===//
+
+#include "core/SingleInstr.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/PaperExamples.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+TEST(SingleInstr, EveryBlockHasAtMostOneInstruction) {
+  Function Fn = makeMotivatingExample();
+  Function X = expandToSingleInstructionNodes(Fn);
+  for (const BasicBlock &B : X.blocks())
+    EXPECT_LE(B.instrs().size(), 1u);
+  EXPECT_TRUE(isValidFunction(X));
+}
+
+TEST(SingleInstr, PreservesVariableIds) {
+  Function Fn = makeLoopNestExample();
+  Function X = expandToSingleInstructionNodes(Fn);
+  ASSERT_EQ(Fn.numVars(), X.numVars());
+  for (VarId V = 0; V != Fn.numVars(); ++V)
+    EXPECT_EQ(Fn.varName(V), X.varName(V));
+}
+
+TEST(SingleInstr, PreservesInstructionCount) {
+  Function Fn = makeMotivatingExample();
+  Function X = expandToSingleInstructionNodes(Fn);
+  size_t Before = 0, After = 0;
+  for (const BasicBlock &B : Fn.blocks())
+    Before += B.instrs().size();
+  for (const BasicBlock &B : X.blocks())
+    After += B.instrs().size();
+  EXPECT_EQ(Before, After);
+  EXPECT_EQ(Fn.countOperations(), X.countOperations());
+}
+
+TEST(SingleInstr, BranchConditionMovesToChainTail) {
+  Function Fn = makeMotivatingExample();
+  Function X = expandToSingleInstructionNodes(Fn);
+  for (const BasicBlock &B : X.blocks()) {
+    if (B.succs().size() == 2) {
+      EXPECT_TRUE(B.condVar().has_value() || B.succs()[0] == B.succs()[1]);
+    }
+    if (B.condVar()) {
+      EXPECT_EQ(B.succs().size(), 2u);
+    }
+  }
+  EXPECT_TRUE(isValidFunction(X));
+}
+
+TEST(SingleInstr, BehavesIdentically) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    StructuredGenOptions Opts;
+    Opts.Seed = Seed;
+    Function Fn = generateStructured(Opts);
+    Function X = expandToSingleInstructionNodes(Fn);
+    ASSERT_TRUE(isValidFunction(X)) << "seed " << Seed;
+
+    std::vector<int64_t> Inputs(Fn.numVars());
+    for (size_t I = 0; I != Inputs.size(); ++I)
+      Inputs[I] = int64_t(I) - 2;
+    // Structured programs never consult the oracle.
+    FirstSuccessorOracle Oracle;
+    Interpreter::Options IOpts;
+    InterpResult A = Interpreter::run(Fn, Inputs, Oracle, IOpts);
+    InterpResult B = Interpreter::run(X, Inputs, Oracle, IOpts);
+    ASSERT_TRUE(A.ReachedExit);
+    ASSERT_TRUE(B.ReachedExit);
+    EXPECT_EQ(A.TotalEvals, B.TotalEvals) << "seed " << Seed;
+    for (size_t V = 0; V != Fn.numVars(); ++V)
+      EXPECT_EQ(A.Vars[V], B.Vars[V]) << "seed " << Seed << " var " << V;
+  }
+}
+
+TEST(SingleInstr, EmptyBlocksBecomeSingleNodes) {
+  Function Fn("f");
+  BlockId B0 = Fn.addBlock();
+  BlockId B1 = Fn.addBlock();
+  Fn.addEdge(B0, B1);
+  Function X = expandToSingleInstructionNodes(Fn);
+  EXPECT_EQ(X.numBlocks(), 2u);
+  EXPECT_TRUE(isValidFunction(X));
+}
+
+} // namespace

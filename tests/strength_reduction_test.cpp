@@ -1,0 +1,234 @@
+//===- tests/strength_reduction_test.cpp - Lazy-strength-reduction ext ---===//
+
+#include "ext/StrengthReduction.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+Function parse(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+/// Counts dynamic evaluations of multiplication expressions.
+uint64_t countMuls(const Function &Fn, const InterpResult &R) {
+  uint64_t N = 0;
+  for (ExprId E = 0; E != Fn.exprs().size(); ++E)
+    if (Fn.exprs().expr(E).Op == Opcode::Mul)
+      N += R.EvalsPerExpr[E];
+  return N;
+}
+
+InterpResult run(const Function &Fn, int64_t AInit) {
+  FirstSuccessorOracle Oracle;
+  Interpreter::Options Opts;
+  std::vector<int64_t> Inputs(Fn.numVars(), 0);
+  if (Fn.findVar("a") != InvalidVar)
+    Inputs[Fn.findVar("a")] = AInit;
+  return Interpreter::run(Fn, Inputs, Oracle, Opts);
+}
+
+const char *CountedLoopSrc = R"(
+block b0
+  i = 0
+  goto h
+block h
+  c = i < 8
+  if c then w else d
+block w
+  x = i * 4
+  s = s + x
+  i = i + 1
+  goto h
+block d
+  exit
+)";
+
+TEST(StrengthReduction, ReducesConstMultiple) {
+  Function Fn = parse(CountedLoopSrc);
+  Function Original = Fn;
+  StrengthReductionReport R = runStrengthReduction(Fn);
+  EXPECT_EQ(R.InductionVarsFound, 1u);
+  EXPECT_EQ(R.CandidatesReduced, 1u);
+  EXPECT_EQ(R.OccurrencesRewritten, 1u);
+  ASSERT_TRUE(isValidFunction(Fn));
+
+  InterpResult Before = run(Original, 0);
+  InterpResult After = run(Fn, 0);
+  ASSERT_TRUE(Before.ReachedExit);
+  ASSERT_TRUE(After.ReachedExit);
+  for (size_t V = 0; V != Original.numVars(); ++V)
+    EXPECT_EQ(Before.Vars[V], After.Vars[V]) << Original.varName(VarId(V));
+
+  // 8 loop multiplications collapse into 1 preheader multiplication.
+  EXPECT_EQ(countMuls(Original, Before), 8u);
+  EXPECT_EQ(countMuls(Fn, After), 1u);
+}
+
+TEST(StrengthReduction, InvariantVariableMultiplier) {
+  Function Fn = parse(R"(
+block b0
+  i = 0
+  goto h
+block h
+  c = i < 6
+  if c then w else d
+block w
+  x = i * a
+  s = s + x
+  i = i + 2
+  goto h
+block d
+  exit
+)");
+  Function Original = Fn;
+  StrengthReductionReport R = runStrengthReduction(Fn);
+  EXPECT_EQ(R.CandidatesReduced, 1u);
+  ASSERT_TRUE(isValidFunction(Fn));
+  for (int64_t A : {-3, 0, 7, 1000000007}) {
+    InterpResult Before = run(Original, A);
+    InterpResult After = run(Fn, A);
+    for (size_t V = 0; V != Original.numVars(); ++V)
+      EXPECT_EQ(Before.Vars[V], After.Vars[V]) << "a=" << A;
+    EXPECT_LT(countMuls(Fn, After), countMuls(Original, Before));
+  }
+}
+
+TEST(StrengthReduction, DownCountingLoop) {
+  Function Fn = parse(R"(
+block b0
+  i = 9
+  goto h
+block h
+  c = i > 0
+  if c then w else d
+block w
+  x = i * 3
+  s = s + x
+  i = i - 1
+  goto h
+block d
+  exit
+)");
+  Function Original = Fn;
+  StrengthReductionReport R = runStrengthReduction(Fn);
+  EXPECT_EQ(R.CandidatesReduced, 1u);
+  InterpResult Before = run(Original, 0);
+  InterpResult After = run(Fn, 0);
+  for (size_t V = 0; V != Original.numVars(); ++V)
+    EXPECT_EQ(Before.Vars[V], After.Vars[V]);
+}
+
+TEST(StrengthReduction, MultiplierAssignedInLoopIsSkipped) {
+  Function Fn = parse(R"(
+block b0
+  i = 0
+  goto h
+block h
+  c = i < 5
+  if c then w else d
+block w
+  k = k + 1
+  x = i * k
+  i = i + 1
+  goto h
+block d
+  exit
+)");
+  StrengthReductionReport R = runStrengthReduction(Fn);
+  EXPECT_EQ(R.CandidatesReduced, 0u) << "k varies; i*k is not linear in i";
+}
+
+TEST(StrengthReduction, NonUniqueUpdateDisqualifiesIv) {
+  Function Fn = parse(R"(
+block b0
+  i = 0
+  goto h
+block h
+  c = i < 5
+  if c then w else d
+block w
+  x = i * 4
+  i = i + 1
+  i = i + 1
+  goto h
+block d
+  exit
+)");
+  StrengthReductionReport R = runStrengthReduction(Fn);
+  EXPECT_EQ(R.InductionVarsFound, 0u);
+  EXPECT_EQ(R.CandidatesReduced, 0u);
+}
+
+TEST(StrengthReduction, WrappingArithmeticStaysExact) {
+  Function Fn = parse(R"(
+block b0
+  i = 4611686018427387000
+  goto h
+block h
+  c = n < 6
+  if c then w else d
+block w
+  x = i * 7
+  i = i + 1
+  n = n + 1
+  goto h
+block d
+  exit
+)");
+  Function Original = Fn;
+  runStrengthReduction(Fn);
+  InterpResult Before = run(Original, 0);
+  InterpResult After = run(Fn, 0);
+  for (size_t V = 0; V != Original.numVars(); ++V)
+    EXPECT_EQ(Before.Vars[V], After.Vars[V])
+        << "wrapping overflow must commute with the induction update";
+}
+
+TEST(StrengthReduction, NestedLoopsReduceIndependently) {
+  Function Fn = parse(R"(
+block b0
+  i = 0
+  goto oh
+block oh
+  c = i < 4
+  if c then ob else d
+block ob
+  u = i * 10
+  j = 0
+  goto ih
+block ih
+  cj = j < 3
+  if cj then ib else oe
+block ib
+  v = j * 5
+  s = s + v
+  j = j + 1
+  goto ih
+block oe
+  s = s + u
+  i = i + 1
+  goto oh
+block d
+  exit
+)");
+  Function Original = Fn;
+  StrengthReductionReport R = runStrengthReduction(Fn);
+  EXPECT_GE(R.CandidatesReduced, 2u);
+  ASSERT_TRUE(isValidFunction(Fn));
+  InterpResult Before = run(Original, 0);
+  InterpResult After = run(Fn, 0);
+  for (size_t V = 0; V != Original.numVars(); ++V)
+    EXPECT_EQ(Before.Vars[V], After.Vars[V]) << Original.varName(VarId(V));
+  EXPECT_LT(countMuls(Fn, After), countMuls(Original, Before));
+}
+
+} // namespace

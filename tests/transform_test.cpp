@@ -1,0 +1,270 @@
+//===- tests/transform_test.cpp - applyPlacement rewriting mechanics -----===//
+
+#include "core/Placement.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+struct Fixture {
+  Function Fn;
+  explicit Fixture(const char *Source) {
+    ParseResult R = parseFunction(Source);
+    EXPECT_TRUE(R) << R.Error;
+    Fn = std::move(R.Fn);
+  }
+  ExprId expr(const char *Text) const {
+    for (ExprId E = 0; E != Fn.exprs().size(); ++E)
+      if (Fn.exprText(E) == Text)
+        return E;
+    ADD_FAILURE() << "no expression '" << Text << "'";
+    return InvalidExpr;
+  }
+  BlockId block(const char *Label) const {
+    for (const BasicBlock &B : Fn.blocks())
+      if (B.label() == Label)
+        return B.id();
+    ADD_FAILURE() << "no block '" << Label << "'";
+    return InvalidBlock;
+  }
+};
+
+PrePlacement emptyPlacement(const Function &Fn, const CfgEdges &Edges,
+                            bool WithEdgeInserts = true,
+                            bool WithNodeInserts = false) {
+  PrePlacement P;
+  P.NumExprs = Fn.exprs().size();
+  if (WithEdgeInserts)
+    P.InsertEdge.assign(Edges.numEdges(), BitVector(P.NumExprs));
+  if (WithNodeInserts)
+    P.InsertEndOfBlock.assign(Fn.numBlocks(), BitVector(P.NumExprs));
+  P.Delete.assign(Fn.numBlocks(), BitVector(P.NumExprs));
+  P.Save.assign(Fn.numBlocks(), BitVector(P.NumExprs));
+  return P;
+}
+
+EdgeId edgeBetween(const CfgEdges &Edges, BlockId From, BlockId To) {
+  for (EdgeId E = 0; E != Edges.numEdges(); ++E)
+    if (Edges.edge(E).From == From && Edges.edge(E).To == To)
+      return E;
+  ADD_FAILURE() << "no such edge";
+  return 0;
+}
+
+TEST(ApplyPlacement, DeleteRewritesUpwardExposedOccurrence) {
+  Fixture F("block b0\n  x = a + b\n  goto b1\nblock b1\n  exit\n");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  P.Delete[F.block("b0")].set(F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.Replacements, 1u);
+  EXPECT_NE(printFunction(F.Fn).find("x = h.0"), std::string::npos);
+  EXPECT_EQ(F.Fn.countOperations(), 0u);
+}
+
+TEST(ApplyPlacement, DeleteReplacesEveryUpwardExposedOccurrence) {
+  // Two upward-exposed occurrences (no kill between): both are redundant
+  // if the expression arrives in the temp.
+  Fixture F("block b0\n  x = a + b\n  y = a + b\n  goto b1\n"
+            "block b1\n  exit\n");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  P.Delete[F.block("b0")].set(F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.Replacements, 2u);
+  EXPECT_EQ(F.Fn.countOperations(), 0u);
+}
+
+TEST(ApplyPlacement, SaveRewritesDownwardExposedOccurrence) {
+  Fixture F("block b0\n  x = a + b\n  goto b1\nblock b1\n  exit\n");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  P.Save[F.block("b0")].set(F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.Saves, 1u);
+  std::string After = printFunction(F.Fn);
+  EXPECT_NE(After.find("h.0 = a + b\n  x = h.0"), std::string::npos) << After;
+  EXPECT_EQ(F.Fn.countOperations(), 1u);
+}
+
+TEST(ApplyPlacement, DeleteAndSaveInOneBlockAroundKill) {
+  // Upward occurrence deleted, separate downward occurrence saved.
+  Fixture F("block b0\n  x = a + b\n  a = k\n  y = a + b\n  goto b1\n"
+            "block b1\n  exit\n");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  P.Delete[F.block("b0")].set(F.expr("a + b"));
+  P.Save[F.block("b0")].set(F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.Replacements, 1u);
+  EXPECT_EQ(R.Saves, 1u);
+  std::string After = printFunction(F.Fn);
+  EXPECT_NE(After.find("x = h.0"), std::string::npos) << After;
+  EXPECT_NE(After.find("h.0 = a + b\n  y = h.0"), std::string::npos) << After;
+}
+
+TEST(ApplyPlacement, EdgeInsertAppendsToSingleSuccPred) {
+  Fixture F("block b0\n  t = c\n  goto b1\nblock b1\n  x = a + b\n  exit\n");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  P.InsertEdge[edgeBetween(Edges, F.block("b0"), F.block("b1"))].set(
+      F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.AppendedToPred, 1u);
+  EXPECT_EQ(R.SplitBlocks, 0u);
+  // Insertion goes after b0's own code.
+  EXPECT_NE(printFunction(F.Fn).find("t = c\n  h.0 = a + b"),
+            std::string::npos);
+}
+
+TEST(ApplyPlacement, EdgeInsertPrependsToSinglePredSucc) {
+  Fixture F(R"(
+block b0
+  if c then l else r
+block l
+  x = a + b
+  goto j
+block r
+  goto j
+block j
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  // b0 has two successors, l has one pred: insertion lands at l's start.
+  P.InsertEdge[edgeBetween(Edges, F.block("b0"), F.block("l"))].set(
+      F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.PrependedToSucc, 1u);
+  EXPECT_EQ(R.SplitBlocks, 0u);
+  EXPECT_NE(printFunction(F.Fn).find("block l\n  h.0 = a + b\n  x = a + b"),
+            std::string::npos)
+      << printFunction(F.Fn);
+}
+
+TEST(ApplyPlacement, CriticalEdgeForcesSplit) {
+  Fixture F(R"(
+block b0
+  if c then l else j
+block l
+  goto j
+block j
+  x = a + b
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  // b0 -> j: b0 branches, j joins; must split.
+  P.InsertEdge[edgeBetween(Edges, F.block("b0"), F.block("j"))].set(
+      F.expr("a + b"));
+  size_t BlocksBefore = F.Fn.numBlocks();
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.SplitBlocks, 1u);
+  EXPECT_EQ(F.Fn.numBlocks(), BlocksBefore + 1);
+  EXPECT_TRUE(isValidFunction(F.Fn));
+  // The split block holds exactly the inserted computation.
+  const BasicBlock &Mid = F.Fn.block(BlockId(BlocksBefore));
+  ASSERT_EQ(Mid.instrs().size(), 1u);
+  EXPECT_TRUE(Mid.instrs()[0].isOperation());
+}
+
+TEST(ApplyPlacement, NodeInsertAppendsAtBlockEnd) {
+  Fixture F("block b0\n  if c then l else r\nblock l\n  goto j\n"
+            "block r\n  goto j\nblock j\n  x = a + b\n  exit\n");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges, /*WithEdgeInserts=*/false,
+                                  /*WithNodeInserts=*/true);
+  P.InsertEndOfBlock[F.block("l")].set(F.expr("a + b"));
+  P.InsertEndOfBlock[F.block("r")].set(F.expr("a + b"));
+  P.Delete[F.block("j")].set(F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.NodeInsertions, 2u);
+  EXPECT_EQ(R.Replacements, 1u);
+  EXPECT_TRUE(isValidFunction(F.Fn));
+  // Both insertions use the same temp for the same expression.
+  EXPECT_EQ(R.TempOfExpr.size(), F.Fn.exprs().size());
+}
+
+TEST(ApplyPlacement, SharedTempAcrossSites) {
+  Fixture F(R"(
+block b0
+  if c then l else r
+block l
+  x = a + b
+  goto j
+block r
+  goto j
+block j
+  y = a + b
+  exit
+)");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  P.InsertEdge[edgeBetween(Edges, F.block("r"), F.block("j"))].set(
+      F.expr("a + b"));
+  P.Save[F.block("l")].set(F.expr("a + b"));
+  P.Delete[F.block("j")].set(F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  VarId Temp = R.TempOfExpr[F.expr("a + b")];
+  ASSERT_NE(Temp, InvalidVar);
+  // One temp: all three sites reference it.
+  std::string After = printFunction(F.Fn);
+  std::string TempName = F.Fn.varName(Temp);
+  size_t Count = 0;
+  for (size_t Pos = After.find(TempName); Pos != std::string::npos;
+       Pos = After.find(TempName, Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, 4u) << After; // 2 defs + def-use in save + use in j.
+}
+
+TEST(ApplyPlacement, ParallelEdgesSplitIndependently) {
+  // Both parallel edges b0 -> j carry an insertion: each must get its own
+  // split block (To has two preds, From has two succs), and the program
+  // must stay structurally valid.
+  Fixture F("block b0\n  br j j\nblock j\n  x = a + b\n  exit\n");
+  CfgEdges Edges(F.Fn);
+  ASSERT_EQ(Edges.numEdges(), 2u);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  P.InsertEdge[0].set(F.expr("a + b"));
+  P.InsertEdge[1].set(F.expr("a + b"));
+  P.Delete[F.block("j")].set(F.expr("a + b"));
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(R.SplitBlocks, 2u);
+  EXPECT_EQ(R.EdgeInsertions, 2u);
+  EXPECT_EQ(R.Replacements, 1u);
+  EXPECT_TRUE(isValidFunction(F.Fn));
+  // Still exactly two paths into j, each defining the temp first.
+  EXPECT_EQ(F.Fn.block(F.block("j")).preds().size(), 2u);
+}
+
+TEST(ApplyPlacement, NoopPlacementChangesNothing) {
+  Fixture F("block b0\n  x = a + b\n  goto b1\nblock b1\n  exit\n");
+  std::string Before = printFunction(F.Fn);
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  EXPECT_TRUE(P.isNoop());
+  ApplyReport R = applyPlacement(F.Fn, Edges, P);
+  EXPECT_EQ(printFunction(F.Fn), Before);
+  EXPECT_EQ(R.EdgeInsertions + R.Replacements + R.Saves, 0u);
+}
+
+TEST(PrePlacementCounts, SumBitsAcrossSets) {
+  Fixture F("block b0\n  x = a + b\n  goto b1\nblock b1\n  exit\n");
+  CfgEdges Edges(F.Fn);
+  PrePlacement P = emptyPlacement(F.Fn, Edges);
+  P.Delete[0].set(0);
+  P.Save[1].set(0);
+  P.InsertEdge[0].set(0);
+  EXPECT_EQ(P.numDeletions(), 1u);
+  EXPECT_EQ(P.numSaves(), 1u);
+  EXPECT_EQ(P.numEdgeInsertions(), 1u);
+  EXPECT_EQ(P.numNodeInsertions(), 0u);
+  EXPECT_FALSE(P.isNoop());
+}
+
+} // namespace

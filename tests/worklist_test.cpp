@@ -1,0 +1,103 @@
+//===- tests/worklist_test.cpp - Worklist vs round-robin solver agreement -===//
+
+#include "analysis/LocalProperties.h"
+#include "dataflow/Dataflow.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+std::vector<GenKill> availabilityTransfers(const Function &Fn,
+                                           const LocalProperties &LP) {
+  std::vector<GenKill> T(Fn.numBlocks());
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    T[B].Gen = LP.comp(B);
+    T[B].Kill = complement(LP.transp(B));
+  }
+  return T;
+}
+
+std::vector<GenKill> anticipabilityTransfers(const Function &Fn,
+                                             const LocalProperties &LP) {
+  std::vector<GenKill> T(Fn.numBlocks());
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    T[B].Gen = LP.antloc(B);
+    T[B].Kill = complement(LP.transp(B));
+  }
+  return T;
+}
+
+class WorklistAgreement : public testing::TestWithParam<unsigned> {};
+
+TEST_P(WorklistAgreement, SameFixpointAllFourCombinations) {
+  Function Fn = [&] {
+    if (GetParam() % 2 == 0) {
+      StructuredGenOptions Opts;
+      Opts.Seed = GetParam() + 1;
+      return generateStructured(Opts);
+    }
+    RandomCfgOptions Opts;
+    Opts.Seed = GetParam() + 1;
+    Opts.NumBlocks = 6 + GetParam() % 20;
+    return generateRandomCfg(Opts);
+  }();
+  LocalProperties LP(Fn);
+  const BitVector Empty(LP.numExprs());
+
+  struct Case {
+    Direction Dir;
+    Meet M;
+    std::vector<GenKill> Transfers;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({Direction::Forward, Meet::Intersection,
+                   availabilityTransfers(Fn, LP)});
+  Cases.push_back(
+      {Direction::Forward, Meet::Union, availabilityTransfers(Fn, LP)});
+  Cases.push_back({Direction::Backward, Meet::Intersection,
+                   anticipabilityTransfers(Fn, LP)});
+  Cases.push_back(
+      {Direction::Backward, Meet::Union, anticipabilityTransfers(Fn, LP)});
+
+  for (const Case &C : Cases) {
+    DataflowResult RoundRobin =
+        solveGenKill(Fn, C.Dir, C.M, C.Transfers, Empty);
+    DataflowResult Worklist =
+        solveGenKillWorklist(Fn, C.Dir, C.M, C.Transfers, Empty);
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      EXPECT_EQ(RoundRobin.In[B], Worklist.In[B])
+          << "seed " << GetParam() << " block " << B;
+      EXPECT_EQ(RoundRobin.Out[B], Worklist.Out[B])
+          << "seed " << GetParam() << " block " << B;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, WorklistAgreement,
+                         testing::Range(0u, 24u));
+
+TEST(Worklist, VisitsNoMoreThanRoundRobinOnChains) {
+  // A long chain: round-robin revisits every block per pass; the worklist
+  // converges after one sweep plus no re-pushes.
+  Function Fn("chain");
+  BlockId Prev = Fn.addBlock();
+  for (int I = 0; I != 63; ++I) {
+    BlockId Next = Fn.addBlock();
+    Fn.addEdge(Prev, Next);
+    Prev = Next;
+  }
+  LocalProperties LP(Fn);
+  auto Transfers = availabilityTransfers(Fn, LP);
+  BitVector Empty(LP.numExprs());
+  DataflowResult RR = solveGenKill(Fn, Direction::Forward,
+                                   Meet::Intersection, Transfers, Empty);
+  DataflowResult WL = solveGenKillWorklist(
+      Fn, Direction::Forward, Meet::Intersection, Transfers, Empty);
+  EXPECT_LE(WL.Stats.NodeVisits, RR.Stats.NodeVisits);
+}
+
+} // namespace

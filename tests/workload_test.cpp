@@ -1,0 +1,126 @@
+//===- tests/workload_test.cpp - Generator and corpus invariants ---------===//
+
+#include "graph/CriticalEdges.h"
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workload/Corpus.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+
+namespace {
+
+TEST(StructuredGen, ProducesValidFunctions) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    StructuredGenOptions Opts;
+    Opts.Seed = Seed;
+    Function Fn = generateStructured(Opts);
+    auto Errors = verifyFunction(Fn);
+    EXPECT_TRUE(Errors.empty())
+        << "seed " << Seed << ": " << Errors.front() << "\n"
+        << printFunction(Fn);
+  }
+}
+
+TEST(StructuredGen, IsDeterministic) {
+  StructuredGenOptions Opts;
+  Opts.Seed = 7;
+  EXPECT_EQ(printFunction(generateStructured(Opts)),
+            printFunction(generateStructured(Opts)));
+}
+
+TEST(StructuredGen, DifferentSeedsDiffer) {
+  StructuredGenOptions A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  EXPECT_NE(printFunction(generateStructured(A)),
+            printFunction(generateStructured(B)));
+}
+
+TEST(StructuredGen, AlwaysTerminates) {
+  // Counted loops and state-computed conditions: every run must reach the
+  // exit without an oracle.
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    StructuredGenOptions Opts;
+    Opts.Seed = Seed;
+    Function Fn = generateStructured(Opts);
+    FirstSuccessorOracle Oracle; // Never consulted: branches are computed.
+    Interpreter::Options IOpts;
+    IOpts.MaxOriginalBlockVisits = 1000000;
+    std::vector<int64_t> Inputs(Fn.numVars(), 3);
+    InterpResult R = Interpreter::run(Fn, Inputs, Oracle, IOpts);
+    EXPECT_TRUE(R.ReachedExit) << "seed " << Seed;
+  }
+}
+
+TEST(StructuredGen, RespectsDepthZero) {
+  StructuredGenOptions Opts;
+  Opts.Seed = 5;
+  Opts.MaxDepth = 0;
+  Function Fn = generateStructured(Opts);
+  EXPECT_EQ(Fn.numBlocks(), 1u) << "no control constructs at depth 0";
+}
+
+TEST(RandomCfg, ProducesValidFunctions) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed;
+    Opts.NumBlocks = 4 + Seed % 20;
+    Function Fn = generateRandomCfg(Opts);
+    auto Errors = verifyFunction(Fn);
+    EXPECT_TRUE(Errors.empty())
+        << "seed " << Seed << ": " << Errors.front();
+    EXPECT_EQ(Fn.numBlocks(), Opts.NumBlocks);
+  }
+}
+
+TEST(RandomCfg, IsDeterministic) {
+  RandomCfgOptions Opts;
+  Opts.Seed = 11;
+  EXPECT_EQ(printFunction(generateRandomCfg(Opts)),
+            printFunction(generateRandomCfg(Opts)));
+}
+
+TEST(RandomCfg, ProducesCriticalEdgesSometimes) {
+  unsigned WithCritical = 0;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    RandomCfgOptions Opts;
+    Opts.Seed = Seed;
+    Function Fn = generateRandomCfg(Opts);
+    if (!findCriticalEdges(Fn).empty())
+      ++WithCritical;
+  }
+  EXPECT_GT(WithCritical, 10u) << "generator should stress critical edges";
+}
+
+TEST(RandomCfg, MinimalTwoBlockGraph) {
+  RandomCfgOptions Opts;
+  Opts.Seed = 1;
+  Opts.NumBlocks = 2;
+  Function Fn = generateRandomCfg(Opts);
+  EXPECT_TRUE(isValidFunction(Fn));
+  EXPECT_EQ(Fn.numBlocks(), 2u);
+}
+
+TEST(Corpus, DefaultCorpusIsValidAndStable) {
+  auto Corpus = makeDefaultCorpus();
+  EXPECT_GE(Corpus.size(), 12u);
+  for (const CorpusEntry &Entry : Corpus) {
+    Function A = Entry.Make();
+    Function B = Entry.Make();
+    EXPECT_TRUE(isValidFunction(A)) << Entry.Name;
+    EXPECT_EQ(printFunction(A), printFunction(B))
+        << Entry.Name << " not reproducible";
+  }
+}
+
+TEST(Corpus, GeneratedCorpusHonorsCounts) {
+  auto Corpus = makeGeneratedCorpus(3, 5);
+  EXPECT_EQ(Corpus.size(), 8u);
+}
+
+} // namespace
