@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_motivating.dir/fig1_motivating.cpp.o"
+  "CMakeFiles/fig1_motivating.dir/fig1_motivating.cpp.o.d"
+  "fig1_motivating"
+  "fig1_motivating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_critical_edges.dir/fig2_critical_edges.cpp.o"
+  "CMakeFiles/fig2_critical_edges.dir/fig2_critical_edges.cpp.o.d"
+  "fig2_critical_edges"
+  "fig2_critical_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_critical_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_frontiers.dir/fig3_frontiers.cpp.o"
+  "CMakeFiles/fig3_frontiers.dir/fig3_frontiers.cpp.o.d"
+  "fig3_frontiers"
+  "fig3_frontiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_frontiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table0_corpus.dir/table0_corpus.cpp.o"
+  "CMakeFiles/table0_corpus.dir/table0_corpus.cpp.o.d"
+  "table0_corpus"
+  "table0_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table0_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

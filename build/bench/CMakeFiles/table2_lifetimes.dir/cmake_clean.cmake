@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lifetimes.dir/table2_lifetimes.cpp.o"
+  "CMakeFiles/table2_lifetimes.dir/table2_lifetimes.cpp.o.d"
+  "table2_lifetimes"
+  "table2_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_isolation.dir/table4_isolation.cpp.o"
+  "CMakeFiles/table4_isolation.dir/table4_isolation.cpp.o.d"
+  "table4_isolation"
+  "table4_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

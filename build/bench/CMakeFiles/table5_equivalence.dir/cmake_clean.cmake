@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_equivalence.dir/table5_equivalence.cpp.o"
+  "CMakeFiles/table5_equivalence.dir/table5_equivalence.cpp.o.d"
+  "table5_equivalence"
+  "table5_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

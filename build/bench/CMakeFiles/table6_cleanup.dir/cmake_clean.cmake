@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_cleanup.dir/table6_cleanup.cpp.o"
+  "CMakeFiles/table6_cleanup.dir/table6_cleanup.cpp.o.d"
+  "table6_cleanup"
+  "table6_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

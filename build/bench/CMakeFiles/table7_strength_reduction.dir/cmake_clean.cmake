@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_strength_reduction.dir/table7_strength_reduction.cpp.o"
+  "CMakeFiles/table7_strength_reduction.dir/table7_strength_reduction.cpp.o.d"
+  "table7_strength_reduction"
+  "table7_strength_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_strength_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

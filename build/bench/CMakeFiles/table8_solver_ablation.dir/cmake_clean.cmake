@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_solver_ablation.dir/table8_solver_ablation.cpp.o"
+  "CMakeFiles/table8_solver_ablation.dir/table8_solver_ablation.cpp.o.d"
+  "table8_solver_ablation"
+  "table8_solver_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_solver_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_code_size.dir/table9_code_size.cpp.o"
+  "CMakeFiles/table9_code_size.dir/table9_code_size.cpp.o.d"
+  "table9_code_size"
+  "table9_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_kernel.dir/address_kernel.cpp.o"
+  "CMakeFiles/address_kernel.dir/address_kernel.cpp.o.d"
+  "address_kernel"
+  "address_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_tool.dir/optimize_tool.cpp.o"
+  "CMakeFiles/optimize_tool.dir/optimize_tool.cpp.o.d"
+  "optimize_tool"
+  "optimize_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

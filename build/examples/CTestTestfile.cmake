@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_loop_invariant "/root/repo/build/examples/loop_invariant")
+set_tests_properties(example_loop_invariant PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_register_pressure "/root/repo/build/examples/register_pressure")
+set_tests_properties(example_register_pressure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_address_kernel "/root/repo/build/examples/address_kernel")
+set_tests_properties(example_address_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_optimize_tool "/root/repo/build/examples/optimize_tool" "--pipeline=lcse,lcm,cleanup" "--stats" "/root/repo/examples/fixtures/partial.lcm")
+set_tests_properties(example_optimize_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_optimize_tool_dot "/root/repo/build/examples/optimize_tool" "--pass=lcm" "--dot" "/root/repo/examples/fixtures/partial.lcm")
+set_tests_properties(example_optimize_tool_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_optimize_tool_list "/root/repo/build/examples/optimize_tool" "--list-passes")
+set_tests_properties(example_optimize_tool_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

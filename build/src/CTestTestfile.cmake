@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("graph")
+subdirs("dataflow")
+subdirs("analysis")
+subdirs("core")
+subdirs("baseline")
+subdirs("ext")
+subdirs("driver")
+subdirs("interp")
+subdirs("workload")
+subdirs("metrics")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/BlockFrequency.cpp" "src/analysis/CMakeFiles/lcm_analysis.dir/BlockFrequency.cpp.o" "gcc" "src/analysis/CMakeFiles/lcm_analysis.dir/BlockFrequency.cpp.o.d"
+  "/root/repo/src/analysis/ExprDataflow.cpp" "src/analysis/CMakeFiles/lcm_analysis.dir/ExprDataflow.cpp.o" "gcc" "src/analysis/CMakeFiles/lcm_analysis.dir/ExprDataflow.cpp.o.d"
+  "/root/repo/src/analysis/LocalProperties.cpp" "src/analysis/CMakeFiles/lcm_analysis.dir/LocalProperties.cpp.o" "gcc" "src/analysis/CMakeFiles/lcm_analysis.dir/LocalProperties.cpp.o.d"
+  "/root/repo/src/analysis/TempLiveness.cpp" "src/analysis/CMakeFiles/lcm_analysis.dir/TempLiveness.cpp.o" "gcc" "src/analysis/CMakeFiles/lcm_analysis.dir/TempLiveness.cpp.o.d"
+  "/root/repo/src/analysis/VarLiveness.cpp" "src/analysis/CMakeFiles/lcm_analysis.dir/VarLiveness.cpp.o" "gcc" "src/analysis/CMakeFiles/lcm_analysis.dir/VarLiveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/lcm_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_analysis.dir/BlockFrequency.cpp.o"
+  "CMakeFiles/lcm_analysis.dir/BlockFrequency.cpp.o.d"
+  "CMakeFiles/lcm_analysis.dir/ExprDataflow.cpp.o"
+  "CMakeFiles/lcm_analysis.dir/ExprDataflow.cpp.o.d"
+  "CMakeFiles/lcm_analysis.dir/LocalProperties.cpp.o"
+  "CMakeFiles/lcm_analysis.dir/LocalProperties.cpp.o.d"
+  "CMakeFiles/lcm_analysis.dir/TempLiveness.cpp.o"
+  "CMakeFiles/lcm_analysis.dir/TempLiveness.cpp.o.d"
+  "CMakeFiles/lcm_analysis.dir/VarLiveness.cpp.o"
+  "CMakeFiles/lcm_analysis.dir/VarLiveness.cpp.o.d"
+  "liblcm_analysis.a"
+  "liblcm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

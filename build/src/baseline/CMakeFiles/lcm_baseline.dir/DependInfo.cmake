@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/Canonicalize.cpp" "src/baseline/CMakeFiles/lcm_baseline.dir/Canonicalize.cpp.o" "gcc" "src/baseline/CMakeFiles/lcm_baseline.dir/Canonicalize.cpp.o.d"
+  "/root/repo/src/baseline/Cleanup.cpp" "src/baseline/CMakeFiles/lcm_baseline.dir/Cleanup.cpp.o" "gcc" "src/baseline/CMakeFiles/lcm_baseline.dir/Cleanup.cpp.o.d"
+  "/root/repo/src/baseline/ConstantFolding.cpp" "src/baseline/CMakeFiles/lcm_baseline.dir/ConstantFolding.cpp.o" "gcc" "src/baseline/CMakeFiles/lcm_baseline.dir/ConstantFolding.cpp.o.d"
+  "/root/repo/src/baseline/GlobalCse.cpp" "src/baseline/CMakeFiles/lcm_baseline.dir/GlobalCse.cpp.o" "gcc" "src/baseline/CMakeFiles/lcm_baseline.dir/GlobalCse.cpp.o.d"
+  "/root/repo/src/baseline/Licm.cpp" "src/baseline/CMakeFiles/lcm_baseline.dir/Licm.cpp.o" "gcc" "src/baseline/CMakeFiles/lcm_baseline.dir/Licm.cpp.o.d"
+  "/root/repo/src/baseline/MorelRenvoise.cpp" "src/baseline/CMakeFiles/lcm_baseline.dir/MorelRenvoise.cpp.o" "gcc" "src/baseline/CMakeFiles/lcm_baseline.dir/MorelRenvoise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lcm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/lcm_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

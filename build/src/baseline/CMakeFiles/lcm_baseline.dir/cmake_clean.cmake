@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_baseline.dir/Canonicalize.cpp.o"
+  "CMakeFiles/lcm_baseline.dir/Canonicalize.cpp.o.d"
+  "CMakeFiles/lcm_baseline.dir/Cleanup.cpp.o"
+  "CMakeFiles/lcm_baseline.dir/Cleanup.cpp.o.d"
+  "CMakeFiles/lcm_baseline.dir/ConstantFolding.cpp.o"
+  "CMakeFiles/lcm_baseline.dir/ConstantFolding.cpp.o.d"
+  "CMakeFiles/lcm_baseline.dir/GlobalCse.cpp.o"
+  "CMakeFiles/lcm_baseline.dir/GlobalCse.cpp.o.d"
+  "CMakeFiles/lcm_baseline.dir/Licm.cpp.o"
+  "CMakeFiles/lcm_baseline.dir/Licm.cpp.o.d"
+  "CMakeFiles/lcm_baseline.dir/MorelRenvoise.cpp.o"
+  "CMakeFiles/lcm_baseline.dir/MorelRenvoise.cpp.o.d"
+  "liblcm_baseline.a"
+  "liblcm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Lcm.cpp" "src/core/CMakeFiles/lcm_core.dir/Lcm.cpp.o" "gcc" "src/core/CMakeFiles/lcm_core.dir/Lcm.cpp.o.d"
+  "/root/repo/src/core/LocalCse.cpp" "src/core/CMakeFiles/lcm_core.dir/LocalCse.cpp.o" "gcc" "src/core/CMakeFiles/lcm_core.dir/LocalCse.cpp.o.d"
+  "/root/repo/src/core/Placement.cpp" "src/core/CMakeFiles/lcm_core.dir/Placement.cpp.o" "gcc" "src/core/CMakeFiles/lcm_core.dir/Placement.cpp.o.d"
+  "/root/repo/src/core/SingleInstr.cpp" "src/core/CMakeFiles/lcm_core.dir/SingleInstr.cpp.o" "gcc" "src/core/CMakeFiles/lcm_core.dir/SingleInstr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lcm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/lcm_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_core.dir/Lcm.cpp.o"
+  "CMakeFiles/lcm_core.dir/Lcm.cpp.o.d"
+  "CMakeFiles/lcm_core.dir/LocalCse.cpp.o"
+  "CMakeFiles/lcm_core.dir/LocalCse.cpp.o.d"
+  "CMakeFiles/lcm_core.dir/Placement.cpp.o"
+  "CMakeFiles/lcm_core.dir/Placement.cpp.o.d"
+  "CMakeFiles/lcm_core.dir/SingleInstr.cpp.o"
+  "CMakeFiles/lcm_core.dir/SingleInstr.cpp.o.d"
+  "liblcm_core.a"
+  "liblcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

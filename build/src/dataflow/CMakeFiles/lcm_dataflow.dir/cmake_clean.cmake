@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_dataflow.dir/Dataflow.cpp.o"
+  "CMakeFiles/lcm_dataflow.dir/Dataflow.cpp.o.d"
+  "liblcm_dataflow.a"
+  "liblcm_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/lcm_driver.dir/Pipeline.cpp.o.d"
+  "liblcm_driver.a"
+  "liblcm_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_ext.dir/StrengthReduction.cpp.o"
+  "CMakeFiles/lcm_ext.dir/StrengthReduction.cpp.o.d"
+  "liblcm_ext.a"
+  "liblcm_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/CfgEdges.cpp" "src/graph/CMakeFiles/lcm_graph.dir/CfgEdges.cpp.o" "gcc" "src/graph/CMakeFiles/lcm_graph.dir/CfgEdges.cpp.o.d"
+  "/root/repo/src/graph/CriticalEdges.cpp" "src/graph/CMakeFiles/lcm_graph.dir/CriticalEdges.cpp.o" "gcc" "src/graph/CMakeFiles/lcm_graph.dir/CriticalEdges.cpp.o.d"
+  "/root/repo/src/graph/Dfs.cpp" "src/graph/CMakeFiles/lcm_graph.dir/Dfs.cpp.o" "gcc" "src/graph/CMakeFiles/lcm_graph.dir/Dfs.cpp.o.d"
+  "/root/repo/src/graph/Dominators.cpp" "src/graph/CMakeFiles/lcm_graph.dir/Dominators.cpp.o" "gcc" "src/graph/CMakeFiles/lcm_graph.dir/Dominators.cpp.o.d"
+  "/root/repo/src/graph/Loops.cpp" "src/graph/CMakeFiles/lcm_graph.dir/Loops.cpp.o" "gcc" "src/graph/CMakeFiles/lcm_graph.dir/Loops.cpp.o.d"
+  "/root/repo/src/graph/PostDominators.cpp" "src/graph/CMakeFiles/lcm_graph.dir/PostDominators.cpp.o" "gcc" "src/graph/CMakeFiles/lcm_graph.dir/PostDominators.cpp.o.d"
+  "/root/repo/src/graph/Reducibility.cpp" "src/graph/CMakeFiles/lcm_graph.dir/Reducibility.cpp.o" "gcc" "src/graph/CMakeFiles/lcm_graph.dir/Reducibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

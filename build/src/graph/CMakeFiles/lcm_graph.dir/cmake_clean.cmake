@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_graph.dir/CfgEdges.cpp.o"
+  "CMakeFiles/lcm_graph.dir/CfgEdges.cpp.o.d"
+  "CMakeFiles/lcm_graph.dir/CriticalEdges.cpp.o"
+  "CMakeFiles/lcm_graph.dir/CriticalEdges.cpp.o.d"
+  "CMakeFiles/lcm_graph.dir/Dfs.cpp.o"
+  "CMakeFiles/lcm_graph.dir/Dfs.cpp.o.d"
+  "CMakeFiles/lcm_graph.dir/Dominators.cpp.o"
+  "CMakeFiles/lcm_graph.dir/Dominators.cpp.o.d"
+  "CMakeFiles/lcm_graph.dir/Loops.cpp.o"
+  "CMakeFiles/lcm_graph.dir/Loops.cpp.o.d"
+  "CMakeFiles/lcm_graph.dir/PostDominators.cpp.o"
+  "CMakeFiles/lcm_graph.dir/PostDominators.cpp.o.d"
+  "CMakeFiles/lcm_graph.dir/Reducibility.cpp.o"
+  "CMakeFiles/lcm_graph.dir/Reducibility.cpp.o.d"
+  "liblcm_graph.a"
+  "liblcm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/lcm_interp.dir/Interpreter.cpp.o.d"
+  "liblcm_interp.a"
+  "liblcm_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

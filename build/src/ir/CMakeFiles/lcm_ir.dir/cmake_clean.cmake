@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_ir.dir/Expr.cpp.o"
+  "CMakeFiles/lcm_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/lcm_ir.dir/Function.cpp.o"
+  "CMakeFiles/lcm_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/lcm_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/lcm_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/lcm_ir.dir/Parser.cpp.o"
+  "CMakeFiles/lcm_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/lcm_ir.dir/Printer.cpp.o"
+  "CMakeFiles/lcm_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/lcm_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/lcm_ir.dir/Verifier.cpp.o.d"
+  "liblcm_ir.a"
+  "liblcm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/Compare.cpp" "src/metrics/CMakeFiles/lcm_metrics.dir/Compare.cpp.o" "gcc" "src/metrics/CMakeFiles/lcm_metrics.dir/Compare.cpp.o.d"
+  "/root/repo/src/metrics/Cost.cpp" "src/metrics/CMakeFiles/lcm_metrics.dir/Cost.cpp.o" "gcc" "src/metrics/CMakeFiles/lcm_metrics.dir/Cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lcm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lcm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/lcm_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

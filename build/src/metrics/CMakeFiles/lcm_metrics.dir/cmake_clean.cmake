@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_metrics.dir/Compare.cpp.o"
+  "CMakeFiles/lcm_metrics.dir/Compare.cpp.o.d"
+  "CMakeFiles/lcm_metrics.dir/Cost.cpp.o"
+  "CMakeFiles/lcm_metrics.dir/Cost.cpp.o.d"
+  "liblcm_metrics.a"
+  "liblcm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_support.dir/BitVector.cpp.o"
+  "CMakeFiles/lcm_support.dir/BitVector.cpp.o.d"
+  "CMakeFiles/lcm_support.dir/Stats.cpp.o"
+  "CMakeFiles/lcm_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/lcm_support.dir/Table.cpp.o"
+  "CMakeFiles/lcm_support.dir/Table.cpp.o.d"
+  "liblcm_support.a"
+  "liblcm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/AddressGen.cpp" "src/workload/CMakeFiles/lcm_workload.dir/AddressGen.cpp.o" "gcc" "src/workload/CMakeFiles/lcm_workload.dir/AddressGen.cpp.o.d"
+  "/root/repo/src/workload/Corpus.cpp" "src/workload/CMakeFiles/lcm_workload.dir/Corpus.cpp.o" "gcc" "src/workload/CMakeFiles/lcm_workload.dir/Corpus.cpp.o.d"
+  "/root/repo/src/workload/PaperExamples.cpp" "src/workload/CMakeFiles/lcm_workload.dir/PaperExamples.cpp.o" "gcc" "src/workload/CMakeFiles/lcm_workload.dir/PaperExamples.cpp.o.d"
+  "/root/repo/src/workload/RandomCfg.cpp" "src/workload/CMakeFiles/lcm_workload.dir/RandomCfg.cpp.o" "gcc" "src/workload/CMakeFiles/lcm_workload.dir/RandomCfg.cpp.o.d"
+  "/root/repo/src/workload/StructuredGen.cpp" "src/workload/CMakeFiles/lcm_workload.dir/StructuredGen.cpp.o" "gcc" "src/workload/CMakeFiles/lcm_workload.dir/StructuredGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/lcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

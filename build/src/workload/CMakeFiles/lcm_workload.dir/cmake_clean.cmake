@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcm_workload.dir/AddressGen.cpp.o"
+  "CMakeFiles/lcm_workload.dir/AddressGen.cpp.o.d"
+  "CMakeFiles/lcm_workload.dir/Corpus.cpp.o"
+  "CMakeFiles/lcm_workload.dir/Corpus.cpp.o.d"
+  "CMakeFiles/lcm_workload.dir/PaperExamples.cpp.o"
+  "CMakeFiles/lcm_workload.dir/PaperExamples.cpp.o.d"
+  "CMakeFiles/lcm_workload.dir/RandomCfg.cpp.o"
+  "CMakeFiles/lcm_workload.dir/RandomCfg.cpp.o.d"
+  "CMakeFiles/lcm_workload.dir/StructuredGen.cpp.o"
+  "CMakeFiles/lcm_workload.dir/StructuredGen.cpp.o.d"
+  "liblcm_workload.a"
+  "liblcm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_gen_test.dir/address_gen_test.cpp.o"
+  "CMakeFiles/address_gen_test.dir/address_gen_test.cpp.o.d"
+  "address_gen_test"
+  "address_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

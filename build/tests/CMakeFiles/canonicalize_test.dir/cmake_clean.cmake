@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canonicalize_test.dir/canonicalize_test.cpp.o"
+  "CMakeFiles/canonicalize_test.dir/canonicalize_test.cpp.o.d"
+  "canonicalize_test"
+  "canonicalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canonicalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_size_test.dir/code_size_test.cpp.o"
+  "CMakeFiles/code_size_test.dir/code_size_test.cpp.o.d"
+  "code_size_test"
+  "code_size_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

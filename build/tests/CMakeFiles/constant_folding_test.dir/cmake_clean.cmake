@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constant_folding_test.dir/constant_folding_test.cpp.o"
+  "CMakeFiles/constant_folding_test.dir/constant_folding_test.cpp.o.d"
+  "constant_folding_test"
+  "constant_folding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constant_folding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_small_cfg_test.dir/exhaustive_small_cfg_test.cpp.o"
+  "CMakeFiles/exhaustive_small_cfg_test.dir/exhaustive_small_cfg_test.cpp.o.d"
+  "exhaustive_small_cfg_test"
+  "exhaustive_small_cfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_small_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

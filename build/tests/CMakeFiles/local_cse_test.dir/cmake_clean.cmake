@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_cse_test.dir/local_cse_test.cpp.o"
+  "CMakeFiles/local_cse_test.dir/local_cse_test.cpp.o.d"
+  "local_cse_test"
+  "local_cse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_cse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_properties_test.dir/local_properties_test.cpp.o"
+  "CMakeFiles/local_properties_test.dir/local_properties_test.cpp.o.d"
+  "local_properties_test"
+  "local_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathwise_test.dir/pathwise_test.cpp.o"
+  "CMakeFiles/pathwise_test.dir/pathwise_test.cpp.o.d"
+  "pathwise_test"
+  "pathwise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postdominators_test.dir/postdominators_test.cpp.o"
+  "CMakeFiles/postdominators_test.dir/postdominators_test.cpp.o.d"
+  "postdominators_test"
+  "postdominators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postdominators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reducibility_test.dir/reducibility_test.cpp.o"
+  "CMakeFiles/reducibility_test.dir/reducibility_test.cpp.o.d"
+  "reducibility_test"
+  "reducibility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reducibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

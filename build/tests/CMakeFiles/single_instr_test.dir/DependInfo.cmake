@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/single_instr_test.cpp" "tests/CMakeFiles/single_instr_test.dir/single_instr_test.cpp.o" "gcc" "tests/CMakeFiles/single_instr_test.dir/single_instr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/lcm_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lcm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/lcm_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lcm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/lcm_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lcm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lcm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lcm_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lcm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lcm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

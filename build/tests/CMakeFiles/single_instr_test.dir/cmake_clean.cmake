@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_instr_test.dir/single_instr_test.cpp.o"
+  "CMakeFiles/single_instr_test.dir/single_instr_test.cpp.o.d"
+  "single_instr_test"
+  "single_instr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_instr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

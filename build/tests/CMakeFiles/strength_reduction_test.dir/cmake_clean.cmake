@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strength_reduction_test.dir/strength_reduction_test.cpp.o"
+  "CMakeFiles/strength_reduction_test.dir/strength_reduction_test.cpp.o.d"
+  "strength_reduction_test"
+  "strength_reduction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strength_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worklist_test.dir/worklist_test.cpp.o"
+  "CMakeFiles/worklist_test.dir/worklist_test.cpp.o.d"
+  "worklist_test"
+  "worklist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worklist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
