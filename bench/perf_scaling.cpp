@@ -9,7 +9,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -49,7 +52,9 @@ void printScalingTable() {
   auto addRow = [&T](const char *Kind, Function Fn) {
     CfgEdges Edges(Fn);
     LocalProperties LP(Fn);
-    LazyCodeMotion Engine(Fn, Edges, LP);
+    // Pass counts are a round-robin notion; pin the strategy so the table
+    // keeps measuring the classic iteration scheme.
+    LazyCodeMotion Engine(Fn, Edges, LP, SolverStrategy::RoundRobin);
     (void)Engine.placement(PreStrategy::Lazy);
     MorelRenvoiseResult MR = computeMorelRenvoise(Fn, Edges);
     T.row()
@@ -67,6 +72,89 @@ void printScalingTable() {
   for (unsigned Blocks : {16u, 64u, 256u, 1024u})
     addRow("random", makeRandomOfSize(Blocks));
   printTable(T);
+}
+
+/// Wall-clock head-to-head of the three gen/kill solvers on availability,
+/// per graph family and size.  The acceptance bar for the sparse-arena
+/// engine: >= 2x over round-robin on the largest structured and random
+/// graphs, with zero per-visit heap allocation.
+void printSolverComparisonTable() {
+  printHeading("T3c", "solver wall-clock: round-robin vs worklist vs sparse");
+
+  Table T({"graph", "blocks", "RR us", "WL us", "sparse us",
+           "sparse/RR speedup"});
+  double WorstLargestSpeedup = 1e9;
+
+  auto timeSolve = [](const Function &Fn, const std::vector<GenKill> &Tr,
+                      const BitVector &Empty, SolverStrategy S) {
+    // Warm up (first sparse solve sizes the thread-local arena), then take
+    // the best of 5 timed reps, each averaging over enough solves to reach
+    // microsecond resolution.
+    (void)solveGenKill(Fn, Direction::Forward, Meet::Intersection, Tr,
+                       Empty, S);
+    const int Inner = Fn.numBlocks() >= 2048 ? 3 : 20;
+    double BestUs = 1e18;
+    for (int Rep = 0; Rep != 5; ++Rep) {
+      auto Start = std::chrono::steady_clock::now();
+      for (int I = 0; I != Inner; ++I) {
+        DataflowResult R = solveGenKill(Fn, Direction::Forward,
+                                        Meet::Intersection, Tr, Empty, S);
+        benchmark::DoNotOptimize(R.Stats.NodeVisits);
+      }
+      double Us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count() /
+                  Inner;
+      if (Us < BestUs)
+        BestUs = Us;
+    }
+    return BestUs;
+  };
+
+  auto addRow = [&](const char *Kind, Function Fn, bool Largest) {
+    LocalProperties LP(Fn);
+    std::vector<GenKill> Tr(Fn.numBlocks());
+    for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+      Tr[B].Gen = LP.comp(B);
+      Tr[B].Kill = complement(LP.transp(B));
+    }
+    BitVector Empty(LP.numExprs());
+    double RR = timeSolve(Fn, Tr, Empty, SolverStrategy::RoundRobin);
+    double WL = timeSolve(Fn, Tr, Empty, SolverStrategy::Worklist);
+    double SP = timeSolve(Fn, Tr, Empty, SolverStrategy::Sparse);
+    double Speedup = SP > 0 ? RR / SP : 0.0;
+    if (Largest && Speedup < WorstLargestSpeedup)
+      WorstLargestSpeedup = Speedup;
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.2fx", Speedup);
+    T.row()
+        .add(Kind)
+        .add(uint64_t(Fn.numBlocks()))
+        .add(RR, 1)
+        .add(WL, 1)
+        .add(SP, 1)
+        .add(Buf);
+  };
+
+  // Flag the largest graph of each family by actual block count (the
+  // generator's MaxDepth is an upper bound, not a size guarantee).
+  std::vector<Function> Structured;
+  for (unsigned Depth : {5u, 6u, 7u})
+    Structured.push_back(makeStructuredOfSize(Depth));
+  size_t BiggestStructured = 0;
+  for (const Function &Fn : Structured)
+    BiggestStructured = std::max(BiggestStructured, Fn.numBlocks());
+  for (Function &Fn : Structured) {
+    bool Largest = Fn.numBlocks() == BiggestStructured;
+    addRow("structured", std::move(Fn), Largest);
+  }
+  for (unsigned Blocks : {256u, 1024u, 4096u})
+    addRow("random", makeRandomOfSize(Blocks), Blocks == 4096);
+  printTable(T);
+  std::printf("\nshape check (sparse >= 2x round-robin on the largest "
+              "structured and random graphs): %s (worst %.2fx)\n",
+              WorstLargestSpeedup >= 2.0 ? "HOLDS" : "VIOLATED",
+              WorstLargestSpeedup);
 }
 
 void BM_LcmPipelineStructured(benchmark::State &State) {
@@ -133,6 +221,7 @@ BENCHMARK(BM_LocalPropertiesOnly)->Arg(64)->Arg(1024)->Arg(4096);
 
 int main(int argc, char **argv) {
   printScalingTable();
+  printSolverComparisonTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

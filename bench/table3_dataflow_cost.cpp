@@ -35,15 +35,21 @@ void runTable3() {
   for (const CorpusEntry &Entry : Corpus) {
     Function Fn = Entry.Make();
     Function ForLcm = Fn;
-    PreRunResult R = runPre(ForLcm, PreStrategy::Lazy);
+    // T3 compares the paper's classic round-robin iteration scheme against
+    // MR; pin the strategy so the pass/word-op cells stay meaningful.
+    PreRunResult R =
+        runPre(ForLcm, PreStrategy::Lazy, SolverStrategy::RoundRobin);
 
     CfgEdges Edges(Fn);
     MorelRenvoiseResult MR = computeMorelRenvoise(Fn, Edges);
     // MR's bidirectional system consumes availability and partial
     // availability as inputs; charge those prerequisite solves to it.
     LocalProperties LP(Fn);
-    uint64_t MrPrereq = computeAvailability(Fn, LP).Stats.WordOps +
-                        computePartialAvailability(Fn, LP).Stats.WordOps;
+    uint64_t MrPrereq =
+        computeAvailability(Fn, LP, SolverStrategy::RoundRobin)
+            .Stats.WordOps +
+        computePartialAvailability(Fn, LP, SolverStrategy::RoundRobin)
+            .Stats.WordOps;
     uint64_t MrWords = MR.Stats.WordOps + MrPrereq;
 
     uint64_t LcmWords = R.AvailStats.WordOps + R.AntStats.WordOps +

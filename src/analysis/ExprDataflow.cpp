@@ -21,29 +21,33 @@ std::vector<GenKill> makeTransfers(const LocalProperties &LP,
 } // namespace
 
 DataflowResult lcm::computeAvailability(const Function &Fn,
-                                        const LocalProperties &LP) {
+                                        const LocalProperties &LP,
+                                        SolverStrategy S) {
   return solveGenKill(Fn, Direction::Forward, Meet::Intersection,
                       makeTransfers(LP, LP.compAll()),
-                      BitVector(LP.numExprs()));
+                      BitVector(LP.numExprs()), S);
 }
 
 DataflowResult lcm::computeAnticipability(const Function &Fn,
-                                          const LocalProperties &LP) {
+                                          const LocalProperties &LP,
+                                          SolverStrategy S) {
   return solveGenKill(Fn, Direction::Backward, Meet::Intersection,
                       makeTransfers(LP, LP.antlocAll()),
-                      BitVector(LP.numExprs()));
+                      BitVector(LP.numExprs()), S);
 }
 
 DataflowResult lcm::computePartialAvailability(const Function &Fn,
-                                               const LocalProperties &LP) {
+                                               const LocalProperties &LP,
+                                               SolverStrategy S) {
   return solveGenKill(Fn, Direction::Forward, Meet::Union,
                       makeTransfers(LP, LP.compAll()),
-                      BitVector(LP.numExprs()));
+                      BitVector(LP.numExprs()), S);
 }
 
 DataflowResult lcm::computePartialAnticipability(const Function &Fn,
-                                                 const LocalProperties &LP) {
+                                                 const LocalProperties &LP,
+                                                 SolverStrategy S) {
   return solveGenKill(Fn, Direction::Backward, Meet::Union,
                       makeTransfers(LP, LP.antlocAll()),
-                      BitVector(LP.numExprs()));
+                      BitVector(LP.numExprs()), S);
 }

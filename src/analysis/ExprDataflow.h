@@ -25,25 +25,34 @@
 
 namespace lcm {
 
+/// Every analysis below accepts a SolverStrategy; the default is the
+/// sparse-arena engine (every pass inherits its speed), while RoundRobin /
+/// Worklist remain selectable for the T8 ablation and the pass-count
+/// tables.
+
 /// Full availability: forward, intersection.
 ///   AVIN[n]  = n==entry ? 0 : AND_p AVOUT[p]
 ///   AVOUT[n] = COMP[n] | (AVIN[n] & TRANSP[n])
-DataflowResult computeAvailability(const Function &Fn,
-                                   const LocalProperties &LP);
+DataflowResult
+computeAvailability(const Function &Fn, const LocalProperties &LP,
+                    SolverStrategy S = SolverStrategy::Sparse);
 
 /// Full anticipability: backward, intersection.
 ///   ANTOUT[n] = n==exit ? 0 : AND_s ANTIN[s]
 ///   ANTIN[n]  = ANTLOC[n] | (ANTOUT[n] & TRANSP[n])
-DataflowResult computeAnticipability(const Function &Fn,
-                                     const LocalProperties &LP);
+DataflowResult
+computeAnticipability(const Function &Fn, const LocalProperties &LP,
+                      SolverStrategy S = SolverStrategy::Sparse);
 
 /// Partial availability (some path): forward, union.
-DataflowResult computePartialAvailability(const Function &Fn,
-                                          const LocalProperties &LP);
+DataflowResult
+computePartialAvailability(const Function &Fn, const LocalProperties &LP,
+                           SolverStrategy S = SolverStrategy::Sparse);
 
 /// Partial anticipability (some path): backward, union.
-DataflowResult computePartialAnticipability(const Function &Fn,
-                                            const LocalProperties &LP);
+DataflowResult
+computePartialAnticipability(const Function &Fn, const LocalProperties &LP,
+                             SolverStrategy S = SolverStrategy::Sparse);
 
 } // namespace lcm
 

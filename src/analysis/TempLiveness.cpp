@@ -31,6 +31,9 @@ lcm::computeTempLiveness(const Function &Fn, const CfgEdges &Edges,
   }
 
   const std::vector<BlockId> Order = postOrder(Fn);
+  // Hoisted scratch rows: the fixpoint loop below copies into existing
+  // same-capacity storage and performs no per-visit allocation.
+  BitVector AtEnd(Universe), Along(Universe), NewIn(Universe);
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -38,9 +41,9 @@ lcm::computeTempLiveness(const Function &Fn, const CfgEdges &Edges,
     for (BlockId B : Order) {
       ++R.Stats.NodeVisits;
       // Liveness after all insertions attached to B's exit.
-      BitVector AtEnd(Universe);
+      AtEnd.resetAll();
       for (EdgeId E : Edges.outEdges(B)) {
-        BitVector Along = R.LiveIn[Edges.edge(E).To];
+        Along = R.LiveIn[Edges.edge(E).To];
         if (!EdgeInserts.empty())
           Along.andNot(EdgeInserts[E]);
         AtEnd |= Along;
@@ -49,14 +52,14 @@ lcm::computeTempLiveness(const Function &Fn, const CfgEdges &Edges,
       if (!NodeInserts.empty())
         AtEnd.andNot(NodeInserts[B]);
       if (AtEnd != R.LiveOut[B]) {
-        R.LiveOut[B] = std::move(AtEnd);
+        R.LiveOut[B] = AtEnd;
         Changed = true;
       }
-      BitVector NewIn = R.LiveOut[B];
+      NewIn = R.LiveOut[B];
       NewIn &= Propagate[B];
       NewIn |= Delete[B];
       if (NewIn != R.LiveIn[B]) {
-        R.LiveIn[B] = std::move(NewIn);
+        R.LiveIn[B] = NewIn;
         Changed = true;
       }
     }

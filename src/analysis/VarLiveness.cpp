@@ -5,7 +5,8 @@
 using namespace lcm;
 
 VarLivenessResult lcm::computeVarLiveness(const Function &Fn,
-                                          const BitVector *ExitLive) {
+                                          const BitVector *ExitLive,
+                                          SolverStrategy S) {
   const size_t NumVars = Fn.numVars();
   std::vector<GenKill> Transfers(Fn.numBlocks());
 
@@ -43,7 +44,7 @@ VarLivenessResult lcm::computeVarLiveness(const Function &Fn,
          "exit-liveness universe mismatch");
   DataflowResult D =
       solveGenKill(Fn, Direction::Backward, Meet::Union, Transfers,
-                   ExitLive ? *ExitLive : BitVector(NumVars));
+                   ExitLive ? *ExitLive : BitVector(NumVars), S);
   VarLivenessResult R;
   R.LiveIn = std::move(D.In);
   R.LiveOut = std::move(D.Out);

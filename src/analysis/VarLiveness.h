@@ -33,8 +33,10 @@ struct VarLivenessResult {
 ///
 /// \param ExitLive variables considered live at the exit (the observable
 ///        outputs); defaults to none.  Must be sized Fn.numVars() if given.
-VarLivenessResult computeVarLiveness(const Function &Fn,
-                                     const BitVector *ExitLive = nullptr);
+/// \param S fixpoint engine; defaults to the sparse-arena solver.
+VarLivenessResult
+computeVarLiveness(const Function &Fn, const BitVector *ExitLive = nullptr,
+                   SolverStrategy S = SolverStrategy::Sparse);
 
 } // namespace lcm
 

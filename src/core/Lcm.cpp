@@ -21,9 +21,11 @@ const char *lcm::preStrategyName(PreStrategy S) {
 }
 
 LazyCodeMotion::LazyCodeMotion(const Function &Fn, const CfgEdges &Edges,
-                               const LocalProperties &LP)
-    : Fn(Fn), Edges(Edges), LP(LP), Avail(computeAvailability(Fn, LP)),
-      Ant(computeAnticipability(Fn, LP)) {
+                               const LocalProperties &LP,
+                               SolverStrategy Solver)
+    : Fn(Fn), Edges(Edges), LP(LP),
+      Avail(computeAvailability(Fn, LP, Solver)),
+      Ant(computeAnticipability(Fn, LP, Solver)) {
   computeEarliest();
   computeLater();
 }
@@ -31,6 +33,9 @@ LazyCodeMotion::LazyCodeMotion(const Function &Fn, const CfgEdges &Edges,
 void LazyCodeMotion::computeEarliest() {
   const size_t Universe = LP.numExprs();
   Earliest.assign(Edges.numEdges(), BitVector(Universe));
+  // Hoisted scratch: same-universe copy-assignments below reuse its
+  // capacity, so the per-edge loop performs no allocation.
+  BitVector Blocked(Universe);
   for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
     const CfgEdge &Edge = Edges.edge(E);
     // EARLIEST = ANTIN[j] & ~AVOUT[i] & (~TRANSP[i] | ~ANTOUT[i]).
@@ -38,14 +43,15 @@ void LazyCodeMotion::computeEarliest() {
     // kills the expression, or insertion at i's exit would be unsafe on
     // some other path out of i.  Edges out of the entry omit it: nothing
     // can be moved above the entry.
-    BitVector V = Ant.In[Edge.To];
+    BitVector &V = Earliest[E];
+    V = Ant.In[Edge.To];
     V.andNot(Avail.Out[Edge.From]);
     if (Edge.From != Fn.entry()) {
-      BitVector Blocked = complement(LP.transp(Edge.From));
-      Blocked |= complement(Ant.Out[Edge.From]);
+      Blocked = LP.transp(Edge.From);
+      Blocked &= Ant.Out[Edge.From];
+      Blocked.flipAll(); // ~TRANSP | ~ANTOUT == ~(TRANSP & ANTOUT)
       V &= Blocked;
     }
-    Earliest[E] = std::move(V);
   }
 }
 
@@ -59,6 +65,9 @@ void LazyCodeMotion::computeLater() {
   LaterIn[Fn.entry()].resetAll();
 
   const std::vector<BlockId> Rpo = reversePostOrder(Fn);
+  // Hoisted scratch rows: every assignment below copies into existing
+  // same-capacity storage, so the fixpoint loop allocates nothing.
+  BitVector NewIn(Universe), Along(Universe);
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -67,17 +76,17 @@ void LazyCodeMotion::computeLater() {
       ++LaterStatsVal.NodeVisits;
       if (B == Fn.entry())
         continue;
-      BitVector NewIn(Universe, true);
+      NewIn.setAll();
       for (EdgeId E : Edges.inEdges(B)) {
         const CfgEdge &Edge = Edges.edge(E);
         // LATER[(i,B)] = EARLIEST[(i,B)] | (LATERIN[i] & ~ANTLOC[i]).
-        BitVector Along = LaterIn[Edge.From];
+        Along = LaterIn[Edge.From];
         Along.andNot(LP.antloc(Edge.From));
         Along |= Earliest[E];
         NewIn &= Along;
       }
       if (NewIn != LaterIn[B]) {
-        LaterIn[B] = std::move(NewIn);
+        LaterIn[B] = NewIn;
         Changed = true;
       }
     }
@@ -87,10 +96,10 @@ void LazyCodeMotion::computeLater() {
   Later.assign(Edges.numEdges(), BitVector(Universe));
   for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
     const CfgEdge &Edge = Edges.edge(E);
-    BitVector V = LaterIn[Edge.From];
+    BitVector &V = Later[E];
+    V = LaterIn[Edge.From];
     V.andNot(LP.antloc(Edge.From));
     V |= Earliest[E];
-    Later[E] = std::move(V);
   }
 
   LaterStatsVal.WordOps = BitVectorOps::snapshot() - OpsBefore;
@@ -146,10 +155,11 @@ PrePlacement LazyCodeMotion::placement(PreStrategy S) const {
   return P;
 }
 
-PreRunResult lcm::runPre(Function &Fn, PreStrategy S) {
+PreRunResult lcm::runPre(Function &Fn, PreStrategy S,
+                         SolverStrategy Solver) {
   CfgEdges Edges(Fn);
   LocalProperties LP(Fn);
-  LazyCodeMotion Engine(Fn, Edges, LP);
+  LazyCodeMotion Engine(Fn, Edges, LP, Solver);
   PreRunResult R;
   R.Placement = Engine.placement(S);
   R.AvailStats = Engine.availStats();

@@ -59,8 +59,12 @@ const char *preStrategyName(PreStrategy S);
 /// figure benches can inspect them.
 class LazyCodeMotion {
 public:
+  /// \param Solver fixpoint engine for the availability/anticipability
+  ///        systems (the later system shares its scratch-row discipline but
+  ///        is edge-based and always sweeps RPO).
   LazyCodeMotion(const Function &Fn, const CfgEdges &Edges,
-                 const LocalProperties &LP);
+                 const LocalProperties &LP,
+                 SolverStrategy Solver = SolverStrategy::Sparse);
 
   //===--- Intermediate facts --------------------------------------------===
 
@@ -114,7 +118,8 @@ struct PreRunResult {
   SolverStats IsolationStats;
 };
 
-PreRunResult runPre(Function &Fn, PreStrategy S);
+PreRunResult runPre(Function &Fn, PreStrategy S,
+                    SolverStrategy Solver = SolverStrategy::Sparse);
 
 } // namespace lcm
 

@@ -2,10 +2,25 @@
 
 #include "dataflow/Dataflow.h"
 
+#include <bit>
+
 #include "graph/Dfs.h"
+#include "support/FactArena.h"
 #include "support/Stats.h"
 
 using namespace lcm;
+
+const char *lcm::solverStrategyName(SolverStrategy S) {
+  switch (S) {
+  case SolverStrategy::RoundRobin:
+    return "round-robin";
+  case SolverStrategy::Worklist:
+    return "worklist";
+  case SolverStrategy::Sparse:
+    return "sparse";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -118,6 +133,14 @@ DataflowResult lcm::solveGenKillWorklist(const Function &Fn, Direction Dir,
   };
 
   while (Head != Queue.size()) {
+    // Compact the consumed prefix once it dominates the buffer, keeping
+    // memory proportional to pending work instead of total visits.  The
+    // erase is O(live) and amortized by the >= Head pops since the last
+    // compaction.
+    if (Head > Queue.size() / 2 && Head >= 64) {
+      Queue.erase(Queue.begin(), Queue.begin() + Head);
+      Head = 0;
+    }
     BlockId B = Queue[Head++];
     OnList[B] = false;
     ++R.Stats.NodeVisits;
@@ -166,4 +189,152 @@ DataflowResult lcm::solveGenKillWorklist(const Function &Fn, Direction Dir,
   R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
   Stats::bump("dataflow.worklist.solves");
   return R;
+}
+
+namespace {
+
+/// Priority worklist over order positions 0..N-1: one pending bit per
+/// position, popped lowest-first.  Because a push below the cursor pulls
+/// the cursor back, the invariant "no pending bit < Cursor" holds and a
+/// pop is a find-first-set scan from the cursor.
+class PriorityWorklist {
+public:
+  explicit PriorityWorklist(size_t N)
+      : Pending(bitwords::wordsFor(N), 0), N(N) {}
+
+  void seedAll() {
+    for (uint64_t &W : Pending)
+      W = ~uint64_t(0);
+    if (N % 64 != 0 && !Pending.empty())
+      Pending.back() &= bitwords::topWordMask(N);
+    Cursor = 0;
+  }
+
+  void push(size_t Prio) {
+    Pending[Prio / 64] |= uint64_t(1) << (Prio % 64);
+    if (Prio < Cursor)
+      Cursor = Prio;
+  }
+
+  /// Pops the lowest pending priority, or npos when drained.  The cursor
+  /// invariant keeps every bit below Cursor clear, so whole-word scans
+  /// suffice.
+  size_t pop() {
+    size_t WordIdx = Cursor / 64;
+    while (WordIdx < Pending.size() && Pending[WordIdx] == 0)
+      ++WordIdx;
+    if (WordIdx == Pending.size())
+      return npos;
+    const uint64_t Word = Pending[WordIdx];
+    const size_t Prio = WordIdx * 64 + size_t(std::countr_zero(Word));
+    Pending[WordIdx] = Word & (Word - 1); // clear lowest set bit
+    Cursor = Prio + 1;
+    return Prio;
+  }
+
+  static constexpr size_t npos = ~size_t(0);
+
+private:
+  std::vector<uint64_t> Pending;
+  size_t N;
+  size_t Cursor = 0;
+};
+
+} // namespace
+
+DataflowResult lcm::solveGenKillSparse(const Function &Fn, Direction Dir,
+                                       Meet M,
+                                       const std::vector<GenKill> &Transfers,
+                                       const BitVector &Boundary) {
+  assert(Transfers.size() == Fn.numBlocks() && "one transfer per block");
+  const size_t Universe = Boundary.size();
+  const size_t NumBlocks = Fn.numBlocks();
+  const size_t WPR = bitwords::wordsFor(Universe);
+  const uint64_t OpsBefore = BitVectorOps::snapshot();
+
+  // One arena per thread, reused across solves: after the first solve of
+  // the largest problem size, begin() is a pointer reset.
+  thread_local FactArena Arena;
+  Arena.begin(2 * NumBlocks * WPR);
+  BitMatrix In = Arena.allocMatrix(NumBlocks, Universe);
+  BitMatrix Out = Arena.allocMatrix(NumBlocks, Universe);
+
+  const bool Neutral = (M == Meet::Intersection);
+  In.fillNeutral(Neutral);
+  Out.fillNeutral(Neutral);
+
+  const std::vector<BlockId> Order =
+      Dir == Direction::Forward ? reversePostOrder(Fn) : postOrder(Fn);
+  const std::vector<uint32_t> Prio = orderIndex(Fn, Order);
+  const BlockId BoundaryBlock =
+      Dir == Direction::Forward ? Fn.entry() : Fn.exit();
+  if (Dir == Direction::Forward)
+    In.row(BoundaryBlock).copyFrom(Boundary);
+  else
+    Out.row(BoundaryBlock).copyFrom(Boundary);
+
+  DataflowResult R;
+
+  // Seed every reachable block, in priority order; unreachable blocks keep
+  // the neutral initialization, matching the dense solvers.
+  PriorityWorklist WL(Order.size());
+  WL.seedAll();
+
+  const bool Fwd = (Dir == Direction::Forward);
+  BitMatrix &Src = Fwd ? Out : In;  // transfer writes these rows
+  BitMatrix &Dst = Fwd ? In : Out;  // meet accumulates into these rows
+  for (size_t P; (P = WL.pop()) != PriorityWorklist::npos;) {
+    const BlockId B = Order[P];
+    ++R.Stats.NodeVisits;
+
+    // Transfer in place over the stored row; on change, push the new row
+    // into each downstream meet.  Meets accumulate incrementally: because
+    // rows move monotonically toward the fixpoint, meeting in each changed
+    // value as it appears converges to exactly the meet-over-all-inputs the
+    // dense solvers recompute per visit — one row op per change instead of
+    // an in-degree-wide recompute per pop.
+    if (bitwords::transferChanged(Src.rowWords(B), Dst.rowWords(B),
+                                  Transfers[B].Gen.words(),
+                                  Transfers[B].Kill.words(), WPR)) {
+      const auto &Outs = Fwd ? Fn.block(B).succs() : Fn.block(B).preds();
+      for (BlockId Nb : Outs) {
+        if (Prio[Nb] == ~uint32_t(0))
+          continue; // unreachable in iteration order: keep neutral facts
+        if (Nb != BoundaryBlock) {
+          if (M == Meet::Intersection)
+            bitwords::andInto(Dst.rowWords(Nb), Src.rowWords(B), WPR);
+          else
+            bitwords::orInto(Dst.rowWords(Nb), Src.rowWords(B), WPR);
+        }
+        WL.push(Prio[Nb]);
+      }
+    }
+  }
+
+  // Materialize the arena rows as the caller-owned result.
+  R.In.reserve(NumBlocks);
+  R.Out.reserve(NumBlocks);
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    R.In.push_back(In.row(B).toBitVector());
+    R.Out.push_back(Out.row(B).toBitVector());
+  }
+
+  R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
+  Stats::bump("dataflow.sparse.solves");
+  return R;
+}
+
+DataflowResult lcm::solveGenKill(const Function &Fn, Direction Dir, Meet M,
+                                 const std::vector<GenKill> &Transfers,
+                                 const BitVector &Boundary,
+                                 SolverStrategy S) {
+  switch (S) {
+  case SolverStrategy::RoundRobin:
+    return solveGenKill(Fn, Dir, M, Transfers, Boundary);
+  case SolverStrategy::Worklist:
+    return solveGenKillWorklist(Fn, Dir, M, Transfers, Boundary);
+  case SolverStrategy::Sparse:
+    return solveGenKillSparse(Fn, Dir, M, Transfers, Boundary);
+  }
+  return solveGenKill(Fn, Dir, M, Transfers, Boundary);
 }

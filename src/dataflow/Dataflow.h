@@ -44,13 +44,32 @@ struct GenKill {
 
 /// Solver instrumentation counters.
 struct SolverStats {
-  /// Round-robin passes over the CFG until the fixpoint (>= 1).
+  /// Round-robin passes over the CFG until the fixpoint (>= 1; zero for
+  /// the worklist solvers, which have no pass structure).
   uint64_t Passes = 0;
-  /// Total block visits (Passes * number of blocks).
+  /// Total block visits (round-robin: Passes * blocks; worklist: pops).
   uint64_t NodeVisits = 0;
   /// Bit-vector word operations consumed while solving.
   uint64_t WordOps = 0;
 };
+
+/// Which fixpoint engine solves a gen/kill problem.  All three produce the
+/// identical fixpoint (asserted in tests/solver_equivalence_test.cpp); they
+/// differ only in visit order and memory behavior, which is what the T8
+/// ablation measures.
+enum class SolverStrategy {
+  /// Classic round-robin sweeps over RPO/PO until a full pass changes
+  /// nothing (the iteration scheme the 1992 paper assumes).
+  RoundRobin,
+  /// Change-driven FIFO worklist over per-block BitVectors.
+  Worklist,
+  /// Second-generation engine: facts live in one flat FactArena word
+  /// buffer, the worklist pops blocks in RPO (PO for backward) priority
+  /// order, and the solve loop performs zero heap allocation.
+  Sparse,
+};
+
+const char *solverStrategyName(SolverStrategy S);
 
 /// Fixpoint solution: one fact per block boundary.
 struct DataflowResult {
@@ -83,6 +102,23 @@ DataflowResult solveGenKillWorklist(const Function &Fn, Direction Dir,
                                     Meet M,
                                     const std::vector<GenKill> &Transfers,
                                     const BitVector &Boundary);
+
+/// Sparse-arena variant: all In/Out facts live in one contiguous
+/// FactArena word buffer (reused across solves, one arena per thread), the
+/// worklist is a priority queue keyed by reverse-post-order position
+/// (post-order for backward problems) so upstream blocks settle before
+/// their consumers re-run, and the solve loop allocates nothing — raw
+/// word kernels plus reusable scratch rows replace every per-visit
+/// BitVector.  Identical fixpoint to the other two solvers; NodeVisits
+/// reports pops, Passes stays zero.
+DataflowResult solveGenKillSparse(const Function &Fn, Direction Dir, Meet M,
+                                  const std::vector<GenKill> &Transfers,
+                                  const BitVector &Boundary);
+
+/// Dispatches to the solver selected by \p S.
+DataflowResult solveGenKill(const Function &Fn, Direction Dir, Meet M,
+                            const std::vector<GenKill> &Transfers,
+                            const BitVector &Boundary, SolverStrategy S);
 
 } // namespace lcm
 

@@ -1,0 +1,68 @@
+//===- driver/CorpusDriver.cpp ---------------------------------------------===//
+
+#include "driver/CorpusDriver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace lcm;
+
+namespace {
+
+FunctionOutcome runOne(const Pipeline &P, Function &Fn) {
+  FunctionOutcome O;
+  Pipeline::RunResult R = P.run(Fn);
+  O.Ok = R.Ok;
+  O.Error = R.Error;
+  for (const Pipeline::StepResult &S : R.Steps)
+    O.Changes += S.Changes;
+  return O;
+}
+
+} // namespace
+
+CorpusDriverResult lcm::optimizeCorpus(std::vector<Function> &Fns,
+                                       const Pipeline &P,
+                                       const CorpusDriverOptions &Opts) {
+  CorpusDriverResult R;
+  R.PerFunction.resize(Fns.size());
+
+  unsigned Threads = Opts.Threads;
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  if (Threads > Fns.size())
+    Threads = std::max<size_t>(1, Fns.size());
+  R.ThreadsUsed = Threads;
+
+  const auto Start = std::chrono::steady_clock::now();
+
+  if (Threads <= 1) {
+    for (size_t I = 0; I != Fns.size(); ++I)
+      R.PerFunction[I] = runOne(P, Fns[I]);
+  } else {
+    // Dynamic work claiming: corpus members differ by orders of magnitude
+    // in CFG size, so static slicing would leave workers idle.
+    std::atomic<size_t> Next{0};
+    auto Worker = [&] {
+      for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) <
+                     Fns.size();)
+        R.PerFunction[I] = runOne(P, Fns[I]);
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  R.Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  for (const FunctionOutcome &O : R.PerFunction) {
+    R.TotalChanges += O.Changes;
+    R.NumFailed += !O.Ok;
+  }
+  return R;
+}

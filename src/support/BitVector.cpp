@@ -6,7 +6,9 @@
 
 using namespace lcm;
 
-uint64_t BitVectorOps::WordOps = 0;
+#if LCM_COUNT_WORDOPS
+thread_local uint64_t BitVectorOps::WordOps = 0;
+#endif
 
 void BitVector::resize(size_t NewNumBits, bool Value) {
   size_t OldNumBits = NumBits;

@@ -26,15 +26,32 @@
 
 namespace lcm {
 
-/// Global counter of bit-vector word operations, used by the dataflow cost
-/// experiment (EXPERIMENTS.md, T3).  Counting is cheap (one add per bulk op)
-/// and always on; callers snapshot and subtract.
+/// Compile-time switch for the word-operation bookkeeping below.  ON by
+/// default so the T3/T8 experiment tables are unchanged; configure with
+/// -DLCM_COUNT_WORDOPS=OFF (see the top-level CMakeLists option) to strip
+/// the counter add from every bulk-op hot path when benchmarking the raw
+/// kernels.
+#ifndef LCM_COUNT_WORDOPS
+#define LCM_COUNT_WORDOPS 1
+#endif
+
+/// Counter of bit-vector word operations, used by the dataflow cost
+/// experiment (EXPERIMENTS.md, T3).  Counting is cheap (one add per bulk
+/// op); callers snapshot and subtract.  The counter is thread-local so the
+/// parallel corpus driver's workers count independently — per-solve
+/// SolverStats stay exact on every thread.
 struct BitVectorOps {
-  static uint64_t WordOps;
+#if LCM_COUNT_WORDOPS
+  static thread_local uint64_t WordOps;
 
   static void note(size_t Words) { WordOps += Words; }
   static uint64_t snapshot() { return WordOps; }
   static void reset() { WordOps = 0; }
+#else
+  static void note(size_t) {}
+  static uint64_t snapshot() { return 0; }
+  static void reset() {}
+#endif
 };
 
 /// A fixed-universe dense bit vector.
@@ -54,6 +71,12 @@ public:
   size_t size() const { return NumBits; }
   bool empty() const { return NumBits == 0; }
   size_t numWords() const { return Words.size(); }
+
+  /// Raw word storage (bit 0 is the LSB of words()[0]; bits beyond size()
+  /// are zero).  The sparse dataflow engine runs its word kernels directly
+  /// on these — see support/FactArena.h.
+  uint64_t *words() { return Words.data(); }
+  const uint64_t *words() const { return Words.data(); }
 
   /// Resizes the universe; new bits take \p Value.
   void resize(size_t NewNumBits, bool Value = false);

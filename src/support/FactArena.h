@@ -1,0 +1,267 @@
+//===- support/FactArena.h - Flat word arena for dataflow facts ----------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The allocation-free fact storage behind the sparse dataflow engine.
+///
+/// A dataflow solve over N blocks and a U-bit universe needs 2N facts (In
+/// and Out per block) plus a scratch row or two.  Storing each fact in its
+/// own heap-allocated BitVector scatters the working set and forces the
+/// solver to allocate on every visit.  Instead:
+///
+/// - BitSpan / ConstBitSpan are non-owning (word pointer, bit count) views;
+/// - bitwords:: holds the raw word-level kernels (or/and/andNot/transfer/
+///   meet) the solver runs — each is a straight loop over uint64_t words
+///   and feeds the same BitVectorOps counter the BitVector ops do;
+/// - BitMatrix is a rows-by-bits fact table laid out as one contiguous
+///   word buffer (row-major, rows word-aligned);
+/// - FactArena owns the buffer.  A solve calls begin(totalWords) once,
+///   carves matrices and scratch rows out of it, and performs *zero*
+///   further heap allocation; the arena keeps its capacity across solves
+///   (the solver holds one per thread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_FACTARENA_H
+#define LCM_SUPPORT_FACTARENA_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "support/BitVector.h"
+
+namespace lcm {
+
+namespace bitwords {
+
+/// Words needed to hold \p Bits bits.
+inline size_t wordsFor(size_t Bits) { return (Bits + 63) / 64; }
+
+/// Mask selecting the in-universe bits of the final word (all-ones when the
+/// universe is word-aligned).
+inline uint64_t topWordMask(size_t Bits) {
+  return Bits % 64 == 0 ? ~uint64_t(0)
+                        : (uint64_t(1) << (Bits % 64)) - 1;
+}
+
+/// Dst[i] = V for all words.  \p V should already respect the top mask.
+inline void fill(uint64_t *Dst, size_t Words, uint64_t V) {
+  BitVectorOps::note(Words);
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] = V;
+}
+
+inline void copy(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  BitVectorOps::note(Words);
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] = Src[I];
+}
+
+inline void orInto(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  BitVectorOps::note(Words);
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] |= Src[I];
+}
+
+inline void andInto(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  BitVectorOps::note(Words);
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] &= Src[I];
+}
+
+inline void andNotInto(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  BitVectorOps::note(Words);
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] &= ~Src[I];
+}
+
+inline bool equal(const uint64_t *A, const uint64_t *B, size_t Words) {
+  BitVectorOps::note(Words);
+  for (size_t I = 0; I != Words; ++I)
+    if (A[I] != B[I])
+      return false;
+  return true;
+}
+
+/// The gen/kill transfer in one fused loop: Dst = Gen | (Src & ~Kill).
+inline void transferInto(uint64_t *Dst, const uint64_t *Src,
+                         const uint64_t *Gen, const uint64_t *Kill,
+                         size_t Words) {
+  BitVectorOps::note(Words);
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] = Gen[I] | (Src[I] & ~Kill[I]);
+}
+
+/// Transfer applied in place over the stored row, fused with change
+/// detection: Dst = Gen | (Src & ~Kill), returning whether any word
+/// changed.  One pass over the row instead of transfer + equal + copy.
+inline bool transferChanged(uint64_t *Dst, const uint64_t *Src,
+                            const uint64_t *Gen, const uint64_t *Kill,
+                            size_t Words) {
+  BitVectorOps::note(Words);
+  uint64_t Diff = 0;
+  for (size_t I = 0; I != Words; ++I) {
+    const uint64_t V = Gen[I] | (Src[I] & ~Kill[I]);
+    Diff |= V ^ Dst[I];
+    Dst[I] = V;
+  }
+  return Diff != 0;
+}
+
+} // namespace bitwords
+
+/// Non-owning mutable view of one word-packed fact row.
+class BitSpan {
+public:
+  BitSpan() = default;
+  BitSpan(uint64_t *Words, size_t NumBits) : W(Words), Bits(NumBits) {}
+
+  uint64_t *words() { return W; }
+  const uint64_t *words() const { return W; }
+  size_t size() const { return Bits; }
+  size_t numWords() const { return bitwords::wordsFor(Bits); }
+
+  bool test(size_t Bit) const {
+    assert(Bit < Bits && "bit index out of range");
+    return (W[Bit / 64] >> (Bit % 64)) & 1;
+  }
+
+  /// Sets every word to the neutral element (all-ones masked to the
+  /// universe, or all-zeros).
+  void fillNeutral(bool Ones) {
+    size_t NW = numWords();
+    if (NW == 0)
+      return;
+    bitwords::fill(W, NW, Ones ? ~uint64_t(0) : 0);
+    if (Ones)
+      W[NW - 1] &= bitwords::topWordMask(Bits);
+  }
+
+  /// Copies from a BitVector of the same universe.
+  void copyFrom(const BitVector &Src) {
+    assert(Src.size() == Bits && "universe mismatch");
+    bitwords::copy(W, Src.words(), numWords());
+  }
+
+  /// Materializes the row as an owning BitVector.
+  BitVector toBitVector() const {
+    BitVector V(Bits);
+    bitwords::copy(V.words(), W, numWords());
+    return V;
+  }
+
+private:
+  uint64_t *W = nullptr;
+  size_t Bits = 0;
+};
+
+/// Non-owning read-only view (constructible from a BitVector, so the
+/// solver can run kernels directly against caller-owned gen/kill vectors).
+class ConstBitSpan {
+public:
+  ConstBitSpan() = default;
+  ConstBitSpan(const uint64_t *Words, size_t NumBits)
+      : W(Words), Bits(NumBits) {}
+  ConstBitSpan(const BitVector &V) : W(V.words()), Bits(V.size()) {}
+  ConstBitSpan(const BitSpan &S) : W(S.words()), Bits(S.size()) {}
+
+  const uint64_t *words() const { return W; }
+  size_t size() const { return Bits; }
+  size_t numWords() const { return bitwords::wordsFor(Bits); }
+
+private:
+  const uint64_t *W = nullptr;
+  size_t Bits = 0;
+};
+
+/// A rows-by-bits fact table over one contiguous word buffer.  Non-owning:
+/// rows are carved out of a FactArena (or any stable word storage).
+class BitMatrix {
+public:
+  BitMatrix() = default;
+  BitMatrix(uint64_t *Base, size_t NumRows, size_t NumBits)
+      : Base(Base), Rows(NumRows), Bits(NumBits),
+        WPR(bitwords::wordsFor(NumBits)) {}
+
+  size_t numRows() const { return Rows; }
+  size_t numBits() const { return Bits; }
+  size_t wordsPerRow() const { return WPR; }
+
+  BitSpan row(size_t R) {
+    assert(R < Rows && "row out of range");
+    return BitSpan(Base + R * WPR, Bits);
+  }
+  ConstBitSpan row(size_t R) const {
+    assert(R < Rows && "row out of range");
+    return ConstBitSpan(Base + R * WPR, Bits);
+  }
+
+  uint64_t *rowWords(size_t R) {
+    assert(R < Rows && "row out of range");
+    return Base + R * WPR;
+  }
+  const uint64_t *rowWords(size_t R) const {
+    assert(R < Rows && "row out of range");
+    return Base + R * WPR;
+  }
+
+  /// Fills every row with the meet-neutral element.
+  void fillNeutral(bool Ones) {
+    for (size_t R = 0; R != Rows; ++R)
+      row(R).fillNeutral(Ones);
+  }
+
+private:
+  uint64_t *Base = nullptr;
+  size_t Rows = 0;
+  size_t Bits = 0;
+  size_t WPR = 0;
+};
+
+/// Bump allocator for fact rows.  begin() sizes the buffer for one solve
+/// (growing only if this solve is the largest seen); subsequent alloc
+/// calls hand out stable sub-ranges with no further heap traffic.
+class FactArena {
+public:
+  /// Starts a carve-out of \p TotalWords words.  Invalidates all spans and
+  /// matrices from the previous solve.
+  void begin(size_t TotalWords) {
+    if (Buf.size() < TotalWords)
+      Buf.resize(TotalWords);
+    Used = 0;
+  }
+
+  BitMatrix allocMatrix(size_t Rows, size_t Bits) {
+    return BitMatrix(take(Rows * bitwords::wordsFor(Bits)), Rows, Bits);
+  }
+
+  BitSpan allocRow(size_t Bits) {
+    return BitSpan(take(bitwords::wordsFor(Bits)), Bits);
+  }
+
+  /// High-water capacity in words (for instrumentation).
+  size_t capacityWords() const { return Buf.size(); }
+  size_t usedWords() const { return Used; }
+
+private:
+  uint64_t *take(size_t Words) {
+    assert(Used + Words <= Buf.size() &&
+           "FactArena::begin did not reserve enough words");
+    uint64_t *P = Buf.data() + Used;
+    Used += Words;
+    return P;
+  }
+
+  std::vector<uint64_t> Buf;
+  size_t Used = 0;
+};
+
+} // namespace lcm
+
+#endif // LCM_SUPPORT_FACTARENA_H

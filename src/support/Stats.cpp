@@ -2,7 +2,16 @@
 
 #include "support/Stats.h"
 
+#include <mutex>
+
 using namespace lcm;
+
+namespace {
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+} // namespace
 
 std::map<std::string, uint64_t> &Stats::registry() {
   static std::map<std::string, uint64_t> Registry;
@@ -10,14 +19,22 @@ std::map<std::string, uint64_t> &Stats::registry() {
 }
 
 void Stats::bump(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   registry()[Name] += Delta;
 }
 
 uint64_t Stats::get(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = registry().find(Name);
   return It == registry().end() ? 0 : It->second;
 }
 
-void Stats::resetAll() { registry().clear(); }
+void Stats::resetAll() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry().clear();
+}
 
-std::map<std::string, uint64_t> Stats::all() { return registry(); }
+std::map<std::string, uint64_t> Stats::all() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  return registry();
+}

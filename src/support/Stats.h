@@ -23,8 +23,11 @@ namespace lcm {
 
 /// Process-wide registry of named uint64 counters.
 ///
-/// The registry is intentionally not thread-safe: every experiment in this
-/// repository is single-threaded and determinism is the priority.
+/// The registry is mutex-protected: the parallel corpus driver
+/// (driver/CorpusDriver.h) bumps counters from its worker threads, and all
+/// threads merge into this one registry.  Counter *values* stay
+/// deterministic for a fixed workload (addition commutes); only the bump
+/// interleaving varies.
 class Stats {
 public:
   /// Adds \p Delta to the named counter (creating it at zero).

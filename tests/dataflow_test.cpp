@@ -140,12 +140,23 @@ block done
 TEST(Solver, ReportsPasses) {
   Fixture F(DiamondSrc);
   LocalProperties LP(F.Fn);
-  DataflowResult Av = computeAvailability(F.Fn, LP);
+  DataflowResult Av =
+      computeAvailability(F.Fn, LP, SolverStrategy::RoundRobin);
   // Fixpoint detection costs one extra no-change pass.
   EXPECT_GE(Av.Stats.Passes, 2u);
   EXPECT_LE(Av.Stats.Passes, 4u);
   EXPECT_GT(Av.Stats.WordOps, 0u);
   EXPECT_EQ(Av.Stats.NodeVisits, Av.Stats.Passes * F.Fn.numBlocks());
+}
+
+TEST(Solver, SparseReportsPopsNotPasses) {
+  Fixture F(DiamondSrc);
+  LocalProperties LP(F.Fn);
+  DataflowResult Av = computeAvailability(F.Fn, LP, SolverStrategy::Sparse);
+  EXPECT_EQ(Av.Stats.Passes, 0u);
+  // Every block is seeded once; only changed blocks re-run.
+  EXPECT_GE(Av.Stats.NodeVisits, F.Fn.numBlocks());
+  EXPECT_GT(Av.Stats.WordOps, 0u);
 }
 
 /// On any graph, the fixpoint must satisfy the dataflow equations: a direct

@@ -1,6 +1,7 @@
 //===- tests/lcm_test.cpp - Golden placements for the paper's examples ---===//
 
 #include "core/Lcm.h"
+#include "core/LocalCse.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "workload/PaperExamples.h"
@@ -216,11 +217,36 @@ TEST(LcmIdempotence, SecondRunIsNoop) {
 
 TEST(LcmStats, FourUnidirectionalPassesReported) {
   Function Fn = makeMotivatingExample();
-  PreRunResult R = runPre(Fn, PreStrategy::Lazy);
+  // Pass counts are a round-robin notion; the sparse default reports pops.
+  PreRunResult R =
+      runPre(Fn, PreStrategy::Lazy, SolverStrategy::RoundRobin);
   EXPECT_GE(R.AvailStats.Passes, 1u);
   EXPECT_GE(R.AntStats.Passes, 1u);
   EXPECT_GE(R.LaterStats.Passes, 1u);
   EXPECT_GE(R.IsolationStats.Passes, 1u);
+}
+
+TEST(LcmStats, SparseEngineReportsVisits) {
+  Function Fn = makeMotivatingExample();
+  PreRunResult R = runPre(Fn, PreStrategy::Lazy, SolverStrategy::Sparse);
+  EXPECT_EQ(R.AvailStats.Passes, 0u);
+  EXPECT_EQ(R.AntStats.Passes, 0u);
+  EXPECT_GE(R.AvailStats.NodeVisits, Fn.numBlocks());
+  EXPECT_GE(R.AntStats.NodeVisits, Fn.numBlocks());
+}
+
+TEST(LcmStrategies, SameplacementUnderEverySolver) {
+  for (SolverStrategy S : {SolverStrategy::RoundRobin,
+                           SolverStrategy::Worklist,
+                           SolverStrategy::Sparse}) {
+    Function Fn = makeMotivatingExample();
+    runLocalCse(Fn);
+    Function Ref = Fn;
+    runPre(Fn, PreStrategy::Lazy, S);
+    runPre(Ref, PreStrategy::Lazy, SolverStrategy::RoundRobin);
+    EXPECT_EQ(printFunction(Fn), printFunction(Ref))
+        << solverStrategyName(S);
+  }
 }
 
 } // namespace
