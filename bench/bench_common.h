@@ -4,11 +4,27 @@
 // (Knoop, Ruething, Steffen; PLDI 1992).
 //
 //===----------------------------------------------------------------------===//
+//
+// Besides the corpus/strategy helpers, this header gives every bench
+// binary a machine-readable `--json` mode (schema "lcm-bench-v1"):
+//
+//   table1_computations --json=out.json     # human tables + JSON file
+//   table1_computations --json              # JSON appended to stdout
+//
+// benchInit() strips the flag before google-benchmark parses argv; the
+// printHeading/printTable calls the experiment bodies already make then
+// record every section and table into a JSON document that benchFinish()
+// writes out.  In JSON mode the mains skip the google-benchmark timing
+// loops, so the CI bench-smoke job stays fast.  See docs/OBSERVABILITY.md.
+//
+//===----------------------------------------------------------------------===//
 
 #ifndef LCM_BENCH_BENCH_COMMON_H
 #define LCM_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "baseline/GlobalCse.h"
@@ -17,6 +33,7 @@
 #include "core/Lcm.h"
 #include "core/LocalCse.h"
 #include "metrics/Compare.h"
+#include "support/Json.h"
 #include "support/Table.h"
 #include "workload/Corpus.h"
 
@@ -53,12 +70,170 @@ allStrategies() {
   };
 }
 
+//===----------------------------------------------------------------------===//
+// --json mode
+//===----------------------------------------------------------------------===//
+
+struct BenchJsonState {
+  bool Enabled = false;
+  std::string Path; ///< Output file; empty means stdout.
+  std::string BenchName;
+  json::Value Sections = json::Value::object();
+  bool SectionOpen = false;
+  std::string SectionId;
+  json::Value Section = json::Value::object();
+};
+
+inline BenchJsonState &benchJsonState() {
+  static BenchJsonState S;
+  return S;
+}
+
+inline bool benchJsonEnabled() { return benchJsonState().Enabled; }
+
+/// Strips `--json[=path]` out of argv (google-benchmark rejects flags it
+/// does not know) and primes the recorder.  Call first in main().
+inline void benchInit(int *Argc, char **Argv, const char *BenchName) {
+  BenchJsonState &S = benchJsonState();
+  S.BenchName = BenchName;
+  int Out = 1;
+  for (int I = 1; I != *Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      S.Enabled = true;
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      S.Enabled = true;
+      S.Path = Argv[I] + 7;
+      continue;
+    }
+    Argv[Out++] = Argv[I];
+  }
+  *Argc = Out;
+}
+
+inline void benchCommitSection() {
+  BenchJsonState &S = benchJsonState();
+  if (!S.SectionOpen)
+    return;
+  S.Sections.set(S.SectionId, std::move(S.Section));
+  S.Section = json::Value::object();
+  S.SectionOpen = false;
+}
+
+/// Records one scalar under the current section's "metrics" object.
+inline void benchRecordMetric(const std::string &Key, json::Value V) {
+  BenchJsonState &S = benchJsonState();
+  if (!S.Enabled)
+    return;
+  if (!S.SectionOpen) {
+    S.SectionOpen = true;
+    S.SectionId = "global";
+    S.Section = json::Value::object();
+  }
+  json::Value Metrics = json::Value::object();
+  if (const json::Value *Existing = S.Section.find("metrics"))
+    Metrics = *Existing;
+  Metrics.set(Key, std::move(V));
+  S.Section.set("metrics", std::move(Metrics));
+}
+
+inline void benchRecordMetric(const std::string &Key, uint64_t V) {
+  benchRecordMetric(Key, json::Value::number(V));
+}
+inline void benchRecordMetric(const std::string &Key, double V) {
+  benchRecordMetric(Key, json::Value::number(V));
+}
+inline void benchRecordMetric(const std::string &Key, bool V) {
+  benchRecordMetric(Key, json::Value::boolean(V));
+}
+
+/// Renders a table cell as a typed JSON value: integers and decimals keep
+/// their numeric kind, everything else stays a string.
+inline json::Value benchCellValue(const std::string &Cell) {
+  if (Cell.empty())
+    return json::Value::str(Cell);
+  char *End = nullptr;
+  errno = 0;
+  long long I = std::strtoll(Cell.c_str(), &End, 10);
+  if (errno == 0 && End && *End == '\0')
+    return json::Value::number(int64_t(I));
+  errno = 0;
+  double D = std::strtod(Cell.c_str(), &End);
+  if (errno == 0 && End && *End == '\0')
+    return json::Value::number(D);
+  return json::Value::str(Cell);
+}
+
+/// Writes the collected document; returns a process exit code.  No-op
+/// (returns 0) when --json was not requested.
+inline int benchFinish() {
+  BenchJsonState &S = benchJsonState();
+  if (!S.Enabled)
+    return 0;
+  benchCommitSection();
+  json::Value Root = json::Value::object();
+  Root.set("schema", json::Value::str("lcm-bench-v1"))
+      .set("bench", json::Value::str(S.BenchName))
+      .set("sections", std::move(S.Sections));
+  if (S.Path.empty()) {
+    std::string Text = Root.dump();
+    std::fputs(Text.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  if (!json::writeFile(S.Path, Root)) {
+    std::fprintf(stderr, "error: cannot write %s\n", S.Path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Output helpers (stdout + JSON recorder)
+//===----------------------------------------------------------------------===//
+
 inline void printHeading(const char *Id, const char *Title) {
   std::printf("\n=== %s: %s ===\n\n", Id, Title);
+  BenchJsonState &S = benchJsonState();
+  if (!S.Enabled)
+    return;
+  benchCommitSection();
+  S.SectionOpen = true;
+  S.SectionId = Id;
+  S.Section = json::Value::object();
+  S.Section.set("title", json::Value::str(Title));
 }
 
 inline void printTable(const Table &T) {
   std::fputs(T.render().c_str(), stdout);
+  BenchJsonState &S = benchJsonState();
+  if (!S.Enabled)
+    return;
+  if (!S.SectionOpen) {
+    S.SectionOpen = true;
+    S.SectionId = "global";
+    S.Section = json::Value::object();
+  }
+  json::Value Rows = json::Value::array();
+  for (const std::vector<std::string> &Row : T.rows()) {
+    json::Value O = json::Value::object();
+    for (size_t C = 0; C != Row.size() && C != T.header().size(); ++C)
+      O.set(T.header()[C], benchCellValue(Row[C]));
+    Rows.push(std::move(O));
+  }
+  json::Value TableObj = json::Value::object();
+  json::Value Columns = json::Value::array();
+  for (const std::string &H : T.header())
+    Columns.push(json::Value::str(H));
+  TableObj.set("columns", std::move(Columns));
+  TableObj.set("rows", std::move(Rows));
+
+  json::Value Tables = json::Value::array();
+  if (const json::Value *Existing = S.Section.find("tables"))
+    Tables = *Existing;
+  Tables.push(std::move(TableObj));
+  S.Section.set("tables", std::move(Tables));
 }
 
 } // namespace lcm

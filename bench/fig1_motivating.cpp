@@ -15,9 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/Lcm.h"
+#include "bench_common.h"
 #include "ir/Printer.h"
-#include "metrics/Compare.h"
 #include "workload/PaperExamples.h"
 
 using namespace lcm;
@@ -100,7 +99,10 @@ BENCHMARK(BM_Figure1Pipeline);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "fig1_motivating");
   reproduceFigure1();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

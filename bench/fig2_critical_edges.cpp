@@ -82,7 +82,10 @@ BENCHMARK(BM_Figure2Pipeline);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "fig2_critical_edges");
   reproduceFigure2();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -87,7 +87,10 @@ BENCHMARK(BM_FrontierAnalyses);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "fig3_frontiers");
   reproduceFigure3();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

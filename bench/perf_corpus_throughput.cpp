@@ -131,7 +131,10 @@ BENCHMARK(BM_CorpusPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "perf_corpus_throughput");
   runThroughputTable();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

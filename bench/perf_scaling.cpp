@@ -220,8 +220,11 @@ BENCHMARK(BM_LocalPropertiesOnly)->Arg(64)->Arg(1024)->Arg(4096);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "perf_scaling");
   printScalingTable();
   printSolverComparisonTable();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

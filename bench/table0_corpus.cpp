@@ -72,7 +72,10 @@ BENCHMARK(BM_CorpusConstruction);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table0_corpus");
   runTable0();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

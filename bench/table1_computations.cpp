@@ -60,6 +60,8 @@ void runTable1() {
               " (%llu violations)\n",
               ShapeViolations == 0 ? "HOLDS" : "VIOLATED",
               (unsigned long long)ShapeViolations);
+  benchRecordMetric("shape_violations", ShapeViolations);
+  benchRecordMetric("shape_holds", ShapeViolations == 0);
 
   // Aggregate winners row.
   Table Agg({"strategy", "total dynEvals", "vs none"});
@@ -94,7 +96,10 @@ BENCHMARK(BM_Table1FullSweep);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table1_computations");
   runTable1();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -73,7 +73,10 @@ BENCHMARK(BM_LifetimeMeasurement);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table2_lifetimes");
   runTable2();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

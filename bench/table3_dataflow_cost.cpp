@@ -83,6 +83,11 @@ void runTable3() {
   std::printf("shape check (MR needs at least as many passes as any "
               "unidirectional analysis): %s\n",
               MaxMrPasses >= MaxLcmPasses ? "HOLDS" : "VIOLATED");
+  benchRecordMetric("lcm_total_word_ops", LcmTotal);
+  benchRecordMetric("mr_total_word_ops", MrTotal);
+  benchRecordMetric("max_lcm_passes", MaxLcmPasses);
+  benchRecordMetric("max_mr_passes", MaxMrPasses);
+  benchRecordMetric("shape_holds", MaxMrPasses >= MaxLcmPasses);
 }
 
 void BM_LcmAnalyses(benchmark::State &State) {
@@ -112,7 +117,10 @@ BENCHMARK(BM_MorelRenvoiseAnalyses);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table3_dataflow_cost");
   runTable3();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

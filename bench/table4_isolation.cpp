@@ -81,7 +81,10 @@ BENCHMARK(BM_IsolationAnalysis);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table4_isolation");
   runTable4();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

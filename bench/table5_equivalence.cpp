@@ -112,7 +112,10 @@ BENCHMARK(BM_NodeGranularityPipeline);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table5_equivalence");
   runTable5();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -110,7 +110,10 @@ BENCHMARK(BM_CleanupPass);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table6_cleanup");
   runTable6();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

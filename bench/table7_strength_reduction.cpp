@@ -144,7 +144,10 @@ BENCHMARK(BM_StrengthReduction);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table7_strength_reduction");
   runTable7();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -142,7 +142,10 @@ BENCHMARK(BM_SparseSolver)->Arg(256)->Arg(2048);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table8_solver_ablation");
   runTable8();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

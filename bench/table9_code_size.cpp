@@ -96,7 +96,10 @@ BENCHMARK(BM_SizeFilteredPipeline);
 } // namespace
 
 int main(int argc, char **argv) {
+  benchInit(&argc, argv, "table9_code_size");
   runTable9();
+  if (benchJsonEnabled())
+    return benchFinish();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,20 +7,29 @@
 //
 // A small driver exposing the whole library on textual IR:
 //
-//   optimize_tool [--pipeline=p1,p2,...] [--dot] [--stats] [FILE]
+//   optimize_tool [--pipeline=p1,p2,...] [--dot] [--stats]
+//                 [--report=out.json] [FILE]
 //
 // Reads the program from FILE (or stdin), applies the requested pass
 // pipeline (default "lcse,lcm", the paper's prescription), and prints the
 // optimized program (or its Graphviz rendering with --dot).  Run with
 // --list-passes to see every registered pass.
 //
+// --report=out.json writes the structured run report (schema
+// "lcm-run-report-v1", see docs/OBSERVABILITY.md): per-pass wall time and
+// word-op counts, solver iteration counters, insertion/replacement/save
+// counts, and before/after function metrics including temp lifetimes.
+// Setting LCM_TRACE=1 (or =<path>) additionally emits per-stage begin/end
+// trace events.
+//
 // Batch mode exercises the parallel corpus driver instead of a file:
 //
 //   optimize_tool --corpus=N [--threads=M] [--pipeline=...]
+//                 [--report=out.json]
 //
 // generates N functions (half structured, half random CFGs), optimizes
 // them on M worker threads (0 = all hardware threads), and prints a
-// throughput summary.
+// throughput summary (--report captures it plus the batch's counters).
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +43,8 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "metrics/RunReport.h"
+#include "support/Stats.h"
 #include "workload/Corpus.h"
 
 using namespace lcm;
@@ -52,14 +63,21 @@ std::string readAll(std::FILE *In) {
 int usage() {
   std::fprintf(stderr, "usage: optimize_tool [--pipeline=p1,p2,...] "
                        "[--pass=NAME] [--dot] [--stats] [--list-passes] "
-                       "[FILE]\n"
+                       "[--report=FILE.json] [FILE]\n"
                        "       optimize_tool --corpus=N [--threads=M] "
-                       "[--pipeline=p1,p2,...]\n");
+                       "[--pipeline=p1,p2,...] [--report=FILE.json]\n");
   return 2;
 }
 
+int writeReportOrFail(const RunReport &Report, const std::string &Path) {
+  if (Report.writeFile(Path))
+    return 0;
+  std::fprintf(stderr, "error: cannot write report to %s\n", Path.c_str());
+  return 1;
+}
+
 int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
-                  unsigned Threads) {
+                  unsigned Threads, const std::string &ReportPath) {
   PipelineParse Parsed = parsePipeline(Spec);
   if (!Parsed) {
     std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
@@ -72,6 +90,7 @@ int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
 
   CorpusDriverOptions Opts;
   Opts.Threads = Threads;
+  std::map<std::string, uint64_t> StatsBefore = Stats::all();
   CorpusDriverResult R = optimizeCorpus(Fns, Parsed.P, Opts);
 
   std::printf("corpus: %zu functions, pipeline \"%s\"\n", Fns.size(),
@@ -80,6 +99,19 @@ int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
               "changes=%llu  failures=%zu\n",
               R.ThreadsUsed, R.Seconds, R.functionsPerSecond(),
               (unsigned long long)R.TotalChanges, R.NumFailed);
+  if (!ReportPath.empty()) {
+    std::map<std::string, uint64_t> Delta;
+    for (const auto &[Name, After] : Stats::all()) {
+      auto It = StatsBefore.find(Name);
+      uint64_t Prev = It == StatsBefore.end() ? 0 : It->second;
+      if (After != Prev)
+        Delta[Name] = After - Prev;
+    }
+    RunReport Report =
+        makeCorpusReport(R, "optimize_tool", Spec, std::move(Delta));
+    if (int Rc = writeReportOrFail(Report, ReportPath))
+      return Rc;
+  }
   if (R.NumFailed != 0) {
     for (size_t I = 0; I != R.PerFunction.size(); ++I)
       if (!R.PerFunction[I].Ok)
@@ -94,6 +126,7 @@ int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
 
 int main(int argc, char **argv) {
   std::string Spec = "lcse,lcm";
+  std::string ReportPath;
   bool Dot = false, ShowStats = false;
   const char *Path = nullptr;
   unsigned CorpusSize = 0, Threads = 1;
@@ -103,12 +136,22 @@ int main(int argc, char **argv) {
       Spec = argv[I] + 11;
     } else if (std::strncmp(argv[I], "--pass=", 7) == 0) {
       Spec = argv[I] + 7;
-    } else if (std::strncmp(argv[I], "--corpus=", 9) == 0) {
-      CorpusSize = unsigned(std::strtoul(argv[I] + 9, nullptr, 10));
-      if (CorpusSize == 0)
+    } else if (std::strncmp(argv[I], "--report=", 9) == 0) {
+      ReportPath = argv[I] + 9;
+      if (ReportPath.empty())
         return usage();
+    } else if (std::strncmp(argv[I], "--corpus=", 9) == 0) {
+      char *End = nullptr;
+      long long N = std::strtoll(argv[I] + 9, &End, 10);
+      if (*End != '\0' || N <= 0 || N > 10'000'000)
+        return usage();
+      CorpusSize = unsigned(N);
     } else if (std::strncmp(argv[I], "--threads=", 10) == 0) {
-      Threads = unsigned(std::strtoul(argv[I] + 10, nullptr, 10));
+      char *End = nullptr;
+      long long N = std::strtoll(argv[I] + 10, &End, 10);
+      if (*End != '\0' || N < 0 || N > 4096)
+        return usage();
+      Threads = unsigned(N);
     } else if (std::strcmp(argv[I], "--list-passes") == 0) {
       for (const std::string &Name : standardPassNames())
         std::printf("%s\n", Name.c_str());
@@ -127,7 +170,7 @@ int main(int argc, char **argv) {
   }
 
   if (CorpusSize != 0)
-    return runCorpusMode(Spec, CorpusSize, Threads);
+    return runCorpusMode(Spec, CorpusSize, Threads, ReportPath);
 
   std::string Source;
   if (Path) {
@@ -160,6 +203,25 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", Parsed2.Error.c_str());
     return usage();
   }
+
+  if (!ReportPath.empty()) {
+    RunReport Report =
+        collectRunReport(Parsed2.P, Fn, "optimize_tool", Spec);
+    if (!Report.Ok) {
+      std::fprintf(stderr, "internal error: %s\n", Report.Error.c_str());
+      return 1;
+    }
+    if (int Rc = writeReportOrFail(Report, ReportPath))
+      return Rc;
+    if (ShowStats)
+      for (const PassRecord &P : Report.Passes)
+        std::fprintf(stderr, "pass=%s changes=%llu seconds=%.6f\n",
+                     P.Name.c_str(), (unsigned long long)P.Changes,
+                     P.Seconds);
+    std::fputs((Dot ? printDot(Fn) : printFunction(Fn)).c_str(), stdout);
+    return 0;
+  }
+
   Pipeline::RunResult Run = Parsed2.P.run(Fn);
   if (!Run.Ok) {
     std::fprintf(stderr, "internal error: %s\n", Run.Error.c_str());

@@ -96,6 +96,8 @@ DataflowResult lcm::solveGenKill(const Function &Fn, Direction Dir, Meet M,
   R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
   Stats::bump("dataflow.solves");
   Stats::bump("dataflow.passes", R.Stats.Passes);
+  Stats::bump("dataflow.node_visits", R.Stats.NodeVisits);
+  Stats::bump("dataflow.word_ops", R.Stats.WordOps);
   return R;
 }
 
@@ -187,7 +189,10 @@ DataflowResult lcm::solveGenKillWorklist(const Function &Fn, Direction Dir,
   }
 
   R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
+  Stats::bump("dataflow.solves");
   Stats::bump("dataflow.worklist.solves");
+  Stats::bump("dataflow.node_visits", R.Stats.NodeVisits);
+  Stats::bump("dataflow.word_ops", R.Stats.WordOps);
   return R;
 }
 
@@ -320,7 +325,10 @@ DataflowResult lcm::solveGenKillSparse(const Function &Fn, Direction Dir,
   }
 
   R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
+  Stats::bump("dataflow.solves");
   Stats::bump("dataflow.sparse.solves");
+  Stats::bump("dataflow.node_visits", R.Stats.NodeVisits);
+  Stats::bump("dataflow.word_ops", R.Stats.WordOps);
   return R;
 }
 

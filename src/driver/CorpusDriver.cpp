@@ -6,6 +6,8 @@
 #include <chrono>
 #include <thread>
 
+#include "support/Trace.h"
+
 using namespace lcm;
 
 namespace {
@@ -35,6 +37,10 @@ CorpusDriverResult lcm::optimizeCorpus(std::vector<Function> &Fns,
     Threads = std::max<size_t>(1, Fns.size());
   R.ThreadsUsed = Threads;
 
+  Trace::Scope BatchTrace("corpus.batch", "optimize",
+                          "functions=" + std::to_string(Fns.size()) +
+                              " threads=" + std::to_string(Threads));
+
   const auto Start = std::chrono::steady_clock::now();
 
   if (Threads <= 1) {
@@ -45,9 +51,13 @@ CorpusDriverResult lcm::optimizeCorpus(std::vector<Function> &Fns,
     // in CFG size, so static slicing would leave workers idle.
     std::atomic<size_t> Next{0};
     auto Worker = [&] {
+      Trace::Scope WorkerTrace("corpus.worker", "claim-loop");
+      uint64_t Claimed = 0;
       for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) <
-                     Fns.size();)
+                     Fns.size();
+           ++Claimed)
         R.PerFunction[I] = runOne(P, Fns[I]);
+      WorkerTrace.note("claimed", Claimed);
     };
     std::vector<std::thread> Pool;
     Pool.reserve(Threads);
@@ -64,5 +74,7 @@ CorpusDriverResult lcm::optimizeCorpus(std::vector<Function> &Fns,
     R.TotalChanges += O.Changes;
     R.NumFailed += !O.Ok;
   }
+  BatchTrace.note("changes", R.TotalChanges);
+  BatchTrace.note("failures", uint64_t(R.NumFailed));
   return R;
 }

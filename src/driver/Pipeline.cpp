@@ -3,6 +3,7 @@
 #include "driver/Pipeline.h"
 
 #include <cctype>
+#include <chrono>
 #include <map>
 
 #include "baseline/Canonicalize.h"
@@ -15,6 +16,9 @@
 #include "core/LocalCse.h"
 #include "ext/StrengthReduction.h"
 #include "ir/Verifier.h"
+#include "support/BitVector.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 using namespace lcm;
 
@@ -23,21 +27,69 @@ Pipeline &Pipeline::add(std::string Name, PassFn Pass) {
   return *this;
 }
 
-Pipeline::RunResult Pipeline::run(Function &Fn) const {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Subtracts the Before snapshot from the current registry, keeping only
+/// counters this run actually moved.
+std::map<std::string, uint64_t>
+statsDelta(const std::map<std::string, uint64_t> &Before) {
+  std::map<std::string, uint64_t> Delta;
+  for (const auto &[Name, After] : Stats::all()) {
+    auto It = Before.find(Name);
+    uint64_t Prev = It == Before.end() ? 0 : It->second;
+    if (After != Prev)
+      Delta[Name] = After - Prev;
+  }
+  return Delta;
+}
+
+} // namespace
+
+Pipeline::RunResult Pipeline::runImpl(Function &Fn, bool Instrument) const {
   RunResult R;
+  const auto RunStart = Clock::now();
   for (const Step &S : Steps) {
     StepResult SR;
     SR.Name = S.Name;
-    SR.Changes = S.Pass(Fn);
-    R.Steps.push_back(SR);
+    std::map<std::string, uint64_t> Before;
+    if (Instrument)
+      Before = Stats::all();
+    {
+      Trace::Scope T("pass", S.Name);
+      const uint64_t OpsBefore = BitVectorOps::snapshot();
+      const auto PassStart = Clock::now();
+      SR.Changes = S.Pass(Fn);
+      SR.Seconds = secondsSince(PassStart);
+      SR.WordOps = BitVectorOps::snapshot() - OpsBefore;
+      T.note("changes", SR.Changes);
+    }
+    if (Instrument)
+      SR.StatsDelta = statsDelta(Before);
+    R.Steps.push_back(std::move(SR));
     std::vector<std::string> Errors = verifyFunction(Fn);
     if (!Errors.empty()) {
       R.Ok = false;
       R.Error = "pass " + S.Name + ": " + Errors.front();
+      R.Seconds = secondsSince(RunStart);
       return R;
     }
   }
+  R.Seconds = secondsSince(RunStart);
   return R;
+}
+
+Pipeline::RunResult Pipeline::run(Function &Fn) const {
+  return runImpl(Fn, /*Instrument=*/false);
+}
+
+Pipeline::RunResult Pipeline::runInstrumented(Function &Fn) const {
+  return runImpl(Fn, /*Instrument=*/true);
 }
 
 namespace {

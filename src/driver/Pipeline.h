@@ -36,6 +36,7 @@
 #define LCM_DRIVER_PIPELINE_H
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -58,17 +59,37 @@ public:
   struct StepResult {
     std::string Name;
     uint64_t Changes = 0;
+    /// Wall-clock of the pass itself (verification excluded).
+    double Seconds = 0.0;
+    /// Bit-vector word operations the pass consumed (thread-local counter
+    /// delta; zero when LCM_COUNT_WORDOPS is configured off).
+    uint64_t WordOps = 0;
+    /// Stats-registry deltas attributable to this pass
+    /// ("dataflow.solves", "transform.insertions", ...).  Only filled by
+    /// runInstrumented(); run() leaves it empty to keep the parallel
+    /// corpus hot path off the registry mutex.
+    std::map<std::string, uint64_t> StatsDelta;
   };
   struct RunResult {
     bool Ok = true;
     /// "pass NAME: first verifier error" when !Ok.
     std::string Error;
     std::vector<StepResult> Steps;
+    /// Wall-clock of the whole pipeline including verification.
+    double Seconds = 0.0;
   };
 
   /// Runs every pass in order; verifies structural invariants after each
   /// one and aborts the pipeline (reporting the offender) on violation.
+  /// Each step records its wall time and word-op count; begin/end events
+  /// are traced when LCM_TRACE is set (support/Trace.h).
   RunResult run(Function &Fn) const;
+
+  /// run() plus per-pass Stats-registry deltas in StepResult::StatsDelta —
+  /// the variant metrics/RunReport.h builds `--report` documents from.
+  /// Costs two registry snapshots per pass; intended for tooling, not the
+  /// parallel corpus inner loop.
+  RunResult runInstrumented(Function &Fn) const;
 
 private:
   struct Step {
@@ -76,6 +97,8 @@ private:
     PassFn Pass;
   };
   std::vector<Step> Steps;
+
+  RunResult runImpl(Function &Fn, bool Instrument) const;
 };
 
 /// Names of all registered standard passes (sorted).

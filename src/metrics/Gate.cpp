@@ -1,0 +1,135 @@
+//===- metrics/Gate.cpp ----------------------------------------------------===//
+
+#include "metrics/Gate.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace lcm;
+using json::Value;
+
+bool lcm::isToleranceMetric(const std::string &Path) {
+  static const char *Markers[] = {"timing",     "seconds", "per_second",
+                                  "throughput", "wall",    "time"};
+  for (const char *M : Markers)
+    if (Path.find(M) != std::string::npos)
+      return true;
+  return false;
+}
+
+namespace {
+
+struct Comparator {
+  const GateOptions &Opts;
+  GateResult Result;
+
+  void issue(const std::string &Path, const char *Kind, std::string Detail) {
+    Result.Ok = false;
+    Result.Issues.push_back({Path, Kind, std::move(Detail)});
+  }
+
+  static std::string describe(const Value &V) {
+    switch (V.kind()) {
+    case Value::Kind::Null:
+      return "null";
+    case Value::Kind::Bool:
+      return V.asBool() ? "true" : "false";
+    case Value::Kind::Int:
+    case Value::Kind::Double:
+    case Value::Kind::String:
+      return V.dump(0);
+    case Value::Kind::Array:
+      return "<array>";
+    case Value::Kind::Object:
+      return "<object>";
+    }
+    return "<?>";
+  }
+
+  void compareNumber(const std::string &Path, const Value &Base,
+                     const Value &Cur) {
+    ++Result.MetricsCompared;
+    const double B = Base.asDouble();
+    const double C = Cur.asDouble();
+    if (isToleranceMetric(Path)) {
+      ++Result.ToleranceMetrics;
+      const double Limit = Opts.RelTolerance * std::fabs(B);
+      if (std::fabs(C - B) > Limit) {
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf),
+                      "baseline=%g current=%g allowed=+-%g", B, C, Limit);
+        issue(Path, "out-of-tolerance", Buf);
+      }
+      return;
+    }
+    ++Result.ExactMetrics;
+    const bool Equal = Base.isInt() && Cur.isInt()
+                           ? Base.asInt() == Cur.asInt()
+                           : B == C;
+    if (!Equal)
+      issue(Path, "exact-mismatch",
+            "baseline=" + describe(Base) + " current=" + describe(Cur));
+  }
+
+  void compare(const std::string &Path, const Value &Base, const Value &Cur) {
+    if (Base.isNumber()) {
+      if (!Cur.isNumber()) {
+        issue(Path, "type-mismatch",
+              "baseline=" + describe(Base) + " current=" + describe(Cur));
+        return;
+      }
+      compareNumber(Path, Base, Cur);
+      return;
+    }
+    switch (Base.kind()) {
+    case Value::Kind::Object: {
+      if (!Cur.isObject()) {
+        issue(Path, "type-mismatch", "current is " + describe(Cur));
+        return;
+      }
+      for (const auto &[Key, Member] : Base.members()) {
+        std::string Sub = Path.empty() ? Key : Path + "." + Key;
+        if (const Value *CurMember = Cur.find(Key))
+          compare(Sub, Member, *CurMember);
+        else
+          issue(Sub, "missing", "present in baseline, absent in current");
+      }
+      return;
+    }
+    case Value::Kind::Array: {
+      if (!Cur.isArray()) {
+        issue(Path, "type-mismatch", "current is " + describe(Cur));
+        return;
+      }
+      if (Base.items().size() != Cur.items().size()) {
+        issue(Path, "exact-mismatch",
+              "baseline has " + std::to_string(Base.items().size()) +
+                  " elements, current " +
+                  std::to_string(Cur.items().size()));
+        return;
+      }
+      for (size_t I = 0; I != Base.items().size(); ++I)
+        compare(Path + "[" + std::to_string(I) + "]", Base.items()[I],
+                Cur.items()[I]);
+      return;
+    }
+    default:
+      // Strings, bools, nulls: exact structural agreement.
+      ++Result.MetricsCompared;
+      ++Result.ExactMetrics;
+      if (Base != Cur)
+        issue(Path, "exact-mismatch",
+              "baseline=" + describe(Base) + " current=" + describe(Cur));
+      return;
+    }
+  }
+};
+
+} // namespace
+
+GateResult lcm::compareReports(const Value &Baseline, const Value &Current,
+                               const GateOptions &Opts) {
+  Comparator C{Opts, {}};
+  C.compare("", Baseline, Current);
+  return C.Result;
+}

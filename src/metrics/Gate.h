@@ -1,0 +1,78 @@
+//===- metrics/Gate.h - Baseline-vs-current regression gating ------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison engine behind tools/bench_gate.cpp: walks a baseline
+/// JSON document (BENCH_baseline.json) against a freshly measured one and
+/// reports every metric that moved outside its contract.
+///
+/// Two classes of metric, chosen per leaf by its JSON path:
+///
+/// - *exact* metrics (the default): correctness counters — computation
+///   counts, insertions, deletions, lifetimes, solver pass counts.  Any
+///   difference is a regression (or an improvement that must be
+///   re-baselined consciously);
+/// - *tolerance* metrics: wall-clock and throughput numbers, identified
+///   by path components containing "timing", "seconds", "per_second",
+///   "time", "wall", or "throughput".  They pass while
+///   |current - baseline| <= RelTolerance * |baseline|.
+///
+/// Keys present in the baseline must exist in the current document
+/// (schema shrinkage is a failure); new keys in the current document are
+/// allowed so the schema can grow without invalidating old baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_METRICS_GATE_H
+#define LCM_METRICS_GATE_H
+
+#include <string>
+#include <vector>
+
+#include "support/Json.h"
+
+namespace lcm {
+
+struct GateOptions {
+  /// Relative tolerance for timing-class metrics: a current value within
+  /// baseline * (1 +- RelTolerance) passes.  Wall time on shared CI
+  /// runners is noisy, so the default is deliberately loose — the gate
+  /// catches catastrophes; the exact counters carry the real contract.
+  double RelTolerance = 3.0;
+};
+
+/// One gate violation.
+struct GateIssue {
+  /// Dotted path of the offending leaf ("suite.programs.fig1.LCM.dyn_evals").
+  std::string Path;
+  /// "exact-mismatch", "out-of-tolerance", "missing", or "type-mismatch".
+  std::string Kind;
+  /// Human-readable baseline-vs-current detail.
+  std::string Detail;
+};
+
+struct GateResult {
+  bool Ok = true;
+  std::vector<GateIssue> Issues;
+  /// Leaves compared (sanity signal that the baseline was non-trivial).
+  size_t MetricsCompared = 0;
+  size_t ExactMetrics = 0;
+  size_t ToleranceMetrics = 0;
+};
+
+/// True iff a leaf at \p Path (dotted, lower-case) is timing-class and
+/// therefore tolerance- rather than exactly-checked.
+bool isToleranceMetric(const std::string &Path);
+
+/// Compares every leaf of \p Baseline against \p Current under \p Opts.
+GateResult compareReports(const json::Value &Baseline,
+                          const json::Value &Current,
+                          const GateOptions &Opts = {});
+
+} // namespace lcm
+
+#endif // LCM_METRICS_GATE_H

@@ -1,0 +1,555 @@
+//===- support/Json.cpp ----------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace lcm;
+using namespace lcm::json;
+
+std::string json::escapeString(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += char(C);
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Value construction
+//===----------------------------------------------------------------------===//
+
+Value Value::boolean(bool B) {
+  Value V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+Value Value::number(int64_t I) {
+  Value V;
+  V.K = Kind::Int;
+  V.I = I;
+  return V;
+}
+
+Value Value::number(double D) {
+  Value V;
+  V.K = Kind::Double;
+  V.D = D;
+  return V;
+}
+
+Value Value::str(std::string S) {
+  Value V;
+  V.K = Kind::String;
+  V.S = std::move(S);
+  return V;
+}
+
+Value Value::array() {
+  Value V;
+  V.K = Kind::Array;
+  return V;
+}
+
+Value Value::object() {
+  Value V;
+  V.K = Kind::Object;
+  return V;
+}
+
+const Value *Value::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Member] : Members)
+    if (Name == Key)
+      return &Member;
+  return nullptr;
+}
+
+Value &Value::push(Value V) {
+  Items.push_back(std::move(V));
+  return *this;
+}
+
+Value &Value::set(const std::string &Key, Value V) {
+  for (auto &[Name, Member] : Members)
+    if (Name == Key) {
+      Member = std::move(V);
+      return *this;
+    }
+  Members.emplace_back(Key, std::move(V));
+  return *this;
+}
+
+bool Value::operator==(const Value &O) const {
+  if (isNumber() && O.isNumber()) {
+    if (K == Kind::Int && O.K == Kind::Int)
+      return I == O.I;
+    return asDouble() == O.asDouble();
+  }
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Null:
+    return true;
+  case Kind::Bool:
+    return B == O.B;
+  case Kind::String:
+    return S == O.S;
+  case Kind::Array:
+    return Items == O.Items;
+  case Kind::Object:
+    return Members == O.Members;
+  default:
+    return true; // numbers handled above
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendDouble(std::string &Out, double D) {
+  if (!std::isfinite(D)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    Out += "null";
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  // Trim to the shortest representation that round-trips.
+  for (int Precision = 1; Precision < 17; ++Precision) {
+    char Short[32];
+    std::snprintf(Short, sizeof(Short), "%.*g", Precision, D);
+    if (std::strtod(Short, nullptr) == D) {
+      std::memcpy(Buf, Short, sizeof(Short));
+      break;
+    }
+  }
+  Out += Buf;
+  // Make doubles visibly doubles ("1" -> "1.0") so kind survives parsing.
+  if (Out.find_first_of(".eE", Out.size() - std::strlen(Buf)) ==
+      std::string::npos)
+    Out += ".0";
+}
+
+} // namespace
+
+void Value::dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const {
+  auto newline = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    Out += '\n';
+    Out.append(size_t(Indent) * D, ' ');
+  };
+
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    return;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    return;
+  case Kind::Int: {
+    char Buf[24];
+    std::snprintf(Buf, sizeof(Buf), "%lld", (long long)I);
+    Out += Buf;
+    return;
+  }
+  case Kind::Double:
+    appendDouble(Out, D);
+    return;
+  case Kind::String:
+    Out += '"';
+    Out += escapeString(S);
+    Out += '"';
+    return;
+  case Kind::Array: {
+    if (Items.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    for (size_t J = 0; J != Items.size(); ++J) {
+      if (J)
+        Out += ',';
+      newline(Depth + 1);
+      Items[J].dumpTo(Out, Indent, Depth + 1);
+    }
+    newline(Depth);
+    Out += ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    for (size_t J = 0; J != Members.size(); ++J) {
+      if (J)
+        Out += ',';
+      newline(Depth + 1);
+      Out += '"';
+      Out += escapeString(Members[J].first);
+      Out += "\": ";
+      Members[J].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    newline(Depth);
+    Out += '}';
+    return;
+  }
+  }
+}
+
+std::string Value::dump(unsigned Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  ParseResult run() {
+    ParseResult R;
+    skipWs();
+    if (!parseValue(R.V)) {
+      R.Error = takeError();
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing characters after document");
+      R.Error = takeError();
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "offset " + std::to_string(Pos) + ": " + Msg;
+    return false;
+  }
+  std::string takeError() { return Error; }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(std::string("expected '") + Word + "'");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value::str(std::move(S));
+      return true;
+    }
+    case 't':
+      Out = Value::boolean(true);
+      return literal("true");
+    case 'f':
+      Out = Value::boolean(false);
+      return literal("false");
+    case 'n':
+      Out = Value::null();
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Out = Value::object();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWs();
+      Value Member;
+      if (!parseValue(Member))
+        return false;
+      Out.set(Key, std::move(Member));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Out = Value::array();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      Value Item;
+      if (!parseValue(Item))
+        return false;
+      Out.push(std::move(Item));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return fail("truncated \\u escape");
+          unsigned Code = 0;
+          for (int J = 0; J != 4; ++J) {
+            char H = Text[Pos + J];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code += unsigned(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code += unsigned(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code += unsigned(H - 'A' + 10);
+            else
+              return fail("invalid \\u escape digit");
+          }
+          Pos += 4;
+          // UTF-8 encode the code point (surrogate pairs are passed
+          // through as-is; the reports only emit BMP characters).
+          if (Code < 0x80) {
+            Out += char(Code);
+          } else if (Code < 0x800) {
+            Out += char(0xC0 | (Code >> 6));
+            Out += char(0x80 | (Code & 0x3F));
+          } else {
+            Out += char(0xE0 | (Code >> 12));
+            Out += char(0x80 | ((Code >> 6) & 0x3F));
+            Out += char(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+        }
+        continue;
+      }
+      if ((unsigned char)C < 0x20)
+        return fail("unescaped control character in string");
+      Out += C;
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+      ++Pos;
+    bool IsDouble = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsDouble = true;
+      ++Pos;
+      while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsDouble = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() && std::isdigit((unsigned char)Text[Pos]))
+        ++Pos;
+    }
+    if (Pos == Start || (Pos == Start + 1 && Text[Start] == '-'))
+      return fail("invalid number");
+    std::string Lit = Text.substr(Start, Pos - Start);
+    if (IsDouble) {
+      Out = Value::number(std::strtod(Lit.c_str(), nullptr));
+      return true;
+    }
+    errno = 0;
+    long long I = std::strtoll(Lit.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      Out = Value::number(std::strtod(Lit.c_str(), nullptr));
+      return true;
+    }
+    Out = Value::number(int64_t(I));
+    return true;
+  }
+};
+
+} // namespace
+
+ParseResult json::parse(const std::string &Text) {
+  return Parser(Text).run();
+}
+
+bool json::writeFile(const std::string &Path, const Value &V) {
+  std::FILE *Out = std::fopen(Path.c_str(), "wb");
+  if (!Out)
+    return false;
+  std::string Text = V.dump();
+  Text += '\n';
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), Out);
+  bool Ok = Written == Text.size();
+  Ok &= std::fclose(Out) == 0;
+  return Ok;
+}
+
+ParseResult json::parseFile(const std::string &Path) {
+  ParseResult R;
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In) {
+    R.Error = "cannot open " + Path;
+    return R;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+    Text.append(Buf, N);
+  std::fclose(In);
+  return parse(Text);
+}

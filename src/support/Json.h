@@ -1,0 +1,148 @@
+//===- support/Json.h - Dependency-free JSON value tree ------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON library for the observability layer: run reports
+/// (metrics/RunReport.h), the machine-readable `--json` mode of the bench
+/// binaries, and the bench regression gate (tools/bench_gate.cpp) all
+/// serialize through it, and the gate parses committed baselines back.
+///
+/// Design points:
+/// - one mutable Value tree for both writing and reading (no streaming
+///   state machine to misuse);
+/// - object members preserve insertion order, so dumps are deterministic
+///   and diffs of committed baselines stay readable;
+/// - integers are kept distinct from doubles end-to-end: correctness
+///   counters (computation counts, insertions, lifetimes) must survive a
+///   round trip exactly, not through a double;
+/// - no external dependency, exceptions, or locale sensitivity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_JSON_H
+#define LCM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lcm {
+namespace json {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes, backslash,
+/// control characters; non-ASCII bytes pass through, the format is UTF-8).
+std::string escapeString(const std::string &S);
+
+/// One JSON value: null, bool, number (integer or double), string, array,
+/// or object.
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() = default;
+
+  //===--- Constructors ---------------------------------------------------===
+
+  static Value null() { return Value(); }
+  static Value boolean(bool B);
+  static Value number(int64_t I);
+  static Value number(uint64_t U) { return number(int64_t(U)); }
+  static Value number(int I) { return number(int64_t(I)); }
+  static Value number(double D);
+  static Value str(std::string S);
+  static Value array();
+  static Value object();
+
+  //===--- Inspection -----------------------------------------------------===
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  /// Integer value (truncates if the value holds a double).
+  int64_t asInt() const { return K == Kind::Double ? int64_t(D) : I; }
+  uint64_t asUInt() const { return uint64_t(asInt()); }
+  double asDouble() const { return K == Kind::Int ? double(I) : D; }
+  const std::string &asString() const { return S; }
+
+  /// Array elements / object members (empty for other kinds).
+  const std::vector<Value> &items() const { return Items; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+  size_t size() const {
+    return K == Kind::Object ? Members.size() : Items.size();
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const;
+  Value *find(const std::string &Key) {
+    return const_cast<Value *>(std::as_const(*this).find(Key));
+  }
+
+  //===--- Construction ---------------------------------------------------===
+
+  /// Appends \p V to an array (the value must be an array).
+  Value &push(Value V);
+
+  /// Sets object member \p Key (replacing an existing member in place, so
+  /// insertion order is stable).  Returns *this for chaining.
+  Value &set(const std::string &Key, Value V);
+
+  //===--- Serialization --------------------------------------------------===
+
+  /// Renders the tree.  \p Indent > 0 pretty-prints with that many spaces
+  /// per level; 0 produces the compact single-line form.
+  std::string dump(unsigned Indent = 2) const;
+
+  bool operator==(const Value &O) const;
+  bool operator!=(const Value &O) const { return !(*this == O); }
+
+private:
+  void dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Outcome of parsing a JSON document.
+struct ParseResult {
+  bool Ok = false;
+  /// "offset N: message" when !Ok.
+  std::string Error;
+  Value V;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses one JSON document (object, array, or any scalar).  Trailing
+/// whitespace is allowed; trailing garbage is an error.
+ParseResult parse(const std::string &Text);
+
+/// Writes \p V to \p Path (pretty-printed, trailing newline).  Returns
+/// false on I/O failure.
+bool writeFile(const std::string &Path, const Value &V);
+
+/// Reads and parses \p Path.  I/O failures surface as !Ok with an error.
+ParseResult parseFile(const std::string &Path);
+
+} // namespace json
+} // namespace lcm
+
+#endif // LCM_SUPPORT_JSON_H

@@ -42,6 +42,11 @@ public:
 
   size_t numRows() const { return Rows.size(); }
 
+  /// Raw access for machine-readable serialization (the bench binaries'
+  /// --json mode renders rows as one JSON object per row).
+  const std::vector<std::string> &header() const { return Header; }
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+
 private:
   std::vector<std::string> Header;
   std::vector<std::vector<std::string>> Rows;

@@ -1,0 +1,106 @@
+//===- support/Trace.cpp ---------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace lcm;
+
+namespace {
+
+struct TraceSink {
+  bool Enabled = false;
+  std::FILE *Out = nullptr; // stderr or an owned file
+  bool OwnsFile = false;
+  std::chrono::steady_clock::time_point Start;
+  std::mutex Mu;
+  std::map<std::thread::id, unsigned> ThreadIds;
+
+  TraceSink() {
+    const char *Env = std::getenv("LCM_TRACE");
+    if (!Env || !*Env || std::strcmp(Env, "0") == 0)
+      return;
+    if (std::strcmp(Env, "1") == 0 || std::strcmp(Env, "stderr") == 0) {
+      Out = stderr;
+    } else {
+      Out = std::fopen(Env, "ab");
+      if (!Out) {
+        std::fprintf(stderr, "lcm-trace: cannot open %s, tracing to stderr\n",
+                     Env);
+        Out = stderr;
+      } else {
+        OwnsFile = true;
+      }
+    }
+    Start = std::chrono::steady_clock::now();
+    Enabled = true;
+  }
+
+  ~TraceSink() {
+    if (OwnsFile && Out)
+      std::fclose(Out);
+  }
+
+  unsigned threadIndex() {
+    // Callers hold Mu.
+    auto [It, Inserted] =
+        ThreadIds.emplace(std::this_thread::get_id(), ThreadIds.size() + 1);
+    (void)Inserted;
+    return It->second;
+  }
+};
+
+TraceSink &sink() {
+  static TraceSink S;
+  return S;
+}
+
+} // namespace
+
+bool Trace::enabled() { return sink().Enabled; }
+
+void Trace::event(const char *Phase, const char *Category,
+                  const std::string &Name, const std::string &Detail) {
+  TraceSink &S = sink();
+  if (!S.Enabled)
+    return;
+  const uint64_t TsUs = uint64_t(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - S.Start)
+          .count());
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  std::fprintf(S.Out, "lcm-trace ts_us=%llu tid=%u ph=%s cat=%s name=%s%s%s\n",
+               (unsigned long long)TsUs, S.threadIndex(), Phase, Category,
+               Name.c_str(), Detail.empty() ? "" : " ", Detail.c_str());
+  std::fflush(S.Out);
+}
+
+Trace::Scope::Scope(const char *Category, std::string Name,
+                    const std::string &BeginDetail)
+    : Active(Trace::enabled()), Category(Category), Name(std::move(Name)) {
+  if (Active)
+    Trace::event("B", Category, this->Name, BeginDetail);
+}
+
+Trace::Scope::~Scope() {
+  if (Active)
+    Trace::event("E", Category, Name, EndDetail);
+}
+
+void Trace::Scope::note(const std::string &Key, uint64_t V) {
+  note(Key, std::to_string(V));
+}
+
+void Trace::Scope::note(const std::string &Key, const std::string &V) {
+  if (!Active)
+    return;
+  if (!EndDetail.empty())
+    EndDetail += ' ';
+  EndDetail += Key + "=" + V;
+}

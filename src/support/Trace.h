@@ -1,0 +1,79 @@
+//===- support/Trace.h - LCM_TRACE pipeline tracing ----------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zero-configuration tracing of pipeline stages, controlled entirely by
+/// the `LCM_TRACE` environment variable:
+///
+///   LCM_TRACE=1 | stderr    events go to stderr
+///   LCM_TRACE=<path>        events are appended to <path>
+///   unset | 0 | empty       tracing is off (the fast path is one
+///                           relaxed boolean load)
+///
+/// Every event is one line of `key=value` fields, greppable and trivially
+/// parseable:
+///
+///   lcm-trace ts_us=1234 tid=1 ph=B cat=pass name=lcm
+///   lcm-trace ts_us=5678 tid=1 ph=E cat=pass name=lcm changes=4
+///
+/// `ts_us` is microseconds since process start (steady clock), `tid` a
+/// small per-process thread index, `ph` the phase (B=begin, E=end,
+/// I=instant).  Emission takes a mutex, so events from the parallel corpus
+/// driver's workers never interleave mid-line.
+///
+/// The begin/end hooks live in driver/Pipeline.cpp (per pass) and
+/// driver/CorpusDriver.cpp (per batch and per worker); see
+/// docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_TRACE_H
+#define LCM_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+
+namespace lcm {
+
+class Trace {
+public:
+  /// True iff LCM_TRACE selects a sink.  Cheap enough for per-pass call
+  /// sites; cached after the first call.
+  static bool enabled();
+
+  /// Emits one event line.  \p Phase is "B", "E", or "I"; \p Category a
+  /// short dotted stage name ("pass", "corpus.batch"); \p Detail optional
+  /// extra `key=value` fields.  No-op when tracing is off.
+  static void event(const char *Phase, const char *Category,
+                    const std::string &Name, const std::string &Detail = "");
+
+  /// RAII begin/end pair around a stage.  Detail fields for the end event
+  /// (e.g. result counts) can be added while the scope is open.
+  class Scope {
+  public:
+    Scope(const char *Category, std::string Name,
+          const std::string &BeginDetail = "");
+    ~Scope();
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+    /// Appends `key=value` to the end event's detail.
+    void note(const std::string &Key, uint64_t V);
+    void note(const std::string &Key, const std::string &V);
+
+  private:
+    bool Active;
+    const char *Category;
+    std::string Name;
+    std::string EndDetail;
+  };
+};
+
+} // namespace lcm
+
+#endif // LCM_SUPPORT_TRACE_H

@@ -1,0 +1,213 @@
+//===- tests/bench_gate_test.cpp - metrics/Gate.h unit tests -------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the comparison engine behind tools/bench_gate.cpp with
+// synthetic baseline/current document pairs: identical documents pass,
+// any drift in an exact counter fails, timing metrics pass within the
+// relative tolerance and fail beyond it, and shrinking the schema
+// (baseline key missing from current) fails while growing it does not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Gate.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+using json::Value;
+
+namespace {
+
+Value parseOrDie(const char *Text) {
+  json::ParseResult R = json::parse(Text);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return std::move(R.V);
+}
+
+const char *BaselineText = R"({
+  "schema": "lcm-bench-gate-v1",
+  "suite": {
+    "programs": {
+      "fig1": {
+        "blocks": 18,
+        "strategies": {
+          "LCM": {"static_ops": 9, "dyn_evals": 120, "all_runs_exit": true}
+        },
+        "lcm": {"solver": {"avail_passes": 3, "word_ops": 4096}}
+      }
+    },
+    "names": ["fig1"]
+  },
+  "timing": {"suite_seconds": 0.5, "corpus_functions_per_second": 1000.0}
+})";
+
+GateResult gate(const Value &Baseline, const Value &Current,
+                double Tolerance = 3.0) {
+  GateOptions Opts;
+  Opts.RelTolerance = Tolerance;
+  return compareReports(Baseline, Current, Opts);
+}
+
+TEST(ToleranceClassifier, MatchesTimingPathsOnly) {
+  EXPECT_TRUE(isToleranceMetric("timing.suite_seconds"));
+  EXPECT_TRUE(isToleranceMetric("timing.corpus_functions_per_second"));
+  EXPECT_TRUE(isToleranceMetric("corpus.wall_seconds"));
+  EXPECT_TRUE(isToleranceMetric("report.total_seconds"));
+  EXPECT_FALSE(isToleranceMetric("suite.programs.fig1.blocks"));
+  EXPECT_FALSE(
+      isToleranceMetric("suite.programs.fig1.strategies.LCM.dyn_evals"));
+  EXPECT_FALSE(isToleranceMetric("suite.totals.lcm_dyn_evals"));
+}
+
+TEST(BenchGate, IdenticalDocumentsPass) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  GateResult G = gate(Baseline, Current);
+  EXPECT_TRUE(G.Ok);
+  EXPECT_TRUE(G.Issues.empty());
+  // 7 exact leaves (schema string, blocks, 3 LCM strategy fields, 2 solver
+  // fields, 1 array element) + 2 timing leaves.
+  EXPECT_EQ(G.MetricsCompared, 10u);
+  EXPECT_EQ(G.ExactMetrics, 8u);
+  EXPECT_EQ(G.ToleranceMetrics, 2u);
+}
+
+TEST(BenchGate, ExactCounterDriftFails) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  // One extra dynamic evaluation: an optimality regression.
+  Current.find("suite")
+      ->find("programs")
+      ->find("fig1")
+      ->find("strategies")
+      ->find("LCM")
+      ->set("dyn_evals", Value::number(int64_t(121)));
+  GateResult G = gate(Baseline, Current);
+  ASSERT_FALSE(G.Ok);
+  ASSERT_EQ(G.Issues.size(), 1u);
+  EXPECT_EQ(G.Issues[0].Path,
+            "suite.programs.fig1.strategies.LCM.dyn_evals");
+  EXPECT_EQ(G.Issues[0].Kind, "exact-mismatch");
+}
+
+TEST(BenchGate, ExactImprovementAlsoFails) {
+  // The gate is direction-agnostic: an improvement must be re-baselined
+  // consciously, not silently absorbed.
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  Current.find("suite")
+      ->find("programs")
+      ->find("fig1")
+      ->find("lcm")
+      ->find("solver")
+      ->set("word_ops", Value::number(int64_t(2048)));
+  EXPECT_FALSE(gate(Baseline, Current).Ok);
+}
+
+TEST(BenchGate, BooleanFlipFails) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  Current.find("suite")
+      ->find("programs")
+      ->find("fig1")
+      ->find("strategies")
+      ->find("LCM")
+      ->set("all_runs_exit", Value::boolean(false));
+  GateResult G = gate(Baseline, Current);
+  ASSERT_FALSE(G.Ok);
+  EXPECT_EQ(G.Issues[0].Kind, "exact-mismatch");
+}
+
+TEST(BenchGate, TimingWithinTolerancePasses) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  // 4x the baseline wall time: within |C-B| <= 3.0*|B|.
+  Current.find("timing")->set("suite_seconds", Value::number(2.0));
+  EXPECT_TRUE(gate(Baseline, Current).Ok);
+}
+
+TEST(BenchGate, TimingBeyondToleranceFails) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  // 10x the baseline: |2.0 - 0.5| > 3.0 * 0.5 fails at 5.0 already; use a
+  // clear outlier.
+  Current.find("timing")->set("suite_seconds", Value::number(5.0));
+  GateResult G = gate(Baseline, Current);
+  ASSERT_FALSE(G.Ok);
+  EXPECT_EQ(G.Issues[0].Path, "timing.suite_seconds");
+  EXPECT_EQ(G.Issues[0].Kind, "out-of-tolerance");
+}
+
+TEST(BenchGate, ToleranceIsConfigurable) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  Current.find("timing")->set("suite_seconds", Value::number(5.0));
+  // 5.0 vs 0.5 is a 9x relative delta: fails at 3.0, passes at 10.0.
+  EXPECT_FALSE(gate(Baseline, Current, 3.0).Ok);
+  EXPECT_TRUE(gate(Baseline, Current, 10.0).Ok);
+}
+
+TEST(BenchGate, TimingComparesIntAgainstDouble) {
+  // A timing leaf that happens to serialize as an integer on one side must
+  // still compare numerically, not fail on kind.
+  Value Baseline = parseOrDie(R"({"timing": {"suite_seconds": 1}})");
+  Value Current = parseOrDie(R"({"timing": {"suite_seconds": 1.5}})");
+  EXPECT_TRUE(gate(Baseline, Current).Ok);
+}
+
+TEST(BenchGate, MissingKeyFails) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  Current.find("suite")->find("programs")->find("fig1")->set(
+      "strategies", Value::object());
+  GateResult G = gate(Baseline, Current);
+  ASSERT_FALSE(G.Ok);
+  ASSERT_EQ(G.Issues.size(), 1u);
+  EXPECT_EQ(G.Issues[0].Kind, "missing");
+  EXPECT_EQ(G.Issues[0].Path, "suite.programs.fig1.strategies.LCM");
+}
+
+TEST(BenchGate, NewCurrentKeysAreAllowed) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  Current.find("suite")->find("programs")->find("fig1")->set(
+      "new_metric", Value::number(int64_t(7)));
+  EXPECT_TRUE(gate(Baseline, Current).Ok);
+}
+
+TEST(BenchGate, TypeChangeFails) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  Current.find("suite")->find("programs")->find("fig1")->set(
+      "blocks", Value::str("eighteen"));
+  GateResult G = gate(Baseline, Current);
+  ASSERT_FALSE(G.Ok);
+  EXPECT_EQ(G.Issues[0].Kind, "type-mismatch");
+}
+
+TEST(BenchGate, ArrayLengthChangeFails) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  Current.find("suite")->find("names")->push(Value::str("fig2"));
+  GateResult G = gate(Baseline, Current);
+  ASSERT_FALSE(G.Ok);
+  EXPECT_EQ(G.Issues[0].Path, "suite.names");
+}
+
+TEST(BenchGate, ReportsEveryIssueNotJustTheFirst) {
+  Value Baseline = parseOrDie(BaselineText);
+  Value Current = parseOrDie(BaselineText);
+  Value *Fig1 = Current.find("suite")->find("programs")->find("fig1");
+  Fig1->set("blocks", Value::number(int64_t(19)));
+  Fig1->find("strategies")->find("LCM")->set("static_ops",
+                                             Value::number(int64_t(10)));
+  GateResult G = gate(Baseline, Current);
+  ASSERT_FALSE(G.Ok);
+  EXPECT_EQ(G.Issues.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- tests/json_test.cpp - support/Json.h unit tests -------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+using json::ParseResult;
+using json::Value;
+
+//===----------------------------------------------------------------------===//
+// Escaping
+//===----------------------------------------------------------------------===//
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json::escapeString("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json::escapeString("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escapeString("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json::escapeString("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json::escapeString(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json::escapeString("\r\b\f"), "\\r\\b\\f");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesAlone) {
+  EXPECT_EQ(json::escapeString("r\xc3\xbcthing"), "r\xc3\xbcthing");
+}
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWrite, Scalars) {
+  EXPECT_EQ(Value::null().dump(0), "null");
+  EXPECT_EQ(Value::boolean(true).dump(0), "true");
+  EXPECT_EQ(Value::boolean(false).dump(0), "false");
+  EXPECT_EQ(Value::number(int64_t(-7)).dump(0), "-7");
+  EXPECT_EQ(Value::number(uint64_t(42)).dump(0), "42");
+  EXPECT_EQ(Value::str("hi").dump(0), "\"hi\"");
+}
+
+TEST(JsonWrite, DoublesStayRecognizableAsDoubles) {
+  // Integral doubles must not collapse into integer syntax, or the kind
+  // would flip on a round trip.
+  EXPECT_EQ(Value::number(1.0).dump(0), "1.0");
+  EXPECT_EQ(Value::number(2.5).dump(0), "2.5");
+}
+
+TEST(JsonWrite, CompactNesting) {
+  Value Root = Value::object();
+  Root.set("a", Value::number(int64_t(1)));
+  Value Arr = Value::array();
+  Arr.push(Value::number(int64_t(2)));
+  Arr.push(Value::str("x"));
+  Root.set("b", std::move(Arr));
+  EXPECT_EQ(Root.dump(0), "{\"a\": 1,\"b\": [2,\"x\"]}");
+}
+
+TEST(JsonWrite, PrettyNesting) {
+  Value Root = Value::object();
+  Root.set("k", Value::array());
+  Value Inner = Value::object();
+  Inner.set("n", Value::number(int64_t(3)));
+  Value Arr = Value::array();
+  Arr.push(std::move(Inner));
+  Root.set("k", std::move(Arr));
+  EXPECT_EQ(Root.dump(2), "{\n  \"k\": [\n    {\n      \"n\": 3\n    }\n  ]\n}");
+}
+
+TEST(JsonWrite, ObjectKeysKeepInsertionOrder) {
+  Value Root = Value::object();
+  Root.set("zebra", Value::number(int64_t(1)));
+  Root.set("alpha", Value::number(int64_t(2)));
+  EXPECT_EQ(Root.dump(0), "{\"zebra\": 1,\"alpha\": 2}");
+  // Re-setting replaces in place instead of reordering.
+  Root.set("zebra", Value::number(int64_t(9)));
+  EXPECT_EQ(Root.dump(0), "{\"zebra\": 9,\"alpha\": 2}");
+}
+
+TEST(JsonWrite, EscapedKeysAndValues) {
+  Value Root = Value::object();
+  Root.set("we\"ird", Value::str("line\nbreak"));
+  EXPECT_EQ(Root.dump(0), "{\"we\\\"ird\": \"line\\nbreak\"}");
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json::parse("null").V.isNull());
+  EXPECT_TRUE(json::parse("true").V.asBool());
+  EXPECT_EQ(json::parse("-12").V.asInt(), -12);
+  EXPECT_TRUE(json::parse("-12").V.isInt());
+  EXPECT_DOUBLE_EQ(json::parse("2.5e1").V.asDouble(), 25.0);
+  EXPECT_FALSE(json::parse("2.5").V.isInt());
+  EXPECT_EQ(json::parse("\"a b\"").V.asString(), "a b");
+}
+
+TEST(JsonParse, StringEscapes) {
+  ParseResult R = json::parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.V.asString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, UnicodeEscapeEncodesUtf8) {
+  ParseResult R = json::parse(R"("ü€")");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.V.asString(), "\xc3\xbc\xe2\x82\xac");
+}
+
+TEST(JsonParse, NestedDocument) {
+  ParseResult R = json::parse(
+      R"({"name": "lcm", "counts": [1, 2, 3], "sub": {"ok": true}})");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.V.find("name")->asString(), "lcm");
+  ASSERT_TRUE(R.V.find("counts")->isArray());
+  EXPECT_EQ(R.V.find("counts")->items()[2].asInt(), 3);
+  EXPECT_TRUE(R.V.find("sub")->find("ok")->asBool());
+  EXPECT_EQ(R.V.find("missing"), nullptr);
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  EXPECT_TRUE(json::parse(" \n\t{ \"a\" : [ ] , \"b\" : { } }\r\n").Ok);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(json::parse("").Ok);
+  EXPECT_FALSE(json::parse("{").Ok);
+  EXPECT_FALSE(json::parse("[1,]").Ok);
+  EXPECT_FALSE(json::parse("{\"a\" 1}").Ok);
+  EXPECT_FALSE(json::parse("\"unterminated").Ok);
+  EXPECT_FALSE(json::parse("tru").Ok);
+  EXPECT_FALSE(json::parse("1 2").Ok);
+  EXPECT_FALSE(json::parse("{\"a\": 1} extra").Ok);
+  EXPECT_FALSE(json::parse("\"bad\x01tail\"").Ok);
+}
+
+TEST(JsonParse, ErrorCarriesOffset) {
+  ParseResult R = json::parse("[1, 2, oops]");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("offset"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+TEST(JsonRoundTrip, TreeSurvivesDumpAndParse) {
+  Value Root = Value::object();
+  Root.set("string", Value::str("q\"uote\\slash\nnewline"));
+  Root.set("int", Value::number(int64_t(-123456789)));
+  Root.set("big", Value::number(uint64_t(1) << 53));
+  Root.set("double", Value::number(0.1));
+  Root.set("bool", Value::boolean(true));
+  Root.set("null", Value::null());
+  Value Arr = Value::array();
+  for (int I = 0; I != 5; ++I)
+    Arr.push(Value::number(int64_t(I * I)));
+  Root.set("squares", std::move(Arr));
+  Value Nested = Value::object();
+  Nested.set("deep", Value::str("value"));
+  Root.set("nested", std::move(Nested));
+
+  for (unsigned Indent : {0u, 2u, 4u}) {
+    ParseResult R = json::parse(Root.dump(Indent));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.V, Root) << "indent=" << Indent;
+  }
+}
+
+TEST(JsonRoundTrip, LargeIntegersStayExact) {
+  const int64_t Big = (int64_t(1) << 62) + 12345;
+  ParseResult R = json::parse(Value::number(Big).dump(0));
+  ASSERT_TRUE(R.Ok);
+  ASSERT_TRUE(R.V.isInt());
+  EXPECT_EQ(R.V.asInt(), Big);
+}
+
+TEST(JsonRoundTrip, DoublesStayExact) {
+  for (double D : {0.1, 1.0 / 3.0, 1e-9, 123456.789, 2.0}) {
+    ParseResult R = json::parse(Value::number(D).dump(0));
+    ASSERT_TRUE(R.Ok);
+    EXPECT_EQ(R.V.asDouble(), D);
+  }
+}
+
+TEST(JsonFile, WriteAndParseBack) {
+  std::string Path = testing::TempDir() + "/json_test_roundtrip.json";
+  Value Root = Value::object();
+  Root.set("hello", Value::str("file"));
+  ASSERT_TRUE(json::writeFile(Path, Root));
+  ParseResult R = json::parseFile(Path);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.V, Root);
+  std::remove(Path.c_str());
+}
+
+TEST(JsonFile, MissingFileReportsError) {
+  ParseResult R = json::parseFile("/nonexistent/definitely/missing.json");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}

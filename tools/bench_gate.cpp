@@ -1,0 +1,285 @@
+//===- tools/bench_gate.cpp - Bench regression gate -----------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// The CI regression gate (schema "lcm-bench-gate-v1").  Three modes:
+//
+//   bench_gate --baseline=BENCH_baseline.json [--out=current.json]
+//              [--tolerance=R]
+//     Runs the deterministic measured suite in-process, optionally writes
+//     the fresh document, compares it against the committed baseline, and
+//     exits nonzero on any regression.
+//
+//   bench_gate --write-baseline=BENCH_baseline.json
+//     Runs the suite and (re)writes the baseline.  Do this consciously —
+//     the diff of the committed file is the review artifact.
+//
+//   bench_gate --compare BASELINE.json CURRENT.json [--tolerance=R]
+//     Pure comparison of two existing documents (what the unit tests and
+//     ad-hoc investigations use).
+//
+// The suite measures, for every experiment-corpus program and strategy
+// (CSE, MR, BCM, ALCM, LCM): static operation counts, seeded dynamic
+// evaluation counts, temp-lifetime metrics, and placement counts, plus
+// the LCM solver's pass/word-op cost (round-robin pinned, so pass counts
+// are meaningful).  All of those are exact-checked: they are deterministic
+// functions of the algorithms, not the machine.  Wall-clock metrics land
+// under "timing" and are tolerance-checked (see metrics/Gate.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baseline/GlobalCse.h"
+#include "baseline/MorelRenvoise.h"
+#include "core/Lcm.h"
+#include "core/LocalCse.h"
+#include "driver/CorpusDriver.h"
+#include "driver/Pipeline.h"
+#include "metrics/Compare.h"
+#include "metrics/Gate.h"
+#include "support/Json.h"
+#include "workload/Corpus.h"
+
+using namespace lcm;
+using json::Value;
+
+namespace {
+
+const char *SchemaName = "lcm-bench-gate-v1";
+
+std::vector<CorpusEntry> gateCorpus() {
+  std::vector<CorpusEntry> Corpus = makeDefaultCorpus();
+  for (CorpusEntry &Entry : Corpus) {
+    auto Raw = Entry.Make;
+    Entry.Make = [Raw] {
+      Function Fn = Raw();
+      runLocalCse(Fn);
+      return Fn;
+    };
+  }
+  return Corpus;
+}
+
+Value strategyRecord(const std::string &Name, const Function &Original,
+                     const TransformFn &Transform) {
+  // Three seeded runs keep the suite fast; determinism is what matters.
+  StrategyOutcome O =
+      evaluateStrategy(Name, Original, Transform, /*DynSeedBase=*/1,
+                       /*NumDynRuns=*/3);
+  Value R = Value::object();
+  R.set("static_ops", Value::number(O.StaticOps))
+      .set("weighted_static_ops", Value::number(O.WeightedStaticOps))
+      .set("dyn_evals", Value::number(O.DynamicEvals))
+      .set("all_runs_exit", Value::boolean(O.AllRunsReachedExit))
+      .set("temp_live_slots", Value::number(O.TempLiveSlots))
+      .set("temp_max_pressure", Value::number(O.TempMaxPressure))
+      .set("num_temps", Value::number(O.NumTemps))
+      .set("blocks_after", Value::number(O.BlocksAfter));
+  return R;
+}
+
+/// Measures everything the gate checks.  Deterministic by construction:
+/// the corpus, seeds, and solver strategy are fixed.
+Value measureSuite() {
+  const auto SuiteStart = std::chrono::steady_clock::now();
+  std::vector<CorpusEntry> Corpus = gateCorpus();
+
+  Value Programs = Value::object();
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Original = Entry.Make();
+    Value P = Value::object();
+    P.set("blocks", Value::number(uint64_t(Original.numBlocks())))
+        .set("exprs", Value::number(uint64_t(Original.exprs().size())));
+
+    Value Strategies = Value::object();
+    Strategies.set("none",
+                   strategyRecord("none", Original, [](Function &) {}));
+    Strategies.set("CSE", strategyRecord("CSE", Original, [](Function &F) {
+                     runGlobalCse(F);
+                   }));
+    Strategies.set("MR", strategyRecord("MR", Original, [](Function &F) {
+                     runMorelRenvoise(F);
+                   }));
+    Strategies.set("BCM", strategyRecord("BCM", Original, [](Function &F) {
+                     runPre(F, PreStrategy::Busy);
+                   }));
+    Strategies.set("ALCM", strategyRecord("ALCM", Original, [](Function &F) {
+                     runPre(F, PreStrategy::AlmostLazy);
+                   }));
+    Strategies.set("LCM", strategyRecord("LCM", Original, [](Function &F) {
+                     runPre(F, PreStrategy::Lazy);
+                   }));
+    P.set("strategies", std::move(Strategies));
+
+    // Placement counts and solver cost of the paper's transformation.
+    // Round-robin is pinned so pass counts measure the classic iteration
+    // scheme instead of worklist pop totals.
+    Function ForLcm = Original;
+    PreRunResult R =
+        runPre(ForLcm, PreStrategy::Lazy, SolverStrategy::RoundRobin);
+    Value Lcm = Value::object();
+    Lcm.set("edge_insertions", Value::number(R.Report.EdgeInsertions))
+        .set("node_insertions", Value::number(R.Report.NodeInsertions))
+        .set("replacements", Value::number(R.Report.Replacements))
+        .set("saves", Value::number(R.Report.Saves))
+        .set("split_blocks", Value::number(R.Report.SplitBlocks));
+    Value Solver = Value::object();
+    Solver.set("avail_passes", Value::number(R.AvailStats.Passes))
+        .set("ant_passes", Value::number(R.AntStats.Passes))
+        .set("later_passes", Value::number(R.LaterStats.Passes))
+        .set("isolation_passes", Value::number(R.IsolationStats.Passes))
+        .set("word_ops",
+             Value::number(R.AvailStats.WordOps + R.AntStats.WordOps +
+                           R.LaterStats.WordOps +
+                           R.IsolationStats.WordOps));
+    Lcm.set("solver", std::move(Solver));
+    P.set("lcm", std::move(Lcm));
+
+    Programs.set(Entry.Name, std::move(P));
+  }
+
+  // Aggregate optimality totals: the headline numbers of the paper.
+  uint64_t TotalNone = 0, TotalLcm = 0;
+  for (const auto &[Name, P] : Programs.members()) {
+    const Value *S = P.find("strategies");
+    TotalNone += S->find("none")->find("dyn_evals")->asUInt();
+    TotalLcm += S->find("LCM")->find("dyn_evals")->asUInt();
+  }
+  Value Totals = Value::object();
+  Totals.set("none_dyn_evals", Value::number(TotalNone))
+      .set("lcm_dyn_evals", Value::number(TotalLcm));
+
+  Value Suite = Value::object();
+  Suite.set("corpus_size", Value::number(uint64_t(Corpus.size())))
+      .set("programs", std::move(Programs))
+      .set("totals", std::move(Totals));
+
+  // Timing block (tolerance-checked): suite wall time plus the verified
+  // parallel pipeline's throughput on a small generated batch.
+  PipelineParse Parsed = parsePipeline("lcse,lcm,cleanup");
+  std::vector<Function> Batch;
+  for (const CorpusEntry &E : makeGeneratedCorpus(12, 12))
+    Batch.push_back(E.Make());
+  CorpusDriverResult Throughput = optimizeCorpus(Batch, Parsed.P);
+
+  const double SuiteSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    SuiteStart)
+          .count();
+  Value Timing = Value::object();
+  Timing.set("suite_seconds", Value::number(SuiteSeconds))
+      .set("corpus_functions_per_second",
+           Value::number(Throughput.functionsPerSecond()));
+
+  Value Root = Value::object();
+  Root.set("schema", Value::str(SchemaName))
+      .set("suite", std::move(Suite))
+      .set("timing", std::move(Timing));
+  return Root;
+}
+
+int reportGate(const GateResult &G) {
+  if (G.Ok) {
+    std::printf("bench_gate: PASS (%zu metrics: %zu exact, %zu within "
+                "tolerance)\n",
+                G.MetricsCompared, G.ExactMetrics, G.ToleranceMetrics);
+    return 0;
+  }
+  std::printf("bench_gate: FAIL (%zu issue%s over %zu metrics)\n",
+              G.Issues.size(), G.Issues.size() == 1 ? "" : "s",
+              G.MetricsCompared);
+  for (const GateIssue &I : G.Issues)
+    std::printf("  %-16s %s: %s\n", I.Kind.c_str(), I.Path.c_str(),
+                I.Detail.c_str());
+  return 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_gate --baseline=FILE [--out=FILE] [--tolerance=R]\n"
+      "       bench_gate --write-baseline=FILE\n"
+      "       bench_gate --compare BASELINE CURRENT [--tolerance=R]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BaselinePath, WritePath, OutPath;
+  std::vector<std::string> ComparePaths;
+  bool CompareMode = false;
+  GateOptions Opts;
+
+  for (int I = 1; I != argc; ++I) {
+    if (std::strncmp(argv[I], "--baseline=", 11) == 0) {
+      BaselinePath = argv[I] + 11;
+    } else if (std::strncmp(argv[I], "--write-baseline=", 17) == 0) {
+      WritePath = argv[I] + 17;
+    } else if (std::strncmp(argv[I], "--out=", 6) == 0) {
+      OutPath = argv[I] + 6;
+    } else if (std::strncmp(argv[I], "--tolerance=", 12) == 0) {
+      Opts.RelTolerance = std::strtod(argv[I] + 12, nullptr);
+    } else if (std::strcmp(argv[I], "--compare") == 0) {
+      CompareMode = true;
+    } else if (argv[I][0] == '-') {
+      return usage();
+    } else if (CompareMode && ComparePaths.size() < 2) {
+      ComparePaths.push_back(argv[I]);
+    } else {
+      return usage();
+    }
+  }
+
+  if (CompareMode) {
+    if (ComparePaths.size() != 2)
+      return usage();
+    json::ParseResult Baseline = json::parseFile(ComparePaths[0]);
+    if (!Baseline) {
+      std::fprintf(stderr, "error: %s: %s\n", ComparePaths[0].c_str(),
+                   Baseline.Error.c_str());
+      return 2;
+    }
+    json::ParseResult Current = json::parseFile(ComparePaths[1]);
+    if (!Current) {
+      std::fprintf(stderr, "error: %s: %s\n", ComparePaths[1].c_str(),
+                   Current.Error.c_str());
+      return 2;
+    }
+    return reportGate(compareReports(Baseline.V, Current.V, Opts));
+  }
+
+  if (!WritePath.empty()) {
+    Value Suite = measureSuite();
+    if (!json::writeFile(WritePath, Suite)) {
+      std::fprintf(stderr, "error: cannot write %s\n", WritePath.c_str());
+      return 1;
+    }
+    std::printf("bench_gate: wrote baseline %s\n", WritePath.c_str());
+    return 0;
+  }
+
+  if (BaselinePath.empty())
+    return usage();
+
+  json::ParseResult Baseline = json::parseFile(BaselinePath);
+  if (!Baseline) {
+    std::fprintf(stderr, "error: %s: %s\n", BaselinePath.c_str(),
+                 Baseline.Error.c_str());
+    return 2;
+  }
+  Value Current = measureSuite();
+  if (!OutPath.empty() && !json::writeFile(OutPath, Current)) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  return reportGate(compareReports(Baseline.V, Current, Opts));
+}
