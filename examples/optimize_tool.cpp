@@ -8,7 +8,7 @@
 // A small driver exposing the whole library on textual IR:
 //
 //   optimize_tool [--pipeline=p1,p2,...] [--dot] [--stats]
-//                 [--report=out.json] [FILE]
+//                 [--timeout-ms=N] [--report=out.json] [FILE]
 //
 // Reads the program from FILE (or stdin), applies the requested pass
 // pipeline (default "lcse,lcm", the paper's prescription), and prints the
@@ -44,6 +44,7 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "metrics/RunReport.h"
+#include "support/Cancel.h"
 #include "support/Stats.h"
 #include "workload/Corpus.h"
 
@@ -63,9 +64,18 @@ std::string readAll(std::FILE *In) {
 int usage() {
   std::fprintf(stderr, "usage: optimize_tool [--pipeline=p1,p2,...] "
                        "[--pass=NAME] [--dot] [--stats] [--list-passes] "
-                       "[--report=FILE.json] [FILE]\n"
+                       "[--timeout-ms=N] [--report=FILE.json] [FILE]\n"
                        "       optimize_tool --corpus=N [--threads=M] "
-                       "[--pipeline=p1,p2,...] [--report=FILE.json]\n");
+                       "[--pipeline=p1,p2,...] [--report=FILE.json]\n"
+                       "\n"
+                       "  --timeout-ms=N  cancel the pipeline cooperatively "
+                       "after N milliseconds\n"
+                       "\n"
+                       "exit codes:\n"
+                       "  0  success\n"
+                       "  1  parse/verify/pipeline failure or I/O error\n"
+                       "  2  usage error\n"
+                       "  4  timed out (--timeout-ms deadline exceeded)\n");
   return 2;
 }
 
@@ -130,6 +140,7 @@ int main(int argc, char **argv) {
   bool Dot = false, ShowStats = false;
   const char *Path = nullptr;
   unsigned CorpusSize = 0, Threads = 1;
+  long long TimeoutMs = -1;
 
   for (int I = 1; I != argc; ++I) {
     if (std::strncmp(argv[I], "--pipeline=", 11) == 0) {
@@ -152,6 +163,11 @@ int main(int argc, char **argv) {
       if (*End != '\0' || N < 0 || N > 4096)
         return usage();
       Threads = unsigned(N);
+    } else if (std::strncmp(argv[I], "--timeout-ms=", 13) == 0) {
+      char *End = nullptr;
+      TimeoutMs = std::strtoll(argv[I] + 13, &End, 10);
+      if (*End != '\0' || TimeoutMs < 0)
+        return usage();
     } else if (std::strcmp(argv[I], "--list-passes") == 0) {
       for (const std::string &Name : standardPassNames())
         std::printf("%s\n", Name.c_str());
@@ -204,9 +220,18 @@ int main(int argc, char **argv) {
     return usage();
   }
 
+  CancelToken Deadline;
+  if (TimeoutMs >= 0)
+    Deadline.setTimeoutMs(TimeoutMs);
+  const CancelToken *Cancel = TimeoutMs >= 0 ? &Deadline : nullptr;
+
   if (!ReportPath.empty()) {
     RunReport Report =
-        collectRunReport(Parsed2.P, Fn, "optimize_tool", Spec);
+        collectRunReport(Parsed2.P, Fn, "optimize_tool", Spec, Cancel);
+    if (Report.Cancelled) {
+      std::fprintf(stderr, "timed out: %s\n", Report.Error.c_str());
+      return 4;
+    }
     if (!Report.Ok) {
       std::fprintf(stderr, "internal error: %s\n", Report.Error.c_str());
       return 1;
@@ -222,7 +247,11 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  Pipeline::RunResult Run = Parsed2.P.run(Fn);
+  Pipeline::RunResult Run = Parsed2.P.run(Fn, Cancel);
+  if (Run.Cancelled) {
+    std::fprintf(stderr, "timed out: %s\n", Run.Error.c_str());
+    return 4;
+  }
   if (!Run.Ok) {
     std::fprintf(stderr, "internal error: %s\n", Run.Error.c_str());
     return 1;

@@ -51,10 +51,19 @@ statsDelta(const std::map<std::string, uint64_t> &Before) {
 
 } // namespace
 
-Pipeline::RunResult Pipeline::runImpl(Function &Fn, bool Instrument) const {
+Pipeline::RunResult Pipeline::runImpl(Function &Fn, bool Instrument,
+                                      const CancelToken *Cancel) const {
   RunResult R;
   const auto RunStart = Clock::now();
   for (const Step &S : Steps) {
+    if (Cancel && Cancel->cancelled()) {
+      R.Ok = false;
+      R.Cancelled = true;
+      R.Error = std::string("before pass ") + S.Name + ": " + Cancel->reason();
+      R.Seconds = secondsSince(RunStart);
+      Trace::event("I", "pass", S.Name, "cancelled=1");
+      return R;
+    }
     StepResult SR;
     SR.Name = S.Name;
     std::map<std::string, uint64_t> Before;
@@ -84,12 +93,14 @@ Pipeline::RunResult Pipeline::runImpl(Function &Fn, bool Instrument) const {
   return R;
 }
 
-Pipeline::RunResult Pipeline::run(Function &Fn) const {
-  return runImpl(Fn, /*Instrument=*/false);
+Pipeline::RunResult Pipeline::run(Function &Fn,
+                                  const CancelToken *Cancel) const {
+  return runImpl(Fn, /*Instrument=*/false, Cancel);
 }
 
-Pipeline::RunResult Pipeline::runInstrumented(Function &Fn) const {
-  return runImpl(Fn, /*Instrument=*/true);
+Pipeline::RunResult Pipeline::runInstrumented(Function &Fn,
+                                              const CancelToken *Cancel) const {
+  return runImpl(Fn, /*Instrument=*/true, Cancel);
 }
 
 namespace {

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "ir/Function.h"
+#include "support/Cancel.h"
 
 namespace lcm {
 
@@ -72,6 +73,10 @@ public:
   };
   struct RunResult {
     bool Ok = true;
+    /// True when the run stopped at a pass boundary because the cancel
+    /// token fired (deadline or explicit cancel).  Ok is false too; Error
+    /// carries the reason.  Completed steps are still reported.
+    bool Cancelled = false;
     /// "pass NAME: first verifier error" when !Ok.
     std::string Error;
     std::vector<StepResult> Steps;
@@ -83,13 +88,19 @@ public:
   /// one and aborts the pipeline (reporting the offender) on violation.
   /// Each step records its wall time and word-op count; begin/end events
   /// are traced when LCM_TRACE is set (support/Trace.h).
-  RunResult run(Function &Fn) const;
+  ///
+  /// \p Cancel (optional) is polled before every pass: a fired token stops
+  /// the run cooperatively with Cancelled set.  The function is left in
+  /// the verified state the last completed pass produced — always valid,
+  /// possibly partially optimized.
+  RunResult run(Function &Fn, const CancelToken *Cancel = nullptr) const;
 
   /// run() plus per-pass Stats-registry deltas in StepResult::StatsDelta —
   /// the variant metrics/RunReport.h builds `--report` documents from.
   /// Costs two registry snapshots per pass; intended for tooling, not the
   /// parallel corpus inner loop.
-  RunResult runInstrumented(Function &Fn) const;
+  RunResult runInstrumented(Function &Fn,
+                            const CancelToken *Cancel = nullptr) const;
 
 private:
   struct Step {
@@ -98,7 +109,8 @@ private:
   };
   std::vector<Step> Steps;
 
-  RunResult runImpl(Function &Fn, bool Instrument) const;
+  RunResult runImpl(Function &Fn, bool Instrument,
+                    const CancelToken *Cancel) const;
 };
 
 /// Names of all registered standard passes (sorted).

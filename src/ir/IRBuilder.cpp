@@ -4,7 +4,26 @@
 
 using namespace lcm;
 
+bool IRBuilder::withinLimits(const std::string &Dest, const Expr *E) {
+  if (!Limits)
+    return true;
+  bool NewVar = Fn.findVar(Dest) == InvalidVar;
+  bool NewExpr = E && Fn.exprs().lookup(*E) == InvalidExpr;
+  if (InstrCount + 1 > Limits->MaxInstrs ||
+      (NewVar && Fn.numVars() >= Limits->MaxVars) ||
+      (NewExpr && Fn.exprs().size() >= Limits->MaxExprs)) {
+    LimitHit = true;
+    return false;
+  }
+  ++InstrCount;
+  return true;
+}
+
 BlockId IRBuilder::startBlock(const std::string &Label) {
+  if (Limits && Fn.numBlocks() >= Limits->MaxBlocks) {
+    LimitHit = true;
+    return Cur;
+  }
   Cur = Fn.addBlock(Label);
   return Cur;
 }
@@ -13,8 +32,11 @@ IRBuilder &IRBuilder::op(const std::string &Dest, Opcode Op, Operand Lhs,
                          Operand Rhs) {
   assert(Cur != InvalidBlock && "no current block");
   assert(isBinaryOpcode(Op) && "use unop for unary opcodes");
+  Expr Ex{Op, Lhs, Rhs};
+  if (!withinLimits(Dest, &Ex))
+    return *this;
   VarId D = Fn.getOrAddVar(Dest);
-  ExprId E = Fn.exprs().intern(Expr{Op, Lhs, Rhs});
+  ExprId E = Fn.exprs().intern(Ex);
   Fn.block(Cur).instrs().push_back(Instr::makeOperation(D, E));
   return *this;
 }
@@ -22,14 +44,19 @@ IRBuilder &IRBuilder::op(const std::string &Dest, Opcode Op, Operand Lhs,
 IRBuilder &IRBuilder::unop(const std::string &Dest, Opcode Op, Operand Lhs) {
   assert(Cur != InvalidBlock && "no current block");
   assert(!isBinaryOpcode(Op) && "use op for binary opcodes");
+  Expr Ex{Op, Lhs, Operand::makeConst(0)};
+  if (!withinLimits(Dest, &Ex))
+    return *this;
   VarId D = Fn.getOrAddVar(Dest);
-  ExprId E = Fn.exprs().intern(Expr{Op, Lhs, Operand::makeConst(0)});
+  ExprId E = Fn.exprs().intern(Ex);
   Fn.block(Cur).instrs().push_back(Instr::makeOperation(D, E));
   return *this;
 }
 
 IRBuilder &IRBuilder::copy(const std::string &Dest, Operand Src) {
   assert(Cur != InvalidBlock && "no current block");
+  if (!withinLimits(Dest, nullptr))
+    return *this;
   VarId D = Fn.getOrAddVar(Dest);
   Fn.block(Cur).instrs().push_back(Instr::makeCopy(D, Src));
   return *this;

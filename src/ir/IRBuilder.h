@@ -16,6 +16,7 @@
 #define LCM_IR_IRBUILDER_H
 
 #include "ir/Function.h"
+#include "ir/Limits.h"
 
 namespace lcm {
 
@@ -25,6 +26,13 @@ public:
   explicit IRBuilder(Function &Fn) : Fn(Fn) {}
 
   Function &function() { return Fn; }
+
+  /// Arms the same resource caps the parser enforces (ir/Limits.h): once
+  /// the function would exceed \p L, block/instruction appends become
+  /// no-ops and limitHit() reports it.  \p L must outlive the builder;
+  /// nullptr (the default) disables the guard.
+  void setLimits(const IRLimits *L) { Limits = L; }
+  bool limitHit() const { return LimitHit; }
 
   /// Creates a new block, makes it current, and returns its id.
   BlockId startBlock(const std::string &Label = "");
@@ -64,8 +72,15 @@ public:
   void multiway(const std::vector<BlockId> &Targets);
 
 private:
+  /// True when appending one instruction defining \p Dest (interning
+  /// \p E, if non-null) stays within Limits; records the trip otherwise.
+  bool withinLimits(const std::string &Dest, const Expr *E);
+
   Function &Fn;
   BlockId Cur = InvalidBlock;
+  const IRLimits *Limits = nullptr;
+  bool LimitHit = false;
+  size_t InstrCount = 0;
 };
 
 } // namespace lcm

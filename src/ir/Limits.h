@@ -1,0 +1,55 @@
+//===- ir/Limits.h - Resource caps for untrusted input -------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configurable caps on how large a parsed or built function may grow.
+/// The optimization service (src/server) feeds externally-supplied IR to
+/// the parser, so an unbounded request must not be able to OOM the daemon:
+/// the parser checks these caps as it allocates (source bytes up front,
+/// blocks / instructions / interned expressions / variables as they are
+/// created) and fails with a structured "limit" diagnostic the service
+/// maps to a `limits` error response.  IRBuilder honours the same caps as
+/// an optional guard for programmatic construction.
+///
+/// The defaults are sized for a service daemon: large enough for any
+/// realistic compilation unit, small enough that the worst-case resident
+/// cost of one request is tens of megabytes, not gigabytes.  `unlimited()`
+/// restores the trusted-input behaviour (tools reading local files).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_IR_LIMITS_H
+#define LCM_IR_LIMITS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lcm {
+
+struct IRLimits {
+  /// Cap on the textual source handed to the parser.
+  size_t MaxSourceBytes = 8u << 20;
+  /// Cap on basic blocks per function.
+  size_t MaxBlocks = 65536;
+  /// Cap on instructions per function (summed over all blocks).
+  size_t MaxInstrs = 1u << 20;
+  /// Cap on distinct interned expressions per function.
+  size_t MaxExprs = 1u << 18;
+  /// Cap on named variables per function.
+  size_t MaxVars = 1u << 18;
+
+  static IRLimits unlimited() {
+    IRLimits L;
+    L.MaxSourceBytes = L.MaxBlocks = L.MaxInstrs = L.MaxExprs = L.MaxVars =
+        SIZE_MAX;
+    return L;
+  }
+};
+
+} // namespace lcm
+
+#endif // LCM_IR_LIMITS_H

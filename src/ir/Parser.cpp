@@ -3,6 +3,7 @@
 #include "ir/Parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <optional>
@@ -77,28 +78,51 @@ struct PendingEdges {
 };
 
 struct ParserState {
+  explicit ParserState(const IRLimits &Limits) : Limits(Limits) {}
+
+  const IRLimits &Limits;
   Function Fn;
   std::map<std::string, BlockId> LabelToBlock;
   std::vector<PendingEdges> Edges;
   BlockId Cur = InvalidBlock;
   bool CurTerminated = false;
+  size_t InstrCount = 0;
+  bool OverLimit = false;
 };
 
 std::string err(int Line, const std::string &Msg) {
   return "line " + std::to_string(Line) + ": " + Msg;
 }
 
+/// Reports a resource-cap violation (distinguished from syntax errors so
+/// the service can answer with a structured "limits" error).
+bool limitErr(ParserState &S, int Line, const std::string &What, size_t Cap,
+              std::string &Error) {
+  S.OverLimit = true;
+  Error = err(Line, "limit: " + What + " exceeds cap of " +
+                        std::to_string(Cap));
+  return false;
+}
+
 /// Parses an operand token (identifier or integer literal).
 bool parseOperand(ParserState &S, const std::string &Tok, Operand &Out,
                   int Line, std::string &Error) {
   if (isIntegerToken(Tok)) {
-    Out = Operand::makeConst(std::strtoll(Tok.c_str(), nullptr, 10));
+    errno = 0;
+    long long V = std::strtoll(Tok.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      Error = err(Line, "integer literal '" + Tok + "' out of range");
+      return false;
+    }
+    Out = Operand::makeConst(V);
     return true;
   }
   if (!std::isalpha(static_cast<unsigned char>(Tok[0])) && Tok[0] != '_') {
     Error = err(Line, "expected operand, got '" + Tok + "'");
     return false;
   }
+  if (S.Fn.findVar(Tok) == InvalidVar && S.Fn.numVars() >= S.Limits.MaxVars)
+    return limitErr(S, Line, "variable count", S.Limits.MaxVars, Error);
   Out = Operand::makeVar(S.Fn.getOrAddVar(Tok));
   return true;
 }
@@ -114,6 +138,12 @@ bool parseAssignment(ParserState &S, const std::vector<std::string> &Tokens,
     Error = err(Line, "instruction after terminator");
     return false;
   }
+  if (S.InstrCount >= S.Limits.MaxInstrs)
+    return limitErr(S, Line, "instruction count", S.Limits.MaxInstrs, Error);
+  ++S.InstrCount;
+  if (S.Fn.findVar(Tokens[0]) == InvalidVar &&
+      S.Fn.numVars() >= S.Limits.MaxVars)
+    return limitErr(S, Line, "variable count", S.Limits.MaxVars, Error);
   VarId Dest = S.Fn.getOrAddVar(Tokens[0]);
   auto &Instrs = S.Fn.block(S.Cur).instrs();
 
@@ -140,7 +170,11 @@ bool parseAssignment(ParserState &S, const std::vector<std::string> &Tokens,
     Operand Src;
     if (!parseOperand(S, Tokens[3], Src, Line, Error))
       return false;
-    ExprId E = S.Fn.exprs().intern(Expr{Op, Src, Operand::makeConst(0)});
+    Expr Ex{Op, Src, Operand::makeConst(0)};
+    if (S.Fn.exprs().lookup(Ex) == InvalidExpr &&
+        S.Fn.exprs().size() >= S.Limits.MaxExprs)
+      return limitErr(S, Line, "expression count", S.Limits.MaxExprs, Error);
+    ExprId E = S.Fn.exprs().intern(Ex);
     Instrs.push_back(Instr::makeOperation(Dest, E));
     return true;
   }
@@ -163,7 +197,11 @@ bool parseAssignment(ParserState &S, const std::vector<std::string> &Tokens,
                             Tokens[3] + " " + Tokens[4] + "'");
       return false;
     }
-    ExprId E = S.Fn.exprs().intern(Expr{Op, Lhs, Rhs});
+    Expr Ex{Op, Lhs, Rhs};
+    if (S.Fn.exprs().lookup(Ex) == InvalidExpr &&
+        S.Fn.exprs().size() >= S.Limits.MaxExprs)
+      return limitErr(S, Line, "expression count", S.Limits.MaxExprs, Error);
+    ExprId E = S.Fn.exprs().intern(Ex);
     Instrs.push_back(Instr::makeOperation(Dest, E));
     return true;
   }
@@ -174,8 +212,22 @@ bool parseAssignment(ParserState &S, const std::vector<std::string> &Tokens,
 } // namespace
 
 ParseResult lcm::parseFunction(std::string_view Source) {
+  return parseFunction(Source, IRLimits::unlimited());
+}
+
+ParseResult lcm::parseFunction(std::string_view Source,
+                               const IRLimits &Limits) {
   ParseResult Result;
-  ParserState S;
+  ParserState S(Limits);
+
+  if (Source.size() > Limits.MaxSourceBytes) {
+    Result.OverLimit = true;
+    Result.Error = err(1, "limit: source size of " +
+                              std::to_string(Source.size()) +
+                              " bytes exceeds cap of " +
+                              std::to_string(Limits.MaxSourceBytes));
+    return Result;
+  }
 
   int Line = 0;
   size_t Pos = 0;
@@ -211,6 +263,11 @@ ParseResult lcm::parseFunction(std::string_view Source) {
       }
       if (S.LabelToBlock.count(Tokens[1])) {
         Result.Error = err(Line, "duplicate block label '" + Tokens[1] + "'");
+        return Result;
+      }
+      if (S.Fn.numBlocks() >= Limits.MaxBlocks) {
+        limitErr(S, Line, "block count", Limits.MaxBlocks, Result.Error);
+        Result.OverLimit = true;
         return Result;
       }
       S.Cur = S.Fn.addBlock(Tokens[1]);
@@ -265,12 +322,14 @@ ParseResult lcm::parseFunction(std::string_view Source) {
       Result.Error = err(Line, "unrecognized statement '" + Head + "'");
       return Result;
     }
-    if (!parseAssignment(S, Tokens, Line, Result.Error))
+    if (!parseAssignment(S, Tokens, Line, Result.Error)) {
+      Result.OverLimit = S.OverLimit;
       return Result;
+    }
   }
 
   if (S.Cur == InvalidBlock) {
-    Result.Error = "empty function";
+    Result.Error = err(Line, "empty function");
     return Result;
   }
   if (!S.CurTerminated) {
@@ -288,8 +347,15 @@ ParseResult lcm::parseFunction(std::string_view Source) {
       }
       S.Fn.addEdge(E.From, It->second);
     }
-    if (!E.CondName.empty())
+    if (!E.CondName.empty()) {
+      if (S.Fn.findVar(E.CondName) == InvalidVar &&
+          S.Fn.numVars() >= Limits.MaxVars) {
+        limitErr(S, E.Line, "variable count", Limits.MaxVars, Result.Error);
+        Result.OverLimit = true;
+        return Result;
+      }
       S.Fn.block(E.From).setCondVar(S.Fn.getOrAddVar(E.CondName));
+    }
   }
 
   Result.Ok = true;

@@ -34,6 +34,7 @@
 #include <string_view>
 
 #include "ir/Function.h"
+#include "ir/Limits.h"
 
 namespace lcm {
 
@@ -41,6 +42,9 @@ namespace lcm {
 struct ParseResult {
   bool Ok = false;
   std::string Error; ///< "line N: message" when !Ok.
+  /// True when the failure was a resource cap (ir/Limits.h), not a syntax
+  /// error — the service maps this to a distinct `limits` response.
+  bool OverLimit = false;
   Function Fn;
 
   explicit operator bool() const { return Ok; }
@@ -48,6 +52,12 @@ struct ParseResult {
 
 /// Parses \p Source into a Function.  Never throws; reports the first error.
 ParseResult parseFunction(std::string_view Source);
+
+/// Like the above, but enforces \p Limits while allocating: the parse
+/// stops at the first construct that would exceed a cap, with OverLimit
+/// set and a "line N: limit: ..." diagnostic.  Used for untrusted input
+/// (the optimization service).
+ParseResult parseFunction(std::string_view Source, const IRLimits &Limits);
 
 } // namespace lcm
 

@@ -80,6 +80,8 @@ Value RunReport::toJson() const {
       .set("tool", Value::str(Tool))
       .set("pipeline", Value::str(Pipeline))
       .set("ok", Value::boolean(Ok));
+  if (Cancelled)
+    Root.set("cancelled", Value::boolean(true));
   if (!Ok)
     Root.set("error", Value::str(Error));
   Root.set("total_seconds", Value::number(TotalSeconds));
@@ -128,6 +130,8 @@ bool RunReport::fromJson(const Value &V, RunReport &Out) {
   Out.Pipeline = stringField(V, "pipeline");
   const Value *Ok = V.find("ok");
   Out.Ok = !Ok || !Ok->isBool() || Ok->asBool();
+  const Value *Cancelled = V.find("cancelled");
+  Out.Cancelled = Cancelled && Cancelled->isBool() && Cancelled->asBool();
   Out.Error = stringField(V, "error");
   Out.TotalSeconds = doubleField(V, "total_seconds");
 
@@ -193,7 +197,8 @@ FunctionMetrics snapshotMetrics(const Function &Fn, size_t FirstTempVar,
 } // namespace
 
 RunReport lcm::collectRunReport(const Pipeline &P, Function &Fn,
-                                std::string Tool, std::string PipelineSpec) {
+                                std::string Tool, std::string PipelineSpec,
+                                const CancelToken *Cancel) {
   RunReport Report;
   Report.Tool = std::move(Tool);
   Report.Pipeline = std::move(PipelineSpec);
@@ -202,8 +207,9 @@ RunReport lcm::collectRunReport(const Pipeline &P, Function &Fn,
   const size_t VarsBefore = Fn.numVars();
   Report.Before = snapshotMetrics(Fn, VarsBefore, /*MeasureTemps=*/false);
 
-  Pipeline::RunResult R = P.runInstrumented(Fn);
+  Pipeline::RunResult R = P.runInstrumented(Fn, Cancel);
   Report.Ok = R.Ok;
+  Report.Cancelled = R.Cancelled;
   Report.Error = R.Error;
   Report.TotalSeconds = R.Seconds;
   for (Pipeline::StepResult &S : R.Steps) {

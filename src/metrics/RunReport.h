@@ -71,6 +71,9 @@ struct RunReport {
   std::string Tool;
   std::string Pipeline;
   bool Ok = true;
+  /// True when the run stopped cooperatively (deadline or cancel request)
+  /// rather than failing; Ok is false too.
+  bool Cancelled = false;
   /// Verifier failure message when !Ok.
   std::string Error;
   double TotalSeconds = 0.0;
@@ -100,9 +103,12 @@ struct RunReport {
 /// Runs \p P over \p Fn with full instrumentation and assembles the report:
 /// per-pass records plus before/after function metrics (temp lifetimes are
 /// measured against the pre-pipeline variable count, so exactly the
-/// pipeline's temporaries are charged).
+/// pipeline's temporaries are charged).  \p Cancel (optional) is polled at
+/// pass boundaries; a fired token yields a report with Cancelled set and
+/// the steps that did complete.
 RunReport collectRunReport(const Pipeline &P, Function &Fn, std::string Tool,
-                           std::string PipelineSpec);
+                           std::string PipelineSpec,
+                           const CancelToken *Cancel = nullptr);
 
 /// Assembles the corpus-mode report from a finished batch.  \p StatsDelta
 /// is the Stats-registry delta over the batch (snapshot around the

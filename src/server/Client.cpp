@@ -1,0 +1,199 @@
+//===- server/Client.cpp ---------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace lcm;
+using namespace lcm::server;
+using json::Value;
+
+Client::~Client() { close(); }
+
+Client::Client(Client &&Other) noexcept
+    : Fd(Other.Fd), Frames(std::move(Other.Frames)) {
+  Other.Fd = -1;
+}
+
+Client &Client::operator=(Client &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Frames = std::move(Other.Frames);
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Frames = FrameReader(DefaultMaxFrameBytes);
+}
+
+bool Client::connectFd(int NewFd) {
+  close();
+  Fd = NewFd;
+  return true;
+}
+
+namespace {
+
+/// Connect with retry-on-refused so callers can race a server that is
+/// still binding its listeners.
+template <typename MakeAndConnect>
+bool connectWithRetry(MakeAndConnect Try, int RetryMs, int &OutFd,
+                      std::string &Error) {
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(RetryMs);
+  for (;;) {
+    int Fd = Try(Error);
+    if (Fd >= 0) {
+      OutFd = Fd;
+      return true;
+    }
+    bool Retryable = errno == ECONNREFUSED || errno == ENOENT;
+    if (!Retryable || std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+} // namespace
+
+bool Client::connectTcp(int Port, std::string &Error, int RetryMs) {
+  auto Try = [Port](std::string &Err) -> int {
+    int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(uint16_t(Port));
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      Err = std::string("connect 127.0.0.1:") + std::to_string(Port) + ": " +
+            std::strerror(errno);
+      int Saved = errno;
+      ::close(Fd);
+      errno = Saved;
+      return -1;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    return Fd;
+  };
+  int NewFd = -1;
+  if (!connectWithRetry(Try, RetryMs, NewFd, Error))
+    return false;
+  return connectFd(NewFd);
+}
+
+bool Client::connectUnix(const std::string &Path, std::string &Error,
+                         int RetryMs) {
+  auto Try = [&Path](std::string &Err) -> int {
+    sockaddr_un Addr{};
+    if (Path.size() >= sizeof(Addr.sun_path)) {
+      Err = "unix socket path too long: " + Path;
+      errno = EINVAL;
+      return -1;
+    }
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return -1;
+    }
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      Err = "connect " + Path + ": " + std::strerror(errno);
+      int Saved = errno;
+      ::close(Fd);
+      errno = Saved;
+      return -1;
+    }
+    return Fd;
+  };
+  int NewFd = -1;
+  if (!connectWithRetry(Try, RetryMs, NewFd, Error))
+    return false;
+  return connectFd(NewFd);
+}
+
+bool Client::sendPayload(const std::string &Payload, std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  std::string Frame = encodeFrame(Payload);
+  const char *Data = Frame.data();
+  size_t N = Frame.size();
+  while (N != 0) {
+    ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Data += W;
+    N -= size_t(W);
+  }
+  return true;
+}
+
+bool Client::recvResponse(Value &Response, std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  char Buf[64 * 1024];
+  for (;;) {
+    std::string Payload, FrameError;
+    FrameReader::Status S = Frames.next(Payload, FrameError);
+    if (S == FrameReader::Status::Error) {
+      Error = "framing error: " + FrameError;
+      return false;
+    }
+    if (S == FrameReader::Status::Frame) {
+      json::ParseResult P = json::parse(Payload);
+      if (!P) {
+        Error = "response is not valid JSON: " + P.Error;
+        return false;
+      }
+      Response = std::move(P.V);
+      return true;
+    }
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Error = "connection closed before a response arrived";
+      return false;
+    }
+    Frames.feed(Buf, size_t(N));
+  }
+}
+
+bool Client::call(const Request &R, Value &Response, std::string &Error) {
+  return sendPayload(requestToJson(R).dump(0), Error) &&
+         recvResponse(Response, Error);
+}

@@ -1,0 +1,71 @@
+//===- server/Client.h - Blocking client for the lcm_serve protocol ------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small synchronous client for the framed protocol: connect to the
+/// daemon over loopback TCP or a Unix-domain socket, send one request
+/// frame, block for the response frame.  Shared by tools/lcm_client,
+/// tools/lcm_loadgen, and the server integration test so they all speak
+/// the wire format through one implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SERVER_CLIENT_H
+#define LCM_SERVER_CLIENT_H
+
+#include <string>
+
+#include "server/Protocol.h"
+#include "support/Json.h"
+
+namespace lcm {
+namespace server {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+
+  /// Connect to 127.0.0.1:\p Port, retrying for up to \p RetryMs
+  /// milliseconds while the connection is refused (lets tests race the
+  /// server's startup).  False with \p Error set on failure.
+  bool connectTcp(int Port, std::string &Error, int RetryMs = 0);
+
+  /// Connect to a Unix-domain socket at \p Path; same retry contract.
+  bool connectUnix(const std::string &Path, std::string &Error,
+                   int RetryMs = 0);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Frame and send \p Payload (the JSON text of a request).
+  bool sendPayload(const std::string &Payload, std::string &Error);
+
+  /// Block for the next response frame and parse it as JSON.  False with
+  /// \p Error set on EOF, framing error, or invalid JSON.
+  bool recvResponse(json::Value &Response, std::string &Error);
+
+  /// sendPayload + recvResponse for a Request object — the common
+  /// one-shot path.
+  bool call(const Request &R, json::Value &Response, std::string &Error);
+
+private:
+  bool connectFd(int NewFd);
+
+  int Fd = -1;
+  FrameReader Frames{DefaultMaxFrameBytes};
+};
+
+} // namespace server
+} // namespace lcm
+
+#endif // LCM_SERVER_CLIENT_H

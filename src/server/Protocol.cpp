@@ -1,0 +1,213 @@
+//===- server/Protocol.cpp -------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+using namespace lcm;
+using namespace lcm::server;
+using json::Value;
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+std::string server::encodeFrame(std::string_view Payload) {
+  std::string Out;
+  Out.reserve(4 + Payload.size());
+  uint32_t N = uint32_t(Payload.size());
+  Out.push_back(char((N >> 24) & 0xff));
+  Out.push_back(char((N >> 16) & 0xff));
+  Out.push_back(char((N >> 8) & 0xff));
+  Out.push_back(char(N & 0xff));
+  Out.append(Payload);
+  return Out;
+}
+
+void FrameReader::feed(const char *Data, size_t N) {
+  if (Poisoned)
+    return;
+  // Compact once the consumed prefix dominates the buffer.
+  if (Consumed > 4096 && Consumed * 2 > Buf.size()) {
+    Buf.erase(0, Consumed);
+    Consumed = 0;
+  }
+  Buf.append(Data, N);
+}
+
+FrameReader::Status FrameReader::next(std::string &Frame,
+                                      std::string &Error) {
+  if (Poisoned) {
+    Error = PoisonReason;
+    return Status::Error;
+  }
+  const size_t Avail = Buf.size() - Consumed;
+  if (Avail < 4)
+    return Status::NeedMore;
+  const unsigned char *P =
+      reinterpret_cast<const unsigned char *>(Buf.data()) + Consumed;
+  const uint32_t Len = (uint32_t(P[0]) << 24) | (uint32_t(P[1]) << 16) |
+                       (uint32_t(P[2]) << 8) | uint32_t(P[3]);
+  if (Len == 0 || Len > MaxFrameBytes) {
+    Poisoned = true;
+    PoisonReason = Len == 0 ? "empty frame"
+                            : "frame of " + std::to_string(Len) +
+                                  " bytes exceeds cap of " +
+                                  std::to_string(MaxFrameBytes);
+    Error = PoisonReason;
+    return Status::Error;
+  }
+  if (Avail < 4 + size_t(Len))
+    return Status::NeedMore;
+  Frame.assign(Buf, Consumed + 4, Len);
+  Consumed += 4 + size_t(Len);
+  return Status::Frame;
+}
+
+//===----------------------------------------------------------------------===//
+// Requests
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Accepts only scalar ids (echoing arbitrary trees would let a client
+/// inflate every response).
+bool isScalar(const Value &V) {
+  return V.isNull() || V.isBool() || V.isNumber() || V.isString();
+}
+
+} // namespace
+
+RequestParse server::parseRequest(const std::string &Payload) {
+  RequestParse Out;
+  json::ParseResult Doc = json::parse(Payload);
+  if (!Doc) {
+    Out.Error = "invalid JSON: " + Doc.Error;
+    return Out;
+  }
+  if (!Doc.V.isObject()) {
+    Out.Error = "request must be a JSON object";
+    return Out;
+  }
+  if (const Value *Id = Doc.V.find("id")) {
+    if (!isScalar(*Id)) {
+      Out.Error = "field 'id' must be a scalar";
+      return Out;
+    }
+    Out.Id = *Id;
+    Out.R.Id = *Id;
+  }
+  const Value *Schema = Doc.V.find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != RequestSchema) {
+    Out.Error = std::string("field 'schema' must be \"") + RequestSchema +
+                "\"";
+    return Out;
+  }
+  const Value *Ir = Doc.V.find("ir");
+  if (!Ir || !Ir->isString()) {
+    Out.Error = "field 'ir' must be a string";
+    return Out;
+  }
+  Out.R.Ir = Ir->asString();
+  if (const Value *P = Doc.V.find("pipeline")) {
+    if (!P->isString()) {
+      Out.Error = "field 'pipeline' must be a string";
+      return Out;
+    }
+    Out.R.Pipeline = P->asString();
+  }
+  if (const Value *D = Doc.V.find("deadline_ms")) {
+    if (!D->isNumber() || D->asInt() < 0) {
+      Out.Error = "field 'deadline_ms' must be a non-negative number";
+      return Out;
+    }
+    Out.R.DeadlineMs = D->asInt();
+  }
+  if (const Value *R = Doc.V.find("report")) {
+    if (!R->isBool()) {
+      Out.Error = "field 'report' must be a boolean";
+      return Out;
+    }
+    Out.R.WantReport = R->asBool();
+  }
+  if (const Value *C = Doc.V.find("check")) {
+    if (!C->isBool()) {
+      Out.Error = "field 'check' must be a boolean";
+      return Out;
+    }
+    Out.R.Check = C->asBool();
+  }
+  if (const Value *S = Doc.V.find("test_sleep_ms")) {
+    if (!S->isNumber() || S->asInt() < 0) {
+      Out.Error = "field 'test_sleep_ms' must be a non-negative number";
+      return Out;
+    }
+    Out.R.TestSleepMs = S->asInt();
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+Value server::requestToJson(const Request &R) {
+  Value Doc = Value::object();
+  Doc.set("schema", Value::str(RequestSchema));
+  if (!R.Id.isNull())
+    Doc.set("id", R.Id);
+  Doc.set("ir", Value::str(R.Ir));
+  Doc.set("pipeline", Value::str(R.Pipeline));
+  if (R.DeadlineMs >= 0)
+    Doc.set("deadline_ms", Value::number(R.DeadlineMs));
+  if (R.WantReport)
+    Doc.set("report", Value::boolean(true));
+  if (R.Check)
+    Doc.set("check", Value::boolean(true));
+  if (R.TestSleepMs > 0)
+    Doc.set("test_sleep_ms", Value::number(R.TestSleepMs));
+  return Doc;
+}
+
+//===----------------------------------------------------------------------===//
+// Responses
+//===----------------------------------------------------------------------===//
+
+const char *server::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::BadRequest:
+    return "bad_request";
+  case Status::ParseError:
+    return "parse_error";
+  case Status::Limits:
+    return "limits";
+  case Status::VerifyError:
+    return "verify_error";
+  case Status::PipelineError:
+    return "pipeline_error";
+  case Status::CheckFailed:
+    return "check_failed";
+  case Status::DeadlineExceeded:
+    return "deadline_exceeded";
+  case Status::Overloaded:
+    return "overloaded";
+  case Status::ShuttingDown:
+    return "shutting_down";
+  case Status::InternalError:
+    return "internal_error";
+  }
+  return "internal_error";
+}
+
+Value server::makeResponse(const Value &Id, Status S) {
+  Value Doc = Value::object();
+  Doc.set("schema", Value::str(ResponseSchema));
+  Doc.set("id", Id);
+  Doc.set("status", Value::str(statusName(S)));
+  return Doc;
+}
+
+Value server::makeErrorResponse(const Value &Id, Status S,
+                                const std::string &Message) {
+  Value Doc = makeResponse(Id, S);
+  Doc.set("error", Value::str(Message));
+  return Doc;
+}

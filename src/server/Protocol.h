@@ -1,0 +1,147 @@
+//===- server/Protocol.h - Framed JSON wire protocol ---------------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of the optimization service (docs/SERVER.md):
+/// every message — request and response alike — is one *frame*, a 4-byte
+/// big-endian payload length followed by that many bytes of UTF-8 JSON.
+/// Length-prefixing keeps framing trivial to implement in any language and
+/// lets the server reject oversized payloads before buffering them.
+///
+/// Requests carry schema "lcm-request-v1": textual IR, a pipeline spec,
+/// and options (deadline, report, semantic check).  Responses carry schema
+/// "lcm-response-v1": a status code, the optimized IR on success, and a
+/// structured error otherwise.  Parsing a request never throws and never
+/// trusts a byte: every malformed input maps to a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SERVER_PROTOCOL_H
+#define LCM_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/Json.h"
+
+namespace lcm {
+namespace server {
+
+inline constexpr const char *RequestSchema = "lcm-request-v1";
+inline constexpr const char *ResponseSchema = "lcm-response-v1";
+
+/// Frames above this size are rejected without buffering the payload.
+inline constexpr size_t DefaultMaxFrameBytes = 16u << 20;
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+/// Wraps \p Payload in a length-prefixed frame.
+std::string encodeFrame(std::string_view Payload);
+
+/// Incremental frame decoder: feed() raw bytes as they arrive, then drain
+/// complete frames with next().  A frame whose declared length is zero or
+/// exceeds the cap poisons the stream (framing cannot be resynchronized),
+/// so next() keeps returning Error.
+class FrameReader {
+public:
+  explicit FrameReader(size_t MaxFrameBytes = DefaultMaxFrameBytes)
+      : MaxFrameBytes(MaxFrameBytes) {}
+
+  void feed(const char *Data, size_t N);
+
+  enum class Status { NeedMore, Frame, Error };
+
+  /// Extracts the next complete frame into \p Frame, or reports why none
+  /// is available.
+  Status next(std::string &Frame, std::string &Error);
+
+private:
+  size_t MaxFrameBytes;
+  std::string Buf;
+  size_t Consumed = 0;
+  bool Poisoned = false;
+  std::string PoisonReason;
+};
+
+//===----------------------------------------------------------------------===//
+// Requests
+//===----------------------------------------------------------------------===//
+
+/// One decoded optimization request.
+struct Request {
+  /// Echoed verbatim into the response (any scalar JSON value; null when
+  /// the client sent none).
+  json::Value Id;
+  /// Textual IR (ir/Parser.h grammar).
+  std::string Ir;
+  /// Comma-separated pass pipeline (driver/Pipeline.h registry).
+  std::string Pipeline = "lcse,lcm";
+  /// Per-request deadline in milliseconds; negative means none.
+  int64_t DeadlineMs = -1;
+  /// Embed the full lcm-run-report-v1 record in the response.
+  bool WantReport = false;
+  /// Re-execute original vs optimized under seeded oracles and fail the
+  /// request if observable behaviour diverges.
+  bool Check = false;
+  /// Test-only: hold the worker for this long before optimizing.  Ignored
+  /// unless the service was configured with EnableTestOptions.
+  int64_t TestSleepMs = 0;
+};
+
+struct RequestParse {
+  bool Ok = false;
+  std::string Error;
+  /// Id recovered from the document even when !Ok (so error responses can
+  /// still echo it); null if unavailable.
+  json::Value Id;
+  Request R;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Decodes one request payload.  Never throws.
+RequestParse parseRequest(const std::string &Payload);
+
+/// Renders \p R as a request document (the client side of parseRequest).
+json::Value requestToJson(const Request &R);
+
+//===----------------------------------------------------------------------===//
+// Responses
+//===----------------------------------------------------------------------===//
+
+/// Response status.  Everything except Ok is an error; the daemon never
+/// answers a frame with anything but one of these.
+enum class Status {
+  Ok,               ///< Optimized IR follows.
+  BadRequest,       ///< Frame/JSON/schema/pipeline-spec problem.
+  ParseError,       ///< IR failed to parse (syntax).
+  Limits,           ///< IR exceeded a resource cap (ir/Limits.h).
+  VerifyError,      ///< Input IR violates flow-graph invariants.
+  PipelineError,    ///< A pass broke the verifier (server-side bug).
+  CheckFailed,      ///< Semantic equivalence check failed (server-side bug).
+  DeadlineExceeded, ///< Cooperatively cancelled at the request deadline.
+  Overloaded,       ///< Bounded queue full: explicit backpressure.
+  ShuttingDown,     ///< Draining; request was not accepted.
+  InternalError,    ///< Anything unexpected (still a structured reply).
+};
+
+const char *statusName(Status S);
+
+/// Builds the common response envelope (schema, echoed id, status).
+json::Value makeResponse(const json::Value &Id, Status S);
+
+/// An error response with a human-readable message.
+json::Value makeErrorResponse(const json::Value &Id, Status S,
+                              const std::string &Message);
+
+} // namespace server
+} // namespace lcm
+
+#endif // LCM_SERVER_PROTOCOL_H

@@ -1,0 +1,85 @@
+//===- server/RequestQueue.h - Bounded MPMC queue with backpressure ------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission-control point of the service: connection readers tryPush()
+/// accepted requests, worker threads pop().  The queue is deliberately
+/// *bounded and non-blocking on the producer side* — when it is full the
+/// reader immediately answers `overloaded` instead of buffering without
+/// limit, which is the explicit-backpressure contract of docs/SERVER.md
+/// (shed at admission, never stall the socket reader, never OOM).
+///
+/// close() begins the drain: producers are refused from that point on, but
+/// consumers keep draining until the queue is empty, then pop() returns
+/// false — so everything admitted before shutdown is still answered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SERVER_REQUESTQUEUE_H
+#define LCM_SERVER_REQUESTQUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace lcm {
+namespace server {
+
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Admits \p V unless the queue is full or closed.  Never blocks.
+  bool tryPush(T V) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Closed || Items.size() >= Capacity)
+        return false;
+      Items.push_back(std::move(V));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item.  Returns false once the queue is closed
+  /// *and* fully drained — the consumer's signal to exit.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotEmpty.wait(Lock, [&] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  /// Refuses new producers and wakes consumers so they can drain and exit.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Items.size();
+  }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex Mu;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace server
+} // namespace lcm
+
+#endif // LCM_SERVER_REQUESTQUEUE_H

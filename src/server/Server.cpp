@@ -1,0 +1,340 @@
+//===- server/Server.cpp ---------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+using namespace lcm;
+using namespace lcm::server;
+using json::Value;
+
+//===----------------------------------------------------------------------===//
+// Connection state
+//===----------------------------------------------------------------------===//
+
+struct Server::Connection {
+  int Fd = -1;
+  uint64_t ConnId = 0;
+  /// Serializes response writes and the final close: writers check Fd
+  /// under this mutex, so a response can never race the fd being closed
+  /// and reused for a different client.
+  std::mutex WriteMu;
+  std::thread Reader;
+  std::atomic<bool> Done{false};
+};
+
+namespace {
+
+/// write() the whole buffer, tolerating partial writes and EINTR.  Uses
+/// MSG_NOSIGNAL so a vanished client yields EPIPE, not SIGPIPE.
+bool sendAll(int Fd, const char *Data, size_t N) {
+  while (N != 0) {
+    ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += W;
+    N -= size_t(W);
+  }
+  return true;
+}
+
+int makeTcpListener(int Port, int &BoundPort, std::string &Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(uint16_t(Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 128) < 0) {
+    Error = std::string("bind/listen 127.0.0.1:") + std::to_string(Port) +
+            ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  return Fd;
+}
+
+int makeUnixListener(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "unix socket path too long: " + Path;
+    return -1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(Path.c_str());
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 128) < 0) {
+    Error = "bind/listen " + Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerOptions Opts)
+    : Opts(Opts), Svc(Opts.Service), Queue(Opts.QueueCapacity) {}
+
+Server::~Server() { shutdown(); }
+
+bool Server::start(std::string &Error) {
+  if (Opts.TcpPort < 0 && Opts.UnixPath.empty()) {
+    Error = "no listener configured (need a TCP port or a unix path)";
+    return false;
+  }
+  if (Opts.TcpPort >= 0) {
+    TcpListenFd = makeTcpListener(Opts.TcpPort, BoundTcpPort, Error);
+    if (TcpListenFd < 0)
+      return false;
+  }
+  if (!Opts.UnixPath.empty()) {
+    UnixListenFd = makeUnixListener(Opts.UnixPath, Error);
+    if (UnixListenFd < 0) {
+      if (TcpListenFd >= 0) {
+        ::close(TcpListenFd);
+        TcpListenFd = -1;
+      }
+      return false;
+    }
+  }
+  Running.store(true);
+  if (TcpListenFd >= 0)
+    AcceptThreads.emplace_back([this] { acceptLoop(TcpListenFd, "tcp"); });
+  if (UnixListenFd >= 0)
+    AcceptThreads.emplace_back([this] { acceptLoop(UnixListenFd, "unix"); });
+  for (unsigned I = 0; I != std::max(1u, Opts.Workers); ++I)
+    WorkerThreads.emplace_back([this, I] { workerLoop(I); });
+  Trace::event("I", "server.lifecycle", "start",
+               "workers=" + std::to_string(std::max(1u, Opts.Workers)) +
+                   " queue=" + std::to_string(Opts.QueueCapacity));
+  return true;
+}
+
+void Server::shutdown() {
+  bool WasRunning = Running.exchange(false);
+  if (!WasRunning)
+    return;
+  Trace::event("I", "server.lifecycle", "drain-begin",
+               "queued=" + std::to_string(Queue.size()));
+  Draining.store(true);
+
+  // 1. Stop accepting: wake and join the accept threads.
+  for (int Fd : {TcpListenFd, UnixListenFd})
+    if (Fd >= 0)
+      ::shutdown(Fd, SHUT_RDWR);
+  for (std::thread &T : AcceptThreads)
+    T.join();
+  AcceptThreads.clear();
+  for (int *Fd : {&TcpListenFd, &UnixListenFd}) {
+    if (*Fd >= 0)
+      ::close(*Fd);
+    *Fd = -1;
+  }
+
+  // 2. Drain: refuse new work (readers answer shutting_down from the
+  //    Draining flag), let workers finish everything already admitted.
+  Queue.close();
+  for (std::thread &T : WorkerThreads)
+    T.join();
+  WorkerThreads.clear();
+
+  // 3. Close connections and join their readers.
+  std::vector<std::shared_ptr<Connection>> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Conns.swap(Connections);
+  }
+  for (const auto &C : Conns)
+    if (C->Fd >= 0)
+      ::shutdown(C->Fd, SHUT_RDWR);
+  for (const auto &C : Conns) {
+    if (C->Reader.joinable())
+      C->Reader.join();
+    std::lock_guard<std::mutex> Lock(C->WriteMu);
+    if (C->Fd >= 0) {
+      ::close(C->Fd);
+      C->Fd = -1;
+    }
+  }
+  if (!Opts.UnixPath.empty())
+    ::unlink(Opts.UnixPath.c_str());
+  Trace::event("I", "server.lifecycle", "drain-end",
+               "responses=" + std::to_string(NumResponsesOut.load()));
+}
+
+//===----------------------------------------------------------------------===//
+// Accepting and reading
+//===----------------------------------------------------------------------===//
+
+void Server::reapFinishedConnections() {
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  for (size_t I = 0; I != Connections.size();) {
+    auto &C = Connections[I];
+    if (!C->Done.load()) {
+      ++I;
+      continue;
+    }
+    if (C->Reader.joinable())
+      C->Reader.join();
+    {
+      std::lock_guard<std::mutex> WLock(C->WriteMu);
+      if (C->Fd >= 0) {
+        ::close(C->Fd);
+        C->Fd = -1;
+      }
+    }
+    Connections.erase(Connections.begin() + long(I));
+  }
+}
+
+void Server::acceptLoop(int ListenFd, const char *Kind) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listener shut down.
+    }
+    if (Draining.load()) {
+      ::close(Fd);
+      continue;
+    }
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    Conn->ConnId = NumConnections.fetch_add(1) + 1;
+    Stats::bump("server.connections");
+    Trace::event("B", "server.conn", std::to_string(Conn->ConnId),
+                 std::string("transport=") + Kind);
+    reapFinishedConnections();
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      Connections.push_back(Conn);
+    }
+    Conn->Reader = std::thread([this, Conn] { readerLoop(Conn); });
+  }
+}
+
+void Server::readerLoop(const std::shared_ptr<Connection> &Conn) {
+  FrameReader Frames(Opts.MaxFrameBytes);
+  char Buf[64 * 1024];
+  bool Alive = true;
+  while (Alive) {
+    ssize_t N = ::read(Conn->Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0)
+      break;
+    Frames.feed(Buf, size_t(N));
+    for (;;) {
+      std::string Payload, FrameError;
+      FrameReader::Status S = Frames.next(Payload, FrameError);
+      if (S == FrameReader::Status::NeedMore)
+        break;
+      if (S == FrameReader::Status::Error) {
+        // Framing cannot resync; answer once, then hang up so the peer
+        // sees EOF right away instead of waiting for the next reap.
+        NumFramingErrors.fetch_add(1);
+        Stats::bump("server.framing_errors");
+        writeResponse(*Conn,
+                      makeErrorResponse(Value::null(), Status::BadRequest,
+                                        "framing error: " + FrameError));
+        ::shutdown(Conn->Fd, SHUT_RDWR);
+        Alive = false;
+        break;
+      }
+      NumFramesIn.fetch_add(1);
+      if (Draining.load()) {
+        NumShedShuttingDown.fetch_add(1);
+        Stats::bump("server.shed_shutting_down");
+        writeResponse(*Conn,
+                      makeErrorResponse(Value::null(), Status::ShuttingDown,
+                                        "server is draining"));
+        continue;
+      }
+      if (!Queue.tryPush(Job{Conn, std::move(Payload)})) {
+        NumOverloaded.fetch_add(1);
+        Stats::bump("server.overloaded");
+        writeResponse(*Conn,
+                      makeErrorResponse(Value::null(), Status::Overloaded,
+                                        "request queue is full"));
+      }
+    }
+  }
+  Trace::event("E", "server.conn", std::to_string(Conn->ConnId));
+  Conn->Done.store(true);
+}
+
+//===----------------------------------------------------------------------===//
+// Executing and responding
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop(unsigned Index) {
+  Trace::Scope T("server.worker", std::to_string(Index));
+  uint64_t Handled = 0;
+  Job J;
+  while (Queue.pop(J)) {
+    Value Response = Svc.handle(J.Payload);
+    writeResponse(*J.Conn, Response);
+    J.Conn.reset();
+    ++Handled;
+  }
+  T.note("handled", Handled);
+}
+
+void Server::writeResponse(Connection &Conn, const Value &Response) {
+  std::string Frame = encodeFrame(Response.dump(0));
+  std::lock_guard<std::mutex> Lock(Conn.WriteMu);
+  if (Conn.Fd < 0)
+    return; // Client already gone; the work is simply dropped.
+  if (sendAll(Conn.Fd, Frame.data(), Frame.size()))
+    NumResponsesOut.fetch_add(1);
+}
+
+Server::Counters Server::counters() const {
+  Counters C;
+  C.Connections = NumConnections.load();
+  C.FramesIn = NumFramesIn.load();
+  C.ResponsesOut = NumResponsesOut.load();
+  C.Overloaded = NumOverloaded.load();
+  C.ShedShuttingDown = NumShedShuttingDown.load();
+  C.FramingErrors = NumFramingErrors.load();
+  return C;
+}

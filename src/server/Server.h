@@ -1,0 +1,140 @@
+//===- server/Server.h - Concurrent framed-protocol socket server --------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running optimization daemon behind tools/lcm_serve: listens on
+/// loopback TCP and/or a Unix-domain socket, reads length-prefixed JSON
+/// request frames (server/Protocol.h), executes them on a worker pool
+/// through Service::handle, and writes framed responses back.
+///
+/// Threading model (docs/SERVER.md):
+/// - one accept thread per listener;
+/// - one reader thread per connection, which only parses frames and either
+///   enqueues them or answers `overloaded` / `shutting_down` — it never
+///   runs the optimizer, so a slow request cannot stall frame intake;
+/// - N worker threads popping the bounded queue, running the pipeline with
+///   per-thread solver arenas (the dataflow engine's FactArena is
+///   thread_local), and writing responses under a per-connection mutex so
+///   concurrent responses to a pipelining client never interleave.
+///
+/// shutdown() is the graceful drain SIGTERM triggers in the daemon: stop
+/// accepting, refuse new frames with `shutting_down`, answer everything
+/// already admitted, then close connections and join every thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SERVER_SERVER_H
+#define LCM_SERVER_SERVER_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/RequestQueue.h"
+#include "server/Service.h"
+
+namespace lcm {
+namespace server {
+
+struct ServerOptions {
+  /// Loopback TCP port; -1 disables TCP, 0 binds an ephemeral port
+  /// (read it back with Server::tcpPort).  Binds 127.0.0.1 only — the
+  /// daemon is a local service, not an internet listener.
+  int TcpPort = -1;
+  /// Unix-domain socket path; empty disables.  An existing socket file at
+  /// the path is replaced.
+  std::string UnixPath;
+  /// Worker threads executing requests.
+  unsigned Workers = 2;
+  /// Bounded queue capacity; a full queue answers `overloaded`.
+  size_t QueueCapacity = 64;
+  /// Frames larger than this are rejected and the connection closed.
+  size_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Request-execution configuration (limits, deadlines, check runs).
+  ServiceConfig Service;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds listeners and starts accept/worker threads.  False (with
+  /// \p Error set) if no listener could be bound.
+  bool start(std::string &Error);
+
+  /// The actually bound TCP port (useful with TcpPort = 0); -1 if TCP is
+  /// disabled.
+  int tcpPort() const { return BoundTcpPort; }
+
+  bool running() const { return Running.load(); }
+
+  /// Graceful drain: stop accepting connections, answer `shutting_down`
+  /// to frames arriving from now on, finish every admitted request, then
+  /// close all connections and join all threads.  Idempotent.
+  void shutdown();
+
+  /// Monotonic counters, readable while running (for tests and the
+  /// daemon's exit summary).
+  struct Counters {
+    uint64_t Connections = 0;
+    uint64_t FramesIn = 0;
+    uint64_t ResponsesOut = 0;
+    uint64_t Overloaded = 0;
+    uint64_t ShedShuttingDown = 0;
+    uint64_t FramingErrors = 0;
+  };
+  Counters counters() const;
+
+private:
+  struct Connection;
+  struct Job {
+    std::shared_ptr<Connection> Conn;
+    std::string Payload;
+  };
+
+  void acceptLoop(int ListenFd, const char *Kind);
+  void readerLoop(const std::shared_ptr<Connection> &Conn);
+  void workerLoop(unsigned Index);
+  void writeResponse(Connection &Conn, const json::Value &Response);
+  void reapFinishedConnections();
+
+  ServerOptions Opts;
+  Service Svc;
+  BoundedQueue<Job> Queue;
+
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Draining{false};
+
+  int TcpListenFd = -1;
+  int UnixListenFd = -1;
+  int BoundTcpPort = -1;
+
+  std::vector<std::thread> AcceptThreads;
+  std::vector<std::thread> WorkerThreads;
+
+  mutable std::mutex ConnMu;
+  std::vector<std::shared_ptr<Connection>> Connections;
+
+  std::atomic<uint64_t> NumConnections{0};
+  std::atomic<uint64_t> NumFramesIn{0};
+  std::atomic<uint64_t> NumResponsesOut{0};
+  std::atomic<uint64_t> NumOverloaded{0};
+  std::atomic<uint64_t> NumShedShuttingDown{0};
+  std::atomic<uint64_t> NumFramingErrors{0};
+};
+
+} // namespace server
+} // namespace lcm
+
+#endif // LCM_SERVER_SERVER_H

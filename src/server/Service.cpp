@@ -1,0 +1,159 @@
+//===- server/Service.cpp --------------------------------------------------===//
+
+#include "server/Service.h"
+
+#include <chrono>
+#include <thread>
+
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "metrics/Cost.h"
+#include "metrics/RunReport.h"
+#include "support/Cancel.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+using namespace lcm;
+using namespace lcm::server;
+using json::Value;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Value finish(Value Response) {
+  const Value *S = Response.find("status");
+  Stats::bump("server.response." +
+              (S && S->isString() ? S->asString() : std::string("unknown")));
+  return Response;
+}
+
+/// The property-test execution idiom: inputs and oracle depend only on the
+/// seed and the original shape, so original/optimized runs are
+/// path-aligned.
+InterpResult runSeeded(const Function &Fn, uint64_t Seed,
+                       size_t NumInputVars, uint32_t OriginalBlockCount) {
+  RandomOracle Oracle(Seed ^ 0x94d049bb133111ebULL);
+  Interpreter::Options Opts;
+  Opts.MaxOriginalBlockVisits = 3000;
+  Opts.OriginalBlockCount = OriginalBlockCount;
+  return Interpreter::run(Fn, makeSeededInputs(Seed, NumInputVars), Oracle,
+                          Opts);
+}
+
+} // namespace
+
+Value Service::handle(const std::string &Payload) const {
+  Stats::bump("server.requests");
+  const auto Start = Clock::now();
+
+  RequestParse Parsed = parseRequest(Payload);
+  if (!Parsed)
+    return finish(
+        makeErrorResponse(Parsed.Id, Status::BadRequest, Parsed.Error));
+  const Request &R = Parsed.R;
+
+  Trace::Scope T("server.request", "handle",
+                 "bytes=" + std::to_string(Payload.size()));
+
+  // Arm the deadline before any work so parse/verify time counts too.
+  CancelToken Deadline;
+  int64_t DeadlineMs = R.DeadlineMs >= 0 ? R.DeadlineMs
+                                         : Config.DefaultDeadlineMs;
+  if (DeadlineMs >= 0 && Config.MaxDeadlineMs > 0)
+    DeadlineMs = std::min(DeadlineMs, Config.MaxDeadlineMs);
+  const bool HasDeadline = DeadlineMs >= 0;
+  if (HasDeadline)
+    Deadline.setTimeoutMs(DeadlineMs);
+
+  if (Config.EnableTestOptions && R.TestSleepMs > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(R.TestSleepMs));
+
+  ParseResult Ir = parseFunction(R.Ir, Config.Limits);
+  if (!Ir) {
+    T.note("status", Ir.OverLimit ? "limits" : "parse_error");
+    return finish(makeErrorResponse(
+        R.Id, Ir.OverLimit ? Status::Limits : Status::ParseError, Ir.Error));
+  }
+  Function Fn = std::move(Ir.Fn);
+
+  std::vector<std::string> Errors = verifyFunction(Fn);
+  if (!Errors.empty()) {
+    T.note("status", "verify_error");
+    return finish(
+        makeErrorResponse(R.Id, Status::VerifyError, Errors.front()));
+  }
+
+  PipelineParse Spec = parsePipeline(R.Pipeline);
+  if (!Spec) {
+    T.note("status", "bad_request");
+    return finish(makeErrorResponse(R.Id, Status::BadRequest, Spec.Error));
+  }
+
+  // Keep the pre-optimization program for the semantic check.
+  Function Original = R.Check ? Fn : Function();
+
+  RunReport Report;
+  Pipeline::RunResult Run;
+  if (R.WantReport) {
+    Report = collectRunReport(Spec.P, Fn, "lcm_server", R.Pipeline,
+                              HasDeadline ? &Deadline : nullptr);
+    Run.Ok = Report.Ok;
+    Run.Cancelled = Report.Cancelled;
+    Run.Error = Report.Error;
+    for (const PassRecord &P : Report.Passes)
+      Run.Steps.push_back({P.Name, P.Changes, P.Seconds, P.WordOps, {}});
+  } else {
+    Run = Spec.P.run(Fn, HasDeadline ? &Deadline : nullptr);
+  }
+  if (Run.Cancelled) {
+    T.note("status", "deadline_exceeded");
+    return finish(
+        makeErrorResponse(R.Id, Status::DeadlineExceeded, Run.Error));
+  }
+  if (!Run.Ok) {
+    T.note("status", "pipeline_error");
+    return finish(makeErrorResponse(R.Id, Status::PipelineError, Run.Error));
+  }
+
+  if (R.Check) {
+    for (uint64_t Seed = 1; Seed <= Config.CheckRuns; ++Seed) {
+      InterpResult Base = runSeeded(Original, Seed, Original.numVars(),
+                                    uint32_t(Original.numBlocks()));
+      InterpResult After = runSeeded(Fn, Seed, Original.numVars(),
+                                     uint32_t(Original.numBlocks()));
+      if (!sameObservableBehaviour(Base, After, Original.numVars())) {
+        T.note("status", "check_failed");
+        return finish(makeErrorResponse(
+            R.Id, Status::CheckFailed,
+            "optimized program diverges from input under seed " +
+                std::to_string(Seed)));
+      }
+    }
+  }
+
+  uint64_t Changes = 0;
+  for (const Pipeline::StepResult &S : Run.Steps)
+    Changes += S.Changes;
+
+  Value Response = makeResponse(R.Id, Status::Ok);
+  Response.set("ir", Value::str(printFunction(Fn)));
+  Response.set("pipeline", Value::str(R.Pipeline));
+  Response.set("changes", Value::number(Changes));
+  Response.set(
+      "seconds",
+      Value::number(std::chrono::duration<double>(Clock::now() - Start)
+                        .count()));
+  if (R.Check) {
+    Response.set("checked", Value::boolean(true));
+    Response.set("check_runs", Value::number(uint64_t(Config.CheckRuns)));
+  }
+  if (R.WantReport)
+    Response.set("report", Report.toJson());
+  T.note("status", "ok");
+  T.note("changes", Changes);
+  return finish(Response);
+}

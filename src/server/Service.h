@@ -1,0 +1,71 @@
+//===- server/Service.h - One optimization request, executed -------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent core of the optimization service: one request
+/// payload in, one response document out.  Everything a hostile client can
+/// send lands in a structured error response — resource caps bound parsing
+/// (ir/Limits.h), the verifier gates the pipeline, the pipeline re-verifies
+/// after every pass, and the deadline is enforced cooperatively through the
+/// CancelToken the pipeline polls at pass boundaries.
+///
+/// Following the independent-checking argument of Monniaux & Six
+/// (arXiv:2105.01344), a request may opt into `check`: the service
+/// re-executes original and optimized programs under identically seeded
+/// branch oracles and inputs and compares observable state
+/// (interp/Interpreter.h), refusing to return IR whose behaviour diverged.
+///
+/// The Server (server/Server.h) calls handle() from its worker pool;
+/// optimize_tool-style single-shot callers can use it directly.  handle()
+/// is const and the Service holds no mutable state, so concurrent calls
+/// are safe by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SERVER_SERVICE_H
+#define LCM_SERVER_SERVICE_H
+
+#include "ir/Limits.h"
+#include "server/Protocol.h"
+#include "support/Json.h"
+
+namespace lcm {
+namespace server {
+
+struct ServiceConfig {
+  /// Resource caps applied to every request's IR.
+  IRLimits Limits;
+  /// Requests asking for more than this are clamped (0 disables clamping).
+  int64_t MaxDeadlineMs = 60'000;
+  /// Deadline applied when the request carries none; negative = none.
+  int64_t DefaultDeadlineMs = -1;
+  /// Seeded executions per semantic check (`check: true`).
+  unsigned CheckRuns = 3;
+  /// Honor the test-only `test_sleep_ms` request option.  Only the
+  /// integration tests enable this.
+  bool EnableTestOptions = false;
+};
+
+class Service {
+public:
+  explicit Service(ServiceConfig Config = {}) : Config(Config) {}
+
+  const ServiceConfig &config() const { return Config; }
+
+  /// Executes one request payload (the JSON text of a frame) and returns
+  /// the response document.  Never throws; every failure mode is a
+  /// structured status.  Bumps the `server.*` Stats counters.
+  json::Value handle(const std::string &Payload) const;
+
+private:
+  ServiceConfig Config;
+};
+
+} // namespace server
+} // namespace lcm
+
+#endif // LCM_SERVER_SERVICE_H

@@ -1,0 +1,79 @@
+//===- support/Cancel.h - Cooperative cancellation and deadlines ---------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cancellation token threaded through long-running work (the pass
+/// pipeline, and through it every service request): the owner arms it with
+/// a deadline and/or flips the flag from another thread, and the work
+/// checks `cancelled()` at its natural yield points (pass boundaries).
+///
+/// Checks are cheap — one relaxed atomic load, plus a steady_clock read
+/// only when a deadline is armed — so callers can poll liberally.  The
+/// token is neither copyable nor movable; share it by pointer (every
+/// consumer takes `const CancelToken *` with nullptr meaning "never
+/// cancelled").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_CANCEL_H
+#define LCM_SUPPORT_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace lcm {
+
+class CancelToken {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Arms an absolute deadline.  Call before sharing the token with the
+  /// worker (the deadline fields are not synchronized on their own).
+  void setDeadline(Clock::time_point T) {
+    HasDeadline = true;
+    Deadline = T;
+  }
+
+  /// Arms a deadline \p Ms milliseconds from now.  Zero (or negative)
+  /// yields a token that is already expired — useful for "fail fast"
+  /// paths and deterministic deadline tests.
+  void setTimeoutMs(int64_t Ms) {
+    setDeadline(Clock::now() + std::chrono::milliseconds(Ms));
+  }
+
+  /// Requests cancellation from any thread.
+  void requestCancel() { Flag.store(true, std::memory_order_release); }
+
+  /// True once cancellation was requested or the deadline passed.
+  bool cancelled() const {
+    if (Flag.load(std::memory_order_acquire))
+      return true;
+    return HasDeadline && Clock::now() >= Deadline;
+  }
+
+  /// "cancelled" or "deadline exceeded" — for diagnostics after
+  /// cancelled() returned true.
+  const char *reason() const {
+    if (Flag.load(std::memory_order_acquire))
+      return "cancelled";
+    return "deadline exceeded";
+  }
+
+private:
+  std::atomic<bool> Flag{false};
+  bool HasDeadline = false;
+  Clock::time_point Deadline{};
+};
+
+} // namespace lcm
+
+#endif // LCM_SUPPORT_CANCEL_H

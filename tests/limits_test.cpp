@@ -1,0 +1,162 @@
+//===- tests/limits_test.cpp - Resource caps on parser and builder -------===//
+//
+// ir/Limits.h exists so the optimization service can feed untrusted IR to
+// the parser without an unbounded request exhausting memory.  These tests
+// pin the contract: each cap trips exactly at its boundary, the failure is
+// a structured diagnostic with OverLimit set (so the server maps it to a
+// `limits` response, not a syntax error), and IRBuilder honours the same
+// caps as a programmatic guard.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Limits.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace lcm;
+
+namespace {
+
+/// A chain of N blocks, each with one `xI = a + b`-style assignment.
+std::string chainProgram(int Blocks, int InstrsPerBlock = 1) {
+  std::string Source = "func chain\n";
+  for (int I = 0; I != Blocks; ++I) {
+    Source += "block b" + std::to_string(I) + "\n";
+    for (int J = 0; J != InstrsPerBlock; ++J)
+      Source += "  x = a + b\n";
+    Source += I + 1 == Blocks ? std::string("  exit\n")
+                              : "  goto b" + std::to_string(I + 1) + "\n";
+  }
+  return Source;
+}
+
+TEST(Limits, DefaultsAreGenerous) {
+  IRLimits L;
+  ParseResult R = parseFunction(chainProgram(64), L);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_FALSE(R.OverLimit);
+}
+
+TEST(Limits, SourceBytes) {
+  IRLimits L;
+  L.MaxSourceBytes = 64;
+  ParseResult R = parseFunction(chainProgram(16), L);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_TRUE(R.OverLimit);
+  EXPECT_NE(R.Error.find("limit:"), std::string::npos) << R.Error;
+  EXPECT_EQ(R.Error.rfind("line ", 0), 0u) << R.Error;
+
+  // At or under the cap parses fine.
+  std::string Small = "block b0\n  exit\n";
+  L.MaxSourceBytes = Small.size();
+  EXPECT_TRUE(parseFunction(Small, L));
+}
+
+TEST(Limits, Blocks) {
+  IRLimits L;
+  L.MaxBlocks = 4;
+  EXPECT_TRUE(parseFunction(chainProgram(4), L));
+  ParseResult R = parseFunction(chainProgram(5), L);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_TRUE(R.OverLimit);
+  EXPECT_NE(R.Error.find("limit:"), std::string::npos) << R.Error;
+}
+
+TEST(Limits, Instructions) {
+  IRLimits L;
+  // chainProgram(2, 3): 6 assignments plus terminators (terminators are
+  // edges, not instructions).
+  L.MaxInstrs = 6;
+  EXPECT_TRUE(parseFunction(chainProgram(2, 3), L));
+  L.MaxInstrs = 5;
+  ParseResult R = parseFunction(chainProgram(2, 3), L);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_TRUE(R.OverLimit);
+}
+
+TEST(Limits, Expressions) {
+  IRLimits L;
+  L.MaxExprs = 2;
+  // Two distinct expressions intern fine; re-use does not count.
+  EXPECT_TRUE(parseFunction(
+      "block b0\n  x = a + b\n  y = a + b\n  z = a - b\n  exit\n", L));
+  ParseResult R = parseFunction(
+      "block b0\n  x = a + b\n  y = a - b\n  z = a * b\n  exit\n", L);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_TRUE(R.OverLimit);
+}
+
+TEST(Limits, Variables) {
+  IRLimits L;
+  L.MaxVars = 4;
+  // a, b, x, y = 4 distinct names.
+  EXPECT_TRUE(parseFunction("block b0\n  x = a + b\n  y = a\n  exit\n", L));
+  ParseResult R =
+      parseFunction("block b0\n  x = a + b\n  y = c\n  exit\n", L);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_TRUE(R.OverLimit);
+}
+
+TEST(Limits, SyntaxErrorIsNotOverLimit) {
+  IRLimits L;
+  ParseResult R = parseFunction("block b0\n  x = a ? b\n  exit\n", L);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_FALSE(R.OverLimit);
+}
+
+TEST(Limits, UnlimitedRestoresTrustedBehaviour) {
+  ParseResult R = parseFunction(chainProgram(256), IRLimits::unlimited());
+  ASSERT_TRUE(R) << R.Error;
+}
+
+TEST(Limits, BuilderBlockCap) {
+  Function Fn("capped");
+  IRBuilder B(Fn);
+  IRLimits L;
+  L.MaxBlocks = 2;
+  B.setLimits(&L);
+  BlockId B0 = B.startBlock();
+  BlockId B1 = B.startBlock();
+  EXPECT_NE(B0, B1);
+  EXPECT_FALSE(B.limitHit());
+  // The third block is refused: no new block appears and the trip is
+  // recorded.
+  BlockId B2 = B.startBlock();
+  EXPECT_TRUE(B.limitHit());
+  EXPECT_EQ(B2, B1);
+  EXPECT_EQ(Fn.numBlocks(), 2u);
+}
+
+TEST(Limits, BuilderInstrCap) {
+  Function Fn("capped");
+  IRBuilder B(Fn);
+  IRLimits L;
+  L.MaxInstrs = 2;
+  B.setLimits(&L);
+  B.startBlock();
+  B.add("x", "a", "b").add("y", "a", "x");
+  EXPECT_FALSE(B.limitHit());
+  B.add("z", "y", "x"); // No-op: cap reached.
+  EXPECT_TRUE(B.limitHit());
+  EXPECT_EQ(Fn.block(0).instrs().size(), 2u);
+}
+
+TEST(Limits, BuilderVarCap) {
+  Function Fn("capped");
+  IRBuilder B(Fn);
+  IRLimits L;
+  L.MaxVars = 3;
+  B.setLimits(&L);
+  B.startBlock();
+  B.add("x", "a", "b"); // x, a, b: exactly at the cap.
+  EXPECT_FALSE(B.limitHit());
+  B.add("w", "a", "b"); // w would be a fourth variable.
+  EXPECT_TRUE(B.limitHit());
+  EXPECT_EQ(Fn.block(0).instrs().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/parser_fuzz_test.cpp - Parser robustness under hostile input -===//
+//
+// The optimization service (src/server) hands externally-supplied bytes
+// straight to parseFunction, so the parser must map *any* input — however
+// mangled — to a graceful ParseError with position info, never crash,
+// hang, or return an invalid function.  This is a deterministic fuzz
+// harness: hand-picked nasty inputs plus seeded random mutations of valid
+// programs.  Every failure must carry a "line N:" prefix so clients can
+// point at the offending source line.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+using namespace lcm;
+
+namespace {
+
+const char *ValidProgram = R"(func demo
+block entry
+  x = a + b
+  goto loop
+block loop
+  y = x + 1
+  c = y > 0
+  if c then loop else done
+block done
+  z = min x y
+  exit
+)";
+
+/// The contract under fuzz: parseFunction returns, and either yields a
+/// verifier-clean function or a positioned diagnostic.
+void expectGraceful(const std::string &Source) {
+  ParseResult R = parseFunction(Source);
+  if (R.Ok) {
+    EXPECT_TRUE(verifyFunction(R.Fn).empty())
+        << "parser accepted a function the verifier rejects";
+    // Accepted output must survive a print/reparse round trip.
+    ParseResult Again = parseFunction(printFunction(R.Fn));
+    EXPECT_TRUE(Again.Ok) << Again.Error;
+  } else {
+    EXPECT_FALSE(R.Error.empty());
+    EXPECT_EQ(R.Error.rfind("line ", 0), 0u)
+        << "diagnostic lacks position info: " << R.Error;
+  }
+}
+
+/// xorshift64*: deterministic across platforms, no <random> variance.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 1) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  }
+  size_t below(size_t N) { return N ? next() % N : 0; }
+};
+
+TEST(ParserFuzz, TruncatedAtEveryByte) {
+  std::string Source = ValidProgram;
+  for (size_t Cut = 0; Cut <= Source.size(); ++Cut)
+    expectGraceful(Source.substr(0, Cut));
+}
+
+TEST(ParserFuzz, TruncatedTokens) {
+  expectGraceful("blo");
+  expectGraceful("block");
+  expectGraceful("block b0\n  got");
+  expectGraceful("block b0\n  goto");
+  expectGraceful("block b0\n  if");
+  expectGraceful("block b0\n  if c");
+  expectGraceful("block b0\n  if c then");
+  expectGraceful("block b0\n  if c then b0 else");
+  expectGraceful("block b0\n  x =");
+  expectGraceful("block b0\n  x = a +");
+  expectGraceful("block b0\n  x = min a");
+  expectGraceful("func");
+}
+
+TEST(ParserFuzz, EmbeddedNulBytes) {
+  std::string Source = ValidProgram;
+  for (size_t I = 0; I < Source.size(); I += 7) {
+    std::string Mutated = Source;
+    Mutated[I] = '\0';
+    expectGraceful(Mutated);
+  }
+  expectGraceful(std::string("\0\0\0\0", 4));
+  expectGraceful(std::string("block b0\n  exit\n\0trailing", 26));
+}
+
+TEST(ParserFuzz, GiantIntegerLiterals) {
+  expectGraceful("block b0\n  x = 99999999999999999999999999\n  exit\n");
+  expectGraceful("block b0\n  x = -99999999999999999999999999\n  exit\n");
+  expectGraceful("block b0\n  x = 9223372036854775807\n  exit\n");
+  expectGraceful("block b0\n  x = a + 99999999999999999999\n  exit\n");
+  // A syntactically huge token that is not a number at all.
+  expectGraceful("block b0\n  x = " + std::string(1 << 16, '9') + "\n  exit\n");
+}
+
+TEST(ParserFuzz, PathologicallyLongLines) {
+  expectGraceful("block " + std::string(1 << 20, 'b') + "\n  exit\n");
+  expectGraceful("block b0\n  " + std::string(1 << 20, 'x') + " = a + b\n");
+  std::string ManyTokens = "block b0\n  x = a + b";
+  for (int I = 0; I != 1000; ++I)
+    ManyTokens += " junk";
+  expectGraceful(ManyTokens + "\n");
+}
+
+TEST(ParserFuzz, HugePrograms) {
+  // Many blocks in a straight chain: parses (under the default unlimited
+  // caps) without quadratic blowup or stack overflow.
+  std::string Source = "func big\n";
+  const int N = 20000;
+  for (int I = 0; I != N; ++I) {
+    Source += "block b" + std::to_string(I) + "\n";
+    Source += "  x" + std::to_string(I % 97) + " = a + b\n";
+    Source += I + 1 == N ? std::string("  exit\n")
+                         : "  goto b" + std::to_string(I + 1) + "\n";
+  }
+  ParseResult R = parseFunction(Source);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Fn.numBlocks(), size_t(N));
+}
+
+TEST(ParserFuzz, RandomByteMutations) {
+  Rng R(0x1cebabe5eedULL);
+  const std::string Base = ValidProgram;
+  for (int Round = 0; Round != 2000; ++Round) {
+    std::string Mutated = Base;
+    const int Edits = 1 + int(R.below(4));
+    for (int E = 0; E != Edits; ++E) {
+      size_t At = R.below(Mutated.size());
+      switch (R.below(4)) {
+      case 0: // Flip to an arbitrary byte, including controls and NUL.
+        Mutated[At] = char(R.below(256));
+        break;
+      case 1: // Delete a span.
+        Mutated.erase(At, 1 + R.below(8));
+        break;
+      case 2: // Duplicate a span somewhere else.
+        Mutated.insert(R.below(Mutated.size() + 1),
+                       Mutated.substr(At, 1 + R.below(16)));
+        break;
+      case 3: // Insert hostile characters.
+        Mutated.insert(At, std::string(1 + R.below(4), "\0\t\x7f="[R.below(4)]));
+        break;
+      }
+      if (Mutated.empty())
+        break;
+    }
+    expectGraceful(Mutated);
+  }
+}
+
+TEST(ParserFuzz, RandomTokenSoup) {
+  static const char *Tokens[] = {"block",  "func", "goto", "if",   "then",
+                                 "else",   "exit", "br",   "=",    "+",
+                                 "-",      "min",  "max",  "<<",   "~",
+                                 "a",      "b",    "x",    "b0",   "42",
+                                 "-1",     "\n",   "  ",   "#",    "\x01"};
+  Rng R(0xf00dfaceULL);
+  for (int Round = 0; Round != 2000; ++Round) {
+    std::string Source;
+    const int Count = int(R.below(60));
+    for (int I = 0; I != Count; ++I) {
+      Source += Tokens[R.below(sizeof(Tokens) / sizeof(Tokens[0]))];
+      if (R.below(3) == 0)
+        Source += ' ';
+    }
+    expectGraceful(Source);
+  }
+}
+
+TEST(ParserFuzz, PositionInfoPointsAtOffendingLine) {
+  ParseResult R = parseFunction("block b0\n  x = a +\n  exit\n");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error.rfind("line 2:", 0), 0u) << R.Error;
+}
+
+} // namespace

@@ -1,0 +1,284 @@
+//===- tests/server_protocol_test.cpp - Wire protocol unit tests ---------===//
+//
+// Pins the lcm-request-v1 / lcm-response-v1 wire contract without any
+// sockets: frame encode/decode under byte-by-byte delivery, the poisoned
+// stream after an invalid length prefix, request-document validation with
+// id recovery, the Service's structured error statuses, and the bounded
+// queue's backpressure/drain semantics.  The socket layer on top is
+// covered by server_integration_test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "server/RequestQueue.h"
+#include "server/Service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace lcm;
+using namespace lcm::server;
+using json::Value;
+
+namespace {
+
+const char *SmallIr = "block b0\n  x = a + b\n  y = a + b\n  exit\n";
+
+std::string statusOf(const Value &Response) {
+  const Value *S = Response.find("status");
+  return S && S->isString() ? S->asString() : "(missing)";
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+TEST(Framing, RoundTrip) {
+  std::string Encoded = encodeFrame("hello");
+  ASSERT_EQ(Encoded.size(), 9u);
+  EXPECT_EQ(Encoded.substr(0, 4), std::string("\x00\x00\x00\x05", 4));
+
+  FrameReader R;
+  R.feed(Encoded.data(), Encoded.size());
+  std::string Frame, Error;
+  ASSERT_EQ(R.next(Frame, Error), FrameReader::Status::Frame);
+  EXPECT_EQ(Frame, "hello");
+  EXPECT_EQ(R.next(Frame, Error), FrameReader::Status::NeedMore);
+}
+
+TEST(Framing, ByteByByteDelivery) {
+  std::string Encoded = encodeFrame("abc") + encodeFrame("defgh");
+  FrameReader R;
+  std::vector<std::string> Frames;
+  std::string Frame, Error;
+  for (char C : Encoded) {
+    R.feed(&C, 1);
+    while (R.next(Frame, Error) == FrameReader::Status::Frame)
+      Frames.push_back(Frame);
+  }
+  ASSERT_EQ(Frames.size(), 2u);
+  EXPECT_EQ(Frames[0], "abc");
+  EXPECT_EQ(Frames[1], "defgh");
+}
+
+TEST(Framing, ManyFramesOneBuffer) {
+  std::string Stream;
+  for (int I = 0; I != 500; ++I)
+    Stream += encodeFrame("payload-" + std::to_string(I));
+  FrameReader R;
+  // Two halves, exercising the internal compaction path.
+  R.feed(Stream.data(), Stream.size() / 2);
+  std::string Frame, Error;
+  int Count = 0;
+  while (R.next(Frame, Error) == FrameReader::Status::Frame) {
+    EXPECT_EQ(Frame, "payload-" + std::to_string(Count));
+    ++Count;
+  }
+  R.feed(Stream.data() + Stream.size() / 2, Stream.size() - Stream.size() / 2);
+  while (R.next(Frame, Error) == FrameReader::Status::Frame) {
+    EXPECT_EQ(Frame, "payload-" + std::to_string(Count));
+    ++Count;
+  }
+  EXPECT_EQ(Count, 500);
+}
+
+TEST(Framing, ZeroLengthPoisons) {
+  FrameReader R;
+  std::string Zero(4, '\0');
+  R.feed(Zero.data(), Zero.size());
+  std::string Frame, Error;
+  ASSERT_EQ(R.next(Frame, Error), FrameReader::Status::Error);
+  EXPECT_NE(Error.find("empty frame"), std::string::npos);
+  // The stream stays poisoned even if valid bytes follow.
+  std::string Good = encodeFrame("x");
+  R.feed(Good.data(), Good.size());
+  EXPECT_EQ(R.next(Frame, Error), FrameReader::Status::Error);
+}
+
+TEST(Framing, OversizeLengthPoisonsWithoutBuffering) {
+  FrameReader R(/*MaxFrameBytes=*/16);
+  std::string Huge = encodeFrame(std::string(17, 'x'));
+  R.feed(Huge.data(), 4); // Length prefix alone is enough to reject.
+  std::string Frame, Error;
+  ASSERT_EQ(R.next(Frame, Error), FrameReader::Status::Error);
+  EXPECT_NE(Error.find("exceeds cap"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Request documents
+//===----------------------------------------------------------------------===//
+
+TEST(RequestDoc, RoundTrip) {
+  Request R;
+  R.Id = Value::number(int64_t(42));
+  R.Ir = SmallIr;
+  R.Pipeline = "lcse,lcm";
+  R.DeadlineMs = 250;
+  R.Check = true;
+  R.WantReport = true;
+  RequestParse P = parseRequest(requestToJson(R).dump(0));
+  ASSERT_TRUE(P) << P.Error;
+  EXPECT_TRUE(P.R.Id == R.Id);
+  EXPECT_EQ(P.R.Ir, R.Ir);
+  EXPECT_EQ(P.R.Pipeline, R.Pipeline);
+  EXPECT_EQ(P.R.DeadlineMs, 250);
+  EXPECT_TRUE(P.R.Check);
+  EXPECT_TRUE(P.R.WantReport);
+}
+
+TEST(RequestDoc, RejectsGarbage) {
+  EXPECT_FALSE(parseRequest("not json at all"));
+  EXPECT_FALSE(parseRequest("[1,2,3]"));
+  EXPECT_FALSE(parseRequest("{}"));
+  EXPECT_FALSE(parseRequest(R"({"schema":"wrong-schema","ir":"x"})"));
+  EXPECT_FALSE(parseRequest(R"({"schema":"lcm-request-v1"})"));
+  EXPECT_FALSE(parseRequest(R"({"schema":"lcm-request-v1","ir":7})"));
+  EXPECT_FALSE(parseRequest(
+      R"({"schema":"lcm-request-v1","ir":"x","deadline_ms":-5})"));
+  EXPECT_FALSE(parseRequest(
+      R"({"schema":"lcm-request-v1","ir":"x","check":"yes"})"));
+  EXPECT_FALSE(parseRequest(
+      R"({"schema":"lcm-request-v1","ir":"x","id":{"a":1}})"));
+}
+
+TEST(RequestDoc, RecoversIdFromInvalidRequests) {
+  // A bad request that still names an id: the error response must be able
+  // to echo it so the client can correlate.
+  RequestParse P = parseRequest(R"({"id":"req-9","schema":"nope"})");
+  ASSERT_FALSE(P);
+  EXPECT_TRUE(P.Id == Value::str("req-9"));
+}
+
+TEST(ResponseDoc, ErrorEnvelope) {
+  Value R = makeErrorResponse(Value::str("abc"), Status::Overloaded,
+                              "queue full");
+  EXPECT_EQ(statusOf(R), "overloaded");
+  EXPECT_TRUE(*R.find("id") == Value::str("abc"));
+  EXPECT_EQ(R.find("error")->asString(), "queue full");
+  EXPECT_EQ(R.find("schema")->asString(), "lcm-response-v1");
+}
+
+//===----------------------------------------------------------------------===//
+// Service: every failure mode is a structured status
+//===----------------------------------------------------------------------===//
+
+std::string handleStatus(const Service &S, const std::string &Payload) {
+  return statusOf(S.handle(Payload));
+}
+
+TEST(Service, OptimizesAndChecks) {
+  Service S;
+  Request R;
+  R.Id = Value::number(int64_t(1));
+  R.Ir = SmallIr;
+  R.Check = true;
+  Value Response = S.handle(requestToJson(R).dump(0));
+  ASSERT_EQ(statusOf(Response), "ok");
+  EXPECT_TRUE(*Response.find("id") == R.Id);
+  EXPECT_TRUE(Response.find("checked")->asBool());
+  // LCSE must have removed the redundant `a + b`.
+  EXPECT_GE(Response.find("changes")->asInt(), 1);
+  const Value *Ir = Response.find("ir");
+  ASSERT_TRUE(Ir && Ir->isString());
+  EXPECT_NE(Ir->asString().find("block"), std::string::npos);
+}
+
+TEST(Service, EmbedsRunReport) {
+  Service S;
+  Request R;
+  R.Ir = SmallIr;
+  R.WantReport = true;
+  Value Response = S.handle(requestToJson(R).dump(0));
+  ASSERT_EQ(statusOf(Response), "ok");
+  const Value *Report = Response.find("report");
+  ASSERT_TRUE(Report && Report->isObject());
+  EXPECT_EQ(Report->find("schema")->asString(), "lcm-run-report-v1");
+}
+
+TEST(Service, StructuredErrors) {
+  Service S;
+  EXPECT_EQ(handleStatus(S, "{{{"), "bad_request");
+  EXPECT_EQ(handleStatus(
+                S, R"({"schema":"lcm-request-v1","ir":"block b0\n  what\n"})"),
+            "parse_error");
+  EXPECT_EQ(handleStatus(S, R"({"schema":"lcm-request-v1","ir":"block b0)"
+                            R"(\n  exit\n","pipeline":"no-such-pass"})"),
+            "bad_request");
+}
+
+TEST(Service, LimitsStatusIsDistinctFromParseError) {
+  ServiceConfig Config;
+  Config.Limits.MaxBlocks = 2;
+  Service S(Config);
+  Request R;
+  R.Ir = "block b0\n  goto b1\nblock b1\n  goto b2\nblock b2\n  exit\n";
+  Value Response = S.handle(requestToJson(R).dump(0));
+  EXPECT_EQ(statusOf(Response), "limits");
+  EXPECT_NE(Response.find("error")->asString().find("limit:"),
+            std::string::npos);
+}
+
+TEST(Service, DeadlineZeroCancelsImmediately) {
+  Service S;
+  Request R;
+  R.Ir = SmallIr;
+  R.DeadlineMs = 0; // Pre-expired token: cancelled before the first pass.
+  Value Response = S.handle(requestToJson(R).dump(0));
+  EXPECT_EQ(statusOf(Response), "deadline_exceeded");
+}
+
+TEST(Service, TestSleepIgnoredUnlessEnabled) {
+  // With test options off, a test_sleep_ms request must not stall.
+  Service S;
+  Request R;
+  R.Ir = SmallIr;
+  R.TestSleepMs = 60'000;
+  const auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(statusOf(S.handle(requestToJson(R).dump(0))), "ok");
+  EXPECT_LT(std::chrono::steady_clock::now() - Start,
+            std::chrono::seconds(10));
+}
+
+//===----------------------------------------------------------------------===//
+// BoundedQueue
+//===----------------------------------------------------------------------===//
+
+TEST(BoundedQueue, BackpressureAtCapacity) {
+  BoundedQueue<int> Q(2);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_FALSE(Q.tryPush(3)); // Full: immediate refusal, no blocking.
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 1);
+  EXPECT_TRUE(Q.tryPush(3)); // Space again.
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+  BoundedQueue<int> Q(8);
+  ASSERT_TRUE(Q.tryPush(1));
+  ASSERT_TRUE(Q.tryPush(2));
+  Q.close();
+  EXPECT_FALSE(Q.tryPush(3)); // Closed to producers...
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V)); // ...but consumers still drain what was admitted.
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_FALSE(Q.pop(V)); // Drained + closed: consumer exit signal.
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> Q(4);
+  std::thread Consumer([&] {
+    int V = 0;
+    EXPECT_FALSE(Q.pop(V)); // Blocks until close, then exits empty.
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Q.close();
+  Consumer.join();
+}
+
+} // namespace

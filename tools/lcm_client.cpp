@@ -1,0 +1,165 @@
+//===- tools/lcm_client.cpp - One-shot client for lcm_serve ---------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// Sends one optimization request to a running lcm_serve and prints the
+// optimized program:
+//
+//   lcm_client --tcp=PORT [options] [FILE]
+//   lcm_client --unix=PATH [options] [FILE]
+//
+// Reads the IR from FILE (or stdin), frames it as an lcm-request-v1
+// document, and blocks for the response.  See docs/SERVER.md for the
+// protocol; `lcm_client --help` documents options and exit codes.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/Client.h"
+
+using namespace lcm;
+using namespace lcm::server;
+
+namespace {
+
+int usage(int Code) {
+  std::fprintf(
+      Code == 0 ? stdout : stderr,
+      "usage: lcm_client (--tcp=PORT | --unix=PATH) [options] [FILE]\n"
+      "\n"
+      "  --pipeline=p1,p2,...  pass pipeline (default \"lcse,lcm\")\n"
+      "  --deadline-ms=N       per-request deadline\n"
+      "  --check               ask the server to verify semantic\n"
+      "                        equivalence before returning\n"
+      "  --report              include the lcm-run-report-v1 record and\n"
+      "                        print it to stderr\n"
+      "  --id=VALUE            request id echoed by the server\n"
+      "  --raw                 print the whole response document instead\n"
+      "                        of just the optimized IR\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success (response status \"ok\")\n"
+      "  1  transport failure (cannot connect, connection dropped)\n"
+      "  2  usage error\n"
+      "  3  server answered with an error status (printed to stderr)\n");
+  return Code;
+}
+
+std::string readAll(std::FILE *In) {
+  std::string Data;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+    Data.append(Buf, N);
+  return Data;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int TcpPort = -1;
+  std::string UnixPath;
+  Request R;
+  bool Raw = false;
+  const char *Path = nullptr;
+
+  for (int I = 1; I != argc; ++I) {
+    if (std::strncmp(argv[I], "--tcp=", 6) == 0) {
+      char *End = nullptr;
+      long long N = std::strtoll(argv[I] + 6, &End, 10);
+      if (*End != '\0' || N < 0 || N > 65535)
+        return usage(2);
+      TcpPort = int(N);
+    } else if (std::strncmp(argv[I], "--unix=", 7) == 0 &&
+               argv[I][7] != '\0') {
+      UnixPath = argv[I] + 7;
+    } else if (std::strncmp(argv[I], "--pipeline=", 11) == 0) {
+      R.Pipeline = argv[I] + 11;
+    } else if (std::strncmp(argv[I], "--deadline-ms=", 14) == 0) {
+      char *End = nullptr;
+      long long N = std::strtoll(argv[I] + 14, &End, 10);
+      if (*End != '\0' || N < 0)
+        return usage(2);
+      R.DeadlineMs = N;
+    } else if (std::strncmp(argv[I], "--id=", 5) == 0) {
+      R.Id = json::Value::str(argv[I] + 5);
+    } else if (std::strcmp(argv[I], "--check") == 0) {
+      R.Check = true;
+    } else if (std::strcmp(argv[I], "--report") == 0) {
+      R.WantReport = true;
+    } else if (std::strcmp(argv[I], "--raw") == 0) {
+      Raw = true;
+    } else if (std::strcmp(argv[I], "--help") == 0) {
+      return usage(0);
+    } else if (argv[I][0] == '-' && argv[I][1] != '\0') {
+      return usage(2);
+    } else if (Path) {
+      return usage(2);
+    } else {
+      Path = argv[I];
+    }
+  }
+  if ((TcpPort < 0) == UnixPath.empty())
+    return usage(2); // Exactly one transport.
+
+  if (Path && std::strcmp(Path, "-") != 0) {
+    std::FILE *In = std::fopen(Path, "rb");
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path);
+      return 1;
+    }
+    R.Ir = readAll(In);
+    std::fclose(In);
+  } else {
+    R.Ir = readAll(stdin);
+  }
+
+  Client C;
+  std::string Error;
+  bool Connected = TcpPort >= 0 ? C.connectTcp(TcpPort, Error)
+                                : C.connectUnix(UnixPath, Error);
+  if (!Connected) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  json::Value Response;
+  if (!C.call(R, Response, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  const json::Value *St = Response.find("status");
+  std::string Status = St && St->isString() ? St->asString() : "(missing)";
+  if (Status != "ok") {
+    const json::Value *Msg = Response.find("error");
+    std::fprintf(stderr, "error: %s: %s\n", Status.c_str(),
+                 Msg && Msg->isString() ? Msg->asString().c_str() : "");
+    if (Raw)
+      std::printf("%s\n", Response.dump().c_str());
+    return 3;
+  }
+
+  if (Raw) {
+    std::printf("%s\n", Response.dump().c_str());
+    return 0;
+  }
+  if (R.WantReport) {
+    if (const json::Value *Report = Response.find("report"))
+      std::fprintf(stderr, "%s\n", Report->dump().c_str());
+  }
+  const json::Value *Ir = Response.find("ir");
+  if (!Ir || !Ir->isString()) {
+    std::fprintf(stderr, "error: response carries no IR\n");
+    return 1;
+  }
+  std::fputs(Ir->asString().c_str(), stdout);
+  return 0;
+}

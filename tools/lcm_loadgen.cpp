@@ -1,0 +1,314 @@
+//===- tools/lcm_loadgen.cpp - Load-test harness for lcm_serve ------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives a running lcm_serve with N concurrent connections sending M
+// requests each, and reports latency percentiles and throughput:
+//
+//   lcm_loadgen --tcp=PORT --connections=4 --requests=50
+//   lcm_loadgen --unix=/tmp/lcm.sock --json=loadgen.json
+//
+// Request bodies cycle through the default experiment corpus (workload/)
+// unless --ir=FILE pins one program.  Every response is validated: the
+// schema must match, the echoed id must match the request (except for
+// admission-control replies, which the server answers before parsing),
+// and an `ok` response must carry IR.  Any lost or corrupted response
+// fails the run.
+//
+// --json[=FILE] emits the measurements in the lcm-bench-v1 schema used by
+// the rest of the experiment harness (docs/OBSERVABILITY.md), so CI can
+// archive load-test results next to the bench tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/Printer.h"
+#include "server/Client.h"
+#include "workload/Corpus.h"
+
+using namespace lcm;
+using namespace lcm::server;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+int usage(int Code) {
+  std::fprintf(
+      Code == 0 ? stdout : stderr,
+      "usage: lcm_loadgen (--tcp=PORT | --unix=PATH) [options]\n"
+      "\n"
+      "  --connections=N   concurrent client connections (default 4)\n"
+      "  --requests=M      requests per connection (default 50)\n"
+      "  --pipeline=SPEC   pass pipeline (default \"lcse,lcm\")\n"
+      "  --deadline-ms=N   per-request deadline\n"
+      "  --check           ask the server to verify semantic equivalence\n"
+      "  --ir=FILE         send FILE's IR for every request (default:\n"
+      "                    cycle through the experiment corpus)\n"
+      "  --json[=FILE]     emit lcm-bench-v1 measurements (stdout or FILE)\n"
+      "\n"
+      "exit codes: 0 all responses received and well-formed; 1 transport\n"
+      "failure, lost response, or corrupted response; 2 usage error.\n");
+  return Code;
+}
+
+struct WorkerResult {
+  std::vector<double> LatencyMs;
+  uint64_t Ok = 0;
+  uint64_t Overloaded = 0;
+  uint64_t DeadlineExceeded = 0;
+  uint64_t OtherErrors = 0;
+  uint64_t Corrupted = 0;
+  std::string TransportError;
+};
+
+double percentile(const std::vector<double> &Sorted, unsigned P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Index = (Sorted.size() * P) / 100;
+  return Sorted[std::min(Index, Sorted.size() - 1)];
+}
+
+void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
+               unsigned WorkerIndex, const Request &Template,
+               const std::vector<std::string> &Programs, WorkerResult &Out) {
+  Client C;
+  std::string Error;
+  bool Connected = TcpPort >= 0
+                       ? C.connectTcp(TcpPort, Error, /*RetryMs=*/2000)
+                       : C.connectUnix(UnixPath, Error, /*RetryMs=*/2000);
+  if (!Connected) {
+    Out.TransportError = Error;
+    return;
+  }
+  Out.LatencyMs.reserve(Requests);
+  for (unsigned I = 0; I != Requests; ++I) {
+    Request R = Template;
+    R.Id = json::Value::number(int64_t(WorkerIndex) * Requests + I);
+    R.Ir = Programs[(WorkerIndex + I) % Programs.size()];
+    json::Value Response;
+    const auto Start = Clock::now();
+    if (!C.call(R, Response, Error)) {
+      Out.TransportError = Error;
+      return;
+    }
+    Out.LatencyMs.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - Start)
+            .count());
+
+    const json::Value *Schema = Response.find("schema");
+    const json::Value *St = Response.find("status");
+    if (!Schema || !Schema->isString() ||
+        Schema->asString() != ResponseSchema || !St || !St->isString()) {
+      ++Out.Corrupted;
+      continue;
+    }
+    std::string Status = St->asString();
+    // Admission-control replies are written before the payload is parsed,
+    // so they cannot echo the id; everything else must.
+    if (Status != "overloaded" && Status != "shutting_down") {
+      const json::Value *Id = Response.find("id");
+      if (!Id || !(*Id == R.Id)) {
+        ++Out.Corrupted;
+        continue;
+      }
+    }
+    if (Status == "ok") {
+      const json::Value *Ir = Response.find("ir");
+      if (!Ir || !Ir->isString() || Ir->asString().empty())
+        ++Out.Corrupted;
+      else
+        ++Out.Ok;
+    } else if (Status == "overloaded") {
+      ++Out.Overloaded;
+    } else if (Status == "deadline_exceeded") {
+      ++Out.DeadlineExceeded;
+    } else {
+      ++Out.OtherErrors;
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int TcpPort = -1;
+  std::string UnixPath, IrPath, JsonPath;
+  bool Json = false;
+  unsigned Connections = 4, Requests = 50;
+  Request Template;
+
+  for (int I = 1; I != argc; ++I) {
+    char *End = nullptr;
+    if (std::strncmp(argv[I], "--tcp=", 6) == 0) {
+      long long N = std::strtoll(argv[I] + 6, &End, 10);
+      if (*End != '\0' || N < 0 || N > 65535)
+        return usage(2);
+      TcpPort = int(N);
+    } else if (std::strncmp(argv[I], "--unix=", 7) == 0 &&
+               argv[I][7] != '\0') {
+      UnixPath = argv[I] + 7;
+    } else if (std::strncmp(argv[I], "--connections=", 14) == 0) {
+      long long N = std::strtoll(argv[I] + 14, &End, 10);
+      if (*End != '\0' || N <= 0 || N > 1024)
+        return usage(2);
+      Connections = unsigned(N);
+    } else if (std::strncmp(argv[I], "--requests=", 11) == 0) {
+      long long N = std::strtoll(argv[I] + 11, &End, 10);
+      if (*End != '\0' || N <= 0 || N > 10'000'000)
+        return usage(2);
+      Requests = unsigned(N);
+    } else if (std::strncmp(argv[I], "--pipeline=", 11) == 0) {
+      Template.Pipeline = argv[I] + 11;
+    } else if (std::strncmp(argv[I], "--deadline-ms=", 14) == 0) {
+      long long N = std::strtoll(argv[I] + 14, &End, 10);
+      if (*End != '\0' || N < 0)
+        return usage(2);
+      Template.DeadlineMs = N;
+    } else if (std::strcmp(argv[I], "--check") == 0) {
+      Template.Check = true;
+    } else if (std::strncmp(argv[I], "--ir=", 5) == 0 && argv[I][5] != '\0') {
+      IrPath = argv[I] + 5;
+    } else if (std::strcmp(argv[I], "--json") == 0) {
+      Json = true;
+    } else if (std::strncmp(argv[I], "--json=", 7) == 0) {
+      Json = true;
+      JsonPath = argv[I] + 7;
+    } else if (std::strcmp(argv[I], "--help") == 0) {
+      return usage(0);
+    } else {
+      return usage(2);
+    }
+  }
+  if ((TcpPort < 0) == UnixPath.empty())
+    return usage(2); // Exactly one transport.
+
+  std::vector<std::string> Programs;
+  if (!IrPath.empty()) {
+    std::FILE *In = std::fopen(IrPath.c_str(), "rb");
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", IrPath.c_str());
+      return 1;
+    }
+    std::string Data;
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+      Data.append(Buf, N);
+    std::fclose(In);
+    Programs.push_back(std::move(Data));
+  } else {
+    for (const CorpusEntry &E : makeDefaultCorpus()) {
+      Function Fn = E.Make();
+      Programs.push_back(printFunction(Fn));
+    }
+  }
+
+  std::vector<WorkerResult> Results(Connections);
+  std::vector<std::thread> Threads;
+  const auto Start = Clock::now();
+  for (unsigned I = 0; I != Connections; ++I)
+    Threads.emplace_back([&, I] {
+      runWorker(TcpPort, UnixPath, Requests, I, Template, Programs,
+                Results[I]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  const double WallSeconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  std::vector<double> Latencies;
+  uint64_t Ok = 0, Overloaded = 0, DeadlineExceeded = 0, OtherErrors = 0,
+           Corrupted = 0;
+  bool TransportFailed = false;
+  for (const WorkerResult &R : Results) {
+    Latencies.insert(Latencies.end(), R.LatencyMs.begin(), R.LatencyMs.end());
+    Ok += R.Ok;
+    Overloaded += R.Overloaded;
+    DeadlineExceeded += R.DeadlineExceeded;
+    OtherErrors += R.OtherErrors;
+    Corrupted += R.Corrupted;
+    if (!R.TransportError.empty()) {
+      std::fprintf(stderr, "error: %s\n", R.TransportError.c_str());
+      TransportFailed = true;
+    }
+  }
+  std::sort(Latencies.begin(), Latencies.end());
+  const uint64_t Total = uint64_t(Connections) * Requests;
+  double Mean = 0.0;
+  for (double L : Latencies)
+    Mean += L;
+  if (!Latencies.empty())
+    Mean /= double(Latencies.size());
+
+  std::printf("loadgen: %u connections x %u requests, pipeline \"%s\"\n",
+              Connections, Requests, Template.Pipeline.c_str());
+  std::printf("responses: %zu/%llu  ok=%llu overloaded=%llu "
+              "deadline_exceeded=%llu other=%llu corrupted=%llu\n",
+              Latencies.size(), (unsigned long long)Total,
+              (unsigned long long)Ok, (unsigned long long)Overloaded,
+              (unsigned long long)DeadlineExceeded,
+              (unsigned long long)OtherErrors, (unsigned long long)Corrupted);
+  std::printf("latency ms: p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f "
+              "mean=%.3f\n",
+              percentile(Latencies, 50), percentile(Latencies, 90),
+              percentile(Latencies, 95), percentile(Latencies, 99),
+              Latencies.empty() ? 0.0 : Latencies.back(), Mean);
+  std::printf("throughput: %.1f requests/s over %.3fs\n",
+              WallSeconds > 0 ? double(Latencies.size()) / WallSeconds : 0.0,
+              WallSeconds);
+
+  if (Json) {
+    json::Value Metrics = json::Value::object();
+    Metrics.set("connections", json::Value::number(uint64_t(Connections)))
+        .set("requests_per_connection", json::Value::number(uint64_t(Requests)))
+        .set("total_requests", json::Value::number(Total))
+        .set("responses", json::Value::number(uint64_t(Latencies.size())))
+        .set("ok", json::Value::number(Ok))
+        .set("overloaded", json::Value::number(Overloaded))
+        .set("deadline_exceeded", json::Value::number(DeadlineExceeded))
+        .set("other_errors", json::Value::number(OtherErrors))
+        .set("corrupted", json::Value::number(Corrupted))
+        .set("wall_seconds", json::Value::number(WallSeconds))
+        .set("throughput_rps",
+             json::Value::number(WallSeconds > 0
+                                     ? double(Latencies.size()) / WallSeconds
+                                     : 0.0))
+        .set("latency_ms_p50", json::Value::number(percentile(Latencies, 50)))
+        .set("latency_ms_p90", json::Value::number(percentile(Latencies, 90)))
+        .set("latency_ms_p95", json::Value::number(percentile(Latencies, 95)))
+        .set("latency_ms_p99", json::Value::number(percentile(Latencies, 99)))
+        .set("latency_ms_max", json::Value::number(
+                                   Latencies.empty() ? 0.0 : Latencies.back()))
+        .set("latency_ms_mean", json::Value::number(Mean));
+    json::Value Section = json::Value::object();
+    Section.set("title", json::Value::str("Server load test"));
+    Section.set("metrics", std::move(Metrics));
+    json::Value Sections = json::Value::object();
+    Sections.set("load", std::move(Section));
+    json::Value Root = json::Value::object();
+    Root.set("schema", json::Value::str("lcm-bench-v1"))
+        .set("bench", json::Value::str("lcm_loadgen"))
+        .set("sections", std::move(Sections));
+    if (JsonPath.empty()) {
+      std::printf("%s\n", Root.dump().c_str());
+    } else if (!json::writeFile(JsonPath, Root)) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+  }
+
+  if (TransportFailed || Corrupted != 0 || Latencies.size() != Total)
+    return 1;
+  return 0;
+}

@@ -1,0 +1,157 @@
+//===- tools/lcm_serve.cpp - The optimization service daemon --------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the optimization service (src/server) as a long-lived daemon:
+//
+//   lcm_serve --tcp=0 --workers=4
+//   lcm_serve --unix=/tmp/lcm.sock --queue=128
+//
+// Listens on loopback TCP (--tcp=0 binds an ephemeral port and prints it)
+// and/or a Unix-domain socket, then serves length-prefixed JSON request
+// frames until SIGTERM/SIGINT, at which point it drains gracefully: stop
+// accepting, answer `shutting_down` to new frames, finish every admitted
+// request, then exit.  Protocol and operations notes: docs/SERVER.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <unistd.h>
+
+#include "server/Server.h"
+
+using namespace lcm;
+using namespace lcm::server;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lcm_serve [--tcp=PORT] [--unix=PATH] [--workers=N]\n"
+      "                 [--queue=N] [--max-deadline-ms=N]\n"
+      "                 [--default-deadline-ms=N] [--check-runs=N]\n"
+      "                 [--max-source-bytes=N] [--max-blocks=N]\n"
+      "                 [--max-instrs=N] [--enable-test-options]\n"
+      "\n"
+      "  --tcp=PORT             listen on 127.0.0.1:PORT (0 = ephemeral;\n"
+      "                         the bound port is printed on startup)\n"
+      "  --unix=PATH            listen on a Unix-domain socket at PATH\n"
+      "  --workers=N            worker threads (0 = all hardware threads)\n"
+      "  --queue=N              bounded request queue capacity\n"
+      "  --max-deadline-ms=N    clamp per-request deadlines (0 = no clamp)\n"
+      "  --default-deadline-ms=N  deadline for requests that carry none\n"
+      "  --check-runs=N         seeded executions per `check: true` request\n"
+      "  --max-source-bytes=N   per-request IR source cap\n"
+      "  --max-blocks=N         per-request basic-block cap\n"
+      "  --max-instrs=N         per-request instruction cap\n"
+      "  --enable-test-options  honor the test-only `test_sleep_ms` option\n"
+      "\n"
+      "SIGTERM/SIGINT trigger a graceful drain: accepted requests are\n"
+      "answered, new frames get a `shutting_down` response, then the\n"
+      "daemon exits 0.\n");
+  return 2;
+}
+
+bool parseNum(const char *Arg, const char *Prefix, long long &Out) {
+  size_t N = std::strlen(Prefix);
+  if (std::strncmp(Arg, Prefix, N) != 0)
+    return false;
+  char *End = nullptr;
+  Out = std::strtoll(Arg + N, &End, 10);
+  return End && *End == '\0' && Arg[N] != '\0';
+}
+
+// Self-pipe: the signal handler may only write(); the main thread blocks
+// reading the other end until a shutdown signal arrives.
+int SignalPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  char Byte = 1;
+  ssize_t Ignored = ::write(SignalPipe[1], &Byte, 1);
+  (void)Ignored;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerOptions Opts;
+  long long N = 0;
+  for (int I = 1; I != argc; ++I) {
+    if (parseNum(argv[I], "--tcp=", N) && N >= 0 && N <= 65535) {
+      Opts.TcpPort = int(N);
+    } else if (std::strncmp(argv[I], "--unix=", 7) == 0 &&
+               argv[I][7] != '\0') {
+      Opts.UnixPath = argv[I] + 7;
+    } else if (parseNum(argv[I], "--workers=", N) && N >= 0 && N <= 4096) {
+      Opts.Workers = N == 0 ? std::thread::hardware_concurrency() : unsigned(N);
+    } else if (parseNum(argv[I], "--queue=", N) && N > 0 && N <= 1'000'000) {
+      Opts.QueueCapacity = size_t(N);
+    } else if (parseNum(argv[I], "--max-deadline-ms=", N) && N >= 0) {
+      Opts.Service.MaxDeadlineMs = N;
+    } else if (parseNum(argv[I], "--default-deadline-ms=", N) && N >= 0) {
+      Opts.Service.DefaultDeadlineMs = N;
+    } else if (parseNum(argv[I], "--check-runs=", N) && N > 0 && N <= 1000) {
+      Opts.Service.CheckRuns = unsigned(N);
+    } else if (parseNum(argv[I], "--max-source-bytes=", N) && N > 0) {
+      Opts.Service.Limits.MaxSourceBytes = size_t(N);
+    } else if (parseNum(argv[I], "--max-blocks=", N) && N > 0) {
+      Opts.Service.Limits.MaxBlocks = size_t(N);
+    } else if (parseNum(argv[I], "--max-instrs=", N) && N > 0) {
+      Opts.Service.Limits.MaxInstrs = size_t(N);
+    } else if (std::strcmp(argv[I], "--enable-test-options") == 0) {
+      Opts.Service.EnableTestOptions = true;
+    } else {
+      return usage();
+    }
+  }
+  if (Opts.TcpPort < 0 && Opts.UnixPath.empty())
+    return usage();
+
+  if (::pipe(SignalPipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Server S(Opts);
+  std::string Error;
+  if (!S.start(Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (S.tcpPort() >= 0)
+    std::printf("listening tcp=127.0.0.1:%d\n", S.tcpPort());
+  if (!Opts.UnixPath.empty())
+    std::printf("listening unix=%s\n", Opts.UnixPath.c_str());
+  std::fflush(stdout);
+
+  // Park until a shutdown signal lands on the self-pipe.
+  char Byte;
+  while (::read(SignalPipe[0], &Byte, 1) < 0 && errno == EINTR)
+    ;
+
+  std::fprintf(stderr, "lcm_serve: draining...\n");
+  S.shutdown();
+  Server::Counters C = S.counters();
+  std::fprintf(stderr,
+               "lcm_serve: done. connections=%llu frames=%llu "
+               "responses=%llu overloaded=%llu shed=%llu framing_errors=%llu\n",
+               (unsigned long long)C.Connections,
+               (unsigned long long)C.FramesIn,
+               (unsigned long long)C.ResponsesOut,
+               (unsigned long long)C.Overloaded,
+               (unsigned long long)C.ShedShuttingDown,
+               (unsigned long long)C.FramingErrors);
+  return 0;
+}
