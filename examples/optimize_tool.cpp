@@ -25,19 +25,24 @@
 // Batch mode exercises the parallel corpus driver instead of a file:
 //
 //   optimize_tool --corpus=N [--threads=M] [--pipeline=...]
-//                 [--report=out.json]
+//                 [--report=out.json] [--cache-bytes=N] [--cache-dir=PATH]
 //
 // generates N functions (half structured, half random CFGs), optimizes
 // them on M worker threads (0 = all hardware threads), and prints a
 // throughput summary (--report captures it plus the batch's counters).
+// --cache-bytes / --cache-dir route the batch through the content-addressed
+// result cache (docs/CACHE.md): repeat functions — and, with --cache-dir,
+// repeat *runs* — skip the pipeline.
 //
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "cache/ResultCache.h"
 #include "driver/CorpusDriver.h"
 #include "driver/Pipeline.h"
 #include "ir/Parser.h"
@@ -66,10 +71,15 @@ int usage() {
                        "[--pass=NAME] [--dot] [--stats] [--list-passes] "
                        "[--timeout-ms=N] [--report=FILE.json] [FILE]\n"
                        "       optimize_tool --corpus=N [--threads=M] "
-                       "[--pipeline=p1,p2,...] [--report=FILE.json]\n"
+                       "[--pipeline=p1,p2,...] [--report=FILE.json] "
+                       "[--cache-bytes=N] [--cache-dir=PATH]\n"
                        "\n"
                        "  --timeout-ms=N  cancel the pipeline cooperatively "
                        "after N milliseconds\n"
+                       "  --cache-bytes=N  corpus mode: result-cache memory "
+                       "budget (enables the cache)\n"
+                       "  --cache-dir=PATH corpus mode: persistent result "
+                       "cache at PATH (enables the cache)\n"
                        "\n"
                        "exit codes:\n"
                        "  0  success\n"
@@ -87,7 +97,8 @@ int writeReportOrFail(const RunReport &Report, const std::string &Path) {
 }
 
 int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
-                  unsigned Threads, const std::string &ReportPath) {
+                  unsigned Threads, const std::string &ReportPath,
+                  size_t CacheBytes, const std::string &CacheDir) {
   PipelineParse Parsed = parsePipeline(Spec);
   if (!Parsed) {
     std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
@@ -98,8 +109,23 @@ int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
        makeGeneratedCorpus(CorpusSize / 2, CorpusSize - CorpusSize / 2))
     Fns.push_back(E.Make());
 
+  std::unique_ptr<cache::ResultCache> Cache;
+  if (CacheBytes != 0 || !CacheDir.empty()) {
+    cache::ResultCacheConfig CC;
+    if (CacheBytes != 0)
+      CC.MemoryBytes = CacheBytes;
+    CC.DiskDir = CacheDir;
+    Cache = std::make_unique<cache::ResultCache>(CC);
+    std::string Error;
+    if (!Cache->open(Error)) {
+      std::fprintf(stderr, "error: cache: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
   CorpusDriverOptions Opts;
   Opts.Threads = Threads;
+  Opts.Cache = Cache.get();
   std::map<std::string, uint64_t> StatsBefore = Stats::all();
   CorpusDriverResult R = optimizeCorpus(Fns, Parsed.P, Opts);
 
@@ -109,6 +135,9 @@ int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
               "changes=%llu  failures=%zu\n",
               R.ThreadsUsed, R.Seconds, R.functionsPerSecond(),
               (unsigned long long)R.TotalChanges, R.NumFailed);
+  if (Cache)
+    std::printf("cache: hits=%zu/%zu  %s\n", R.CacheHits, Fns.size(),
+                Cache->summary().c_str());
   if (!ReportPath.empty()) {
     std::map<std::string, uint64_t> Delta;
     for (const auto &[Name, After] : Stats::all()) {
@@ -141,6 +170,8 @@ int main(int argc, char **argv) {
   const char *Path = nullptr;
   unsigned CorpusSize = 0, Threads = 1;
   long long TimeoutMs = -1;
+  size_t CacheBytes = 0;
+  std::string CacheDir;
 
   for (int I = 1; I != argc; ++I) {
     if (std::strncmp(argv[I], "--pipeline=", 11) == 0) {
@@ -163,6 +194,16 @@ int main(int argc, char **argv) {
       if (*End != '\0' || N < 0 || N > 4096)
         return usage();
       Threads = unsigned(N);
+    } else if (std::strncmp(argv[I], "--cache-bytes=", 14) == 0) {
+      char *End = nullptr;
+      long long N = std::strtoll(argv[I] + 14, &End, 10);
+      if (*End != '\0' || N <= 0)
+        return usage();
+      CacheBytes = size_t(N);
+    } else if (std::strncmp(argv[I], "--cache-dir=", 12) == 0) {
+      CacheDir = argv[I] + 12;
+      if (CacheDir.empty())
+        return usage();
     } else if (std::strncmp(argv[I], "--timeout-ms=", 13) == 0) {
       char *End = nullptr;
       TimeoutMs = std::strtoll(argv[I] + 13, &End, 10);
@@ -186,7 +227,8 @@ int main(int argc, char **argv) {
   }
 
   if (CorpusSize != 0)
-    return runCorpusMode(Spec, CorpusSize, Threads, ReportPath);
+    return runCorpusMode(Spec, CorpusSize, Threads, ReportPath, CacheBytes,
+                         CacheDir);
 
   std::string Source;
   if (Path) {

@@ -1,0 +1,116 @@
+//===- cache/ContentHash.cpp -----------------------------------------------===//
+
+#include "cache/ContentHash.h"
+
+using namespace lcm;
+using namespace lcm::cache;
+
+namespace {
+
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+/// The xorshift-multiply finalizer from splitmix64: full avalanche, so two
+/// inputs differing in one byte disagree in roughly half the output bits
+/// of both lanes.
+uint64_t avalanche(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+} // namespace
+
+Hasher &Hasher::update(const void *Data, size_t N) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint64_t LaneA = A, LaneB = B;
+  for (size_t I = 0; I != N; ++I) {
+    LaneA = (LaneA ^ P[I]) * FnvPrime;
+    LaneB = (LaneB ^ P[I]) * FnvPrime;
+    // Without extra stirring the two FNV lanes would stay correlated
+    // (same prime, same input); rotating one lane's feedback breaks the
+    // symmetry.
+    LaneB = (LaneB << 7) | (LaneB >> 57);
+  }
+  A = LaneA;
+  B = LaneB;
+  return *this;
+}
+
+Hasher &Hasher::updateU64(uint64_t V) {
+  unsigned char Bytes[8];
+  for (int I = 0; I != 8; ++I)
+    Bytes[I] = (unsigned char)((V >> (8 * I)) & 0xff);
+  return update(Bytes, sizeof(Bytes));
+}
+
+Digest Hasher::digest() const {
+  Digest D;
+  D.Hi = avalanche(A + 0x9e3779b97f4a7c15ULL * B);
+  D.Lo = avalanche(B ^ (A >> 1));
+  return D;
+}
+
+Digest cache::hashBytes(std::string_view S) {
+  return Hasher().update(S).digest();
+}
+
+std::string Digest::hex() const {
+  static const char *Alphabet = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (int I = 0; I != 16; ++I)
+    Out[15 - I] = Alphabet[(Hi >> (4 * I)) & 0xf];
+  for (int I = 0; I != 16; ++I)
+    Out[31 - I] = Alphabet[(Lo >> (4 * I)) & 0xf];
+  return Out;
+}
+
+bool Digest::fromHex(std::string_view S, Digest &Out) {
+  if (S.size() != 32)
+    return false;
+  uint64_t Words[2] = {0, 0};
+  for (size_t I = 0; I != 32; ++I) {
+    char C = S[I];
+    uint64_t Nibble;
+    if (C >= '0' && C <= '9')
+      Nibble = uint64_t(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Nibble = uint64_t(C - 'a') + 10;
+    else
+      return false;
+    Words[I / 16] = (Words[I / 16] << 4) | Nibble;
+  }
+  Out.Hi = Words[0];
+  Out.Lo = Words[1];
+  return true;
+}
+
+Digest PipelineFingerprint::digest() const {
+  Hasher H;
+  H.updateU64(CacheSchemaVersion);
+  H.update(Pipeline);
+  H.updateU64(uint64_t(Limits.MaxSourceBytes));
+  H.updateU64(uint64_t(Limits.MaxBlocks));
+  H.updateU64(uint64_t(Limits.MaxInstrs));
+  H.updateU64(uint64_t(Limits.MaxExprs));
+  H.updateU64(uint64_t(Limits.MaxVars));
+  H.updateU64(Check ? 1 : 0);
+  H.updateU64(Check ? CheckRuns : 0);
+  H.updateU64(Report ? 1 : 0);
+  return H.digest();
+}
+
+Digest cache::requestKey(std::string_view CanonicalIr,
+                         const PipelineFingerprint &Fingerprint) {
+  Digest F = Fingerprint.digest();
+  Hasher H;
+  H.updateU64(F.Hi);
+  H.updateU64(F.Lo);
+  // Length-prefix the text so (ir="ab", fp) and (ir="a", fp') style
+  // concatenation ambiguities cannot arise even in principle.
+  H.updateU64(uint64_t(CanonicalIr.size()));
+  H.update(CanonicalIr);
+  return H.digest();
+}

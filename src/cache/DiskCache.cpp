@@ -1,0 +1,262 @@
+//===- cache/DiskCache.cpp -------------------------------------------------===//
+
+#include "cache/DiskCache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+#include <vector>
+
+#include "support/Json.h"
+#include "support/Stats.h"
+
+using namespace lcm;
+using namespace lcm::cache;
+using json::Value;
+
+namespace {
+
+const char *EntrySchema = "lcm-cache-entry-v1";
+const char *EntrySuffix = ".lcmc";
+
+std::string versionPrefix() {
+  return "v" + std::to_string(CacheSchemaVersion) + "-";
+}
+
+/// True iff \p Name looks like an entry file of *any* version; \p Current
+/// reports whether it is this build's version.
+bool isEntryFile(const std::string &Name, bool &Current) {
+  Current = false;
+  if (Name.size() < 6 || Name[0] != 'v')
+    return false;
+  if (Name.size() < 5 ||
+      Name.compare(Name.size() - 5, 5, EntrySuffix) != 0)
+    return false;
+  Current = Name.compare(0, versionPrefix().size(), versionPrefix()) == 0;
+  return true;
+}
+
+/// mtime in nanoseconds-ish order (seconds * 1e9 + nsec) for LRU sorting.
+uint64_t mtimeOf(const struct stat &St) {
+#ifdef __APPLE__
+  return uint64_t(St.st_mtimespec.tv_sec) * 1000000000ull +
+         uint64_t(St.st_mtimespec.tv_nsec);
+#else
+  return uint64_t(St.st_mtim.tv_sec) * 1000000000ull +
+         uint64_t(St.st_mtim.tv_nsec);
+#endif
+}
+
+} // namespace
+
+DiskCache::DiskCache(Options O) : Opts(std::move(O)) {}
+
+std::string DiskCache::pathFor(const Digest &Key) const {
+  return Opts.Dir + "/" + versionPrefix() + Key.hex() + EntrySuffix;
+}
+
+bool DiskCache::open(std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (::mkdir(Opts.Dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    Error = "cannot create cache dir " + Opts.Dir;
+    return false;
+  }
+  DIR *D = ::opendir(Opts.Dir.c_str());
+  if (!D) {
+    Error = "cannot open cache dir " + Opts.Dir;
+    return false;
+  }
+  struct FileInfo {
+    std::string Path;
+    uint64_t Mtime;
+    uint64_t Size;
+  };
+  std::vector<FileInfo> Files;
+  Bytes = 0;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    bool Current = false;
+    if (!isEntryFile(Name, Current))
+      continue;
+    std::string Path = Opts.Dir + "/" + Name;
+    if (!Current) {
+      // Written under a different CacheSchemaVersion: stale by name.
+      ::unlink(Path.c_str());
+      ++NumInvalidated;
+      lcm::Stats::bump("cache.disk.invalidated");
+      continue;
+    }
+    struct stat St;
+    if (::stat(Path.c_str(), &St) != 0)
+      continue;
+    Files.push_back({std::move(Path), mtimeOf(St), uint64_t(St.st_size)});
+    Bytes += uint64_t(St.st_size);
+  }
+  ::closedir(D);
+
+  if (Bytes > Opts.MaxBytes) {
+    std::sort(Files.begin(), Files.end(),
+              [](const FileInfo &A, const FileInfo &B) {
+                return A.Mtime < B.Mtime;
+              });
+    for (const FileInfo &F : Files) {
+      if (Bytes <= Opts.MaxBytes)
+        break;
+      if (::unlink(F.Path.c_str()) == 0) {
+        Bytes -= F.Size;
+        ++NumPruned;
+        lcm::Stats::bump("cache.disk.pruned");
+      }
+    }
+  }
+  Opened = true;
+  return true;
+}
+
+bool DiskCache::get(const Digest &Key, CacheEntry &Out) {
+  const std::string Path = pathFor(Key);
+  json::ParseResult Doc = json::parseFile(Path);
+  auto Miss = [&](bool Corrupt) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++NumMisses;
+    if (Corrupt) {
+      struct stat St;
+      uint64_t Size = ::stat(Path.c_str(), &St) == 0 ? uint64_t(St.st_size) : 0;
+      if (::unlink(Path.c_str()) == 0) {
+        Bytes -= std::min(Bytes, Size);
+        ++NumInvalidated;
+        lcm::Stats::bump("cache.disk.invalidated");
+      }
+    }
+    lcm::Stats::bump("cache.disk.misses");
+    return false;
+  };
+  if (!Doc)
+    return Miss(/*Corrupt=*/::access(Path.c_str(), F_OK) == 0);
+
+  const Value *Schema = Doc.V.find("schema");
+  const Value *Version = Doc.V.find("version");
+  const Value *KeyField = Doc.V.find("key");
+  const Value *Ir = Doc.V.find("ir");
+  Digest StoredKey;
+  if (!Schema || !Schema->isString() || Schema->asString() != EntrySchema ||
+      !Version || !Version->isNumber() ||
+      Version->asUInt() != CacheSchemaVersion || !KeyField ||
+      !KeyField->isString() ||
+      !Digest::fromHex(KeyField->asString(), StoredKey) || StoredKey != Key ||
+      !Ir || !Ir->isString())
+    return Miss(/*Corrupt=*/true);
+
+  Out = CacheEntry();
+  Out.Ir = Ir->asString();
+  if (const Value *C = Doc.V.find("changes"))
+    Out.Changes = C->asUInt();
+  if (const Value *C = Doc.V.find("checked"))
+    Out.Checked = C->isBool() && C->asBool();
+  if (const Value *C = Doc.V.find("check_runs"))
+    Out.CheckRuns = unsigned(C->asUInt());
+  if (const Value *R = Doc.V.find("report"))
+    Out.ReportJson = R->isString() ? R->asString() : std::string();
+
+  // Touch for LRU-by-mtime recency across restarts.
+  ::utimes(Path.c_str(), nullptr);
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++NumHits;
+  lcm::Stats::bump("cache.disk.hits");
+  return true;
+}
+
+void DiskCache::put(const Digest &Key, const CacheEntry &Entry) {
+  Value Doc = Value::object();
+  Doc.set("schema", Value::str(EntrySchema));
+  Doc.set("version", Value::number(uint64_t(CacheSchemaVersion)));
+  Doc.set("key", Value::str(Key.hex()));
+  Doc.set("changes", Value::number(Entry.Changes));
+  if (Entry.Checked) {
+    Doc.set("checked", Value::boolean(true));
+    Doc.set("check_runs", Value::number(uint64_t(Entry.CheckRuns)));
+  }
+  Doc.set("ir", Value::str(Entry.Ir));
+  if (!Entry.ReportJson.empty())
+    Doc.set("report", Value::str(Entry.ReportJson));
+  const std::string Text = Doc.dump(0) + "\n";
+  if (Text.size() > Opts.MaxBytes)
+    return;
+
+  const std::string Path = pathFor(Key);
+  const std::string Tmp =
+      Opts.Dir + "/.tmp-" + Key.hex() + "-" + std::to_string(::getpid());
+  std::FILE *Out = std::fopen(Tmp.c_str(), "wb");
+  if (!Out)
+    return;
+  const bool Written =
+      std::fwrite(Text.data(), 1, Text.size(), Out) == Text.size();
+  std::fclose(Out);
+  if (!Written || ::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++NumWrites;
+  lcm::Stats::bump("cache.disk.writes");
+  Bytes += Text.size();
+  if (Bytes > Opts.MaxBytes)
+    pruneLocked();
+}
+
+void DiskCache::pruneLocked() {
+  DIR *D = ::opendir(Opts.Dir.c_str());
+  if (!D)
+    return;
+  struct FileInfo {
+    std::string Path;
+    uint64_t Mtime;
+    uint64_t Size;
+  };
+  std::vector<FileInfo> Files;
+  uint64_t Total = 0;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    bool Current = false;
+    if (!isEntryFile(Name, Current) || !Current)
+      continue;
+    std::string Path = Opts.Dir + "/" + Name;
+    struct stat St;
+    if (::stat(Path.c_str(), &St) != 0)
+      continue;
+    Files.push_back({std::move(Path), mtimeOf(St), uint64_t(St.st_size)});
+    Total += uint64_t(St.st_size);
+  }
+  ::closedir(D);
+  std::sort(Files.begin(), Files.end(),
+            [](const FileInfo &A, const FileInfo &B) {
+              return A.Mtime < B.Mtime;
+            });
+  for (const FileInfo &F : Files) {
+    if (Total <= Opts.MaxBytes)
+      break;
+    if (::unlink(F.Path.c_str()) == 0) {
+      Total -= F.Size;
+      ++NumPruned;
+      lcm::Stats::bump("cache.disk.pruned");
+    }
+  }
+  Bytes = Total;
+}
+
+DiskCache::Stats DiskCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stats Out;
+  Out.Hits = NumHits;
+  Out.Misses = NumMisses;
+  Out.Writes = NumWrites;
+  Out.Pruned = NumPruned;
+  Out.Invalidated = NumInvalidated;
+  Out.BytesResident = Bytes;
+  return Out;
+}

@@ -1,0 +1,101 @@
+//===- cache/ShardedLruCache.cpp -------------------------------------------===//
+
+#include "cache/ShardedLruCache.h"
+
+#include "support/Stats.h"
+
+using namespace lcm;
+using namespace lcm::cache;
+
+namespace {
+
+unsigned roundUpPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N && P < (1u << 16))
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+ShardedLruCache::ShardedLruCache(Options O) : Opts(O) {
+  unsigned NumShards = roundUpPow2(std::max(1u, Opts.Shards));
+  Shards = std::vector<Shard>(NumShards);
+  PerShardBudget = std::max<size_t>(1, Opts.MaxBytes / NumShards);
+}
+
+bool ShardedLruCache::get(const Digest &Key, CacheEntry &Out) {
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Index.find(Key);
+    if (It != S.Index.end()) {
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      Out = It->second->second;
+      NumHits.fetch_add(1, std::memory_order_relaxed);
+      lcm::Stats::bump("cache.mem.hits");
+      return true;
+    }
+  }
+  NumMisses.fetch_add(1, std::memory_order_relaxed);
+  lcm::Stats::bump("cache.mem.misses");
+  return false;
+}
+
+void ShardedLruCache::put(const Digest &Key, CacheEntry Entry) {
+  const size_t Cost = Entry.bytes();
+  if (Cost > PerShardBudget)
+    return; // Would evict an entire shard for one entry; not worth it.
+  Shard &S = shardFor(Key);
+  uint64_t Evicted = 0;
+  int64_t BytesDelta = 0;
+  int64_t EntriesDelta = 0;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Index.find(Key);
+    if (It != S.Index.end()) {
+      // Refresh in place (identical keys imply identical values, but a
+      // re-put after a disk promotion may carry a fresher report).
+      BytesDelta -= int64_t(It->second->second.bytes());
+      S.Bytes -= It->second->second.bytes();
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      It->second->second = std::move(Entry);
+      S.Bytes += Cost;
+      BytesDelta += int64_t(Cost);
+    } else {
+      while (S.Bytes + Cost > PerShardBudget && !S.Lru.empty()) {
+        auto &Cold = S.Lru.back();
+        S.Bytes -= Cold.second.bytes();
+        BytesDelta -= int64_t(Cold.second.bytes());
+        S.Index.erase(Cold.first);
+        S.Lru.pop_back();
+        ++Evicted;
+        --EntriesDelta;
+      }
+      S.Lru.emplace_front(Key, std::move(Entry));
+      S.Index[Key] = S.Lru.begin();
+      S.Bytes += Cost;
+      BytesDelta += int64_t(Cost);
+      ++EntriesDelta;
+    }
+  }
+  NumInsertions.fetch_add(1, std::memory_order_relaxed);
+  lcm::Stats::bump("cache.mem.insertions");
+  if (Evicted != 0) {
+    NumEvictions.fetch_add(Evicted, std::memory_order_relaxed);
+    lcm::Stats::bump("cache.mem.evictions", Evicted);
+  }
+  BytesResident.fetch_add(uint64_t(BytesDelta), std::memory_order_relaxed);
+  NumEntries.fetch_add(uint64_t(EntriesDelta), std::memory_order_relaxed);
+}
+
+ShardedLruCache::Stats ShardedLruCache::stats() const {
+  Stats Out;
+  Out.Hits = NumHits.load(std::memory_order_relaxed);
+  Out.Misses = NumMisses.load(std::memory_order_relaxed);
+  Out.Insertions = NumInsertions.load(std::memory_order_relaxed);
+  Out.Evictions = NumEvictions.load(std::memory_order_relaxed);
+  Out.BytesResident = BytesResident.load(std::memory_order_relaxed);
+  Out.Entries = NumEntries.load(std::memory_order_relaxed);
+  return Out;
+}

@@ -1,0 +1,132 @@
+//===- cache/ShardedLruCache.h - Byte-budgeted sharded LRU ---------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory tier of the result cache: a fixed number of independently
+/// locked shards, each an LRU list plus a hash index, under one global byte
+/// budget split evenly across shards.  Striping the mutexes keeps the
+/// server's worker pool from serializing on a single cache lock — two
+/// requests touch the same shard only when their key digests land in the
+/// same stripe, which for distinct programs is 1/shards by construction.
+///
+/// Values are whole optimization results (cache/ResultCache.h entries);
+/// the budget is charged by entry byte size, not entry count, because IR
+/// texts vary by orders of magnitude.  Inserting over budget evicts from
+/// the cold end of the shard until the entry fits.  Hit/miss/insert/evict
+/// counters are kept both locally (stats()) and in the global Stats
+/// registry ("cache.mem.*") so run reports and the daemon's drain summary
+/// see them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_CACHE_SHARDEDLRUCACHE_H
+#define LCM_CACHE_SHARDEDLRUCACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/ContentHash.h"
+
+namespace lcm {
+namespace cache {
+
+/// One cached optimization result: everything needed to answer a request
+/// (or replace a corpus function) without running the pipeline.
+struct CacheEntry {
+  /// Canonical optimized IR text.
+  std::string Ir;
+  /// Summed pipeline "changes made".
+  uint64_t Changes = 0;
+  /// The entry was produced under `check: true` with this many seeds.
+  bool Checked = false;
+  unsigned CheckRuns = 0;
+  /// Compact lcm-run-report-v1 JSON when the request asked for one;
+  /// empty otherwise.
+  std::string ReportJson;
+
+  /// Budget charge: payload bytes plus a fixed overhead estimate for the
+  /// index/list bookkeeping.
+  size_t bytes() const { return Ir.size() + ReportJson.size() + 96; }
+};
+
+class ShardedLruCache {
+public:
+  struct Options {
+    /// Total byte budget across all shards.
+    size_t MaxBytes = 64u << 20;
+    /// Mutex stripes; rounded up to a power of two, at least 1.
+    unsigned Shards = 8;
+  };
+
+  /// Monotonic counters plus the current footprint.
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Insertions = 0;
+    uint64_t Evictions = 0;
+    uint64_t BytesResident = 0;
+    uint64_t Entries = 0;
+  };
+
+  ShardedLruCache() : ShardedLruCache(Options()) {}
+  explicit ShardedLruCache(Options Opts);
+
+  /// Copies the entry out and marks it most-recently-used.  False on miss.
+  bool get(const Digest &Key, CacheEntry &Out);
+
+  /// Inserts (or refreshes) \p Key, evicting cold entries until the
+  /// shard's budget holds.  An entry larger than a whole shard's budget is
+  /// simply not admitted (the computation still happened; caching it would
+  /// evict everything for one unlikely-to-repeat giant).
+  void put(const Digest &Key, CacheEntry Entry);
+
+  Stats stats() const;
+  size_t maxBytes() const { return Opts.MaxBytes; }
+
+private:
+  struct DigestHash {
+    size_t operator()(const Digest &D) const {
+      // Digests are already avalanche-mixed; Lo alone is uniform.
+      return size_t(D.Lo);
+    }
+  };
+
+  struct Shard {
+    std::mutex Mu;
+    /// Front = most recently used.
+    std::list<std::pair<Digest, CacheEntry>> Lru;
+    std::unordered_map<Digest, std::list<std::pair<Digest, CacheEntry>>::iterator,
+                       DigestHash>
+        Index;
+    size_t Bytes = 0;
+  };
+
+  Shard &shardFor(const Digest &Key) {
+    return Shards[size_t(Key.Hi) & (Shards.size() - 1)];
+  }
+
+  Options Opts;
+  size_t PerShardBudget;
+  std::vector<Shard> Shards;
+
+  std::atomic<uint64_t> NumHits{0};
+  std::atomic<uint64_t> NumMisses{0};
+  std::atomic<uint64_t> NumInsertions{0};
+  std::atomic<uint64_t> NumEvictions{0};
+  std::atomic<uint64_t> BytesResident{0};
+  std::atomic<uint64_t> NumEntries{0};
+};
+
+} // namespace cache
+} // namespace lcm
+
+#endif // LCM_CACHE_SHARDEDLRUCACHE_H

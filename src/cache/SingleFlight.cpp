@@ -1,0 +1,96 @@
+//===- cache/SingleFlight.cpp ----------------------------------------------===//
+
+#include "cache/SingleFlight.h"
+
+#include <chrono>
+
+#include "support/Stats.h"
+
+using namespace lcm;
+using namespace lcm::cache;
+
+SingleFlight::Result SingleFlight::run(const Digest &Key,
+                                       const CancelToken *Cancel,
+                                       const std::function<Result()> &Compute,
+                                       Role *RoleOut) {
+  for (;;) {
+    std::shared_ptr<Flight> F;
+    bool Leader = false;
+    {
+      std::lock_guard<std::mutex> Lock(MapMu);
+      auto It = Flights.find(Key);
+      if (It == Flights.end()) {
+        F = std::make_shared<Flight>();
+        Flights.emplace(Key, F);
+        Leader = true;
+      } else {
+        F = It->second;
+      }
+    }
+
+    if (Leader) {
+      NumLeaderRuns.fetch_add(1, std::memory_order_relaxed);
+      lcm::Stats::bump("cache.singleflight.leader_runs");
+      Result R = Compute();
+      {
+        // Unpublish before waking: a request arriving after this point
+        // starts a fresh flight instead of joining a finished one.
+        std::lock_guard<std::mutex> Lock(MapMu);
+        Flights.erase(Key);
+      }
+      {
+        std::lock_guard<std::mutex> Lock(F->Mu);
+        F->R = R;
+        F->Done = true;
+      }
+      F->Cv.notify_all();
+      if (RoleOut)
+        *RoleOut = Role::Leader;
+      return R;
+    }
+
+    // Follower: wait for the flight, polling our own token so a caller
+    // with an earlier deadline than the leader's is never stranded.
+    NumWaiters.fetch_add(1, std::memory_order_relaxed);
+    Result Out;
+    bool GaveUp = false;
+    {
+      std::unique_lock<std::mutex> Lock(F->Mu);
+      while (!F->Done) {
+        if (Cancel && Cancel->cancelled()) {
+          GaveUp = true;
+          break;
+        }
+        F->Cv.wait_for(Lock, std::chrono::milliseconds(10));
+      }
+      if (!GaveUp)
+        Out = F->R;
+    }
+    NumWaiters.fetch_sub(1, std::memory_order_relaxed);
+
+    if (GaveUp)
+      return Result::cancelled(Cancel->reason());
+    if (Out.K == Result::Kind::Cancelled) {
+      // The leader died on its own deadline; that verdict is about the
+      // leader's budget, not ours.  Re-enter — whoever gets there first
+      // becomes the new leader and computes for the rest.
+      NumRetries.fetch_add(1, std::memory_order_relaxed);
+      lcm::Stats::bump("cache.singleflight.retries");
+      continue;
+    }
+    NumCoalesced.fetch_add(1, std::memory_order_relaxed);
+    lcm::Stats::bump("cache.singleflight.coalesced");
+    if (RoleOut)
+      *RoleOut = Role::Coalesced;
+    return Out;
+  }
+}
+
+SingleFlight::Stats SingleFlight::stats() const {
+  Stats Out;
+  Out.LeaderRuns = NumLeaderRuns.load(std::memory_order_relaxed);
+  Out.Coalesced = NumCoalesced.load(std::memory_order_relaxed);
+  Out.Retries = NumRetries.load(std::memory_order_relaxed);
+  Out.Waiters = NumWaiters.load(std::memory_order_relaxed);
+  return Out;
+}

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <thread>
 
+#include "ir/Parser.h"
+#include "ir/Printer.h"
 #include "support/Trace.h"
 
 using namespace lcm;
@@ -19,6 +21,41 @@ FunctionOutcome runOne(const Pipeline &P, Function &Fn) {
   O.Error = R.Error;
   for (const Pipeline::StepResult &S : R.Steps)
     O.Changes += S.Changes;
+  return O;
+}
+
+/// The cached variant: probe by canonical text, replace the function on a
+/// hit, fill both tiers on a computed success.  Identical corpus members
+/// racing on a cold key both compute (no single-flight here — corpus
+/// members are usually distinct and the pipeline is deterministic, so the
+/// duplicate write is harmless).
+FunctionOutcome runOneCached(const Pipeline &P, Function &Fn,
+                             cache::ResultCache &Cache,
+                             const cache::PipelineFingerprint &FP) {
+  const cache::Digest Key = cache::requestKey(printFunction(Fn), FP);
+
+  cache::CacheEntry E;
+  if (Cache.get(Key, E)) {
+    // The cached text was printed from a verified function under the same
+    // limits; re-parsing cannot fail unless the cache was corrupted, and
+    // the disk tier already dropped corrupt entries.
+    ParseResult Hit = parseFunction(E.Ir, FP.Limits);
+    if (Hit) {
+      Fn = std::move(Hit.Fn);
+      FunctionOutcome O;
+      O.Changes = E.Changes;
+      O.CacheHit = true;
+      return O;
+    }
+  }
+
+  FunctionOutcome O = runOne(P, Fn);
+  if (O.Ok) {
+    cache::CacheEntry Put;
+    Put.Ir = printFunction(Fn);
+    Put.Changes = O.Changes;
+    Cache.put(Key, Put);
+  }
   return O;
 }
 
@@ -41,11 +78,26 @@ CorpusDriverResult lcm::optimizeCorpus(std::vector<Function> &Fns,
                           "functions=" + std::to_string(Fns.size()) +
                               " threads=" + std::to_string(Threads));
 
+  // One fingerprint for the whole batch: the canonical pass list plus the
+  // default limits (the driver imposes none of its own; what matters is
+  // that every batch keys consistently).
+  cache::PipelineFingerprint FP;
+  for (size_t I = 0, N = P.size(); I != N; ++I) {
+    if (I)
+      FP.Pipeline += ',';
+    FP.Pipeline += P.stepName(I);
+  }
+
+  auto RunOne = [&](Function &Fn) {
+    return Opts.Cache ? runOneCached(P, Fn, *Opts.Cache, FP)
+                      : runOne(P, Fn);
+  };
+
   const auto Start = std::chrono::steady_clock::now();
 
   if (Threads <= 1) {
     for (size_t I = 0; I != Fns.size(); ++I)
-      R.PerFunction[I] = runOne(P, Fns[I]);
+      R.PerFunction[I] = RunOne(Fns[I]);
   } else {
     // Dynamic work claiming: corpus members differ by orders of magnitude
     // in CFG size, so static slicing would leave workers idle.
@@ -56,7 +108,7 @@ CorpusDriverResult lcm::optimizeCorpus(std::vector<Function> &Fns,
       for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) <
                      Fns.size();
            ++Claimed)
-        R.PerFunction[I] = runOne(P, Fns[I]);
+        R.PerFunction[I] = RunOne(Fns[I]);
       WorkerTrace.note("claimed", Claimed);
     };
     std::vector<std::thread> Pool;
@@ -73,8 +125,11 @@ CorpusDriverResult lcm::optimizeCorpus(std::vector<Function> &Fns,
   for (const FunctionOutcome &O : R.PerFunction) {
     R.TotalChanges += O.Changes;
     R.NumFailed += !O.Ok;
+    R.CacheHits += O.CacheHit;
   }
   BatchTrace.note("changes", R.TotalChanges);
   BatchTrace.note("failures", uint64_t(R.NumFailed));
+  if (Opts.Cache)
+    BatchTrace.note("cache_hits", uint64_t(R.CacheHits));
   return R;
 }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/ResultCache.h"
 #include "driver/Pipeline.h"
 #include "ir/Function.h"
 
@@ -38,6 +39,12 @@ struct CorpusDriverOptions {
   /// Worker threads; 0 means one per hardware thread.  1 runs inline on
   /// the calling thread (no pool).
   unsigned Threads = 1;
+  /// Optional content-addressed result cache (docs/CACHE.md).  A corpus
+  /// member whose canonical text and pipeline match a cached entry is
+  /// replaced by the cached optimized IR without running the pipeline —
+  /// repeat batches (re-runs, shared functions across corpora) skip the
+  /// work.  The cache is internally synchronized; all workers share it.
+  cache::ResultCache *Cache = nullptr;
 };
 
 /// Outcome of one function's pipeline run.
@@ -48,6 +55,8 @@ struct FunctionOutcome {
   std::string Error;
   /// Summed "changes made" over all pipeline steps.
   uint64_t Changes = 0;
+  /// The result came from the cache; the pipeline did not run here.
+  bool CacheHit = false;
 };
 
 struct CorpusDriverResult {
@@ -55,6 +64,8 @@ struct CorpusDriverResult {
   std::vector<FunctionOutcome> PerFunction;
   uint64_t TotalChanges = 0;
   size_t NumFailed = 0;
+  /// Functions answered from the cache (0 without a cache).
+  size_t CacheHits = 0;
   unsigned ThreadsUsed = 1;
   /// Wall-clock of the whole batch.
   double Seconds = 0.0;

@@ -72,7 +72,22 @@ void Function::redirectEdge(BlockId From, size_t SuccIdx, BlockId NewTo) {
 
 BlockId Function::splitEdge(BlockId From, size_t SuccIdx) {
   BlockId OldTo = Blocks[From].Succs[SuccIdx];
-  BlockId Mid = addBlock(Blocks[From].label() + "." + Blocks[OldTo].label());
+  // Parallel edges (one branch listing the same successor twice) split
+  // into distinct blocks that would share the From.To label hint;
+  // uniquify so printed labels stay distinct and the function
+  // round-trips through the parser.
+  const std::string Hint =
+      Blocks[From].label() + "." + Blocks[OldTo].label();
+  std::string Label = Hint;
+  auto Taken = [&](const std::string &L) {
+    for (const BasicBlock &B : Blocks)
+      if (B.label() == L)
+        return true;
+    return false;
+  };
+  for (unsigned N = 2; Taken(Label); ++N)
+    Label = Hint + "." + std::to_string(N);
+  BlockId Mid = addBlock(std::move(Label));
   redirectEdge(From, SuccIdx, Mid);
   addEdge(Mid, OldTo);
   return Mid;

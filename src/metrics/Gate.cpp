@@ -53,6 +53,12 @@ struct Comparator {
     const double C = Cur.asDouble();
     if (isToleranceMetric(Path)) {
       ++Result.ToleranceMetrics;
+      // A zero baseline has no scale to be relative to: any nonzero
+      // current value would fail a * |B| limit, so such metrics (e.g. a
+      // timing that rounded to 0, or a counter newly exercised) pass
+      // unconditionally rather than gating on noise.
+      if (B == 0.0)
+        return;
       const double Limit = Opts.RelTolerance * std::fabs(B);
       if (std::fabs(C - B) > Limit) {
         char Buf[128];

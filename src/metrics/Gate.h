@@ -19,7 +19,9 @@
 /// - *tolerance* metrics: wall-clock and throughput numbers, identified
 ///   by path components containing "timing", "seconds", "per_second",
 ///   "time", "wall", or "throughput".  They pass while
-///   |current - baseline| <= RelTolerance * |baseline|.
+///   |current - baseline| <= RelTolerance * |baseline|.  A zero baseline
+///   carries no scale, so it passes against any current value instead of
+///   rejecting everything nonzero.
 ///
 /// Keys present in the baseline must exist in the current document
 /// (schema shrinkage is a failure); new keys in the current document are

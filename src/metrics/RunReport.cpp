@@ -112,7 +112,8 @@ Value RunReport::toJson() const {
         .set("seconds", Value::number(Corpus.Seconds))
         .set("functions_per_second", Value::number(Corpus.FunctionsPerSecond))
         .set("total_changes", Value::number(Corpus.TotalChanges))
-        .set("failures", Value::number(Corpus.Failures));
+        .set("failures", Value::number(Corpus.Failures))
+        .set("cache_hits", Value::number(Corpus.CacheHits));
     Root.set("corpus", std::move(C));
   }
   return Root;
@@ -169,6 +170,7 @@ bool RunReport::fromJson(const Value &V, RunReport &Out) {
     Out.Corpus.FunctionsPerSecond = doubleField(*C, "functions_per_second");
     Out.Corpus.TotalChanges = uintField(*C, "total_changes");
     Out.Corpus.Failures = uintField(*C, "failures");
+    Out.Corpus.CacheHits = uintField(*C, "cache_hits");
   }
   return true;
 }
@@ -244,5 +246,6 @@ RunReport lcm::makeCorpusReport(const CorpusDriverResult &R, std::string Tool,
   Report.Corpus.FunctionsPerSecond = R.functionsPerSecond();
   Report.Corpus.TotalChanges = R.TotalChanges;
   Report.Corpus.Failures = R.NumFailed;
+  Report.Corpus.CacheHits = R.CacheHits;
   return Report;
 }

@@ -64,6 +64,9 @@ struct CorpusRecord {
   double FunctionsPerSecond = 0.0;
   uint64_t TotalChanges = 0;
   uint64_t Failures = 0;
+  /// Functions answered from the result cache (0 when the batch ran
+  /// without one; see docs/CACHE.md).
+  uint64_t CacheHits = 0;
 };
 
 /// The complete structured result of one tool run.

@@ -69,9 +69,6 @@ Value Service::handle(const std::string &Payload) const {
   if (HasDeadline)
     Deadline.setTimeoutMs(DeadlineMs);
 
-  if (Config.EnableTestOptions && R.TestSleepMs > 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(R.TestSleepMs));
-
   ParseResult Ir = parseFunction(R.Ir, Config.Limits);
   if (!Ir) {
     T.note("status", Ir.OverLimit ? "limits" : "parse_error");
@@ -93,67 +90,130 @@ Value Service::handle(const std::string &Payload) const {
     return finish(makeErrorResponse(R.Id, Status::BadRequest, Spec.Error));
   }
 
-  // Keep the pre-optimization program for the semantic check.
-  Function Original = R.Check ? Fn : Function();
+  // Everything the pipeline produces, packaged so the result cache can
+  // store it and coalesced followers can share it.  Runs at most once per
+  // handle() call (as the single-flight leader, or directly when caching
+  // is off).
+  auto Compute = [&]() -> cache::SingleFlight::Result {
+    // Test-only latency injection lives *inside* the computation so the
+    // coalescing tests can hold a leader mid-flight deterministically.
+    if (Config.EnableTestOptions && R.TestSleepMs > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(R.TestSleepMs));
+    Stats::bump("server.pipeline_runs");
 
-  RunReport Report;
-  Pipeline::RunResult Run;
-  if (R.WantReport) {
-    Report = collectRunReport(Spec.P, Fn, "lcm_server", R.Pipeline,
-                              HasDeadline ? &Deadline : nullptr);
-    Run.Ok = Report.Ok;
-    Run.Cancelled = Report.Cancelled;
-    Run.Error = Report.Error;
-    for (const PassRecord &P : Report.Passes)
-      Run.Steps.push_back({P.Name, P.Changes, P.Seconds, P.WordOps, {}});
-  } else {
-    Run = Spec.P.run(Fn, HasDeadline ? &Deadline : nullptr);
-  }
-  if (Run.Cancelled) {
-    T.note("status", "deadline_exceeded");
-    return finish(
-        makeErrorResponse(R.Id, Status::DeadlineExceeded, Run.Error));
-  }
-  if (!Run.Ok) {
-    T.note("status", "pipeline_error");
-    return finish(makeErrorResponse(R.Id, Status::PipelineError, Run.Error));
-  }
+    // Keep the pre-optimization program for the semantic check.
+    Function Original = R.Check ? Fn : Function();
 
-  if (R.Check) {
-    for (uint64_t Seed = 1; Seed <= Config.CheckRuns; ++Seed) {
-      InterpResult Base = runSeeded(Original, Seed, Original.numVars(),
-                                    uint32_t(Original.numBlocks()));
-      InterpResult After = runSeeded(Fn, Seed, Original.numVars(),
-                                     uint32_t(Original.numBlocks()));
-      if (!sameObservableBehaviour(Base, After, Original.numVars())) {
-        T.note("status", "check_failed");
-        return finish(makeErrorResponse(
-            R.Id, Status::CheckFailed,
-            "optimized program diverges from input under seed " +
-                std::to_string(Seed)));
+    RunReport Report;
+    Pipeline::RunResult Run;
+    if (R.WantReport) {
+      Report = collectRunReport(Spec.P, Fn, "lcm_server", R.Pipeline,
+                                HasDeadline ? &Deadline : nullptr);
+      Run.Ok = Report.Ok;
+      Run.Cancelled = Report.Cancelled;
+      Run.Error = Report.Error;
+      for (const PassRecord &P : Report.Passes)
+        Run.Steps.push_back({P.Name, P.Changes, P.Seconds, P.WordOps, {}});
+    } else {
+      Run = Spec.P.run(Fn, HasDeadline ? &Deadline : nullptr);
+    }
+    if (Run.Cancelled)
+      return cache::SingleFlight::Result::cancelled(Run.Error);
+    if (!Run.Ok)
+      return cache::SingleFlight::Result::error(Run.Error,
+                                                int(Status::PipelineError));
+
+    if (R.Check) {
+      for (uint64_t Seed = 1; Seed <= Config.CheckRuns; ++Seed) {
+        InterpResult Base = runSeeded(Original, Seed, Original.numVars(),
+                                      uint32_t(Original.numBlocks()));
+        InterpResult After = runSeeded(Fn, Seed, Original.numVars(),
+                                       uint32_t(Original.numBlocks()));
+        if (!sameObservableBehaviour(Base, After, Original.numVars()))
+          return cache::SingleFlight::Result::error(
+              "optimized program diverges from input under seed " +
+                  std::to_string(Seed),
+              int(Status::CheckFailed));
       }
     }
+
+    cache::CacheEntry E;
+    E.Ir = printFunction(Fn);
+    for (const Pipeline::StepResult &S : Run.Steps)
+      E.Changes += S.Changes;
+    E.Checked = R.Check;
+    E.CheckRuns = R.Check ? Config.CheckRuns : 0;
+    if (R.WantReport)
+      E.ReportJson = Report.toJson().dump(0);
+    return cache::SingleFlight::Result::value(std::move(E));
+  };
+
+  cache::ResultCache::Lookup L;
+  std::string KeyHex;
+  if (Config.Cache) {
+    // The key covers the *canonical* forms: the printed (parsed) IR and
+    // the parsed pipeline's step names, so formatting variants of the same
+    // request share an entry, while any config bit that can change the
+    // output keeps entries apart.
+    cache::PipelineFingerprint FP;
+    for (size_t I = 0, N = Spec.P.size(); I != N; ++I) {
+      if (I)
+        FP.Pipeline += ',';
+      FP.Pipeline += Spec.P.stepName(I);
+    }
+    FP.Limits = Config.Limits;
+    FP.Check = R.Check;
+    FP.CheckRuns = R.Check ? Config.CheckRuns : 0;
+    FP.Report = R.WantReport;
+    const cache::Digest Key = cache::requestKey(printFunction(Fn), FP);
+    KeyHex = Key.hex();
+    L = Config.Cache->getOrCompute(Key, HasDeadline ? &Deadline : nullptr,
+                                   Compute);
+  } else {
+    L.Src = cache::ResultCache::Source::Computed;
+    L.R = Compute();
   }
 
-  uint64_t Changes = 0;
-  for (const Pipeline::StepResult &S : Run.Steps)
-    Changes += S.Changes;
+  using RK = cache::SingleFlight::Result::Kind;
+  if (L.R.K == RK::Cancelled) {
+    T.note("status", "deadline_exceeded");
+    return finish(
+        makeErrorResponse(R.Id, Status::DeadlineExceeded, L.R.Error));
+  }
+  if (L.R.K == RK::Error) {
+    const Status S =
+        L.R.Code != 0 ? Status(L.R.Code) : Status::PipelineError;
+    T.note("status", statusName(S));
+    return finish(makeErrorResponse(R.Id, S, L.R.Error));
+  }
 
+  const cache::CacheEntry &E = L.R.Entry;
   Value Response = makeResponse(R.Id, Status::Ok);
-  Response.set("ir", Value::str(printFunction(Fn)));
+  Response.set("ir", Value::str(E.Ir));
   Response.set("pipeline", Value::str(R.Pipeline));
-  Response.set("changes", Value::number(Changes));
+  Response.set("changes", Value::number(E.Changes));
   Response.set(
       "seconds",
       Value::number(std::chrono::duration<double>(Clock::now() - Start)
                         .count()));
-  if (R.Check) {
+  if (E.Checked) {
     Response.set("checked", Value::boolean(true));
-    Response.set("check_runs", Value::number(uint64_t(Config.CheckRuns)));
+    Response.set("check_runs", Value::number(uint64_t(E.CheckRuns)));
   }
-  if (R.WantReport)
-    Response.set("report", Report.toJson());
+  if (R.WantReport && !E.ReportJson.empty()) {
+    // Cached hits replay the leader's report verbatim (its timings
+    // describe the run that actually happened).
+    json::ParseResult PR = json::parse(E.ReportJson);
+    if (PR.Ok)
+      Response.set("report", std::move(PR.V));
+  }
+  if (Config.Cache) {
+    Response.set("cached", Value::boolean(L.cached()));
+    Response.set("cache_key", Value::str(KeyHex));
+  }
   T.note("status", "ok");
-  T.note("changes", Changes);
+  T.note("changes", E.Changes);
+  if (Config.Cache)
+    T.note("cached", L.cached() ? "true" : "false");
   return finish(Response);
 }

@@ -21,14 +21,25 @@
 ///
 /// The Server (server/Server.h) calls handle() from its worker pool;
 /// optimize_tool-style single-shot callers can use it directly.  handle()
-/// is const and the Service holds no mutable state, so concurrent calls
+/// is const and the Service holds no mutable state of its own (the
+/// optional result cache is internally synchronized), so concurrent calls
 /// are safe by construction.
+///
+/// With a cache configured (ServiceConfig::Cache), the request's
+/// canonicalized IR and pipeline fingerprint form a content-addressed key:
+/// repeat programs are answered from the cache without running the
+/// pipeline, and concurrent identical requests coalesce onto a single
+/// computation (cache/SingleFlight.h).  Since the pipeline is
+/// deterministic for a fixed key, a hit is byte-identical to a recompute.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LCM_SERVER_SERVICE_H
 #define LCM_SERVER_SERVICE_H
 
+#include <memory>
+
+#include "cache/ResultCache.h"
 #include "ir/Limits.h"
 #include "server/Protocol.h"
 #include "support/Json.h"
@@ -48,6 +59,12 @@ struct ServiceConfig {
   /// Honor the test-only `test_sleep_ms` request option.  Only the
   /// integration tests enable this.
   bool EnableTestOptions = false;
+  /// Content-addressed result cache (docs/CACHE.md).  When set, requests
+  /// are keyed by canonical IR x pipeline fingerprint: hits skip the
+  /// pipeline entirely, concurrent identical misses coalesce into one
+  /// computation, and `ok` responses carry `cached` + `cache_key` fields.
+  /// Null disables caching (every request runs the pipeline).
+  std::shared_ptr<cache::ResultCache> Cache;
 };
 
 class Service {

@@ -151,6 +151,25 @@ TEST(BenchGate, ToleranceIsConfigurable) {
   EXPECT_TRUE(gate(Baseline, Current, 10.0).Ok);
 }
 
+TEST(BenchGate, ZeroTimingBaselinePassesAnyCurrentValue) {
+  // A zero baseline gives RelTolerance * |B| = 0: without the explicit
+  // guard, *any* nonzero current value — even a perfectly healthy run
+  // whose baseline timing rounded to 0 — would fail the gate.
+  Value Baseline =
+      parseOrDie(R"({"timing": {"suite_seconds": 0, "wall_seconds": 0.0}})");
+  Value Current = parseOrDie(
+      R"({"timing": {"suite_seconds": 1.25, "wall_seconds": 3000.0}})");
+  GateResult G = gate(Baseline, Current);
+  EXPECT_TRUE(G.Ok) << "zero baseline has no scale to be relative to";
+  EXPECT_EQ(G.ToleranceMetrics, 2u);
+
+  // The guard is tolerance-only: a zero baseline in an *exact* counter
+  // still pins the current value to zero.
+  Value ExactBase = parseOrDie(R"({"counters": {"insertions": 0}})");
+  Value ExactCur = parseOrDie(R"({"counters": {"insertions": 1}})");
+  EXPECT_FALSE(gate(ExactBase, ExactCur).Ok);
+}
+
 TEST(BenchGate, TimingComparesIntAgainstDouble) {
   // A timing leaf that happens to serialize as an integer on one side must
   // still compare numerically, not fail on kind.

@@ -1,0 +1,134 @@
+//===- tests/request_queue_test.cpp - Bounded queue edge cases ------------===//
+//
+// Pins the admission-control contract of server/RequestQueue.h at the unit
+// level (the integration test only observes it through socket responses):
+//
+// - FIFO order, producer never blocks, capacity enforced exactly;
+// - close() refuses producers immediately but lets consumers drain every
+//   item admitted before the close;
+// - consumers blocked on an empty queue are woken by close() and exit;
+// - a closed-and-drained queue keeps returning false (idempotent drain).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/RequestQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using lcm::server::BoundedQueue;
+
+namespace {
+
+TEST(RequestQueue, FifoOrderAndCapacity) {
+  BoundedQueue<int> Q(3);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_TRUE(Q.tryPush(3));
+  EXPECT_FALSE(Q.tryPush(4)) << "capacity must be enforced exactly";
+  EXPECT_EQ(Q.size(), 3u);
+
+  int V = 0;
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 1);
+  // A pop frees a slot for the producer again.
+  EXPECT_TRUE(Q.tryPush(4));
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 2);
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 3);
+  ASSERT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 4);
+  EXPECT_EQ(Q.size(), 0u);
+}
+
+TEST(RequestQueue, PushAfterCloseIsRefused) {
+  BoundedQueue<int> Q(8);
+  EXPECT_TRUE(Q.tryPush(1));
+  Q.close();
+  EXPECT_FALSE(Q.tryPush(2)) << "producers are refused from close() on";
+  EXPECT_EQ(Q.size(), 1u);
+}
+
+TEST(RequestQueue, CloseLetsConsumersDrainAdmittedItems) {
+  BoundedQueue<int> Q(8);
+  for (int I = 0; I != 5; ++I)
+    ASSERT_TRUE(Q.tryPush(I));
+  Q.close();
+
+  // Everything admitted before the close is still delivered, in order.
+  int V = -1;
+  for (int I = 0; I != 5; ++I) {
+    ASSERT_TRUE(Q.pop(V));
+    EXPECT_EQ(V, I);
+  }
+  // Closed and drained: pop reports exhaustion, repeatedly.
+  EXPECT_FALSE(Q.pop(V));
+  EXPECT_FALSE(Q.pop(V));
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> Q(4);
+  constexpr int Consumers = 3;
+  std::atomic<int> Exited{0};
+  std::vector<std::thread> Pool;
+  for (int I = 0; I != Consumers; ++I)
+    Pool.emplace_back([&] {
+      int V;
+      // Blocks on the empty queue until close() wakes it.
+      while (Q.pop(V)) {
+      }
+      Exited.fetch_add(1);
+    });
+
+  // Let the consumers reach the wait, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(Exited.load(), 0) << "consumers must block while open and empty";
+  Q.close();
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Exited.load(), Consumers);
+}
+
+TEST(RequestQueue, ConcurrentProducersNeverExceedCapacity) {
+  constexpr size_t Capacity = 4;
+  BoundedQueue<int> Q(Capacity);
+  std::atomic<int> Accepted{0}, Refused{0};
+
+  std::vector<std::thread> Producers;
+  for (int P = 0; P != 4; ++P)
+    Producers.emplace_back([&] {
+      for (int I = 0; I != 100; ++I) {
+        if (Q.tryPush(I))
+          Accepted.fetch_add(1);
+        else
+          Refused.fetch_add(1);
+        EXPECT_LE(Q.size(), Capacity);
+      }
+    });
+
+  std::atomic<bool> Stop{false};
+  std::thread Consumer([&] {
+    int V;
+    while (!Stop.load()) {
+      while (Q.pop(V)) {
+      }
+    }
+  });
+
+  for (std::thread &T : Producers)
+    T.join();
+  // Producers never blocked: every attempt resolved to accept or refuse.
+  EXPECT_EQ(Accepted.load() + Refused.load(), 400);
+  EXPECT_GT(Accepted.load(), 0);
+
+  Q.close(); // Unblocks the consumer's pop().
+  Stop.store(true);
+  Consumer.join();
+}
+
+} // namespace

@@ -28,6 +28,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -440,6 +442,98 @@ TEST(ServerIntegration, DrainAnswersInFlightAndShedsNewFrames) {
   EXPECT_EQ(Ok, InFlight);
   LateSender.join();
   EXPECT_EQ(Srv.S.counters().ShedShuttingDown, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Result cache over the wire
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<cache::ResultCache> openCache(const std::string &DiskDir) {
+  cache::ResultCacheConfig Config;
+  Config.DiskDir = DiskDir;
+  auto Cache = std::make_shared<cache::ResultCache>(Config);
+  std::string Error;
+  EXPECT_TRUE(Cache->open(Error)) << Error;
+  return Cache;
+}
+
+TEST(ServerIntegration, CachedResponsesOverTcp) {
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  Opts.Workers = 2;
+  Opts.Service.Cache = openCache("");
+  RunningServer Srv(Opts);
+  ASSERT_TRUE(Srv.Started);
+
+  Client Cl;
+  std::string Error;
+  ASSERT_TRUE(Cl.connectTcp(Srv.S.tcpPort(), Error, 2000)) << Error;
+
+  Value First, Second;
+  ASSERT_TRUE(Cl.call(makeRequest(1, Programs[0]), First, Error)) << Error;
+  ASSERT_EQ(statusOf(First), "ok") << First.dump();
+  const Value *Cached = First.find("cached");
+  ASSERT_NE(Cached, nullptr);
+  EXPECT_FALSE(Cached->asBool());
+
+  ASSERT_TRUE(Cl.call(makeRequest(2, Programs[0]), Second, Error)) << Error;
+  ASSERT_EQ(statusOf(Second), "ok") << Second.dump();
+  Cached = Second.find("cached");
+  ASSERT_NE(Cached, nullptr);
+  EXPECT_TRUE(Cached->asBool()) << Second.dump();
+  EXPECT_EQ(Second.find("ir")->asString(), First.find("ir")->asString())
+      << "a cache hit must be byte-identical over the wire";
+  EXPECT_EQ(Second.find("cache_key")->asString(),
+            First.find("cache_key")->asString());
+  EXPECT_TRUE(equivalentToOriginal(Programs[0],
+                                   Second.find("ir")->asString()));
+}
+
+TEST(ServerIntegration, DiskCacheSurvivesServerRestart) {
+  const std::string Dir =
+      "/tmp/lcm_it_cache_" + std::to_string(::getpid());
+  std::string Cleanup = "rm -rf '" + Dir + "'";
+  int Ignored = std::system(Cleanup.c_str());
+  (void)Ignored;
+
+  std::string FirstIr, FirstKey;
+  {
+    ServerOptions Opts;
+    Opts.TcpPort = 0;
+    Opts.Service.Cache = openCache(Dir);
+    RunningServer Srv(Opts);
+    ASSERT_TRUE(Srv.Started);
+    Client Cl;
+    std::string Error;
+    ASSERT_TRUE(Cl.connectTcp(Srv.S.tcpPort(), Error, 2000)) << Error;
+    Value Response;
+    ASSERT_TRUE(Cl.call(makeRequest(1, Programs[1]), Response, Error))
+        << Error;
+    ASSERT_EQ(statusOf(Response), "ok") << Response.dump();
+    FirstIr = Response.find("ir")->asString();
+    FirstKey = Response.find("cache_key")->asString();
+  } // Server drains; the entry is on disk.
+
+  // A brand-new server over the same directory answers from the warm
+  // cache on the very first request.
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  Opts.Service.Cache = openCache(Dir);
+  RunningServer Srv(Opts);
+  ASSERT_TRUE(Srv.Started);
+  Client Cl;
+  std::string Error;
+  ASSERT_TRUE(Cl.connectTcp(Srv.S.tcpPort(), Error, 2000)) << Error;
+  Value Response;
+  ASSERT_TRUE(Cl.call(makeRequest(2, Programs[1]), Response, Error)) << Error;
+  ASSERT_EQ(statusOf(Response), "ok") << Response.dump();
+  EXPECT_TRUE(Response.find("cached")->asBool())
+      << "first request after restart should hit the persisted entry";
+  EXPECT_EQ(Response.find("ir")->asString(), FirstIr);
+  EXPECT_EQ(Response.find("cache_key")->asString(), FirstKey);
+
+  Ignored = std::system(Cleanup.c_str());
+  (void)Ignored;
 }
 
 } // namespace

@@ -12,7 +12,11 @@
 //   lcm_loadgen --unix=/tmp/lcm.sock --json=loadgen.json
 //
 // Request bodies cycle through the default experiment corpus (workload/)
-// unless --ir=FILE pins one program.  Every response is validated: the
+// unless --ir=FILE pins one program.  --dup-ratio=R makes fraction R of
+// each connection's requests repeat one hot program (deterministically
+// interleaved), exercising the server's result cache: responses carrying
+// the `cached` field are split into hit/miss latency populations and the
+// observed hit rate is reported.  Every response is validated: the
 // schema must match, the echoed id must match the request (except for
 // admission-control replies, which the server answers before parsing),
 // and an `ok` response must carry IR.  Any lost or corrupted response
@@ -55,6 +59,8 @@ int usage(int Code) {
       "  --check           ask the server to verify semantic equivalence\n"
       "  --ir=FILE         send FILE's IR for every request (default:\n"
       "                    cycle through the experiment corpus)\n"
+      "  --dup-ratio=R     fraction (0..1) of requests repeating one hot\n"
+      "                    program, to exercise the server's result cache\n"
       "  --json[=FILE]     emit lcm-bench-v1 measurements (stdout or FILE)\n"
       "\n"
       "exit codes: 0 all responses received and well-formed; 1 transport\n"
@@ -64,6 +70,10 @@ int usage(int Code) {
 
 struct WorkerResult {
   std::vector<double> LatencyMs;
+  /// `ok` latencies split by the response's `cached` field (only filled
+  /// when the server reports one, i.e. runs with a result cache).
+  std::vector<double> HitLatencyMs;
+  std::vector<double> MissLatencyMs;
   uint64_t Ok = 0;
   uint64_t Overloaded = 0;
   uint64_t DeadlineExceeded = 0;
@@ -81,7 +91,8 @@ double percentile(const std::vector<double> &Sorted, unsigned P) {
 
 void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
                unsigned WorkerIndex, const Request &Template,
-               const std::vector<std::string> &Programs, WorkerResult &Out) {
+               const std::vector<std::string> &Programs, double DupRatio,
+               WorkerResult &Out) {
   Client C;
   std::string Error;
   bool Connected = TcpPort >= 0
@@ -92,19 +103,30 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
     return;
   }
   Out.LatencyMs.reserve(Requests);
+  // Bresenham-style interleave: duplicates are spread evenly through the
+  // stream instead of bunched, so hit and miss latencies sample the same
+  // server load.
+  double DupAcc = 0.0;
   for (unsigned I = 0; I != Requests; ++I) {
     Request R = Template;
     R.Id = json::Value::number(int64_t(WorkerIndex) * Requests + I);
-    R.Ir = Programs[(WorkerIndex + I) % Programs.size()];
+    DupAcc += DupRatio;
+    if (DupAcc >= 1.0) {
+      DupAcc -= 1.0;
+      R.Ir = Programs[0]; // The hot program.
+    } else {
+      R.Ir = Programs[(WorkerIndex + I) % Programs.size()];
+    }
     json::Value Response;
     const auto Start = Clock::now();
     if (!C.call(R, Response, Error)) {
       Out.TransportError = Error;
       return;
     }
-    Out.LatencyMs.push_back(
+    const double Ms =
         std::chrono::duration<double, std::milli>(Clock::now() - Start)
-            .count());
+            .count();
+    Out.LatencyMs.push_back(Ms);
 
     const json::Value *Schema = Response.find("schema");
     const json::Value *St = Response.find("status");
@@ -125,10 +147,15 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
     }
     if (Status == "ok") {
       const json::Value *Ir = Response.find("ir");
-      if (!Ir || !Ir->isString() || Ir->asString().empty())
+      if (!Ir || !Ir->isString() || Ir->asString().empty()) {
         ++Out.Corrupted;
-      else
+      } else {
         ++Out.Ok;
+        const json::Value *Cached = Response.find("cached");
+        if (Cached && Cached->isBool())
+          (Cached->asBool() ? Out.HitLatencyMs : Out.MissLatencyMs)
+              .push_back(Ms);
+      }
     } else if (Status == "overloaded") {
       ++Out.Overloaded;
     } else if (Status == "deadline_exceeded") {
@@ -146,6 +173,7 @@ int main(int argc, char **argv) {
   std::string UnixPath, IrPath, JsonPath;
   bool Json = false;
   unsigned Connections = 4, Requests = 50;
+  double DupRatio = 0.0;
   Request Template;
 
   for (int I = 1; I != argc; ++I) {
@@ -175,6 +203,10 @@ int main(int argc, char **argv) {
       if (*End != '\0' || N < 0)
         return usage(2);
       Template.DeadlineMs = N;
+    } else if (std::strncmp(argv[I], "--dup-ratio=", 12) == 0) {
+      DupRatio = std::strtod(argv[I] + 12, &End);
+      if (*End != '\0' || DupRatio < 0.0 || DupRatio > 1.0)
+        return usage(2);
     } else if (std::strcmp(argv[I], "--check") == 0) {
       Template.Check = true;
     } else if (std::strncmp(argv[I], "--ir=", 5) == 0 && argv[I][5] != '\0') {
@@ -219,7 +251,7 @@ int main(int argc, char **argv) {
   const auto Start = Clock::now();
   for (unsigned I = 0; I != Connections; ++I)
     Threads.emplace_back([&, I] {
-      runWorker(TcpPort, UnixPath, Requests, I, Template, Programs,
+      runWorker(TcpPort, UnixPath, Requests, I, Template, Programs, DupRatio,
                 Results[I]);
     });
   for (std::thread &T : Threads)
@@ -227,12 +259,16 @@ int main(int argc, char **argv) {
   const double WallSeconds =
       std::chrono::duration<double>(Clock::now() - Start).count();
 
-  std::vector<double> Latencies;
+  std::vector<double> Latencies, HitLatencies, MissLatencies;
   uint64_t Ok = 0, Overloaded = 0, DeadlineExceeded = 0, OtherErrors = 0,
            Corrupted = 0;
   bool TransportFailed = false;
   for (const WorkerResult &R : Results) {
     Latencies.insert(Latencies.end(), R.LatencyMs.begin(), R.LatencyMs.end());
+    HitLatencies.insert(HitLatencies.end(), R.HitLatencyMs.begin(),
+                        R.HitLatencyMs.end());
+    MissLatencies.insert(MissLatencies.end(), R.MissLatencyMs.begin(),
+                         R.MissLatencyMs.end());
     Ok += R.Ok;
     Overloaded += R.Overloaded;
     DeadlineExceeded += R.DeadlineExceeded;
@@ -244,6 +280,9 @@ int main(int argc, char **argv) {
     }
   }
   std::sort(Latencies.begin(), Latencies.end());
+  std::sort(HitLatencies.begin(), HitLatencies.end());
+  std::sort(MissLatencies.begin(), MissLatencies.end());
+  const uint64_t CacheReported = HitLatencies.size() + MissLatencies.size();
   const uint64_t Total = uint64_t(Connections) * Requests;
   double Mean = 0.0;
   for (double L : Latencies)
@@ -267,6 +306,17 @@ int main(int argc, char **argv) {
   std::printf("throughput: %.1f requests/s over %.3fs\n",
               WallSeconds > 0 ? double(Latencies.size()) / WallSeconds : 0.0,
               WallSeconds);
+  if (CacheReported != 0) {
+    std::printf("cache: hit_rate=%.3f hits=%zu misses=%zu\n",
+                double(HitLatencies.size()) / double(CacheReported),
+                HitLatencies.size(), MissLatencies.size());
+    std::printf("hit latency ms:  p50=%.3f p90=%.3f p99=%.3f\n",
+                percentile(HitLatencies, 50), percentile(HitLatencies, 90),
+                percentile(HitLatencies, 99));
+    std::printf("miss latency ms: p50=%.3f p90=%.3f p99=%.3f\n",
+                percentile(MissLatencies, 50), percentile(MissLatencies, 90),
+                percentile(MissLatencies, 99));
+  }
 
   if (Json) {
     json::Value Metrics = json::Value::object();
@@ -291,6 +341,28 @@ int main(int argc, char **argv) {
         .set("latency_ms_max", json::Value::number(
                                    Latencies.empty() ? 0.0 : Latencies.back()))
         .set("latency_ms_mean", json::Value::number(Mean));
+    if (CacheReported != 0) {
+      Metrics
+          .set("dup_ratio", json::Value::number(DupRatio))
+          .set("cache_hits", json::Value::number(uint64_t(HitLatencies.size())))
+          .set("cache_misses",
+               json::Value::number(uint64_t(MissLatencies.size())))
+          .set("cache_hit_rate",
+               json::Value::number(double(HitLatencies.size()) /
+                                   double(CacheReported)))
+          .set("hit_latency_ms_p50",
+               json::Value::number(percentile(HitLatencies, 50)))
+          .set("hit_latency_ms_p90",
+               json::Value::number(percentile(HitLatencies, 90)))
+          .set("hit_latency_ms_p99",
+               json::Value::number(percentile(HitLatencies, 99)))
+          .set("miss_latency_ms_p50",
+               json::Value::number(percentile(MissLatencies, 50)))
+          .set("miss_latency_ms_p90",
+               json::Value::number(percentile(MissLatencies, 90)))
+          .set("miss_latency_ms_p99",
+               json::Value::number(percentile(MissLatencies, 99)));
+    }
     json::Value Section = json::Value::object();
     Section.set("title", json::Value::str("Server load test"));
     Section.set("metrics", std::move(Metrics));

@@ -23,9 +23,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <unistd.h>
 
+#include "cache/ResultCache.h"
 #include "server/Server.h"
 
 using namespace lcm;
@@ -41,6 +43,7 @@ int usage() {
       "                 [--default-deadline-ms=N] [--check-runs=N]\n"
       "                 [--max-source-bytes=N] [--max-blocks=N]\n"
       "                 [--max-instrs=N] [--enable-test-options]\n"
+      "                 [--cache-bytes=N] [--cache-dir=PATH] [--no-cache]\n"
       "\n"
       "  --tcp=PORT             listen on 127.0.0.1:PORT (0 = ephemeral;\n"
       "                         the bound port is printed on startup)\n"
@@ -54,6 +57,11 @@ int usage() {
       "  --max-blocks=N         per-request basic-block cap\n"
       "  --max-instrs=N         per-request instruction cap\n"
       "  --enable-test-options  honor the test-only `test_sleep_ms` option\n"
+      "  --cache-bytes=N        in-memory result cache budget in bytes\n"
+      "                         (default 64 MiB)\n"
+      "  --cache-dir=PATH       spill cached results to PATH so they\n"
+      "                         survive restarts (docs/CACHE.md)\n"
+      "  --no-cache             disable the result cache entirely\n"
       "\n"
       "SIGTERM/SIGINT trigger a graceful drain: accepted requests are\n"
       "answered, new frames get a `shutting_down` response, then the\n"
@@ -84,6 +92,8 @@ void onSignal(int) {
 
 int main(int argc, char **argv) {
   ServerOptions Opts;
+  cache::ResultCacheConfig CacheConfig;
+  bool NoCache = false;
   long long N = 0;
   for (int I = 1; I != argc; ++I) {
     if (parseNum(argv[I], "--tcp=", N) && N >= 0 && N <= 65535) {
@@ -109,12 +119,29 @@ int main(int argc, char **argv) {
       Opts.Service.Limits.MaxInstrs = size_t(N);
     } else if (std::strcmp(argv[I], "--enable-test-options") == 0) {
       Opts.Service.EnableTestOptions = true;
+    } else if (parseNum(argv[I], "--cache-bytes=", N) && N > 0) {
+      CacheConfig.MemoryBytes = size_t(N);
+    } else if (std::strncmp(argv[I], "--cache-dir=", 12) == 0 &&
+               argv[I][12] != '\0') {
+      CacheConfig.DiskDir = argv[I] + 12;
+    } else if (std::strcmp(argv[I], "--no-cache") == 0) {
+      NoCache = true;
     } else {
       return usage();
     }
   }
   if (Opts.TcpPort < 0 && Opts.UnixPath.empty())
     return usage();
+
+  if (!NoCache) {
+    auto Cache = std::make_shared<cache::ResultCache>(CacheConfig);
+    std::string Error;
+    if (!Cache->open(Error)) {
+      std::fprintf(stderr, "error: cache: %s\n", Error.c_str());
+      return 1;
+    }
+    Opts.Service.Cache = std::move(Cache);
+  }
 
   if (::pipe(SignalPipe) != 0) {
     std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
@@ -153,5 +180,8 @@ int main(int argc, char **argv) {
                (unsigned long long)C.Overloaded,
                (unsigned long long)C.ShedShuttingDown,
                (unsigned long long)C.FramingErrors);
+  if (Opts.Service.Cache)
+    std::fprintf(stderr, "lcm_serve: cache %s\n",
+                 Opts.Service.Cache->summary().c_str());
   return 0;
 }
