@@ -1,0 +1,182 @@
+//===- bench/perf_hotpath.cpp - Zero-copy hot-path throughput -------------===//
+//
+// Companion to the allocation-free request path: measures the three
+// byte-bound stages the serving hot path is made of —
+//
+//   parse:  text -> Function       (ir/Parser.h, parseFunctionInto)
+//   print:  Function -> text       (ir/Printer.h, append-into-buffer form)
+//   hash:   Function -> cache key  (cache/ContentHash.h, streaming form)
+//
+// in MB/s over the experiment corpus, plus the number that motivates the
+// design: heap allocations per steady-state parse->optimize->print
+// iteration once every reusable buffer has reached its high-water
+// capacity.  Linked against lcm_alloc_hook, so the allocation counts are
+// exact (see support/AllocHook.h); under sanitizer builds the hook is
+// inert and the counts report as unmeasured.
+//
+// The corpus sweep is repeated a fixed number of times, so `--json` mode
+// (the CI bench-smoke artifact) stays fast and deterministic in shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cache/ContentHash.h"
+#include "core/Lcm.h"
+#include "core/LocalCse.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "support/AllocHook.h"
+
+using namespace lcm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+struct HotpathInputs {
+  std::vector<std::string> Texts; ///< Canonical IR per corpus program.
+  std::vector<Function> Fns;      ///< The same programs, parsed.
+  size_t TotalBytes = 0;          ///< Sum of text sizes (one sweep).
+};
+
+HotpathInputs makeInputs() {
+  HotpathInputs In;
+  for (const CorpusEntry &Entry : experimentCorpus()) {
+    Function Fn = Entry.Make();
+    In.Texts.push_back(printFunction(Fn));
+    In.TotalBytes += In.Texts.back().size();
+    In.Fns.push_back(std::move(Fn));
+  }
+  return In;
+}
+
+double mbPerSecond(size_t Bytes, double Seconds) {
+  return Seconds > 0 ? double(Bytes) / Seconds / 1e6 : 0.0;
+}
+
+/// One full request-shaped iteration: parse the text, optimize, print the
+/// result into \p Out.  Exactly the loop the allocation gate pins.
+void requestIteration(const std::string &Text, const IRLimits &Limits,
+                      ParserScratch &Scratch, ParseResult &Ir,
+                      PreRunResult &R, std::string &Out) {
+  parseFunctionInto(Text, Limits, Scratch, Ir);
+  runLocalCse(Ir.Fn);
+  runPreInto(Ir.Fn, PreStrategy::Lazy, SolverStrategy::Sparse, R);
+  Out.clear();
+  printFunction(Ir.Fn, Out);
+}
+
+void runThroughput(const HotpathInputs &In) {
+  printHeading("hotpath-throughput",
+               "parse / print / hash throughput (experiment corpus)");
+
+  const unsigned Reps = 256;
+  const IRLimits Limits;
+  Table T({"stage", "bytes_per_sweep", "sweeps", "seconds", "mb_per_s"});
+
+  // Parse: the single-pass string_view lexer into recycled storage.
+  {
+    ParserScratch Scratch;
+    ParseResult Ir;
+    parseFunctionInto(In.Texts.front(), Limits, Scratch, Ir); // warm
+    const auto Start = Clock::now();
+    for (unsigned R = 0; R != Reps; ++R)
+      for (const std::string &Text : In.Texts)
+        parseFunctionInto(Text, Limits, Scratch, Ir);
+    const double S = secondsSince(Start);
+    const double Mb = mbPerSecond(In.TotalBytes * Reps, S);
+    T.row().add("parse").add(uint64_t(In.TotalBytes)).add(uint64_t(Reps))
+        .add(S, 4).add(Mb, 1);
+    benchRecordMetric("parse_mb_per_second", Mb);
+  }
+
+  // Print: append into a caller buffer that keeps its capacity.
+  {
+    std::string Out;
+    const auto Start = Clock::now();
+    for (unsigned R = 0; R != Reps; ++R)
+      for (const Function &Fn : In.Fns) {
+        Out.clear();
+        printFunction(Fn, Out);
+      }
+    const double S = secondsSince(Start);
+    const double Mb = mbPerSecond(In.TotalBytes * Reps, S);
+    T.row().add("print").add(uint64_t(In.TotalBytes)).add(uint64_t(Reps))
+        .add(S, 4).add(Mb, 1);
+    benchRecordMetric("print_mb_per_second", Mb);
+  }
+
+  // Hash: the streaming cache key (print straight into the hasher).
+  {
+    cache::PipelineFingerprint FP;
+    FP.Pipeline = "lcse,lcm,cleanup";
+    uint64_t Fold = 0;
+    const auto Start = Clock::now();
+    for (unsigned R = 0; R != Reps; ++R)
+      for (const Function &Fn : In.Fns)
+        Fold += cache::requestKey(Fn, FP).Lo;
+    const double S = secondsSince(Start);
+    const double Mb = mbPerSecond(In.TotalBytes * Reps, S);
+    T.row().add("hash").add(uint64_t(In.TotalBytes)).add(uint64_t(Reps))
+        .add(S, 4).add(Mb, 1);
+    benchRecordMetric("hash_mb_per_second", Mb);
+    if (Fold == 0x5eed) // Defeat over-eager optimizers; never true.
+      std::printf("#");
+  }
+
+  printTable(T);
+}
+
+void runAllocations(const HotpathInputs &In) {
+  printHeading("hotpath-allocations",
+               "steady-state heap allocations per request iteration");
+
+  const IRLimits Limits;
+  ParserScratch Scratch;
+  ParseResult Ir;
+  PreRunResult R;
+  std::string Out;
+
+  // Warm-up: let every arena, scratch vector, and string reach its
+  // high-water capacity.
+  const unsigned Warmup = 32, Measured = 8;
+  for (unsigned I = 0; I != Warmup; ++I)
+    for (const std::string &Text : In.Texts)
+      requestIteration(Text, Limits, Scratch, Ir, R, Out);
+
+  const uint64_t Before = alloccount::allocations();
+  for (unsigned I = 0; I != Measured; ++I)
+    for (const std::string &Text : In.Texts)
+      requestIteration(Text, Limits, Scratch, Ir, R, Out);
+  const uint64_t Delta = alloccount::allocations() - Before;
+
+  Table T({"hook_active", "warmup_iters", "measured_iters", "allocations"});
+  T.row().add(alloccount::active() ? "yes" : "no").add(uint64_t(Warmup))
+      .add(uint64_t(Measured)).add(Delta);
+  printTable(T);
+
+  benchRecordMetric("alloc_hook_active", alloccount::active());
+  benchRecordMetric("steady_allocations", Delta);
+  if (alloccount::active() && Delta != 0)
+    std::printf("WARNING: steady state allocated %llu times\n",
+                (unsigned long long)Delta);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchInit(&argc, argv, "perf_hotpath");
+  HotpathInputs In = makeInputs();
+  std::printf("corpus programs: %zu, bytes per sweep: %zu\n",
+              In.Texts.size(), In.TotalBytes);
+  runThroughput(In);
+  runAllocations(In);
+  return benchFinish();
+}

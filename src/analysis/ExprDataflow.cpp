@@ -18,6 +18,37 @@ std::vector<GenKill> makeTransfers(const LocalProperties &LP,
   return Transfers;
 }
 
+/// Per-thread transfer scratch for the Into variants: the GenKill rows and
+/// the boundary vector keep their capacity across solves, so rebuilding
+/// them is copy-assignments into existing storage.
+struct TransferScratch {
+  std::vector<GenKill> Transfers;
+  BitVector Boundary;
+};
+
+TransferScratch &transferScratch() {
+  thread_local TransferScratch S;
+  return S;
+}
+
+void makeTransfersInto(const LocalProperties &LP,
+                       const std::vector<BitVector> &Gen,
+                       TransferScratch &S) {
+  // Grow-only, like reshapeRows: shrinking would free the excess rows'
+  // Gen/Kill buffers; the solvers index by BlockId and never look past
+  // numBlocks(), so stale trailing rows are harmless.
+  if (S.Transfers.size() < LP.numBlocks())
+    S.Transfers.resize(LP.numBlocks());
+  for (size_t B = 0; B != LP.numBlocks(); ++B) {
+    S.Transfers[B].Gen = Gen[B];
+    // Kill = ~TRANSP, built by copy + flip to avoid a complement temporary.
+    S.Transfers[B].Kill = LP.transp(B);
+    S.Transfers[B].Kill.flipAll();
+  }
+  S.Boundary.resize(LP.numExprs());
+  S.Boundary.resetAll();
+}
+
 } // namespace
 
 DataflowResult lcm::computeAvailability(const Function &Fn,
@@ -50,4 +81,22 @@ DataflowResult lcm::computePartialAnticipability(const Function &Fn,
   return solveGenKill(Fn, Direction::Backward, Meet::Union,
                       makeTransfers(LP, LP.antlocAll()),
                       BitVector(LP.numExprs()), S);
+}
+
+void lcm::computeAvailabilityInto(const Function &Fn,
+                                  const LocalProperties &LP,
+                                  SolverStrategy S, DataflowResult &R) {
+  TransferScratch &T = transferScratch();
+  makeTransfersInto(LP, LP.compAll(), T);
+  solveGenKillInto(Fn, Direction::Forward, Meet::Intersection, T.Transfers,
+                   T.Boundary, S, R);
+}
+
+void lcm::computeAnticipabilityInto(const Function &Fn,
+                                    const LocalProperties &LP,
+                                    SolverStrategy S, DataflowResult &R) {
+  TransferScratch &T = transferScratch();
+  makeTransfersInto(LP, LP.antlocAll(), T);
+  solveGenKillInto(Fn, Direction::Backward, Meet::Intersection, T.Transfers,
+                   T.Boundary, S, R);
 }

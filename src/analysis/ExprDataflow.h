@@ -54,6 +54,14 @@ DataflowResult
 computePartialAnticipability(const Function &Fn, const LocalProperties &LP,
                              SolverStrategy S = SolverStrategy::Sparse);
 
+/// Reuse forms: write into a caller-owned result whose storage is recycled
+/// across calls.  The transfer vectors live in per-thread scratch, so with
+/// the sparse engine a warm steady-state solve allocates nothing.
+void computeAvailabilityInto(const Function &Fn, const LocalProperties &LP,
+                             SolverStrategy S, DataflowResult &R);
+void computeAnticipabilityInto(const Function &Fn, const LocalProperties &LP,
+                               SolverStrategy S, DataflowResult &R);
+
 } // namespace lcm
 
 #endif // LCM_ANALYSIS_EXPRDATAFLOW_H

@@ -4,14 +4,17 @@
 
 using namespace lcm;
 
-LocalProperties::LocalProperties(const Function &Fn)
-    : NumExprs(Fn.exprs().size()) {
+void LocalProperties::recompute(const Function &Fn) {
+  NumExprs = Fn.exprs().size();
+  NumBlocks = Fn.numBlocks();
   const ExprPool &Pool = Fn.exprs();
-  AntLoc.assign(Fn.numBlocks(), BitVector(NumExprs));
-  Comp.assign(Fn.numBlocks(), BitVector(NumExprs));
-  Transp.assign(Fn.numBlocks(), BitVector(NumExprs, true));
+  reshapeRows(AntLoc, Fn.numBlocks(), NumExprs);
+  reshapeRows(Comp, Fn.numBlocks(), NumExprs);
+  reshapeRows(Transp, Fn.numBlocks(), NumExprs, true);
 
-  BitVector Killed(NumExprs);
+  thread_local BitVector Killed;
+  Killed.resize(NumExprs);
+  Killed.resetAll();
   for (const BasicBlock &B : Fn.blocks()) {
     const auto &Instrs = B.instrs();
 

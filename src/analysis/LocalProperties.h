@@ -34,21 +34,33 @@ namespace lcm {
 /// Per-block local dataflow predicates over the expression universe.
 class LocalProperties {
 public:
-  explicit LocalProperties(const Function &Fn);
+  /// Empty; call recompute() before use.  Exists so hot paths can keep one
+  /// instance per thread and re-derive the predicates without reallocating
+  /// the per-block rows.
+  LocalProperties() = default;
+
+  explicit LocalProperties(const Function &Fn) { recompute(Fn); }
+
+  /// Re-derives all three predicates for \p Fn, reusing row storage.
+  void recompute(const Function &Fn);
 
   size_t numExprs() const { return NumExprs; }
-  size_t numBlocks() const { return AntLoc.size(); }
+  size_t numBlocks() const { return NumBlocks; }
 
   const BitVector &antloc(BlockId B) const { return AntLoc[B]; }
   const BitVector &comp(BlockId B) const { return Comp[B]; }
   const BitVector &transp(BlockId B) const { return Transp[B]; }
 
+  /// Whole-table row access.  The vectors may carry inert zero-bit rows
+  /// past numBlocks() (reshapeRows keeps high-water storage); index with a
+  /// BlockId rather than iterating them.
   const std::vector<BitVector> &antlocAll() const { return AntLoc; }
   const std::vector<BitVector> &compAll() const { return Comp; }
   const std::vector<BitVector> &transpAll() const { return Transp; }
 
 private:
-  size_t NumExprs;
+  size_t NumExprs = 0;
+  size_t NumBlocks = 0;
   std::vector<BitVector> AntLoc;
   std::vector<BitVector> Comp;
   std::vector<BitVector> Transp;

@@ -6,34 +6,41 @@
 
 using namespace lcm;
 
-TempLivenessResult
-lcm::computeTempLiveness(const Function &Fn, const CfgEdges &Edges,
-                         const LocalProperties &LP,
-                         const std::vector<BitVector> &Delete,
-                         const std::vector<BitVector> &EdgeInserts,
-                         const std::vector<BitVector> &NodeInserts) {
+void lcm::computeTempLivenessInto(const Function &Fn, const CfgEdges &Edges,
+                                  const LocalProperties &LP,
+                                  const std::vector<BitVector> &Delete,
+                                  const std::vector<BitVector> &EdgeInserts,
+                                  const std::vector<BitVector> &NodeInserts,
+                                  TempLivenessResult &R) {
   const size_t Universe = LP.numExprs();
   const uint64_t OpsBefore = BitVectorOps::snapshot();
 
-  TempLivenessResult R;
-  R.LiveIn.assign(Fn.numBlocks(), BitVector(Universe));
-  R.LiveOut.assign(Fn.numBlocks(), BitVector(Universe));
+  R.Stats = SolverStats{};
+  reshapeRows(R.LiveIn, Fn.numBlocks(), Universe);
+  reshapeRows(R.LiveOut, Fn.numBlocks(), Universe);
 
   // Propagation mask through a block: TRANSP & ~(COMP & ~DELETE).  A kept
   // downward-exposed computation is itself a (potential) definition of h_e;
   // a deleted one is a copy from h_e and leaves it live.
-  std::vector<BitVector> Propagate(Fn.numBlocks());
+  thread_local std::vector<BitVector> Propagate;
+  thread_local BitVector KeptComp;
+  reshapeRows(Propagate, Fn.numBlocks(), Universe);
+  KeptComp.resize(Universe);
   for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
-    BitVector KeptComp = LP.comp(B);
+    KeptComp = LP.comp(B);
     KeptComp.andNot(Delete[B]);
     Propagate[B] = LP.transp(B);
     Propagate[B].andNot(KeptComp);
   }
 
-  const std::vector<BlockId> Order = postOrder(Fn);
+  thread_local std::vector<BlockId> Order;
+  postOrderInto(Fn, Order);
   // Hoisted scratch rows: the fixpoint loop below copies into existing
   // same-capacity storage and performs no per-visit allocation.
-  BitVector AtEnd(Universe), Along(Universe), NewIn(Universe);
+  thread_local BitVector AtEnd, Along, NewIn;
+  AtEnd.resize(Universe);
+  Along.resize(Universe);
+  NewIn.resize(Universe);
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -66,21 +73,41 @@ lcm::computeTempLiveness(const Function &Fn, const CfgEdges &Edges,
   }
 
   R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
+}
+
+TempLivenessResult
+lcm::computeTempLiveness(const Function &Fn, const CfgEdges &Edges,
+                         const LocalProperties &LP,
+                         const std::vector<BitVector> &Delete,
+                         const std::vector<BitVector> &EdgeInserts,
+                         const std::vector<BitVector> &NodeInserts) {
+  TempLivenessResult R;
+  computeTempLivenessInto(Fn, Edges, LP, Delete, EdgeInserts, NodeInserts, R);
   return R;
+}
+
+void lcm::computeSavesInto(const LocalProperties &LP,
+                           const std::vector<BitVector> &Delete,
+                           const TempLivenessResult &Live,
+                           std::vector<BitVector> &Save) {
+  reshapeRows(Save, LP.numBlocks(), LP.numExprs());
+  thread_local BitVector DeletedHere;
+  DeletedHere.resize(LP.numExprs());
+  for (BlockId B = 0; B != LP.numBlocks(); ++B) {
+    // SAVE = COMP & LIVEOUT & ~(DELETE & TRANSP).
+    Save[B] = LP.comp(B);
+    Save[B] &= Live.LiveOut[B];
+    DeletedHere = Delete[B];
+    DeletedHere &= LP.transp(B);
+    Save[B].andNot(DeletedHere);
+  }
 }
 
 std::vector<BitVector>
 lcm::computeSaves(const LocalProperties &LP,
                   const std::vector<BitVector> &Delete,
                   const TempLivenessResult &Live) {
-  std::vector<BitVector> Save(LP.numBlocks());
-  for (BlockId B = 0; B != LP.numBlocks(); ++B) {
-    // SAVE = COMP & LIVEOUT & ~(DELETE & TRANSP).
-    Save[B] = LP.comp(B);
-    Save[B] &= Live.LiveOut[B];
-    BitVector DeletedHere = Delete[B];
-    DeletedHere &= LP.transp(B);
-    Save[B].andNot(DeletedHere);
-  }
+  std::vector<BitVector> Save;
+  computeSavesInto(LP, Delete, Live, Save);
   return Save;
 }

@@ -64,6 +64,19 @@ computeSaves(const LocalProperties &LP,
              const std::vector<BitVector> &Delete,
              const TempLivenessResult &Live);
 
+/// Reuse forms: recycle the result rows (and per-thread scratch) across
+/// calls, so a warm steady-state run allocates nothing.
+void computeTempLivenessInto(const Function &Fn, const CfgEdges &Edges,
+                             const LocalProperties &LP,
+                             const std::vector<BitVector> &Delete,
+                             const std::vector<BitVector> &EdgeInserts,
+                             const std::vector<BitVector> &NodeInserts,
+                             TempLivenessResult &R);
+void computeSavesInto(const LocalProperties &LP,
+                      const std::vector<BitVector> &Delete,
+                      const TempLivenessResult &Live,
+                      std::vector<BitVector> &Save);
+
 } // namespace lcm
 
 #endif // LCM_ANALYSIS_TEMPLIVENESS_H

@@ -2,6 +2,8 @@
 
 #include "cache/ContentHash.h"
 
+#include "ir/Printer.h"
+
 using namespace lcm;
 using namespace lcm::cache;
 
@@ -108,9 +110,43 @@ Digest cache::requestKey(std::string_view CanonicalIr,
   Hasher H;
   H.updateU64(F.Hi);
   H.updateU64(F.Lo);
-  // Length-prefix the text so (ir="ab", fp) and (ir="a", fp') style
-  // concatenation ambiguities cannot arise even in principle.
-  H.updateU64(uint64_t(CanonicalIr.size()));
   H.update(CanonicalIr);
+  // Length-suffix the text so (ir="ab", fp) and (ir="a", fp') style
+  // concatenation ambiguities cannot arise even in principle.  A suffix
+  // (not a prefix) because the streaming overload below learns the length
+  // only after the printer has run.
+  H.updateU64(uint64_t(CanonicalIr.size()));
+  return H.digest();
+}
+
+namespace {
+
+/// PrintSink that feeds the incremental hasher and counts bytes.
+class HashingSink final : public PrintSink {
+public:
+  explicit HashingSink(Hasher &H) : H(H) {}
+  using PrintSink::append;
+  void append(const char *Data, size_t Len) override {
+    H.update(Data, Len);
+    Bytes += Len;
+  }
+  uint64_t bytes() const { return Bytes; }
+
+private:
+  Hasher &H;
+  uint64_t Bytes = 0;
+};
+
+} // namespace
+
+Digest cache::requestKey(const Function &Fn,
+                         const PipelineFingerprint &Fingerprint) {
+  Digest F = Fingerprint.digest();
+  Hasher H;
+  H.updateU64(F.Hi);
+  H.updateU64(F.Lo);
+  HashingSink Sink(H);
+  printFunction(Fn, Sink);
+  H.updateU64(Sink.bytes());
   return H.digest();
 }

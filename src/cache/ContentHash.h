@@ -34,13 +34,20 @@
 #include "ir/Limits.h"
 
 namespace lcm {
+
+class Function;
+
 namespace cache {
 
 /// Bump when the cached-entry semantics change (entry layout, pipeline
 /// behaviour revisions that keep pass names stable, ...).  The stamp is
 /// folded into every key and into disk-entry filenames, so a bump
 /// invalidates all persisted state at once.
-inline constexpr uint32_t CacheSchemaVersion = 1;
+///
+/// v2: requestKey length-suffixes the IR text (was length-prefix) so the
+/// canonical IR can be streamed straight out of the printer without
+/// knowing its size up front.
+inline constexpr uint32_t CacheSchemaVersion = 2;
 
 /// A 128-bit content digest.
 struct Digest {
@@ -105,6 +112,12 @@ struct PipelineFingerprint {
 
 /// The complete cache key: canonicalized IR text x pipeline fingerprint.
 Digest requestKey(std::string_view CanonicalIr,
+                  const PipelineFingerprint &Fingerprint);
+
+/// Streaming form: prints \p Fn straight into the incremental hasher, so
+/// the canonical IR text is never materialized.  Produces exactly the same
+/// digest as requestKey(printFunction(Fn), Fingerprint).
+Digest requestKey(const Function &Fn,
                   const PipelineFingerprint &Fingerprint);
 
 } // namespace cache

@@ -20,22 +20,30 @@ const char *lcm::preStrategyName(PreStrategy S) {
   return "?";
 }
 
-LazyCodeMotion::LazyCodeMotion(const Function &Fn, const CfgEdges &Edges,
+void LazyCodeMotion::recompute(const Function &Fn, const CfgEdges &Edges,
                                const LocalProperties &LP,
-                               SolverStrategy Solver)
-    : Fn(Fn), Edges(Edges), LP(LP),
-      Avail(computeAvailability(Fn, LP, Solver)),
-      Ant(computeAnticipability(Fn, LP, Solver)) {
+                               SolverStrategy Solver) {
+  FnP = &Fn;
+  EdgesP = &Edges;
+  LPP = &LP;
+  LaterStatsVal = SolverStats{};
+  IsolationStatsVal = SolverStats{};
+  computeAvailabilityInto(Fn, LP, Solver, Avail);
+  computeAnticipabilityInto(Fn, LP, Solver, Ant);
   computeEarliest();
   computeLater();
 }
 
 void LazyCodeMotion::computeEarliest() {
+  const Function &Fn = *FnP;
+  const CfgEdges &Edges = *EdgesP;
+  const LocalProperties &LP = *LPP;
   const size_t Universe = LP.numExprs();
-  Earliest.assign(Edges.numEdges(), BitVector(Universe));
+  reshapeRows(Earliest, Edges.numEdges(), Universe);
   // Hoisted scratch: same-universe copy-assignments below reuse its
   // capacity, so the per-edge loop performs no allocation.
-  BitVector Blocked(Universe);
+  thread_local BitVector Blocked;
+  Blocked.resize(Universe);
   for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
     const CfgEdge &Edge = Edges.edge(E);
     // EARLIEST = ANTIN[j] & ~AVOUT[i] & (~TRANSP[i] | ~ANTOUT[i]).
@@ -56,18 +64,24 @@ void LazyCodeMotion::computeEarliest() {
 }
 
 void LazyCodeMotion::computeLater() {
+  const Function &Fn = *FnP;
+  const CfgEdges &Edges = *EdgesP;
+  const LocalProperties &LP = *LPP;
   const size_t Universe = LP.numExprs();
   const uint64_t OpsBefore = BitVectorOps::snapshot();
 
   // Greatest fixpoint: interior initialized to all-ones, the entry to the
   // empty set (insertions can never be postponed past the entry's start).
-  LaterIn.assign(Fn.numBlocks(), BitVector(Universe, true));
+  reshapeRows(LaterIn, Fn.numBlocks(), Universe, true);
   LaterIn[Fn.entry()].resetAll();
 
-  const std::vector<BlockId> Rpo = reversePostOrder(Fn);
+  thread_local std::vector<BlockId> Rpo;
+  reversePostOrderInto(Fn, Rpo);
   // Hoisted scratch rows: every assignment below copies into existing
   // same-capacity storage, so the fixpoint loop allocates nothing.
-  BitVector NewIn(Universe), Along(Universe);
+  thread_local BitVector NewIn, Along;
+  NewIn.resize(Universe);
+  Along.resize(Universe);
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -93,7 +107,7 @@ void LazyCodeMotion::computeLater() {
   }
 
   // Materialize the per-edge LATER facts from the converged LATERIN.
-  Later.assign(Edges.numEdges(), BitVector(Universe));
+  reshapeRows(Later, Edges.numEdges(), Universe);
   for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
     const CfgEdge &Edge = Edges.edge(E);
     BitVector &V = Later[E];
@@ -106,52 +120,63 @@ void LazyCodeMotion::computeLater() {
   Stats::bump("lcm.later.passes", LaterStatsVal.Passes);
 }
 
-PrePlacement LazyCodeMotion::placement(PreStrategy S) const {
+void LazyCodeMotion::placementInto(PreStrategy S, PrePlacement &P) const {
+  const Function &Fn = *FnP;
+  const CfgEdges &Edges = *EdgesP;
+  const LocalProperties &LP = *LPP;
   const size_t Universe = LP.numExprs();
-  PrePlacement P;
   P.NumExprs = Universe;
-  P.InsertEdge.assign(Edges.numEdges(), BitVector(Universe));
-  P.Delete.assign(Fn.numBlocks(), BitVector(Universe));
-  P.Save.assign(Fn.numBlocks(), BitVector(Universe));
+  reshapeRows(P.InsertEdge, Edges.numEdges(), Universe);
+  P.InsertEndOfBlock.clear();
+  reshapeRows(P.Delete, Fn.numBlocks(), Universe);
+  reshapeRows(P.Save, Fn.numBlocks(), Universe);
 
   if (S == PreStrategy::Busy) {
     // Insert at the earliest frontier; every upward-exposed computation
     // (except in the entry, above which nothing exists) becomes redundant.
-    P.InsertEdge = Earliest;
+    for (EdgeId E = 0; E != Edges.numEdges(); ++E)
+      P.InsertEdge[E] = Earliest[E];
     for (BlockId B = 0; B != Fn.numBlocks(); ++B)
       if (B != Fn.entry())
         P.Delete[B] = LP.antloc(B);
   } else {
     // Lazy placements: INSERT = LATER & ~LATERIN, DELETE = ANTLOC & ~LATERIN.
     for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
-      BitVector V = Later[E];
-      V.andNot(LaterIn[Edges.edge(E).To]);
-      P.InsertEdge[E] = std::move(V);
+      P.InsertEdge[E] = Later[E];
+      P.InsertEdge[E].andNot(LaterIn[Edges.edge(E).To]);
     }
     for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
       if (B == Fn.entry())
         continue;
-      BitVector V = LP.antloc(B);
-      V.andNot(LaterIn[B]);
-      P.Delete[B] = std::move(V);
+      P.Delete[B] = LP.antloc(B);
+      P.Delete[B].andNot(LaterIn[B]);
     }
   }
 
   if (S == PreStrategy::AlmostLazy) {
     // No isolation pruning: every kept downward-exposed computation saves.
+    thread_local BitVector DeletedHere;
+    DeletedHere.resize(Universe);
     for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
-      BitVector DeletedHere = P.Delete[B];
+      DeletedHere = P.Delete[B];
       DeletedHere &= LP.transp(B);
       P.Save[B] = LP.comp(B);
       P.Save[B].andNot(DeletedHere);
     }
     IsolationStatsVal = SolverStats{};
   } else {
-    TempLivenessResult Live = computeTempLiveness(
-        Fn, Edges, LP, P.Delete, P.InsertEdge, /*NodeInserts=*/{});
-    P.Save = computeSaves(LP, P.Delete, Live);
+    thread_local TempLivenessResult Live;
+    thread_local const std::vector<BitVector> NoNodeInserts;
+    computeTempLivenessInto(Fn, Edges, LP, P.Delete, P.InsertEdge,
+                            NoNodeInserts, Live);
+    computeSavesInto(LP, P.Delete, Live, P.Save);
     IsolationStatsVal = Live.Stats;
   }
+}
+
+PrePlacement LazyCodeMotion::placement(PreStrategy S) const {
+  PrePlacement P;
+  placementInto(S, P);
   return P;
 }
 
@@ -168,4 +193,23 @@ PreRunResult lcm::runPre(Function &Fn, PreStrategy S,
   R.IsolationStats = Engine.isolationStats();
   R.Report = applyPlacement(Fn, Edges, R.Placement);
   return R;
+}
+
+void lcm::runPreInto(Function &Fn, PreStrategy S, SolverStrategy Solver,
+                     PreRunResult &R) {
+  // One analysis pipeline per thread: every snapshot/fact container below
+  // retains its high-water storage, so once warm the whole run — analyses,
+  // placement derivation, and the rewrite — allocates nothing.
+  thread_local CfgEdges Edges;
+  thread_local LocalProperties LP;
+  thread_local LazyCodeMotion Engine;
+  Edges.rebuild(Fn);
+  LP.recompute(Fn);
+  Engine.recompute(Fn, Edges, LP, Solver);
+  Engine.placementInto(S, R.Placement);
+  R.AvailStats = Engine.availStats();
+  R.AntStats = Engine.antStats();
+  R.LaterStats = Engine.laterStats();
+  R.IsolationStats = Engine.isolationStats();
+  applyPlacement(Fn, Edges, R.Placement, R.Report);
 }

@@ -59,10 +59,24 @@ const char *preStrategyName(PreStrategy S);
 /// figure benches can inspect them.
 class LazyCodeMotion {
 public:
+  /// Empty; call recompute() before use.  Exists so hot paths can keep one
+  /// engine per thread and re-run all four analyses without reallocating
+  /// the fact rows.
+  LazyCodeMotion() = default;
+
   /// \param Solver fixpoint engine for the availability/anticipability
   ///        systems (the later system shares its scratch-row discipline but
   ///        is edge-based and always sweeps RPO).
   LazyCodeMotion(const Function &Fn, const CfgEdges &Edges,
+                 const LocalProperties &LP,
+                 SolverStrategy Solver = SolverStrategy::Sparse) {
+    recompute(Fn, Edges, LP, Solver);
+  }
+
+  /// Re-runs all analyses against a fresh (Fn, Edges, LP) snapshot,
+  /// reusing fact-row storage.  The referenced objects must outlive the
+  /// engine's use (the engine keeps pointers to them).
+  void recompute(const Function &Fn, const CfgEdges &Edges,
                  const LocalProperties &LP,
                  SolverStrategy Solver = SolverStrategy::Sparse);
 
@@ -82,6 +96,9 @@ public:
   /// Busy/Lazy runs the isolation liveness, and for AlmostLazy does not).
   PrePlacement placement(PreStrategy S) const;
 
+  /// Reuse form of placement(): recycles \p P's row storage across calls.
+  void placementInto(PreStrategy S, PrePlacement &P) const;
+
   //===--- Instrumentation ------------------------------------------------===
 
   const SolverStats &availStats() const { return Avail.Stats; }
@@ -91,9 +108,11 @@ public:
   const SolverStats &isolationStats() const { return IsolationStatsVal; }
 
 private:
-  const Function &Fn;
-  const CfgEdges &Edges;
-  const LocalProperties &LP;
+  // Pointers (not references) so the engine is default-constructible and
+  // re-targetable via recompute().
+  const Function *FnP = nullptr;
+  const CfgEdges *EdgesP = nullptr;
+  const LocalProperties *LPP = nullptr;
 
   DataflowResult Avail;
   DataflowResult Ant;
@@ -120,6 +139,12 @@ struct PreRunResult {
 
 PreRunResult runPre(Function &Fn, PreStrategy S,
                     SolverStrategy Solver = SolverStrategy::Sparse);
+
+/// Reuse form of runPre(): the analyses, placement, and rewrite all run
+/// against per-thread scratch and \p R's recycled storage, so a warm
+/// steady-state call performs no heap allocation.
+void runPreInto(Function &Fn, PreStrategy S, SolverStrategy Solver,
+                PreRunResult &R);
 
 } // namespace lcm
 

@@ -2,9 +2,6 @@
 
 #include "core/LocalCse.h"
 
-#include <map>
-#include <set>
-
 #include "support/BitVector.h"
 
 using namespace lcm;
@@ -14,39 +11,54 @@ uint64_t lcm::runLocalCse(Function &Fn) {
   const ExprPool &Pool = Fn.exprs();
   const size_t Universe = Pool.size();
 
+  // Per-thread scratch: every container below retains its high-water
+  // capacity, so a warm steady-state pass allocates nothing.
+  thread_local BitVector Avail;
+  thread_local BitVector Reused;
+  thread_local std::vector<VarId> TempOf;
+  thread_local std::vector<Instr> NewInstrs;
+  Avail.resize(Universe);
+  Reused.resize(Universe);
+
   for (BasicBlock &B : Fn.blocks()) {
     auto &Instrs = B.instrs();
 
     // Pass 1: find the expressions recomputed while still available
     // (operands unkilled since an earlier computation).  These need a
     // holder temp: the original destination may itself be overwritten.
-    BitVector Avail(Universe);
-    std::set<ExprId> Reused;
+    Avail.resetAll();
+    Reused.resetAll();
+    size_t NumReused = 0;
     for (const Instr &I : Instrs) {
-      if (I.isOperation() && Avail.test(I.exprId()))
-        Reused.insert(I.exprId());
+      if (I.isOperation() && Avail.test(I.exprId())) {
+        if (!Reused.test(I.exprId())) {
+          Reused.set(I.exprId());
+          ++NumReused;
+        }
+      }
       Avail.andNot(Pool.exprsReadingVar(I.dest()));
       if (I.isOperation() && !Pool.reads(I.exprId(), I.dest()))
         Avail.set(I.exprId());
     }
-    if (Reused.empty())
+    if (NumReused == 0)
       continue;
 
     // Pass 2: compute each reused expression into a block-local temp at
-    // its defining occurrences and copy from the temp at reuses.
-    std::map<ExprId, VarId> TempOf;
+    // its defining occurrences and copy from the temp at reuses.  Temps
+    // are created lazily at the first occurrence, preserving the original
+    // creation (and thus naming) order.
+    TempOf.assign(Universe, InvalidVar);
     auto tempFor = [&](ExprId E) {
-      auto [It, New] = TempOf.try_emplace(E, InvalidVar);
-      if (New)
-        It->second = Fn.addTempVar("cse");
-      return It->second;
+      if (TempOf[E] == InvalidVar)
+        TempOf[E] = Fn.addTempVar("cse");
+      return TempOf[E];
     };
 
-    std::vector<Instr> NewInstrs;
-    NewInstrs.reserve(Instrs.size() + Reused.size());
+    NewInstrs.clear();
+    NewInstrs.reserve(Instrs.size() + NumReused);
     Avail.resetAll();
     for (const Instr &I : Instrs) {
-      if (I.isOperation() && Reused.count(I.exprId())) {
+      if (I.isOperation() && Reused.test(I.exprId())) {
         ExprId E = I.exprId();
         VarId T = tempFor(E);
         if (Avail.test(E)) {
@@ -63,7 +75,9 @@ uint64_t lcm::runLocalCse(Function &Fn) {
       if (I.isOperation() && !Pool.reads(I.exprId(), I.dest()))
         Avail.set(I.exprId());
     }
-    Instrs = std::move(NewInstrs);
+    // Copy-assign (not move) so the block's vector reuses its capacity and
+    // NewInstrs keeps its buffer for the next block.
+    Instrs = NewInstrs;
   }
   return Replaced;
 }

@@ -57,7 +57,8 @@ PrePlacement lcm::filterPlacementForCodeSize(const PrePlacement &P,
   PrePlacement Out = P;
   auto mask = [&Drop](std::vector<BitVector> &Sets) {
     for (BitVector &BV : Sets)
-      BV.andNot(Drop);
+      if (!BV.empty()) // skip inert high-water rows (see reshapeRows)
+        BV.andNot(Drop);
   };
   mask(Out.InsertEdge);
   mask(Out.InsertEndOfBlock);
@@ -75,15 +76,18 @@ struct Exposure {
 };
 
 /// Computes, for each Operation instruction of \p B, whether it is the
-/// upward- and/or downward-exposed occurrence of its expression.
-Exposure computeExposure(const Function &Fn, const BasicBlock &B) {
+/// upward- and/or downward-exposed occurrence of its expression, writing
+/// into reused storage.
+void computeExposureInto(const Function &Fn, const BasicBlock &B,
+                         Exposure &X) {
   const ExprPool &Pool = Fn.exprs();
   const auto &Instrs = B.instrs();
-  Exposure X;
   X.Upward.assign(Instrs.size(), false);
   X.Downward.assign(Instrs.size(), false);
 
-  BitVector Killed(Pool.size());
+  thread_local BitVector Killed;
+  Killed.resize(Pool.size());
+  Killed.resetAll();
   for (size_t I = 0; I != Instrs.size(); ++I) {
     const Instr &In = Instrs[I];
     if (In.isOperation() && !Killed.test(In.exprId()))
@@ -98,15 +102,20 @@ Exposure computeExposure(const Function &Fn, const BasicBlock &B) {
       X.Downward[I] = true;
     Killed |= Pool.exprsReadingVar(In.dest());
   }
-  return X;
 }
 
 } // namespace
 
-ApplyReport lcm::applyPlacement(Function &Fn, const CfgEdges &Edges,
-                                const PrePlacement &P) {
-  ApplyReport R;
+void lcm::applyPlacement(Function &Fn, const CfgEdges &Edges,
+                         const PrePlacement &P, ApplyReport &R) {
   R.TempOfExpr.assign(P.NumExprs, InvalidVar);
+  R.EdgeInsertions = 0;
+  R.NodeInsertions = 0;
+  R.Replacements = 0;
+  R.Saves = 0;
+  R.SplitBlocks = 0;
+  R.AppendedToPred = 0;
+  R.PrependedToSucc = 0;
 
   auto tempFor = [&Fn, &R](ExprId E) {
     if (R.TempOfExpr[E] == InvalidVar)
@@ -122,8 +131,10 @@ ApplyReport lcm::applyPlacement(Function &Fn, const CfgEdges &Edges,
     const BitVector &Sav = P.Save[B];
     if (Del.none() && Sav.none())
       continue;
-    Exposure X = computeExposure(Fn, Fn.block(B));
-    std::vector<Instr> NewInstrs;
+    thread_local Exposure X;
+    computeExposureInto(Fn, Fn.block(B), X);
+    thread_local std::vector<Instr> NewInstrs;
+    NewInstrs.clear();
     const auto &Instrs = Fn.block(B).instrs();
     NewInstrs.reserve(Instrs.size() + Sav.count());
     for (size_t I = 0; I != Instrs.size(); ++I) {
@@ -149,7 +160,9 @@ ApplyReport lcm::applyPlacement(Function &Fn, const CfgEdges &Edges,
       }
       NewInstrs.push_back(In);
     }
-    Fn.block(B).instrs() = std::move(NewInstrs);
+    // Copy-assign (not move) so the block's vector reuses its capacity and
+    // NewInstrs keeps its buffer for the next block.
+    Fn.block(B).instrs() = NewInstrs;
   }
 
   // Phase 2: end-of-block insertions (Morel–Renvoise style).
@@ -182,7 +195,8 @@ ApplyReport lcm::applyPlacement(Function &Fn, const CfgEdges &Edges,
         ++R.AppendedToPred;
       } else if (To.preds().size() == 1) {
         // The edge point coincides with To's entry.
-        std::vector<Instr> Prefix;
+        thread_local std::vector<Instr> Prefix;
+        Prefix.clear();
         for (size_t E : Ins) {
           Prefix.push_back(
               Instr::makeOperation(tempFor(ExprId(E)), ExprId(E)));
@@ -207,5 +221,11 @@ ApplyReport lcm::applyPlacement(Function &Fn, const CfgEdges &Edges,
   Stats::bump("transform.replacements", R.Replacements);
   Stats::bump("transform.saves", R.Saves);
   Stats::bump("transform.splits", R.SplitBlocks);
+}
+
+ApplyReport lcm::applyPlacement(Function &Fn, const CfgEdges &Edges,
+                                const PrePlacement &P) {
+  ApplyReport R;
+  applyPlacement(Fn, Edges, P, R);
   return R;
 }

@@ -97,6 +97,12 @@ PrePlacement filterPlacementForCodeSize(const PrePlacement &P,
 ApplyReport applyPlacement(Function &Fn, const CfgEdges &Edges,
                            const PrePlacement &P);
 
+/// Reuse form: writes the report into \p R (recycled across calls) and
+/// keeps all rewrite scratch in per-thread storage, so a warm steady-state
+/// rewrite allocates nothing.
+void applyPlacement(Function &Fn, const CfgEdges &Edges,
+                    const PrePlacement &P, ApplyReport &R);
+
 } // namespace lcm
 
 #endif // LCM_CORE_PLACEMENT_H

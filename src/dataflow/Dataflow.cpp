@@ -48,7 +48,7 @@ void meetInto(BitVector &Acc, const BitVector &Src, Meet M) {
 DataflowResult lcm::solveGenKill(const Function &Fn, Direction Dir, Meet M,
                                  const std::vector<GenKill> &Transfers,
                                  const BitVector &Boundary) {
-  assert(Transfers.size() == Fn.numBlocks() && "one transfer per block");
+  assert(Transfers.size() >= Fn.numBlocks() && "one transfer per block");
   const size_t Universe = Boundary.size();
   const uint64_t OpsBefore = BitVectorOps::snapshot();
 
@@ -105,7 +105,7 @@ DataflowResult lcm::solveGenKillWorklist(const Function &Fn, Direction Dir,
                                          Meet M,
                                          const std::vector<GenKill> &Transfers,
                                          const BitVector &Boundary) {
-  assert(Transfers.size() == Fn.numBlocks() && "one transfer per block");
+  assert(Transfers.size() >= Fn.numBlocks() && "one transfer per block");
   const size_t Universe = Boundary.size();
   const uint64_t OpsBefore = BitVectorOps::snapshot();
 
@@ -204,8 +204,15 @@ namespace {
 /// pop is a find-first-set scan from the cursor.
 class PriorityWorklist {
 public:
-  explicit PriorityWorklist(size_t N)
-      : Pending(bitwords::wordsFor(N), 0), N(N) {}
+  PriorityWorklist() = default;
+
+  /// Re-targets the worklist at \p N priorities, reusing the pending-bit
+  /// buffer (assign keeps capacity).
+  void reset(size_t N) {
+    Pending.assign(bitwords::wordsFor(N), 0);
+    this->N = N;
+    Cursor = 0;
+  }
 
   void seedAll() {
     for (uint64_t &W : Pending)
@@ -241,25 +248,27 @@ public:
 
 private:
   std::vector<uint64_t> Pending;
-  size_t N;
+  size_t N = 0;
   size_t Cursor = 0;
 };
 
-} // namespace
-
-DataflowResult lcm::solveGenKillSparse(const Function &Fn, Direction Dir,
-                                       Meet M,
-                                       const std::vector<GenKill> &Transfers,
-                                       const BitVector &Boundary) {
-  assert(Transfers.size() == Fn.numBlocks() && "one transfer per block");
+/// The sparse solve, writing into caller-owned (reused) result rows.
+void solveGenKillSparseInto(const Function &Fn, Direction Dir, Meet M,
+                            const std::vector<GenKill> &Transfers,
+                            const BitVector &Boundary, DataflowResult &R) {
+  assert(Transfers.size() >= Fn.numBlocks() && "one transfer per block");
   const size_t Universe = Boundary.size();
   const size_t NumBlocks = Fn.numBlocks();
   const size_t WPR = bitwords::wordsFor(Universe);
   const uint64_t OpsBefore = BitVectorOps::snapshot();
 
-  // One arena per thread, reused across solves: after the first solve of
-  // the largest problem size, begin() is a pointer reset.
+  // Per-thread scratch, reused across solves: after the first solve of the
+  // largest problem size, everything below is a pointer/length reset.
   thread_local FactArena Arena;
+  thread_local std::vector<BlockId> Order;
+  thread_local std::vector<uint32_t> Prio;
+  thread_local PriorityWorklist WL;
+
   Arena.begin(2 * NumBlocks * WPR);
   BitMatrix In = Arena.allocMatrix(NumBlocks, Universe);
   BitMatrix Out = Arena.allocMatrix(NumBlocks, Universe);
@@ -268,9 +277,11 @@ DataflowResult lcm::solveGenKillSparse(const Function &Fn, Direction Dir,
   In.fillNeutral(Neutral);
   Out.fillNeutral(Neutral);
 
-  const std::vector<BlockId> Order =
-      Dir == Direction::Forward ? reversePostOrder(Fn) : postOrder(Fn);
-  const std::vector<uint32_t> Prio = orderIndex(Fn, Order);
+  if (Dir == Direction::Forward)
+    reversePostOrderInto(Fn, Order);
+  else
+    postOrderInto(Fn, Order);
+  orderIndexInto(Fn, Order, Prio);
   const BlockId BoundaryBlock =
       Dir == Direction::Forward ? Fn.entry() : Fn.exit();
   if (Dir == Direction::Forward)
@@ -278,11 +289,11 @@ DataflowResult lcm::solveGenKillSparse(const Function &Fn, Direction Dir,
   else
     Out.row(BoundaryBlock).copyFrom(Boundary);
 
-  DataflowResult R;
+  R.Stats = SolverStats{};
 
   // Seed every reachable block, in priority order; unreachable blocks keep
   // the neutral initialization, matching the dense solvers.
-  PriorityWorklist WL(Order.size());
+  WL.reset(Order.size());
   WL.seedAll();
 
   const bool Fwd = (Dir == Direction::Forward);
@@ -316,12 +327,13 @@ DataflowResult lcm::solveGenKillSparse(const Function &Fn, Direction Dir,
     }
   }
 
-  // Materialize the arena rows as the caller-owned result.
-  R.In.reserve(NumBlocks);
-  R.Out.reserve(NumBlocks);
+  // Materialize the arena rows into the caller-owned (reused) result rows:
+  // reshape keeps each BitVector's word storage, then raw word copies.
+  reshapeRows(R.In, NumBlocks, Universe);
+  reshapeRows(R.Out, NumBlocks, Universe);
   for (size_t B = 0; B != NumBlocks; ++B) {
-    R.In.push_back(In.row(B).toBitVector());
-    R.Out.push_back(Out.row(B).toBitVector());
+    bitwords::copy(R.In[B].words(), In.rowWords(BlockId(B)), WPR);
+    bitwords::copy(R.Out[B].words(), Out.rowWords(BlockId(B)), WPR);
   }
 
   R.Stats.WordOps = BitVectorOps::snapshot() - OpsBefore;
@@ -329,6 +341,16 @@ DataflowResult lcm::solveGenKillSparse(const Function &Fn, Direction Dir,
   Stats::bump("dataflow.sparse.solves");
   Stats::bump("dataflow.node_visits", R.Stats.NodeVisits);
   Stats::bump("dataflow.word_ops", R.Stats.WordOps);
+}
+
+} // namespace
+
+DataflowResult lcm::solveGenKillSparse(const Function &Fn, Direction Dir,
+                                       Meet M,
+                                       const std::vector<GenKill> &Transfers,
+                                       const BitVector &Boundary) {
+  DataflowResult R;
+  solveGenKillSparseInto(Fn, Dir, M, Transfers, Boundary, R);
   return R;
 }
 
@@ -345,4 +367,22 @@ DataflowResult lcm::solveGenKill(const Function &Fn, Direction Dir, Meet M,
     return solveGenKillSparse(Fn, Dir, M, Transfers, Boundary);
   }
   return solveGenKill(Fn, Dir, M, Transfers, Boundary);
+}
+
+void lcm::solveGenKillInto(const Function &Fn, Direction Dir, Meet M,
+                           const std::vector<GenKill> &Transfers,
+                           const BitVector &Boundary, SolverStrategy S,
+                           DataflowResult &R) {
+  switch (S) {
+  case SolverStrategy::Sparse:
+    solveGenKillSparseInto(Fn, Dir, M, Transfers, Boundary, R);
+    return;
+  case SolverStrategy::RoundRobin:
+    R = solveGenKill(Fn, Dir, M, Transfers, Boundary);
+    return;
+  case SolverStrategy::Worklist:
+    R = solveGenKillWorklist(Fn, Dir, M, Transfers, Boundary);
+    return;
+  }
+  R = solveGenKill(Fn, Dir, M, Transfers, Boundary);
 }

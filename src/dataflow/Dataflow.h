@@ -120,6 +120,17 @@ DataflowResult solveGenKill(const Function &Fn, Direction Dir, Meet M,
                             const std::vector<GenKill> &Transfers,
                             const BitVector &Boundary, SolverStrategy S);
 
+/// Reuse form of the dispatching solveGenKill: writes the fixpoint into a
+/// caller-owned result whose row storage is recycled across solves.  With
+/// SolverStrategy::Sparse the entire solve — including materializing R —
+/// performs zero heap allocation once R's rows have warmed up to the
+/// problem size.  The dense strategies still allocate internally (they are
+/// ablation baselines, not hot paths).
+void solveGenKillInto(const Function &Fn, Direction Dir, Meet M,
+                      const std::vector<GenKill> &Transfers,
+                      const BitVector &Boundary, SolverStrategy S,
+                      DataflowResult &R);
+
 } // namespace lcm
 
 #endif // LCM_DATAFLOW_DATAFLOW_H

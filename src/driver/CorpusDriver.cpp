@@ -32,7 +32,8 @@ FunctionOutcome runOne(const Pipeline &P, Function &Fn) {
 FunctionOutcome runOneCached(const Pipeline &P, Function &Fn,
                              cache::ResultCache &Cache,
                              const cache::PipelineFingerprint &FP) {
-  const cache::Digest Key = cache::requestKey(printFunction(Fn), FP);
+  // Streaming key: print straight into the hasher, no canonical-IR string.
+  const cache::Digest Key = cache::requestKey(Fn, FP);
 
   cache::CacheEntry E;
   if (Cache.get(Key, E)) {
@@ -52,7 +53,7 @@ FunctionOutcome runOneCached(const Pipeline &P, Function &Fn,
   FunctionOutcome O = runOne(P, Fn);
   if (O.Ok) {
     cache::CacheEntry Put;
-    Put.Ir = printFunction(Fn);
+    printFunction(Fn, Put.Ir);
     Put.Changes = O.Changes;
     Cache.put(Key, Put);
   }

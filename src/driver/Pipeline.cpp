@@ -120,12 +120,22 @@ const std::map<std::string, PassFn> &registry() {
          return R.OperandsPropagated + R.OpsFolded + R.OpsSimplified;
        }},
       {"lcm",
-       [](Function &F) { return preChanges(runPre(F, PreStrategy::Lazy)); }},
+       [](Function &F) {
+         thread_local PreRunResult R;
+         runPreInto(F, PreStrategy::Lazy, SolverStrategy::Sparse, R);
+         return preChanges(R);
+       }},
       {"bcm",
-       [](Function &F) { return preChanges(runPre(F, PreStrategy::Busy)); }},
+       [](Function &F) {
+         thread_local PreRunResult R;
+         runPreInto(F, PreStrategy::Busy, SolverStrategy::Sparse, R);
+         return preChanges(R);
+       }},
       {"alcm",
        [](Function &F) {
-         return preChanges(runPre(F, PreStrategy::AlmostLazy));
+         thread_local PreRunResult R;
+         runPreInto(F, PreStrategy::AlmostLazy, SolverStrategy::Sparse, R);
+         return preChanges(R);
        }},
       {"sized-lcm",
        [](Function &F) {

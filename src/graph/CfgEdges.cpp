@@ -4,9 +4,20 @@
 
 using namespace lcm;
 
-CfgEdges::CfgEdges(const Function &Fn) {
-  Out.resize(Fn.numBlocks());
-  In.resize(Fn.numBlocks());
+void CfgEdges::rebuild(const Function &Fn) {
+  Edges.clear();
+  // Grow-only: shrinking would destroy the per-block lists' heap buffers,
+  // so cycling through differently sized functions would reallocate them
+  // on every size transition.  Lists past numBlocks() are cleared and kept;
+  // accessors index by BlockId, so the extra empty lists are never read.
+  if (Out.size() < Fn.numBlocks()) {
+    Out.resize(Fn.numBlocks());
+    In.resize(Fn.numBlocks());
+  }
+  for (auto &L : Out)
+    L.clear();
+  for (auto &L : In)
+    L.clear();
   for (const BasicBlock &B : Fn.blocks()) {
     const auto &Succs = B.succs();
     for (uint32_t I = 0; I != Succs.size(); ++I) {

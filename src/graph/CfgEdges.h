@@ -39,7 +39,15 @@ struct CfgEdge {
 /// Immutable edge snapshot of a Function.
 class CfgEdges {
 public:
-  explicit CfgEdges(const Function &Fn);
+  /// Empty snapshot; call rebuild() before use.  Exists so hot paths can
+  /// keep one instance alive and re-snapshot without reallocating the
+  /// per-block edge lists.
+  CfgEdges() = default;
+
+  explicit CfgEdges(const Function &Fn) { rebuild(Fn); }
+
+  /// Re-snapshots \p Fn's edges, reusing existing storage.
+  void rebuild(const Function &Fn);
 
   size_t numEdges() const { return Edges.size(); }
 

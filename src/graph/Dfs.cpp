@@ -6,13 +6,17 @@
 
 using namespace lcm;
 
-std::vector<BlockId> lcm::postOrder(const Function &Fn) {
-  std::vector<BlockId> Order;
+void lcm::postOrderInto(const Function &Fn, std::vector<BlockId> &Order) {
+  Order.clear();
   if (Fn.numBlocks() == 0)
-    return Order;
-  std::vector<uint8_t> State(Fn.numBlocks(), 0); // 0=unseen 1=open 2=done
+    return;
+  // Thread-local scratch keeps the DFS allocation-free once warm; the
+  // vectors only grow when a larger function comes through.
+  thread_local std::vector<uint8_t> State; // 0=unseen 1=open 2=done
+  thread_local std::vector<std::pair<BlockId, size_t>> Stack;
+  State.assign(Fn.numBlocks(), 0);
+  Stack.clear();
   // Iterative DFS with an explicit (block, next-successor-index) stack.
-  std::vector<std::pair<BlockId, size_t>> Stack;
   Stack.emplace_back(Fn.entry(), 0);
   State[Fn.entry()] = 1;
   while (!Stack.empty()) {
@@ -34,19 +38,37 @@ std::vector<BlockId> lcm::postOrder(const Function &Fn) {
     Order.push_back(B);
     Stack.pop_back();
   }
+}
+
+void lcm::reversePostOrderInto(const Function &Fn,
+                               std::vector<BlockId> &Order) {
+  postOrderInto(Fn, Order);
+  std::reverse(Order.begin(), Order.end());
+}
+
+void lcm::orderIndexInto(const Function &Fn,
+                         const std::vector<BlockId> &Order,
+                         std::vector<uint32_t> &Index) {
+  Index.assign(Fn.numBlocks(), ~uint32_t(0));
+  for (uint32_t I = 0; I != Order.size(); ++I)
+    Index[Order[I]] = I;
+}
+
+std::vector<BlockId> lcm::postOrder(const Function &Fn) {
+  std::vector<BlockId> Order;
+  postOrderInto(Fn, Order);
   return Order;
 }
 
 std::vector<BlockId> lcm::reversePostOrder(const Function &Fn) {
-  std::vector<BlockId> Order = postOrder(Fn);
-  std::reverse(Order.begin(), Order.end());
+  std::vector<BlockId> Order;
+  reversePostOrderInto(Fn, Order);
   return Order;
 }
 
 std::vector<uint32_t> lcm::orderIndex(const Function &Fn,
                                       const std::vector<BlockId> &Order) {
-  std::vector<uint32_t> Index(Fn.numBlocks(), ~uint32_t(0));
-  for (uint32_t I = 0; I != Order.size(); ++I)
-    Index[Order[I]] = I;
+  std::vector<uint32_t> Index;
+  orderIndexInto(Fn, Order, Index);
   return Index;
 }

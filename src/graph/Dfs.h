@@ -32,6 +32,14 @@ std::vector<BlockId> reversePostOrder(const Function &Fn);
 std::vector<uint32_t> orderIndex(const Function &Fn,
                                  const std::vector<BlockId> &Order);
 
+/// Reuse variants: write into a caller-owned vector (cleared first), so a
+/// hot loop's traversal order costs no allocation once the vector has
+/// warmed up.  DFS bookkeeping lives in thread-local scratch.
+void postOrderInto(const Function &Fn, std::vector<BlockId> &Order);
+void reversePostOrderInto(const Function &Fn, std::vector<BlockId> &Order);
+void orderIndexInto(const Function &Fn, const std::vector<BlockId> &Order,
+                    std::vector<uint32_t> &Index);
+
 } // namespace lcm
 
 #endif // LCM_GRAPH_DFS_H

@@ -156,15 +156,29 @@ int64_t lcm::evalOpcode(Opcode Op, int64_t A, int64_t B) {
   return 0;
 }
 
+uint64_t ExprPool::hashExpr(const Expr &E) {
+  auto OperandBits = [](Operand O) {
+    return O.isVar() ? (uint64_t(O.var()) << 1) | 1
+                     : uint64_t(O.constVal()) << 1;
+  };
+  uint64_t H = mixHash64(uint64_t(E.Op));
+  H = mixHash64(H ^ OperandBits(E.Lhs));
+  H = mixHash64(H ^ OperandBits(E.Rhs));
+  return H;
+}
+
 ExprId ExprPool::intern(const Expr &E) {
   Expr Canonical = E;
   if (!isBinaryOpcode(E.Op))
     Canonical.Rhs = Operand::makeConst(0); // Normalize the unused slot.
-  auto [It, Inserted] = Index.try_emplace(Canonical, ExprId(Exprs.size()));
-  if (!Inserted)
-    return It->second;
+  const uint64_t H = hashExpr(Canonical);
+  ExprId Existing =
+      Index.find(H, [&](uint32_t Id) { return Exprs[Id] == Canonical; });
+  if (Existing != InternTable::npos)
+    return Existing;
   ExprId Id = ExprId(Exprs.size());
   Exprs.push_back(Canonical);
+  Index.insert(H, Id);
   if (Canonical.Lhs.isVar())
     noteReader(Canonical.Lhs.var(), Id);
   if (Canonical.isBinary() && Canonical.Rhs.isVar())
@@ -176,8 +190,18 @@ ExprId ExprPool::lookup(const Expr &E) const {
   Expr Canonical = E;
   if (!isBinaryOpcode(E.Op))
     Canonical.Rhs = Operand::makeConst(0);
-  auto It = Index.find(Canonical);
-  return It == Index.end() ? InvalidExpr : It->second;
+  ExprId Found = Index.find(hashExpr(Canonical), [&](uint32_t Id) {
+    return Exprs[Id] == Canonical;
+  });
+  return Found == InternTable::npos ? InvalidExpr : Found;
+}
+
+void ExprPool::clearRetaining() {
+  Exprs.clear();
+  Index.clearRetaining();
+  for (BitVector &Row : ReadersOfVar)
+    Row.resize(0);
+  EmptyReaders.resize(0);
 }
 
 void ExprPool::noteReader(VarId V, ExprId E) {

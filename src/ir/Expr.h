@@ -21,11 +21,11 @@
 
 #include <cassert>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "support/BitVector.h"
+#include "support/InternTable.h"
 
 namespace lcm {
 
@@ -195,13 +195,20 @@ public:
   /// All variables read by expression \p Id (deduplicated).
   std::vector<VarId> varsRead(ExprId Id) const;
 
+  /// Empties the pool but keeps every internal buffer allocated (the hash
+  /// table's slots, the expression vector's capacity, the reader rows), so
+  /// a recycled Function re-interns without heap traffic.
+  void clearRetaining();
+
 private:
   std::vector<Expr> Exprs;
-  std::map<Expr, ExprId> Index;
+  /// Hash -> ExprId; keys live in Exprs (see support/InternTable.h).
+  InternTable Index;
   /// Per variable, which expressions read it; lazily sized.
   mutable std::vector<BitVector> ReadersOfVar;
   mutable BitVector EmptyReaders;
 
+  static uint64_t hashExpr(const Expr &E);
   void noteReader(VarId V, ExprId E);
 };
 

@@ -3,34 +3,95 @@
 #include "ir/Function.h"
 
 #include <algorithm>
+#include <charconv>
 
 using namespace lcm;
 
-VarId Function::getOrAddVar(const std::string &VarName) {
-  auto [It, Inserted] = VarIndex.try_emplace(VarName, VarId(VarNames.size()));
-  if (Inserted)
-    VarNames.push_back(VarName);
-  return It->second;
+namespace {
+
+/// Appends the decimal rendering of \p N to \p Out without temporaries.
+void appendUInt(std::string &Out, uint64_t N) {
+  char Buf[20];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), N);
+  (void)Ec;
+  Out.append(Buf, size_t(End - Buf));
 }
 
-VarId Function::addTempVar(const std::string &Hint) {
+} // namespace
+
+void Function::resetRetainingStorage(std::string_view NewName) {
+  Name.assign(NewName);
+  // Park every block for reuse; clear contents but keep vector capacity.
+  // Parked in reverse so addBlock's LIFO pop hands block id I the object
+  // that was block I last time: each role reuses the same few objects, so
+  // per-role capacity (instr/succ/pred vectors) converges during warm-up
+  // instead of rotating through the whole pool and reallocating forever.
+  for (size_t I = Blocks.size(); I-- != 0;) {
+    BasicBlock &B = Blocks[I];
+    B.Instrs.clear();
+    B.Succs.clear();
+    B.Preds.clear();
+    B.CondVar.reset();
+    B.Label.clear();
+    SpareBlocks.push_back(std::move(B));
+  }
+  Blocks.clear();
+  EntryId = InvalidBlock;
+  NumVars = 0;
+  VarIndex.clearRetaining();
+  Exprs.clearRetaining();
+  NextTempSuffix = 0;
+}
+
+VarId Function::getOrAddVar(std::string_view VarName) {
+  const uint64_t H = InternTable::hashBytes(VarName);
+  uint32_t Found =
+      VarIndex.find(H, [&](uint32_t Id) { return VarNames[Id] == VarName; });
+  if (Found != InternTable::npos)
+    return Found;
+  VarId Id = VarId(NumVars);
+  if (NumVars < VarNames.size())
+    VarNames[NumVars].assign(VarName); // Reuse a retired string's capacity.
+  else
+    VarNames.emplace_back(VarName);
+  ++NumVars;
+  VarIndex.insert(H, Id);
+  return Id;
+}
+
+VarId Function::addTempVar(std::string_view Hint) {
   while (true) {
-    std::string Candidate = Hint + "." + std::to_string(NextTempSuffix++);
-    if (VarIndex.find(Candidate) == VarIndex.end())
-      return getOrAddVar(Candidate);
+    ScratchName.assign(Hint);
+    ScratchName.push_back('.');
+    appendUInt(ScratchName, NextTempSuffix++);
+    if (findVar(ScratchName) == InvalidVar)
+      return getOrAddVar(ScratchName);
   }
 }
 
-VarId Function::findVar(const std::string &VarName) const {
-  auto It = VarIndex.find(VarName);
-  return It == VarIndex.end() ? InvalidVar : It->second;
+VarId Function::findVar(std::string_view VarName) const {
+  uint32_t Found =
+      VarIndex.find(InternTable::hashBytes(VarName),
+                    [&](uint32_t Id) { return VarNames[Id] == VarName; });
+  return Found == InternTable::npos ? InvalidVar : Found;
 }
 
-BlockId Function::addBlock(std::string Label) {
+BlockId Function::addBlock(std::string_view Label) {
   BlockId Id = BlockId(Blocks.size());
-  if (Label.empty())
-    Label = "b" + std::to_string(Id);
-  Blocks.emplace_back(Id, std::move(Label));
+  if (!SpareBlocks.empty()) {
+    BasicBlock Recycled = std::move(SpareBlocks.back());
+    SpareBlocks.pop_back();
+    Recycled.Id = Id;
+    Recycled.Label.assign(Label);
+    Blocks.push_back(std::move(Recycled));
+  } else {
+    Blocks.emplace_back(Id, Label);
+  }
+  if (Label.empty()) {
+    std::string &L = Blocks.back().Label;
+    L.assign("b");
+    appendUInt(L, Id);
+  }
   if (EntryId == InvalidBlock)
     EntryId = Id;
   return Id;
@@ -76,18 +137,22 @@ BlockId Function::splitEdge(BlockId From, size_t SuccIdx) {
   // into distinct blocks that would share the From.To label hint;
   // uniquify so printed labels stay distinct and the function
   // round-trips through the parser.
-  const std::string Hint =
-      Blocks[From].label() + "." + Blocks[OldTo].label();
-  std::string Label = Hint;
+  ScratchName.assign(Blocks[From].label());
+  ScratchName.push_back('.');
+  ScratchName.append(Blocks[OldTo].label());
+  const size_t HintLen = ScratchName.size();
   auto Taken = [&](const std::string &L) {
     for (const BasicBlock &B : Blocks)
       if (B.label() == L)
         return true;
     return false;
   };
-  for (unsigned N = 2; Taken(Label); ++N)
-    Label = Hint + "." + std::to_string(N);
-  BlockId Mid = addBlock(std::move(Label));
+  for (unsigned N = 2; Taken(ScratchName); ++N) {
+    ScratchName.resize(HintLen);
+    ScratchName.push_back('.');
+    appendUInt(ScratchName, N);
+  }
+  BlockId Mid = addBlock(ScratchName);
   redirectEdge(From, SuccIdx, Mid);
   addEdge(Mid, OldTo);
   return Mid;

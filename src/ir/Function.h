@@ -21,9 +21,11 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/Instr.h"
+#include "support/InternTable.h"
 
 namespace lcm {
 
@@ -40,8 +42,7 @@ constexpr BlockId InvalidBlock = ~BlockId(0);
 /// - otherwise: the branch oracle picks a successor index.
 class BasicBlock {
 public:
-  BasicBlock(BlockId Id, std::string Label)
-      : Id(Id), Label(std::move(Label)) {}
+  BasicBlock(BlockId Id, std::string_view Label) : Id(Id), Label(Label) {}
 
   BlockId id() const { return Id; }
   const std::string &label() const { return Label; }
@@ -78,33 +79,41 @@ public:
   explicit Function(std::string Name = "f") : Name(std::move(Name)) {}
 
   const std::string &name() const { return Name; }
+  void setName(std::string_view NewName) { Name.assign(NewName); }
+
+  /// Empties the function (name reset to \p NewName) while keeping every
+  /// internal buffer allocated: block/instruction/edge vectors, variable
+  /// name strings, and both intern tables are recycled, so repeatedly
+  /// parsing into the same Function object reaches a steady state with
+  /// zero heap allocations.
+  void resetRetainingStorage(std::string_view NewName = "f");
 
   //===--------------------------------------------------------------------===
   // Variables
   //===--------------------------------------------------------------------===
 
   /// Creates (or returns the existing) variable named \p VarName.
-  VarId getOrAddVar(const std::string &VarName);
+  VarId getOrAddVar(std::string_view VarName);
 
   /// Creates a fresh variable with a unique name derived from \p Hint.
-  VarId addTempVar(const std::string &Hint);
+  VarId addTempVar(std::string_view Hint);
 
-  size_t numVars() const { return VarNames.size(); }
+  size_t numVars() const { return NumVars; }
 
   const std::string &varName(VarId V) const {
-    assert(V < VarNames.size() && "bad variable id");
+    assert(V < NumVars && "bad variable id");
     return VarNames[V];
   }
 
   /// Looks up a variable by name; returns InvalidVar if absent.
-  VarId findVar(const std::string &VarName) const;
+  VarId findVar(std::string_view VarName) const;
 
   //===--------------------------------------------------------------------===
   // Blocks and edges
   //===--------------------------------------------------------------------===
 
   /// Appends a new block; the first block created becomes the entry.
-  BlockId addBlock(std::string Label = "");
+  BlockId addBlock(std::string_view Label = {});
 
   size_t numBlocks() const { return Blocks.size(); }
 
@@ -163,8 +172,17 @@ private:
   std::string Name;
   std::vector<BasicBlock> Blocks;
   BlockId EntryId = InvalidBlock;
+  /// Live names are VarNames[0..NumVars); entries past NumVars are retired
+  /// strings kept for their capacity (see resetRetainingStorage).
   std::vector<std::string> VarNames;
-  std::map<std::string, VarId> VarIndex;
+  size_t NumVars = 0;
+  /// Hash -> VarId; keys live in VarNames.
+  InternTable VarIndex;
+  /// Blocks recycled by resetRetainingStorage, reused LIFO by addBlock so
+  /// instruction/edge vector capacities survive across parses.
+  std::vector<BasicBlock> SpareBlocks;
+  /// Reused buffer for derived names (temp vars, split-edge labels).
+  std::string ScratchName;
   ExprPool Exprs;
   unsigned NextTempSuffix = 0;
 };

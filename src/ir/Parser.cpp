@@ -1,40 +1,50 @@
 //===- ir/Parser.cpp -------------------------------------------------------===//
+//
+// Single-pass string_view lexer: tokens are views into the caller's source
+// buffer, labels and variables intern through open-addressing tables keyed
+// by those views, and all working storage lives in a caller-provided
+// ParserScratch.  The accepting path performs no heap allocation once the
+// scratch and the recycled Function have warmed up; diagnostics (cold path)
+// still build ordinary std::strings.
+//
+//===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
 
 #include <cctype>
-#include <cerrno>
-#include <cstdlib>
-#include <map>
+#include <charconv>
 #include <optional>
-#include <vector>
+#include <string>
+#include <system_error>
 
 using namespace lcm;
 
 namespace {
 
-/// Splits a line into whitespace-separated tokens, honoring '#' comments.
-std::vector<std::string> tokenize(std::string_view Line) {
-  std::vector<std::string> Tokens;
-  std::string Cur;
-  for (char C : Line) {
+/// Splits \p Line into whitespace-separated tokens (views into the line),
+/// honoring '#' comments.
+void tokenizeInto(std::string_view Line,
+                  std::vector<std::string_view> &Tokens) {
+  Tokens.clear();
+  const size_t N = Line.size();
+  size_t I = 0;
+  while (I != N) {
+    const char C = Line[I];
     if (C == '#')
-      break;
+      return;
     if (std::isspace(static_cast<unsigned char>(C))) {
-      if (!Cur.empty()) {
-        Tokens.push_back(Cur);
-        Cur.clear();
-      }
+      ++I;
       continue;
     }
-    Cur.push_back(C);
+    const size_t Begin = I;
+    while (I != N && Line[I] != '#' &&
+           !std::isspace(static_cast<unsigned char>(Line[I])))
+      ++I;
+    Tokens.push_back(Line.substr(Begin, I - Begin));
   }
-  if (!Cur.empty())
-    Tokens.push_back(Cur);
-  return Tokens;
 }
 
-bool isIntegerToken(const std::string &Tok) {
+bool isIntegerToken(std::string_view Tok) {
   if (Tok.empty())
     return false;
   size_t I = (Tok[0] == '-' || Tok[0] == '+') ? 1 : 0;
@@ -46,22 +56,57 @@ bool isIntegerToken(const std::string &Tok) {
   return true;
 }
 
-std::optional<Opcode> infixOpcode(const std::string &Sym) {
-  static const std::map<std::string, Opcode> Map = {
-      {"+", Opcode::Add},    {"-", Opcode::Sub},    {"*", Opcode::Mul},
-      {"/", Opcode::Div},    {"%", Opcode::Mod},    {"&", Opcode::And},
-      {"|", Opcode::Or},     {"^", Opcode::Xor},    {"<<", Opcode::Shl},
-      {">>", Opcode::Shr},   {"==", Opcode::CmpEq}, {"!=", Opcode::CmpNe},
-      {"<", Opcode::CmpLt},  {"<=", Opcode::CmpLe}, {">", Opcode::CmpGt},
-      {">=", Opcode::CmpGe},
-  };
-  auto It = Map.find(Sym);
-  if (It == Map.end())
-    return std::nullopt;
-  return It->second;
+std::optional<Opcode> infixOpcode(std::string_view Sym) {
+  if (Sym.size() == 1) {
+    switch (Sym[0]) {
+    case '+':
+      return Opcode::Add;
+    case '-':
+      return Opcode::Sub;
+    case '*':
+      return Opcode::Mul;
+    case '/':
+      return Opcode::Div;
+    case '%':
+      return Opcode::Mod;
+    case '&':
+      return Opcode::And;
+    case '|':
+      return Opcode::Or;
+    case '^':
+      return Opcode::Xor;
+    case '<':
+      return Opcode::CmpLt;
+    case '>':
+      return Opcode::CmpGt;
+    default:
+      return std::nullopt;
+    }
+  }
+  if (Sym.size() == 2 && Sym[1] == Sym[0]) {
+    if (Sym[0] == '<')
+      return Opcode::Shl;
+    if (Sym[0] == '>')
+      return Opcode::Shr;
+    if (Sym[0] == '=')
+      return Opcode::CmpEq;
+  }
+  if (Sym.size() == 2 && Sym[1] == '=') {
+    switch (Sym[0]) {
+    case '!':
+      return Opcode::CmpNe;
+    case '<':
+      return Opcode::CmpLe;
+    case '>':
+      return Opcode::CmpGe;
+    default:
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
 }
 
-std::optional<Opcode> mnemonicOpcode(const std::string &Sym) {
+std::optional<Opcode> mnemonicOpcode(std::string_view Sym) {
   if (Sym == "min")
     return Opcode::Min;
   if (Sym == "max")
@@ -69,21 +114,13 @@ std::optional<Opcode> mnemonicOpcode(const std::string &Sym) {
   return std::nullopt;
 }
 
-/// Edge request recorded during parsing, resolved once all labels exist.
-struct PendingEdges {
-  BlockId From;
-  int Line;
-  std::vector<std::string> Targets;
-  std::string CondName; ///< Nonempty for `if ... then ... else ...`.
-};
-
 struct ParserState {
-  explicit ParserState(const IRLimits &Limits) : Limits(Limits) {}
+  ParserState(const IRLimits &Limits, ParserScratch &Scratch, Function &Fn)
+      : Limits(Limits), Scratch(Scratch), Fn(Fn) {}
 
   const IRLimits &Limits;
-  Function Fn;
-  std::map<std::string, BlockId> LabelToBlock;
-  std::vector<PendingEdges> Edges;
+  ParserScratch &Scratch;
+  Function &Fn;
   BlockId Cur = InvalidBlock;
   bool CurTerminated = false;
   size_t InstrCount = 0;
@@ -92,6 +129,14 @@ struct ParserState {
 
 std::string err(int Line, const std::string &Msg) {
   return "line " + std::to_string(Line) + ": " + Msg;
+}
+
+/// Looks up a block by label (labels live on the blocks themselves).
+BlockId findLabel(const ParserState &S, std::string_view Label) {
+  uint32_t Found = S.Scratch.Labels.find(
+      InternTable::hashBytes(Label),
+      [&](uint32_t Id) { return S.Fn.block(Id).label() == Label; });
+  return Found == InternTable::npos ? InvalidBlock : Found;
 }
 
 /// Reports a resource-cap violation (distinguished from syntax errors so
@@ -105,20 +150,26 @@ bool limitErr(ParserState &S, int Line, const std::string &What, size_t Cap,
 }
 
 /// Parses an operand token (identifier or integer literal).
-bool parseOperand(ParserState &S, const std::string &Tok, Operand &Out,
+bool parseOperand(ParserState &S, std::string_view Tok, Operand &Out,
                   int Line, std::string &Error) {
   if (isIntegerToken(Tok)) {
-    errno = 0;
-    long long V = std::strtoll(Tok.c_str(), nullptr, 10);
-    if (errno == ERANGE) {
-      Error = err(Line, "integer literal '" + Tok + "' out of range");
+    std::string_view Digits = Tok;
+    if (Digits[0] == '+')
+      Digits.remove_prefix(1); // from_chars rejects an explicit plus.
+    long long V = 0;
+    auto [Ptr, Ec] =
+        std::from_chars(Digits.data(), Digits.data() + Digits.size(), V);
+    (void)Ptr;
+    if (Ec == std::errc::result_out_of_range) {
+      Error = err(Line, "integer literal '" + std::string(Tok) +
+                            "' out of range");
       return false;
     }
     Out = Operand::makeConst(V);
     return true;
   }
   if (!std::isalpha(static_cast<unsigned char>(Tok[0])) && Tok[0] != '_') {
-    Error = err(Line, "expected operand, got '" + Tok + "'");
+    Error = err(Line, "expected operand, got '" + std::string(Tok) + "'");
     return false;
   }
   if (S.Fn.findVar(Tok) == InvalidVar && S.Fn.numVars() >= S.Limits.MaxVars)
@@ -128,8 +179,9 @@ bool parseOperand(ParserState &S, const std::string &Tok, Operand &Out,
 }
 
 /// Parses one assignment line: Tokens = [dst, "=", rhs...].
-bool parseAssignment(ParserState &S, const std::vector<std::string> &Tokens,
-                     int Line, std::string &Error) {
+bool parseAssignment(ParserState &S,
+                     const std::vector<std::string_view> &Tokens, int Line,
+                     std::string &Error) {
   if (S.Cur == InvalidBlock) {
     Error = err(Line, "instruction outside of a block");
     return false;
@@ -164,7 +216,8 @@ bool parseAssignment(ParserState &S, const std::vector<std::string> &Tokens,
     else if (Tokens[2] == "~")
       Op = Opcode::Not;
     else {
-      Error = err(Line, "unknown unary operator '" + Tokens[2] + "'");
+      Error = err(Line, "unknown unary operator '" + std::string(Tokens[2]) +
+                            "'");
       return false;
     }
     Operand Src;
@@ -193,8 +246,9 @@ bool parseAssignment(ParserState &S, const std::vector<std::string> &Tokens,
           !parseOperand(S, Tokens[4], Rhs, Line, Error))
         return false;
     } else {
-      Error = err(Line, "unknown operator in '" + Tokens[2] + " " +
-                            Tokens[3] + " " + Tokens[4] + "'");
+      Error = err(Line, "unknown operator in '" + std::string(Tokens[2]) +
+                            " " + std::string(Tokens[3]) + " " +
+                            std::string(Tokens[4]) + "'");
       return false;
     }
     Expr Ex{Op, Lhs, Rhs};
@@ -218,7 +272,23 @@ ParseResult lcm::parseFunction(std::string_view Source) {
 ParseResult lcm::parseFunction(std::string_view Source,
                                const IRLimits &Limits) {
   ParseResult Result;
-  ParserState S(Limits);
+  ParserScratch Scratch;
+  parseFunctionInto(Source, Limits, Scratch, Result);
+  return Result;
+}
+
+void lcm::parseFunctionInto(std::string_view Source, const IRLimits &Limits,
+                            ParserScratch &Scratch, ParseResult &Result) {
+  Result.Ok = false;
+  Result.OverLimit = false;
+  Result.Error.clear();
+  Result.Fn.resetRetainingStorage();
+  Scratch.Tokens.clear();
+  Scratch.Targets.clear();
+  Scratch.Edges.clear();
+  Scratch.Labels.clearRetaining();
+
+  ParserState S(Limits, Scratch, Result.Fn);
 
   if (Source.size() > Limits.MaxSourceBytes) {
     Result.OverLimit = true;
@@ -226,7 +296,7 @@ ParseResult lcm::parseFunction(std::string_view Source,
                               std::to_string(Source.size()) +
                               " bytes exceeds cap of " +
                               std::to_string(Limits.MaxSourceBytes));
-    return Result;
+    return;
   }
 
   int Line = 0;
@@ -239,126 +309,144 @@ ParseResult lcm::parseFunction(std::string_view Source,
     Pos = Nl == std::string_view::npos ? Source.size() + 1 : Nl + 1;
     ++Line;
 
-    std::vector<std::string> Tokens = tokenize(Raw);
+    std::vector<std::string_view> &Tokens = Scratch.Tokens;
+    tokenizeInto(Raw, Tokens);
     if (Tokens.empty())
       continue;
 
-    const std::string &Head = Tokens[0];
+    const std::string_view Head = Tokens[0];
     if (Head == "func") {
       if (Tokens.size() != 2) {
         Result.Error = err(Line, "expected 'func NAME'");
-        return Result;
+        return;
       }
-      S.Fn = Function(Tokens[1]);
+      if (S.Fn.numBlocks() != 0) {
+        // Replacing the function mid-parse would orphan every block and
+        // label already built; reject instead of corrupting state.
+        Result.Error = err(Line, "'func' must precede the first block");
+        return;
+      }
+      S.Fn.setName(Tokens[1]);
       continue;
     }
     if (Head == "block") {
       if (Tokens.size() != 2) {
         Result.Error = err(Line, "expected 'block LABEL'");
-        return Result;
+        return;
       }
       if (S.Cur != InvalidBlock && !S.CurTerminated) {
         Result.Error = err(Line, "previous block lacks a terminator");
-        return Result;
+        return;
       }
-      if (S.LabelToBlock.count(Tokens[1])) {
-        Result.Error = err(Line, "duplicate block label '" + Tokens[1] + "'");
-        return Result;
+      if (findLabel(S, Tokens[1]) != InvalidBlock) {
+        Result.Error =
+            err(Line, "duplicate block label '" + std::string(Tokens[1]) +
+                          "'");
+        return;
       }
       if (S.Fn.numBlocks() >= Limits.MaxBlocks) {
         limitErr(S, Line, "block count", Limits.MaxBlocks, Result.Error);
         Result.OverLimit = true;
-        return Result;
+        return;
       }
       S.Cur = S.Fn.addBlock(Tokens[1]);
-      S.LabelToBlock[Tokens[1]] = S.Cur;
+      // Hash the label as stored on the block (it owns the bytes now).
+      Scratch.Labels.insert(
+          InternTable::hashBytes(S.Fn.block(S.Cur).label()), S.Cur);
       S.CurTerminated = false;
       continue;
     }
     if (S.Cur == InvalidBlock) {
       Result.Error = err(Line, "statement outside of a block");
-      return Result;
+      return;
     }
     if (Head == "goto") {
       if (Tokens.size() != 2) {
         Result.Error = err(Line, "expected 'goto LABEL'");
-        return Result;
+        return;
       }
-      S.Edges.push_back({S.Cur, Line, {Tokens[1]}, ""});
+      uint32_t Begin = uint32_t(Scratch.Targets.size());
+      Scratch.Targets.push_back(Tokens[1]);
+      Scratch.Edges.push_back({S.Cur, Line, Begin, Begin + 1, {}});
       S.CurTerminated = true;
       continue;
     }
     if (Head == "if") {
       if (Tokens.size() != 6 || Tokens[2] != "then" || Tokens[4] != "else") {
         Result.Error = err(Line, "expected 'if VAR then L1 else L2'");
-        return Result;
+        return;
       }
-      S.Edges.push_back({S.Cur, Line, {Tokens[3], Tokens[5]}, Tokens[1]});
+      uint32_t Begin = uint32_t(Scratch.Targets.size());
+      Scratch.Targets.push_back(Tokens[3]);
+      Scratch.Targets.push_back(Tokens[5]);
+      Scratch.Edges.push_back({S.Cur, Line, Begin, Begin + 2, Tokens[1]});
       S.CurTerminated = true;
       continue;
     }
     if (Head == "br") {
       if (Tokens.size() < 2) {
         Result.Error = err(Line, "expected 'br LABEL...'");
-        return Result;
+        return;
       }
-      PendingEdges E{S.Cur, Line, {}, ""};
+      uint32_t Begin = uint32_t(Scratch.Targets.size());
       for (size_t I = 1; I != Tokens.size(); ++I)
-        E.Targets.push_back(Tokens[I]);
-      S.Edges.push_back(std::move(E));
+        Scratch.Targets.push_back(Tokens[I]);
+      Scratch.Edges.push_back(
+          {S.Cur, Line, Begin, uint32_t(Scratch.Targets.size()), {}});
       S.CurTerminated = true;
       continue;
     }
     if (Head == "exit") {
       if (Tokens.size() != 1) {
         Result.Error = err(Line, "expected bare 'exit'");
-        return Result;
+        return;
       }
       S.CurTerminated = true;
       continue;
     }
     // Otherwise this must be an assignment: dst = ...
     if (Tokens.size() < 3 || Tokens[1] != "=") {
-      Result.Error = err(Line, "unrecognized statement '" + Head + "'");
-      return Result;
+      Result.Error =
+          err(Line, "unrecognized statement '" + std::string(Head) + "'");
+      return;
     }
     if (!parseAssignment(S, Tokens, Line, Result.Error)) {
       Result.OverLimit = S.OverLimit;
-      return Result;
+      return;
     }
   }
 
   if (S.Cur == InvalidBlock) {
     Result.Error = err(Line, "empty function");
-    return Result;
+    return;
   }
   if (!S.CurTerminated) {
     Result.Error = err(Line, "last block lacks a terminator");
-    return Result;
+    return;
   }
 
   // Resolve edges now that every label is known.
-  for (const PendingEdges &E : S.Edges) {
-    for (const std::string &Target : E.Targets) {
-      auto It = S.LabelToBlock.find(Target);
-      if (It == S.LabelToBlock.end()) {
-        Result.Error = err(E.Line, "unknown label '" + Target + "'");
-        return Result;
+  for (const ParserScratch::PendingEdge &E : Scratch.Edges) {
+    for (uint32_t I = E.TargetsBegin; I != E.TargetsEnd; ++I) {
+      std::string_view Target = Scratch.Targets[I];
+      BlockId To = findLabel(S, Target);
+      if (To == InvalidBlock) {
+        Result.Error =
+            err(E.Line, "unknown label '" + std::string(Target) + "'");
+        return;
       }
-      S.Fn.addEdge(E.From, It->second);
+      S.Fn.addEdge(E.From, To);
     }
     if (!E.CondName.empty()) {
       if (S.Fn.findVar(E.CondName) == InvalidVar &&
           S.Fn.numVars() >= Limits.MaxVars) {
         limitErr(S, E.Line, "variable count", Limits.MaxVars, Result.Error);
         Result.OverLimit = true;
-        return Result;
+        return;
       }
       S.Fn.block(E.From).setCondVar(S.Fn.getOrAddVar(E.CondName));
     }
   }
 
   Result.Ok = true;
-  Result.Fn = std::move(S.Fn);
-  return Result;
 }

@@ -32,9 +32,11 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "ir/Function.h"
 #include "ir/Limits.h"
+#include "support/InternTable.h"
 
 namespace lcm {
 
@@ -58,6 +60,36 @@ ParseResult parseFunction(std::string_view Source);
 /// set and a "line N: limit: ..." diagnostic.  Used for untrusted input
 /// (the optimization service).
 ParseResult parseFunction(std::string_view Source, const IRLimits &Limits);
+
+/// Reusable parser working storage.  All members are views into the source
+/// being parsed or dense side tables; keeping one of these (plus a
+/// ParseResult) per worker thread makes repeated parses allocation-free
+/// once every buffer has reached its high-water capacity.
+struct ParserScratch {
+  /// One pending CFG edge request, resolved after all labels are known.
+  /// Targets live in the flat `Targets` pool (avoids a per-terminator
+  /// vector); CondName is nonempty for `if ... then ... else ...`.
+  struct PendingEdge {
+    BlockId From;
+    int Line;
+    uint32_t TargetsBegin;
+    uint32_t TargetsEnd;
+    std::string_view CondName;
+  };
+
+  std::vector<std::string_view> Tokens;  ///< Current line's tokens.
+  std::vector<std::string_view> Targets; ///< Flat branch-target pool.
+  std::vector<PendingEdge> Edges;
+  InternTable Labels; ///< Label -> BlockId; keys are the block labels.
+};
+
+/// Parses \p Source into \p Result.Fn, recycling \p Scratch and the
+/// buffers already inside \p Result (Function storage included) instead of
+/// allocating fresh ones.  Equivalent to parseFunction in observable
+/// behavior; this is the hot-path entry the service and driver use.
+/// Error messages may allocate — only the accepting path is allocation-free.
+void parseFunctionInto(std::string_view Source, const IRLimits &Limits,
+                       ParserScratch &Scratch, ParseResult &Result);
 
 } // namespace lcm
 

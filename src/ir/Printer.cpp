@@ -2,50 +2,158 @@
 
 #include "ir/Printer.h"
 
+#include <charconv>
+
 using namespace lcm;
 
-std::string lcm::printFunction(const Function &Fn) {
-  std::string Out = "func " + Fn.name() + "\n";
+namespace {
+
+void appendInt(PrintSink &Sink, int64_t V) {
+  char Buf[24];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  (void)Ec;
+  Sink.append(Buf, size_t(End - Buf));
+}
+
+void appendOperand(const Function &Fn, Operand O, PrintSink &Sink) {
+  if (O.isConst())
+    appendInt(Sink, O.constVal());
+  else
+    Sink.append(Fn.varName(O.var()));
+}
+
+void appendExpr(const Function &Fn, ExprId E, PrintSink &Sink) {
+  const Expr &Ex = Fn.exprs().expr(E);
+  if (!Ex.isBinary()) {
+    Sink.append(std::string_view(opcodeSymbol(Ex.Op)));
+    Sink.append(' ');
+    appendOperand(Fn, Ex.Lhs, Sink);
+    return;
+  }
+  if (Ex.Op == Opcode::Min || Ex.Op == Opcode::Max) {
+    Sink.append(std::string_view(opcodeSymbol(Ex.Op)));
+    Sink.append(' ');
+    appendOperand(Fn, Ex.Lhs, Sink);
+    Sink.append(' ');
+    appendOperand(Fn, Ex.Rhs, Sink);
+    return;
+  }
+  appendOperand(Fn, Ex.Lhs, Sink);
+  Sink.append(' ');
+  Sink.append(std::string_view(opcodeSymbol(Ex.Op)));
+  Sink.append(' ');
+  appendOperand(Fn, Ex.Rhs, Sink);
+}
+
+void appendInstr(const Function &Fn, const Instr &I, PrintSink &Sink) {
+  Sink.append(Fn.varName(I.dest()));
+  Sink.append(std::string_view(" = "));
+  if (I.isOperation())
+    appendExpr(Fn, I.exprId(), Sink);
+  else
+    appendOperand(Fn, I.src(), Sink);
+}
+
+} // namespace
+
+size_t lcm::printedSizeEstimate(const Function &Fn) {
+  // Per instruction: two operands, an operator, separators, indentation.
+  // Identifiers are typically short; 48 bytes/instr plus 64 bytes/block
+  // (header + terminator) overshoots slightly, which is what reserve wants.
+  size_t Estimate = 16 + Fn.name().size();
   for (const BasicBlock &B : Fn.blocks()) {
-    Out += "block " + B.label() + "\n";
-    for (const Instr &I : B.instrs())
-      Out += "  " + Fn.instrText(I) + "\n";
+    Estimate += 64 + 2 * B.label().size();
+    Estimate += B.instrs().size() * 48;
+    Estimate += B.succs().size() * 16;
+  }
+  return Estimate;
+}
+
+void lcm::printFunction(const Function &Fn, PrintSink &Sink) {
+  Sink.append(std::string_view("func "));
+  Sink.append(Fn.name());
+  Sink.append('\n');
+  for (const BasicBlock &B : Fn.blocks()) {
+    Sink.append(std::string_view("block "));
+    Sink.append(B.label());
+    Sink.append('\n');
+    for (const Instr &I : B.instrs()) {
+      Sink.append(std::string_view("  "));
+      appendInstr(Fn, I, Sink);
+      Sink.append('\n');
+    }
     if (B.succs().empty()) {
-      Out += "  exit\n";
+      Sink.append(std::string_view("  exit\n"));
     } else if (B.succs().size() == 1) {
-      Out += "  goto " + Fn.block(B.succs()[0]).label() + "\n";
+      Sink.append(std::string_view("  goto "));
+      Sink.append(Fn.block(B.succs()[0]).label());
+      Sink.append('\n');
     } else if (B.hasConditionalBranch()) {
-      Out += "  if " + Fn.varName(*B.condVar()) + " then " +
-             Fn.block(B.succs()[0]).label() + " else " +
-             Fn.block(B.succs()[1]).label() + "\n";
+      Sink.append(std::string_view("  if "));
+      Sink.append(Fn.varName(*B.condVar()));
+      Sink.append(std::string_view(" then "));
+      Sink.append(Fn.block(B.succs()[0]).label());
+      Sink.append(std::string_view(" else "));
+      Sink.append(Fn.block(B.succs()[1]).label());
+      Sink.append('\n');
     } else {
-      Out += "  br";
-      for (BlockId S : B.succs())
-        Out += " " + Fn.block(S).label();
-      Out += "\n";
+      Sink.append(std::string_view("  br"));
+      for (BlockId S : B.succs()) {
+        Sink.append(' ');
+        Sink.append(Fn.block(S).label());
+      }
+      Sink.append('\n');
     }
   }
+}
+
+void lcm::printFunction(const Function &Fn, std::string &Out) {
+  Out.reserve(Out.size() + printedSizeEstimate(Fn));
+  StringSink Sink(Out);
+  printFunction(Fn, Sink);
+}
+
+std::string lcm::printFunction(const Function &Fn) {
+  std::string Out;
+  printFunction(Fn, Out);
   return Out;
 }
 
-std::string lcm::printDot(const Function &Fn) {
-  std::string Out = "digraph \"" + Fn.name() + "\" {\n";
-  Out += "  node [shape=box, fontname=monospace];\n";
+void lcm::printDot(const Function &Fn, std::string &Out) {
+  StringSink Sink(Out);
+  Sink.append(std::string_view("digraph \""));
+  Sink.append(Fn.name());
+  Sink.append(std::string_view("\" {\n"));
+  Sink.append(
+      std::string_view("  node [shape=box, fontname=monospace];\n"));
   for (const BasicBlock &B : Fn.blocks()) {
-    std::string Body = B.label();
-    for (const Instr &I : B.instrs())
-      Body += "\\n" + Fn.instrText(I);
-    Out += "  n" + std::to_string(B.id()) + " [label=\"" + Body + "\"];\n";
+    Sink.append(std::string_view("  n"));
+    appendInt(Sink, B.id());
+    Sink.append(std::string_view(" [label=\""));
+    Sink.append(B.label());
+    for (const Instr &I : B.instrs()) {
+      Sink.append(std::string_view("\\n"));
+      appendInstr(Fn, I, Sink);
+    }
+    Sink.append(std::string_view("\"];\n"));
   }
   for (const BasicBlock &B : Fn.blocks()) {
     for (size_t I = 0; I != B.succs().size(); ++I) {
-      Out += "  n" + std::to_string(B.id()) + " -> n" +
-             std::to_string(B.succs()[I]);
+      Sink.append(std::string_view("  n"));
+      appendInt(Sink, B.id());
+      Sink.append(std::string_view(" -> n"));
+      appendInt(Sink, B.succs()[I]);
       if (B.hasConditionalBranch())
-        Out += I == 0 ? " [label=\"T\"]" : " [label=\"F\"]";
-      Out += ";\n";
+        Sink.append(std::string_view(I == 0 ? " [label=\"T\"]"
+                                            : " [label=\"F\"]"));
+      Sink.append(std::string_view(";\n"));
     }
   }
-  Out += "}\n";
+  Sink.append(std::string_view("}\n"));
+}
+
+std::string lcm::printDot(const Function &Fn) {
+  std::string Out;
+  printDot(Fn, Out);
   return Out;
 }

@@ -9,21 +9,67 @@
 /// Renders a Function as the textual IR the parser accepts (round-trips) or
 /// as a Graphviz digraph for the figure reproductions.
 ///
+/// All renderers drive a PrintSink, so the same code path serves three
+/// consumers without intermediate strings: appending into a caller-owned
+/// buffer (the server's reused response buffer), feeding the incremental
+/// content hasher (cache::requestKey streams the canonical text without
+/// ever materializing it), and the legacy by-value convenience wrappers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LCM_IR_PRINTER_H
 #define LCM_IR_PRINTER_H
 
 #include <string>
+#include <string_view>
 
 #include "ir/Function.h"
 
 namespace lcm {
 
+/// Byte sink the printers write into.  Implementations must tolerate many
+/// small appends (per token); buffering is the sink's concern.
+class PrintSink {
+public:
+  virtual ~PrintSink() = default;
+  virtual void append(const char *Data, size_t Len) = 0;
+  void append(std::string_view S) { append(S.data(), S.size()); }
+  void append(char C) { append(&C, 1); }
+};
+
+/// Appends into a caller-owned std::string.
+class StringSink final : public PrintSink {
+public:
+  explicit StringSink(std::string &Out) : Out(Out) {}
+  using PrintSink::append;
+  void append(const char *Data, size_t Len) override {
+    Out.append(Data, Len);
+  }
+
+private:
+  std::string &Out;
+};
+
+/// Upper-bound estimate of printFunction's output size, used to reserve
+/// the destination buffer in one step.
+size_t printedSizeEstimate(const Function &Fn);
+
+/// Renders \p Fn in the parseable textual format into \p Sink.
+void printFunction(const Function &Fn, PrintSink &Sink);
+
+/// Appends the textual format to \p Out (reserves an estimate up front).
+/// The buffer is appended to, not cleared — callers owning a reused buffer
+/// clear it themselves.
+void printFunction(const Function &Fn, std::string &Out);
+
 /// Renders \p Fn in the parseable textual format.
 std::string printFunction(const Function &Fn);
 
-/// Renders \p Fn as a Graphviz dot digraph (blocks as record nodes).
+/// Renders \p Fn as a Graphviz dot digraph (blocks as record nodes),
+/// appended to \p Out.
+void printDot(const Function &Fn, std::string &Out);
+
+/// Renders \p Fn as a Graphviz dot digraph.
 std::string printDot(const Function &Fn);
 
 } // namespace lcm

@@ -264,13 +264,20 @@ void Server::readerLoop(const std::shared_ptr<Connection> &Conn) {
       break;
     Frames.feed(Buf, size_t(N));
     for (;;) {
-      std::string Payload, FrameError;
+      // Pooled payload buffer: FrameReader::next assigns into it (reusing
+      // capacity), a successful push hands it to the worker, and the
+      // worker returns it to the pool after Service::handle.
+      std::string Payload = FramePool.acquire();
+      std::string FrameError;
       FrameReader::Status S = Frames.next(Payload, FrameError);
-      if (S == FrameReader::Status::NeedMore)
+      if (S == FrameReader::Status::NeedMore) {
+        FramePool.release(std::move(Payload));
         break;
+      }
       if (S == FrameReader::Status::Error) {
         // Framing cannot resync; answer once, then hang up so the peer
         // sees EOF right away instead of waiting for the next reap.
+        FramePool.release(std::move(Payload));
         NumFramingErrors.fetch_add(1);
         Stats::bump("server.framing_errors");
         writeResponse(*Conn,
@@ -282,6 +289,7 @@ void Server::readerLoop(const std::shared_ptr<Connection> &Conn) {
       }
       NumFramesIn.fetch_add(1);
       if (Draining.load()) {
+        FramePool.release(std::move(Payload));
         NumShedShuttingDown.fetch_add(1);
         Stats::bump("server.shed_shutting_down");
         writeResponse(*Conn,
@@ -290,6 +298,8 @@ void Server::readerLoop(const std::shared_ptr<Connection> &Conn) {
         continue;
       }
       if (!Queue.tryPush(Job{Conn, std::move(Payload)})) {
+        // The rejected Job (and its buffer) is destroyed; losing a pooled
+        // buffer on the rare overload path is fine.
         NumOverloaded.fetch_add(1);
         Stats::bump("server.overloaded");
         writeResponse(*Conn,
@@ -312,6 +322,7 @@ void Server::workerLoop(unsigned Index) {
   Job J;
   while (Queue.pop(J)) {
     Value Response = Svc.handle(J.Payload);
+    FramePool.release(std::move(J.Payload));
     writeResponse(*J.Conn, Response);
     J.Conn.reset();
     ++Handled;
@@ -320,7 +331,18 @@ void Server::workerLoop(unsigned Index) {
 }
 
 void Server::writeResponse(Connection &Conn, const Value &Response) {
-  std::string Frame = encodeFrame(Response.dump(0));
+  // Render straight after a 4-byte placeholder in a reused per-thread
+  // buffer, then patch the big-endian length in place: one buffer, no
+  // intermediate dump string, and a single send per response.
+  thread_local std::string Frame;
+  Frame.clear();
+  Frame.append(4, '\0');
+  Response.dumpTo(Frame, 0);
+  const size_t N = Frame.size() - 4;
+  Frame[0] = char((N >> 24) & 0xff);
+  Frame[1] = char((N >> 16) & 0xff);
+  Frame[2] = char((N >> 8) & 0xff);
+  Frame[3] = char(N & 0xff);
   std::lock_guard<std::mutex> Lock(Conn.WriteMu);
   if (Conn.Fd < 0)
     return; // Client already gone; the work is simply dropped.

@@ -43,6 +43,43 @@
 namespace lcm {
 namespace server {
 
+/// A bounded free-list of byte buffers.  Request payloads cycle through it
+/// (reader extracts a frame into a pooled buffer, the worker returns it
+/// after handling), so the steady-state request path reuses warmed-up
+/// string capacity instead of allocating per frame.
+class BufferPool {
+public:
+  explicit BufferPool(size_t MaxPooled = 64) : MaxPooled(MaxPooled) {}
+
+  /// Returns an empty buffer, with pooled capacity when one is available.
+  std::string acquire() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Pool.empty())
+      return std::string();
+    std::string S = std::move(Pool.back());
+    Pool.pop_back();
+    return S;
+  }
+
+  /// Returns \p S's storage to the pool (dropped when the pool is full).
+  void release(std::string S) {
+    S.clear();
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Pool.size() < MaxPooled)
+      Pool.push_back(std::move(S));
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Pool.size();
+  }
+
+private:
+  size_t MaxPooled;
+  mutable std::mutex Mu;
+  std::vector<std::string> Pool;
+};
+
 struct ServerOptions {
   /// Loopback TCP port; -1 disables TCP, 0 binds an ephemeral port
   /// (read it back with Server::tcpPort).  Binds 127.0.0.1 only — the
@@ -112,6 +149,8 @@ private:
   ServerOptions Opts;
   Service Svc;
   BoundedQueue<Job> Queue;
+  /// Recycles request-payload buffers between readers and workers.
+  BufferPool FramePool;
 
   std::atomic<bool> Running{false};
   std::atomic<bool> Draining{false};

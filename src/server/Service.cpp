@@ -69,13 +69,18 @@ Value Service::handle(const std::string &Payload) const {
   if (HasDeadline)
     Deadline.setTimeoutMs(DeadlineMs);
 
-  ParseResult Ir = parseFunction(R.Ir, Config.Limits);
+  // Per-worker parser state: Function storage and every scratch buffer
+  // reach a high-water capacity and are recycled, so steady-state parses
+  // allocate nothing.
+  thread_local ParserScratch Scratch;
+  thread_local ParseResult Ir;
+  parseFunctionInto(R.Ir, Config.Limits, Scratch, Ir);
   if (!Ir) {
     T.note("status", Ir.OverLimit ? "limits" : "parse_error");
     return finish(makeErrorResponse(
         R.Id, Ir.OverLimit ? Status::Limits : Status::ParseError, Ir.Error));
   }
-  Function Fn = std::move(Ir.Fn);
+  Function &Fn = Ir.Fn;
 
   std::vector<std::string> Errors = verifyFunction(Fn);
   if (!Errors.empty()) {
@@ -138,7 +143,7 @@ Value Service::handle(const std::string &Payload) const {
     }
 
     cache::CacheEntry E;
-    E.Ir = printFunction(Fn);
+    printFunction(Fn, E.Ir);
     for (const Pipeline::StepResult &S : Run.Steps)
       E.Changes += S.Changes;
     E.Checked = R.Check;
@@ -165,7 +170,9 @@ Value Service::handle(const std::string &Payload) const {
     FP.Check = R.Check;
     FP.CheckRuns = R.Check ? Config.CheckRuns : 0;
     FP.Report = R.WantReport;
-    const cache::Digest Key = cache::requestKey(printFunction(Fn), FP);
+    // Streaming form: the canonical IR is printed directly into the
+    // incremental hasher, never materialized as a string.
+    const cache::Digest Key = cache::requestKey(Fn, FP);
     KeyHex = Key.hex();
     L = Config.Cache->getOrCompute(Key, HasDeadline ? &Deadline : nullptr,
                                    Compute);

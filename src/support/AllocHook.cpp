@@ -1,0 +1,157 @@
+//===- support/AllocHook.cpp - Counting global allocator (test-only) -----===//
+//
+// Replaces the global allocation functions ([new.delete.single] and
+// friends) with malloc/free wrappers that maintain relaxed atomic
+// counters.  Replacement (not interposition) is standard-sanctioned: a
+// program may define these signatures and every `new` in the process uses
+// them.  The counters are monotonic; callers measure deltas.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AllocHook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Sanitizer runtimes own the process allocator; replacing operator new
+// underneath them breaks their bookkeeping.  Compile the hook down to an
+// inert query API there — active() tells callers the counts are vacuous.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LCM_ALLOC_HOOK_ENABLED 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LCM_ALLOC_HOOK_ENABLED 0
+#else
+#define LCM_ALLOC_HOOK_ENABLED 1
+#endif
+#else
+#define LCM_ALLOC_HOOK_ENABLED 1
+#endif
+
+namespace {
+
+std::atomic<uint64_t> NumAllocs{0};
+std::atomic<uint64_t> NumDeallocs{0};
+std::atomic<uint64_t> NumBytes{0};
+
+#if LCM_ALLOC_HOOK_ENABLED
+
+void *countedAlloc(size_t Size) {
+  void *P = std::malloc(Size == 0 ? 1 : Size);
+  if (P) {
+    NumAllocs.fetch_add(1, std::memory_order_relaxed);
+    NumBytes.fetch_add(Size, std::memory_order_relaxed);
+  }
+  return P;
+}
+
+void *countedAlignedAlloc(size_t Size, size_t Align) {
+  void *P = nullptr;
+  if (Align < sizeof(void *))
+    Align = sizeof(void *);
+  if (posix_memalign(&P, Align, Size == 0 ? 1 : Size) != 0)
+    return nullptr;
+  NumAllocs.fetch_add(1, std::memory_order_relaxed);
+  NumBytes.fetch_add(Size, std::memory_order_relaxed);
+  return P;
+}
+
+void countedFree(void *P) {
+  NumDeallocs.fetch_add(1, std::memory_order_relaxed);
+  std::free(P);
+}
+
+#endif // LCM_ALLOC_HOOK_ENABLED
+
+} // namespace
+
+namespace lcm {
+namespace alloccount {
+
+uint64_t allocations() { return NumAllocs.load(std::memory_order_relaxed); }
+uint64_t deallocations() {
+  return NumDeallocs.load(std::memory_order_relaxed);
+}
+uint64_t bytesAllocated() { return NumBytes.load(std::memory_order_relaxed); }
+bool active() { return LCM_ALLOC_HOOK_ENABLED != 0; }
+
+} // namespace alloccount
+} // namespace lcm
+
+//===----------------------------------------------------------------------===//
+// Global replacement functions
+//===----------------------------------------------------------------------===//
+
+#if LCM_ALLOC_HOOK_ENABLED
+
+void *operator new(size_t Size) {
+  if (void *P = countedAlloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](size_t Size) {
+  if (void *P = countedAlloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size);
+}
+
+void *operator new[](size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size);
+}
+
+void *operator new(size_t Size, std::align_val_t Align) {
+  if (void *P = countedAlignedAlloc(Size, size_t(Align)))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](size_t Size, std::align_val_t Align) {
+  if (void *P = countedAlignedAlloc(Size, size_t(Align)))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(size_t Size, std::align_val_t Align,
+                   const std::nothrow_t &) noexcept {
+  return countedAlignedAlloc(Size, size_t(Align));
+}
+
+void *operator new[](size_t Size, std::align_val_t Align,
+                     const std::nothrow_t &) noexcept {
+  return countedAlignedAlloc(Size, size_t(Align));
+}
+
+void operator delete(void *P) noexcept { countedFree(P); }
+void operator delete[](void *P) noexcept { countedFree(P); }
+void operator delete(void *P, size_t) noexcept { countedFree(P); }
+void operator delete[](void *P, size_t) noexcept { countedFree(P); }
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  countedFree(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  countedFree(P);
+}
+void operator delete(void *P, std::align_val_t) noexcept { countedFree(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { countedFree(P); }
+void operator delete(void *P, size_t, std::align_val_t) noexcept {
+  countedFree(P);
+}
+void operator delete[](void *P, size_t, std::align_val_t) noexcept {
+  countedFree(P);
+}
+void operator delete(void *P, std::align_val_t,
+                     const std::nothrow_t &) noexcept {
+  countedFree(P);
+}
+void operator delete[](void *P, std::align_val_t,
+                       const std::nothrow_t &) noexcept {
+  countedFree(P);
+}
+
+#endif // LCM_ALLOC_HOOK_ENABLED

@@ -1,0 +1,47 @@
+//===- support/AllocHook.h - Counting global allocator (test-only) -------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Query interface for the counting `operator new` replacement in
+/// AllocHook.cpp.  Binaries that link the `lcm_alloc_hook` static library
+/// (bench/perf_hotpath, tests/alloc_regression_test, tools/bench_gate)
+/// get every heap allocation in the process routed through relaxed atomic
+/// counters, making "this loop performs zero steady-state allocations" an
+/// exact, gateable number instead of a profiler estimate.
+///
+/// Deliberately not linked into the product binaries: the hook exists to
+/// *prove* the hot path allocation-free, not to change how it runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_ALLOCHOOK_H
+#define LCM_SUPPORT_ALLOCHOOK_H
+
+#include <cstdint>
+
+namespace lcm {
+namespace alloccount {
+
+/// Number of successful `operator new` / `new[]` calls so far.
+uint64_t allocations();
+
+/// Number of `operator delete` / `delete[]` calls so far (null deletes
+/// included; they are real calls even though they free nothing).
+uint64_t deallocations();
+
+/// Total bytes requested from `operator new` so far.
+uint64_t bytesAllocated();
+
+/// True when the counting hook is linked into this binary.  Lets shared
+/// test helpers degrade to a skip instead of asserting on zeroes that
+/// merely mean "not instrumented".
+bool active();
+
+} // namespace alloccount
+} // namespace lcm
+
+#endif // LCM_SUPPORT_ALLOCHOOK_H

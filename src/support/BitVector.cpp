@@ -168,3 +168,24 @@ BitVector lcm::complement(BitVector A) {
   A.flipAll();
   return A;
 }
+
+void lcm::reshapeRows(std::vector<BitVector> &Rows, size_t NumRows,
+                      size_t NumBits, bool Value) {
+  // Grow-only outer vector: shrinking would destroy the excess rows' word
+  // buffers, so a loop alternating between large and small problems would
+  // reallocate them on every size transition.  Rows beyond NumRows are
+  // parked at zero bits instead — their heap capacity survives, and they
+  // are inert under count()/iteration if someone walks the whole vector.
+  if (Rows.size() < NumRows)
+    Rows.resize(NumRows);
+  for (size_t I = 0; I != NumRows; ++I) {
+    BitVector &Row = Rows[I];
+    Row.resize(NumBits);
+    if (Value)
+      Row.setAll();
+    else
+      Row.resetAll();
+  }
+  for (size_t I = NumRows, E = Rows.size(); I != E; ++I)
+    Rows[I].resize(0);
+}

@@ -187,6 +187,17 @@ BitVector andNot(BitVector A, const BitVector &B);
 /// Returns ~A over the universe.
 BitVector complement(BitVector A);
 
+/// Reshapes \p Rows so rows [0, NumRows) have \p NumBits bits, every row
+/// uniformly \p Value.  The outer vector never shrinks: rows past NumRows
+/// are parked at zero bits (inert for count()/iteration) so their word
+/// buffers survive.  A steady-state loop cycling through differently
+/// sized problems therefore settles into zero allocations — every
+/// container only ever grows to its high-water mark and is then recycled.
+/// Callers must track the logical row count themselves (it may be smaller
+/// than Rows.size()) and index rather than iterate when it matters.
+void reshapeRows(std::vector<BitVector> &Rows, size_t NumRows,
+                 size_t NumBits, bool Value = false);
+
 } // namespace lcm
 
 #endif // LCM_SUPPORT_BITVECTOR_H

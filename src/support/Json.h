@@ -106,6 +106,12 @@ public:
   /// per level; 0 produces the compact single-line form.
   std::string dump(unsigned Indent = 2) const;
 
+  /// Appends the rendering to \p Out — the allocation-aware form for
+  /// callers owning a reused buffer (the server's response path).
+  void dumpTo(std::string &Out, unsigned Indent) const {
+    dumpTo(Out, Indent, 0);
+  }
+
   bool operator==(const Value &O) const;
   bool operator!=(const Value &O) const { return !(*this == O); }
 

@@ -13,17 +13,21 @@ std::mutex &registryMutex() {
 }
 } // namespace
 
-std::map<std::string, uint64_t> &Stats::registry() {
-  static std::map<std::string, uint64_t> Registry;
+std::map<std::string, uint64_t, std::less<>> &Stats::registry() {
+  static std::map<std::string, uint64_t, std::less<>> Registry;
   return Registry;
 }
 
-void Stats::bump(const std::string &Name, uint64_t Delta) {
+void Stats::bump(std::string_view Name, uint64_t Delta) {
   std::lock_guard<std::mutex> Lock(registryMutex());
-  registry()[Name] += Delta;
+  auto It = registry().find(Name);
+  if (It != registry().end())
+    It->second += Delta;
+  else
+    registry().emplace(std::string(Name), Delta);
 }
 
-uint64_t Stats::get(const std::string &Name) {
+uint64_t Stats::get(std::string_view Name) {
   std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = registry().find(Name);
   return It == registry().end() ? 0 : It->second;
@@ -36,5 +40,6 @@ void Stats::resetAll() {
 
 std::map<std::string, uint64_t> Stats::all() {
   std::lock_guard<std::mutex> Lock(registryMutex());
-  return registry();
+  return std::map<std::string, uint64_t>(registry().begin(),
+                                         registry().end());
 }

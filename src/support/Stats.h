@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace lcm {
 
@@ -28,13 +29,18 @@ namespace lcm {
 /// threads merge into this one registry.  Counter *values* stay
 /// deterministic for a fixed workload (addition commutes); only the bump
 /// interleaving varies.
+///
+/// Names are taken as string_view and compared transparently, so bumping a
+/// counter with a long literal name from a hot loop performs no heap
+/// allocation (a std::string key is materialized only the first time a
+/// counter is created).
 class Stats {
 public:
   /// Adds \p Delta to the named counter (creating it at zero).
-  static void bump(const std::string &Name, uint64_t Delta = 1);
+  static void bump(std::string_view Name, uint64_t Delta = 1);
 
   /// Current value, or zero if never bumped.
-  static uint64_t get(const std::string &Name);
+  static uint64_t get(std::string_view Name);
 
   /// Clears every counter.
   static void resetAll();
@@ -43,7 +49,7 @@ public:
   static std::map<std::string, uint64_t> all();
 
 private:
-  static std::map<std::string, uint64_t> &registry();
+  static std::map<std::string, uint64_t, std::less<>> &registry();
 };
 
 } // namespace lcm

@@ -26,6 +26,8 @@
 #include "cache/ResultCache.h"
 #include "cache/ShardedLruCache.h"
 #include "cache/SingleFlight.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
 #include "server/Service.h"
 #include "support/Stats.h"
 
@@ -135,6 +137,28 @@ TEST(ContentHash, EveryFingerprintBitSeparatesKeys) {
   PipelineFingerprint R = Base;
   R.Report = true;
   EXPECT_NE(requestKey(Ir, R), requestKey(Ir, Base));
+}
+
+TEST(ContentHash, StreamingFunctionKeyMatchesStringKey) {
+  // The hot path keys by printing the function straight into the hasher
+  // (no canonical-IR string).  Both forms must agree on every program, or
+  // the streaming path would silently split the cache.
+  const char *Programs[] = {
+      "block b0\n  exit\n",
+      "func demo\nblock entry\n  x = a + b\n  goto l\n"
+      "block l\n  y = x + 1\n  c = y > 0\n  if c then l else done\n"
+      "block done\n  z = min x y\n  exit\n",
+      "block b0\n  x = -5\n  y = x * x\n  br b1 b2\n"
+      "block b1\n  exit\n"
+      "block b2\n  goto b1\n",
+  };
+  const PipelineFingerprint FP = makeFingerprint("lcse,lcm,cleanup");
+  for (const char *Text : Programs) {
+    ParseResult P = parseFunction(Text);
+    ASSERT_TRUE(P.Ok) << P.Error;
+    EXPECT_EQ(requestKey(P.Fn, FP), requestKey(printFunction(P.Fn), FP))
+        << Text;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -43,9 +43,15 @@ void expectGraceful(const std::string &Source) {
   if (R.Ok) {
     EXPECT_TRUE(verifyFunction(R.Fn).empty())
         << "parser accepted a function the verifier rejects";
-    // Accepted output must survive a print/reparse round trip.
-    ParseResult Again = parseFunction(printFunction(R.Fn));
-    EXPECT_TRUE(Again.Ok) << Again.Error;
+    // Accepted output must survive a print/reparse round trip, and the
+    // printed form must be a fixed point: print(parse(print(parse(x))))
+    // == print(parse(x)).  This is what lets the result cache key on the
+    // canonical text — any formatting drift would split cache entries.
+    const std::string Canonical = printFunction(R.Fn);
+    ParseResult Again = parseFunction(Canonical);
+    ASSERT_TRUE(Again.Ok) << Again.Error;
+    EXPECT_EQ(printFunction(Again.Fn), Canonical)
+        << "printed form is not idempotent under reparse";
   } else {
     EXPECT_FALSE(R.Error.empty());
     EXPECT_EQ(R.Error.rfind("line ", 0), 0u)
@@ -178,6 +184,39 @@ TEST(ParserFuzz, RandomTokenSoup) {
         Source += ' ';
     }
     expectGraceful(Source);
+  }
+}
+
+TEST(ParserFuzz, ScratchParserMatchesOneShotOverMutations) {
+  // The serving hot path parses with recycled scratch storage
+  // (parseFunctionInto); under the same mutation corpus it must be
+  // observably identical to the one-shot parser — same accept/reject
+  // decision, same diagnostic, same printed function — no matter what
+  // state earlier (possibly rejected) inputs left in the scratch.
+  Rng R(0xdeadbea7ULL);
+  const std::string Base = ValidProgram;
+  const IRLimits Limits;
+  ParserScratch Scratch;
+  ParseResult Recycled;
+  for (int Round = 0; Round != 1000; ++Round) {
+    std::string Mutated = Base;
+    const int Edits = 1 + int(R.below(4));
+    for (int E = 0; E != Edits && !Mutated.empty(); ++E) {
+      size_t At = R.below(Mutated.size());
+      if (R.below(2))
+        Mutated[At] = char(R.below(256));
+      else
+        Mutated.erase(At, 1 + R.below(8));
+    }
+    ParseResult OneShot = parseFunction(Mutated, Limits);
+    parseFunctionInto(Mutated, Limits, Scratch, Recycled);
+    ASSERT_EQ(Recycled.Ok, OneShot.Ok) << Mutated;
+    if (OneShot.Ok)
+      EXPECT_EQ(printFunction(Recycled.Fn), printFunction(OneShot.Fn));
+    else {
+      EXPECT_EQ(Recycled.Error, OneShot.Error);
+      EXPECT_EQ(Recycled.OverLimit, OneShot.OverLimit);
+    }
   }
 }
 

@@ -17,6 +17,11 @@
 //     Runs the suite and (re)writes the baseline.  Do this consciously —
 //     the diff of the committed file is the review artifact.
 //
+//   bench_gate --update
+//     Shorthand for the above against the repository's committed
+//     BENCH_baseline.json (the path is baked in at configure time), so
+//     a conscious re-baseline is one command from any directory.
+//
 //   bench_gate --compare BASELINE.json CURRENT.json [--tolerance=R]
 //     Pure comparison of two existing documents (what the unit tests and
 //     ad-hoc investigations use).
@@ -43,8 +48,11 @@
 #include "core/LocalCse.h"
 #include "driver/CorpusDriver.h"
 #include "driver/Pipeline.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
 #include "metrics/Compare.h"
 #include "metrics/Gate.h"
+#include "support/AllocHook.h"
 #include "support/Json.h"
 #include "workload/Corpus.h"
 
@@ -84,6 +92,40 @@ Value strategyRecord(const std::string &Name, const Function &Original,
       .set("num_temps", Value::number(O.NumTemps))
       .set("blocks_after", Value::number(O.BlocksAfter));
   return R;
+}
+
+/// The hot-path allocation contract (docs/HOTPATH.md), measured the same
+/// way tests/alloc_regression_test.cpp pins it: after a warm-up, a full
+/// parse -> local CSE -> LCM -> print iteration over the corpus performs
+/// zero heap allocations.  Exact-gated at 0.  Under sanitizer builds the
+/// counting hook is inert (support/AllocHook.h), so the metric is
+/// vacuously zero there; the plain CI build carries the real contract.
+uint64_t measureSteadyAllocations() {
+  std::vector<std::string> Texts;
+  for (const CorpusEntry &Entry : makeDefaultCorpus()) {
+    Function Fn = Entry.Make();
+    Texts.push_back(printFunction(Fn));
+  }
+  const IRLimits Limits;
+  ParserScratch Scratch;
+  ParseResult Ir;
+  PreRunResult R;
+  std::string Out;
+  auto Iteration = [&](const std::string &Text) {
+    parseFunctionInto(Text, Limits, Scratch, Ir);
+    runLocalCse(Ir.Fn);
+    runPreInto(Ir.Fn, PreStrategy::Lazy, SolverStrategy::Sparse, R);
+    Out.clear();
+    printFunction(Ir.Fn, Out);
+  };
+  for (unsigned I = 0; I != 16; ++I)
+    for (const std::string &Text : Texts)
+      Iteration(Text);
+  const uint64_t Before = alloccount::allocations();
+  for (unsigned I = 0; I != 4; ++I)
+    for (const std::string &Text : Texts)
+      Iteration(Text);
+  return alloccount::allocations() - Before;
 }
 
 /// Measures everything the gate checks.  Deterministic by construction:
@@ -162,13 +204,53 @@ Value measureSuite() {
       .set("programs", std::move(Programs))
       .set("totals", std::move(Totals));
 
-  // Timing block (tolerance-checked): suite wall time plus the verified
-  // parallel pipeline's throughput on a small generated batch.
+  // Hot-path contract: exact steady-state allocation count, gated at 0.
+  Value Hotpath = Value::object();
+  Hotpath.set("steady_allocations",
+              Value::number(measureSteadyAllocations()));
+
+  // Timing block (tolerance-checked): suite wall time, the verified
+  // parallel pipeline's throughput on a small generated batch, and the
+  // hot path's parse/print throughput (one warm scratch, MB/s).
   PipelineParse Parsed = parsePipeline("lcse,lcm,cleanup");
   std::vector<Function> Batch;
   for (const CorpusEntry &E : makeGeneratedCorpus(12, 12))
     Batch.push_back(E.Make());
   CorpusDriverResult Throughput = optimizeCorpus(Batch, Parsed.P);
+
+  double ParseMbPerSec = 0, PrintMbPerSec = 0;
+  {
+    std::vector<std::string> Texts;
+    size_t Bytes = 0;
+    std::vector<Function> Fns;
+    for (const CorpusEntry &Entry : Corpus) {
+      Fns.push_back(Entry.Make());
+      Texts.push_back(printFunction(Fns.back()));
+      Bytes += Texts.back().size();
+    }
+    const IRLimits Limits;
+    ParserScratch Scratch;
+    ParseResult Ir;
+    const unsigned Reps = 64;
+    auto T0 = std::chrono::steady_clock::now();
+    for (unsigned R = 0; R != Reps; ++R)
+      for (const std::string &Text : Texts)
+        parseFunctionInto(Text, Limits, Scratch, Ir);
+    double S = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+    ParseMbPerSec = S > 0 ? double(Bytes) * Reps / S / 1e6 : 0;
+    std::string Out;
+    T0 = std::chrono::steady_clock::now();
+    for (unsigned R = 0; R != Reps; ++R)
+      for (const Function &Fn : Fns) {
+        Out.clear();
+        printFunction(Fn, Out);
+      }
+    S = std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    PrintMbPerSec = S > 0 ? double(Bytes) * Reps / S / 1e6 : 0;
+  }
 
   const double SuiteSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -177,11 +259,14 @@ Value measureSuite() {
   Value Timing = Value::object();
   Timing.set("suite_seconds", Value::number(SuiteSeconds))
       .set("corpus_functions_per_second",
-           Value::number(Throughput.functionsPerSecond()));
+           Value::number(Throughput.functionsPerSecond()))
+      .set("parse_mb_per_second", Value::number(ParseMbPerSec))
+      .set("print_mb_per_second", Value::number(PrintMbPerSec));
 
   Value Root = Value::object();
   Root.set("schema", Value::str(SchemaName))
       .set("suite", std::move(Suite))
+      .set("hotpath", std::move(Hotpath))
       .set("timing", std::move(Timing));
   return Root;
 }
@@ -207,6 +292,7 @@ int usage() {
       stderr,
       "usage: bench_gate --baseline=FILE [--out=FILE] [--tolerance=R]\n"
       "       bench_gate --write-baseline=FILE\n"
+      "       bench_gate --update[=FILE]   (default: committed baseline)\n"
       "       bench_gate --compare BASELINE CURRENT [--tolerance=R]\n");
   return 2;
 }
@@ -224,6 +310,17 @@ int main(int argc, char **argv) {
       BaselinePath = argv[I] + 11;
     } else if (std::strncmp(argv[I], "--write-baseline=", 17) == 0) {
       WritePath = argv[I] + 17;
+    } else if (std::strcmp(argv[I], "--update") == 0) {
+#ifdef LCM_BASELINE_PATH
+      WritePath = LCM_BASELINE_PATH;
+#else
+      std::fprintf(stderr,
+                   "error: --update needs the baked-in baseline path; "
+                   "use --write-baseline=FILE\n");
+      return 2;
+#endif
+    } else if (std::strncmp(argv[I], "--update=", 9) == 0) {
+      WritePath = argv[I] + 9;
     } else if (std::strncmp(argv[I], "--out=", 6) == 0) {
       OutPath = argv[I] + 6;
     } else if (std::strncmp(argv[I], "--tolerance=", 12) == 0) {
