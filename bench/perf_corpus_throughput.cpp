@@ -22,6 +22,7 @@
 #include "bench_common.h"
 #include "driver/CorpusDriver.h"
 #include "ir/Printer.h"
+#include "support/SimdWords.h"
 #include "workload/RandomCfg.h"
 #include "workload/StructuredGen.h"
 
@@ -53,8 +54,13 @@ std::vector<Function> makeThroughputCorpus() {
 void runThroughputTable() {
   printHeading("corpus-throughput",
                "parallel pipeline driver (lcse,lcm,cleanup)");
-  std::printf("hardware threads available: %u\n\n",
-              std::thread::hardware_concurrency());
+  std::printf("hardware threads available: %u, kernel backend: %s\n\n",
+              std::thread::hardware_concurrency(),
+              simdwords::backendName());
+  benchRecordMetric("hardware_threads",
+                    uint64_t(std::thread::hardware_concurrency()));
+  benchRecordMetric("simd_backend",
+                    json::Value::str(simdwords::backendName()));
 
   PipelineParse P = parsePipeline("lcse,lcm,cleanup");
   if (!P.Ok) {
@@ -102,8 +108,15 @@ void runThroughputTable() {
         .add(Fps)
         .add(Sp)
         .add(uint64_t(Best.NumFailed));
+    // Named per-thread-count metrics so scaling curves across hosts can be
+    // assembled from the JSON artifacts without parsing the table rows.
+    char Key[64];
+    std::snprintf(Key, sizeof(Key), "threads_%u_functions_per_second",
+                  Threads);
+    benchRecordMetric(Key, Best.functionsPerSecond());
   }
   printTable(T);
+  benchRecordMetric("determinism_violations", DeterminismViolations);
   std::printf("\ndeterminism check (all thread counts produce identical "
               "programs): %s (%llu violations)\n",
               DeterminismViolations == 0 ? "HOLDS" : "VIOLATED",

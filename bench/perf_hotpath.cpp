@@ -20,7 +20,9 @@
 //===----------------------------------------------------------------------===//
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.h"
 #include "cache/ContentHash.h"
@@ -29,6 +31,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "support/AllocHook.h"
+#include "support/SimdWords.h"
 
 using namespace lcm;
 
@@ -134,6 +137,154 @@ void runThroughput(const HotpathInputs &In) {
   printTable(T);
 }
 
+/// Scalar-reference vs dispatched-backend throughput for each word kernel
+/// over 64-word (4096-bit) rows — wide enough that the SIMD dispatch
+/// threshold is comfortably crossed and the loops, not the calls, dominate.
+/// Rows live in one contiguous buffer like a BitMatrix, so this measures
+/// the same access pattern the sparse solver produces.
+void runKernels() {
+  printHeading("hotpath-kernels",
+               "word-kernel throughput, scalar reference vs dispatched "
+               "SIMD backend");
+
+  const char *Backend = simdwords::backendName();
+  std::printf("dispatched backend: %s%s\n", Backend,
+              simdwords::forcedScalar() ? " (LCM_FORCE_SCALAR)" : "");
+  benchRecordMetric("simd_backend", json::Value::str(Backend));
+  benchRecordMetric("simd_forced_scalar", simdwords::forcedScalar());
+
+  constexpr size_t Words = 64;   // 4096-bit universe
+  constexpr size_t Rows = 256;
+  constexpr size_t MeetIn = 4;   // fan-in for the fused meet kernel
+  constexpr unsigned Reps = 1500;
+
+  // Deterministic pseudo-random row contents (xorshift64*).
+  std::vector<uint64_t> Buf((Rows + MeetIn + 4) * Words);
+  uint64_t Seed = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t &W : Buf) {
+    Seed ^= Seed >> 12;
+    Seed ^= Seed << 25;
+    Seed ^= Seed >> 27;
+    W = Seed * 0x2545F4914F6CDD1DULL;
+  }
+  uint64_t *RowBase = Buf.data();
+  uint64_t *Gen = RowBase + Rows * Words;
+  uint64_t *Kill = Gen + Words;
+  uint64_t *Src = Kill + Words;
+  uint64_t *Scratch = Src + Words;
+  const uint64_t *Inputs[MeetIn];
+  for (size_t J = 0; J != MeetIn; ++J)
+    Inputs[J] = RowBase + J * Words;
+
+  struct KernelCase {
+    const char *Name;
+    // Runs the kernel once over every row with the given table; returns a
+    // fold so the work cannot be optimized away.
+    uint64_t (*Run)(const simdwords::Kernels &, uint64_t *, uint64_t *,
+                    const uint64_t *, const uint64_t *, const uint64_t *,
+                    uint64_t *, const uint64_t *const *);
+  };
+  const KernelCase Cases[] = {
+      {"orInto",
+       [](const simdwords::Kernels &K, uint64_t *RowBase, uint64_t *,
+          const uint64_t *, const uint64_t *, const uint64_t *Src,
+          uint64_t *, const uint64_t *const *) {
+         for (size_t R = 0; R != Rows; ++R)
+           K.orInto(RowBase + R * Words, Src, Words);
+         return RowBase[0];
+       }},
+      {"andInto",
+       [](const simdwords::Kernels &K, uint64_t *RowBase, uint64_t *,
+          const uint64_t *, const uint64_t *, const uint64_t *Src,
+          uint64_t *, const uint64_t *const *) {
+         for (size_t R = 0; R != Rows; ++R)
+           K.andInto(RowBase + R * Words, Src, Words);
+         return RowBase[0];
+       }},
+      {"andNotInto",
+       [](const simdwords::Kernels &K, uint64_t *RowBase, uint64_t *,
+          const uint64_t *, const uint64_t *, const uint64_t *Src,
+          uint64_t *, const uint64_t *const *) {
+         for (size_t R = 0; R != Rows; ++R)
+           K.andNotInto(RowBase + R * Words, Src, Words);
+         return RowBase[0];
+       }},
+      {"equal",
+       [](const simdwords::Kernels &K, uint64_t *RowBase, uint64_t *,
+          const uint64_t *, const uint64_t *, const uint64_t *Src,
+          uint64_t *, const uint64_t *const *) {
+         uint64_t Fold = 0;
+         for (size_t R = 0; R != Rows; ++R)
+           Fold += K.equal(RowBase + R * Words, Src, Words);
+         return Fold;
+       }},
+      {"transferInto",
+       [](const simdwords::Kernels &K, uint64_t *RowBase, uint64_t *,
+          const uint64_t *Gen, const uint64_t *Kill, const uint64_t *Src,
+          uint64_t *, const uint64_t *const *) {
+         for (size_t R = 0; R != Rows; ++R)
+           K.transferInto(RowBase + R * Words, Src, Gen, Kill, Words);
+         return RowBase[0];
+       }},
+      {"transferChanged",
+       [](const simdwords::Kernels &K, uint64_t *RowBase, uint64_t *,
+          const uint64_t *Gen, const uint64_t *Kill, const uint64_t *Src,
+          uint64_t *, const uint64_t *const *) {
+         uint64_t Fold = 0;
+         for (size_t R = 0; R != Rows; ++R)
+           Fold += K.transferChanged(RowBase + R * Words, Src, Gen, Kill,
+                                     Words);
+         return Fold;
+       }},
+      {"meetTransferChanged",
+       [](const simdwords::Kernels &K, uint64_t *RowBase, uint64_t *Scratch,
+          const uint64_t *Gen, const uint64_t *Kill, const uint64_t *,
+          uint64_t *, const uint64_t *const *Inputs) {
+         uint64_t Fold = 0;
+         for (size_t R = 0; R != Rows; ++R)
+           Fold += K.meetTransferChanged(Scratch, RowBase + R * Words,
+                                         Inputs, MeetIn, (R & 1) != 0, Gen,
+                                         Kill, Words);
+         return Fold;
+       }},
+  };
+
+  Table T({"kernel", "scalar_mb_per_s", "simd_mb_per_s", "speedup"});
+  uint64_t Sink = 0;
+  double LogSum = 0.0;
+  size_t NumCases = 0;
+  for (const KernelCase &C : Cases) {
+    double Mb[2] = {0, 0};
+    const simdwords::Kernels *Tables[2] = {&simdwords::scalarKernels(),
+                                           &simdwords::kernels()};
+    for (int V = 0; V != 2; ++V) {
+      Sink += C.Run(*Tables[V], RowBase, Scratch, Gen, Kill, Src, nullptr,
+                    Inputs); // warm
+      const auto Start = Clock::now();
+      for (unsigned R = 0; R != Reps; ++R)
+        Sink += C.Run(*Tables[V], RowBase, Scratch, Gen, Kill, Src, nullptr,
+                      Inputs);
+      const double S = secondsSince(Start);
+      Mb[V] = mbPerSecond(uint64_t(Reps) * Rows * Words * 8, S);
+    }
+    const double Speedup = Mb[0] > 0 ? Mb[1] / Mb[0] : 0.0;
+    T.row().add(C.Name).add(Mb[0], 1).add(Mb[1], 1).add(Speedup, 2);
+    std::string Prefix = std::string("kernel_") + C.Name;
+    benchRecordMetric((Prefix + "_scalar_mb_per_second").c_str(), Mb[0]);
+    benchRecordMetric((Prefix + "_simd_mb_per_second").c_str(), Mb[1]);
+    if (Speedup > 0) {
+      LogSum += std::log(Speedup);
+      ++NumCases;
+    }
+  }
+  printTable(T);
+  const double Geomean = NumCases ? std::exp(LogSum / NumCases) : 0.0;
+  std::printf("geomean speedup (simd/scalar): %.2fx\n", Geomean);
+  benchRecordMetric("kernel_speedup_geomean", Geomean);
+  if (Sink == 0x5eed) // Defeat over-eager optimizers; never true.
+    std::printf("#");
+}
+
 void runAllocations(const HotpathInputs &In) {
   printHeading("hotpath-allocations",
                "steady-state heap allocations per request iteration");
@@ -177,6 +328,7 @@ int main(int argc, char **argv) {
   std::printf("corpus programs: %zu, bytes per sweep: %zu\n",
               In.Texts.size(), In.TotalBytes);
   runThroughput(In);
+  runKernels();
   runAllocations(In);
   return benchFinish();
 }

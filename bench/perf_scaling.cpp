@@ -17,6 +17,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "support/SimdWords.h"
 #include "workload/RandomCfg.h"
 #include "workload/StructuredGen.h"
 
@@ -157,6 +158,49 @@ void printSolverComparisonTable() {
               WorstLargestSpeedup);
 }
 
+/// End-to-end word-op throughput of the sparse solver on the largest
+/// random graph: how many bit-vector words per second the fused
+/// meet+transfer kernels push once dispatch, worklists, and cache effects
+/// are all included.  This is the solver-level number the kernel
+/// microbench in perf_hotpath upper-bounds.
+void printSolverKernelThroughput() {
+  printHeading("T3d", "sparse-solver word-op throughput (4096-block random)");
+  std::printf("kernel backend: %s\n", simdwords::backendName());
+  benchRecordMetric("simd_backend",
+                    json::Value::str(simdwords::backendName()));
+
+  Function Fn = makeRandomOfSize(4096);
+  LocalProperties LP(Fn);
+  std::vector<GenKill> Tr(Fn.numBlocks());
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    Tr[B].Gen = LP.comp(B);
+    Tr[B].Kill = complement(LP.transp(B));
+  }
+  BitVector Empty(LP.numExprs());
+  // Warm the thread-local arena, then measure a fixed rep count.
+  (void)solveGenKill(Fn, Direction::Forward, Meet::Intersection, Tr, Empty,
+                     SolverStrategy::Sparse);
+  const int Reps = 10;
+  const uint64_t OpsBefore = BitVectorOps::snapshot();
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I != Reps; ++I) {
+    DataflowResult R = solveGenKill(Fn, Direction::Forward,
+                                    Meet::Intersection, Tr, Empty,
+                                    SolverStrategy::Sparse);
+    benchmark::DoNotOptimize(R.Stats.NodeVisits);
+  }
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  const uint64_t Ops = BitVectorOps::snapshot() - OpsBefore;
+  const double WordsPerSec = Seconds > 0 ? double(Ops) / Seconds : 0.0;
+  std::printf("word ops: %llu over %.4fs -> %.1f Mwords/s (%.1f MB/s)\n",
+              (unsigned long long)Ops, Seconds, WordsPerSec / 1e6,
+              WordsPerSec * 8 / 1e6);
+  benchRecordMetric("sparse_word_ops_per_second", WordsPerSec);
+  benchRecordMetric("sparse_kernel_mb_per_second", WordsPerSec * 8 / 1e6);
+}
+
 void BM_LcmPipelineStructured(benchmark::State &State) {
   Function Fn = makeStructuredOfSize(unsigned(State.range(0)));
   uint64_t Blocks = Fn.numBlocks();
@@ -223,6 +267,7 @@ int main(int argc, char **argv) {
   benchInit(&argc, argv, "perf_scaling");
   printScalingTable();
   printSolverComparisonTable();
+  printSolverKernelThroughput();
   if (benchJsonEnabled())
     return benchFinish();
   benchmark::Initialize(&argc, argv);

@@ -51,6 +51,7 @@ DataflowResult lcm::solveGenKill(const Function &Fn, Direction Dir, Meet M,
   assert(Transfers.size() >= Fn.numBlocks() && "one transfer per block");
   const size_t Universe = Boundary.size();
   const uint64_t OpsBefore = BitVectorOps::snapshot();
+  const uint64_t SimdOpsBefore = BitVectorOps::snapshotSimd();
 
   DataflowResult R;
   const bool Neutral = (M == Meet::Intersection);
@@ -98,6 +99,9 @@ DataflowResult lcm::solveGenKill(const Function &Fn, Direction Dir, Meet M,
   Stats::bump("dataflow.passes", R.Stats.Passes);
   Stats::bump("dataflow.node_visits", R.Stats.NodeVisits);
   Stats::bump("dataflow.word_ops", R.Stats.WordOps);
+  const uint64_t SimdOps = BitVectorOps::snapshotSimd() - SimdOpsBefore;
+  Stats::bump("dataflow.word_ops_simd", SimdOps);
+  Stats::bump("dataflow.word_ops_scalar", R.Stats.WordOps - SimdOps);
   return R;
 }
 
@@ -108,6 +112,7 @@ DataflowResult lcm::solveGenKillWorklist(const Function &Fn, Direction Dir,
   assert(Transfers.size() >= Fn.numBlocks() && "one transfer per block");
   const size_t Universe = Boundary.size();
   const uint64_t OpsBefore = BitVectorOps::snapshot();
+  const uint64_t SimdOpsBefore = BitVectorOps::snapshotSimd();
 
   DataflowResult R;
   const bool Neutral = (M == Meet::Intersection);
@@ -193,6 +198,9 @@ DataflowResult lcm::solveGenKillWorklist(const Function &Fn, Direction Dir,
   Stats::bump("dataflow.worklist.solves");
   Stats::bump("dataflow.node_visits", R.Stats.NodeVisits);
   Stats::bump("dataflow.word_ops", R.Stats.WordOps);
+  const uint64_t SimdOps = BitVectorOps::snapshotSimd() - SimdOpsBefore;
+  Stats::bump("dataflow.word_ops_simd", SimdOps);
+  Stats::bump("dataflow.word_ops_scalar", R.Stats.WordOps - SimdOps);
   return R;
 }
 
@@ -261,6 +269,7 @@ void solveGenKillSparseInto(const Function &Fn, Direction Dir, Meet M,
   const size_t NumBlocks = Fn.numBlocks();
   const size_t WPR = bitwords::wordsFor(Universe);
   const uint64_t OpsBefore = BitVectorOps::snapshot();
+  const uint64_t SimdOpsBefore = BitVectorOps::snapshotSimd();
 
   // Per-thread scratch, reused across solves: after the first solve of the
   // largest problem size, everything below is a pointer/length reset.
@@ -268,6 +277,7 @@ void solveGenKillSparseInto(const Function &Fn, Direction Dir, Meet M,
   thread_local std::vector<BlockId> Order;
   thread_local std::vector<uint32_t> Prio;
   thread_local PriorityWorklist WL;
+  thread_local std::vector<const uint64_t *> MeetPtrs;
 
   Arena.begin(2 * NumBlocks * WPR);
   BitMatrix In = Arena.allocMatrix(NumBlocks, Universe);
@@ -297,31 +307,50 @@ void solveGenKillSparseInto(const Function &Fn, Direction Dir, Meet M,
   WL.seedAll();
 
   const bool Fwd = (Dir == Direction::Forward);
+  const bool Intersect = (M == Meet::Intersection);
   BitMatrix &Src = Fwd ? Out : In;  // transfer writes these rows
-  BitMatrix &Dst = Fwd ? In : Out;  // meet accumulates into these rows
+  BitMatrix &Dst = Fwd ? In : Out;  // meet recomputed into these rows
   for (size_t P; (P = WL.pop()) != PriorityWorklist::npos;) {
     const BlockId B = Order[P];
     ++R.Stats.NodeVisits;
 
-    // Transfer in place over the stored row; on change, push the new row
-    // into each downstream meet.  Meets accumulate incrementally: because
-    // rows move monotonically toward the fixpoint, meeting in each changed
-    // value as it appears converges to exactly the meet-over-all-inputs the
-    // dense solvers recompute per visit — one row op per change instead of
-    // an in-degree-wide recompute per pop.
-    if (bitwords::transferChanged(Src.rowWords(B), Dst.rowWords(B),
-                                  Transfers[B].Gen.words(),
-                                  Transfers[B].Kill.words(), WPR)) {
+    // Recompute the full meet over B's inputs and apply the transfer in one
+    // fused pass over contiguous rows (bitwords::meetTransferChanged): each
+    // cache line of the meet row, transfer row, gen and kill is touched
+    // exactly once per pop.  Unreachable inputs hold the neutral element
+    // forever, so meeting over all inputs matches the dense solvers
+    // bit-for-bit.  On change, downstream blocks are pushed and recompute
+    // their own meet when popped.
+    bool Changed;
+    if (B == BoundaryBlock) {
+      // The boundary row is pinned; only the transfer runs.
+      Changed = bitwords::transferChanged(Src.rowWords(B), Dst.rowWords(B),
+                                          Transfers[B].Gen.words(),
+                                          Transfers[B].Kill.words(), WPR);
+    } else {
+      const auto &Ins = Fwd ? Fn.block(B).preds() : Fn.block(B).succs();
+      MeetPtrs.clear();
+      for (BlockId Ib : Ins)
+        MeetPtrs.push_back(Src.rowWords(Ib));
+      if (MeetPtrs.empty()) {
+        // No meet inputs (e.g. a backward solve over a block with no
+        // successors): the meet stays neutral, like the dense solvers.
+        Dst.row(B).fillNeutral(Neutral);
+        Changed = bitwords::transferChanged(Src.rowWords(B), Dst.rowWords(B),
+                                            Transfers[B].Gen.words(),
+                                            Transfers[B].Kill.words(), WPR);
+      } else {
+        Changed = bitwords::meetTransferChanged(
+            Dst.rowWords(B), Src.rowWords(B), MeetPtrs.data(),
+            MeetPtrs.size(), Intersect, Transfers[B].Gen.words(),
+            Transfers[B].Kill.words(), WPR);
+      }
+    }
+    if (Changed) {
       const auto &Outs = Fwd ? Fn.block(B).succs() : Fn.block(B).preds();
       for (BlockId Nb : Outs) {
         if (Prio[Nb] == ~uint32_t(0))
           continue; // unreachable in iteration order: keep neutral facts
-        if (Nb != BoundaryBlock) {
-          if (M == Meet::Intersection)
-            bitwords::andInto(Dst.rowWords(Nb), Src.rowWords(B), WPR);
-          else
-            bitwords::orInto(Dst.rowWords(Nb), Src.rowWords(B), WPR);
-        }
         WL.push(Prio[Nb]);
       }
     }
@@ -341,6 +370,9 @@ void solveGenKillSparseInto(const Function &Fn, Direction Dir, Meet M,
   Stats::bump("dataflow.sparse.solves");
   Stats::bump("dataflow.node_visits", R.Stats.NodeVisits);
   Stats::bump("dataflow.word_ops", R.Stats.WordOps);
+  const uint64_t SimdOps = BitVectorOps::snapshotSimd() - SimdOpsBefore;
+  Stats::bump("dataflow.word_ops_simd", SimdOps);
+  Stats::bump("dataflow.word_ops_scalar", R.Stats.WordOps - SimdOps);
 }
 
 } // namespace

@@ -1,0 +1,199 @@
+//===- ir/CharScan.h - Table-driven + SWAR lexer helpers -----------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Character classification and word-at-a-time scanning for the IR lexer
+/// (ir/Parser.cpp).  Two layers:
+///
+/// - A constexpr 256-entry class table replacing per-character <cctype>
+///   calls.  The classes pin the lexer's semantics independent of locale:
+///   "space" is exactly {0x09..0x0D, 0x20} (what std::isspace gives in the
+///   C locale), a token delimiter is space-or-'#', a digit is '0'..'9',
+///   and an identifier head is A-Za-z or '_'.  Every other byte — NUL,
+///   control characters, 0x7F, anything with the high bit set — is a
+///   token character; the parser fuzz tests rely on such bytes flowing
+///   into tokens and being rejected with "line N:" diagnostics, not being
+///   silently eaten as whitespace.
+///
+/// - SWAR (SIMD-within-a-register) bulk scans over 8 bytes per step:
+///   delimiter search for tokenization and all-digits checks for integer
+///   literals.  The byte-range masks use the unsigned-compare trick
+///   `((x | 0x80..) - K*n) & 0x80..`, which computes (b & 0x7F) >= n per
+///   byte with no cross-byte borrows; AND-ing with the "high bit clear"
+///   mask makes it an exact range test for all 256 byte values (bytes >=
+///   0x80 are never in any class, which is what the table says too).
+///   Only full 8-byte words take the SWAR path; the sub-word tail falls
+///   through to the table loop.  (An earlier draft padded short tails
+///   into a word with a variable-length memcpy — on the short lines that
+///   dominate real IR that memcpy call cost more than it saved.)
+///
+/// The SWAR path assumes little-endian word order when mapping a mask bit
+/// back to a byte index (countr_zero / 8); on big-endian targets the
+/// helpers fall back to the table loop.  Everything here is exercised
+/// exhaustively against the table by tests/parser_fuzz_test.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_IR_CHARSCAN_H
+#define LCM_IR_CHARSCAN_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace lcm {
+namespace charscan {
+
+/// Character class bits.
+enum : uint8_t {
+  ClassSpace = 1 << 0,      ///< 0x09..0x0D, 0x20
+  ClassDelim = 1 << 1,      ///< space or '#'
+  ClassDigit = 1 << 2,      ///< '0'..'9'
+  ClassIdentHead = 1 << 3,  ///< A-Za-z or '_'
+};
+
+namespace detail {
+
+constexpr std::array<uint8_t, 256> makeClassTable() {
+  std::array<uint8_t, 256> T{};
+  for (unsigned C = 0x09; C <= 0x0D; ++C)
+    T[C] = ClassSpace | ClassDelim;
+  T[0x20] = ClassSpace | ClassDelim;
+  T['#'] |= ClassDelim;
+  for (unsigned C = '0'; C <= '9'; ++C)
+    T[C] |= ClassDigit;
+  for (unsigned C = 'A'; C <= 'Z'; ++C)
+    T[C] |= ClassIdentHead;
+  for (unsigned C = 'a'; C <= 'z'; ++C)
+    T[C] |= ClassIdentHead;
+  T['_'] |= ClassIdentHead;
+  return T;
+}
+
+inline constexpr std::array<uint8_t, 256> ClassTable = makeClassTable();
+
+inline constexpr uint64_t KOnes = 0x0101010101010101ULL;
+inline constexpr uint64_t KHigh = 0x8080808080808080ULL;
+
+/// Per byte: 0x80 where (b & 0x7F) >= N (N < 0x80).  Every byte of
+/// (x | KHigh) is >= 0x80 > N, so the subtraction never borrows across
+/// byte lanes — the mask is exact, not merely first-match-correct.
+constexpr uint64_t geLow7(uint64_t X, uint8_t N) {
+  return ((X | KHigh) - KOnes * N) & KHigh;
+}
+
+/// Per byte: 0x80 where lo <= b <= hi, for all 256 byte values
+/// (hi < 0x7F; bytes with the high bit set are excluded).
+constexpr uint64_t rangeMask(uint64_t X, uint8_t Lo, uint8_t Hi) {
+  return geLow7(X, Lo) & ~geLow7(X, uint8_t(Hi + 1)) & ~X & KHigh;
+}
+
+} // namespace detail
+
+/// Scalar class queries (table lookups; the reference the SWAR masks are
+/// tested against).
+inline bool isSpaceChar(unsigned char C) {
+  return detail::ClassTable[C] & ClassSpace;
+}
+inline bool isDelimChar(unsigned char C) {
+  return detail::ClassTable[C] & ClassDelim;
+}
+inline bool isDigitChar(unsigned char C) {
+  return detail::ClassTable[C] & ClassDigit;
+}
+inline bool isIdentHeadChar(unsigned char C) {
+  return detail::ClassTable[C] & ClassIdentHead;
+}
+
+/// Per byte of \p X: 0x80 where the byte is in ClassSpace.
+constexpr uint64_t spaceMask(uint64_t X) {
+  return detail::rangeMask(X, 0x09, 0x0D) | detail::rangeMask(X, 0x20, 0x20);
+}
+
+/// Per byte of \p X: 0x80 where the byte is a token delimiter
+/// (space-class or '#').
+constexpr uint64_t delimMask(uint64_t X) {
+  return spaceMask(X) | detail::rangeMask(X, '#', '#');
+}
+
+/// Per byte of \p X: 0x80 where the byte is '0'..'9'.
+constexpr uint64_t digitMask(uint64_t X) {
+  return detail::rangeMask(X, '0', '9');
+}
+
+/// Loads 8 bytes starting at \p P.  Little-endian: byte i lands at bits
+/// 8*i, so countr_zero(mask) / 8 recovers the byte index of the first
+/// set lane.
+inline uint64_t loadWord(const char *P) {
+  uint64_t W;
+  std::memcpy(&W, P, 8);
+  return W;
+}
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+inline constexpr bool SwarScan = true;
+#else
+inline constexpr bool SwarScan = false;
+#endif
+
+/// First index >= \p From whose byte is NOT in ClassSpace, or Line.size().
+inline size_t findNonSpace(std::string_view Line, size_t From) {
+  const size_t N = Line.size();
+  size_t I = From;
+  if constexpr (SwarScan) {
+    for (; I + 8 <= N; I += 8) {
+      const uint64_t NonSpace =
+          ~spaceMask(loadWord(Line.data() + I)) & detail::KHigh;
+      if (NonSpace)
+        return I + size_t(std::countr_zero(NonSpace)) / 8;
+    }
+  }
+  while (I < N && isSpaceChar(static_cast<unsigned char>(Line[I])))
+    ++I;
+  return I;
+}
+
+/// First index >= \p From whose byte IS a delimiter (space or '#'), or
+/// Line.size().  This is the token-end scan.
+inline size_t findDelim(std::string_view Line, size_t From) {
+  const size_t N = Line.size();
+  size_t I = From;
+  if constexpr (SwarScan) {
+    for (; I + 8 <= N; I += 8) {
+      const uint64_t D = delimMask(loadWord(Line.data() + I));
+      if (D)
+        return I + size_t(std::countr_zero(D)) / 8;
+    }
+  }
+  while (I < N && !isDelimChar(static_cast<unsigned char>(Line[I])))
+    ++I;
+  return I;
+}
+
+/// True when every byte of \p S is '0'..'9' (and S is non-empty).
+inline bool allDigits(std::string_view S) {
+  const size_t N = S.size();
+  if (N == 0)
+    return false;
+  size_t I = 0;
+  if constexpr (SwarScan) {
+    for (; I + 8 <= N; I += 8)
+      if ((~digitMask(loadWord(S.data() + I)) & detail::KHigh) != 0)
+        return false;
+  }
+  for (; I != N; ++I)
+    if (!isDigitChar(static_cast<unsigned char>(S[I])))
+      return false;
+  return true;
+}
+
+} // namespace charscan
+} // namespace lcm
+
+#endif // LCM_IR_CHARSCAN_H

@@ -11,35 +11,33 @@
 
 #include "ir/Parser.h"
 
-#include <cctype>
 #include <charconv>
 #include <optional>
 #include <string>
 #include <system_error>
+
+#include "ir/CharScan.h"
 
 using namespace lcm;
 
 namespace {
 
 /// Splits \p Line into whitespace-separated tokens (views into the line),
-/// honoring '#' comments.
+/// honoring '#' comments.  Runs/tokens are scanned eight bytes at a time
+/// (ir/CharScan.h); the character classes match what the old
+/// std::isspace-based loop did in the C locale, including treating NUL and
+/// other control bytes as token characters.
 void tokenizeInto(std::string_view Line,
                   std::vector<std::string_view> &Tokens) {
   Tokens.clear();
   const size_t N = Line.size();
   size_t I = 0;
-  while (I != N) {
-    const char C = Line[I];
-    if (C == '#')
+  while (true) {
+    I = charscan::findNonSpace(Line, I);
+    if (I == N || Line[I] == '#')
       return;
-    if (std::isspace(static_cast<unsigned char>(C))) {
-      ++I;
-      continue;
-    }
     const size_t Begin = I;
-    while (I != N && Line[I] != '#' &&
-           !std::isspace(static_cast<unsigned char>(Line[I])))
-      ++I;
+    I = charscan::findDelim(Line, I + 1);
     Tokens.push_back(Line.substr(Begin, I - Begin));
   }
 }
@@ -47,13 +45,9 @@ void tokenizeInto(std::string_view Line,
 bool isIntegerToken(std::string_view Tok) {
   if (Tok.empty())
     return false;
-  size_t I = (Tok[0] == '-' || Tok[0] == '+') ? 1 : 0;
-  if (I == Tok.size())
-    return false;
-  for (; I != Tok.size(); ++I)
-    if (!std::isdigit(static_cast<unsigned char>(Tok[I])))
-      return false;
-  return true;
+  if (Tok[0] == '-' || Tok[0] == '+')
+    Tok.remove_prefix(1);
+  return charscan::allDigits(Tok);
 }
 
 std::optional<Opcode> infixOpcode(std::string_view Sym) {
@@ -168,7 +162,7 @@ bool parseOperand(ParserState &S, std::string_view Tok, Operand &Out,
     Out = Operand::makeConst(V);
     return true;
   }
-  if (!std::isalpha(static_cast<unsigned char>(Tok[0])) && Tok[0] != '_') {
+  if (!charscan::isIdentHeadChar(static_cast<unsigned char>(Tok[0]))) {
     Error = err(Line, "expected operand, got '" + std::string(Tok) + "'");
     return false;
   }

@@ -143,6 +143,13 @@ RequestParse server::parseRequest(const std::string &Payload) {
     }
     Out.R.TestSleepMs = S->asInt();
   }
+  if (const Value *S = Doc.V.find("server_info")) {
+    if (!S->isBool()) {
+      Out.Error = "field 'server_info' must be a boolean";
+      return Out;
+    }
+    Out.R.ServerInfo = S->asBool();
+  }
   Out.Ok = true;
   return Out;
 }
@@ -162,6 +169,8 @@ Value server::requestToJson(const Request &R) {
     Doc.set("check", Value::boolean(true));
   if (R.TestSleepMs > 0)
     Doc.set("test_sleep_ms", Value::number(R.TestSleepMs));
+  if (R.ServerInfo)
+    Doc.set("server_info", Value::boolean(true));
   return Doc;
 }
 

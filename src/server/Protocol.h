@@ -93,6 +93,10 @@ struct Request {
   /// Test-only: hold the worker for this long before optimizing.  Ignored
   /// unless the service was configured with EnableTestOptions.
   int64_t TestSleepMs = 0;
+  /// Include a `server` object in the response (kernel backend, worker
+  /// count, hardware threads) so clients can label bench artifacts with
+  /// what actually served them.
+  bool ServerInfo = false;
 };
 
 struct RequestParse {

@@ -13,6 +13,7 @@
 #include "metrics/Cost.h"
 #include "metrics/RunReport.h"
 #include "support/Cancel.h"
+#include "support/SimdWords.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -217,6 +218,17 @@ Value Service::handle(const std::string &Payload) const {
   if (Config.Cache) {
     Response.set("cached", Value::boolean(L.cached()));
     Response.set("cache_key", Value::str(KeyHex));
+  }
+  if (R.ServerInfo) {
+    // Identify what served the request so clients (lcm_loadgen) can label
+    // their artifacts with the kernel backend that produced the numbers.
+    Value Srv = Value::object();
+    Srv.set("kernel_backend", Value::str(simdwords::backendName()));
+    if (Config.ReportWorkers > 0)
+      Srv.set("workers", Value::number(uint64_t(Config.ReportWorkers)));
+    Srv.set("hardware_threads",
+            Value::number(uint64_t(std::thread::hardware_concurrency())));
+    Response.set("server", std::move(Srv));
   }
   T.note("status", "ok");
   T.note("changes", E.Changes);

@@ -65,6 +65,9 @@ struct ServiceConfig {
   /// computation, and `ok` responses carry `cached` + `cache_key` fields.
   /// Null disables caching (every request runs the pipeline).
   std::shared_ptr<cache::ResultCache> Cache;
+  /// Worker-pool size to report in `server_info` responses; informational
+  /// only (the Service itself does not own threads).  0 = omit.
+  unsigned ReportWorkers = 0;
 };
 
 class Service {

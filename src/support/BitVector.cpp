@@ -4,10 +4,25 @@
 
 #include <bit>
 
+#include "support/SimdWords.h"
+
 using namespace lcm;
+
+namespace {
+
+/// Long vectors take the per-process SIMD kernel table; short ones stay on
+/// the inline loops below (see support/SimdWords.h for the threshold
+/// rationale).  Accounting: the logical count was already noted by the
+/// caller; only the vectorized share is added here.
+inline bool useSimd(size_t Words) {
+  return Words >= lcm::simdwords::MinSimdWords && lcm::simdwords::simdActive();
+}
+
+} // namespace
 
 #if LCM_COUNT_WORDOPS
 thread_local uint64_t BitVectorOps::WordOps = 0;
+thread_local uint64_t BitVectorOps::SimdWordOps = 0;
 #endif
 
 void BitVector::resize(size_t NewNumBits, bool Value) {
@@ -74,6 +89,11 @@ size_t BitVector::findNext(size_t From) const {
 BitVector &BitVector::operator|=(const BitVector &RHS) {
   assert(NumBits == RHS.NumBits && "size mismatch");
   BitVectorOps::note(Words.size());
+  if (useSimd(Words.size())) {
+    BitVectorOps::noteSimd(Words.size());
+    simdwords::kernels().orInto(Words.data(), RHS.Words.data(), Words.size());
+    return *this;
+  }
   for (size_t I = 0, E = Words.size(); I != E; ++I)
     Words[I] |= RHS.Words[I];
   return *this;
@@ -82,6 +102,11 @@ BitVector &BitVector::operator|=(const BitVector &RHS) {
 BitVector &BitVector::operator&=(const BitVector &RHS) {
   assert(NumBits == RHS.NumBits && "size mismatch");
   BitVectorOps::note(Words.size());
+  if (useSimd(Words.size())) {
+    BitVectorOps::noteSimd(Words.size());
+    simdwords::kernels().andInto(Words.data(), RHS.Words.data(), Words.size());
+    return *this;
+  }
   for (size_t I = 0, E = Words.size(); I != E; ++I)
     Words[I] &= RHS.Words[I];
   return *this;
@@ -98,6 +123,12 @@ BitVector &BitVector::operator^=(const BitVector &RHS) {
 BitVector &BitVector::andNot(const BitVector &RHS) {
   assert(NumBits == RHS.NumBits && "size mismatch");
   BitVectorOps::note(Words.size());
+  if (useSimd(Words.size())) {
+    BitVectorOps::noteSimd(Words.size());
+    simdwords::kernels().andNotInto(Words.data(), RHS.Words.data(),
+                                    Words.size());
+    return *this;
+  }
   for (size_t I = 0, E = Words.size(); I != E; ++I)
     Words[I] &= ~RHS.Words[I];
   return *this;
@@ -113,6 +144,11 @@ void BitVector::flipAll() {
 bool BitVector::operator==(const BitVector &RHS) const {
   assert(NumBits == RHS.NumBits && "size mismatch");
   BitVectorOps::note(Words.size());
+  if (useSimd(Words.size())) {
+    BitVectorOps::noteSimd(Words.size());
+    return simdwords::kernels().equal(Words.data(), RHS.Words.data(),
+                                      Words.size());
+  }
   return Words == RHS.Words;
 }
 

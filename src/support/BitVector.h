@@ -43,13 +43,22 @@ namespace lcm {
 struct BitVectorOps {
 #if LCM_COUNT_WORDOPS
   static thread_local uint64_t WordOps;
+  static thread_local uint64_t SimdWordOps;
 
   static void note(size_t Words) { WordOps += Words; }
+  /// Word ops that additionally ran through a dispatched SIMD kernel
+  /// (support/SimdWords.h).  Always a subset of WordOps: callers note()
+  /// the full logical count and noteSimd() the vectorized share, so
+  /// scalar = snapshot() - snapshotSimd().
+  static void noteSimd(size_t Words) { SimdWordOps += Words; }
   static uint64_t snapshot() { return WordOps; }
-  static void reset() { WordOps = 0; }
+  static uint64_t snapshotSimd() { return SimdWordOps; }
+  static void reset() { WordOps = SimdWordOps = 0; }
 #else
   static void note(size_t) {}
+  static void noteSimd(size_t) {}
   static uint64_t snapshot() { return 0; }
+  static uint64_t snapshotSimd() { return 0; }
   static void reset() {}
 #endif
 };

@@ -15,8 +15,9 @@
 ///
 /// - BitSpan / ConstBitSpan are non-owning (word pointer, bit count) views;
 /// - bitwords:: holds the raw word-level kernels (or/and/andNot/transfer/
-///   meet) the solver runs — each is a straight loop over uint64_t words
-///   and feeds the same BitVectorOps counter the BitVector ops do;
+///   meet) the solver runs — short rows take an inline scalar loop, long
+///   rows the dispatched SIMD backend (support/SimdWords.h) — and feeds
+///   the same BitVectorOps counter the BitVector ops do;
 /// - BitMatrix is a rows-by-bits fact table laid out as one contiguous
 ///   word buffer (row-major, rows word-aligned);
 /// - FactArena owns the buffer.  A solve calls begin(totalWords) once,
@@ -35,9 +36,23 @@
 #include <vector>
 
 #include "support/BitVector.h"
+#include "support/SimdWords.h"
 
 namespace lcm {
 
+/// Raw word-level kernels.  Each function keeps an inline scalar loop for
+/// short rows (the common case: corpus universes are usually 1–2 words, and
+/// an indirect call costs more than it saves) and hands longer rows to the
+/// per-process SIMD dispatch table (support/SimdWords.h).
+///
+/// Word-op accounting: every kernel feeds BitVectorOps::note with
+/// Words x (number of elementary bulk operations it fuses), so fused and
+/// unfused code paths report comparable totals — running transferChanged
+/// once costs the same reported ops as the and-not + or + compare sequence
+/// it replaces.  (PR 5 under-counted the fused paths at 1x, which is where
+/// the ~10% drift between solver strategies came from.)  The vectorized
+/// share is additionally tracked via noteSimd, so Stats can split
+/// word_ops into scalar vs SIMD.
 namespace bitwords {
 
 /// Words needed to hold \p Bits bits.
@@ -63,26 +78,50 @@ inline void copy(uint64_t *Dst, const uint64_t *Src, size_t Words) {
     Dst[I] = Src[I];
 }
 
+/// True when this row length should take the dispatched SIMD kernel.
+inline bool useSimd(size_t Words) {
+  return Words >= simdwords::MinSimdWords && simdwords::simdActive();
+}
+
 inline void orInto(uint64_t *Dst, const uint64_t *Src, size_t Words) {
   BitVectorOps::note(Words);
+  if (useSimd(Words)) {
+    BitVectorOps::noteSimd(Words);
+    simdwords::kernels().orInto(Dst, Src, Words);
+    return;
+  }
   for (size_t I = 0; I != Words; ++I)
     Dst[I] |= Src[I];
 }
 
 inline void andInto(uint64_t *Dst, const uint64_t *Src, size_t Words) {
   BitVectorOps::note(Words);
+  if (useSimd(Words)) {
+    BitVectorOps::noteSimd(Words);
+    simdwords::kernels().andInto(Dst, Src, Words);
+    return;
+  }
   for (size_t I = 0; I != Words; ++I)
     Dst[I] &= Src[I];
 }
 
 inline void andNotInto(uint64_t *Dst, const uint64_t *Src, size_t Words) {
   BitVectorOps::note(Words);
+  if (useSimd(Words)) {
+    BitVectorOps::noteSimd(Words);
+    simdwords::kernels().andNotInto(Dst, Src, Words);
+    return;
+  }
   for (size_t I = 0; I != Words; ++I)
     Dst[I] &= ~Src[I];
 }
 
 inline bool equal(const uint64_t *A, const uint64_t *B, size_t Words) {
   BitVectorOps::note(Words);
+  if (useSimd(Words)) {
+    BitVectorOps::noteSimd(Words);
+    return simdwords::kernels().equal(A, B, Words);
+  }
   for (size_t I = 0; I != Words; ++I)
     if (A[I] != B[I])
       return false;
@@ -90,10 +129,16 @@ inline bool equal(const uint64_t *A, const uint64_t *B, size_t Words) {
 }
 
 /// The gen/kill transfer in one fused loop: Dst = Gen | (Src & ~Kill).
+/// Counts as two elementary ops per word (and-not + or).
 inline void transferInto(uint64_t *Dst, const uint64_t *Src,
                          const uint64_t *Gen, const uint64_t *Kill,
                          size_t Words) {
-  BitVectorOps::note(Words);
+  BitVectorOps::note(2 * Words);
+  if (useSimd(Words)) {
+    BitVectorOps::noteSimd(2 * Words);
+    simdwords::kernels().transferInto(Dst, Src, Gen, Kill, Words);
+    return;
+  }
   for (size_t I = 0; I != Words; ++I)
     Dst[I] = Gen[I] | (Src[I] & ~Kill[I]);
 }
@@ -101,15 +146,56 @@ inline void transferInto(uint64_t *Dst, const uint64_t *Src,
 /// Transfer applied in place over the stored row, fused with change
 /// detection: Dst = Gen | (Src & ~Kill), returning whether any word
 /// changed.  One pass over the row instead of transfer + equal + copy.
+/// Counts as three elementary ops per word (and-not + or + compare).
 inline bool transferChanged(uint64_t *Dst, const uint64_t *Src,
                             const uint64_t *Gen, const uint64_t *Kill,
                             size_t Words) {
-  BitVectorOps::note(Words);
+  BitVectorOps::note(3 * Words);
+  if (useSimd(Words)) {
+    BitVectorOps::noteSimd(3 * Words);
+    return simdwords::kernels().transferChanged(Dst, Src, Gen, Kill, Words);
+  }
   uint64_t Diff = 0;
   for (size_t I = 0; I != Words; ++I) {
     const uint64_t V = Gen[I] | (Src[I] & ~Kill[I]);
     Diff |= V ^ Dst[I];
     Dst[I] = V;
+  }
+  return Diff != 0;
+}
+
+/// The batched solver step: MeetRow = meet of Inputs (AND when
+/// \p Intersect, else OR), then XferRow = Gen | (MeetRow & ~Kill) with
+/// change detection, all in one pass over the rows.  Requires
+/// \p NumInputs >= 1; callers handle the empty meet with fillNeutral +
+/// transferChanged.  Counts as (NumInputs + 3) elementary ops per word —
+/// exactly what the unfused copy + (NumInputs-1) meets + transferChanged
+/// sequence would report.
+inline bool meetTransferChanged(uint64_t *MeetRow, uint64_t *XferRow,
+                                const uint64_t *const *Inputs,
+                                size_t NumInputs, bool Intersect,
+                                const uint64_t *Gen, const uint64_t *Kill,
+                                size_t Words) {
+  assert(NumInputs >= 1 && "empty meet must be handled by the caller");
+  BitVectorOps::note((NumInputs + 3) * Words);
+  if (useSimd(Words)) {
+    BitVectorOps::noteSimd((NumInputs + 3) * Words);
+    return simdwords::kernels().meetTransferChanged(
+        MeetRow, XferRow, Inputs, NumInputs, Intersect, Gen, Kill, Words);
+  }
+  uint64_t Diff = 0;
+  for (size_t I = 0; I != Words; ++I) {
+    uint64_t Acc = Inputs[0][I];
+    if (Intersect)
+      for (size_t J = 1; J != NumInputs; ++J)
+        Acc &= Inputs[J][I];
+    else
+      for (size_t J = 1; J != NumInputs; ++J)
+        Acc |= Inputs[J][I];
+    MeetRow[I] = Acc;
+    const uint64_t V = Gen[I] | (Acc & ~Kill[I]);
+    Diff |= V ^ XferRow[I];
+    XferRow[I] = V;
   }
   return Diff != 0;
 }

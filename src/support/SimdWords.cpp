@@ -1,0 +1,629 @@
+//===- support/SimdWords.cpp - Feature-dispatched SIMD word kernels ------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// Kernel implementations and the one-time backend selection.  Each backend
+// lives in this single translation unit; the AVX2 functions carry the
+// `target("avx2")` attribute so the file builds with the project's plain
+// -O2 flags and still emits 256-bit code for the dispatched path.  All
+// vector loads/stores are unaligned: FactArena hands out rows at arbitrary
+// word offsets inside its bump-allocated slab.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SimdWords.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LCM_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define LCM_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace lcm {
+namespace simdwords {
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scalar reference backend
+//===----------------------------------------------------------------------===//
+
+void orIntoScalar(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] |= Src[I];
+}
+
+void andIntoScalar(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] &= Src[I];
+}
+
+void andNotIntoScalar(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] &= ~Src[I];
+}
+
+bool equalScalar(const uint64_t *A, const uint64_t *B, size_t Words) {
+  uint64_t Diff = 0;
+  for (size_t I = 0; I != Words; ++I)
+    Diff |= A[I] ^ B[I];
+  return Diff == 0;
+}
+
+void transferIntoScalar(uint64_t *Dst, const uint64_t *Src,
+                        const uint64_t *Gen, const uint64_t *Kill,
+                        size_t Words) {
+  for (size_t I = 0; I != Words; ++I)
+    Dst[I] = Gen[I] | (Src[I] & ~Kill[I]);
+}
+
+bool transferChangedScalar(uint64_t *Dst, const uint64_t *Src,
+                           const uint64_t *Gen, const uint64_t *Kill,
+                           size_t Words) {
+  uint64_t Diff = 0;
+  for (size_t I = 0; I != Words; ++I) {
+    uint64_t V = Gen[I] | (Src[I] & ~Kill[I]);
+    Diff |= V ^ Dst[I];
+    Dst[I] = V;
+  }
+  return Diff != 0;
+}
+
+template <bool Intersect>
+bool meetTransferChangedScalarImpl(uint64_t *MeetRow, uint64_t *XferRow,
+                                   const uint64_t *const *Inputs,
+                                   size_t NumInputs, const uint64_t *Gen,
+                                   const uint64_t *Kill, size_t Words) {
+  uint64_t Diff = 0;
+  for (size_t I = 0; I != Words; ++I) {
+    uint64_t Acc = Inputs[0][I];
+    for (size_t J = 1; J != NumInputs; ++J)
+      Acc = Intersect ? (Acc & Inputs[J][I]) : (Acc | Inputs[J][I]);
+    MeetRow[I] = Acc;
+    uint64_t V = Gen[I] | (Acc & ~Kill[I]);
+    Diff |= V ^ XferRow[I];
+    XferRow[I] = V;
+  }
+  return Diff != 0;
+}
+
+bool meetTransferChangedScalar(uint64_t *MeetRow, uint64_t *XferRow,
+                               const uint64_t *const *Inputs,
+                               size_t NumInputs, bool Intersect,
+                               const uint64_t *Gen, const uint64_t *Kill,
+                               size_t Words) {
+  if (Intersect)
+    return meetTransferChangedScalarImpl<true>(MeetRow, XferRow, Inputs,
+                                               NumInputs, Gen, Kill, Words);
+  return meetTransferChangedScalarImpl<false>(MeetRow, XferRow, Inputs,
+                                              NumInputs, Gen, Kill, Words);
+}
+
+constexpr Kernels ScalarKernels = {
+    orIntoScalar,         andIntoScalar,  andNotIntoScalar,
+    equalScalar,          transferIntoScalar, transferChangedScalar,
+    meetTransferChangedScalar,
+};
+
+#if LCM_SIMD_X86
+
+//===----------------------------------------------------------------------===//
+// SSE2 backend (x86-64 baseline; no target attribute needed)
+//===----------------------------------------------------------------------===//
+
+void orIntoSse2(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    __m128i D = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Dst + I));
+    __m128i S = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Src + I));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Dst + I),
+                     _mm_or_si128(D, S));
+  }
+  for (; I != Words; ++I)
+    Dst[I] |= Src[I];
+}
+
+void andIntoSse2(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    __m128i D = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Dst + I));
+    __m128i S = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Src + I));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Dst + I),
+                     _mm_and_si128(D, S));
+  }
+  for (; I != Words; ++I)
+    Dst[I] &= Src[I];
+}
+
+void andNotIntoSse2(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    __m128i D = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Dst + I));
+    __m128i S = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Src + I));
+    // _mm_andnot_si128(a, b) computes ~a & b.
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Dst + I),
+                     _mm_andnot_si128(S, D));
+  }
+  for (; I != Words; ++I)
+    Dst[I] &= ~Src[I];
+}
+
+bool equalSse2(const uint64_t *A, const uint64_t *B, size_t Words) {
+  __m128i Acc = _mm_setzero_si128();
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    __m128i X = _mm_loadu_si128(reinterpret_cast<const __m128i *>(A + I));
+    __m128i Y = _mm_loadu_si128(reinterpret_cast<const __m128i *>(B + I));
+    Acc = _mm_or_si128(Acc, _mm_xor_si128(X, Y));
+  }
+  uint64_t Tail = 0;
+  for (; I != Words; ++I)
+    Tail |= A[I] ^ B[I];
+  __m128i Zero = _mm_setzero_si128();
+  bool VecEqual =
+      _mm_movemask_epi8(_mm_cmpeq_epi32(Acc, Zero)) == 0xFFFF;
+  return VecEqual && Tail == 0;
+}
+
+void transferIntoSse2(uint64_t *Dst, const uint64_t *Src,
+                      const uint64_t *Gen, const uint64_t *Kill,
+                      size_t Words) {
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    __m128i S = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Src + I));
+    __m128i G = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Gen + I));
+    __m128i K = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Kill + I));
+    __m128i V = _mm_or_si128(G, _mm_andnot_si128(K, S));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Dst + I), V);
+  }
+  for (; I != Words; ++I)
+    Dst[I] = Gen[I] | (Src[I] & ~Kill[I]);
+}
+
+bool transferChangedSse2(uint64_t *Dst, const uint64_t *Src,
+                         const uint64_t *Gen, const uint64_t *Kill,
+                         size_t Words) {
+  __m128i DiffV = _mm_setzero_si128();
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    __m128i S = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Src + I));
+    __m128i G = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Gen + I));
+    __m128i K = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Kill + I));
+    __m128i D = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Dst + I));
+    __m128i V = _mm_or_si128(G, _mm_andnot_si128(K, S));
+    DiffV = _mm_or_si128(DiffV, _mm_xor_si128(V, D));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(Dst + I), V);
+  }
+  uint64_t Tail = 0;
+  for (; I != Words; ++I) {
+    uint64_t V = Gen[I] | (Src[I] & ~Kill[I]);
+    Tail |= V ^ Dst[I];
+    Dst[I] = V;
+  }
+  __m128i Zero = _mm_setzero_si128();
+  bool VecSame =
+      _mm_movemask_epi8(_mm_cmpeq_epi32(DiffV, Zero)) == 0xFFFF;
+  return !VecSame || Tail != 0;
+}
+
+template <bool Intersect>
+bool meetTransferChangedSse2Impl(uint64_t *MeetRow, uint64_t *XferRow,
+                                 const uint64_t *const *Inputs,
+                                 size_t NumInputs, const uint64_t *Gen,
+                                 const uint64_t *Kill, size_t Words) {
+  __m128i DiffV = _mm_setzero_si128();
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    __m128i Acc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(Inputs[0] + I));
+    for (size_t J = 1; J != NumInputs; ++J) {
+      __m128i In =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(Inputs[J] + I));
+      Acc = Intersect ? _mm_and_si128(Acc, In) : _mm_or_si128(Acc, In);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(MeetRow + I), Acc);
+    __m128i G = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Gen + I));
+    __m128i K = _mm_loadu_si128(reinterpret_cast<const __m128i *>(Kill + I));
+    __m128i X =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(XferRow + I));
+    __m128i V = _mm_or_si128(G, _mm_andnot_si128(K, Acc));
+    DiffV = _mm_or_si128(DiffV, _mm_xor_si128(V, X));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(XferRow + I), V);
+  }
+  uint64_t Tail = 0;
+  for (; I != Words; ++I) {
+    uint64_t Acc = Inputs[0][I];
+    for (size_t J = 1; J != NumInputs; ++J)
+      Acc = Intersect ? (Acc & Inputs[J][I]) : (Acc | Inputs[J][I]);
+    MeetRow[I] = Acc;
+    uint64_t V = Gen[I] | (Acc & ~Kill[I]);
+    Tail |= V ^ XferRow[I];
+    XferRow[I] = V;
+  }
+  __m128i Zero = _mm_setzero_si128();
+  bool VecSame =
+      _mm_movemask_epi8(_mm_cmpeq_epi32(DiffV, Zero)) == 0xFFFF;
+  return !VecSame || Tail != 0;
+}
+
+bool meetTransferChangedSse2(uint64_t *MeetRow, uint64_t *XferRow,
+                             const uint64_t *const *Inputs, size_t NumInputs,
+                             bool Intersect, const uint64_t *Gen,
+                             const uint64_t *Kill, size_t Words) {
+  if (Intersect)
+    return meetTransferChangedSse2Impl<true>(MeetRow, XferRow, Inputs,
+                                             NumInputs, Gen, Kill, Words);
+  return meetTransferChangedSse2Impl<false>(MeetRow, XferRow, Inputs,
+                                            NumInputs, Gen, Kill, Words);
+}
+
+constexpr Kernels Sse2Kernels = {
+    orIntoSse2,         andIntoSse2,  andNotIntoSse2,
+    equalSse2,          transferIntoSse2, transferChangedSse2,
+    meetTransferChangedSse2,
+};
+
+//===----------------------------------------------------------------------===//
+// AVX2 backend (dispatched only when the CPU reports support)
+//===----------------------------------------------------------------------===//
+
+#define LCM_AVX2 __attribute__((target("avx2")))
+
+LCM_AVX2 void orIntoAvx2(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  size_t I = 0;
+  for (; I + 4 <= Words; I += 4) {
+    __m256i D =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Dst + I));
+    __m256i S =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + I));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I),
+                        _mm256_or_si256(D, S));
+  }
+  for (; I != Words; ++I)
+    Dst[I] |= Src[I];
+}
+
+LCM_AVX2 void andIntoAvx2(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  size_t I = 0;
+  for (; I + 4 <= Words; I += 4) {
+    __m256i D =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Dst + I));
+    __m256i S =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + I));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I),
+                        _mm256_and_si256(D, S));
+  }
+  for (; I != Words; ++I)
+    Dst[I] &= Src[I];
+}
+
+LCM_AVX2 void andNotIntoAvx2(uint64_t *Dst, const uint64_t *Src,
+                             size_t Words) {
+  size_t I = 0;
+  for (; I + 4 <= Words; I += 4) {
+    __m256i D =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Dst + I));
+    __m256i S =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + I));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I),
+                        _mm256_andnot_si256(S, D));
+  }
+  for (; I != Words; ++I)
+    Dst[I] &= ~Src[I];
+}
+
+LCM_AVX2 bool equalAvx2(const uint64_t *A, const uint64_t *B, size_t Words) {
+  __m256i Acc = _mm256_setzero_si256();
+  size_t I = 0;
+  for (; I + 4 <= Words; I += 4) {
+    __m256i X = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(A + I));
+    __m256i Y = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(B + I));
+    Acc = _mm256_or_si256(Acc, _mm256_xor_si256(X, Y));
+  }
+  uint64_t Tail = 0;
+  for (; I != Words; ++I)
+    Tail |= A[I] ^ B[I];
+  return _mm256_testz_si256(Acc, Acc) && Tail == 0;
+}
+
+LCM_AVX2 void transferIntoAvx2(uint64_t *Dst, const uint64_t *Src,
+                               const uint64_t *Gen, const uint64_t *Kill,
+                               size_t Words) {
+  size_t I = 0;
+  for (; I + 4 <= Words; I += 4) {
+    __m256i S =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + I));
+    __m256i G =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Gen + I));
+    __m256i K =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Kill + I));
+    __m256i V = _mm256_or_si256(G, _mm256_andnot_si256(K, S));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I), V);
+  }
+  for (; I != Words; ++I)
+    Dst[I] = Gen[I] | (Src[I] & ~Kill[I]);
+}
+
+LCM_AVX2 bool transferChangedAvx2(uint64_t *Dst, const uint64_t *Src,
+                                  const uint64_t *Gen, const uint64_t *Kill,
+                                  size_t Words) {
+  __m256i DiffV = _mm256_setzero_si256();
+  size_t I = 0;
+  for (; I + 4 <= Words; I += 4) {
+    __m256i S =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Src + I));
+    __m256i G =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Gen + I));
+    __m256i K =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Kill + I));
+    __m256i D =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Dst + I));
+    __m256i V = _mm256_or_si256(G, _mm256_andnot_si256(K, S));
+    DiffV = _mm256_or_si256(DiffV, _mm256_xor_si256(V, D));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(Dst + I), V);
+  }
+  uint64_t Tail = 0;
+  for (; I != Words; ++I) {
+    uint64_t V = Gen[I] | (Src[I] & ~Kill[I]);
+    Tail |= V ^ Dst[I];
+    Dst[I] = V;
+  }
+  return !_mm256_testz_si256(DiffV, DiffV) || Tail != 0;
+}
+
+template <bool Intersect>
+LCM_AVX2 bool meetTransferChangedAvx2Impl(uint64_t *MeetRow,
+                                          uint64_t *XferRow,
+                                          const uint64_t *const *Inputs,
+                                          size_t NumInputs,
+                                          const uint64_t *Gen,
+                                          const uint64_t *Kill,
+                                          size_t Words) {
+  __m256i DiffV = _mm256_setzero_si256();
+  size_t I = 0;
+  for (; I + 4 <= Words; I += 4) {
+    __m256i Acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Inputs[0] + I));
+    for (size_t J = 1; J != NumInputs; ++J) {
+      __m256i In = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i *>(Inputs[J] + I));
+      Acc = Intersect ? _mm256_and_si256(Acc, In) : _mm256_or_si256(Acc, In);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(MeetRow + I), Acc);
+    __m256i G =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Gen + I));
+    __m256i K =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Kill + I));
+    __m256i X =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(XferRow + I));
+    __m256i V = _mm256_or_si256(G, _mm256_andnot_si256(K, Acc));
+    DiffV = _mm256_or_si256(DiffV, _mm256_xor_si256(V, X));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(XferRow + I), V);
+  }
+  uint64_t Tail = 0;
+  for (; I != Words; ++I) {
+    uint64_t Acc = Inputs[0][I];
+    for (size_t J = 1; J != NumInputs; ++J)
+      Acc = Intersect ? (Acc & Inputs[J][I]) : (Acc | Inputs[J][I]);
+    MeetRow[I] = Acc;
+    uint64_t V = Gen[I] | (Acc & ~Kill[I]);
+    Tail |= V ^ XferRow[I];
+    XferRow[I] = V;
+  }
+  return !_mm256_testz_si256(DiffV, DiffV) || Tail != 0;
+}
+
+LCM_AVX2 bool meetTransferChangedAvx2(uint64_t *MeetRow, uint64_t *XferRow,
+                                      const uint64_t *const *Inputs,
+                                      size_t NumInputs, bool Intersect,
+                                      const uint64_t *Gen,
+                                      const uint64_t *Kill, size_t Words) {
+  if (Intersect)
+    return meetTransferChangedAvx2Impl<true>(MeetRow, XferRow, Inputs,
+                                             NumInputs, Gen, Kill, Words);
+  return meetTransferChangedAvx2Impl<false>(MeetRow, XferRow, Inputs,
+                                            NumInputs, Gen, Kill, Words);
+}
+
+#undef LCM_AVX2
+
+constexpr Kernels Avx2Kernels = {
+    orIntoAvx2,         andIntoAvx2,  andNotIntoAvx2,
+    equalAvx2,          transferIntoAvx2, transferChangedAvx2,
+    meetTransferChangedAvx2,
+};
+
+#endif // LCM_SIMD_X86
+
+#if LCM_SIMD_NEON
+
+//===----------------------------------------------------------------------===//
+// NEON backend (AArch64 baseline)
+//===----------------------------------------------------------------------===//
+
+void orIntoNeon(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2)
+    vst1q_u64(Dst + I, vorrq_u64(vld1q_u64(Dst + I), vld1q_u64(Src + I)));
+  for (; I != Words; ++I)
+    Dst[I] |= Src[I];
+}
+
+void andIntoNeon(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2)
+    vst1q_u64(Dst + I, vandq_u64(vld1q_u64(Dst + I), vld1q_u64(Src + I)));
+  for (; I != Words; ++I)
+    Dst[I] &= Src[I];
+}
+
+void andNotIntoNeon(uint64_t *Dst, const uint64_t *Src, size_t Words) {
+  size_t I = 0;
+  // vbicq_u64(a, b) computes a & ~b.
+  for (; I + 2 <= Words; I += 2)
+    vst1q_u64(Dst + I, vbicq_u64(vld1q_u64(Dst + I), vld1q_u64(Src + I)));
+  for (; I != Words; ++I)
+    Dst[I] &= ~Src[I];
+}
+
+bool equalNeon(const uint64_t *A, const uint64_t *B, size_t Words) {
+  uint64x2_t Acc = vdupq_n_u64(0);
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2)
+    Acc = vorrq_u64(Acc, veorq_u64(vld1q_u64(A + I), vld1q_u64(B + I)));
+  uint64_t Tail = vgetq_lane_u64(Acc, 0) | vgetq_lane_u64(Acc, 1);
+  for (; I != Words; ++I)
+    Tail |= A[I] ^ B[I];
+  return Tail == 0;
+}
+
+void transferIntoNeon(uint64_t *Dst, const uint64_t *Src,
+                      const uint64_t *Gen, const uint64_t *Kill,
+                      size_t Words) {
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    uint64x2_t V = vorrq_u64(
+        vld1q_u64(Gen + I), vbicq_u64(vld1q_u64(Src + I), vld1q_u64(Kill + I)));
+    vst1q_u64(Dst + I, V);
+  }
+  for (; I != Words; ++I)
+    Dst[I] = Gen[I] | (Src[I] & ~Kill[I]);
+}
+
+bool transferChangedNeon(uint64_t *Dst, const uint64_t *Src,
+                         const uint64_t *Gen, const uint64_t *Kill,
+                         size_t Words) {
+  uint64x2_t DiffV = vdupq_n_u64(0);
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    uint64x2_t V = vorrq_u64(
+        vld1q_u64(Gen + I), vbicq_u64(vld1q_u64(Src + I), vld1q_u64(Kill + I)));
+    DiffV = vorrq_u64(DiffV, veorq_u64(V, vld1q_u64(Dst + I)));
+    vst1q_u64(Dst + I, V);
+  }
+  uint64_t Tail = vgetq_lane_u64(DiffV, 0) | vgetq_lane_u64(DiffV, 1);
+  for (; I != Words; ++I) {
+    uint64_t V = Gen[I] | (Src[I] & ~Kill[I]);
+    Tail |= V ^ Dst[I];
+    Dst[I] = V;
+  }
+  return Tail != 0;
+}
+
+template <bool Intersect>
+bool meetTransferChangedNeonImpl(uint64_t *MeetRow, uint64_t *XferRow,
+                                 const uint64_t *const *Inputs,
+                                 size_t NumInputs, const uint64_t *Gen,
+                                 const uint64_t *Kill, size_t Words) {
+  uint64x2_t DiffV = vdupq_n_u64(0);
+  size_t I = 0;
+  for (; I + 2 <= Words; I += 2) {
+    uint64x2_t Acc = vld1q_u64(Inputs[0] + I);
+    for (size_t J = 1; J != NumInputs; ++J) {
+      uint64x2_t In = vld1q_u64(Inputs[J] + I);
+      Acc = Intersect ? vandq_u64(Acc, In) : vorrq_u64(Acc, In);
+    }
+    vst1q_u64(MeetRow + I, Acc);
+    uint64x2_t V =
+        vorrq_u64(vld1q_u64(Gen + I), vbicq_u64(Acc, vld1q_u64(Kill + I)));
+    DiffV = vorrq_u64(DiffV, veorq_u64(V, vld1q_u64(XferRow + I)));
+    vst1q_u64(XferRow + I, V);
+  }
+  uint64_t Tail = vgetq_lane_u64(DiffV, 0) | vgetq_lane_u64(DiffV, 1);
+  for (; I != Words; ++I) {
+    uint64_t Acc = Inputs[0][I];
+    for (size_t J = 1; J != NumInputs; ++J)
+      Acc = Intersect ? (Acc & Inputs[J][I]) : (Acc | Inputs[J][I]);
+    MeetRow[I] = Acc;
+    uint64_t V = Gen[I] | (Acc & ~Kill[I]);
+    Tail |= V ^ XferRow[I];
+    XferRow[I] = V;
+  }
+  return Tail != 0;
+}
+
+bool meetTransferChangedNeon(uint64_t *MeetRow, uint64_t *XferRow,
+                             const uint64_t *const *Inputs, size_t NumInputs,
+                             bool Intersect, const uint64_t *Gen,
+                             const uint64_t *Kill, size_t Words) {
+  if (Intersect)
+    return meetTransferChangedNeonImpl<true>(MeetRow, XferRow, Inputs,
+                                             NumInputs, Gen, Kill, Words);
+  return meetTransferChangedNeonImpl<false>(MeetRow, XferRow, Inputs,
+                                            NumInputs, Gen, Kill, Words);
+}
+
+constexpr Kernels NeonKernels = {
+    orIntoNeon,         andIntoNeon,  andNotIntoNeon,
+    equalNeon,          transferIntoNeon, transferChangedNeon,
+    meetTransferChangedNeon,
+};
+
+#endif // LCM_SIMD_NEON
+
+//===----------------------------------------------------------------------===//
+// Selection
+//===----------------------------------------------------------------------===//
+
+struct Dispatch {
+  Backend Selected;
+  bool Forced;
+  const Kernels *Table;
+};
+
+Dispatch detect() {
+  if (const char *Env = std::getenv("LCM_FORCE_SCALAR"))
+    if (Env[0] != '\0' && !(Env[0] == '0' && Env[1] == '\0'))
+      return {Backend::Scalar, true, &ScalarKernels};
+#if LCM_SIMD_X86
+  if (__builtin_cpu_supports("avx2"))
+    return {Backend::Avx2, false, &Avx2Kernels};
+  return {Backend::Sse2, false, &Sse2Kernels};
+#elif LCM_SIMD_NEON
+  return {Backend::Neon, false, &NeonKernels};
+#else
+  return {Backend::Scalar, false, &ScalarKernels};
+#endif
+}
+
+const Dispatch &dispatch() {
+  // Thread-safe one-time init; the table is immutable afterwards.
+  static const Dispatch D = detect();
+  return D;
+}
+
+} // namespace
+
+Backend backend() { return dispatch().Selected; }
+
+bool forcedScalar() { return dispatch().Forced; }
+
+const char *backendName(Backend B) {
+  switch (B) {
+  case Backend::Scalar:
+    return "scalar";
+  case Backend::Sse2:
+    return "sse2";
+  case Backend::Avx2:
+    return "avx2";
+  case Backend::Neon:
+    return "neon";
+  }
+  return "unknown";
+}
+
+const char *backendName() { return backendName(backend()); }
+
+const Kernels &kernels() { return *dispatch().Table; }
+
+const Kernels &scalarKernels() { return ScalarKernels; }
+
+} // namespace simdwords
+} // namespace lcm

@@ -1,0 +1,132 @@
+//===- support/SimdWords.h - Feature-dispatched SIMD word kernels --------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vectorized backends for the bit-vector word kernels the dataflow engine
+/// runs (support/FactArena.h).  The kernels are pure word loops — or, and,
+/// and-not, the gen/kill transfer, and a fused multi-row meet+transfer —
+/// implemented once per instruction set:
+///
+///   - AVX2 (256-bit) on x86-64 hosts that support it, compiled with the
+///     `target("avx2")` function attribute so the translation unit itself
+///     needs no special flags;
+///   - SSE2 (128-bit) as the x86-64 fallback (baseline, always present);
+///   - NEON (128-bit) on AArch64;
+///   - a scalar uint64_t reference everywhere else.
+///
+/// One backend is selected per process, the first time dispatch is
+/// consulted: `LCM_FORCE_SCALAR=1` in the environment pins the scalar
+/// reference (CI runs the whole test suite once this way), otherwise the
+/// CPU is probed (`__builtin_cpu_supports("avx2")`) and the widest
+/// available implementation wins.  The selected table never changes
+/// afterwards, so callers may cache function pointers freely.
+///
+/// Who calls what:
+///
+///   - `bitwords::` (FactArena.h) wraps these kernels behind inline
+///     functions that keep a scalar fast path for short rows (below
+///     MinSimdWords the call overhead beats the vector win) and feed the
+///     word-op counters;
+///   - the sparse gen/kill solver (dataflow/Dataflow.cpp) calls the fused
+///     `meetTransferChanged` so one pass over a block's rows performs the
+///     predecessor meet, the transfer, and the change test;
+///   - tests/simd_words_test.cpp drives `scalarKernels()` against
+///     `kernels()` on randomized rows and asserts bit-identical results.
+///
+/// The scalar reference table is always available (`scalarKernels()`),
+/// which is what makes the equivalence tests and the scalar-vs-SIMD
+/// microbenchmarks (bench/perf_hotpath.cpp) possible in one binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SUPPORT_SIMDWORDS_H
+#define LCM_SUPPORT_SIMDWORDS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lcm {
+namespace simdwords {
+
+/// The instruction sets a process can dispatch to.
+enum class Backend {
+  Scalar, ///< Plain uint64_t loops (also the LCM_FORCE_SCALAR override).
+  Sse2,   ///< 128-bit, x86-64 baseline.
+  Avx2,   ///< 256-bit, probed at startup.
+  Neon,   ///< 128-bit, AArch64 baseline.
+};
+
+/// One backend's kernel table.  All pointers are non-null.  Row pointers
+/// need no particular alignment (the vector paths use unaligned loads);
+/// callers guarantee \p Words > 0 ranges do not overlap between distinct
+/// row arguments, except that in-place updates (Dst also being the row
+/// compared against) are exactly what transferChanged supports.
+struct Kernels {
+  /// Dst[i] |= Src[i].
+  void (*orInto)(uint64_t *Dst, const uint64_t *Src, size_t Words);
+  /// Dst[i] &= Src[i].
+  void (*andInto)(uint64_t *Dst, const uint64_t *Src, size_t Words);
+  /// Dst[i] &= ~Src[i].
+  void (*andNotInto)(uint64_t *Dst, const uint64_t *Src, size_t Words);
+  /// A[i] == B[i] for all words.
+  bool (*equal)(const uint64_t *A, const uint64_t *B, size_t Words);
+  /// Dst[i] = Gen[i] | (Src[i] & ~Kill[i]).
+  void (*transferInto)(uint64_t *Dst, const uint64_t *Src,
+                       const uint64_t *Gen, const uint64_t *Kill,
+                       size_t Words);
+  /// Dst[i] = Gen[i] | (Src[i] & ~Kill[i]), fused with change detection:
+  /// returns whether any word of Dst changed.
+  bool (*transferChanged)(uint64_t *Dst, const uint64_t *Src,
+                          const uint64_t *Gen, const uint64_t *Kill,
+                          size_t Words);
+  /// The batched solver step, one pass over contiguous rows:
+  ///
+  ///   MeetRow[i] = meet of Inputs[0..NumInputs)[i]   (AND or OR)
+  ///   new        = Gen[i] | (MeetRow[i] & ~Kill[i])
+  ///   changed   |= new != XferRow[i];  XferRow[i] = new
+  ///
+  /// Requires NumInputs >= 1 (the caller handles the empty meet by
+  /// filling the neutral element and using transferChanged).  Touches
+  /// each cache line of MeetRow/XferRow/Gen/Kill exactly once.
+  bool (*meetTransferChanged)(uint64_t *MeetRow, uint64_t *XferRow,
+                              const uint64_t *const *Inputs,
+                              size_t NumInputs, bool Intersect,
+                              const uint64_t *Gen, const uint64_t *Kill,
+                              size_t Words);
+};
+
+/// Rows shorter than this many words bypass dispatch: the inline scalar
+/// loops in bitwords:: beat an indirect call for the tiny universes that
+/// dominate the serving corpus (most functions have < 512 expressions).
+inline constexpr size_t MinSimdWords = 8;
+
+/// The backend selected for this process (stable after the first call).
+Backend backend();
+
+/// Human-readable backend name: "scalar", "sse2", "avx2", "neon".
+const char *backendName();
+const char *backendName(Backend B);
+
+/// True when LCM_FORCE_SCALAR pinned the scalar reference (so reports can
+/// distinguish "old CPU" from "override").
+bool forcedScalar();
+
+/// The dispatched kernel table for backend().
+const Kernels &kernels();
+
+/// The scalar reference table (always available; what the equivalence
+/// tests and microbenchmarks compare against).
+const Kernels &scalarKernels();
+
+/// True when the dispatched table is a vector backend.  Inline callers
+/// branch on this once per kernel invocation.
+inline bool simdActive() { return backend() != Backend::Scalar; }
+
+} // namespace simdwords
+} // namespace lcm
+
+#endif // LCM_SUPPORT_SIMDWORDS_H

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ir/CharScan.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
@@ -224,6 +225,115 @@ TEST(ParserFuzz, PositionInfoPointsAtOffendingLine) {
   ParseResult R = parseFunction("block b0\n  x = a +\n  exit\n");
   ASSERT_FALSE(R.Ok);
   EXPECT_EQ(R.Error.rfind("line 2:", 0), 0u) << R.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// SWAR lexer (ir/CharScan.h)
+//===----------------------------------------------------------------------===//
+
+TEST(CharScan, MasksMatchTableForEveryByteInEveryLane) {
+  // The SWAR range masks must agree with the class table for all 256 byte
+  // values — including NUL, controls, 0x7F, and high-bit bytes — in every
+  // lane position, with every filler byte around them.
+  for (unsigned C = 0; C != 256; ++C) {
+    for (unsigned Lane = 0; Lane != 8; ++Lane) {
+      for (uint64_t Fill : {uint64_t(0), ~uint64_t(0),
+                            uint64_t(0x4141414141414141ULL) /* 'A' */}) {
+        uint64_t W = Fill;
+        W &= ~(uint64_t(0xFF) << (8 * Lane));
+        W |= uint64_t(C) << (8 * Lane);
+        const uint64_t Bit = uint64_t(0x80) << (8 * Lane);
+        EXPECT_EQ((charscan::spaceMask(W) & Bit) != 0,
+                  charscan::isSpaceChar(static_cast<unsigned char>(C)))
+            << "byte " << C << " lane " << Lane;
+        EXPECT_EQ((charscan::delimMask(W) & Bit) != 0,
+                  charscan::isDelimChar(static_cast<unsigned char>(C)))
+            << "byte " << C << " lane " << Lane;
+        EXPECT_EQ((charscan::digitMask(W) & Bit) != 0,
+                  charscan::isDigitChar(static_cast<unsigned char>(C)))
+            << "byte " << C << " lane " << Lane;
+      }
+    }
+  }
+}
+
+TEST(CharScan, ScansMatchScalarReferenceOnRandomLines) {
+  // findNonSpace/findDelim/allDigits over strings drawn from the full
+  // byte alphabet (biased toward spaces/digits so both scan outcomes are
+  // common), at every starting offset, against the byte-at-a-time loop.
+  Rng R(0x5ca12ULL);
+  for (int Round = 0; Round != 500; ++Round) {
+    std::string S;
+    const size_t Len = R.below(40);
+    for (size_t I = 0; I != Len; ++I) {
+      switch (R.below(4)) {
+      case 0:
+        S += char(" \t\r\n\v\f"[R.below(6)]);
+        break;
+      case 1:
+        S += char('0' + R.below(10));
+        break;
+      default:
+        S += char(R.below(256));
+        break;
+      }
+    }
+    for (size_t From = 0; From <= S.size(); ++From) {
+      size_t WantNonSpace = From;
+      while (WantNonSpace < S.size() &&
+             charscan::isSpaceChar(static_cast<unsigned char>(S[WantNonSpace])))
+        ++WantNonSpace;
+      EXPECT_EQ(charscan::findNonSpace(S, From), WantNonSpace) << S;
+
+      size_t WantDelim = From;
+      while (WantDelim < S.size() &&
+             !charscan::isDelimChar(static_cast<unsigned char>(S[WantDelim])))
+        ++WantDelim;
+      EXPECT_EQ(charscan::findDelim(S, From), WantDelim) << S;
+    }
+    bool WantDigits = !S.empty();
+    for (char C : S)
+      WantDigits &= charscan::isDigitChar(static_cast<unsigned char>(C));
+    EXPECT_EQ(charscan::allDigits(S), WantDigits) << S;
+  }
+}
+
+TEST(ParserFuzz, TokensStraddlingSwarWordBoundaries) {
+  // Identifier and literal lengths 1..25 cross the 8-byte SWAR step at
+  // every phase; each must lex to exactly one token and round-trip.
+  for (size_t Len = 1; Len <= 25; ++Len) {
+    const std::string Ident = "v" + std::string(Len, 'x');
+    ParseResult R =
+        parseFunction("block b0\n  " + Ident + " = a + b\n  exit\n");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    const std::string Printed = printFunction(R.Fn);
+    EXPECT_NE(Printed.find(Ident), std::string::npos) << Printed;
+
+    // All-digit tokens of the same lengths: in-range ones parse as
+    // literals, over-range ones diagnose with position info — either way
+    // the token is taken whole, not split at a word boundary.
+    expectGraceful("block b0\n  x = " + std::string(Len, '7') + "\n  exit\n");
+  }
+}
+
+TEST(ParserFuzz, MixedLineEndingsAndExoticSpace) {
+  // CRLF sources: the '\r' is space-class, so programs written on Windows
+  // parse identically, and diagnostics still count physical lines.
+  std::string Crlf = ValidProgram;
+  std::string Out;
+  for (char C : Crlf)
+    Out += C == '\n' ? std::string("\r\n") : std::string(1, C);
+  ParseResult R = parseFunction(Out);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  // Vertical tab and form feed are token separators, not token bytes.
+  ParseResult VtFf = parseFunction("block b0\n  x\v=\fa + b\n  exit\n");
+  ASSERT_TRUE(VtFf.Ok) << VtFf.Error;
+
+  // An error on a CRLF line still reports the right line number.
+  ParseResult Bad = parseFunction("block b0\r\n  x = a +\r\n  exit\r\n");
+  ASSERT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.Error.rfind("line 2:", 0), 0u) << Bad.Error;
 }
 
 } // namespace

@@ -1,0 +1,289 @@
+//===- tests/simd_words_test.cpp - Scalar vs dispatched kernel parity ----===//
+//
+// Randomized equivalence sweep over the SIMD word kernels
+// (support/SimdWords.h): whatever backend dispatch selected must be
+// bit-identical to the scalar reference on every kernel, every word
+// count (including tails shorter than one vector step), every meet
+// fan-in, and both meet operators.  The bitwords:: wrappers and the
+// BitVector operators are checked too, below and above the MinSimdWords
+// dispatch threshold and on non-word-aligned universes.
+//
+// On a host without vector units (or under LCM_FORCE_SCALAR=1) the
+// dispatched table IS the scalar table and the sweep degenerates to a
+// self-check — still worthwhile, since it exercises the scalar kernels'
+// own change-detection and fan-in logic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+#include "support/FactArena.h"
+#include "support/SimdWords.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace lcm;
+
+namespace {
+
+/// xorshift64*: deterministic, seeds decorrelated by a golden-ratio mix.
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S((Seed + 1) * 0x9E3779B97F4A7C15ULL | 1) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S * 0x2545F4914F6CDD1DULL;
+  }
+};
+
+std::vector<uint64_t> randomWords(Rng &R, size_t Words) {
+  std::vector<uint64_t> V(Words);
+  for (uint64_t &W : V)
+    W = R.next();
+  return V;
+}
+
+/// Word counts chosen to straddle every backend's step size (AVX2 moves 4
+/// words per step, SSE2/NEON 2) and the bitwords:: dispatch threshold.
+const size_t WordCounts[] = {1, 2, 3, 4, 5, 7, 8, 9, 11, 15, 16, 17, 31, 33};
+
+class SimdWordsTest : public testing::TestWithParam<unsigned> {};
+
+TEST(SimdWordsBackend, NameIsKnown) {
+  const std::string Name = simdwords::backendName();
+  EXPECT_TRUE(Name == "scalar" || Name == "sse2" || Name == "avx2" ||
+              Name == "neon")
+      << Name;
+  if (simdwords::forcedScalar())
+    EXPECT_EQ(Name, "scalar");
+}
+
+TEST_P(SimdWordsTest, PairwiseKernelsMatchScalar) {
+  const unsigned Seed = GetParam();
+  const simdwords::Kernels &Ref = simdwords::scalarKernels();
+  const simdwords::Kernels &Dut = simdwords::kernels();
+  for (size_t Words : WordCounts) {
+    Rng R(Seed * 1000 + Words);
+    const std::vector<uint64_t> Src = randomWords(R, Words);
+    const std::vector<uint64_t> Dst0 = randomWords(R, Words);
+
+    {
+      std::vector<uint64_t> A = Dst0, B = Dst0;
+      Ref.orInto(A.data(), Src.data(), Words);
+      Dut.orInto(B.data(), Src.data(), Words);
+      EXPECT_EQ(A, B) << "orInto words=" << Words;
+    }
+    {
+      std::vector<uint64_t> A = Dst0, B = Dst0;
+      Ref.andInto(A.data(), Src.data(), Words);
+      Dut.andInto(B.data(), Src.data(), Words);
+      EXPECT_EQ(A, B) << "andInto words=" << Words;
+    }
+    {
+      std::vector<uint64_t> A = Dst0, B = Dst0;
+      Ref.andNotInto(A.data(), Src.data(), Words);
+      Dut.andNotInto(B.data(), Src.data(), Words);
+      EXPECT_EQ(A, B) << "andNotInto words=" << Words;
+    }
+  }
+}
+
+TEST_P(SimdWordsTest, EqualAgreesOnEveryDifferingWord) {
+  const unsigned Seed = GetParam();
+  const simdwords::Kernels &Ref = simdwords::scalarKernels();
+  const simdwords::Kernels &Dut = simdwords::kernels();
+  for (size_t Words : WordCounts) {
+    Rng R(Seed * 2000 + Words);
+    const std::vector<uint64_t> A = randomWords(R, Words);
+    std::vector<uint64_t> B = A;
+    EXPECT_TRUE(Ref.equal(A.data(), B.data(), Words));
+    EXPECT_TRUE(Dut.equal(A.data(), B.data(), Words));
+    // Flip one bit in each word position in turn: the vector paths must
+    // notice a difference in any lane, including the tail.
+    for (size_t I = 0; I != Words; ++I) {
+      B[I] ^= uint64_t(1) << (R.next() % 64);
+      EXPECT_FALSE(Ref.equal(A.data(), B.data(), Words))
+          << "words=" << Words << " diff at " << I;
+      EXPECT_FALSE(Dut.equal(A.data(), B.data(), Words))
+          << "words=" << Words << " diff at " << I;
+      B[I] = A[I];
+    }
+  }
+}
+
+TEST_P(SimdWordsTest, TransferKernelsMatchScalar) {
+  const unsigned Seed = GetParam();
+  const simdwords::Kernels &Ref = simdwords::scalarKernels();
+  const simdwords::Kernels &Dut = simdwords::kernels();
+  for (size_t Words : WordCounts) {
+    Rng R(Seed * 3000 + Words);
+    const std::vector<uint64_t> Src = randomWords(R, Words);
+    const std::vector<uint64_t> Gen = randomWords(R, Words);
+    const std::vector<uint64_t> Kill = randomWords(R, Words);
+    const std::vector<uint64_t> Dst0 = randomWords(R, Words);
+
+    {
+      std::vector<uint64_t> A = Dst0, B = Dst0;
+      Ref.transferInto(A.data(), Src.data(), Gen.data(), Kill.data(), Words);
+      Dut.transferInto(B.data(), Src.data(), Gen.data(), Kill.data(), Words);
+      EXPECT_EQ(A, B) << "transferInto words=" << Words;
+    }
+    {
+      std::vector<uint64_t> A = Dst0, B = Dst0;
+      const bool CA = Ref.transferChanged(A.data(), Src.data(), Gen.data(),
+                                          Kill.data(), Words);
+      const bool CB = Dut.transferChanged(B.data(), Src.data(), Gen.data(),
+                                          Kill.data(), Words);
+      EXPECT_EQ(A, B) << "transferChanged words=" << Words;
+      EXPECT_EQ(CA, CB) << "transferChanged flag words=" << Words;
+      // A second application is a fixpoint: both tables must report
+      // "unchanged" without touching the rows.
+      const std::vector<uint64_t> Settled = A;
+      EXPECT_FALSE(Ref.transferChanged(A.data(), Src.data(), Gen.data(),
+                                       Kill.data(), Words));
+      EXPECT_FALSE(Dut.transferChanged(B.data(), Src.data(), Gen.data(),
+                                       Kill.data(), Words));
+      EXPECT_EQ(A, Settled);
+      EXPECT_EQ(B, Settled);
+    }
+  }
+}
+
+TEST_P(SimdWordsTest, MeetTransferChangedMatchesScalar) {
+  const unsigned Seed = GetParam();
+  const simdwords::Kernels &Ref = simdwords::scalarKernels();
+  const simdwords::Kernels &Dut = simdwords::kernels();
+  for (size_t Words : WordCounts) {
+    for (size_t Fanin = 1; Fanin <= 6; ++Fanin) {
+      for (bool Intersect : {false, true}) {
+        Rng R(Seed * 4000 + Words * 16 + Fanin * 2 + (Intersect ? 1 : 0));
+        std::vector<std::vector<uint64_t>> Inputs;
+        std::vector<const uint64_t *> Ptrs;
+        for (size_t I = 0; I != Fanin; ++I) {
+          Inputs.push_back(randomWords(R, Words));
+          Ptrs.push_back(Inputs.back().data());
+        }
+        const std::vector<uint64_t> Gen = randomWords(R, Words);
+        const std::vector<uint64_t> Kill = randomWords(R, Words);
+        const std::vector<uint64_t> Meet0 = randomWords(R, Words);
+        const std::vector<uint64_t> Xfer0 = randomWords(R, Words);
+
+        std::vector<uint64_t> MeetA = Meet0, XferA = Xfer0;
+        std::vector<uint64_t> MeetB = Meet0, XferB = Xfer0;
+        const bool CA = Ref.meetTransferChanged(
+            MeetA.data(), XferA.data(), Ptrs.data(), Fanin, Intersect,
+            Gen.data(), Kill.data(), Words);
+        const bool CB = Dut.meetTransferChanged(
+            MeetB.data(), XferB.data(), Ptrs.data(), Fanin, Intersect,
+            Gen.data(), Kill.data(), Words);
+        EXPECT_EQ(MeetA, MeetB)
+            << "meet words=" << Words << " fanin=" << Fanin;
+        EXPECT_EQ(XferA, XferB)
+            << "xfer words=" << Words << " fanin=" << Fanin;
+        EXPECT_EQ(CA, CB) << "flag words=" << Words << " fanin=" << Fanin;
+
+        // Re-running on the settled rows is the solver's convergence
+        // test: no change may be reported and no word may move.
+        const std::vector<uint64_t> MeetS = MeetA, XferS = XferA;
+        EXPECT_FALSE(Ref.meetTransferChanged(
+            MeetA.data(), XferA.data(), Ptrs.data(), Fanin, Intersect,
+            Gen.data(), Kill.data(), Words));
+        EXPECT_FALSE(Dut.meetTransferChanged(
+            MeetB.data(), XferB.data(), Ptrs.data(), Fanin, Intersect,
+            Gen.data(), Kill.data(), Words));
+        EXPECT_EQ(MeetA, MeetS);
+        EXPECT_EQ(XferA, XferS);
+        EXPECT_EQ(MeetB, MeetS);
+        EXPECT_EQ(XferB, XferS);
+      }
+    }
+  }
+}
+
+/// The bitwords:: wrappers add the short-row scalar fast path and the
+/// word-op accounting; verify them against a naive loop on both sides of
+/// the MinSimdWords threshold.
+TEST_P(SimdWordsTest, BitwordsWrappersMatchNaiveLoops) {
+  const unsigned Seed = GetParam();
+  const size_t Counts[] = {simdwords::MinSimdWords - 1,
+                           simdwords::MinSimdWords,
+                           simdwords::MinSimdWords * 2 + 1};
+  for (size_t Words : Counts) {
+    Rng R(Seed * 5000 + Words);
+    const std::vector<uint64_t> Src = randomWords(R, Words);
+    const std::vector<uint64_t> Gen = randomWords(R, Words);
+    const std::vector<uint64_t> Kill = randomWords(R, Words);
+    const std::vector<uint64_t> Dst0 = randomWords(R, Words);
+
+    std::vector<uint64_t> Got = Dst0, Want = Dst0;
+    bitwords::orInto(Got.data(), Src.data(), Words);
+    for (size_t I = 0; I != Words; ++I)
+      Want[I] |= Src[I];
+    EXPECT_EQ(Got, Want) << "orInto words=" << Words;
+
+    Got = Want = Dst0;
+    bitwords::andNotInto(Got.data(), Src.data(), Words);
+    for (size_t I = 0; I != Words; ++I)
+      Want[I] &= ~Src[I];
+    EXPECT_EQ(Got, Want) << "andNotInto words=" << Words;
+
+    Got = Want = Dst0;
+    const bool Changed = bitwords::transferChanged(
+        Got.data(), Src.data(), Gen.data(), Kill.data(), Words);
+    bool WantChanged = false;
+    for (size_t I = 0; I != Words; ++I) {
+      const uint64_t New = Gen[I] | (Src[I] & ~Kill[I]);
+      WantChanged |= New != Want[I];
+      Want[I] = New;
+    }
+    EXPECT_EQ(Got, Want) << "transferChanged words=" << Words;
+    EXPECT_EQ(Changed, WantChanged);
+
+    EXPECT_EQ(bitwords::equal(Got.data(), Want.data(), Words), true);
+  }
+}
+
+/// BitVector's operators dispatch for long vectors; sweep universes that
+/// are not multiples of 64 bits on both sides of the threshold, checking
+/// against a per-bit reference.
+TEST_P(SimdWordsTest, BitVectorOperatorsNonWordAligned) {
+  const unsigned Seed = GetParam();
+  const size_t BitSizes[] = {63, 64, 65, 127, 129, 448, 511, 512, 513, 1025};
+  for (size_t Bits : BitSizes) {
+    Rng R(Seed * 7000 + Bits);
+    BitVector A(Bits), B(Bits);
+    for (size_t I = 0; I != Bits; ++I) {
+      if (R.next() & 1)
+        A.set(I);
+      if (R.next() & 1)
+        B.set(I);
+    }
+
+    BitVector Or = A;
+    Or |= B;
+    BitVector And = A;
+    And &= B;
+    BitVector AndNot = A;
+    AndNot.andNot(B);
+    for (size_t I = 0; I != Bits; ++I) {
+      EXPECT_EQ(Or.test(I), A.test(I) || B.test(I)) << Bits << ":" << I;
+      EXPECT_EQ(And.test(I), A.test(I) && B.test(I)) << Bits << ":" << I;
+      EXPECT_EQ(AndNot.test(I), A.test(I) && !B.test(I)) << Bits << ":" << I;
+    }
+
+    BitVector C = A;
+    EXPECT_TRUE(C == A);
+    const size_t Flip = R.next() % Bits;
+    C.set(Flip, !C.test(Flip));
+    EXPECT_FALSE(C == A);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdWordsTest, testing::Range(0u, 8u));
+
+} // namespace

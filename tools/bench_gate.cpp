@@ -299,11 +299,31 @@ int usage() {
 
 } // namespace
 
+// Sanitized builds run the suite many times slower than the build that
+// captured the baseline; their wall clock measures the sanitizer, not a
+// regression.  Exact metrics stay fully enforced.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LCM_GATE_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LCM_GATE_SANITIZED 1
+#endif
+#endif
+#ifndef LCM_GATE_SANITIZED
+#define LCM_GATE_SANITIZED 0
+#endif
+
 int main(int argc, char **argv) {
   std::string BaselinePath, WritePath, OutPath;
   std::vector<std::string> ComparePaths;
   bool CompareMode = false;
   GateOptions Opts;
+  if (LCM_GATE_SANITIZED) {
+    Opts.RelTolerance = 100.0;
+    std::fprintf(stderr, "bench_gate: sanitized build, timing tolerance "
+                         "widened to %.0fx (exact metrics unaffected)\n",
+                 Opts.RelTolerance);
+  }
 
   for (int I = 1; I != argc; ++I) {
     if (std::strncmp(argv[I], "--baseline=", 11) == 0) {

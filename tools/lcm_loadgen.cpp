@@ -246,6 +246,44 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Probe the server once for its identity (kernel backend, worker count)
+  // before the measured run, so the header and JSON record what actually
+  // served the load.  Best-effort: a server predating `server_info`
+  // ignores the flag and the fields stay empty.
+  std::string SrvBackend;
+  uint64_t SrvWorkers = 0, SrvHwThreads = 0;
+  {
+    Client Probe;
+    std::string Error;
+    bool Connected = TcpPort >= 0
+                         ? Probe.connectTcp(TcpPort, Error, /*RetryMs=*/2000)
+                         : Probe.connectUnix(UnixPath, Error, /*RetryMs=*/2000);
+    if (Connected) {
+      Request R = Template;
+      R.Id = json::Value::str("server-info-probe");
+      R.Ir = Programs[0];
+      R.ServerInfo = true;
+      json::Value Response;
+      if (Probe.call(R, Response, Error)) {
+        if (const json::Value *Srv = Response.find("server")) {
+          if (const json::Value *B = Srv->find("kernel_backend"))
+            if (B->isString())
+              SrvBackend = B->asString();
+          if (const json::Value *W = Srv->find("workers"))
+            if (W->isNumber())
+              SrvWorkers = uint64_t(W->asInt());
+          if (const json::Value *H = Srv->find("hardware_threads"))
+            if (H->isNumber())
+              SrvHwThreads = uint64_t(H->asInt());
+        }
+      }
+    }
+  }
+  if (!SrvBackend.empty())
+    std::printf("server: kernels=%s workers=%llu hw_threads=%llu\n",
+                SrvBackend.c_str(), (unsigned long long)SrvWorkers,
+                (unsigned long long)SrvHwThreads);
+
   std::vector<WorkerResult> Results(Connections);
   std::vector<std::thread> Threads;
   const auto Start = Clock::now();
@@ -341,6 +379,11 @@ int main(int argc, char **argv) {
         .set("latency_ms_max", json::Value::number(
                                    Latencies.empty() ? 0.0 : Latencies.back()))
         .set("latency_ms_mean", json::Value::number(Mean));
+    if (!SrvBackend.empty()) {
+      Metrics.set("server_kernel_backend", json::Value::str(SrvBackend))
+          .set("server_workers", json::Value::number(SrvWorkers))
+          .set("server_hardware_threads", json::Value::number(SrvHwThreads));
+    }
     if (CacheReported != 0) {
       Metrics
           .set("dup_ratio", json::Value::number(DupRatio))

@@ -29,6 +29,7 @@
 
 #include "cache/ResultCache.h"
 #include "server/Server.h"
+#include "support/SimdWords.h"
 
 using namespace lcm;
 using namespace lcm::server;
@@ -132,6 +133,7 @@ int main(int argc, char **argv) {
   }
   if (Opts.TcpPort < 0 && Opts.UnixPath.empty())
     return usage();
+  Opts.Service.ReportWorkers = Opts.Workers;
 
   if (!NoCache) {
     auto Cache = std::make_shared<cache::ResultCache>(CacheConfig);
@@ -161,6 +163,8 @@ int main(int argc, char **argv) {
     std::printf("listening tcp=127.0.0.1:%d\n", S.tcpPort());
   if (!Opts.UnixPath.empty())
     std::printf("listening unix=%s\n", Opts.UnixPath.c_str());
+  std::printf("kernels=%s workers=%u\n", simdwords::backendName(),
+              Opts.Workers);
   std::fflush(stdout);
 
   // Park until a shutdown signal lands on the self-pipe.
