@@ -48,6 +48,15 @@ bool Client::connectFd(int NewFd) {
   return true;
 }
 
+void Client::setRecvTimeoutMs(int Ms) {
+  if (Fd < 0)
+    return;
+  timeval Timeout{};
+  Timeout.tv_sec = Ms / 1000;
+  Timeout.tv_usec = (Ms % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+}
+
 namespace {
 
 /// Connect with retry-on-refused so callers can race a server that is

@@ -47,6 +47,11 @@ public:
   bool connected() const { return Fd >= 0; }
   void close();
 
+  /// Arms SO_RCVTIMEO on the connected socket so a hung peer turns into a
+  /// recv error instead of blocking forever (the router's forwarding
+  /// safety net).  No-op when not connected; 0 disables the timeout.
+  void setRecvTimeoutMs(int Ms);
+
   /// Frame and send \p Payload (the JSON text of a request).
   bool sendPayload(const std::string &Payload, std::string &Error);
 

@@ -1,0 +1,327 @@
+//===- server/Metrics.cpp --------------------------------------------------===//
+
+#include "server/Metrics.h"
+
+#include <arpa/inet.h>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/Stats.h"
+
+using namespace lcm;
+using namespace lcm::server;
+
+//===----------------------------------------------------------------------===//
+// Exposition writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool validMetricName(std::string_view Name) {
+  if (Name.empty())
+    return false;
+  auto Head = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == ':';
+  };
+  if (!Head(Name[0]))
+    return false;
+  for (char C : Name.substr(1))
+    if (!Head(C) && !(C >= '0' && C <= '9'))
+      return false;
+  return true;
+}
+
+/// Escapes a HELP text or label value: backslash, newline, and (for label
+/// values) double quote, per the exposition-format spec.
+void appendEscaped(std::string &Out, std::string_view S, bool QuoteContext) {
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '"':
+      if (QuoteContext) {
+        Out += "\\\"";
+        break;
+      }
+      [[fallthrough]];
+    default:
+      Out += C;
+    }
+  }
+}
+
+void appendValue(std::string &Out, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+} // namespace
+
+void Exposition::family(std::string_view Name, std::string_view Help,
+                        const char *Type) {
+  assert(validMetricName(Name) && "invalid Prometheus metric name");
+  (void)validMetricName;
+  Current.assign(Name);
+  PendingLabels.clear();
+  Out += "# HELP ";
+  Out += Current;
+  Out += ' ';
+  appendEscaped(Out, Help, /*QuoteContext=*/false);
+  Out += "\n# TYPE ";
+  Out += Current;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+}
+
+Exposition &Exposition::counter(std::string_view Name, std::string_view Help) {
+  family(Name, Help, "counter");
+  return *this;
+}
+
+Exposition &Exposition::gauge(std::string_view Name, std::string_view Help) {
+  family(Name, Help, "gauge");
+  return *this;
+}
+
+Exposition &Exposition::label(std::string_view Key, std::string_view Value) {
+  assert(validMetricName(Key) && "invalid Prometheus label name");
+  if (!PendingLabels.empty())
+    PendingLabels += ',';
+  PendingLabels.append(Key);
+  PendingLabels += "=\"";
+  appendEscaped(PendingLabels, Value, /*QuoteContext=*/true);
+  PendingLabels += '"';
+  return *this;
+}
+
+Exposition &Exposition::sample(double Value) {
+  assert(!Current.empty() && "sample() before any family declaration");
+  Out += Current;
+  if (!PendingLabels.empty()) {
+    Out += '{';
+    Out += PendingLabels;
+    Out += '}';
+    PendingLabels.clear();
+  }
+  Out += ' ';
+  appendValue(Out, Value);
+  Out += '\n';
+  return *this;
+}
+
+Exposition &Exposition::sample(uint64_t Value) {
+  assert(!Current.empty() && "sample() before any family declaration");
+  Out += Current;
+  if (!PendingLabels.empty()) {
+    Out += '{';
+    Out += PendingLabels;
+    Out += '}';
+    PendingLabels.clear();
+  }
+  Out += ' ';
+  Out += std::to_string(Value);
+  Out += '\n';
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// The shared metric catalogue
+//===----------------------------------------------------------------------===//
+
+void lcm::server::writeCommonMetrics(Exposition &E, const std::string &Role,
+                                     uint64_t RequestsTotal,
+                                     uint64_t QueueDepth,
+                                     const std::string &ResponseStatsPrefix) {
+  const std::map<std::string, uint64_t> All = Stats::all();
+  auto Get = [&](const char *Name) -> uint64_t {
+    auto It = All.find(Name);
+    return It == All.end() ? 0 : It->second;
+  };
+
+  E.gauge("lcm_up", "1 while the process is serving.")
+      .label("role", Role)
+      .sample(uint64_t(1));
+  E.counter("lcm_requests_total",
+            "Requests handled: service requests on a shard, forwarded "
+            "frames on a router.")
+      .sample(RequestsTotal);
+  E.gauge("lcm_queue_depth",
+          "Admitted requests waiting in the bounded queue.")
+      .sample(QueueDepth);
+
+  E.counter("lcm_responses_total", "Responses by protocol status.");
+  for (const auto &[Name, V] : All)
+    if (Name.rfind(ResponseStatsPrefix, 0) == 0)
+      E.label("status", Name.substr(ResponseStatsPrefix.size())).sample(V);
+
+  E.counter("lcm_cache_hits_total",
+            "Result-cache hits by layer (docs/CACHE.md).");
+  E.label("layer", "memory").sample(Get("cache.mem.hits"));
+  E.label("layer", "disk").sample(Get("cache.disk.hits"));
+  E.counter("lcm_cache_misses_total", "Result-cache misses by layer.");
+  E.label("layer", "memory").sample(Get("cache.mem.misses"));
+  E.label("layer", "disk").sample(Get("cache.disk.misses"));
+
+  E.counter("lcm_word_ops_total",
+            "Dataflow bit-vector word operations by kernel kind "
+            "(docs/KERNELS.md).");
+  E.label("kind", "simd").sample(Get("dataflow.word_ops_simd"));
+  E.label("kind", "scalar").sample(Get("dataflow.word_ops_scalar"));
+
+  E.counter("lcm_validations_total",
+            "Per-request translation validations executed.")
+      .sample(Get("server.validations"));
+  E.counter("lcm_validation_mismatches_total",
+            "Validations that found a divergence (served IR refused).")
+      .sample(Get("server.validation_mismatches"));
+}
+
+void lcm::server::writeStatsCounters(Exposition &E) {
+  E.counter("lcm_stats_counter",
+            "Every Stats registry counter, verbatim, for the long tail "
+            "behind the curated families.");
+  for (const auto &[Name, V] : Stats::all())
+    E.label("name", Name).sample(V);
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsServer
+//===----------------------------------------------------------------------===//
+
+bool MetricsServer::start(int Port, RenderFn RenderCb, std::string &Error) {
+  if (Running.load()) {
+    Error = "metrics server already running";
+    return false;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(uint16_t(Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 16) < 0) {
+    Error = "bind/listen metrics 127.0.0.1:" + std::to_string(Port) + ": " +
+            std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  ListenFd = Fd;
+  Render = std::move(RenderCb);
+  Running.store(true);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void MetricsServer::shutdown() {
+  if (!Running.exchange(false))
+    return;
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  BoundPort = -1;
+}
+
+namespace {
+
+bool sendAllFd(int Fd, const char *Data, size_t N) {
+  while (N != 0) {
+    ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += W;
+    N -= size_t(W);
+  }
+  return true;
+}
+
+} // namespace
+
+void MetricsServer::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listener shut down.
+    }
+    // A scraper that never finishes its request line must not wedge the
+    // (single) accept thread.
+    timeval Timeout{/*tv_sec=*/5, /*tv_usec=*/0};
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+
+    // Read until the end of the request head (or the timeout); only the
+    // request line matters.
+    std::string Head;
+    char Buf[4096];
+    while (Head.find("\r\n") == std::string::npos && Head.size() < 64 * 1024) {
+      ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+      if (N <= 0) {
+        if (N < 0 && errno == EINTR)
+          continue;
+        break;
+      }
+      Head.append(Buf, size_t(N));
+    }
+
+    bool IsGet = Head.rfind("GET ", 0) == 0;
+    size_t PathBegin = 4;
+    size_t PathEnd = IsGet ? Head.find(' ', PathBegin) : std::string::npos;
+    std::string Path = PathEnd == std::string::npos
+                           ? std::string()
+                           : Head.substr(PathBegin, PathEnd - PathBegin);
+
+    std::string Response;
+    if (IsGet && (Path == "/metrics" || Path == "/metrics/")) {
+      const std::string Body = Render ? Render() : std::string();
+      Response = "HTTP/1.0 200 OK\r\n"
+                 "Content-Type: text/plain; version=0.0.4; "
+                 "charset=utf-8\r\n"
+                 "Content-Length: " +
+                 std::to_string(Body.size()) +
+                 "\r\n"
+                 "Connection: close\r\n\r\n" +
+                 Body;
+    } else {
+      const std::string Body = "only GET /metrics is served here\n";
+      Response = std::string("HTTP/1.0 404 Not Found\r\n"
+                             "Content-Type: text/plain\r\n"
+                             "Content-Length: ") +
+                 std::to_string(Body.size()) +
+                 "\r\n"
+                 "Connection: close\r\n\r\n" +
+                 Body;
+    }
+    sendAllFd(Fd, Response.data(), Response.size());
+    ::close(Fd);
+  }
+}

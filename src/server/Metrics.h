@@ -1,0 +1,131 @@
+//===- server/Metrics.h - Prometheus text exposition + scrape listener ---===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet observability (docs/FLEET.md): every serving process — shard and
+/// router alike — exposes its state in the Prometheus text exposition
+/// format (version 0.0.4) on a dedicated loopback listener, so a scraper
+/// never competes with request traffic for the framed-protocol sockets.
+///
+/// Three pieces:
+/// - Exposition: an append-only writer for the text format.  Declaring a
+///   family emits `# HELP` / `# TYPE`; sample() emits one line, with label
+///   values escaped per the spec.
+/// - writeCommonMetrics / writeStatsCounters: the curated metric catalogue
+///   (requests, per-status responses, cache hits/misses, queue depth,
+///   word-op splits, validations) mapped from the Stats registry, plus a
+///   generic `lcm_stats_counter{name="..."}` dump of everything else so no
+///   counter is ever invisible to a scraper.
+/// - MetricsServer: a deliberately tiny HTTP/1.0 responder (GET /metrics)
+///   on its own accept thread.  Scrapes are rare and sequential; it never
+///   touches the request path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SERVER_METRICS_H
+#define LCM_SERVER_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace lcm {
+namespace server {
+
+/// Append-only writer for the Prometheus text exposition format.
+///
+///   Exposition E;
+///   E.counter("lcm_requests_total", "Requests received.").sample(42);
+///   E.gauge("lcm_up", "1 while serving.").label("role", "shard").sample(1);
+///
+/// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* (asserted); label
+/// values are escaped (backslash, quote, newline) per the spec.
+class Exposition {
+public:
+  /// Starts a counter family: emits HELP/TYPE, remembers the name for the
+  /// sample lines that follow.
+  Exposition &counter(std::string_view Name, std::string_view Help);
+  /// Starts a gauge family.
+  Exposition &gauge(std::string_view Name, std::string_view Help);
+
+  /// Adds a label to the *next* sample line only.  Chainable; labels
+  /// accumulate until sample() consumes them.
+  Exposition &label(std::string_view Key, std::string_view Value);
+
+  /// Emits one sample line for the current family with the accumulated
+  /// labels.
+  Exposition &sample(double Value);
+  Exposition &sample(uint64_t Value);
+
+  /// The exposition text produced so far.
+  const std::string &text() const { return Out; }
+
+private:
+  void family(std::string_view Name, std::string_view Help,
+              const char *Type);
+
+  std::string Out;
+  std::string Current;       ///< Name of the open family.
+  std::string PendingLabels; ///< Rendered `key="value"` pairs, comma-joined.
+};
+
+/// The curated metric catalogue shared by shard and router (docs/FLEET.md
+/// lists every name).  \p Role labels the process kind ("shard" or
+/// "router"); \p RequestsTotal backs `lcm_requests_total` (service
+/// requests on a shard, forwarded frames on a router); \p QueueDepth is
+/// the instantaneous bounded-queue depth; \p ResponseStatsPrefix selects
+/// the per-status counters ("server.response." or "router.response.").
+void writeCommonMetrics(Exposition &E, const std::string &Role,
+                        uint64_t RequestsTotal, uint64_t QueueDepth,
+                        const std::string &ResponseStatsPrefix);
+
+/// Generic dump of every Stats registry counter as
+/// `lcm_stats_counter{name="<stat name>"}` — the long tail behind the
+/// curated families above.
+void writeStatsCounters(Exposition &E);
+
+/// A minimal HTTP/1.0 scrape endpoint: binds 127.0.0.1:Port (0 =
+/// ephemeral, read back with port()), answers GET /metrics with the text
+/// returned by the render callback, 404 anything else.  One accept thread,
+/// connections served sequentially — scrapes are rare, small, and must
+/// never interfere with the framed-protocol listeners.
+class MetricsServer {
+public:
+  using RenderFn = std::function<std::string()>;
+
+  MetricsServer() = default;
+  ~MetricsServer() { shutdown(); }
+
+  MetricsServer(const MetricsServer &) = delete;
+  MetricsServer &operator=(const MetricsServer &) = delete;
+
+  /// Binds and starts the accept thread.  False with \p Error on failure.
+  bool start(int Port, RenderFn Render, std::string &Error);
+
+  /// The bound port; -1 if not started.
+  int port() const { return BoundPort; }
+
+  /// Stops accepting, closes the listener, joins the thread.  Idempotent.
+  void shutdown();
+
+private:
+  void acceptLoop();
+
+  RenderFn Render;
+  int ListenFd = -1;
+  int BoundPort = -1;
+  std::atomic<bool> Running{false};
+  std::thread AcceptThread;
+};
+
+} // namespace server
+} // namespace lcm
+
+#endif // LCM_SERVER_METRICS_H

@@ -97,9 +97,10 @@ RequestParse server::parseRequest(const std::string &Payload) {
   }
   const Value *Schema = Doc.V.find("schema");
   if (!Schema || !Schema->isString() ||
-      Schema->asString() != RequestSchema) {
+      (Schema->asString() != RequestSchema &&
+       Schema->asString() != RequestSchemaV2)) {
     Out.Error = std::string("field 'schema' must be \"") + RequestSchema +
-                "\"";
+                "\" or \"" + RequestSchemaV2 + "\"";
     return Out;
   }
   const Value *Ir = Doc.V.find("ir");
@@ -150,13 +151,24 @@ RequestParse server::parseRequest(const std::string &Payload) {
     }
     Out.R.ServerInfo = S->asBool();
   }
+  // Tolerated under both schema versions on the way in (the field is
+  // additive); clients stamp v2 when they set it so that a v2-unaware
+  // server fails loudly rather than skipping validation.
+  if (const Value *V = Doc.V.find("validate")) {
+    if (!V->isBool()) {
+      Out.Error = "field 'validate' must be a boolean";
+      return Out;
+    }
+    Out.R.Validate = V->asBool();
+  }
   Out.Ok = true;
   return Out;
 }
 
 Value server::requestToJson(const Request &R) {
   Value Doc = Value::object();
-  Doc.set("schema", Value::str(RequestSchema));
+  Doc.set("schema",
+          Value::str(R.Validate ? RequestSchemaV2 : RequestSchema));
   if (!R.Id.isNull())
     Doc.set("id", R.Id);
   Doc.set("ir", Value::str(R.Ir));
@@ -171,6 +183,8 @@ Value server::requestToJson(const Request &R) {
     Doc.set("test_sleep_ms", Value::number(R.TestSleepMs));
   if (R.ServerInfo)
     Doc.set("server_info", Value::boolean(true));
+  if (R.Validate)
+    Doc.set("validate", Value::boolean(true));
   return Doc;
 }
 
@@ -194,12 +208,16 @@ const char *server::statusName(Status S) {
     return "pipeline_error";
   case Status::CheckFailed:
     return "check_failed";
+  case Status::ValidationFailed:
+    return "validation_failed";
   case Status::DeadlineExceeded:
     return "deadline_exceeded";
   case Status::Overloaded:
     return "overloaded";
   case Status::ShuttingDown:
     return "shutting_down";
+  case Status::Unavailable:
+    return "unavailable";
   case Status::InternalError:
     return "internal_error";
   }

@@ -12,11 +12,17 @@
 /// Length-prefixing keeps framing trivial to implement in any language and
 /// lets the server reject oversized payloads before buffering them.
 ///
-/// Requests carry schema "lcm-request-v1": textual IR, a pipeline spec,
-/// and options (deadline, report, semantic check).  Responses carry schema
-/// "lcm-response-v1": a status code, the optimized IR on success, and a
-/// structured error otherwise.  Parsing a request never throws and never
-/// trusts a byte: every malformed input maps to a diagnostic.
+/// Requests carry schema "lcm-request-v1" or "lcm-request-v2": textual IR,
+/// a pipeline spec, and options (deadline, report, semantic check).  The v2
+/// schema adds exactly one capability: the `validate` flag, which asks the
+/// server to run the interpreter-oracle equivalence check on the IR it is
+/// about to return (docs/FLEET.md).  Servers accept both versions; clients
+/// emit v2 only when they use a v2 field, so a v2-unaware server answers a
+/// loud schema error instead of silently skipping validation.  Responses
+/// carry schema "lcm-response-v1": a status code, the optimized IR on
+/// success, and a structured error otherwise.  Parsing a request never
+/// throws and never trusts a byte: every malformed input maps to a
+/// diagnostic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +39,7 @@ namespace lcm {
 namespace server {
 
 inline constexpr const char *RequestSchema = "lcm-request-v1";
+inline constexpr const char *RequestSchemaV2 = "lcm-request-v2";
 inline constexpr const char *ResponseSchema = "lcm-response-v1";
 
 /// Frames above this size are rejected without buffering the payload.
@@ -97,6 +104,12 @@ struct Request {
   /// count, hardware threads) so clients can label bench artifacts with
   /// what actually served them.
   bool ServerInfo = false;
+  /// v2: run the interpreter-oracle equivalence check on the IR about to
+  /// be returned — *including* cache hits, so what is validated is the
+  /// serving path itself, not just the computation.  An `ok` response then
+  /// carries `validated: true`; a divergence answers `validation_failed`
+  /// and refuses to return the IR.
+  bool Validate = false;
 };
 
 struct RequestParse {
@@ -130,9 +143,11 @@ enum class Status {
   VerifyError,      ///< Input IR violates flow-graph invariants.
   PipelineError,    ///< A pass broke the verifier (server-side bug).
   CheckFailed,      ///< Semantic equivalence check failed (server-side bug).
+  ValidationFailed, ///< Per-request output validation diverged (v2).
   DeadlineExceeded, ///< Cooperatively cancelled at the request deadline.
   Overloaded,       ///< Bounded queue full: explicit backpressure.
   ShuttingDown,     ///< Draining; request was not accepted.
+  Unavailable,      ///< Router: no healthy shard could answer.
   InternalError,    ///< Anything unexpected (still a structured reply).
 };
 

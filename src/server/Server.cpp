@@ -321,7 +321,8 @@ void Server::workerLoop(unsigned Index) {
   uint64_t Handled = 0;
   Job J;
   while (Queue.pop(J)) {
-    Value Response = Svc.handle(J.Payload);
+    Value Response =
+        Opts.Handler ? Opts.Handler(J.Payload) : Svc.handle(J.Payload);
     FramePool.release(std::move(J.Payload));
     writeResponse(*J.Conn, Response);
     J.Conn.reset();

@@ -31,6 +31,7 @@
 #define LCM_SERVER_SERVER_H
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -96,6 +97,12 @@ struct ServerOptions {
   size_t MaxFrameBytes = DefaultMaxFrameBytes;
   /// Request-execution configuration (limits, deadlines, check runs).
   ServiceConfig Service;
+  /// When set, worker threads run this instead of Service::handle — the
+  /// hook that lets the Router reuse the whole transport (listeners,
+  /// framing, admission control, drain) while forwarding payloads to
+  /// shards instead of optimizing them.  Must be thread-safe; it is called
+  /// concurrently from every worker.
+  std::function<json::Value(const std::string &Payload)> Handler;
 };
 
 class Server {
@@ -132,6 +139,10 @@ public:
     uint64_t FramingErrors = 0;
   };
   Counters counters() const;
+
+  /// Instantaneous bounded-queue depth (admitted, not yet claimed by a
+  /// worker) — the `lcm_queue_depth` gauge of the /metrics endpoint.
+  size_t queueDepth() const { return Queue.size(); }
 
 private:
   struct Connection;

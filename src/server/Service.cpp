@@ -45,6 +45,48 @@ InterpResult runSeeded(const Function &Fn, uint64_t Seed,
                           Opts);
 }
 
+/// The per-request translation validation behind the v2 `validate` flag:
+/// re-execute the original program and the *response text* (reparsed, so a
+/// cached entry is validated as the bytes that will actually be served)
+/// under identically seeded oracles, aligning variables by name because
+/// reparsing renumbers VarIds around new PRE temporaries.  Returns false —
+/// and the request answers `validation_failed` — on any observable
+/// divergence.
+bool validateServedIr(const Function &Original, const Function &Served,
+                      unsigned Runs, std::string &Why) {
+  for (uint64_t Seed = 1; Seed <= Runs; ++Seed) {
+    std::vector<int64_t> Inputs = makeSeededInputs(Seed, Original.numVars());
+    std::vector<int64_t> ServedInputs(Served.numVars(), 0);
+    for (VarId V = 0; V != VarId(Original.numVars()); ++V) {
+      VarId W = Served.findVar(Original.varName(V));
+      if (W != InvalidVar)
+        ServedInputs[W] = Inputs[V];
+    }
+    Interpreter::Options Opts;
+    Opts.MaxOriginalBlockVisits = 3000;
+    Opts.OriginalBlockCount = uint32_t(Original.numBlocks());
+    RandomOracle OracleA(Seed ^ 0x94d049bb133111ebULL);
+    RandomOracle OracleB(Seed ^ 0x94d049bb133111ebULL);
+    InterpResult Base = Interpreter::run(Original, Inputs, OracleA, Opts);
+    InterpResult After = Interpreter::run(Served, ServedInputs, OracleB, Opts);
+    if (Base.ReachedExit != After.ReachedExit ||
+        Base.OriginalBlocksExecuted != After.OriginalBlocksExecuted) {
+      Why = "runs stopped at different points under seed " +
+            std::to_string(Seed);
+      return false;
+    }
+    for (VarId V = 0; V != VarId(Original.numVars()); ++V) {
+      VarId W = Served.findVar(Original.varName(V));
+      if (W == InvalidVar || Base.Vars[V] != After.Vars[W]) {
+        Why = "variable '" + Original.varName(V) + "' diverged under seed " +
+              std::to_string(Seed);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 Value Service::handle(const std::string &Payload) const {
@@ -95,6 +137,13 @@ Value Service::handle(const std::string &Payload) const {
     T.note("status", "bad_request");
     return finish(makeErrorResponse(R.Id, Status::BadRequest, Spec.Error));
   }
+
+  // Per-request translation validation re-executes the original against
+  // the served bytes *after* the cache lookup, so keep a pristine copy
+  // before the pipeline (or a coalesced leader) can mutate Fn.
+  Function ValidateOriginal;
+  if (R.Validate)
+    ValidateOriginal = Fn;
 
   // Everything the pipeline produces, packaged so the result cache can
   // store it and coalesced followers can share it.  Runs at most once per
@@ -196,6 +245,28 @@ Value Service::handle(const std::string &Payload) const {
   }
 
   const cache::CacheEntry &E = L.R.Entry;
+
+  if (R.Validate) {
+    // Validate the serving path end to end: the reply IR is reparsed from
+    // the entry (cached or fresh) exactly as a client would see it, and
+    // compared against the original under seeded oracles.  A divergence
+    // refuses to serve the IR — the checker, not the optimizer, is the
+    // trusted component (Monniaux & Six).
+    Stats::bump("server.validations");
+    ParseResult Served = parseFunction(E.Ir, Config.Limits);
+    std::string Why;
+    bool ValidOk =
+        Served ? validateServedIr(ValidateOriginal, Served.Fn,
+                                  std::max(1u, Config.CheckRuns), Why)
+               : (Why = "served IR unparsable: " + Served.Error, false);
+    if (!ValidOk) {
+      Stats::bump("server.validation_mismatches");
+      T.note("status", "validation_failed");
+      return finish(
+          makeErrorResponse(R.Id, Status::ValidationFailed, Why));
+    }
+  }
+
   Value Response = makeResponse(R.Id, Status::Ok);
   Response.set("ir", Value::str(E.Ir));
   Response.set("pipeline", Value::str(R.Pipeline));
@@ -208,6 +279,8 @@ Value Service::handle(const std::string &Payload) const {
     Response.set("checked", Value::boolean(true));
     Response.set("check_runs", Value::number(uint64_t(E.CheckRuns)));
   }
+  if (R.Validate)
+    Response.set("validated", Value::boolean(true));
   if (R.WantReport && !E.ReportJson.empty()) {
     // Cached hits replay the leader's report verbatim (its timings
     // describe the run that actually happened).

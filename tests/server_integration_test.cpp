@@ -489,6 +489,119 @@ TEST(ServerIntegration, CachedResponsesOverTcp) {
                                    Second.find("ir")->asString()));
 }
 
+//===----------------------------------------------------------------------===//
+// Per-request translation validation (protocol v2)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerIntegration, ValidatedResponsesOverTcp) {
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  Opts.Workers = 2;
+  Opts.Service.Cache = openCache("");
+  RunningServer Srv(Opts);
+  ASSERT_TRUE(Srv.Started);
+
+  Client Cl;
+  std::string Error;
+  ASSERT_TRUE(Cl.connectTcp(Srv.S.tcpPort(), Error, 2000)) << Error;
+
+  Request R = makeRequest(1, Programs[0]);
+  R.Validate = true;
+  Value First;
+  ASSERT_TRUE(Cl.call(R, First, Error)) << Error;
+  ASSERT_EQ(statusOf(First), "ok") << First.dump();
+  ASSERT_NE(First.find("validated"), nullptr) << First.dump();
+  EXPECT_TRUE(First.find("validated")->asBool());
+  EXPECT_FALSE(First.find("cached")->asBool());
+
+  // Validation runs on the served bytes, cache hits included — and the
+  // validate flag itself must not fork the cache key.
+  R.Id = Value::number(int64_t(2));
+  Value Second;
+  ASSERT_TRUE(Cl.call(R, Second, Error)) << Error;
+  ASSERT_EQ(statusOf(Second), "ok") << Second.dump();
+  EXPECT_TRUE(Second.find("cached")->asBool())
+      << "a validate request must share the entry a plain request made";
+  EXPECT_TRUE(Second.find("validated")->asBool());
+  EXPECT_EQ(Second.find("cache_key")->asString(),
+            First.find("cache_key")->asString());
+}
+
+TEST(ServerIntegration, ValidateFlagToleratedOnV1Payloads) {
+  // Back-compat: a hand-rolled v1 payload carrying `validate` is honored
+  // (the field predates no semantics), and plain v1 payloads still work.
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  RunningServer Srv(Opts);
+  ASSERT_TRUE(Srv.Started);
+
+  Client Cl;
+  std::string Error;
+  ASSERT_TRUE(Cl.connectTcp(Srv.S.tcpPort(), Error, 2000)) << Error;
+  ASSERT_TRUE(Cl.sendPayload(
+      R"({"schema":"lcm-request-v1","id":1,)"
+      R"("ir":"block b0\n  x = a + b\n  y = a + b\n  exit\n",)"
+      R"("validate":true})",
+      Error))
+      << Error;
+  Value Response;
+  ASSERT_TRUE(Cl.recvResponse(Response, Error)) << Error;
+  EXPECT_EQ(statusOf(Response), "ok") << Response.dump();
+  ASSERT_NE(Response.find("validated"), nullptr);
+  EXPECT_TRUE(Response.find("validated")->asBool());
+
+  // A Request that sets Validate stamps the v2 schema on the wire, so an
+  // old server fails loudly instead of silently skipping the check.
+  Request R = makeRequest(2, Programs[0]);
+  R.Validate = true;
+  const std::string Wire = requestToJson(R).dump(0);
+  EXPECT_NE(Wire.find("lcm-request-v2"), std::string::npos) << Wire;
+}
+
+TEST(ServerIntegration, ValidationRefusesPoisonedCacheEntry) {
+  // The checker, not the optimizer (or its cache), is the trusted
+  // component: corrupt the cache entry behind a request's key and the
+  // validate path must refuse to serve it.
+  auto Cache = openCache("");
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  Opts.Service.Cache = Cache;
+  RunningServer Srv(Opts);
+  ASSERT_TRUE(Srv.Started);
+
+  Client Cl;
+  std::string Error;
+  ASSERT_TRUE(Cl.connectTcp(Srv.S.tcpPort(), Error, 2000)) << Error;
+
+  // Learn the key from an honest request, then poison the entry with a
+  // well-formed but semantically different program (z flips + to -).
+  Value First;
+  ASSERT_TRUE(Cl.call(makeRequest(1, Programs[2]), First, Error)) << Error;
+  ASSERT_EQ(statusOf(First), "ok") << First.dump();
+  cache::Digest Key;
+  ASSERT_TRUE(
+      cache::Digest::fromHex(First.find("cache_key")->asString(), Key));
+  cache::CacheEntry Poisoned;
+  Poisoned.Ir = "block b0\n  x = a + b\n  y = a + b\n  z = x - y\n  exit\n";
+  Cache->put(Key, Poisoned);
+
+  Request R = makeRequest(2, Programs[2]);
+  R.Validate = true;
+  Value Response;
+  ASSERT_TRUE(Cl.call(R, Response, Error)) << Error;
+  EXPECT_EQ(statusOf(Response), "validation_failed") << Response.dump();
+  EXPECT_TRUE(*Response.find("id") == Value::number(int64_t(2)));
+  EXPECT_NE(Response.find("error"), nullptr);
+
+  // Without validation the poisoned bytes sail through — exactly why the
+  // serving-path check exists.
+  Value Unchecked;
+  ASSERT_TRUE(Cl.call(makeRequest(3, Programs[2]), Unchecked, Error))
+      << Error;
+  EXPECT_EQ(statusOf(Unchecked), "ok");
+  EXPECT_EQ(Unchecked.find("ir")->asString(), Poisoned.Ir);
+}
+
 TEST(ServerIntegration, DiskCacheSurvivesServerRestart) {
   const std::string Dir =
       "/tmp/lcm_it_cache_" + std::to_string(::getpid());

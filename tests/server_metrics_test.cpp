@@ -1,0 +1,295 @@
+//===- tests/server_metrics_test.cpp - /metrics exposition + listener -----===//
+//
+// Pins the observability contract of docs/FLEET.md:
+//
+// - Exposition emits well-formed Prometheus text (version 0.0.4): one
+//   HELP/TYPE pair per family, samples as `name{labels} value`, label
+//   values escaped per the spec;
+// - every line writeCommonMetrics/writeStatsCounters produce parses under
+//   a strict line grammar, and the curated families reconcile with the
+//   Stats registry values they are mapped from;
+// - MetricsServer answers GET /metrics with the rendered text and the
+//   exposition content type, 404s other paths, and scrapes observe
+//   *fresh* state (the render callback runs per request).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Metrics.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <cctype>
+#include <netinet/in.h>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace lcm;
+using namespace lcm::server;
+
+namespace {
+
+/// A strict checker for the text exposition line grammar:
+///   metric_name[{label="value",...}] value
+/// Comments must be `# HELP metric_name ...` or `# TYPE metric_name
+/// (counter|gauge)`.  Returns true and collects `name{labels}` -> value
+/// for sample lines.
+testing::AssertionResult
+parseExposition(const std::string &Text,
+                std::vector<std::pair<std::string, double>> *Samples) {
+  std::istringstream In(Text);
+  std::string Line;
+  int LineNo = 0;
+  auto validName = [](const std::string &S) {
+    if (S.empty() || !(std::isalpha(unsigned(S[0])) || S[0] == '_' ||
+                       S[0] == ':'))
+      return false;
+    for (char C : S)
+      if (!(std::isalnum(unsigned(C)) || C == '_' || C == ':'))
+        return false;
+    return true;
+  };
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    if (Line[0] == '#') {
+      std::istringstream L(Line);
+      std::string Hash, Kind, Name;
+      L >> Hash >> Kind >> Name;
+      if (Kind != "HELP" && Kind != "TYPE")
+        return testing::AssertionFailure()
+               << "line " << LineNo << ": bad comment kind: " << Line;
+      if (!validName(Name))
+        return testing::AssertionFailure()
+               << "line " << LineNo << ": bad metric name: " << Line;
+      if (Kind == "TYPE") {
+        std::string Type;
+        L >> Type;
+        if (Type != "counter" && Type != "gauge")
+          return testing::AssertionFailure()
+                 << "line " << LineNo << ": bad type: " << Line;
+      }
+      continue;
+    }
+    // Sample line: name up to '{' or ' '.
+    size_t NameEnd = Line.find_first_of("{ ");
+    if (NameEnd == std::string::npos)
+      return testing::AssertionFailure()
+             << "line " << LineNo << ": no value: " << Line;
+    if (!validName(Line.substr(0, NameEnd)))
+      return testing::AssertionFailure()
+             << "line " << LineNo << ": bad sample name: " << Line;
+    size_t ValueStart = NameEnd;
+    if (Line[NameEnd] == '{') {
+      // Walk the label block respecting escapes inside quoted values.
+      size_t I = NameEnd + 1;
+      bool InQuotes = false;
+      for (; I != Line.size(); ++I) {
+        if (InQuotes) {
+          if (Line[I] == '\\')
+            ++I; // Skip the escaped character.
+          else if (Line[I] == '"')
+            InQuotes = false;
+        } else if (Line[I] == '"') {
+          InQuotes = true;
+        } else if (Line[I] == '}') {
+          break;
+        }
+      }
+      if (I == Line.size())
+        return testing::AssertionFailure()
+               << "line " << LineNo << ": unterminated labels: " << Line;
+      ValueStart = I + 1;
+    }
+    if (ValueStart >= Line.size() || Line[ValueStart] != ' ')
+      return testing::AssertionFailure()
+             << "line " << LineNo << ": no space before value: " << Line;
+    char *End = nullptr;
+    double V = std::strtod(Line.c_str() + ValueStart + 1, &End);
+    if (End == Line.c_str() + ValueStart + 1 || *End != '\0')
+      return testing::AssertionFailure()
+             << "line " << LineNo << ": bad value: " << Line;
+    if (Samples)
+      Samples->emplace_back(Line.substr(0, ValueStart), V);
+  }
+  return testing::AssertionSuccess();
+}
+
+double sampleValue(const std::vector<std::pair<std::string, double>> &Samples,
+                   const std::string &Key) {
+  for (const auto &S : Samples)
+    if (S.first == Key)
+      return S.second;
+  ADD_FAILURE() << "no sample named " << Key;
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Exposition writer
+//===----------------------------------------------------------------------===//
+
+TEST(Exposition, FamiliesAndSamples) {
+  Exposition E;
+  E.counter("lcm_test_total", "A counter.").sample(uint64_t(7));
+  E.gauge("lcm_test_depth", "A gauge.")
+      .label("role", "shard")
+      .sample(uint64_t(3));
+  const std::string Text = E.text();
+  EXPECT_NE(Text.find("# HELP lcm_test_total A counter.\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE lcm_test_total counter\n"), std::string::npos);
+  EXPECT_NE(Text.find("lcm_test_total 7\n"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE lcm_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(Text.find("lcm_test_depth{role=\"shard\"} 3\n"),
+            std::string::npos);
+  EXPECT_TRUE(parseExposition(Text, nullptr));
+}
+
+TEST(Exposition, LabelsApplyToOneSampleAndAccumulate) {
+  Exposition E;
+  E.counter("lcm_multi_total", "Labelled.");
+  E.label("a", "1").label("b", "2").sample(uint64_t(5));
+  E.sample(uint64_t(9)); // No labels: the previous ones were consumed.
+  const std::string Text = E.text();
+  EXPECT_NE(Text.find("lcm_multi_total{a=\"1\",b=\"2\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("lcm_multi_total 9\n"), std::string::npos);
+  EXPECT_TRUE(parseExposition(Text, nullptr));
+}
+
+TEST(Exposition, LabelValuesAreEscaped) {
+  Exposition E;
+  E.gauge("lcm_escape", "Escaping.")
+      .label("path", "a\\b\"c\nd")
+      .sample(uint64_t(1));
+  EXPECT_NE(E.text().find("lcm_escape{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos)
+      << E.text();
+  EXPECT_TRUE(parseExposition(E.text(), nullptr));
+}
+
+//===----------------------------------------------------------------------===//
+// The curated catalogue over the Stats registry
+//===----------------------------------------------------------------------===//
+
+TEST(CommonMetrics, ReconcilesWithStatsRegistry) {
+  Stats::resetAll();
+  Stats::bump("server.response.ok", 12);
+  Stats::bump("server.response.overloaded", 2);
+  Stats::bump("cache.mem.hits", 30);
+  Stats::bump("cache.mem.misses", 4);
+  Stats::bump("server.validations", 9);
+  Stats::bump("server.validation_mismatches", 1);
+
+  Exposition E;
+  writeCommonMetrics(E, "shard", /*RequestsTotal=*/14, /*QueueDepth=*/5,
+                     "server.response.");
+  writeStatsCounters(E);
+  std::vector<std::pair<std::string, double>> Samples;
+  ASSERT_TRUE(parseExposition(E.text(), &Samples)) << E.text();
+
+  EXPECT_EQ(sampleValue(Samples, "lcm_up{role=\"shard\"}"), 1);
+  EXPECT_EQ(sampleValue(Samples, "lcm_requests_total"), 14);
+  EXPECT_EQ(sampleValue(Samples, "lcm_queue_depth"), 5);
+  EXPECT_EQ(sampleValue(Samples, "lcm_responses_total{status=\"ok\"}"), 12);
+  EXPECT_EQ(
+      sampleValue(Samples, "lcm_responses_total{status=\"overloaded\"}"), 2);
+  EXPECT_EQ(sampleValue(Samples, "lcm_cache_hits_total{layer=\"memory\"}"),
+            30);
+  EXPECT_EQ(
+      sampleValue(Samples, "lcm_cache_misses_total{layer=\"memory\"}"), 4);
+  EXPECT_EQ(sampleValue(Samples, "lcm_validations_total"), 9);
+  EXPECT_EQ(sampleValue(Samples, "lcm_validation_mismatches_total"), 1);
+  // The generic dump carries the raw counter names too.
+  EXPECT_EQ(sampleValue(
+                Samples, "lcm_stats_counter{name=\"server.response.ok\"}"),
+            12);
+  Stats::resetAll();
+}
+
+//===----------------------------------------------------------------------===//
+// The scrape listener
+//===----------------------------------------------------------------------===//
+
+std::string httpGet(int Port, const std::string &Path) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(uint16_t(Port));
+  EXPECT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  const std::string Req = "GET " + Path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(Fd, Req.data(), Req.size(), 0), ssize_t(Req.size()));
+  std::string Out;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Out.append(Buf, size_t(N));
+  ::close(Fd);
+  return Out;
+}
+
+TEST(MetricsServer, ServesFreshRenderOnEachScrape) {
+  int Renders = 0;
+  MetricsServer S;
+  std::string Error;
+  ASSERT_TRUE(S.start(0,
+                      [&Renders] {
+                        Exposition E;
+                        E.counter("lcm_scrapes_total", "Scrape count.")
+                            .sample(uint64_t(++Renders));
+                        return std::string(E.text());
+                      },
+                      Error))
+      << Error;
+  ASSERT_GT(S.port(), 0);
+
+  std::string First = httpGet(S.port(), "/metrics");
+  EXPECT_NE(First.find("HTTP/1.0 200 OK"), std::string::npos) << First;
+  EXPECT_NE(First.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(First.find("lcm_scrapes_total 1\n"), std::string::npos);
+
+  std::string Second = httpGet(S.port(), "/metrics");
+  EXPECT_NE(Second.find("lcm_scrapes_total 2\n"), std::string::npos)
+      << "the render callback must run per scrape";
+
+  // The exposition body itself must survive the strict parser.
+  const size_t BodyAt = Second.find("\r\n\r\n");
+  ASSERT_NE(BodyAt, std::string::npos);
+  EXPECT_TRUE(parseExposition(Second.substr(BodyAt + 4), nullptr));
+
+  std::string Missing = httpGet(S.port(), "/nope");
+  EXPECT_NE(Missing.find("404"), std::string::npos) << Missing;
+  S.shutdown();
+}
+
+TEST(MetricsServer, ShutdownIsIdempotentAndUnbinds) {
+  MetricsServer S;
+  std::string Error;
+  ASSERT_TRUE(S.start(0, [] { return std::string("lcm_up 1\n"); }, Error))
+      << Error;
+  const int Port = S.port();
+  ASSERT_GT(Port, 0);
+  EXPECT_NE(httpGet(Port, "/metrics").find("lcm_up 1"), std::string::npos);
+  S.shutdown();
+  S.shutdown(); // Idempotent.
+
+  // The port no longer accepts.
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(uint16_t(Port));
+  EXPECT_NE(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ::close(Fd);
+}
+
+} // namespace

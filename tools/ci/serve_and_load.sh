@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# tools/ci/serve_and_load.sh — the one copy of CI's "start the serving
+# stack, wait for readiness, drive it with lcm_loadgen, scrape, tear down
+# gracefully" dance (previously copy-pasted across jobs).
+#
+#   serve_and_load.sh [--build-dir=DIR]
+#                     [--serve='<lcm_serve args>']...
+#                     [--router='<lcm_router args>']
+#                     --loadgen='<lcm_loadgen args>'
+#                     [--log=FILE]
+#                     [--scrape=FILE=URL]...
+#
+# Each --serve starts one lcm_serve; --router starts lcm_router after the
+# shards are ready.  Readiness is polled from the args themselves: a
+# --unix=PATH socket file, or a connect() to a fixed --tcp=PORT.  The
+# loadgen's stderr lands in --log (and is echoed) so chaos events become
+# an artifact.  --scrape fetches each URL to FILE after the load finishes
+# but *before* teardown, so /metrics snapshots see final counters.
+# Servers are SIGTERMed and waited (the graceful-drain path, never
+# SIGKILL); the script exits with lcm_loadgen's exit code, or 1 if any
+# server exited non-zero.
+set -u
+
+BUILD_DIR=build
+SERVES=()
+ROUTER=
+LOADGEN=
+LOG=
+SCRAPES=()
+
+for Arg in "$@"; do
+  case "$Arg" in
+    --build-dir=*) BUILD_DIR=${Arg#*=} ;;
+    --serve=*)     SERVES+=("${Arg#*=}") ;;
+    --router=*)    ROUTER=${Arg#*=} ;;
+    --loadgen=*)   LOADGEN=${Arg#*=} ;;
+    --log=*)       LOG=${Arg#*=} ;;
+    --scrape=*)    SCRAPES+=("${Arg#*=}") ;;
+    *) echo "serve_and_load.sh: unknown argument: $Arg" >&2; exit 2 ;;
+  esac
+done
+if [ -z "$LOADGEN" ]; then
+  echo "serve_and_load.sh: --loadgen is required" >&2
+  exit 2
+fi
+
+PIDS=()
+NAMES=()
+
+# Poll until the endpoint named in the server's own args accepts.
+wait_ready() {
+  local Args=$1 Path='' Port=''
+  eval "set -- $Args"
+  for Word in "$@"; do
+    case "$Word" in
+      --unix=*) Path=${Word#*=} ;;
+      --tcp=*)  Port=${Word#*=} ;;
+    esac
+  done
+  for _ in $(seq 1 100); do
+    if [ -n "$Path" ] && [ -S "$Path" ]; then return 0; fi
+    if [ -n "$Port" ] && [ "$Port" != 0 ] &&
+       (exec 3<>"/dev/tcp/127.0.0.1/$Port") 2>/dev/null; then
+      exec 3>&- 3<&-
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "serve_and_load.sh: server never became ready: $Args" >&2
+  return 1
+}
+
+# Arg strings are split with shell quoting rules (eval), so values with
+# spaces — a --chaos-cmd='lcm_serve --tcp=...' — survive intact.
+start() {
+  local Bin=$1 Args=$2
+  eval "set -- $Args"
+  "$BUILD_DIR/tools/$Bin" "$@" &
+  PIDS+=($!)
+  NAMES+=("$Bin $Args")
+  wait_ready "$Args"
+}
+
+for Args in ${SERVES[@]+"${SERVES[@]}"}; do
+  start lcm_serve "$Args" || exit 1
+done
+if [ -n "$ROUTER" ]; then
+  start lcm_router "$ROUTER" || exit 1
+fi
+
+eval "set -- $LOADGEN"
+if [ -n "$LOG" ]; then
+  "$BUILD_DIR/tools/lcm_loadgen" "$@" 2> "$LOG"
+  Code=$?
+  cat "$LOG" >&2
+else
+  "$BUILD_DIR/tools/lcm_loadgen" "$@"
+  Code=$?
+fi
+
+for Scrape in ${SCRAPES[@]+"${SCRAPES[@]}"}; do
+  File=${Scrape%%=*}
+  Url=${Scrape#*=}
+  if ! curl -sS --max-time 10 -o "$File" "$Url"; then
+    echo "serve_and_load.sh: scrape failed: $Url" >&2
+    Code=1
+  fi
+done
+
+for I in "${!PIDS[@]}"; do
+  kill -TERM "${PIDS[$I]}" 2>/dev/null
+done
+for I in "${!PIDS[@]}"; do
+  if ! wait "${PIDS[$I]}"; then
+    echo "serve_and_load.sh: server exited non-zero: ${NAMES[$I]}" >&2
+    Code=1
+  fi
+done
+
+exit "$Code"

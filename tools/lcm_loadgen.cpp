@@ -24,17 +24,38 @@
 //
 // --json[=FILE] emits the measurements in the lcm-bench-v1 schema used by
 // the rest of the experiment harness (docs/OBSERVABILITY.md), so CI can
-// archive load-test results next to the bench tables.
+// archive load-test results next to the bench tables.  With --json=FILE a
+// stub document carrying `"aborted": true` is flushed before the run
+// starts and only replaced by the real measurements on completion, so a
+// crashed or killed run still leaves a parseable artifact behind.
+//
+// --validate stamps every request with the protocol-v2 `validate` flag and
+// enforces the reply: an `ok` response must carry `validated: true`, and
+// any `validation_failed` response fails the run — the fleet-level wiring
+// of the per-request translation-validation check (docs/FLEET.md).
+//
+// --chaos turns the loadgen into a fault injector: it spawns each
+// --chaos-cmd as a supervised child (the shards), then kills one with
+// SIGKILL every --chaos-interval-ms and respawns it after
+// --chaos-downtime-ms, round-robin, while the measured load runs against
+// the router.  Chaos runs assert the strictest outcome: every single
+// request must come back `ok` (and validated, with --validate) — a router
+// that drops or mis-answers even one request under churn fails the run.
 //
 //===----------------------------------------------------------------------===//
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <sys/wait.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "ir/Printer.h"
@@ -61,10 +82,21 @@ int usage(int Code) {
       "                    cycle through the experiment corpus)\n"
       "  --dup-ratio=R     fraction (0..1) of requests repeating one hot\n"
       "                    program, to exercise the server's result cache\n"
-      "  --json[=FILE]     emit lcm-bench-v1 measurements (stdout or FILE)\n"
+      "  --validate        stamp requests with the v2 `validate` flag and\n"
+      "                    require `validated: true` on every ok response\n"
+      "  --chaos           kill/restart the --chaos-cmd children during the\n"
+      "                    run and require every request to come back ok\n"
+      "  --chaos-cmd=CMD   a shard command to supervise (repeat per shard;\n"
+      "                    spawned before the run, SIGTERMed after)\n"
+      "  --chaos-interval-ms=N  time between kills (default 400)\n"
+      "  --chaos-downtime-ms=N  kill-to-respawn delay (default 150)\n"
+      "  --chaos-warmup-ms=N    spawn-to-load delay (default 1000)\n"
+      "  --json[=FILE]     emit lcm-bench-v1 measurements (stdout or FILE;\n"
+      "                    FILE gets an `aborted` stub before the run)\n"
       "\n"
       "exit codes: 0 all responses received and well-formed; 1 transport\n"
-      "failure, lost response, or corrupted response; 2 usage error.\n");
+      "failure, lost response, corrupted response, validation mismatch,\n"
+      "or (with --chaos) any non-ok response; 2 usage error.\n");
   return Code;
 }
 
@@ -79,6 +111,8 @@ struct WorkerResult {
   uint64_t DeadlineExceeded = 0;
   uint64_t OtherErrors = 0;
   uint64_t Corrupted = 0;
+  uint64_t Validated = 0;           ///< ok responses carrying validated:true.
+  uint64_t ValidationMismatches = 0; ///< `validation_failed` responses.
   std::string TransportError;
 };
 
@@ -147,10 +181,19 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
     }
     if (Status == "ok") {
       const json::Value *Ir = Response.find("ir");
+      const json::Value *Validated = Response.find("validated");
+      bool IsValidated =
+          Validated && Validated->isBool() && Validated->asBool();
       if (!Ir || !Ir->isString() || Ir->asString().empty()) {
+        ++Out.Corrupted;
+      } else if (Template.Validate && !IsValidated) {
+        // We asked for validation; an ok response that doesn't attest to
+        // it came from a server that silently skipped the check.
         ++Out.Corrupted;
       } else {
         ++Out.Ok;
+        if (IsValidated)
+          ++Out.Validated;
         const json::Value *Cached = Response.find("cached");
         if (Cached && Cached->isBool())
           (Cached->asBool() ? Out.HitLatencyMs : Out.MissLatencyMs)
@@ -160,11 +203,109 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
       ++Out.Overloaded;
     } else if (Status == "deadline_exceeded") {
       ++Out.DeadlineExceeded;
+    } else if (Status == "validation_failed") {
+      ++Out.ValidationMismatches;
     } else {
       ++Out.OtherErrors;
     }
   }
 }
+
+/// Spawns each shard command as a supervised child, then kills one with
+/// SIGKILL every IntervalMs and respawns it DowntimeMs later, round-robin,
+/// until stopped.  Events go to stderr so a CI run can archive the chaos
+/// log.  `exec` in the shell command line makes the child *be* the shard
+/// process, so SIGKILL lands on lcm_serve itself, not on a wrapper shell.
+class ChaosSupervisor {
+public:
+  ChaosSupervisor(std::vector<std::string> Cmds, int IntervalMs,
+                  int DowntimeMs)
+      : Cmds(std::move(Cmds)), Pids(this->Cmds.size(), -1),
+        IntervalMs(IntervalMs), DowntimeMs(DowntimeMs) {}
+
+  bool spawnAll() {
+    for (size_t I = 0; I != Cmds.size(); ++I)
+      if (!spawn(I))
+        return false;
+    return true;
+  }
+
+  void startKilling() {
+    Running.store(true);
+    Killer = std::thread([this] { killLoop(); });
+  }
+
+  /// Stops the kill loop and SIGTERMs every child, waiting for each.
+  void stop() {
+    if (Running.exchange(false) && Killer.joinable())
+      Killer.join();
+    for (size_t I = 0; I != Pids.size(); ++I) {
+      if (Pids[I] <= 0)
+        continue;
+      ::kill(Pids[I], SIGTERM);
+      int Status = 0;
+      while (::waitpid(Pids[I], &Status, 0) < 0 && errno == EINTR)
+        ;
+      Pids[I] = -1;
+    }
+  }
+
+  uint64_t kills() const { return Kills.load(); }
+  uint64_t restarts() const { return Restarts.load(); }
+
+private:
+  bool spawn(size_t I) {
+    pid_t Pid = ::fork();
+    if (Pid < 0) {
+      std::fprintf(stderr, "chaos: fork: %s\n", std::strerror(errno));
+      return false;
+    }
+    if (Pid == 0) {
+      std::string Line = "exec " + Cmds[I];
+      ::execl("/bin/sh", "sh", "-c", Line.c_str(), (char *)nullptr);
+      std::fprintf(stderr, "chaos: exec: %s\n", std::strerror(errno));
+      ::_exit(127);
+    }
+    Pids[I] = Pid;
+    std::fprintf(stderr, "chaos: spawned shard[%zu] pid=%d: %s\n", I,
+                 int(Pid), Cmds[I].c_str());
+    return true;
+  }
+
+  void killLoop() {
+    size_t Victim = 0;
+    while (Running.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+      if (!Running.load())
+        return;
+      const size_t I = Victim++ % Pids.size();
+      if (Pids[I] <= 0)
+        continue;
+      std::fprintf(stderr, "chaos: SIGKILL shard[%zu] pid=%d\n", I,
+                   int(Pids[I]));
+      ::kill(Pids[I], SIGKILL);
+      int Status = 0;
+      while (::waitpid(Pids[I], &Status, 0) < 0 && errno == EINTR)
+        ;
+      Pids[I] = -1;
+      Kills.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(DowntimeMs));
+      if (!Running.load())
+        return;
+      if (spawn(I))
+        Restarts.fetch_add(1);
+    }
+  }
+
+  std::vector<std::string> Cmds;
+  std::vector<pid_t> Pids;
+  int IntervalMs;
+  int DowntimeMs;
+  std::atomic<bool> Running{false};
+  std::thread Killer;
+  std::atomic<uint64_t> Kills{0};
+  std::atomic<uint64_t> Restarts{0};
+};
 
 } // namespace
 
@@ -174,6 +315,10 @@ int main(int argc, char **argv) {
   bool Json = false;
   unsigned Connections = 4, Requests = 50;
   double DupRatio = 0.0;
+  bool Chaos = false;
+  std::vector<std::string> ChaosCmds;
+  long long ChaosIntervalMs = 400, ChaosDowntimeMs = 150,
+            ChaosWarmupMs = 1000;
   Request Template;
 
   for (int I = 1; I != argc; ++I) {
@@ -209,6 +354,25 @@ int main(int argc, char **argv) {
         return usage(2);
     } else if (std::strcmp(argv[I], "--check") == 0) {
       Template.Check = true;
+    } else if (std::strcmp(argv[I], "--validate") == 0) {
+      Template.Validate = true;
+    } else if (std::strcmp(argv[I], "--chaos") == 0) {
+      Chaos = true;
+    } else if (std::strncmp(argv[I], "--chaos-cmd=", 12) == 0 &&
+               argv[I][12] != '\0') {
+      ChaosCmds.push_back(argv[I] + 12);
+    } else if (std::strncmp(argv[I], "--chaos-interval-ms=", 20) == 0) {
+      ChaosIntervalMs = std::strtoll(argv[I] + 20, &End, 10);
+      if (*End != '\0' || ChaosIntervalMs <= 0)
+        return usage(2);
+    } else if (std::strncmp(argv[I], "--chaos-downtime-ms=", 20) == 0) {
+      ChaosDowntimeMs = std::strtoll(argv[I] + 20, &End, 10);
+      if (*End != '\0' || ChaosDowntimeMs < 0)
+        return usage(2);
+    } else if (std::strncmp(argv[I], "--chaos-warmup-ms=", 18) == 0) {
+      ChaosWarmupMs = std::strtoll(argv[I] + 18, &End, 10);
+      if (*End != '\0' || ChaosWarmupMs < 0)
+        return usage(2);
     } else if (std::strncmp(argv[I], "--ir=", 5) == 0 && argv[I][5] != '\0') {
       IrPath = argv[I] + 5;
     } else if (std::strcmp(argv[I], "--json") == 0) {
@@ -224,6 +388,26 @@ int main(int argc, char **argv) {
   }
   if ((TcpPort < 0) == UnixPath.empty())
     return usage(2); // Exactly one transport.
+  if (Chaos && ChaosCmds.empty()) {
+    std::fprintf(stderr, "error: --chaos needs at least one --chaos-cmd\n");
+    return usage(2);
+  }
+
+  // Flush the aborted stub first thing: if this process dies mid-run (a
+  // chaos experiment gone wrong, a CI timeout), the artifact is still a
+  // parseable lcm-bench-v1 document instead of a missing file.
+  if (Json && !JsonPath.empty()) {
+    json::Value Stub = json::Value::object();
+    Stub.set("schema", json::Value::str("lcm-bench-v1"))
+        .set("bench", json::Value::str("lcm_loadgen"))
+        .set("aborted", json::Value::boolean(true))
+        .set("aborted_reason", json::Value::str("run did not complete"))
+        .set("sections", json::Value::object());
+    if (!json::writeFile(JsonPath, Stub)) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+  }
 
   std::vector<std::string> Programs;
   if (!IrPath.empty()) {
@@ -246,12 +430,24 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Chaos children come up before anything talks to the router, and get a
+  // warmup window to bind their sockets and be probed healthy.
+  ChaosSupervisor Supervisor(ChaosCmds, int(ChaosIntervalMs),
+                             int(ChaosDowntimeMs));
+  if (Chaos) {
+    if (!Supervisor.spawnAll())
+      return 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ChaosWarmupMs));
+  }
+
   // Probe the server once for its identity (kernel backend, worker count)
   // before the measured run, so the header and JSON record what actually
   // served the load.  Best-effort: a server predating `server_info`
-  // ignores the flag and the fields stay empty.
+  // ignores the flag and the fields stay empty.  The probe is a real
+  // request, so it shows up in the server's own request counters —
+  // ProbeRequests lets a scrape-reconciliation subtract it.
   std::string SrvBackend;
-  uint64_t SrvWorkers = 0, SrvHwThreads = 0;
+  uint64_t SrvWorkers = 0, SrvHwThreads = 0, ProbeRequests = 0;
   {
     Client Probe;
     std::string Error;
@@ -265,6 +461,7 @@ int main(int argc, char **argv) {
       R.ServerInfo = true;
       json::Value Response;
       if (Probe.call(R, Response, Error)) {
+        ++ProbeRequests;
         if (const json::Value *Srv = Response.find("server")) {
           if (const json::Value *B = Srv->find("kernel_backend"))
             if (B->isString())
@@ -284,6 +481,9 @@ int main(int argc, char **argv) {
                 SrvBackend.c_str(), (unsigned long long)SrvWorkers,
                 (unsigned long long)SrvHwThreads);
 
+  if (Chaos)
+    Supervisor.startKilling();
+
   std::vector<WorkerResult> Results(Connections);
   std::vector<std::thread> Threads;
   const auto Start = Clock::now();
@@ -297,9 +497,12 @@ int main(int argc, char **argv) {
   const double WallSeconds =
       std::chrono::duration<double>(Clock::now() - Start).count();
 
+  if (Chaos)
+    Supervisor.stop();
+
   std::vector<double> Latencies, HitLatencies, MissLatencies;
   uint64_t Ok = 0, Overloaded = 0, DeadlineExceeded = 0, OtherErrors = 0,
-           Corrupted = 0;
+           Corrupted = 0, Validated = 0, ValidationMismatches = 0;
   bool TransportFailed = false;
   for (const WorkerResult &R : Results) {
     Latencies.insert(Latencies.end(), R.LatencyMs.begin(), R.LatencyMs.end());
@@ -312,6 +515,8 @@ int main(int argc, char **argv) {
     DeadlineExceeded += R.DeadlineExceeded;
     OtherErrors += R.OtherErrors;
     Corrupted += R.Corrupted;
+    Validated += R.Validated;
+    ValidationMismatches += R.ValidationMismatches;
     if (!R.TransportError.empty()) {
       std::fprintf(stderr, "error: %s\n", R.TransportError.c_str());
       TransportFailed = true;
@@ -336,6 +541,14 @@ int main(int argc, char **argv) {
               (unsigned long long)Ok, (unsigned long long)Overloaded,
               (unsigned long long)DeadlineExceeded,
               (unsigned long long)OtherErrors, (unsigned long long)Corrupted);
+  if (Template.Validate)
+    std::printf("validation: validated=%llu mismatches=%llu\n",
+                (unsigned long long)Validated,
+                (unsigned long long)ValidationMismatches);
+  if (Chaos)
+    std::printf("chaos: kills=%llu restarts=%llu\n",
+                (unsigned long long)Supervisor.kills(),
+                (unsigned long long)Supervisor.restarts());
   std::printf("latency ms: p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f "
               "mean=%.3f\n",
               percentile(Latencies, 50), percentile(Latencies, 90),
@@ -367,6 +580,7 @@ int main(int argc, char **argv) {
         .set("deadline_exceeded", json::Value::number(DeadlineExceeded))
         .set("other_errors", json::Value::number(OtherErrors))
         .set("corrupted", json::Value::number(Corrupted))
+        .set("probe_requests", json::Value::number(ProbeRequests))
         .set("wall_seconds", json::Value::number(WallSeconds))
         .set("throughput_rps",
              json::Value::number(WallSeconds > 0
@@ -379,6 +593,13 @@ int main(int argc, char **argv) {
         .set("latency_ms_max", json::Value::number(
                                    Latencies.empty() ? 0.0 : Latencies.back()))
         .set("latency_ms_mean", json::Value::number(Mean));
+    if (Template.Validate)
+      Metrics.set("validated", json::Value::number(Validated))
+          .set("validation_mismatches",
+               json::Value::number(ValidationMismatches));
+    if (Chaos)
+      Metrics.set("chaos_kills", json::Value::number(Supervisor.kills()))
+          .set("chaos_restarts", json::Value::number(Supervisor.restarts()));
     if (!SrvBackend.empty()) {
       Metrics.set("server_kernel_backend", json::Value::str(SrvBackend))
           .set("server_workers", json::Value::number(SrvWorkers))
@@ -414,6 +635,7 @@ int main(int argc, char **argv) {
     json::Value Root = json::Value::object();
     Root.set("schema", json::Value::str("lcm-bench-v1"))
         .set("bench", json::Value::str("lcm_loadgen"))
+        .set("aborted", json::Value::boolean(false))
         .set("sections", std::move(Sections));
     if (JsonPath.empty()) {
       std::printf("%s\n", Root.dump().c_str());
@@ -425,5 +647,16 @@ int main(int argc, char **argv) {
 
   if (TransportFailed || Corrupted != 0 || Latencies.size() != Total)
     return 1;
+  if (ValidationMismatches != 0) {
+    std::fprintf(stderr, "error: %llu validation mismatch(es)\n",
+                 (unsigned long long)ValidationMismatches);
+    return 1;
+  }
+  if (Chaos && Ok != Total) {
+    std::fprintf(stderr,
+                 "error: chaos run dropped answers: ok=%llu of %llu\n",
+                 (unsigned long long)Ok, (unsigned long long)Total);
+    return 1;
+  }
   return 0;
 }

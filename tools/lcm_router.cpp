@@ -1,0 +1,205 @@
+//===- tools/lcm_router.cpp - Consistent-hash router daemon ---------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+//
+// Fronts N lcm_serve shards with the consistent-hash router (src/server/
+// Router.h), speaking the same framed protocol to clients that a single
+// shard does:
+//
+//   lcm_router --tcp=0 --shard=7001 --shard=7002 --shard=7003
+//   lcm_router --tcp=9000 --shard-unix=/tmp/lcm-a.sock --metrics-port=9100
+//
+// Requests route by consistent hash of their content-defining fields, so
+// repeat programs keep hitting the same shard's warm cache; failed shards
+// are retried with backoff and failed over (docs/FLEET.md).  SIGTERM/
+// SIGINT drain exactly like lcm_serve: admitted requests are still
+// forwarded and answered.  --metrics-port exposes Prometheus text metrics
+// on a dedicated listener.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "server/Metrics.h"
+#include "server/Router.h"
+#include "support/Stats.h"
+
+using namespace lcm;
+using namespace lcm::server;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lcm_router (--tcp=PORT | --unix=PATH) --shard=PORT...\n"
+      "                  [--shard-unix=PATH]... [--workers=N] [--queue=N]\n"
+      "                  [--vnodes=N] [--max-attempts=N] [--backoff-ms=N]\n"
+      "                  [--health-interval-ms=N] [--metrics-port=PORT]\n"
+      "\n"
+      "  --tcp=PORT             client listener on 127.0.0.1:PORT (0 =\n"
+      "                         ephemeral; the bound port is printed)\n"
+      "  --unix=PATH            client listener on a Unix-domain socket\n"
+      "  --shard=PORT           backend lcm_serve on 127.0.0.1:PORT\n"
+      "                         (repeat per shard)\n"
+      "  --shard-unix=PATH      backend lcm_serve on a Unix socket\n"
+      "  --workers=N            forwarding worker threads (default 4)\n"
+      "  --queue=N              bounded request queue capacity\n"
+      "  --vnodes=N             virtual nodes per shard on the hash ring\n"
+      "  --max-attempts=N       forward attempts before `unavailable`\n"
+      "  --backoff-ms=N         base retry backoff (doubles, capped)\n"
+      "  --health-interval-ms=N unhealthy-shard reprobe period\n"
+      "  --metrics-port=PORT    Prometheus /metrics on 127.0.0.1:PORT\n"
+      "                         (0 = ephemeral; the bound port is printed)\n"
+      "\n"
+      "SIGTERM/SIGINT drain gracefully: admitted requests are forwarded\n"
+      "and answered, then the router exits 0.\n");
+  return 2;
+}
+
+bool parseNum(const char *Arg, const char *Prefix, long long &Out) {
+  size_t N = std::strlen(Prefix);
+  if (std::strncmp(Arg, Prefix, N) != 0)
+    return false;
+  char *End = nullptr;
+  Out = std::strtoll(Arg + N, &End, 10);
+  return End && *End == '\0' && Arg[N] != '\0';
+}
+
+int SignalPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  char Byte = 1;
+  ssize_t Ignored = ::write(SignalPipe[1], &Byte, 1);
+  (void)Ignored;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RouterOptions Opts;
+  int MetricsPort = -1;
+  long long N = 0;
+  for (int I = 1; I != argc; ++I) {
+    if (parseNum(argv[I], "--tcp=", N) && N >= 0 && N <= 65535) {
+      Opts.TcpPort = int(N);
+    } else if (std::strncmp(argv[I], "--unix=", 7) == 0 &&
+               argv[I][7] != '\0') {
+      Opts.UnixPath = argv[I] + 7;
+    } else if (parseNum(argv[I], "--shard=", N) && N > 0 && N <= 65535) {
+      ShardEndpoint Ep;
+      Ep.TcpPort = int(N);
+      Opts.Shards.push_back(Ep);
+    } else if (std::strncmp(argv[I], "--shard-unix=", 13) == 0 &&
+               argv[I][13] != '\0') {
+      ShardEndpoint Ep;
+      Ep.UnixPath = argv[I] + 13;
+      Opts.Shards.push_back(Ep);
+    } else if (parseNum(argv[I], "--workers=", N) && N > 0 && N <= 4096) {
+      Opts.Workers = unsigned(N);
+    } else if (parseNum(argv[I], "--queue=", N) && N > 0 && N <= 1'000'000) {
+      Opts.QueueCapacity = size_t(N);
+    } else if (parseNum(argv[I], "--vnodes=", N) && N > 0 && N <= 4096) {
+      Opts.VirtualNodes = unsigned(N);
+    } else if (parseNum(argv[I], "--max-attempts=", N) && N > 0 && N <= 64) {
+      Opts.MaxAttempts = unsigned(N);
+    } else if (parseNum(argv[I], "--backoff-ms=", N) && N >= 0 &&
+               N <= 10'000) {
+      Opts.RetryBackoffMs = int(N);
+    } else if (parseNum(argv[I], "--health-interval-ms=", N) && N > 0 &&
+               N <= 60'000) {
+      Opts.HealthIntervalMs = int(N);
+    } else if (parseNum(argv[I], "--metrics-port=", N) && N >= 0 &&
+               N <= 65535) {
+      MetricsPort = int(N);
+    } else {
+      return usage();
+    }
+  }
+  if ((Opts.TcpPort < 0 && Opts.UnixPath.empty()) || Opts.Shards.empty())
+    return usage();
+
+  if (::pipe(SignalPipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Router R(Opts);
+  std::string Error;
+  if (!R.start(Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  MetricsServer Metrics;
+  if (MetricsPort >= 0) {
+    auto Render = [&R] {
+      Exposition E;
+      writeCommonMetrics(E, "router", Stats::get("router.requests"),
+                         R.queueDepth(), "router.response.");
+      E.gauge("lcm_router_shard_up",
+              "1 while the shard is believed healthy.");
+      for (const Router::ShardStatus &S : R.shardStatus())
+        E.label("shard", S.Name).sample(uint64_t(S.Healthy ? 1 : 0));
+      E.counter("lcm_router_shard_forwards_total",
+                "Successful exchanges per shard.");
+      for (const Router::ShardStatus &S : R.shardStatus())
+        E.label("shard", S.Name).sample(S.Forwards);
+      E.counter("lcm_router_shard_failures_total",
+                "Connect/IO failures charged per shard.");
+      for (const Router::ShardStatus &S : R.shardStatus())
+        E.label("shard", S.Name).sample(S.Failures);
+      E.counter("lcm_router_retries_total",
+                "Failed forward attempts that were retried.")
+          .sample(R.counters().Retries);
+      E.counter("lcm_router_failovers_total",
+                "Requests answered by a non-first-choice shard.")
+          .sample(R.counters().Failovers);
+      writeStatsCounters(E);
+      return E.text();
+    };
+    if (!Metrics.start(MetricsPort, Render, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  if (R.tcpPort() >= 0)
+    std::printf("listening tcp=127.0.0.1:%d\n", R.tcpPort());
+  if (!Opts.UnixPath.empty())
+    std::printf("listening unix=%s\n", Opts.UnixPath.c_str());
+  if (Metrics.port() >= 0)
+    std::printf("metrics tcp=127.0.0.1:%d\n", Metrics.port());
+  std::printf("shards=%zu vnodes=%u workers=%u\n", Opts.Shards.size(),
+              Opts.VirtualNodes, Opts.Workers);
+  std::fflush(stdout);
+
+  char Byte;
+  while (::read(SignalPipe[0], &Byte, 1) < 0 && errno == EINTR)
+    ;
+
+  std::fprintf(stderr, "lcm_router: draining...\n");
+  R.shutdown();
+  Metrics.shutdown();
+  Router::Counters C = R.counters();
+  std::fprintf(stderr,
+               "lcm_router: done. forwarded=%llu retries=%llu "
+               "failovers=%llu unavailable=%llu\n",
+               (unsigned long long)C.Forwarded,
+               (unsigned long long)C.Retries,
+               (unsigned long long)C.Failovers,
+               (unsigned long long)C.Unavailable);
+  return 0;
+}

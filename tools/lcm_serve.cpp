@@ -28,8 +28,10 @@
 #include <unistd.h>
 
 #include "cache/ResultCache.h"
+#include "server/Metrics.h"
 #include "server/Server.h"
 #include "support/SimdWords.h"
+#include "support/Stats.h"
 
 using namespace lcm;
 using namespace lcm::server;
@@ -45,6 +47,7 @@ int usage() {
       "                 [--max-source-bytes=N] [--max-blocks=N]\n"
       "                 [--max-instrs=N] [--enable-test-options]\n"
       "                 [--cache-bytes=N] [--cache-dir=PATH] [--no-cache]\n"
+      "                 [--metrics-port=PORT]\n"
       "\n"
       "  --tcp=PORT             listen on 127.0.0.1:PORT (0 = ephemeral;\n"
       "                         the bound port is printed on startup)\n"
@@ -63,6 +66,8 @@ int usage() {
       "  --cache-dir=PATH       spill cached results to PATH so they\n"
       "                         survive restarts (docs/CACHE.md)\n"
       "  --no-cache             disable the result cache entirely\n"
+      "  --metrics-port=PORT    Prometheus /metrics on 127.0.0.1:PORT\n"
+      "                         (0 = ephemeral; the bound port is printed)\n"
       "\n"
       "SIGTERM/SIGINT trigger a graceful drain: accepted requests are\n"
       "answered, new frames get a `shutting_down` response, then the\n"
@@ -95,6 +100,7 @@ int main(int argc, char **argv) {
   ServerOptions Opts;
   cache::ResultCacheConfig CacheConfig;
   bool NoCache = false;
+  int MetricsPort = -1;
   long long N = 0;
   for (int I = 1; I != argc; ++I) {
     if (parseNum(argv[I], "--tcp=", N) && N >= 0 && N <= 65535) {
@@ -127,6 +133,9 @@ int main(int argc, char **argv) {
       CacheConfig.DiskDir = argv[I] + 12;
     } else if (std::strcmp(argv[I], "--no-cache") == 0) {
       NoCache = true;
+    } else if (parseNum(argv[I], "--metrics-port=", N) && N >= 0 &&
+               N <= 65535) {
+      MetricsPort = int(N);
     } else {
       return usage();
     }
@@ -159,10 +168,28 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
+
+  MetricsServer Metrics;
+  if (MetricsPort >= 0) {
+    auto Render = [&S] {
+      Exposition E;
+      writeCommonMetrics(E, "shard", Stats::get("server.requests"),
+                         S.queueDepth(), "server.response.");
+      writeStatsCounters(E);
+      return E.text();
+    };
+    if (!Metrics.start(MetricsPort, Render, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
   if (S.tcpPort() >= 0)
     std::printf("listening tcp=127.0.0.1:%d\n", S.tcpPort());
   if (!Opts.UnixPath.empty())
     std::printf("listening unix=%s\n", Opts.UnixPath.c_str());
+  if (Metrics.port() >= 0)
+    std::printf("metrics tcp=127.0.0.1:%d\n", Metrics.port());
   std::printf("kernels=%s workers=%u\n", simdwords::backendName(),
               Opts.Workers);
   std::fflush(stdout);
@@ -174,6 +201,7 @@ int main(int argc, char **argv) {
 
   std::fprintf(stderr, "lcm_serve: draining...\n");
   S.shutdown();
+  Metrics.shutdown();
   Server::Counters C = S.counters();
   std::fprintf(stderr,
                "lcm_serve: done. connections=%llu frames=%llu "
