@@ -4,7 +4,9 @@
 // — the table a paper would print before its results.  For every program:
 // size, expression universe, loop structure, critical edges, reducibility,
 // and the static-profile cost estimate, plus how many PRE candidate bits
-// the safety analyses light up.
+// the safety analyses light up.  The specExprs column characterizes the
+// speculation regime (docs/SPECPRE.md): how many expressions a skewed
+// edge profile moves to a min-cut placement cheaper than LCM's.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +19,7 @@
 #include "graph/Dominators.h"
 #include "graph/Loops.h"
 #include "graph/Reducibility.h"
+#include "specpre/SpecPre.h"
 #include "bench_common.h"
 
 using namespace lcm;
@@ -28,7 +31,7 @@ void runTable0() {
   auto Corpus = experimentCorpus();
 
   Table T({"program", "blocks", "edges", "instrs", "ops", "exprs", "loops",
-           "maxDepth", "critEdges", "reducible", "estCost"});
+           "maxDepth", "critEdges", "reducible", "estCost", "specExprs"});
   for (const CorpusEntry &Entry : Corpus) {
     Function Fn = Entry.Make();
     CfgEdges Edges(Fn);
@@ -42,6 +45,13 @@ void runTable0() {
       Instrs += B.instrs().size();
     BlockFrequencies BF = estimateBlockFrequencies(Fn);
 
+    // Expressions whose min-cut placement beats LCM under the skewed
+    // synthetic profile — the same (mode, seed) the T1s section measures.
+    Function SpecFn = Fn;
+    specpre::EdgeProfile Profile = specpre::synthesizeEdgeProfile(
+        SpecFn, specpre::ProfileMode::Skewed, /*Seed=*/11);
+    specpre::SpecPreStats Stats = specpre::runSpecPre(SpecFn, &Profile);
+
     T.row()
         .add(Entry.Name)
         .add(uint64_t(Fn.numBlocks()))
@@ -53,7 +63,8 @@ void runTable0() {
         .add(uint64_t(MaxDepth))
         .add(uint64_t(findCriticalEdges(Fn).size()))
         .add(isReducible(Fn, Dom) ? "yes" : "no")
-        .add(estimatedOperationCost(Fn, BF), 1);
+        .add(estimatedOperationCost(Fn, BF), 1)
+        .add(Stats.ExprsSpeculated);
   }
   printTable(T);
 }

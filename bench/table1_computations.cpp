@@ -7,12 +7,19 @@
 //
 //   LCM == ALCM == BCM  <=  MR <= none,  CSE <= none,  LCM <= every row.
 //
+// The T1s section leaves the safe regime: under a skewed edge profile
+// (docs/SPECPRE.md) the speculative min-cut backend may beat LCM's
+// optimum.  Profiled evaluation counts are analytic — both placements
+// priced against the same profile on the same CFG snapshot — so the
+// comparison is exact, not sampled.
+//
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
 
 #include <benchmark/benchmark.h>
 
+#include "specpre/SpecPre.h"
 #include "bench_common.h"
 
 using namespace lcm;
@@ -80,6 +87,59 @@ void runTable1() {
   printTable(Agg);
 }
 
+void runTable1Speculative() {
+  printHeading("T1s", "speculative vs LCM profiled evals (skewed profile)");
+  auto Corpus = experimentCorpus();
+
+  Table T({"program", "specExprs", "profEvalsLCM", "profEvalsSpec", "delta",
+           "saved%"});
+  uint64_t TotalLcm = 0, TotalSpec = 0, Improved = 0, Regressions = 0;
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Fn = Entry.Make();
+    specpre::EdgeProfile Profile = specpre::synthesizeEdgeProfile(
+        Fn, specpre::ProfileMode::Skewed, /*Seed=*/11);
+
+    CfgEdges Edges(Fn);
+    LocalProperties LP(Fn);
+    specpre::ResolvedProfile RP;
+    specpre::resolveProfile(Profile, Fn, Edges, RP);
+
+    LazyCodeMotion Engine(Fn, Edges, LP);
+    PrePlacement LcmP = Engine.placement(PreStrategy::Lazy);
+    PrePlacement SpecP;
+    specpre::SpecPreStats S;
+    specpre::computeSpecPrePlacement(Fn, Edges, LP, LcmP, RP, SpecP, S);
+
+    const uint64_t LcmCost = specpre::profiledPlacementCost(Fn, Edges, LcmP, RP);
+    const uint64_t SpecCost =
+        specpre::profiledPlacementCost(Fn, Edges, SpecP, RP);
+    TotalLcm += LcmCost;
+    TotalSpec += SpecCost;
+    Improved += SpecCost < LcmCost;
+    Regressions += SpecCost > LcmCost;
+
+    T.row()
+        .add(Entry.Name)
+        .add(S.ExprsSpeculated)
+        .add(LcmCost)
+        .add(SpecCost)
+        .add(int64_t(LcmCost) - int64_t(SpecCost))
+        .add(LcmCost != 0 ? 100.0 * (double(LcmCost) - double(SpecCost)) /
+                                double(LcmCost)
+                          : 0.0,
+             1);
+  }
+  printTable(T);
+  std::printf("\nspeculation vs LCM: improved=%llu regressed=%llu "
+              "(cost guarantee: regressed must be 0)\n",
+              (unsigned long long)Improved, (unsigned long long)Regressions);
+  benchRecordMetric("specpre_profiled_evals_lcm", TotalLcm);
+  benchRecordMetric("specpre_profiled_evals_spec", TotalSpec);
+  benchRecordMetric("specpre_programs_improved", Improved);
+  benchRecordMetric("specpre_regressions", Regressions);
+  benchRecordMetric("specpre_never_costlier", Regressions == 0);
+}
+
 void BM_Table1FullSweep(benchmark::State &State) {
   auto Corpus = experimentCorpus();
   for (auto _ : State) {
@@ -98,6 +158,7 @@ BENCHMARK(BM_Table1FullSweep);
 int main(int argc, char **argv) {
   benchInit(&argc, argv, "table1_computations");
   runTable1();
+  runTable1Speculative();
   if (benchJsonEnabled())
     return benchFinish();
   benchmark::Initialize(&argc, argv);

@@ -8,12 +8,18 @@
 // A small driver exposing the whole library on textual IR:
 //
 //   optimize_tool [--pipeline=p1,p2,...] [--dot] [--stats]
-//                 [--timeout-ms=N] [--report=out.json] [FILE]
+//                 [--timeout-ms=N] [--report=out.json]
+//                 [--strategy=classic|speculative] [--profile=FILE] [FILE]
 //
 // Reads the program from FILE (or stdin), applies the requested pass
 // pipeline (default "lcse,lcm", the paper's prescription), and prints the
 // optimized program (or its Graphviz rendering with --dot).  Run with
 // --list-passes to see every registered pass.
+//
+// --strategy=speculative swaps every `lcm` step for `specpre`, the
+// profile-guided min-cut placement backend (docs/SPECPRE.md); pair it
+// with --profile=FILE, an lcm-profile-v1 edge-profile document, or the
+// run degenerates to classic LCM by specpre's fallback rule.
 //
 // --report=out.json writes the structured run report (schema
 // "lcm-run-report-v1", see docs/OBSERVABILITY.md): per-pass wall time and
@@ -36,6 +42,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +56,7 @@
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "metrics/RunReport.h"
+#include "specpre/EdgeProfile.h"
 #include "support/Cancel.h"
 #include "support/Stats.h"
 #include "workload/Corpus.h"
@@ -69,13 +77,20 @@ std::string readAll(std::FILE *In) {
 int usage() {
   std::fprintf(stderr, "usage: optimize_tool [--pipeline=p1,p2,...] "
                        "[--pass=NAME] [--dot] [--stats] [--list-passes] "
-                       "[--timeout-ms=N] [--report=FILE.json] [FILE]\n"
+                       "[--timeout-ms=N] [--report=FILE.json]\n"
+                       "                     [--strategy=classic|speculative] "
+                       "[--profile=FILE.json] [FILE]\n"
                        "       optimize_tool --corpus=N [--threads=M] "
                        "[--pipeline=p1,p2,...] [--report=FILE.json] "
                        "[--cache-bytes=N] [--cache-dir=PATH]\n"
                        "\n"
                        "  --timeout-ms=N  cancel the pipeline cooperatively "
                        "after N milliseconds\n"
+                       "  --strategy=speculative  run `specpre` instead of "
+                       "`lcm` (profile-guided min-cut\n"
+                       "                  placement, docs/SPECPRE.md)\n"
+                       "  --profile=FILE  lcm-profile-v1 edge profile driving "
+                       "the speculative placement\n"
                        "  --cache-bytes=N  corpus mode: result-cache memory "
                        "budget (enables the cache)\n"
                        "  --cache-dir=PATH corpus mode: persistent result "
@@ -166,18 +181,30 @@ int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
 int main(int argc, char **argv) {
   std::string Spec = "lcse,lcm";
   std::string ReportPath;
-  bool Dot = false, ShowStats = false;
+  bool Dot = false, ShowStats = false, Speculative = false;
   const char *Path = nullptr;
   unsigned CorpusSize = 0, Threads = 1;
   long long TimeoutMs = -1;
   size_t CacheBytes = 0;
   std::string CacheDir;
+  std::string ProfilePath;
 
   for (int I = 1; I != argc; ++I) {
     if (std::strncmp(argv[I], "--pipeline=", 11) == 0) {
       Spec = argv[I] + 11;
     } else if (std::strncmp(argv[I], "--pass=", 7) == 0) {
       Spec = argv[I] + 7;
+    } else if (std::strncmp(argv[I], "--strategy=", 11) == 0) {
+      if (std::strcmp(argv[I] + 11, "speculative") == 0)
+        Speculative = true;
+      else if (std::strcmp(argv[I] + 11, "classic") == 0)
+        Speculative = false;
+      else
+        return usage();
+    } else if (std::strncmp(argv[I], "--profile=", 10) == 0) {
+      ProfilePath = argv[I] + 10;
+      if (ProfilePath.empty())
+        return usage();
     } else if (std::strncmp(argv[I], "--report=", 9) == 0) {
       ReportPath = argv[I] + 9;
       if (ReportPath.empty())
@@ -225,6 +252,49 @@ int main(int argc, char **argv) {
       Path = argv[I];
     }
   }
+
+  if (Speculative) {
+    // Token-wise swap of lcm -> specpre, so the default pipeline and
+    // custom ones alike pick up the speculative placement backend.
+    std::string Rewritten, Tok;
+    for (char C : Spec + ",") {
+      if (C == ',') {
+        if (!Tok.empty()) {
+          if (!Rewritten.empty())
+            Rewritten += ',';
+          Rewritten += Tok == "lcm" ? "specpre" : Tok;
+          Tok.clear();
+        }
+      } else if (!std::isspace(static_cast<unsigned char>(C))) {
+        Tok += C;
+      }
+    }
+    Spec = Rewritten;
+  }
+
+  // The scope stays active for the rest of main, covering both the
+  // single-file and corpus paths (the corpus driver's workers inherit
+  // nothing — profiles are per-program, so batch mode stays classic).
+  specpre::EdgeProfile Profile;
+  bool HasProfile = false;
+  if (!ProfilePath.empty()) {
+    json::ParseResult Doc = json::parseFile(ProfilePath);
+    if (!Doc) {
+      std::fprintf(stderr, "error: profile %s: %s\n", ProfilePath.c_str(),
+                   Doc.Error.c_str());
+      return 1;
+    }
+    specpre::ProfileParse PP = specpre::parseProfile(Doc.V);
+    if (!PP) {
+      std::fprintf(stderr, "error: profile %s: %s\n", ProfilePath.c_str(),
+                   PP.Error.c_str());
+      return 1;
+    }
+    Profile = std::move(PP.P);
+    HasProfile = true;
+  }
+  specpre::ProfileContext::Scope ProfileScope(HasProfile ? &Profile
+                                                          : nullptr);
 
   if (CorpusSize != 0)
     return runCorpusMode(Spec, CorpusSize, Threads, ReportPath, CacheBytes,

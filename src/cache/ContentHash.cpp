@@ -101,6 +101,8 @@ Digest PipelineFingerprint::digest() const {
   H.updateU64(Check ? 1 : 0);
   H.updateU64(Check ? CheckRuns : 0);
   H.updateU64(Report ? 1 : 0);
+  H.update(ProfileKey);
+  H.updateU64(uint64_t(ProfileKey.size()));
   return H.digest();
 }
 

@@ -47,7 +47,11 @@ namespace cache {
 /// v2: requestKey length-suffixes the IR text (was length-prefix) so the
 /// canonical IR can be streamed straight out of the printer without
 /// knowing its size up front.
-inline constexpr uint32_t CacheSchemaVersion = 2;
+///
+/// v3: the fingerprint covers the request's edge profile (ProfileKey) —
+/// the specpre pass makes the optimized output a function of the profile,
+/// so profiled and unprofiled requests must never share entries.
+inline constexpr uint32_t CacheSchemaVersion = 3;
 
 /// A 128-bit content digest.
 struct Digest {
@@ -105,6 +109,10 @@ struct PipelineFingerprint {
   unsigned CheckRuns = 0;
   /// Full run report embedded in the cached entry.
   bool Report = false;
+  /// Canonical rendering of the request's edge profile
+  /// (specpre::EdgeProfile::canonicalKey()); empty when no profile was
+  /// sent.  Canonical, so record order on the wire cannot split entries.
+  std::string ProfileKey;
 
   /// Digest of the fingerprint, already folded with CacheSchemaVersion.
   Digest digest() const;

@@ -16,6 +16,7 @@
 #include "core/LocalCse.h"
 #include "ext/StrengthReduction.h"
 #include "ir/Verifier.h"
+#include "specpre/SpecPre.h"
 #include "support/BitVector.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
@@ -136,6 +137,14 @@ const std::map<std::string, PassFn> &registry() {
          thread_local PreRunResult R;
          runPreInto(F, PreStrategy::AlmostLazy, SolverStrategy::Sparse, R);
          return preChanges(R);
+       }},
+      {"specpre",
+       [](Function &F) {
+         // Profile-guided min-cut placement; with no profile in scope the
+         // run is bit-identical to the `lcm` pass (docs/SPECPRE.md).
+         specpre::SpecPreStats S =
+             specpre::runSpecPre(F, specpre::ProfileContext::active());
+         return S.Changes;
        }},
       {"sized-lcm",
        [](Function &F) {

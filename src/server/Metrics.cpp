@@ -69,6 +69,37 @@ void appendValue(std::string &Out, double V) {
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// DurationHistogram
+//===----------------------------------------------------------------------===//
+
+constexpr double DurationHistogram::BoundsSeconds[];
+
+void DurationHistogram::observe(double Seconds) {
+  if (Seconds < 0)
+    Seconds = 0;
+  size_t I = 0;
+  while (I != NumBounds && Seconds > BoundsSeconds[I])
+    ++I;
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  SumNanos.fetch_add(uint64_t(Seconds * 1e9), std::memory_order_relaxed);
+}
+
+DurationHistogram::Snapshot DurationHistogram::snapshot() const {
+  Snapshot S;
+  for (size_t I = 0; I != NumBounds + 1; ++I) {
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+    S.Count += S.Buckets[I];
+  }
+  S.Sum = double(SumNanos.load(std::memory_order_relaxed)) * 1e-9;
+  return S;
+}
+
+DurationHistogram &lcm::server::requestDurations() {
+  static DurationHistogram H;
+  return H;
+}
+
 void Exposition::family(std::string_view Name, std::string_view Help,
                         const char *Type) {
   assert(validMetricName(Name) && "invalid Prometheus metric name");
@@ -137,6 +168,32 @@ Exposition &Exposition::sample(uint64_t Value) {
   return *this;
 }
 
+Exposition &Exposition::histogram(std::string_view Name,
+                                  std::string_view Help,
+                                  const DurationHistogram &H) {
+  family(Name, Help, "histogram");
+  const DurationHistogram::Snapshot S = H.snapshot();
+  const std::string Base(Name);
+
+  Current = Base + "_bucket";
+  uint64_t Cumulative = 0;
+  char Bound[64];
+  for (size_t I = 0; I != DurationHistogram::NumBounds; ++I) {
+    Cumulative += S.Buckets[I];
+    std::snprintf(Bound, sizeof(Bound), "%g",
+                  DurationHistogram::BoundsSeconds[I]);
+    label("le", Bound).sample(Cumulative);
+  }
+  label("le", "+Inf").sample(S.Count);
+
+  Current = Base + "_sum";
+  sample(S.Sum);
+  Current = Base + "_count";
+  sample(S.Count);
+  Current = Base;
+  return *this;
+}
+
 //===----------------------------------------------------------------------===//
 // The shared metric catalogue
 //===----------------------------------------------------------------------===//
@@ -180,6 +237,12 @@ void lcm::server::writeCommonMetrics(Exposition &E, const std::string &Role,
             "(docs/KERNELS.md).");
   E.label("kind", "simd").sample(Get("dataflow.word_ops_simd"));
   E.label("kind", "scalar").sample(Get("dataflow.word_ops_scalar"));
+
+  E.histogram("lcm_request_duration_seconds",
+              "End-to-end request latency in seconds, observed at the "
+              "transport worker loop: handle (on a router: forward, "
+              "retries included) + respond.",
+              requestDurations());
 
   E.counter("lcm_validations_total",
             "Per-request translation validations executed.")

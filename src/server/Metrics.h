@@ -39,6 +39,44 @@
 namespace lcm {
 namespace server {
 
+/// A lock-free cumulative latency histogram with a fixed bucket ladder,
+/// backing the `lcm_request_duration_seconds` family on shards and
+/// routers.  observe() is two relaxed atomic adds, cheap enough for the
+/// per-request hot path; snapshot() is scrape-time only and tolerates
+/// concurrent observers (Prometheus semantics: bucket counts and sum are
+/// each monotone, tiny cross-field skew is expected).
+class DurationHistogram {
+public:
+  /// Upper bounds in seconds of the finite buckets (`le` labels); the
+  /// +Inf bucket is implicit.  Spans sub-millisecond cache hits to
+  /// multi-second deadline-bound pipeline runs.
+  static constexpr double BoundsSeconds[] = {
+      0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+      0.05,   0.1,   0.25,   0.5,  1.0,  2.5};
+  static constexpr size_t NumBounds =
+      sizeof(BoundsSeconds) / sizeof(BoundsSeconds[0]);
+
+  void observe(double Seconds);
+
+  struct Snapshot {
+    /// Per-bucket (non-cumulative) counts; index NumBounds is +Inf.
+    uint64_t Buckets[NumBounds + 1];
+    uint64_t Count = 0; ///< Total observations (sum of Buckets).
+    double Sum = 0;     ///< Total observed seconds.
+  };
+  Snapshot snapshot() const;
+
+private:
+  std::atomic<uint64_t> Buckets[NumBounds + 1] = {};
+  /// Nanoseconds, so the sum accumulates losslessly in an integer.
+  std::atomic<uint64_t> SumNanos{0};
+};
+
+/// The process-wide request-latency histogram: observed by the shard
+/// worker loop (whole handle+respond cycle) and by the router forward
+/// path (whole forward, retries and backoff included).
+DurationHistogram &requestDurations();
+
 /// Append-only writer for the Prometheus text exposition format.
 ///
 ///   Exposition E;
@@ -63,6 +101,12 @@ public:
   /// labels.
   Exposition &sample(double Value);
   Exposition &sample(uint64_t Value);
+
+  /// Emits a complete histogram family from a snapshot of \p H:
+  /// HELP/TYPE, cumulative `<Name>_bucket{le="..."}` lines ending in
+  /// +Inf, then `<Name>_sum` and `<Name>_count`.
+  Exposition &histogram(std::string_view Name, std::string_view Help,
+                        const DurationHistogram &H);
 
   /// The exposition text produced so far.
   const std::string &text() const { return Out; }

@@ -98,9 +98,11 @@ RequestParse server::parseRequest(const std::string &Payload) {
   const Value *Schema = Doc.V.find("schema");
   if (!Schema || !Schema->isString() ||
       (Schema->asString() != RequestSchema &&
-       Schema->asString() != RequestSchemaV2)) {
+       Schema->asString() != RequestSchemaV2 &&
+       Schema->asString() != RequestSchemaV3)) {
     Out.Error = std::string("field 'schema' must be \"") + RequestSchema +
-                "\" or \"" + RequestSchemaV2 + "\"";
+                "\", \"" + RequestSchemaV2 + "\", or \"" + RequestSchemaV3 +
+                "\"";
     return Out;
   }
   const Value *Ir = Doc.V.find("ir");
@@ -161,14 +163,34 @@ RequestParse server::parseRequest(const std::string &Payload) {
     }
     Out.R.Validate = V->asBool();
   }
+  if (const Value *P = Doc.V.find("profile")) {
+    if (!P->isObject()) {
+      Out.Error = "field 'profile' must be an object";
+      return Out;
+    }
+    Out.R.Profile = *P;
+  }
+  if (const Value *M = Doc.V.find("profile_mode")) {
+    if (!M->isString()) {
+      Out.Error = "field 'profile_mode' must be a string";
+      return Out;
+    }
+    Out.R.ProfileMode = M->asString();
+  }
   Out.Ok = true;
   return Out;
 }
 
 Value server::requestToJson(const Request &R) {
   Value Doc = Value::object();
-  Doc.set("schema",
-          Value::str(R.Validate ? RequestSchemaV2 : RequestSchema));
+  // Lowest schema version covering the fields in use, so old servers fail
+  // loudly only on requests that actually need the new capability.
+  const char *Schema = RequestSchema;
+  if (R.Validate)
+    Schema = RequestSchemaV2;
+  if (!R.Profile.isNull() || !R.ProfileMode.empty())
+    Schema = RequestSchemaV3;
+  Doc.set("schema", Value::str(Schema));
   if (!R.Id.isNull())
     Doc.set("id", R.Id);
   Doc.set("ir", Value::str(R.Ir));
@@ -185,6 +207,10 @@ Value server::requestToJson(const Request &R) {
     Doc.set("server_info", Value::boolean(true));
   if (R.Validate)
     Doc.set("validate", Value::boolean(true));
+  if (!R.Profile.isNull())
+    Doc.set("profile", R.Profile);
+  if (!R.ProfileMode.empty())
+    Doc.set("profile_mode", Value::str(R.ProfileMode));
   return Doc;
 }
 

@@ -12,13 +12,16 @@
 /// Length-prefixing keeps framing trivial to implement in any language and
 /// lets the server reject oversized payloads before buffering them.
 ///
-/// Requests carry schema "lcm-request-v1" or "lcm-request-v2": textual IR,
-/// a pipeline spec, and options (deadline, report, semantic check).  The v2
-/// schema adds exactly one capability: the `validate` flag, which asks the
-/// server to run the interpreter-oracle equivalence check on the IR it is
-/// about to return (docs/FLEET.md).  Servers accept both versions; clients
-/// emit v2 only when they use a v2 field, so a v2-unaware server answers a
-/// loud schema error instead of silently skipping validation.  Responses
+/// Requests carry schema "lcm-request-v1", "-v2", or "-v3": textual IR, a
+/// pipeline spec, and options (deadline, report, semantic check).  Each
+/// version adds exactly one capability over its predecessor: v2 the
+/// `validate` flag (the interpreter-oracle equivalence check on the IR
+/// about to be returned, docs/FLEET.md), v3 the `profile` object (an
+/// lcm-profile-v1 edge profile driving the `specpre` pass,
+/// docs/SPECPRE.md) plus the informational `profile_mode` label.  Servers
+/// accept every version; clients emit the lowest version that covers the
+/// fields they use, so a version-unaware server answers a loud schema
+/// error instead of silently dropping a capability.  Responses
 /// carry schema "lcm-response-v1": a status code, the optimized IR on
 /// success, and a structured error otherwise.  Parsing a request never
 /// throws and never trusts a byte: every malformed input maps to a
@@ -40,6 +43,7 @@ namespace server {
 
 inline constexpr const char *RequestSchema = "lcm-request-v1";
 inline constexpr const char *RequestSchemaV2 = "lcm-request-v2";
+inline constexpr const char *RequestSchemaV3 = "lcm-request-v3";
 inline constexpr const char *ResponseSchema = "lcm-response-v1";
 
 /// Frames above this size are rejected without buffering the payload.
@@ -110,6 +114,15 @@ struct Request {
   /// carries `validated: true`; a divergence answers `validation_failed`
   /// and refuses to return the IR.
   bool Validate = false;
+  /// v3: an lcm-profile-v1 edge-profile object consumed by the `specpre`
+  /// pass (docs/SPECPRE.md).  Kept as raw JSON at this layer — the service
+  /// decodes it with specpre::parseProfile and answers bad_request on
+  /// malformed contents.  Null when absent.
+  json::Value Profile;
+  /// v3: how the profile was obtained ("uniform", "skewed", ...), echoed
+  /// into the response's `server` object so bench artifacts record the
+  /// regime that produced their numbers.  Informational; empty = unset.
+  std::string ProfileMode;
 };
 
 struct RequestParse {

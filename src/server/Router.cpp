@@ -192,6 +192,9 @@ bool Router::exchangeWithShard(Shard &S, const std::string &Payload,
 json::Value Router::forward(const std::string &Payload) {
   Stats::bump("router.requests");
   NumForwarded.fetch_add(1);
+  // Latency lands in lcm_request_duration_seconds via the transport's
+  // worker loop (Server.cpp), which wraps this handler — so failover
+  // retries and backoff are included without double-counting here.
   Trace::Scope T("router.request", "forward",
                  "bytes=" + std::to_string(Payload.size()));
 

@@ -4,6 +4,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -11,6 +12,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "server/Metrics.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -321,10 +323,15 @@ void Server::workerLoop(unsigned Index) {
   uint64_t Handled = 0;
   Job J;
   while (Queue.pop(J)) {
+    const auto Start = std::chrono::steady_clock::now();
     Value Response =
         Opts.Handler ? Opts.Handler(J.Payload) : Svc.handle(J.Payload);
     FramePool.release(std::move(J.Payload));
     writeResponse(*J.Conn, Response);
+    requestDurations().observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count());
     J.Conn.reset();
     ++Handled;
   }

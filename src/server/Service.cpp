@@ -12,6 +12,7 @@
 #include "ir/Verifier.h"
 #include "metrics/Cost.h"
 #include "metrics/RunReport.h"
+#include "specpre/EdgeProfile.h"
 #include "support/Cancel.h"
 #include "support/SimdWords.h"
 #include "support/Stats.h"
@@ -138,6 +139,21 @@ Value Service::handle(const std::string &Payload) const {
     return finish(makeErrorResponse(R.Id, Status::BadRequest, Spec.Error));
   }
 
+  // v3: decode the edge profile up front so malformed contents answer a
+  // diagnostic instead of silently serving an unprofiled result.
+  specpre::EdgeProfile Profile;
+  const bool HasProfile = !R.Profile.isNull();
+  if (HasProfile) {
+    specpre::ProfileParse PP = specpre::parseProfile(R.Profile);
+    if (!PP) {
+      T.note("status", "bad_request");
+      return finish(makeErrorResponse(R.Id, Status::BadRequest,
+                                      "field 'profile': " + PP.Error));
+    }
+    Profile = std::move(PP.P);
+    Stats::bump("server.profiled_requests");
+  }
+
   // Per-request translation validation re-executes the original against
   // the served bytes *after* the cache lookup, so keep a pristine copy
   // before the pipeline (or a coalesced leader) can mutate Fn.
@@ -155,6 +171,13 @@ Value Service::handle(const std::string &Payload) const {
     if (Config.EnableTestOptions && R.TestSleepMs > 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(R.TestSleepMs));
     Stats::bump("server.pipeline_runs");
+
+    // Activate the request's profile for the `specpre` pass.  Scoped here
+    // — not around the cache lookup — because under single-flight the
+    // leader runs Compute on its own thread; the thread-local must be set
+    // where the pipeline actually executes.
+    specpre::ProfileContext::Scope ProfileScope(HasProfile ? &Profile
+                                                           : nullptr);
 
     // Keep the pre-optimization program for the semantic check.
     Function Original = R.Check ? Fn : Function();
@@ -220,6 +243,8 @@ Value Service::handle(const std::string &Payload) const {
     FP.Check = R.Check;
     FP.CheckRuns = R.Check ? Config.CheckRuns : 0;
     FP.Report = R.WantReport;
+    if (HasProfile)
+      FP.ProfileKey = Profile.canonicalKey();
     // Streaming form: the canonical IR is printed directly into the
     // incremental hasher, never materialized as a string.
     const cache::Digest Key = cache::requestKey(Fn, FP);
@@ -301,6 +326,17 @@ Value Service::handle(const std::string &Payload) const {
       Srv.set("workers", Value::number(uint64_t(Config.ReportWorkers)));
     Srv.set("hardware_threads",
             Value::number(uint64_t(std::thread::hardware_concurrency())));
+    // Placement strategy actually in effect: "speculative" only when the
+    // pipeline runs specpre *and* a profile arrived to drive it — specpre
+    // without a profile is classic LCM by construction (docs/SPECPRE.md).
+    bool RunsSpecPre = false;
+    for (size_t I = 0, N = Spec.P.size(); I != N; ++I)
+      RunsSpecPre |= Spec.P.stepName(I) == "specpre";
+    Srv.set("placement_strategy", Value::str(RunsSpecPre && HasProfile
+                                                 ? "speculative"
+                                                 : "classic"));
+    if (!R.ProfileMode.empty())
+      Srv.set("profile_mode", Value::str(R.ProfileMode));
     Response.set("server", std::move(Srv));
   }
   T.note("status", "ok");

@@ -1,0 +1,310 @@
+//===- specpre/EdgeProfile.cpp ---------------------------------------------===//
+
+#include "specpre/EdgeProfile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/Dfs.h"
+#include "graph/Dominators.h"
+#include "graph/Loops.h"
+
+using namespace lcm;
+using namespace lcm::specpre;
+using json::Value;
+
+//===----------------------------------------------------------------------===//
+// Canonical form
+//===----------------------------------------------------------------------===//
+
+std::string EdgeProfile::canonicalKey() const {
+  std::vector<const ProfiledEdge *> Sorted;
+  Sorted.reserve(Edges.size());
+  for (const ProfiledEdge &E : Edges)
+    Sorted.push_back(&E);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const ProfiledEdge *A, const ProfiledEdge *B) {
+              if (A->From != B->From)
+                return A->From < B->From;
+              if (A->To != B->To)
+                return A->To < B->To;
+              if (A->SuccIdx != B->SuccIdx)
+                return A->SuccIdx < B->SuccIdx;
+              return A->Count < B->Count;
+            });
+  std::string Out;
+  for (const ProfiledEdge *E : Sorted) {
+    Out += E->From;
+    Out += '>';
+    Out += E->To;
+    if (E->SuccIdx >= 0) {
+      Out += '#';
+      Out += std::to_string(E->SuccIdx);
+    }
+    Out += '=';
+    Out += std::to_string(E->Count);
+    Out += ';';
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Wire form
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hostile-input cap: a profile bigger than any real CFG's edge list is
+/// rejected before the service spends memory on it.
+constexpr size_t MaxProfileRecords = 65536;
+
+} // namespace
+
+ProfileParse specpre::parseProfile(const Value &Doc) {
+  ProfileParse Out;
+  if (!Doc.isObject()) {
+    Out.Error = "profile must be a JSON object";
+    return Out;
+  }
+  const Value *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != ProfileSchema) {
+    Out.Error = std::string("profile field 'schema' must be \"") +
+                ProfileSchema + "\"";
+    return Out;
+  }
+  const Value *Edges = Doc.find("edges");
+  if (!Edges || !Edges->isArray()) {
+    Out.Error = "profile field 'edges' must be an array";
+    return Out;
+  }
+  if (Edges->size() > MaxProfileRecords) {
+    Out.Error = "profile exceeds " + std::to_string(MaxProfileRecords) +
+                " edge records";
+    return Out;
+  }
+  Out.P.Edges.reserve(Edges->size());
+  for (const Value &Item : Edges->items()) {
+    if (!Item.isObject()) {
+      Out.Error = "profile edge records must be objects";
+      return Out;
+    }
+    ProfiledEdge E;
+    const Value *From = Item.find("from");
+    const Value *To = Item.find("to");
+    if (!From || !From->isString() || !To || !To->isString()) {
+      Out.Error = "profile edge fields 'from'/'to' must be strings";
+      return Out;
+    }
+    E.From = From->asString();
+    E.To = To->asString();
+    if (const Value *Succ = Item.find("succ")) {
+      if (!Succ->isNumber() || Succ->asInt() < 0) {
+        Out.Error = "profile edge field 'succ' must be a non-negative "
+                    "number";
+        return Out;
+      }
+      E.SuccIdx = int32_t(Succ->asInt());
+    }
+    const Value *Count = Item.find("count");
+    if (!Count || !Count->isNumber() || Count->asInt() < 0) {
+      Out.Error = "profile edge field 'count' must be a non-negative "
+                  "number";
+      return Out;
+    }
+    E.Count = Count->asUInt();
+    Out.P.Edges.push_back(std::move(E));
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+Value specpre::profileToJson(const EdgeProfile &P) {
+  Value Doc = Value::object();
+  Doc.set("schema", Value::str(ProfileSchema));
+  Value Edges = Value::array();
+  for (const ProfiledEdge &E : P.Edges) {
+    Value Rec = Value::object();
+    Rec.set("from", Value::str(E.From));
+    Rec.set("to", Value::str(E.To));
+    if (E.SuccIdx >= 0)
+      Rec.set("succ", Value::number(int64_t(E.SuccIdx)));
+    Rec.set("count", Value::number(E.Count));
+    Edges.push(std::move(Rec));
+  }
+  Doc.set("edges", std::move(Edges));
+  return Doc;
+}
+
+//===----------------------------------------------------------------------===//
+// Resolution
+//===----------------------------------------------------------------------===//
+
+void specpre::resolveProfile(const EdgeProfile &P, const Function &Fn,
+                             const CfgEdges &Edges, ResolvedProfile &R) {
+  R.EdgeFreq.assign(Edges.numEdges(), 0);
+  R.BlockFreq.assign(Fn.numBlocks(), 0);
+  R.MatchedRecords = 0;
+
+  for (const ProfiledEdge &Rec : P.Edges) {
+    if (Rec.Count == 0)
+      continue; // Matching is pointless; zero is the default.
+    bool Matched = false;
+    for (EdgeId E = 0; E != Edges.numEdges(); ++E) {
+      const CfgEdge &CE = Edges.edge(E);
+      if (Fn.block(CE.From).label() != Rec.From ||
+          Fn.block(CE.To).label() != Rec.To)
+        continue;
+      if (Rec.SuccIdx >= 0 && uint32_t(Rec.SuccIdx) != CE.SuccIdx)
+        continue;
+      R.EdgeFreq[E] += Rec.Count;
+      Matched = true;
+    }
+    if (Matched)
+      ++R.MatchedRecords;
+  }
+
+  // Block counts derive from edge counts: entries by out-flow (the entry
+  // has no in-edges), everything else by in-flow.
+  for (BlockId B = 0; B != BlockId(Fn.numBlocks()); ++B) {
+    uint64_t Sum = 0;
+    if (B == Fn.entry())
+      for (EdgeId E : Edges.outEdges(B))
+        Sum += R.EdgeFreq[E];
+    else
+      for (EdgeId E : Edges.inEdges(B))
+        Sum += R.EdgeFreq[E];
+    R.BlockFreq[B] = Sum;
+  }
+  // A single-block function has no edges at all; give the entry one unit
+  // so cost comparisons still see its computations.
+  if (Fn.numBlocks() == 1 && R.MatchedRecords != 0)
+    R.BlockFreq[Fn.entry()] = 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Synthesis
+//===----------------------------------------------------------------------===//
+
+const char *specpre::profileModeName(ProfileMode M) {
+  switch (M) {
+  case ProfileMode::Uniform:
+    return "uniform";
+  case ProfileMode::Skewed:
+    return "skewed";
+  case ProfileMode::Adversarial:
+    return "adversarial";
+  }
+  return "uniform";
+}
+
+bool specpre::parseProfileMode(std::string_view Name, ProfileMode &M) {
+  if (Name == "uniform")
+    M = ProfileMode::Uniform;
+  else if (Name == "skewed")
+    M = ProfileMode::Skewed;
+  else if (Name == "adversarial")
+    M = ProfileMode::Adversarial;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+/// splitmix64: the seeded hot-arm choice must be stable across platforms
+/// and library versions, so no std:: facility is involved.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t hashLabel(const std::string &S, uint64_t Seed) {
+  uint64_t H = Seed ^ 0xcbf29ce484222325ULL;
+  for (char C : S)
+    H = (H ^ uint8_t(C)) * 0x100000001b3ULL;
+  return mix64(H);
+}
+
+/// Entry executes this many times in every synthetic profile; branch
+/// shares and loop scaling multiply from here.  Large enough that a 90/10
+/// split through several nesting levels stays integral.
+constexpr double SynthEntryCount = 1000.0;
+constexpr double SynthTripWeight = 10.0;
+
+} // namespace
+
+EdgeProfile specpre::synthesizeEdgeProfile(const Function &Fn,
+                                           ProfileMode Mode, uint64_t Seed) {
+  Dominators Dom(Fn);
+  LoopForest Forest(Fn, Dom);
+
+  // Propagate mass through the acyclic skeleton with mode-specific branch
+  // shares, exactly the BlockFrequency discipline except that splits need
+  // not be uniform.
+  std::vector<double> Freq(Fn.numBlocks(), 0.0);
+  Freq[Fn.entry()] = 1.0;
+  auto share = [&](BlockId B, size_t SuccIdx, size_t NumSuccs) -> double {
+    if (NumSuccs < 2)
+      return 1.0;
+    if (Mode == ProfileMode::Uniform)
+      return 1.0 / double(NumSuccs);
+    size_t Hot = size_t(hashLabel(Fn.block(B).label(), Seed) % NumSuccs);
+    if (Mode == ProfileMode::Adversarial)
+      Hot = (Hot + 1) % NumSuccs;
+    return SuccIdx == Hot ? 0.9 : 0.1 / double(NumSuccs - 1);
+  };
+  for (BlockId B : reversePostOrder(Fn)) {
+    double Out = Freq[B];
+    const auto &Succs = Fn.block(B).succs();
+    if (Succs.empty() || Out == 0.0)
+      continue;
+    for (size_t I = 0; I != Succs.size(); ++I) {
+      if (Dom.dominates(Succs[I], B))
+        continue; // Back edge: modeled by the loop scaling below.
+      Freq[Succs[I]] += Out * share(B, I, Succs.size());
+    }
+  }
+  for (BlockId B = 0; B != BlockId(Fn.numBlocks()); ++B) {
+    double Scale = 1.0;
+    for (uint32_t D = 0; D != Forest.depth(B); ++D)
+      Scale *= SynthTripWeight;
+    Freq[B] *= Scale;
+  }
+
+  // Integerize per out-edge (back edges included: they carry the scaled
+  // in-loop mass, which is what makes loop-invariant speculation pay).
+  EdgeProfile P;
+  for (BlockId B = 0; B != BlockId(Fn.numBlocks()); ++B) {
+    const auto &Succs = Fn.block(B).succs();
+    for (size_t I = 0; I != Succs.size(); ++I) {
+      uint64_t Count = uint64_t(std::llround(
+          Freq[B] * share(B, I, Succs.size()) * SynthEntryCount));
+      ProfiledEdge E;
+      E.From = Fn.block(B).label();
+      E.To = Fn.block(Succs[I]).label();
+      E.SuccIdx = int32_t(I);
+      E.Count = Count;
+      P.Edges.push_back(std::move(E));
+    }
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Context
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local const EdgeProfile *ActiveProfile = nullptr;
+} // namespace
+
+const EdgeProfile *ProfileContext::active() { return ActiveProfile; }
+
+ProfileContext::Scope::Scope(const EdgeProfile *P) : Prev(ActiveProfile) {
+  ActiveProfile = P;
+}
+
+ProfileContext::Scope::~Scope() { ActiveProfile = Prev; }

@@ -1,0 +1,142 @@
+//===- specpre/EdgeProfile.h - Edge execution profiles, end to end -------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile carrier of the speculative PRE backend (docs/SPECPRE.md).
+/// A profile is a bag of CFG edge execution counts keyed by *block labels*
+/// — the one identity that survives printing, wire transfer, and reparsing
+/// (BlockIds are renumbered by CFG surgery; labels are stable).  Parallel
+/// edges are disambiguated by successor position, with -1 meaning "any
+/// edge From -> To".
+///
+/// Wire format (the `profile` field of a v3 request, and the file format
+/// of optimize_tool --profile):
+///
+///   { "schema": "lcm-profile-v1",
+///     "edges": [ {"from": "entry", "to": "loop", "count": 100},
+///                {"from": "loop", "to": "loop", "succ": 0, "count": 900} ] }
+///
+/// Three synthetic generation modes (lcm_loadgen --profile-mode, and the
+/// bench/CI fixtures) reuse the BlockFrequency propagation discipline with
+/// mode-specific branch probabilities: `uniform` splits every branch
+/// 50/50 (the no-profile static estimate, integerized), `skewed` gives a
+/// seeded hot arm 90% of the mass (the regime where speculation pays),
+/// and `adversarial` puts the mass on the opposite arm of the same seeded
+/// choice (the regime that punishes a stale profile).
+///
+/// Passes receive profiles through a thread-local ProfileContext scope:
+/// the pipeline registry's PassFn signature is Function-only by design,
+/// and every caller (Service, optimize_tool, benches) brackets its run in
+/// a Scope, matching the repository's thread-local scratch idiom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SPECPRE_EDGEPROFILE_H
+#define LCM_SPECPRE_EDGEPROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/CfgEdges.h"
+#include "support/Json.h"
+
+namespace lcm {
+namespace specpre {
+
+inline constexpr const char *ProfileSchema = "lcm-profile-v1";
+
+/// One profiled CFG edge, label-keyed.
+struct ProfiledEdge {
+  std::string From;
+  std::string To;
+  int32_t SuccIdx = -1; ///< -1: any parallel edge From -> To.
+  uint64_t Count = 0;
+};
+
+/// A bag of edge counts.  Order is irrelevant; canonicalKey() sorts.
+struct EdgeProfile {
+  std::vector<ProfiledEdge> Edges;
+
+  bool empty() const { return Edges.empty(); }
+
+  /// Deterministic single-line rendering (records sorted), used to fold
+  /// the profile into cache keys: two profiles with the same counts key
+  /// identically regardless of record order.
+  std::string canonicalKey() const;
+};
+
+struct ProfileParse {
+  bool Ok = false;
+  std::string Error;
+  EdgeProfile P;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Decodes the wire form.  Never throws; malformed input maps to Error.
+ProfileParse parseProfile(const json::Value &Doc);
+
+/// Renders the wire form (the inverse of parseProfile, modulo order).
+json::Value profileToJson(const EdgeProfile &P);
+
+/// A profile resolved against one (Function, CfgEdges) snapshot: per-edge
+/// and per-block execution counts.  Unmatched records are dropped;
+/// unprofiled CFG edges count zero (a profile is a sample, not a proof of
+/// absence — zero-count edges are exactly where speculation is cheap).
+struct ResolvedProfile {
+  std::vector<uint64_t> EdgeFreq;  ///< Indexed by EdgeId.
+  std::vector<uint64_t> BlockFreq; ///< Indexed by BlockId.
+  uint64_t MatchedRecords = 0;
+
+  /// True when at least one resolved count is non-zero — the gate for
+  /// using the profile at all (an all-zero profile ranks every placement
+  /// equal and is treated as absent).
+  bool usable() const { return MatchedRecords != 0; }
+};
+
+void resolveProfile(const EdgeProfile &P, const Function &Fn,
+                    const CfgEdges &Edges, ResolvedProfile &R);
+
+/// Synthetic-profile branch-probability regimes.
+enum class ProfileMode { Uniform, Skewed, Adversarial };
+
+const char *profileModeName(ProfileMode M);
+bool parseProfileMode(std::string_view Name, ProfileMode &M);
+
+/// Deterministic synthetic profile for \p Fn: BlockFrequency-style
+/// propagation (acyclic skeleton + TripWeight^depth loop scaling) with
+/// mode-specific branch splits, integerized at a fixed entry count.
+EdgeProfile synthesizeEdgeProfile(const Function &Fn, ProfileMode Mode,
+                                  uint64_t Seed);
+
+/// The thread-local active profile consumed by the `specpre` pipeline
+/// pass.  Null (the default) means "no profile": specpre then falls back
+/// to classic LCM, bit-identically.
+class ProfileContext {
+public:
+  static const EdgeProfile *active();
+
+  /// RAII activation; restores the previous profile on destruction so
+  /// nested runs (e.g. a bench inside a serving process) compose.
+  class Scope {
+  public:
+    explicit Scope(const EdgeProfile *P);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    const EdgeProfile *Prev;
+  };
+};
+
+} // namespace specpre
+} // namespace lcm
+
+#endif // LCM_SPECPRE_EDGEPROFILE_H

@@ -1,0 +1,123 @@
+//===- specpre/MinCut.cpp --------------------------------------------------===//
+
+#include "specpre/MinCut.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lcm;
+using namespace lcm::specpre;
+
+namespace {
+constexpr uint32_t NoLevel = ~uint32_t(0);
+} // namespace
+
+void FlowNetwork::clear() {
+  Arcs.clear();
+  InitialCap.clear();
+  for (auto &A : Adj)
+    A.clear();
+  // Node count resets; the per-node vectors are recycled by addNode().
+  NumLiveNodes = 0;
+}
+
+uint32_t FlowNetwork::addNode() {
+  uint32_t Id = NumLiveNodes++;
+  if (Id >= Adj.size())
+    Adj.emplace_back();
+  else
+    Adj[Id].clear();
+  return Id;
+}
+
+uint32_t FlowNetwork::addEdge(uint32_t From, uint32_t To, uint64_t Cap) {
+  assert(From < NumLiveNodes && To < NumLiveNodes && "bad node id");
+  uint32_t Id = uint32_t(InitialCap.size());
+  Adj[From].push_back(uint32_t(Arcs.size()));
+  Arcs.push_back({To, Cap});
+  Adj[To].push_back(uint32_t(Arcs.size()));
+  Arcs.push_back({From, 0});
+  InitialCap.push_back(Cap);
+  return Id;
+}
+
+bool FlowNetwork::buildLevels(uint32_t S, uint32_t T) {
+  Level.assign(NumLiveNodes, NoLevel);
+  Queue.clear();
+  Level[S] = 0;
+  Queue.push_back(S);
+  for (size_t Head = 0; Head != Queue.size(); ++Head) {
+    uint32_t N = Queue[Head];
+    for (uint32_t ArcId : Adj[N]) {
+      const Arc &A = Arcs[ArcId];
+      if (A.Cap == 0 || Level[A.To] != NoLevel)
+        continue;
+      Level[A.To] = Level[N] + 1;
+      Queue.push_back(A.To);
+    }
+  }
+  return Level[T] != NoLevel;
+}
+
+uint64_t FlowNetwork::augment(uint32_t Node, uint32_t T, uint64_t Limit) {
+  if (Node == T)
+    return Limit;
+  for (uint32_t &I = NextArc[Node]; I != Adj[Node].size(); ++I) {
+    uint32_t ArcId = Adj[Node][I];
+    Arc &A = Arcs[ArcId];
+    if (A.Cap == 0 || Level[A.To] != Level[Node] + 1)
+      continue;
+    uint64_t Pushed = augment(A.To, T, std::min(Limit, A.Cap));
+    if (Pushed == 0)
+      continue;
+    A.Cap -= Pushed;
+    Arcs[ArcId ^ 1].Cap += Pushed;
+    return Pushed;
+  }
+  return 0;
+}
+
+uint64_t FlowNetwork::maxFlow(uint32_t S, uint32_t T) {
+  assert(S != T && "source equals sink");
+  Source = S;
+  uint64_t Total = 0;
+  while (Total < Infinite && buildLevels(S, T)) {
+    NextArc.assign(NumLiveNodes, 0);
+    while (uint64_t Pushed = augment(S, T, Infinite)) {
+      Total += Pushed;
+      if (Total >= Infinite)
+        break;
+    }
+  }
+  sweepResidual();
+  return Total;
+}
+
+void FlowNetwork::sweepResidual() {
+  if (Reached.size() < NumLiveNodes)
+    Reached.resize(NumLiveNodes, 0);
+  ++Stamp;
+  Queue.clear();
+  Reached[Source] = Stamp;
+  Queue.push_back(Source);
+  for (size_t Head = 0; Head != Queue.size(); ++Head) {
+    uint32_t N = Queue[Head];
+    for (uint32_t ArcId : Adj[N]) {
+      const Arc &A = Arcs[ArcId];
+      if (A.Cap == 0 || Reached[A.To] == Stamp)
+        continue;
+      Reached[A.To] = Stamp;
+      Queue.push_back(A.To);
+    }
+  }
+}
+
+bool FlowNetwork::inMinCut(uint32_t Id) const {
+  const Arc &Fwd = Arcs[2 * Id];
+  const uint32_t Tail = Arcs[2 * Id + 1].To;
+  return onSourceSide(Tail) && !onSourceSide(Fwd.To);
+}
+
+uint64_t FlowNetwork::flowOn(uint32_t Id) const {
+  return InitialCap[Id] - Arcs[2 * Id].Cap;
+}

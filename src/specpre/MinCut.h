@@ -1,0 +1,107 @@
+//===- specpre/MinCut.h - Dinic max-flow / min-cut solver ----------------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free max-flow solver for the speculative PRE backend
+/// (docs/SPECPRE.md).  Speculative placement reduces, per expression, to a
+/// minimum s-t cut over a network derived from the CFG: the cut's finite
+/// edges are exactly the CFG edges that receive an insertion, and the cut
+/// value is the profiled execution count the insertions will cost.
+///
+/// The solver is Dinic's algorithm — BFS level graph, then DFS blocking
+/// flow — which is O(V^2 E) in general and far better on the unit-ish,
+/// shallow networks PRE produces (two nodes per block, one finite arc per
+/// CFG edge).  Capacities are uint64_t profile counts; Infinite marks
+/// structural arcs that a cut must never sever.  After maxFlow(), the
+/// source side of the min cut is recovered by a residual-graph
+/// reachability sweep; an edge (u, v) is in the cut iff u is on the source
+/// side and v is not.
+///
+/// The network is reusable: clear() retains node and edge storage, so the
+/// per-expression loop in SpecPre.cpp allocates only on high-water growth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SPECPRE_MINCUT_H
+#define LCM_SPECPRE_MINCUT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lcm {
+namespace specpre {
+
+/// A directed flow network with integer capacities.
+class FlowNetwork {
+public:
+  /// Capacity of structural arcs the cut must not contain.  Chosen so that
+  /// any sum of finite capacities plus one Infinite augmentation still
+  /// fits in uint64_t without overflow.
+  static constexpr uint64_t Infinite = uint64_t(1) << 62;
+
+  /// Drops all nodes and edges, retaining storage.
+  void clear();
+
+  /// Adds a node; returns its dense id.
+  uint32_t addNode();
+
+  size_t numNodes() const { return NumLiveNodes; }
+  size_t numEdges() const { return Arcs.size() / 2; }
+
+  /// Adds a directed edge From -> To with capacity \p Cap and returns its
+  /// id (stable across maxFlow).  The residual reverse arc is internal.
+  uint32_t addEdge(uint32_t From, uint32_t To, uint64_t Cap);
+
+  /// Computes the maximum S -> T flow.  A result >= Infinite means every
+  /// cut contains an Infinite arc (the sink is not separable); callers
+  /// treat the instance as uncuttable.
+  uint64_t maxFlow(uint32_t S, uint32_t T);
+
+  /// After maxFlow(): true iff \p Node is reachable from the source in the
+  /// residual graph, i.e. on the source side of the min cut.
+  bool onSourceSide(uint32_t Node) const {
+    return Reached[Node] == Stamp;
+  }
+
+  /// After maxFlow(): true iff edge \p Id crosses the min cut (its tail on
+  /// the source side, its head on the sink side).  Zero-capacity edges
+  /// count: they cross at zero cost but still mark a placement point.
+  bool inMinCut(uint32_t Id) const;
+
+  /// Flow currently on edge \p Id (original direction).
+  uint64_t flowOn(uint32_t Id) const;
+
+private:
+  struct Arc {
+    uint32_t To;
+    uint64_t Cap; ///< Residual capacity.
+  };
+
+  // Arcs come in pairs: forward at 2*Id, residual reverse at 2*Id + 1.
+  std::vector<Arc> Arcs;
+  std::vector<uint64_t> InitialCap; ///< Per edge id, for flowOn().
+  std::vector<std::vector<uint32_t>> Adj; ///< Arc indices per node.
+  uint32_t NumLiveNodes = 0; ///< Adj may carry recycled rows past this.
+
+  // Scratch (retained across calls).
+  std::vector<uint32_t> Level;
+  std::vector<uint32_t> NextArc;
+  std::vector<uint32_t> Queue;
+  std::vector<uint32_t> Reached; ///< Residual-reachability stamps.
+  uint32_t Stamp = 0;
+  uint32_t Source = 0;
+
+  bool buildLevels(uint32_t S, uint32_t T);
+  uint64_t augment(uint32_t Node, uint32_t T, uint64_t Limit);
+  void sweepResidual();
+};
+
+} // namespace specpre
+} // namespace lcm
+
+#endif // LCM_SPECPRE_MINCUT_H

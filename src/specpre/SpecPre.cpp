@@ -1,0 +1,229 @@
+//===- specpre/SpecPre.cpp -------------------------------------------------===//
+
+#include "specpre/SpecPre.h"
+
+#include "analysis/TempLiveness.h"
+#include "specpre/MinCut.h"
+#include "support/Stats.h"
+
+using namespace lcm;
+using namespace lcm::specpre;
+
+//===----------------------------------------------------------------------===//
+// Profiled cost model
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t operationCount(const BasicBlock &B) {
+  uint64_t N = 0;
+  for (const Instr &I : B.instrs())
+    N += I.isOperation();
+  return N;
+}
+
+} // namespace
+
+uint64_t specpre::profiledFunctionCost(const Function &Fn,
+                                       const ResolvedProfile &R) {
+  uint64_t Cost = 0;
+  for (const BasicBlock &B : Fn.blocks())
+    Cost += operationCount(B) * R.BlockFreq[B.id()];
+  return Cost;
+}
+
+uint64_t specpre::profiledPlacementCost(const Function &Fn,
+                                        const CfgEdges &Edges,
+                                        const PrePlacement &P,
+                                        const ResolvedProfile &R) {
+  uint64_t Cost = 0;
+  for (const BasicBlock &B : Fn.blocks()) {
+    uint64_t Kept = operationCount(B);
+    if (!P.Delete.empty())
+      Kept -= P.Delete[B.id()].count();
+    if (!P.InsertEndOfBlock.empty())
+      Kept += P.InsertEndOfBlock[B.id()].count();
+    Cost += Kept * R.BlockFreq[B.id()];
+  }
+  if (!P.InsertEdge.empty())
+    for (EdgeId E = 0; E != Edges.numEdges(); ++E)
+      Cost += P.InsertEdge[E].count() * R.EdgeFreq[E];
+  return Cost;
+}
+
+//===----------------------------------------------------------------------===//
+// Placement derivation
+//===----------------------------------------------------------------------===//
+
+void specpre::computeSpecPrePlacement(const Function &Fn,
+                                      const CfgEdges &Edges,
+                                      const LocalProperties &LP,
+                                      const PrePlacement &LcmP,
+                                      const ResolvedProfile &RP,
+                                      PrePlacement &Out, SpecPreStats &S) {
+  const size_t NumExprs = LP.numExprs();
+  const size_t NumBlocks = Fn.numBlocks();
+  const size_t NumEdges = Edges.numEdges();
+
+  Out.NumExprs = NumExprs;
+  reshapeRows(Out.InsertEdge, NumEdges, NumExprs);
+  reshapeRows(Out.Delete, NumBlocks, NumExprs);
+  Out.InsertEndOfBlock.clear();
+
+  S = SpecPreStats{};
+  S.UsedProfile = true;
+
+  // One network per thread, rebuilt per expression with retained storage.
+  thread_local FlowNetwork Net;
+  thread_local std::vector<uint32_t> CfgArc; // Per EdgeId: network edge id.
+
+  for (size_t E = 0; E != NumExprs; ++E) {
+    // The decision universe: expressions with at least one use.  LCM
+    // places nothing for use-free expressions either (no ANTLOC anywhere
+    // means anticipability, and hence EARLIEST/LATER, is empty).
+    bool AnyUse = false;
+    for (BlockId B = 0; B != BlockId(NumBlocks) && !AnyUse; ++B)
+      AnyUse = LP.antloc(B).test(E);
+    if (!AnyUse)
+      continue;
+    ++S.ExprsConsidered;
+
+    // Adopting the safe placement for this expression is both fallback
+    // arms below.
+    auto keepLcm = [&] {
+      for (EdgeId Id = 0; Id != EdgeId(NumEdges); ++Id)
+        if (LcmP.InsertEdge[Id].test(E))
+          Out.InsertEdge[Id].set(E);
+      for (BlockId B = 0; B != BlockId(NumBlocks); ++B)
+        if (LcmP.Delete[B].test(E))
+          Out.Delete[B].set(E);
+    };
+
+    // Build the unavailability network (file comment in SpecPre.h).
+    Net.clear();
+    const uint32_t Src = Net.addNode();
+    const uint32_t Sink = Net.addNode();
+    // Nodes interleave: in(b) = 2 + 2b, out(b) = 3 + 2b.
+    for (BlockId B = 0; B != BlockId(NumBlocks); ++B) {
+      Net.addNode();
+      Net.addNode();
+    }
+    auto inNode = [](BlockId B) { return uint32_t(2 + 2 * B); };
+    auto outNode = [](BlockId B) { return uint32_t(3 + 2 * B); };
+
+    Net.addEdge(Src, inNode(Fn.entry()), FlowNetwork::Infinite);
+    for (BlockId B = 0; B != BlockId(NumBlocks); ++B) {
+      const bool AntLoc = LP.antloc(B).test(E);
+      const bool Comp = LP.comp(B).test(E);
+      const bool Transp = LP.transp(B).test(E);
+      if (AntLoc)
+        Net.addEdge(inNode(B), Sink, FlowNetwork::Infinite);
+      if (!Comp) {
+        if (Transp)
+          Net.addEdge(inNode(B), outNode(B), FlowNetwork::Infinite);
+        else
+          Net.addEdge(Src, outNode(B), FlowNetwork::Infinite);
+      }
+      // COMP: availability is re-established at the exit; no internal or
+      // source arc — every unavailability path ends here.
+    }
+    CfgArc.resize(NumEdges);
+    for (EdgeId Id = 0; Id != EdgeId(NumEdges); ++Id) {
+      const CfgEdge &CE = Edges.edge(Id);
+      CfgArc[Id] = Net.addEdge(outNode(CE.From), inNode(CE.To),
+                               RP.EdgeFreq[Id]);
+    }
+
+    const uint64_t CutCost = Net.maxFlow(Src, Sink);
+    if (CutCost >= FlowNetwork::Infinite) {
+      // A use in the entry block: no insertion point exists above it.
+      ++S.ExprsUncuttable;
+      keepLcm();
+      continue;
+    }
+
+    // Profiled cost deltas relative to the untransformed function.  The
+    // speculative arm deletes every use; the safe arm deletes what LCM
+    // proved redundant.  Strict comparison: ties keep the safe placement.
+    int64_t SpecDelta = int64_t(CutCost);
+    for (BlockId B = 0; B != BlockId(NumBlocks); ++B)
+      if (LP.antloc(B).test(E))
+        SpecDelta -= int64_t(RP.BlockFreq[B]);
+    int64_t LcmDelta = 0;
+    for (EdgeId Id = 0; Id != EdgeId(NumEdges); ++Id)
+      if (LcmP.InsertEdge[Id].test(E))
+        LcmDelta += int64_t(RP.EdgeFreq[Id]);
+    for (BlockId B = 0; B != BlockId(NumBlocks); ++B)
+      if (LcmP.Delete[B].test(E))
+        LcmDelta -= int64_t(RP.BlockFreq[B]);
+
+    if (SpecDelta >= LcmDelta) {
+      keepLcm();
+      continue;
+    }
+
+    ++S.ExprsSpeculated;
+    for (EdgeId Id = 0; Id != EdgeId(NumEdges); ++Id)
+      if (Net.inMinCut(CfgArc[Id]))
+        Out.InsertEdge[Id].set(E);
+    for (BlockId B = 0; B != BlockId(NumBlocks); ++B)
+      if (LP.antloc(B).test(E))
+        Out.Delete[B].set(E);
+  }
+
+  // Saves via the shared isolation analysis: per-expression independence
+  // means the non-speculated expressions get exactly their Lazy saves.
+  thread_local TempLivenessResult Live;
+  static const std::vector<BitVector> NoNodeInserts;
+  computeTempLivenessInto(Fn, Edges, LP, Out.Delete, Out.InsertEdge,
+                          NoNodeInserts, Live);
+  computeSavesInto(LP, Out.Delete, Live, Out.Save);
+}
+
+//===----------------------------------------------------------------------===//
+// The pass
+//===----------------------------------------------------------------------===//
+
+SpecPreStats specpre::runSpecPre(Function &Fn, const EdgeProfile *Profile) {
+  SpecPreStats S;
+
+  thread_local PreRunResult Fallback;
+  auto runFallback = [&] {
+    runPreInto(Fn, PreStrategy::Lazy, SolverStrategy::Sparse, Fallback);
+    S.Changes = Fallback.Report.EdgeInsertions +
+                Fallback.Report.NodeInsertions +
+                Fallback.Report.Replacements + Fallback.Report.Saves;
+    Stats::bump("specpre.fallback_runs");
+  };
+
+  if (!Profile || Profile->empty()) {
+    runFallback();
+    return S;
+  }
+
+  thread_local CfgEdges Edges;
+  thread_local LocalProperties LP;
+  thread_local ResolvedProfile RP;
+  Edges.rebuild(Fn);
+  LP.recompute(Fn);
+  resolveProfile(*Profile, Fn, Edges, RP);
+  if (!RP.usable()) {
+    runFallback();
+    return S;
+  }
+
+  thread_local LazyCodeMotion Engine;
+  thread_local PrePlacement LcmP;
+  thread_local PrePlacement SpecP;
+  thread_local ApplyReport Report;
+  Engine.recompute(Fn, Edges, LP, SolverStrategy::Sparse);
+  Engine.placementInto(PreStrategy::Lazy, LcmP);
+  computeSpecPrePlacement(Fn, Edges, LP, LcmP, RP, SpecP, S);
+  applyPlacement(Fn, Edges, SpecP, Report);
+  S.Changes = Report.EdgeInsertions + Report.Replacements + Report.Saves;
+
+  Stats::bump("specpre.profiled_runs");
+  Stats::bump("specpre.exprs_speculated", S.ExprsSpeculated);
+  Stats::bump("specpre.exprs_uncuttable", S.ExprsUncuttable);
+  return S;
+}

@@ -1,0 +1,102 @@
+//===- specpre/SpecPre.h - Speculative profile-guided PRE (min-cut) ------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The speculative placement backend (docs/SPECPRE.md).  Classic LCM is
+/// computationally optimal only among *safe* placements — it never
+/// evaluates an expression on a path that did not already evaluate it.
+/// With an edge profile, a cheaper unsafe placement usually exists: hoist
+/// the computation above a rarely-taken kill even though a cold path now
+/// evaluates it needlessly.  Finding the best such placement is a min-cut
+/// problem (the "PRE as maximum flow" formulation; lospre):
+///
+///   per expression e, over a network with two nodes per block:
+///     source -> entry_in                 (inf)  e unavailable at entry
+///     source -> b_out                    (inf)  if !TRANSP(b) && !COMP(b)
+///     b_in   -> sink                     (inf)  if ANTLOC(b): a use
+///     b_in   -> b_out                    (inf)  if TRANSP(b) && !COMP(b)
+///     i_out  -> j_in     (profiled count of the CFG edge i -> j)
+///   (COMP blocks have no internal arc: a downward-exposed computation
+///   re-establishes availability, ending every unavailability path.)
+///
+/// A finite min cut consists solely of CFG-edge arcs; inserting `h = e`
+/// on exactly those edges makes every use reachable only through a fresh
+/// computation, so all ANTLOC occurrences can be rewritten to copies.
+/// The cut value is the profiled execution count of the insertions —
+/// minimal by max-flow/min-cut duality.
+///
+/// Safety of the trade in this IR: every opcode is total (division by
+/// zero yields 0, arithmetic wraps — ir/Expr.cpp), so a speculated
+/// evaluation can change no observable state; it only costs time on paths
+/// the profile says are cold.
+///
+/// Fallback rules, in order:
+///   1. no profile in scope, or no record matches the function: classic
+///      LCM runs instead, bit-identically to the `lcm` pass;
+///   2. per expression, an infinite cut (a use in the entry block):
+///      that expression keeps its LCM placement;
+///   3. per expression, the cut is adopted only when its profiled cost is
+///      *strictly* lower than the LCM placement's profiled cost — ties go
+///      to the safe placement, so speculative output is never costlier
+///      than LCM under the profile that chose it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SPECPRE_SPECPRE_H
+#define LCM_SPECPRE_SPECPRE_H
+
+#include "core/Lcm.h"
+#include "specpre/EdgeProfile.h"
+
+namespace lcm {
+namespace specpre {
+
+/// What one speculative run decided.
+struct SpecPreStats {
+  /// Expressions with at least one use (the decision universe).
+  uint64_t ExprsConsidered = 0;
+  /// Expressions whose min-cut placement beat LCM and was adopted.
+  uint64_t ExprsSpeculated = 0;
+  /// Expressions with no finite cut (use at entry); kept LCM placement.
+  uint64_t ExprsUncuttable = 0;
+  /// True when a usable profile drove the decisions (false = fallback 1).
+  bool UsedProfile = false;
+  /// Rewrite-size measure, comparable to the other passes' change counts.
+  uint64_t Changes = 0;
+};
+
+/// Profiled evaluation cost of \p Fn as-is: sum over blocks of
+/// (operation count) * (profiled block count).
+uint64_t profiledFunctionCost(const Function &Fn, const ResolvedProfile &R);
+
+/// Profiled evaluation cost of \p Fn *after* hypothetically applying
+/// \p P: deletions remove one block-rate evaluation each, insertions add
+/// one edge-rate evaluation each (saves keep their evaluation).  Computed
+/// analytically against the snapshot, so speculative and LCM placements
+/// are comparable on identical terms.
+uint64_t profiledPlacementCost(const Function &Fn, const CfgEdges &Edges,
+                               const PrePlacement &P,
+                               const ResolvedProfile &R);
+
+/// Derives the speculative placement for every expression, falling back
+/// per expression to \p LcmP (the Lazy placement over the same snapshot)
+/// by the rules above.  \p Out's rows are recycled across calls.
+void computeSpecPrePlacement(const Function &Fn, const CfgEdges &Edges,
+                             const LocalProperties &LP,
+                             const PrePlacement &LcmP,
+                             const ResolvedProfile &RP, PrePlacement &Out,
+                             SpecPreStats &S);
+
+/// The full pass: speculative PRE under \p Profile, or classic Lazy Code
+/// Motion when \p Profile is null, empty, or matches nothing in \p Fn
+/// (bit-identical to runPre(Fn, PreStrategy::Lazy)).
+SpecPreStats runSpecPre(Function &Fn, const EdgeProfile *Profile);
+
+} // namespace specpre
+} // namespace lcm
+
+#endif // LCM_SPECPRE_SPECPRE_H

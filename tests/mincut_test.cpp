@@ -1,0 +1,147 @@
+//===- tests/mincut_test.cpp - Max-flow vs brute-force cut enumeration ---===//
+
+#include "specpre/MinCut.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using namespace lcm;
+using namespace lcm::specpre;
+
+namespace {
+
+/// Deterministic xorshift generator so failures replay exactly.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed * 2654435769u + 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  uint64_t below(uint64_t N) { return next() % N; }
+};
+
+struct RawEdge {
+  uint32_t From, To;
+  uint64_t Cap;
+};
+
+/// Minimum cut by exhaustive partition enumeration: every subset of the
+/// intermediate nodes joins the source side; the cut is the capacity of
+/// edges leaving it.  Exponential, hence the small node counts.
+uint64_t bruteForceMinCut(uint32_t NumNodes,
+                          const std::vector<RawEdge> &Edges, uint32_t S,
+                          uint32_t T) {
+  const uint32_t Free = NumNodes - 2; // Everyone but S and T.
+  std::vector<uint32_t> FreeNodes;
+  for (uint32_t N = 0; N != NumNodes; ++N)
+    if (N != S && N != T)
+      FreeNodes.push_back(N);
+  uint64_t Best = ~uint64_t(0);
+  for (uint64_t Mask = 0; Mask != (uint64_t(1) << Free); ++Mask) {
+    std::vector<bool> InSource(NumNodes, false);
+    InSource[S] = true;
+    for (uint32_t I = 0; I != Free; ++I)
+      if (Mask & (uint64_t(1) << I))
+        InSource[FreeNodes[I]] = true;
+    uint64_t Cut = 0;
+    for (const RawEdge &E : Edges)
+      if (InSource[E.From] && !InSource[E.To])
+        Cut += E.Cap;
+    Best = std::min(Best, Cut);
+  }
+  return Best;
+}
+
+} // namespace
+
+TEST(MinCut, HandVerifiedDiamond) {
+  // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (5).
+  FlowNetwork Net;
+  uint32_t S = Net.addNode(), A = Net.addNode(), B = Net.addNode(),
+           T = Net.addNode();
+  Net.addEdge(S, A, 3);
+  Net.addEdge(S, B, 2);
+  Net.addEdge(A, T, 2);
+  Net.addEdge(B, T, 3);
+  Net.addEdge(A, B, 5);
+  EXPECT_EQ(Net.maxFlow(S, T), 5u);
+}
+
+TEST(MinCut, InfiniteWhenSinkInseparable) {
+  FlowNetwork Net;
+  uint32_t S = Net.addNode(), M = Net.addNode(), T = Net.addNode();
+  Net.addEdge(S, M, FlowNetwork::Infinite);
+  Net.addEdge(M, T, FlowNetwork::Infinite);
+  EXPECT_GE(Net.maxFlow(S, T), FlowNetwork::Infinite);
+}
+
+TEST(MinCut, ZeroCapacityEdgesCrossForFree) {
+  FlowNetwork Net;
+  uint32_t S = Net.addNode(), M = Net.addNode(), T = Net.addNode();
+  Net.addEdge(S, M, FlowNetwork::Infinite);
+  uint32_t Cheap = Net.addEdge(M, T, 0);
+  EXPECT_EQ(Net.maxFlow(S, T), 0u);
+  // The only s-t path runs through the zero-capacity edge, so the cut
+  // must contain it even though it contributes nothing to the value.
+  EXPECT_TRUE(Net.inMinCut(Cheap));
+}
+
+TEST(MinCut, RandomizedEquivalenceWithBruteForce) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    Rng R(Seed);
+    const uint32_t NumNodes = 4 + uint32_t(R.below(6)); // 4..9
+    const uint32_t S = 0, T = NumNodes - 1;
+    const uint32_t NumEdges = NumNodes + uint32_t(R.below(2 * NumNodes));
+
+    std::vector<RawEdge> Edges;
+    for (uint32_t I = 0; I != NumEdges; ++I) {
+      uint32_t From = uint32_t(R.below(NumNodes));
+      uint32_t To = uint32_t(R.below(NumNodes));
+      if (From == To || From == T || To == S)
+        continue; // Self-loops and into-source/out-of-sink arcs are noise.
+      Edges.push_back({From, To, R.below(20)});
+    }
+    // Guarantee at least one s-t chain so the instance is non-trivial.
+    for (uint32_t N = 0; N + 1 != NumNodes; ++N)
+      Edges.push_back({N, N + 1, R.below(10)});
+
+    FlowNetwork Net;
+    for (uint32_t N = 0; N != NumNodes; ++N)
+      Net.addNode();
+    std::vector<uint32_t> Ids;
+    for (const RawEdge &E : Edges)
+      Ids.push_back(Net.addEdge(E.From, E.To, E.Cap));
+
+    const uint64_t Flow = Net.maxFlow(S, T);
+    const uint64_t Brute = bruteForceMinCut(NumNodes, Edges, S, T);
+    EXPECT_EQ(Flow, Brute) << "seed " << Seed;
+
+    // The recovered partition must be a valid s-t cut of exactly the
+    // max-flow value.
+    EXPECT_TRUE(Net.onSourceSide(S)) << "seed " << Seed;
+    EXPECT_FALSE(Net.onSourceSide(T)) << "seed " << Seed;
+    uint64_t CutValue = 0;
+    for (size_t I = 0; I != Edges.size(); ++I)
+      if (Net.inMinCut(Ids[I]))
+        CutValue += Edges[I].Cap;
+    EXPECT_EQ(CutValue, Flow) << "seed " << Seed;
+  }
+}
+
+TEST(MinCut, ReusableAcrossInstances) {
+  FlowNetwork Net;
+  for (int Round = 0; Round != 3; ++Round) {
+    Net.clear();
+    uint32_t S = Net.addNode(), A = Net.addNode(), T = Net.addNode();
+    Net.addEdge(S, A, 7);
+    Net.addEdge(A, T, 4);
+    EXPECT_EQ(Net.maxFlow(S, T), 4u) << "round " << Round;
+    EXPECT_TRUE(Net.onSourceSide(A));
+  }
+}

@@ -36,8 +36,8 @@ namespace {
 /// A strict checker for the text exposition line grammar:
 ///   metric_name[{label="value",...}] value
 /// Comments must be `# HELP metric_name ...` or `# TYPE metric_name
-/// (counter|gauge)`.  Returns true and collects `name{labels}` -> value
-/// for sample lines.
+/// (counter|gauge|histogram)`.  Returns true and collects
+/// `name{labels}` -> value for sample lines.
 testing::AssertionResult
 parseExposition(const std::string &Text,
                 std::vector<std::pair<std::string, double>> *Samples) {
@@ -70,7 +70,7 @@ parseExposition(const std::string &Text,
       if (Kind == "TYPE") {
         std::string Type;
         L >> Type;
-        if (Type != "counter" && Type != "gauge")
+        if (Type != "counter" && Type != "gauge" && Type != "histogram")
           return testing::AssertionFailure()
                  << "line " << LineNo << ": bad type: " << Line;
       }
@@ -171,6 +171,88 @@ TEST(Exposition, LabelValuesAreEscaped) {
             std::string::npos)
       << E.text();
   EXPECT_TRUE(parseExposition(E.text(), nullptr));
+}
+
+//===----------------------------------------------------------------------===//
+// Duration histogram
+//===----------------------------------------------------------------------===//
+
+TEST(DurationHistogram, ObservationsLandInTheRightBuckets) {
+  DurationHistogram H;
+  H.observe(0.0001);  // Below the first bound.
+  H.observe(0.003);   // Between 0.0025 and 0.005.
+  H.observe(0.003);
+  H.observe(100.0);   // Beyond every bound: +Inf only.
+  H.observe(-1.0);    // Clamped to zero, first bucket.
+
+  DurationHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  // Buckets are stored per-bound; cumulative counts must be monotone and
+  // end at Count.
+  uint64_t Cumulative = 0;
+  uint64_t PerBoundTotal = 0;
+  for (size_t I = 0; I != DurationHistogram::NumBounds + 1; ++I) {
+    PerBoundTotal += S.Buckets[I];
+    EXPECT_GE(PerBoundTotal, Cumulative);
+    Cumulative = PerBoundTotal;
+  }
+  EXPECT_EQ(Cumulative, S.Count);
+  EXPECT_NEAR(S.Sum, 0.0001 + 0.003 + 0.003 + 100.0, 1e-6);
+}
+
+TEST(Exposition, HistogramEmitsCumulativeBucketsSumAndCount) {
+  DurationHistogram H;
+  H.observe(0.0001);
+  H.observe(0.002);
+  H.observe(9.0); // Only the +Inf bucket.
+
+  Exposition E;
+  E.histogram("lcm_test_duration_seconds", "Test latencies.", H);
+  const std::string Text = E.text();
+  EXPECT_NE(Text.find("# TYPE lcm_test_duration_seconds histogram\n"),
+            std::string::npos);
+
+  std::vector<std::pair<std::string, double>> Samples;
+  ASSERT_TRUE(parseExposition(Text, &Samples)) << Text;
+  EXPECT_EQ(sampleValue(Samples,
+                        "lcm_test_duration_seconds_bucket{le=\"0.0005\"}"),
+            1);
+  EXPECT_EQ(sampleValue(Samples,
+                        "lcm_test_duration_seconds_bucket{le=\"0.0025\"}"),
+            2);
+  EXPECT_EQ(sampleValue(Samples,
+                        "lcm_test_duration_seconds_bucket{le=\"2.5\"}"),
+            2);
+  EXPECT_EQ(sampleValue(Samples,
+                        "lcm_test_duration_seconds_bucket{le=\"+Inf\"}"),
+            3);
+  EXPECT_EQ(sampleValue(Samples, "lcm_test_duration_seconds_count"), 3);
+  EXPECT_NEAR(sampleValue(Samples, "lcm_test_duration_seconds_sum"),
+              0.0001 + 0.002 + 9.0, 1e-6);
+
+  // Cumulative monotonicity across the whole ladder, +Inf == _count.
+  double Prev = 0;
+  for (const auto &Sample : Samples) {
+    if (Sample.first.find("_bucket") == std::string::npos)
+      continue;
+    EXPECT_GE(Sample.second, Prev) << Sample.first;
+    Prev = Sample.second;
+  }
+}
+
+TEST(CommonMetrics, RequestDurationHistogramIsExported) {
+  // The process-global request histogram must surface through
+  // writeCommonMetrics on shard and router alike (same code path).
+  requestDurations().observe(0.001);
+  Exposition E;
+  writeCommonMetrics(E, "shard", /*RequestsTotal=*/1, /*QueueDepth=*/0,
+                     "server.response.");
+  const std::string Text = E.text();
+  EXPECT_NE(Text.find("# TYPE lcm_request_duration_seconds histogram\n"),
+            std::string::npos);
+  std::vector<std::pair<std::string, double>> Samples;
+  ASSERT_TRUE(parseExposition(Text, &Samples)) << Text;
+  EXPECT_GE(sampleValue(Samples, "lcm_request_duration_seconds_count"), 1);
 }
 
 //===----------------------------------------------------------------------===//

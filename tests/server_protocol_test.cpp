@@ -152,6 +152,52 @@ TEST(RequestDoc, RecoversIdFromInvalidRequests) {
   EXPECT_TRUE(P.Id == Value::str("req-9"));
 }
 
+TEST(RequestDoc, V3ProfileRoundTrips) {
+  json::ParseResult Profile = json::parse(
+      R"({"schema":"lcm-profile-v1",)"
+      R"("edges":[{"from":"b0","to":"b1","count":7}]})");
+  ASSERT_TRUE(Profile.Ok);
+
+  Request R;
+  R.Id = Value::str("p1");
+  R.Ir = SmallIr;
+  R.Profile = Profile.V;
+  R.ProfileMode = "skewed";
+  Value Doc = requestToJson(R);
+  EXPECT_EQ(Doc.find("schema")->asString(), RequestSchemaV3);
+
+  RequestParse P = parseRequest(Doc.dump(0));
+  ASSERT_TRUE(P) << P.Error;
+  ASSERT_TRUE(P.R.Profile.isObject());
+  EXPECT_TRUE(P.R.Profile == Profile.V);
+  EXPECT_EQ(P.R.ProfileMode, "skewed");
+}
+
+TEST(RequestDoc, SchemaLadderPicksLowestCoveringVersion) {
+  // Clients emit the lowest schema that expresses the request, so old
+  // servers keep accepting requests that don't use new fields.
+  Request R;
+  R.Ir = SmallIr;
+  EXPECT_EQ(requestToJson(R).find("schema")->asString(), RequestSchema);
+  R.Validate = true;
+  EXPECT_EQ(requestToJson(R).find("schema")->asString(), RequestSchemaV2);
+  R.Profile = json::Value::object();
+  EXPECT_EQ(requestToJson(R).find("schema")->asString(), RequestSchemaV3);
+}
+
+TEST(RequestDoc, V3Validation) {
+  // The v3 schema is accepted even without the new fields...
+  EXPECT_TRUE(parseRequest(
+      R"({"schema":"lcm-request-v3","ir":"block b0\n  exit\n"})"));
+  // ...but the new fields are type-checked at the protocol layer.
+  EXPECT_FALSE(parseRequest(
+      R"({"schema":"lcm-request-v3","ir":"x","profile":7})"));
+  EXPECT_FALSE(parseRequest(
+      R"({"schema":"lcm-request-v3","ir":"x","profile":[1]})"));
+  EXPECT_FALSE(parseRequest(
+      R"({"schema":"lcm-request-v3","ir":"x","profile_mode":3})"));
+}
+
 TEST(ResponseDoc, ErrorEnvelope) {
   Value R = makeErrorResponse(Value::str("abc"), Status::Overloaded,
                               "queue full");
@@ -240,6 +286,65 @@ TEST(Service, TestSleepIgnoredUnlessEnabled) {
   EXPECT_EQ(statusOf(S.handle(requestToJson(R).dump(0))), "ok");
   EXPECT_LT(std::chrono::steady_clock::now() - Start,
             std::chrono::seconds(10));
+}
+
+TEST(Service, SpeculativeRequestAttestsStrategy) {
+  // The rare-kill regime of docs/SPECPRE.md: with a profile and a specpre
+  // pipeline the server must attest `placement_strategy: "speculative"`;
+  // the same pipeline without a profile is classic LCM by construction.
+  const char *LoopIr =
+      "block entry\n  goto loop\n"
+      "block loop\n  y = a + b\n  if p then hot else cold\n"
+      "block hot\n  u = y + k\n  goto latch\n"
+      "block cold\n  a = a * 2\n  goto latch\n"
+      "block latch\n  if q then loop else done\n"
+      "block done\n  exit\n";
+  json::ParseResult Profile = json::parse(
+      R"({"schema":"lcm-profile-v1","edges":[
+            {"from":"entry","to":"loop","count":1},
+            {"from":"loop","to":"hot","count":900},
+            {"from":"loop","to":"cold","count":100},
+            {"from":"hot","to":"latch","count":900},
+            {"from":"cold","to":"latch","count":100},
+            {"from":"latch","to":"loop","count":999},
+            {"from":"latch","to":"done","count":1}]})");
+  ASSERT_TRUE(Profile.Ok);
+
+  Service S;
+  Request R;
+  R.Ir = LoopIr;
+  R.Pipeline = "lcse,specpre";
+  R.Profile = Profile.V;
+  R.ProfileMode = "skewed";
+  R.ServerInfo = true;
+  Value Response = S.handle(requestToJson(R).dump(0));
+  ASSERT_EQ(statusOf(Response), "ok");
+  const Value *Srv = Response.find("server");
+  ASSERT_TRUE(Srv && Srv->isObject());
+  EXPECT_EQ(Srv->find("placement_strategy")->asString(), "speculative");
+  EXPECT_EQ(Srv->find("profile_mode")->asString(), "skewed");
+  // Speculation fired: the loop body's a+b became a copy, so the served
+  // IR differs from what the unprofiled pipeline produces.
+  Request Unprofiled;
+  Unprofiled.Ir = LoopIr;
+  Unprofiled.Pipeline = "lcse,specpre";
+  Unprofiled.ServerInfo = true;
+  Value Classic = S.handle(requestToJson(Unprofiled).dump(0));
+  ASSERT_EQ(statusOf(Classic), "ok");
+  EXPECT_EQ(Classic.find("server")->find("placement_strategy")->asString(),
+            "classic");
+  EXPECT_NE(Response.find("ir")->asString(), Classic.find("ir")->asString());
+}
+
+TEST(Service, MalformedProfileIsBadRequest) {
+  Service S;
+  Request R;
+  R.Ir = SmallIr;
+  R.Profile = json::Value::object(); // Missing schema/edges.
+  Value Response = S.handle(requestToJson(R).dump(0));
+  EXPECT_EQ(statusOf(Response), "bad_request");
+  EXPECT_NE(Response.find("error")->asString().find("profile"),
+            std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

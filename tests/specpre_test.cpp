@@ -1,0 +1,282 @@
+//===- tests/specpre_test.cpp - Speculative profile-guided PRE -----------===//
+//
+// The contract of docs/SPECPRE.md, tested:
+//
+// - fallback: without a profile, runSpecPre prints bit-identically to
+//   classic Lazy Code Motion on every corpus program;
+// - the profile wire format round-trips and rejects malformed input;
+// - admissibility: speculative output is semantically equivalent to the
+//   original under skewed and adversarial profiles alike;
+// - the cost guarantee: under the profile that chose the placement, the
+//   speculative placement never costs more profiled evaluations than the
+//   Lazy placement, and on the rare-kill loop regime it costs strictly
+//   fewer;
+// - the pipeline `specpre` pass honours the thread-local ProfileContext.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Lcm.h"
+#include "core/LocalCse.h"
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "metrics/Cost.h"
+#include "specpre/SpecPre.h"
+#include "workload/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcm;
+using namespace lcm::specpre;
+
+namespace {
+
+/// Corpus entry, LCSE-preconditioned like the bench suite so block-level
+/// properties see one occurrence per expression per block.
+Function corpusFunction(const CorpusEntry &Entry) {
+  Function Fn = Entry.Make();
+  runLocalCse(Fn);
+  return Fn;
+}
+
+InterpResult runSeeded(const Function &Fn, uint64_t Seed, size_t NumInputVars,
+                       uint32_t OriginalBlockCount) {
+  RandomOracle Oracle(Seed ^ 0x9e3779b97f4a7c15ULL);
+  Interpreter::Options Opts;
+  Opts.MaxOriginalBlockVisits = 3000;
+  Opts.OriginalBlockCount = OriginalBlockCount;
+  return Interpreter::run(Fn, makeSeededInputs(Seed, NumInputVars), Oracle,
+                          Opts);
+}
+
+/// The regime speculation exists for: a loop computing a+b whose operand
+/// is clobbered only on a cold arm.  LCM cannot leave the loop (the
+/// exit path never uses a+b, so hoisting past the kill is unsafe); a
+/// min cut on {entry->loop, cold->latch} makes the loop body a copy.
+const char *RareKillLoop = R"(block entry
+  goto loop
+block loop
+  y = a + b
+  if p then hot else cold
+block hot
+  u = y + k
+  goto latch
+block cold
+  a = a * 2
+  goto latch
+block latch
+  if q then loop else done
+block done
+  exit
+)";
+
+/// Hand-written skewed profile for RareKillLoop: hot arm takes 90% of a
+/// thousand loop iterations.
+EdgeProfile rareKillProfile() {
+  EdgeProfile P;
+  P.Edges = {{"entry", "loop", -1, 1},   {"loop", "hot", -1, 900},
+             {"loop", "cold", -1, 100},  {"hot", "latch", -1, 900},
+             {"cold", "latch", -1, 100}, {"latch", "loop", -1, 999},
+             {"latch", "done", -1, 1}};
+  return P;
+}
+
+Function parseOrDie(const char *Source) {
+  ParseResult R = parseFunction(Source);
+  EXPECT_TRUE(R) << R.Error;
+  return std::move(R.Fn);
+}
+
+} // namespace
+
+TEST(SpecPre, UnprofiledMatchesClassicLcmOnCorpus) {
+  for (const CorpusEntry &Entry : makeDefaultCorpus()) {
+    Function Lcm = corpusFunction(Entry);
+    Function Spec = corpusFunction(Entry);
+    runPre(Lcm, PreStrategy::Lazy);
+    SpecPreStats S = runSpecPre(Spec, nullptr);
+    EXPECT_FALSE(S.UsedProfile);
+    EXPECT_EQ(printFunction(Spec), printFunction(Lcm)) << Entry.Name;
+  }
+}
+
+TEST(SpecPre, EmptyAndUnmatchedProfilesAlsoFallBack) {
+  Function Lcm = parseOrDie(RareKillLoop);
+  runPre(Lcm, PreStrategy::Lazy);
+
+  EdgeProfile Empty;
+  Function A = parseOrDie(RareKillLoop);
+  EXPECT_FALSE(runSpecPre(A, &Empty).UsedProfile);
+  EXPECT_EQ(printFunction(A), printFunction(Lcm));
+
+  EdgeProfile Foreign;
+  Foreign.Edges = {{"nope", "nah", -1, 50}};
+  Function B = parseOrDie(RareKillLoop);
+  EXPECT_FALSE(runSpecPre(B, &Foreign).UsedProfile);
+  EXPECT_EQ(printFunction(B), printFunction(Lcm));
+}
+
+TEST(SpecPre, ProfileJsonRoundTrips) {
+  Function Fn = parseOrDie(RareKillLoop);
+  for (ProfileMode Mode :
+       {ProfileMode::Uniform, ProfileMode::Skewed, ProfileMode::Adversarial}) {
+    EdgeProfile P = synthesizeEdgeProfile(Fn, Mode, /*Seed=*/7);
+    ASSERT_FALSE(P.empty()) << profileModeName(Mode);
+    std::string Wire = profileToJson(P).dump();
+    json::ParseResult Doc = json::parse(Wire);
+    ASSERT_TRUE(Doc) << Doc.Error;
+    ProfileParse Back = parseProfile(Doc.V);
+    ASSERT_TRUE(Back) << Back.Error;
+    EXPECT_EQ(Back.P.canonicalKey(), P.canonicalKey())
+        << profileModeName(Mode);
+  }
+}
+
+TEST(SpecPre, ProfileParserRejectsMalformedInput) {
+  auto Reject = [](const char *Wire) {
+    json::ParseResult Doc = json::parse(Wire);
+    ASSERT_TRUE(Doc) << Doc.Error;
+    EXPECT_FALSE(parseProfile(Doc.V)) << Wire;
+  };
+  Reject(R"({"edges": []})");                          // missing schema
+  Reject(R"({"schema": "lcm-profile-v2", "edges": []})");
+  Reject(R"({"schema": "lcm-profile-v1"})");           // missing edges
+  Reject(R"({"schema": "lcm-profile-v1", "edges": 3})");
+  Reject(R"({"schema": "lcm-profile-v1",
+             "edges": [{"from": "a", "count": 1}]})"); // missing "to"
+  Reject(R"({"schema": "lcm-profile-v1",
+             "edges": [{"from": "a", "to": "b", "count": -4}]})");
+}
+
+TEST(SpecPre, SyntheticModesDisagreeOnHotArm) {
+  Function Fn = parseOrDie(RareKillLoop);
+  EdgeProfile Skewed = synthesizeEdgeProfile(Fn, ProfileMode::Skewed, 7);
+  EdgeProfile Adversarial =
+      synthesizeEdgeProfile(Fn, ProfileMode::Adversarial, 7);
+  EXPECT_NE(Skewed.canonicalKey(), Adversarial.canonicalKey());
+}
+
+TEST(SpecPre, PreservesSemanticsUnderAnyProfile) {
+  for (const CorpusEntry &Entry : makeDefaultCorpus()) {
+    const Function Original = corpusFunction(Entry);
+    for (ProfileMode Mode : {ProfileMode::Skewed, ProfileMode::Adversarial}) {
+      EdgeProfile P = synthesizeEdgeProfile(Original, Mode, /*Seed=*/11);
+      Function Transformed = Original;
+      runSpecPre(Transformed, &P);
+      ASSERT_TRUE(verifyFunction(Transformed).empty())
+          << Entry.Name << " " << profileModeName(Mode);
+
+      for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+        InterpResult Base = runSeeded(Original, Seed, Original.numVars(),
+                                      uint32_t(Original.numBlocks()));
+        InterpResult After = runSeeded(Transformed, Seed, Original.numVars(),
+                                       uint32_t(Original.numBlocks()));
+        EXPECT_TRUE(sameObservableBehaviour(Base, After, Original.numVars()))
+            << Entry.Name << " " << profileModeName(Mode) << " seed " << Seed
+            << "\n== original ==\n"
+            << printFunction(Original) << "\n== transformed ==\n"
+            << printFunction(Transformed);
+      }
+    }
+  }
+}
+
+TEST(SpecPre, NeverCostlierThanLcmUnderItsOwnProfile) {
+  bool StrictWinSomewhere = false;
+  for (const CorpusEntry &Entry : makeDefaultCorpus()) {
+    Function Fn = corpusFunction(Entry);
+    EdgeProfile P = synthesizeEdgeProfile(Fn, ProfileMode::Skewed, /*Seed=*/11);
+
+    CfgEdges Edges(Fn);
+    LocalProperties LP(Fn);
+    ResolvedProfile RP;
+    resolveProfile(P, Fn, Edges, RP);
+    ASSERT_TRUE(RP.usable()) << Entry.Name;
+
+    LazyCodeMotion Engine(Fn, Edges, LP);
+    PrePlacement LcmP = Engine.placement(PreStrategy::Lazy);
+    PrePlacement SpecP;
+    SpecPreStats S;
+    computeSpecPrePlacement(Fn, Edges, LP, LcmP, RP, SpecP, S);
+
+    uint64_t LcmCost = profiledPlacementCost(Fn, Edges, LcmP, RP);
+    uint64_t SpecCost = profiledPlacementCost(Fn, Edges, SpecP, RP);
+    EXPECT_LE(SpecCost, LcmCost) << Entry.Name;
+    if (SpecCost < LcmCost)
+      StrictWinSomewhere = true;
+  }
+  EXPECT_TRUE(StrictWinSomewhere)
+      << "speculation should beat LCM on at least one corpus program "
+         "under a skewed profile";
+}
+
+TEST(SpecPre, SpeculationWinsOnRareKillLoop) {
+  const Function Original = parseOrDie(RareKillLoop);
+  EdgeProfile P = rareKillProfile();
+
+  // Analytically: the cut {entry->loop, cold->latch} costs 101 profiled
+  // evaluations against 1000 for the in-loop computation LCM must keep.
+  {
+    Function Fn = Original;
+    CfgEdges Edges(Fn);
+    LocalProperties LP(Fn);
+    ResolvedProfile RP;
+    resolveProfile(P, Fn, Edges, RP);
+    ASSERT_TRUE(RP.usable());
+    LazyCodeMotion Engine(Fn, Edges, LP);
+    PrePlacement LcmP = Engine.placement(PreStrategy::Lazy);
+    PrePlacement SpecP;
+    SpecPreStats S;
+    computeSpecPrePlacement(Fn, Edges, LP, LcmP, RP, SpecP, S);
+    EXPECT_GE(S.ExprsSpeculated, 1u);
+    EXPECT_LT(profiledPlacementCost(Fn, Edges, SpecP, RP),
+              profiledPlacementCost(Fn, Edges, LcmP, RP));
+  }
+
+  // End to end: the pass fires, and the loop body's a+b becomes a copy.
+  Function Transformed = Original;
+  SpecPreStats S = runSpecPre(Transformed, &P);
+  EXPECT_TRUE(S.UsedProfile);
+  EXPECT_GE(S.ExprsSpeculated, 1u);
+  std::string Printed = printFunction(Transformed);
+  EXPECT_NE(Printed, printFunction(Original));
+
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    InterpResult Base = runSeeded(Original, Seed, Original.numVars(),
+                                  uint32_t(Original.numBlocks()));
+    InterpResult After = runSeeded(Transformed, Seed, Original.numVars(),
+                                   uint32_t(Original.numBlocks()));
+    EXPECT_TRUE(sameObservableBehaviour(Base, After, Original.numVars()))
+        << "seed " << Seed << "\n"
+        << Printed;
+  }
+}
+
+TEST(SpecPre, PipelinePassHonoursProfileContext) {
+  const Function Original = parseOrDie(RareKillLoop);
+  EdgeProfile P = rareKillProfile();
+
+  PassFn Pass = lookupStandardPass("specpre");
+  ASSERT_TRUE(static_cast<bool>(Pass));
+
+  // No scope active: identical to the lcm pass.
+  Function Unprofiled = Original;
+  Pass(Unprofiled);
+  Function Lcm = Original;
+  runPre(Lcm, PreStrategy::Lazy);
+  EXPECT_EQ(printFunction(Unprofiled), printFunction(Lcm));
+
+  // Scoped profile: identical to calling runSpecPre directly.
+  Function Direct = Original;
+  runSpecPre(Direct, &P);
+  Function Scoped = Original;
+  {
+    ProfileContext::Scope Activate(&P);
+    Pass(Scoped);
+  }
+  EXPECT_EQ(printFunction(Scoped), printFunction(Direct));
+  EXPECT_NE(printFunction(Scoped), printFunction(Lcm));
+  EXPECT_EQ(ProfileContext::active(), nullptr);
+}

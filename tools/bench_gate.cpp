@@ -52,6 +52,7 @@
 #include "ir/Printer.h"
 #include "metrics/Compare.h"
 #include "metrics/Gate.h"
+#include "specpre/SpecPre.h"
 #include "support/AllocHook.h"
 #include "support/Json.h"
 #include "workload/Corpus.h"
@@ -204,6 +205,45 @@ Value measureSuite() {
       .set("programs", std::move(Programs))
       .set("totals", std::move(Totals));
 
+  // Speculative placement backend (docs/SPECPRE.md), exact-gated: under
+  // the fixed skewed synthetic profile both placements are priced
+  // analytically, so every number here is a deterministic function of the
+  // algorithms.  A specpre change that alters cuts or costs must re-run
+  // `bench_gate --update` and review the diff.
+  Value SpecPre = Value::object();
+  {
+    uint64_t LcmEvals = 0, SpecEvals = 0, Speculated = 0, Improved = 0,
+             Regressions = 0;
+    for (const CorpusEntry &Entry : Corpus) {
+      Function Fn = Entry.Make();
+      specpre::EdgeProfile Profile = specpre::synthesizeEdgeProfile(
+          Fn, specpre::ProfileMode::Skewed, /*Seed=*/11);
+      CfgEdges Edges(Fn);
+      LocalProperties LP(Fn);
+      specpre::ResolvedProfile RP;
+      specpre::resolveProfile(Profile, Fn, Edges, RP);
+      LazyCodeMotion Engine(Fn, Edges, LP);
+      PrePlacement LcmP = Engine.placement(PreStrategy::Lazy);
+      PrePlacement SpecP;
+      specpre::SpecPreStats S;
+      specpre::computeSpecPrePlacement(Fn, Edges, LP, LcmP, RP, SpecP, S);
+      const uint64_t LcmCost =
+          specpre::profiledPlacementCost(Fn, Edges, LcmP, RP);
+      const uint64_t SpecCost =
+          specpre::profiledPlacementCost(Fn, Edges, SpecP, RP);
+      LcmEvals += LcmCost;
+      SpecEvals += SpecCost;
+      Speculated += S.ExprsSpeculated;
+      Improved += SpecCost < LcmCost;
+      Regressions += SpecCost > LcmCost;
+    }
+    SpecPre.set("profiled_evals_lcm", Value::number(LcmEvals))
+        .set("profiled_evals_spec", Value::number(SpecEvals))
+        .set("exprs_speculated", Value::number(Speculated))
+        .set("programs_improved", Value::number(Improved))
+        .set("regressions", Value::number(Regressions));
+  }
+
   // Hot-path contract: exact steady-state allocation count, gated at 0.
   Value Hotpath = Value::object();
   Hotpath.set("steady_allocations",
@@ -266,6 +306,7 @@ Value measureSuite() {
   Value Root = Value::object();
   Root.set("schema", Value::str(SchemaName))
       .set("suite", std::move(Suite))
+      .set("specpre", std::move(SpecPre))
       .set("hotpath", std::move(Hotpath))
       .set("timing", std::move(Timing));
   return Root;

@@ -12,7 +12,12 @@
 //   lcm_loadgen --unix=/tmp/lcm.sock --json=loadgen.json
 //
 // Request bodies cycle through the default experiment corpus (workload/)
-// unless --ir=FILE pins one program.  --dup-ratio=R makes fraction R of
+// unless --ir=FILE pins one program.  --profile-mode=uniform|skewed|
+// adversarial attaches a per-program synthetic edge profile (v3 `profile`
+// field, docs/SPECPRE.md) to every request and, unless --pipeline says
+// otherwise, switches the pipeline to "lcse,specpre" so the server's
+// speculative placement backend actually consumes it.  --dup-ratio=R makes
+// fraction R of
 // each connection's requests repeat one hot program (deterministically
 // interleaved), exercising the server's result cache: responses carrying
 // the `cached` field are split into hit/miss latency populations and the
@@ -58,8 +63,10 @@
 #include <unistd.h>
 #include <vector>
 
+#include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "server/Client.h"
+#include "specpre/EdgeProfile.h"
 #include "workload/Corpus.h"
 
 using namespace lcm;
@@ -80,6 +87,9 @@ int usage(int Code) {
       "  --check           ask the server to verify semantic equivalence\n"
       "  --ir=FILE         send FILE's IR for every request (default:\n"
       "                    cycle through the experiment corpus)\n"
+      "  --profile-mode=M  attach a synthetic edge profile to every request\n"
+      "                    (M: uniform | skewed | adversarial) and default\n"
+      "                    the pipeline to \"lcse,specpre\"\n"
       "  --dup-ratio=R     fraction (0..1) of requests repeating one hot\n"
       "                    program, to exercise the server's result cache\n"
       "  --validate        stamp requests with the v2 `validate` flag and\n"
@@ -99,6 +109,13 @@ int usage(int Code) {
       "or (with --chaos) any non-ok response; 2 usage error.\n");
   return Code;
 }
+
+/// One request body: textual IR plus (with --profile-mode) its synthetic
+/// edge profile, already in wire form.
+struct ProgramEntry {
+  std::string Ir;
+  json::Value Profile; ///< Null when no profile mode is active.
+};
 
 struct WorkerResult {
   std::vector<double> LatencyMs;
@@ -125,7 +142,7 @@ double percentile(const std::vector<double> &Sorted, unsigned P) {
 
 void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
                unsigned WorkerIndex, const Request &Template,
-               const std::vector<std::string> &Programs, double DupRatio,
+               const std::vector<ProgramEntry> &Programs, double DupRatio,
                WorkerResult &Out) {
   Client C;
   std::string Error;
@@ -145,12 +162,14 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
     Request R = Template;
     R.Id = json::Value::number(int64_t(WorkerIndex) * Requests + I);
     DupAcc += DupRatio;
-    if (DupAcc >= 1.0) {
+    const ProgramEntry &P = DupAcc >= 1.0
+                                ? Programs[0] // The hot program.
+                                : Programs[(WorkerIndex + I) %
+                                           Programs.size()];
+    if (DupAcc >= 1.0)
       DupAcc -= 1.0;
-      R.Ir = Programs[0]; // The hot program.
-    } else {
-      R.Ir = Programs[(WorkerIndex + I) % Programs.size()];
-    }
+    R.Ir = P.Ir;
+    R.Profile = P.Profile;
     json::Value Response;
     const auto Start = Clock::now();
     if (!C.call(R, Response, Error)) {
@@ -319,6 +338,8 @@ int main(int argc, char **argv) {
   std::vector<std::string> ChaosCmds;
   long long ChaosIntervalMs = 400, ChaosDowntimeMs = 150,
             ChaosWarmupMs = 1000;
+  bool HasProfileMode = false, PipelineSet = false;
+  specpre::ProfileMode Mode = specpre::ProfileMode::Uniform;
   Request Template;
 
   for (int I = 1; I != argc; ++I) {
@@ -343,6 +364,14 @@ int main(int argc, char **argv) {
       Requests = unsigned(N);
     } else if (std::strncmp(argv[I], "--pipeline=", 11) == 0) {
       Template.Pipeline = argv[I] + 11;
+      PipelineSet = true;
+    } else if (std::strncmp(argv[I], "--profile-mode=", 15) == 0) {
+      if (!specpre::parseProfileMode(argv[I] + 15, Mode)) {
+        std::fprintf(stderr, "error: unknown profile mode '%s'\n",
+                     argv[I] + 15);
+        return usage(2);
+      }
+      HasProfileMode = true;
     } else if (std::strncmp(argv[I], "--deadline-ms=", 14) == 0) {
       long long N = std::strtoll(argv[I] + 14, &End, 10);
       if (*End != '\0' || N < 0)
@@ -392,6 +421,13 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: --chaos needs at least one --chaos-cmd\n");
     return usage(2);
   }
+  if (HasProfileMode) {
+    Template.ProfileMode = specpre::profileModeName(Mode);
+    // The profile only matters if something consumes it; unless the caller
+    // pinned a pipeline, route placement through the speculative backend.
+    if (!PipelineSet)
+      Template.Pipeline = "lcse,specpre";
+  }
 
   // Flush the aborted stub first thing: if this process dies mid-run (a
   // chaos experiment gone wrong, a CI timeout), the artifact is still a
@@ -409,7 +445,20 @@ int main(int argc, char **argv) {
     }
   }
 
-  std::vector<std::string> Programs;
+  // With a profile mode each program carries its own synthetic profile:
+  // counts are per-CFG, so one profile cannot serve the whole corpus.  The
+  // synthesis seed is fixed so reruns send byte-identical requests (and
+  // the server's profile-keyed cache behaves the same run to run).
+  std::vector<ProgramEntry> Programs;
+  auto AddProgram = [&](const Function &Fn) {
+    ProgramEntry P;
+    P.Ir = printFunction(Fn);
+    if (HasProfileMode)
+      P.Profile =
+          specpre::profileToJson(specpre::synthesizeEdgeProfile(Fn, Mode,
+                                                                /*Seed=*/11));
+    Programs.push_back(std::move(P));
+  };
   if (!IrPath.empty()) {
     std::FILE *In = std::fopen(IrPath.c_str(), "rb");
     if (!In) {
@@ -422,12 +471,23 @@ int main(int argc, char **argv) {
     while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
       Data.append(Buf, N);
     std::fclose(In);
-    Programs.push_back(std::move(Data));
-  } else {
-    for (const CorpusEntry &E : makeDefaultCorpus()) {
-      Function Fn = E.Make();
-      Programs.push_back(printFunction(Fn));
+    if (HasProfileMode) {
+      // Profile synthesis needs the CFG, so the file must actually parse.
+      ParseResult PR = parseFunction(Data);
+      if (!PR) {
+        std::fprintf(stderr, "error: %s: %s\n", IrPath.c_str(),
+                     PR.Error.c_str());
+        return 1;
+      }
+      AddProgram(PR.Fn);
+    } else {
+      ProgramEntry P;
+      P.Ir = std::move(Data);
+      Programs.push_back(std::move(P));
     }
+  } else {
+    for (const CorpusEntry &E : makeDefaultCorpus())
+      AddProgram(E.Make());
   }
 
   // Chaos children come up before anything talks to the router, and get a
@@ -446,7 +506,7 @@ int main(int argc, char **argv) {
   // ignores the flag and the fields stay empty.  The probe is a real
   // request, so it shows up in the server's own request counters —
   // ProbeRequests lets a scrape-reconciliation subtract it.
-  std::string SrvBackend;
+  std::string SrvBackend, SrvStrategy, SrvProfileMode;
   uint64_t SrvWorkers = 0, SrvHwThreads = 0, ProbeRequests = 0;
   {
     Client Probe;
@@ -457,7 +517,8 @@ int main(int argc, char **argv) {
     if (Connected) {
       Request R = Template;
       R.Id = json::Value::str("server-info-probe");
-      R.Ir = Programs[0];
+      R.Ir = Programs[0].Ir;
+      R.Profile = Programs[0].Profile;
       R.ServerInfo = true;
       json::Value Response;
       if (Probe.call(R, Response, Error)) {
@@ -472,14 +533,24 @@ int main(int argc, char **argv) {
           if (const json::Value *H = Srv->find("hardware_threads"))
             if (H->isNumber())
               SrvHwThreads = uint64_t(H->asInt());
+          if (const json::Value *P = Srv->find("placement_strategy"))
+            if (P->isString())
+              SrvStrategy = P->asString();
+          if (const json::Value *M = Srv->find("profile_mode"))
+            if (M->isString())
+              SrvProfileMode = M->asString();
         }
       }
     }
   }
   if (!SrvBackend.empty())
-    std::printf("server: kernels=%s workers=%llu hw_threads=%llu\n",
+    std::printf("server: kernels=%s workers=%llu hw_threads=%llu%s%s%s%s\n",
                 SrvBackend.c_str(), (unsigned long long)SrvWorkers,
-                (unsigned long long)SrvHwThreads);
+                (unsigned long long)SrvHwThreads,
+                SrvStrategy.empty() ? "" : " placement=",
+                SrvStrategy.c_str(),
+                SrvProfileMode.empty() ? "" : " profile_mode=",
+                SrvProfileMode.c_str());
 
   if (Chaos)
     Supervisor.startKilling();
@@ -605,6 +676,17 @@ int main(int argc, char **argv) {
           .set("server_workers", json::Value::number(SrvWorkers))
           .set("server_hardware_threads", json::Value::number(SrvHwThreads));
     }
+    // What placement regime this run actually exercised: the mode the
+    // loadgen requested, and the strategy the server attested to (absent
+    // on pre-v3 servers).
+    Metrics.set("placement_strategy",
+                json::Value::str(!SrvStrategy.empty()
+                                     ? SrvStrategy
+                                     : (HasProfileMode ? "speculative"
+                                                       : "classic")));
+    if (HasProfileMode)
+      Metrics.set("profile_mode",
+                  json::Value::str(specpre::profileModeName(Mode)));
     if (CacheReported != 0) {
       Metrics
           .set("dup_ratio", json::Value::number(DupRatio))
