@@ -13,13 +13,24 @@
 // priced against the same profile on the same CFG snapshot — so the
 // comparison is exact, not sampled.
 //
+// The T1g section widens LCM's lexical view instead: the GVN front end
+// (docs/GVN.md) canonicalizes congruent expressions before placement, so
+// redundancies routed through copies, commuted operands, and the memory
+// state become visible.  Seeded dynamic evaluations of `gvn,lcm` must
+// never exceed plain `lcm` (classes only ever merge); a wide memory
+// kernel additionally pushes the post-GVN expression pool past the SIMD
+// dispatch threshold so the solver's vector kernels get exercised.
+//
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
 
 #include <benchmark/benchmark.h>
 
+#include "gvn/Gvn.h"
 #include "specpre/SpecPre.h"
+#include "support/Stats.h"
+#include "workload/AddressGen.h"
 #include "bench_common.h"
 
 using namespace lcm;
@@ -140,6 +151,91 @@ void runTable1Speculative() {
   benchRecordMetric("specpre_never_costlier", Regressions == 0);
 }
 
+void runTable1Gvn() {
+  printHeading("T1g",
+               "GVN front end vs lexical LCM (dyn = 5 seeded runs)");
+  auto Corpus = experimentCorpus();
+
+  Table T({"program", "classes", "mergedExprs", "dynLCM", "dynGVN+LCM",
+           "delta", "saved%"});
+  uint64_t TotalLex = 0, TotalGvn = 0, TotalMerged = 0, Improved = 0,
+           Regressions = 0;
+  for (const CorpusEntry &Entry : Corpus) {
+    Function Original = Entry.Make();
+    StrategyOutcome Lex = evaluateStrategy(
+        "LCM", Original, [](Function &F) { runPre(F, PreStrategy::Lazy); });
+    gvn::GvnReport Report;
+    StrategyOutcome Gv =
+        evaluateStrategy("GVN+LCM", Original, [&Report](Function &F) {
+          // Mirrors the `gvn` pipeline pass: value-number, then restore
+          // the LCSE precondition the merges may have broken.
+          Report = gvn::runGvn(F);
+          runLocalCse(F);
+          runPre(F, PreStrategy::Lazy);
+        });
+    T.row()
+        .add(Entry.Name)
+        .add(Report.Classes)
+        .add(Report.MergedExprs)
+        .add(Lex.DynamicEvals)
+        .add(Gv.DynamicEvals)
+        .add(int64_t(Lex.DynamicEvals) - int64_t(Gv.DynamicEvals))
+        .add(Lex.DynamicEvals != 0
+                 ? 100.0 *
+                       (double(Lex.DynamicEvals) - double(Gv.DynamicEvals)) /
+                       double(Lex.DynamicEvals)
+                 : 0.0,
+             1);
+    // The never-worse contract only binds on fully-terminating runs;
+    // budget-truncated paths can diverge for either side.
+    if (!Lex.AllRunsReachedExit || !Gv.AllRunsReachedExit)
+      continue;
+    TotalLex += Lex.DynamicEvals;
+    TotalGvn += Gv.DynamicEvals;
+    TotalMerged += Report.MergedExprs;
+    Improved += Gv.DynamicEvals < Lex.DynamicEvals;
+    Regressions += Gv.DynamicEvals > Lex.DynamicEvals;
+  }
+  printTable(T);
+  std::printf("\nGVN+LCM vs LCM: improved=%llu regressed=%llu "
+              "(merge-never-split contract: regressed must be 0)\n",
+              (unsigned long long)Improved, (unsigned long long)Regressions);
+  benchRecordMetric("gvn_dyn_evals_lexical", TotalLex);
+  benchRecordMetric("gvn_dyn_evals", TotalGvn);
+  benchRecordMetric("gvn_merged_exprs", TotalMerged);
+  benchRecordMetric("gvn_programs_improved", Improved);
+  benchRecordMetric("gvn_regressions", Regressions);
+  benchRecordMetric("gvn_never_worse", Regressions == 0);
+
+  // A deliberately wide memory kernel: after GVN canonicalization the
+  // expression pool still spans >= 512 distinct expressions, so the LCM
+  // bit vectors cross support/SimdWords.h's MinSimdWords (8 words) and the
+  // solver takes the runtime-dispatched SIMD kernels — the coverage the CI
+  // bench-smoke job asserts on via gvn_wide_simd_word_ops.
+  MemoryGenOptions Wide;
+  Wide.Seed = 7;
+  Wide.Depth = 2;
+  Wide.TripCount = 3;
+  Wide.NumArrays = 24;
+  Wide.StmtsPerBody = 600;
+  Wide.ReusePercent = 20;
+  Function WideFn = generateMemoryKernel(Wide);
+  runLocalCse(WideFn);
+  gvn::GvnReport WideReport = gvn::runGvn(WideFn);
+  runLocalCse(WideFn);
+  const uint64_t WideExprs = WideFn.exprs().size();
+  const uint64_t SimdBefore = Stats::get("dataflow.word_ops_simd");
+  runPre(WideFn, PreStrategy::Lazy);
+  const uint64_t SimdOps = Stats::get("dataflow.word_ops_simd") - SimdBefore;
+  std::printf("\nwide kernel (mem, seed=%llu): exprs=%llu merged=%llu "
+              "simd_word_ops=%llu\n",
+              (unsigned long long)Wide.Seed, (unsigned long long)WideExprs,
+              (unsigned long long)WideReport.MergedExprs,
+              (unsigned long long)SimdOps);
+  benchRecordMetric("gvn_wide_exprs", WideExprs);
+  benchRecordMetric("gvn_wide_simd_word_ops", SimdOps);
+}
+
 void BM_Table1FullSweep(benchmark::State &State) {
   auto Corpus = experimentCorpus();
   for (auto _ : State) {
@@ -159,6 +255,7 @@ int main(int argc, char **argv) {
   benchInit(&argc, argv, "table1_computations");
   runTable1();
   runTable1Speculative();
+  runTable1Gvn();
   if (benchJsonEnabled())
     return benchFinish();
   benchmark::Initialize(&argc, argv);

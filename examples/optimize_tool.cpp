@@ -20,6 +20,15 @@
 // profile-guided min-cut placement backend (docs/SPECPRE.md); pair it
 // with --profile=FILE, an lcm-profile-v1 edge-profile document, or the
 // run degenerates to classic LCM by specpre's fallback rule.
+// --strategy=gvn swaps every `lcm` step for `gvn,lcm`: global value
+// numbering first folds algebraically equal expressions into one lexical
+// shape (docs/GVN.md), then classic LCM places the survivors.
+//
+// --emit-profile=FILE measures the *input* program: it interprets the
+// original under seeded inputs and oracles (the property-test execution
+// idiom), aggregates the per-edge traversal counts across seeds, and
+// writes an lcm-profile-v1 document usable directly as --profile on a
+// later run or as the `profile` field of a server request.
 //
 // --report=out.json writes the structured run report (schema
 // "lcm-run-report-v1", see docs/OBSERVABILITY.md): per-pass wall time and
@@ -52,9 +61,11 @@
 #include "cache/ResultCache.h"
 #include "driver/CorpusDriver.h"
 #include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
+#include "metrics/Cost.h"
 #include "metrics/RunReport.h"
 #include "specpre/EdgeProfile.h"
 #include "support/Cancel.h"
@@ -78,8 +89,10 @@ int usage() {
   std::fprintf(stderr, "usage: optimize_tool [--pipeline=p1,p2,...] "
                        "[--pass=NAME] [--dot] [--stats] [--list-passes] "
                        "[--timeout-ms=N] [--report=FILE.json]\n"
-                       "                     [--strategy=classic|speculative] "
-                       "[--profile=FILE.json] [FILE]\n"
+                       "                     "
+                       "[--strategy=classic|speculative|gvn] "
+                       "[--profile=FILE.json] [--emit-profile=FILE.json] "
+                       "[FILE]\n"
                        "       optimize_tool --corpus=N [--threads=M] "
                        "[--pipeline=p1,p2,...] [--report=FILE.json] "
                        "[--cache-bytes=N] [--cache-dir=PATH]\n"
@@ -89,8 +102,15 @@ int usage() {
                        "  --strategy=speculative  run `specpre` instead of "
                        "`lcm` (profile-guided min-cut\n"
                        "                  placement, docs/SPECPRE.md)\n"
+                       "  --strategy=gvn  run `gvn,lcm` instead of `lcm` "
+                       "(value-numbered placement,\n"
+                       "                  docs/GVN.md)\n"
                        "  --profile=FILE  lcm-profile-v1 edge profile driving "
                        "the speculative placement\n"
+                       "  --emit-profile=FILE  measure the input program "
+                       "under seeded runs and write\n"
+                       "                  the lcm-profile-v1 edge counts to "
+                       "FILE\n"
                        "  --cache-bytes=N  corpus mode: result-cache memory "
                        "budget (enables the cache)\n"
                        "  --cache-dir=PATH corpus mode: persistent result "
@@ -181,13 +201,15 @@ int runCorpusMode(const std::string &Spec, unsigned CorpusSize,
 int main(int argc, char **argv) {
   std::string Spec = "lcse,lcm";
   std::string ReportPath;
-  bool Dot = false, ShowStats = false, Speculative = false;
+  bool Dot = false, ShowStats = false;
+  std::string Strategy = "classic";
   const char *Path = nullptr;
   unsigned CorpusSize = 0, Threads = 1;
   long long TimeoutMs = -1;
   size_t CacheBytes = 0;
   std::string CacheDir;
   std::string ProfilePath;
+  std::string EmitProfilePath;
 
   for (int I = 1; I != argc; ++I) {
     if (std::strncmp(argv[I], "--pipeline=", 11) == 0) {
@@ -195,15 +217,17 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(argv[I], "--pass=", 7) == 0) {
       Spec = argv[I] + 7;
     } else if (std::strncmp(argv[I], "--strategy=", 11) == 0) {
-      if (std::strcmp(argv[I] + 11, "speculative") == 0)
-        Speculative = true;
-      else if (std::strcmp(argv[I] + 11, "classic") == 0)
-        Speculative = false;
-      else
+      Strategy = argv[I] + 11;
+      if (Strategy != "classic" && Strategy != "speculative" &&
+          Strategy != "gvn")
         return usage();
     } else if (std::strncmp(argv[I], "--profile=", 10) == 0) {
       ProfilePath = argv[I] + 10;
       if (ProfilePath.empty())
+        return usage();
+    } else if (std::strncmp(argv[I], "--emit-profile=", 15) == 0) {
+      EmitProfilePath = argv[I] + 15;
+      if (EmitProfilePath.empty())
         return usage();
     } else if (std::strncmp(argv[I], "--report=", 9) == 0) {
       ReportPath = argv[I] + 9;
@@ -253,16 +277,21 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (Speculative) {
-    // Token-wise swap of lcm -> specpre, so the default pipeline and
-    // custom ones alike pick up the speculative placement backend.
+  if (Strategy != "classic") {
+    // Token-wise swap of the `lcm` steps, so the default pipeline and
+    // custom ones alike pick up the requested placement backend:
+    // speculative replaces lcm with specpre, gvn prepends value numbering
+    // to each lcm step.
     std::string Rewritten, Tok;
     for (char C : Spec + ",") {
       if (C == ',') {
         if (!Tok.empty()) {
           if (!Rewritten.empty())
             Rewritten += ',';
-          Rewritten += Tok == "lcm" ? "specpre" : Tok;
+          if (Tok != "lcm")
+            Rewritten += Tok;
+          else
+            Rewritten += Strategy == "speculative" ? "specpre" : "gvn,lcm";
           Tok.clear();
         }
       } else if (!std::isspace(static_cast<unsigned char>(C))) {
@@ -330,6 +359,36 @@ int main(int argc, char **argv) {
   if (!Parsed2) {
     std::fprintf(stderr, "error: %s\n", Parsed2.Error.c_str());
     return usage();
+  }
+
+  if (!EmitProfilePath.empty()) {
+    // Measure the *original* program before any pass mutates it: the
+    // property-test execution idiom (seeded inputs, seeded oracle) keeps
+    // the runs deterministic, and the traversal counts of several seeds
+    // sum into one lcm-profile-v1 document.
+    constexpr uint64_t MeasureRuns = 3;
+    specpre::EdgeProfile Measured;
+    for (uint64_t Seed = 1; Seed <= MeasureRuns; ++Seed) {
+      RandomOracle Oracle(Seed ^ 0x94d049bb133111ebULL);
+      Interpreter::Options IOpts;
+      IOpts.MaxOriginalBlockVisits = 3000;
+      IOpts.OriginalBlockCount = uint32_t(Fn.numBlocks());
+      InterpResult Run = Interpreter::run(
+          Fn, makeSeededInputs(Seed, Fn.numVars()), Oracle, IOpts);
+      specpre::accumulateTraversals(Fn, Run.SuccTraversals, Measured);
+    }
+    const std::string Text =
+        specpre::profileToJson(Measured).dump(2) + "\n";
+    std::FILE *Out = std::fopen(EmitProfilePath.c_str(), "wb");
+    const bool Written =
+        Out && std::fwrite(Text.data(), 1, Text.size(), Out) == Text.size();
+    if (Out)
+      std::fclose(Out);
+    if (!Written) {
+      std::fprintf(stderr, "error: cannot write profile to %s\n",
+                   EmitProfilePath.c_str());
+      return 1;
+    }
   }
 
   CancelToken Deadline;

@@ -23,6 +23,9 @@ VarLivenessResult lcm::computeVarLiveness(const Function &Fn,
         noteUse(E.Lhs);
         if (E.isBinary())
           noteUse(E.Rhs);
+      } else if (I.isStore()) {
+        noteUse(I.storeAddr());
+        noteUse(I.storeValue());
       } else {
         noteUse(I.src());
       }

@@ -54,6 +54,11 @@ uint64_t lcm::propagateCopies(Function &Fn) {
           New.Rhs = rewriteOperand(Old.Rhs);
         if (!(New == Old))
           I = Instr::makeOperation(I.dest(), Pool.intern(New));
+      } else if (I.isStore()) {
+        Operand Addr = rewriteOperand(I.storeAddr());
+        Operand Value = rewriteOperand(I.storeValue());
+        if (!(Addr == I.storeAddr()) || !(Value == I.storeValue()))
+          I.setStoreOperands(Addr, Value);
       } else {
         Operand Src = rewriteOperand(I.src());
         if (!(Src == I.src()))
@@ -103,18 +108,25 @@ CleanupReport lcm::eliminateDeadCode(Function &Fn,
       Kept.reserve(Instrs.size());
       for (size_t I = Instrs.size(); I-- != 0;) {
         const Instr &In = Instrs[I];
-        if (!LiveAfter.test(In.dest())) {
+        // Stores write observable memory: always roots, never removed.
+        if (!In.isStore() && !LiveAfter.test(In.dest())) {
           ++Report.InstrsRemoved;
           Changed = true;
           continue; // Dead: expressions have no side effects.
         }
-        LiveAfter.reset(In.dest());
+        if (!In.isStore())
+          LiveAfter.reset(In.dest());
         if (In.isOperation()) {
           const Expr &E = Fn.exprs().expr(In.exprId());
           if (E.Lhs.isVar())
             LiveAfter.set(E.Lhs.var());
           if (E.isBinary() && E.Rhs.isVar())
             LiveAfter.set(E.Rhs.var());
+        } else if (In.isStore()) {
+          if (In.storeAddr().isVar())
+            LiveAfter.set(In.storeAddr().var());
+          if (In.storeValue().isVar())
+            LiveAfter.set(In.storeValue().var());
         } else if (In.src().isVar()) {
           LiveAfter.set(In.src().var());
         }

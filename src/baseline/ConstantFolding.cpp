@@ -110,6 +110,9 @@ std::optional<Operand> lcm::simplifyExpr(const Expr &E) {
   case Opcode::Neg:
   case Opcode::Not:
     break;
+  case Opcode::Load:
+    // Memory contents are unknown at compile time; never fold a load.
+    break;
   }
   return std::nullopt;
 }
@@ -150,6 +153,11 @@ ConstantFoldingReport lcm::runConstantFolding(Function &Fn) {
         } else if (!(Propagated == E)) {
           I = Instr::makeOperation(I.dest(), Pool.intern(Propagated));
         }
+      } else if (I.isStore()) {
+        Operand Addr = propagate(I.storeAddr());
+        Operand Value = propagate(I.storeValue());
+        if (!(Addr == I.storeAddr()) || !(Value == I.storeValue()))
+          I.setStoreOperands(Addr, Value);
       } else {
         Operand Src = propagate(I.src());
         if (!(Src == I.src()))

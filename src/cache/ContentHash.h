@@ -51,7 +51,11 @@ namespace cache {
 /// v3: the fingerprint covers the request's edge profile (ProfileKey) —
 /// the specpre pass makes the optimized output a function of the profile,
 /// so profiled and unprofiled requests must never share entries.
-inline constexpr uint32_t CacheSchemaVersion = 3;
+///
+/// v4: entries gained the measured-profile payload (CacheEntry::
+/// ProfileJson, the `profile_out` response field), so v3 disk entries —
+/// which would replay check:true results without one — are stale.
+inline constexpr uint32_t CacheSchemaVersion = 4;
 
 /// A 128-bit content digest.
 struct Digest {

@@ -162,6 +162,8 @@ bool DiskCache::get(const Digest &Key, CacheEntry &Out) {
     Out.CheckRuns = unsigned(C->asUInt());
   if (const Value *R = Doc.V.find("report"))
     Out.ReportJson = R->isString() ? R->asString() : std::string();
+  if (const Value *P = Doc.V.find("profile"))
+    Out.ProfileJson = P->isString() ? P->asString() : std::string();
 
   // Touch for LRU-by-mtime recency across restarts.
   ::utimes(Path.c_str(), nullptr);
@@ -184,6 +186,8 @@ void DiskCache::put(const Digest &Key, const CacheEntry &Entry) {
   Doc.set("ir", Value::str(Entry.Ir));
   if (!Entry.ReportJson.empty())
     Doc.set("report", Value::str(Entry.ReportJson));
+  if (!Entry.ProfileJson.empty())
+    Doc.set("profile", Value::str(Entry.ProfileJson));
   const std::string Text = Doc.dump(0) + "\n";
   if (Text.size() > Opts.MaxBytes)
     return;

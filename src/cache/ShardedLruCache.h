@@ -52,10 +52,17 @@ struct CacheEntry {
   /// Compact lcm-run-report-v1 JSON when the request asked for one;
   /// empty otherwise.
   std::string ReportJson;
+  /// Compact lcm-profile-v1 JSON measured from the check runs of the
+  /// original program (`check: true` requests only); empty otherwise.
+  /// Served back as the response's `profile_out` field so a client can
+  /// close the profile loop without instrumenting anything itself.
+  std::string ProfileJson;
 
   /// Budget charge: payload bytes plus a fixed overhead estimate for the
   /// index/list bookkeeping.
-  size_t bytes() const { return Ir.size() + ReportJson.size() + 96; }
+  size_t bytes() const {
+    return Ir.size() + ReportJson.size() + ProfileJson.size() + 96;
+  }
 };
 
 class ShardedLruCache {

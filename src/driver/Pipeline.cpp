@@ -15,6 +15,7 @@
 #include "core/Lcm.h"
 #include "core/LocalCse.h"
 #include "ext/StrengthReduction.h"
+#include "gvn/Gvn.h"
 #include "ir/Verifier.h"
 #include "specpre/SpecPre.h"
 #include "support/BitVector.h"
@@ -137,6 +138,17 @@ const std::map<std::string, PassFn> &registry() {
          thread_local PreRunResult R;
          runPreInto(F, PreStrategy::AlmostLazy, SolverStrategy::Sparse, R);
          return preChanges(R);
+       }},
+      {"gvn",
+       [](Function &F) {
+         // Value-numbering front end: rewrites congruent expressions to
+         // one lexical form so LCM shares their dataflow slot
+         // (docs/GVN.md).  Merging can leave one block computing the same
+         // expression twice, which breaks the LCSE precondition LCM's
+         // transformation assumes — so the pass re-establishes it before
+         // returning.  Global elimination is still left entirely to LCM.
+         gvn::GvnReport R = gvn::runGvn(F);
+         return R.MergedExprs + R.OperandsRewritten + runLocalCse(F);
        }},
       {"specpre",
        [](Function &F) {

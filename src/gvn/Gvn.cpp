@@ -1,0 +1,271 @@
+//===- gvn/Gvn.cpp -------------------------------------------------------===//
+
+#include "gvn/Gvn.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "baseline/Canonicalize.h"
+#include "graph/Dfs.h"
+#include "support/Stats.h"
+
+using namespace lcm;
+using namespace lcm::gvn;
+
+namespace {
+
+/// A congruence term.  Interned structurally; the dense ClassId order is
+/// creation order along the RPO walk, so runs are deterministic.
+struct TermKey {
+  enum Kind : uint8_t { Entry, Const, Op, Store };
+  uint8_t K;
+  uint8_t Opc;      ///< Opcode for Kind::Op, else 0.
+  int64_t A, B, C;  ///< Payload (see makers below).
+
+  bool operator<(const TermKey &R) const {
+    return std::tie(K, Opc, A, B, C) < std::tie(R.K, R.Opc, R.A, R.B, R.C);
+  }
+};
+
+TermKey entryKey(BlockId Blk, VarId V) {
+  return {TermKey::Entry, 0, int64_t(Blk), int64_t(V), 0};
+}
+TermKey constKey(int64_t Val) { return {TermKey::Const, 0, Val, 0, 0}; }
+TermKey opKey(Opcode Opc, ClassId L, ClassId R) {
+  return {TermKey::Op, uint8_t(Opc), int64_t(L), int64_t(R), 0};
+}
+TermKey storeKey(ClassId Addr, ClassId Val, ClassId PrevMem) {
+  return {TermKey::Store, 0, int64_t(Addr), int64_t(Val), int64_t(PrevMem)};
+}
+
+/// The class table: term -> dense id, plus per-class facts.
+struct Numbering {
+  std::map<TermKey, ClassId> Interned;
+  std::vector<uint8_t> KindOf;
+  std::vector<int64_t> ConstOf; ///< Value for Const classes, else 0.
+  /// First variable observed holding the class (RPO order).  A rewrite to
+  /// the home is legal only where the flow state still maps it to the
+  /// class; call sites check that.
+  std::vector<VarId> HomeOf;
+
+  ClassId intern(const TermKey &Key) {
+    auto [It, New] = Interned.try_emplace(Key, ClassId(KindOf.size()));
+    if (New) {
+      KindOf.push_back(Key.K);
+      ConstOf.push_back(Key.K == TermKey::Const ? Key.A : 0);
+      HomeOf.push_back(InvalidVar);
+    }
+    return It->second;
+  }
+
+  bool isConst(ClassId C) const { return KindOf[C] == TermKey::Const; }
+  int64_t constVal(ClassId C) const { return ConstOf[C]; }
+};
+
+/// Ordered comparisons flip to their mirrored mnemonic so `a > b` and
+/// `b < a` share a class (and, after rewriting, a lexical form).
+bool flipsToMirror(Opcode Opc, Opcode &Mirror) {
+  switch (Opc) {
+  case Opcode::CmpGt:
+    Mirror = Opcode::CmpLt;
+    return true;
+  case Opcode::CmpGe:
+    Mirror = Opcode::CmpLe;
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+GvnReport gvn::runGvn(Function &Fn, ValueNumbering *VN) {
+  GvnReport R;
+  ExprPool &Pool = Fn.exprs();
+  const size_t NumVars = Fn.numVars();
+  const size_t NumBlocks = Fn.numBlocks();
+  const VarId MemVar = Fn.findMemoryVar();
+
+  Numbering N;
+  std::vector<BlockId> Order = reversePostOrder(Fn);
+  std::vector<char> Processed(NumBlocks, 0);
+  std::vector<std::vector<ClassId>> ExitState(NumBlocks);
+  std::vector<ClassId> State(NumVars, InvalidClass);
+
+  if (VN) {
+    VN->ClassOf.assign(NumBlocks, {});
+    VN->NumClasses = 0;
+  }
+
+  /// One operation occurrence: where it sits, what it read, and the
+  /// canonical form that was valid at that point.
+  struct OpSite {
+    BlockId Blk;
+    uint32_t Idx;
+    ExprId Orig;
+    Expr Canon;
+  };
+  std::vector<OpSite> Sites;
+  std::vector<char> ResultSeen; // distinct result classes, grown lazily
+
+  auto noteResultClass = [&](ClassId C) {
+    if (C >= ResultSeen.size())
+      ResultSeen.resize(C + 1, 0);
+    if (!ResultSeen[C]) {
+      ResultSeen[C] = 1;
+      ++R.Classes;
+    }
+  };
+
+  for (BlockId BId : Order) {
+    BasicBlock &B = Fn.block(BId);
+
+    // Block-entry state: inherit a variable's class only when every
+    // predecessor has been processed and they all agree; otherwise the
+    // variable pessimistically starts a fresh entry class (this covers
+    // loop headers and disagreeing joins — the no-SSA analogue of a phi).
+    if (BId == Fn.entry()) {
+      for (VarId V = 0; V != NumVars; ++V)
+        State[V] = N.intern(entryKey(BId, V));
+    } else {
+      bool AllPreds = true;
+      for (BlockId P : B.preds())
+        AllPreds = AllPreds && Processed[P];
+      for (VarId V = 0; V != NumVars; ++V) {
+        ClassId C = InvalidClass;
+        if (AllPreds) {
+          C = ExitState[B.preds().front()][V];
+          for (BlockId P : B.preds())
+            if (ExitState[P][V] != C)
+              C = InvalidClass;
+        }
+        State[V] = C != InvalidClass ? C : N.intern(entryKey(BId, V));
+      }
+    }
+    for (VarId V = 0; V != NumVars; ++V)
+      if (N.HomeOf[State[V]] == InvalidVar)
+        N.HomeOf[State[V]] = V;
+
+    auto classOfOperand = [&](Operand O) {
+      return O.isConst() ? N.intern(constKey(O.constVal())) : State[O.var()];
+    };
+    // The congruent representative that is valid *here*: the class
+    // constant, or the class home while it still holds the class.
+    auto repOperand = [&](Operand O) {
+      if (O.isConst())
+        return O;
+      ClassId C = State[O.var()];
+      if (N.isConst(C))
+        return Operand::makeConst(N.constVal(C));
+      VarId H = N.HomeOf[C];
+      if (H != InvalidVar && H != O.var() && H != MemVar && State[H] == C)
+        return Operand::makeVar(H);
+      return O;
+    };
+
+    auto &Instrs = B.instrs();
+    for (uint32_t Idx = 0; Idx != Instrs.size(); ++Idx) {
+      Instr &I = Instrs[Idx];
+      ClassId Result;
+      if (I.isOperation()) {
+        const Expr &E = Pool.expr(I.exprId());
+        Expr Canon = E;
+        Canon.Lhs = repOperand(E.Lhs);
+        // A load's Rhs is the `@mem` pseudo-variable and must stay so.
+        if (E.isBinary() && E.Op != Opcode::Load)
+          Canon.Rhs = repOperand(E.Rhs);
+        Opcode Mirror;
+        if (flipsToMirror(Canon.Op, Mirror)) {
+          Canon.Op = Mirror;
+          std::swap(Canon.Lhs, Canon.Rhs);
+        }
+        if (isCommutativeOpcode(Canon.Op) && Canon.Rhs < Canon.Lhs)
+          std::swap(Canon.Lhs, Canon.Rhs);
+
+        ClassId CL = classOfOperand(Canon.Lhs);
+        ClassId CR =
+            Canon.isBinary() ? classOfOperand(Canon.Rhs) : InvalidClass;
+        if (Canon.Op != Opcode::Load && N.isConst(CL) &&
+            (!Canon.isBinary() || N.isConst(CR))) {
+          int64_t Val = evalOpcode(Canon.Op, N.constVal(CL),
+                                   Canon.isBinary() ? N.constVal(CR) : 0);
+          Result = N.intern(constKey(Val));
+        } else {
+          ClassId KL = CL, KR = CR;
+          if (isCommutativeOpcode(Canon.Op) && KR < KL)
+            std::swap(KL, KR);
+          Result = N.intern(opKey(Canon.Op, KL, KR));
+        }
+        Sites.push_back({BId, Idx, I.exprId(), Canon});
+      } else if (I.isStore()) {
+        Operand Addr = repOperand(I.storeAddr());
+        Operand Val = repOperand(I.storeValue());
+        if (!(Addr == I.storeAddr()) || !(Val == I.storeValue())) {
+          I.setStoreOperands(Addr, Val);
+          ++R.OperandsRewritten;
+        }
+        Result = N.intern(
+            storeKey(classOfOperand(Addr), classOfOperand(Val), State[MemVar]));
+      } else {
+        Operand Src = repOperand(I.src());
+        if (!(Src == I.src())) {
+          I = Instr::makeCopy(I.dest(), Src);
+          ++R.OperandsRewritten;
+        }
+        Result = classOfOperand(Src);
+      }
+      State[I.dest()] = Result;
+      if (N.HomeOf[Result] == InvalidVar)
+        N.HomeOf[Result] = I.dest();
+      noteResultClass(Result);
+      if (VN)
+        VN->ClassOf[BId].push_back(Result);
+      ++R.InstrsNumbered;
+    }
+
+    ExitState[BId] = State;
+    Processed[BId] = 1;
+  }
+
+  // Rewrite phase, grouped by original expression: adopt the canonical
+  // form only when every occurrence canonicalized identically, so a
+  // lexical class is merged whole or left untouched — never split.
+  std::vector<char> HasForm(Pool.size(), 0), FormOk(Pool.size(), 1);
+  std::vector<Expr> Form(Pool.size());
+  for (const OpSite &S : Sites) {
+    if (!HasForm[S.Orig]) {
+      HasForm[S.Orig] = 1;
+      Form[S.Orig] = S.Canon;
+    } else if (!(Form[S.Orig] == S.Canon)) {
+      FormOk[S.Orig] = 0;
+    }
+  }
+  uint64_t OldDistinct = 0;
+  std::vector<char> Adopted(Pool.size(), 0);
+  for (ExprId E = 0; E != Pool.size(); ++E) {
+    if (!HasForm[E])
+      continue;
+    ++OldDistinct;
+    if (FormOk[E] && !(Form[E] == Pool.expr(E)))
+      Adopted[E] = 1;
+    else
+      Form[E] = Pool.expr(E); // keep the original form everywhere
+  }
+
+  // Rebuild the pool: every surviving form is re-interned, dead lexical
+  // forms vanish, and every bit vector downstream narrows accordingly.
+  Pool.clearRetaining();
+  for (const OpSite &S : Sites) {
+    Instr &I = Fn.block(S.Blk).instrs()[S.Idx];
+    I = Instr::makeOperation(I.dest(), Pool.intern(Form[S.Orig]));
+    R.OperandsRewritten += Adopted[S.Orig];
+  }
+  R.MergedExprs = OldDistinct - Pool.size();
+
+  if (VN)
+    VN->NumClasses = uint32_t(N.KindOf.size());
+  Stats::bump("gvn.classes", R.Classes);
+  Stats::bump("gvn.merged_exprs", R.MergedExprs);
+  return R;
+}

@@ -1,0 +1,86 @@
+//===- gvn/Gvn.h - Hash-based global value numbering front end -----------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lazy code motion is purely lexical: `t = a + b` and `u = c + b` occupy
+/// different bit-vector slots even when `c` is a copy of `a`.  This pass
+/// runs a hash-based global value numbering over the CFG (no SSA required:
+/// variable states are merged per block, pessimistically at joins that
+/// disagree and at loop headers) and then rewrites operation operands so
+/// congruent expressions converge to one lexical form — one ExprId, one
+/// dataflow slot.  It performs *no* redundancy elimination of its own;
+/// making redundancy visible and letting LCM place the computations is the
+/// entire point.
+///
+/// Congruence terms cover constants (folded through `evalOpcode`'s total
+/// semantics), block-entry values, operator applications with commutative
+/// operand sorting and ordered-comparison flipping, and the memory model:
+/// a load is congruent to another load when address *and* memory state
+/// match, and a store produces a fresh memory state from (address, value,
+/// previous state).
+///
+/// Merging can leave a single block computing the same expression twice —
+/// which violates the LCSE precondition LCM's transformation assumes.
+/// Run local CSE after this pass (the `gvn` pipeline pass does so
+/// itself); global elimination stays LCM's job.
+///
+/// Rewrites are grouped by original expression: every occurrence must
+/// canonicalize to the identical form, or the expression is left alone.
+/// Lexical classes therefore only ever merge — the pass cannot split an
+/// expression the downstream LCM already shared.  Afterwards the
+/// expression pool is compacted so dead lexical forms stop widening every
+/// bit vector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_GVN_GVN_H
+#define LCM_GVN_GVN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/Function.h"
+
+namespace lcm {
+namespace gvn {
+
+/// Dense id of a value congruence class.
+using ClassId = uint32_t;
+constexpr ClassId InvalidClass = ~ClassId(0);
+
+/// The value-numbering table: one class id per instruction result.
+/// For operations and copies this is the class of the destination value;
+/// for stores it is the class of the memory state the store produces.
+struct ValueNumbering {
+  /// ClassOf[b][i] is the class of instruction i of block b.
+  std::vector<std::vector<ClassId>> ClassOf;
+  /// Total classes interned (operand and entry classes included).
+  uint32_t NumClasses = 0;
+};
+
+/// Outcome of one GVN run.
+struct GvnReport {
+  /// Distinct congruence classes over instruction results.
+  uint64_t Classes = 0;
+  /// Lexically distinct expressions merged into a class-mate's form.
+  uint64_t MergedExprs = 0;
+  /// Operands rewritten to a congruent representative (or constant).
+  uint64_t OperandsRewritten = 0;
+  /// Instructions assigned a value class.
+  uint64_t InstrsNumbered = 0;
+};
+
+/// Value-numbers \p Fn and rewrites it in place as described above.
+/// Fills \p VN (when non-null) with the per-instruction class table,
+/// indexed against the *rewritten* function (instruction positions are
+/// preserved; no instruction is added or removed).
+GvnReport runGvn(Function &Fn, ValueNumbering *VN = nullptr);
+
+} // namespace gvn
+} // namespace lcm
+
+#endif // LCM_GVN_GVN_H

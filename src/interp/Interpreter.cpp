@@ -13,6 +13,9 @@ InterpResult Interpreter::run(const Function &Fn,
     R.Vars[V] = InitialVars[V];
   R.EvalsPerExpr.assign(Fn.exprs().size(), 0);
   R.VisitsPerBlock.assign(Fn.numBlocks(), 0);
+  R.SuccTraversals.resize(Fn.numBlocks());
+  for (const BasicBlock &B : Fn.blocks())
+    R.SuccTraversals[B.id()].assign(B.succs().size(), 0);
 
   auto operandValue = [&R](Operand O) {
     return O.isConst() ? O.constVal() : R.Vars[O.var()];
@@ -36,9 +39,21 @@ InterpResult Interpreter::run(const Function &Fn,
         const Expr &E = Fn.exprs().expr(I.exprId());
         int64_t A = operandValue(E.Lhs);
         int64_t C = E.isBinary() ? operandValue(E.Rhs) : 0;
-        R.Vars[I.dest()] = evalOpcode(E.Op, A, C);
+        if (E.Op == Opcode::Load) {
+          // Loads read the memory map, not evalOpcode: Lhs is the address
+          // and Rhs is the `@mem` epoch (data dependence only).
+          auto It = R.Mem.find(A);
+          R.Vars[I.dest()] = It == R.Mem.end() ? memDefault(A) : It->second;
+        } else {
+          R.Vars[I.dest()] = evalOpcode(E.Op, A, C);
+        }
         ++R.TotalEvals;
         ++R.EvalsPerExpr[I.exprId()];
+      } else if (I.isStore()) {
+        R.Mem[operandValue(I.storeAddr())] = operandValue(I.storeValue());
+        // `@mem` holds a store epoch: every write advances it, so later
+        // loads (which read `@mem`) see a changed operand.
+        R.Vars[I.dest()] += 1;
       } else {
         R.Vars[I.dest()] = operandValue(I.src());
       }
@@ -49,15 +64,17 @@ InterpResult Interpreter::run(const Function &Fn,
       R.ReachedExit = true;
       break;
     }
+    size_t Choice = 0;
     if (Succs.size() == 1) {
-      Cur = Succs[0];
+      Choice = 0;
     } else if (B.hasConditionalBranch()) {
-      Cur = R.Vars[*B.condVar()] != 0 ? Succs[0] : Succs[1];
+      Choice = R.Vars[*B.condVar()] != 0 ? 0 : 1;
     } else {
-      size_t Choice = Oracle.decide(Cur, Succs.size(), Decisions++);
+      Choice = Oracle.decide(Cur, Succs.size(), Decisions++);
       assert(Choice < Succs.size() && "oracle returned bad successor");
-      Cur = Succs[Choice];
     }
+    ++R.SuccTraversals[Cur][Choice];
+    Cur = Succs[Choice];
   }
   return R;
 }
@@ -75,5 +92,15 @@ bool lcm::sameObservableBehaviour(const InterpResult &A,
     if (A.Vars[V] != B.Vars[V])
       return false;
   }
+  // Memory must agree address-by-address; an address only one run wrote
+  // must have been written with the value the other run reads by default.
+  for (const auto &[Addr, Val] : A.Mem) {
+    auto It = B.Mem.find(Addr);
+    if (Val != (It == B.Mem.end() ? memDefault(Addr) : It->second))
+      return false;
+  }
+  for (const auto &[Addr, Val] : B.Mem)
+    if (!A.Mem.count(Addr) && Val != memDefault(Addr))
+      return false;
   return true;
 }

@@ -23,6 +23,7 @@
 #ifndef LCM_INTERP_INTERPRETER_H
 #define LCM_INTERP_INTERPRETER_H
 
+#include <map>
 #include <vector>
 
 #include "interp/Oracle.h"
@@ -34,6 +35,9 @@ namespace lcm {
 struct InterpResult {
   /// Final variable state (indexed by VarId).
   std::vector<int64_t> Vars;
+  /// Final memory state: address -> value for every address some store
+  /// wrote.  Addresses never written read as memDefault(addr).
+  std::map<int64_t, int64_t> Mem;
   /// True if the exit block finished executing within the budget.
   bool ReachedExit = false;
   /// Blocks executed (all of them, split blocks included).
@@ -47,6 +51,11 @@ struct InterpResult {
   std::vector<uint64_t> EvalsPerExpr;
   /// Per-block execution counts (dynamic block frequencies).
   std::vector<uint64_t> VisitsPerBlock;
+  /// Per-block, per-successor-position traversal counts: how many times
+  /// execution left block B through its I-th out-edge.  This is exactly
+  /// the raw material of a measured `lcm-profile-v1` edge profile
+  /// (specpre::profileFromTraversals).
+  std::vector<std::vector<uint64_t>> SuccTraversals;
 };
 
 /// The interpreter.  Stateless; everything lives in the run call.

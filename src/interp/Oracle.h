@@ -58,6 +58,7 @@ public:
       : Decisions(std::move(Decisions)) {}
 
   size_t decide(BlockId, size_t NumSuccs, uint64_t Index) override {
+    (void)NumSuccs;
     if (Index >= Decisions.size())
       return 0;
     assert(Decisions[Index] < NumSuccs && "replayed decision out of range");

@@ -50,6 +50,8 @@ const char *lcm::opcodeName(Opcode Op) {
     return "neg";
   case Opcode::Not:
     return "not";
+  case Opcode::Load:
+    return "load";
   }
   return "?";
 }
@@ -96,6 +98,8 @@ const char *lcm::opcodeSymbol(Opcode Op) {
     return "-";
   case Opcode::Not:
     return "~";
+  case Opcode::Load:
+    return "load";
   }
   return "?";
 }
@@ -152,8 +156,16 @@ int64_t lcm::evalOpcode(Opcode Op, int64_t A, int64_t B) {
     return int64_t(0 - UA);
   case Opcode::Not:
     return int64_t(~UA);
+  case Opcode::Load:
+    // Only reachable when folding a load from provably-unwritten memory;
+    // the interpreter evaluates loads against its memory map instead.
+    return memDefault(A);
   }
   return 0;
+}
+
+int64_t lcm::memDefault(int64_t Addr) {
+  return int64_t(mixHash64(uint64_t(Addr) ^ 0x6d656d6465666175ULL));
 }
 
 uint64_t ExprPool::hashExpr(const Expr &E) {

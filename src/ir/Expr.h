@@ -64,10 +64,15 @@ enum class Opcode : uint8_t {
   // Unary.
   Neg,
   Not,
+  // Memory.  A load is a *binary* expression: Lhs is the address and Rhs
+  // names the function's memory pseudo-variable `@mem`
+  // (Function::memoryVar), so every store -- which writes `@mem` -- kills
+  // every load through the ordinary exprsReadingVar machinery.
+  Load,
 };
 
 /// Number of distinct opcodes (keep in sync with the enum).
-constexpr unsigned NumOpcodes = unsigned(Opcode::Not) + 1;
+constexpr unsigned NumOpcodes = unsigned(Opcode::Load) + 1;
 
 /// True for two-operand opcodes.
 bool isBinaryOpcode(Opcode Op);
@@ -84,6 +89,11 @@ const char *opcodeSymbol(Opcode Op);
 /// low six bits of the shift amount.  Totality keeps speculative execution
 /// of any expression well defined, which the safety experiments rely on.
 int64_t evalOpcode(Opcode Op, int64_t A, int64_t B);
+
+/// The value a load observes at an address no store has written: a
+/// deterministic mix of the address, so memory reads are total (loads never
+/// trap) and the interpreter oracle and constant reasoning agree on them.
+int64_t memDefault(int64_t Addr);
 
 /// A variable or an integer constant.
 class Operand {

@@ -168,6 +168,9 @@ std::string Function::exprText(ExprId E) const {
   const Expr &Ex = Exprs.expr(E);
   if (!Ex.isBinary())
     return std::string(opcodeSymbol(Ex.Op)) + " " + operandText(Ex.Lhs);
+  if (Ex.Op == Opcode::Load)
+    // The `@mem` operand is implicit in the surface syntax.
+    return std::string(opcodeSymbol(Ex.Op)) + " " + operandText(Ex.Lhs);
   if (Ex.Op == Opcode::Min || Ex.Op == Opcode::Max)
     return std::string(opcodeSymbol(Ex.Op)) + " " + operandText(Ex.Lhs) +
            " " + operandText(Ex.Rhs);
@@ -176,6 +179,9 @@ std::string Function::exprText(ExprId E) const {
 }
 
 std::string Function::instrText(const Instr &I) const {
+  if (I.isStore())
+    return "store " + operandText(I.storeAddr()) + " " +
+           operandText(I.storeValue());
   std::string Out = varName(I.dest()) + " = ";
   if (I.isOperation())
     Out += exprText(I.exprId());

@@ -108,6 +108,14 @@ public:
   /// Looks up a variable by name; returns InvalidVar if absent.
   VarId findVar(std::string_view VarName) const;
 
+  /// The `@mem` pseudo-variable modelling memory state: loads read it,
+  /// stores write it (created on first use).  `@` is not a legal identifier
+  /// head, so source programs can never name it directly.
+  VarId memoryVar() { return getOrAddVar("@mem"); }
+
+  /// `@mem`'s id if any load/store introduced it, else InvalidVar.
+  VarId findMemoryVar() const { return findVar("@mem"); }
+
   //===--------------------------------------------------------------------===
   // Blocks and edges
   //===--------------------------------------------------------------------===

@@ -62,6 +62,26 @@ IRBuilder &IRBuilder::copy(const std::string &Dest, Operand Src) {
   return *this;
 }
 
+IRBuilder &IRBuilder::load(const std::string &Dest, Operand Addr) {
+  assert(Cur != InvalidBlock && "no current block");
+  Expr Ex{Opcode::Load, Addr, Operand::makeVar(Fn.memoryVar())};
+  if (!withinLimits(Dest, &Ex))
+    return *this;
+  VarId D = Fn.getOrAddVar(Dest);
+  ExprId E = Fn.exprs().intern(Ex);
+  Fn.block(Cur).instrs().push_back(Instr::makeOperation(D, E));
+  return *this;
+}
+
+IRBuilder &IRBuilder::store(Operand Addr, Operand Value) {
+  assert(Cur != InvalidBlock && "no current block");
+  if (!withinLimits("@mem", nullptr))
+    return *this;
+  Fn.block(Cur).instrs().push_back(
+      Instr::makeStore(Fn.memoryVar(), Addr, Value));
+  return *this;
+}
+
 void IRBuilder::jump(BlockId Target) {
   assert(Cur != InvalidBlock && "no current block");
   Fn.addEdge(Cur, Target);

@@ -56,6 +56,12 @@ public:
   /// Appends `Dest = Src` to the current block.
   IRBuilder &copy(const std::string &Dest, Operand Src);
 
+  /// Appends `Dest = load Addr` to the current block (reads `@mem`).
+  IRBuilder &load(const std::string &Dest, Operand Addr);
+
+  /// Appends `store Addr Value` to the current block (writes `@mem`).
+  IRBuilder &store(Operand Addr, Operand Value);
+
   /// Shorthand for the ubiquitous `Dest = A + B` over variables.
   IRBuilder &add(const std::string &Dest, const std::string &A,
                  const std::string &B) {

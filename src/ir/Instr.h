@@ -30,6 +30,11 @@ public:
     Operation,
     /// Dest = Src (variable or constant).
     Copy,
+    /// mem[Src] = Src2.  Dest is the function's `@mem` pseudo-variable
+    /// (Function::memoryVar), so a store kills every load -- loads read
+    /// `@mem` -- through the ordinary var-write kill machinery.  Stores
+    /// are never PRE candidates and never removed.
+    Store,
   };
 
   static Instr makeOperation(VarId Dest, ExprId E) {
@@ -48,9 +53,19 @@ public:
     return I;
   }
 
+  static Instr makeStore(VarId MemVar, Operand Addr, Operand Value) {
+    Instr I;
+    I.TheKind = Kind::Store;
+    I.Dest = MemVar;
+    I.Src = Addr;
+    I.Src2 = Value;
+    return I;
+  }
+
   Kind kind() const { return TheKind; }
   bool isOperation() const { return TheKind == Kind::Operation; }
   bool isCopy() const { return TheKind == Kind::Copy; }
+  bool isStore() const { return TheKind == Kind::Store; }
 
   VarId dest() const { return Dest; }
   void setDest(VarId V) { Dest = V; }
@@ -65,6 +80,22 @@ public:
     return Src;
   }
 
+  Operand storeAddr() const {
+    assert(isStore() && "not a store");
+    return Src;
+  }
+
+  Operand storeValue() const {
+    assert(isStore() && "not a store");
+    return Src2;
+  }
+
+  void setStoreOperands(Operand Addr, Operand Value) {
+    assert(isStore() && "not a store");
+    Src = Addr;
+    Src2 = Value;
+  }
+
 private:
   Instr() = default;
 
@@ -72,6 +103,7 @@ private:
   VarId Dest = InvalidVar;
   ExprId TheExpr = InvalidExpr;
   Operand Src;
+  Operand Src2;
 };
 
 } // namespace lcm

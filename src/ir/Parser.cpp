@@ -187,6 +187,11 @@ bool parseAssignment(ParserState &S,
   if (S.InstrCount >= S.Limits.MaxInstrs)
     return limitErr(S, Line, "instruction count", S.Limits.MaxInstrs, Error);
   ++S.InstrCount;
+  if (Tokens[0] == "@mem") {
+    // The memory pseudo-variable is only ever written through `store`.
+    Error = err(Line, "'@mem' is reserved and cannot be assigned");
+    return false;
+  }
   if (S.Fn.findVar(Tokens[0]) == InvalidVar &&
       S.Fn.numVars() >= S.Limits.MaxVars)
     return limitErr(S, Line, "variable count", S.Limits.MaxVars, Error);
@@ -200,6 +205,22 @@ bool parseAssignment(ParserState &S,
     if (!parseOperand(S, Tokens[2], Src, Line, Error))
       return false;
     Instrs.push_back(Instr::makeCopy(Dest, Src));
+    return true;
+  }
+  if (N == 4 && Tokens[2] == "load") {
+    // Load: dst = load addr.  The second operand is the implicit `@mem`
+    // pseudo-variable, which makes every store kill every load.
+    Operand Addr;
+    if (!parseOperand(S, Tokens[3], Addr, Line, Error))
+      return false;
+    if (S.Fn.findMemoryVar() == InvalidVar &&
+        S.Fn.numVars() >= S.Limits.MaxVars)
+      return limitErr(S, Line, "variable count", S.Limits.MaxVars, Error);
+    Expr Ex{Opcode::Load, Addr, Operand::makeVar(S.Fn.memoryVar())};
+    if (S.Fn.exprs().lookup(Ex) == InvalidExpr &&
+        S.Fn.exprs().size() >= S.Limits.MaxExprs)
+      return limitErr(S, Line, "expression count", S.Limits.MaxExprs, Error);
+    Instrs.push_back(Instr::makeOperation(Dest, S.Fn.exprs().intern(Ex)));
     return true;
   }
   if (N == 4) {
@@ -255,6 +276,32 @@ bool parseAssignment(ParserState &S,
   }
   Error = err(Line, "malformed assignment");
   return false;
+}
+
+/// Parses one store line: Tokens = ["store", addr, value].
+bool parseStore(ParserState &S, const std::vector<std::string_view> &Tokens,
+                int Line, std::string &Error) {
+  if (S.CurTerminated) {
+    Error = err(Line, "instruction after terminator");
+    return false;
+  }
+  if (Tokens.size() != 3) {
+    Error = err(Line, "expected 'store ADDR VALUE'");
+    return false;
+  }
+  if (S.InstrCount >= S.Limits.MaxInstrs)
+    return limitErr(S, Line, "instruction count", S.Limits.MaxInstrs, Error);
+  ++S.InstrCount;
+  Operand Addr, Value;
+  if (!parseOperand(S, Tokens[1], Addr, Line, Error) ||
+      !parseOperand(S, Tokens[2], Value, Line, Error))
+    return false;
+  if (S.Fn.findMemoryVar() == InvalidVar &&
+      S.Fn.numVars() >= S.Limits.MaxVars)
+    return limitErr(S, Line, "variable count", S.Limits.MaxVars, Error);
+  S.Fn.block(S.Cur).instrs().push_back(
+      Instr::makeStore(S.Fn.memoryVar(), Addr, Value));
+  return true;
 }
 
 } // namespace
@@ -396,6 +443,15 @@ void lcm::parseFunctionInto(std::string_view Source, const IRLimits &Limits,
         return;
       }
       S.CurTerminated = true;
+      continue;
+    }
+    // `store ADDR VALUE` -- unless a variable named "store" is being
+    // assigned, which keeps pre-memory programs parsing unchanged.
+    if (Head == "store" && (Tokens.size() < 2 || Tokens[1] != "=")) {
+      if (!parseStore(S, Tokens, Line, Result.Error)) {
+        Result.OverLimit = S.OverLimit;
+        return;
+      }
       continue;
     }
     // Otherwise this must be an assignment: dst = ...

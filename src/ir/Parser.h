@@ -16,6 +16,8 @@
 ///     x = min a b                  # mnemonic binary operation
 ///     x = - a                      # unary operation (also ~)
 ///     x = a                        # copy (variable or integer constant)
+///     x = load a                   # memory load (reads `@mem`)
+///     store a v                    # memory store (writes `@mem`)
 ///     goto LABEL                   # unconditional terminator
 ///     if c then L1 else L2         # conditional terminator
 ///     br L1 L2 ...                 # oracle-decided multiway terminator

@@ -30,6 +30,12 @@ void appendExpr(const Function &Fn, ExprId E, PrintSink &Sink) {
     appendOperand(Fn, Ex.Lhs, Sink);
     return;
   }
+  if (Ex.Op == Opcode::Load) {
+    // `load addr` -- the `@mem` operand is implicit in the syntax.
+    Sink.append(std::string_view("load "));
+    appendOperand(Fn, Ex.Lhs, Sink);
+    return;
+  }
   if (Ex.Op == Opcode::Min || Ex.Op == Opcode::Max) {
     Sink.append(std::string_view(opcodeSymbol(Ex.Op)));
     Sink.append(' ');
@@ -46,6 +52,13 @@ void appendExpr(const Function &Fn, ExprId E, PrintSink &Sink) {
 }
 
 void appendInstr(const Function &Fn, const Instr &I, PrintSink &Sink) {
+  if (I.isStore()) {
+    Sink.append(std::string_view("store "));
+    appendOperand(Fn, I.storeAddr(), Sink);
+    Sink.append(' ');
+    appendOperand(Fn, I.storeValue(), Sink);
+    return;
+  }
   Sink.append(Fn.varName(I.dest()));
   Sink.append(std::string_view(" = "));
   if (I.isOperation())

@@ -90,8 +90,12 @@ std::vector<std::string> lcm::verifyFunction(const Function &Fn) {
            " has a condition variable but not exactly two successors");
   }
 
-  // Instruction sanity.
+  // Instruction sanity.  The `@mem` pseudo-variable may appear only where
+  // the memory model puts it: as every load's Rhs and every store's dest.
+  const VarId MemVar = Fn.findMemoryVar();
   for (const BasicBlock &B : Fn.blocks()) {
+    if (B.condVar() && MemVar != InvalidVar && *B.condVar() == MemVar)
+      fail("block " + B.label() + " branches on '@mem'");
     for (const Instr &I : B.instrs()) {
       if (I.dest() >= Fn.numVars()) {
         fail("block " + B.label() + ": destination variable out of range");
@@ -107,8 +111,36 @@ std::vector<std::string> lcm::verifyFunction(const Function &Fn) {
           fail("block " + B.label() + ": expression operand out of range");
         if (E.isBinary() && E.Rhs.isVar() && E.Rhs.var() >= Fn.numVars())
           fail("block " + B.label() + ": expression operand out of range");
-      } else if (I.src().isVar() && I.src().var() >= Fn.numVars()) {
-        fail("block " + B.label() + ": copy source out of range");
+        if (E.Op == Opcode::Load &&
+            (!E.Rhs.isVar() || E.Rhs.var() != MemVar))
+          fail("block " + B.label() + ": load does not read '@mem'");
+        if (MemVar != InvalidVar) {
+          if (I.dest() == MemVar)
+            fail("block " + B.label() + ": operation assigns '@mem'");
+          if (E.Lhs.isVar() && E.Lhs.var() == MemVar)
+            fail("block " + B.label() +
+                 ": expression reads '@mem' as a value");
+          if (E.Op != Opcode::Load && E.isBinary() && E.Rhs.isVar() &&
+              E.Rhs.var() == MemVar)
+            fail("block " + B.label() +
+                 ": expression reads '@mem' as a value");
+        }
+      } else if (I.isStore()) {
+        if (MemVar == InvalidVar || I.dest() != MemVar)
+          fail("block " + B.label() + ": store does not write '@mem'");
+        for (Operand O : {I.storeAddr(), I.storeValue()}) {
+          if (O.isVar() && O.var() >= Fn.numVars())
+            fail("block " + B.label() + ": store operand out of range");
+          else if (O.isVar() && MemVar != InvalidVar && O.var() == MemVar)
+            fail("block " + B.label() + ": store operand reads '@mem'");
+        }
+      } else {
+        if (I.src().isVar() && I.src().var() >= Fn.numVars())
+          fail("block " + B.label() + ": copy source out of range");
+        else if (MemVar != InvalidVar &&
+                 (I.dest() == MemVar ||
+                  (I.src().isVar() && I.src().var() == MemVar)))
+          fail("block " + B.label() + ": copy touches '@mem'");
       }
     }
   }

@@ -23,8 +23,12 @@
 /// fields they use, so a version-unaware server answers a loud schema
 /// error instead of silently dropping a capability.  Responses
 /// carry schema "lcm-response-v1": a status code, the optimized IR on
-/// success, and a structured error otherwise.  Parsing a request never
-/// throws and never trusts a byte: every malformed input maps to a
+/// success, and a structured error otherwise.  A `check: true` success
+/// additionally carries `profile_out`, the lcm-profile-v1 edge counts
+/// measured while the check re-executed the original program — usable
+/// verbatim as the `profile` field of a later v3 request, closing the
+/// profile loop without client-side instrumentation.  Parsing a request
+/// never throws and never trusts a byte: every malformed input maps to a
 /// diagnostic.
 ///
 //===----------------------------------------------------------------------===//

@@ -45,6 +45,21 @@ public:
     return true;
   }
 
+  /// Like tryPush, but refusal leaves \p V untouched so the producer can
+  /// fall back to handling the item itself — the validator hand-off
+  /// contract, where a full queue must not drop an already-computed
+  /// result.  On success \p V is moved from.
+  bool tryHandOff(T &V) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Closed || Items.size() >= Capacity)
+        return false;
+      Items.push_back(std::move(V));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
   /// Blocks for the next item.  Returns false once the queue is closed
   /// *and* fully drained — the consumer's signal to exit.
   bool pop(T &Out) {

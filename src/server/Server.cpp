@@ -108,7 +108,8 @@ int makeUnixListener(const std::string &Path, std::string &Error) {
 //===----------------------------------------------------------------------===//
 
 Server::Server(ServerOptions Opts)
-    : Opts(Opts), Svc(Opts.Service), Queue(Opts.QueueCapacity) {}
+    : Opts(Opts), Svc(Opts.Service), Queue(Opts.QueueCapacity),
+      ValidatorQueue(Opts.ValidatorQueueCapacity) {}
 
 Server::~Server() { shutdown(); }
 
@@ -137,11 +138,17 @@ bool Server::start(std::string &Error) {
     AcceptThreads.emplace_back([this] { acceptLoop(TcpListenFd, "tcp"); });
   if (UnixListenFd >= 0)
     AcceptThreads.emplace_back([this] { acceptLoop(UnixListenFd, "unix"); });
+  // Validators start before workers: a worker must never observe a
+  // half-started validator pool when deciding whether to hand off.
+  if (!Opts.Handler)
+    for (unsigned I = 0; I != Opts.Validators; ++I)
+      ValidatorThreads.emplace_back([this, I] { validatorLoop(I); });
   for (unsigned I = 0; I != std::max(1u, Opts.Workers); ++I)
     WorkerThreads.emplace_back([this, I] { workerLoop(I); });
   Trace::event("I", "server.lifecycle", "start",
                "workers=" + std::to_string(std::max(1u, Opts.Workers)) +
-                   " queue=" + std::to_string(Opts.QueueCapacity));
+                   " queue=" + std::to_string(Opts.QueueCapacity) +
+                   " validators=" + std::to_string(ValidatorThreads.size()));
   return true;
 }
 
@@ -167,11 +174,18 @@ void Server::shutdown() {
   }
 
   // 2. Drain: refuse new work (readers answer shutting_down from the
-  //    Draining flag), let workers finish everything already admitted.
+  //    Draining flag), let workers finish everything already admitted,
+  //    then let validators finish every check the workers handed off —
+  //    workers are the validator queue's only producers, so closing it
+  //    after they join loses nothing.
   Queue.close();
   for (std::thread &T : WorkerThreads)
     T.join();
   WorkerThreads.clear();
+  ValidatorQueue.close();
+  for (std::thread &T : ValidatorThreads)
+    T.join();
+  ValidatorThreads.clear();
 
   // 3. Close connections and join their readers.
   std::vector<std::shared_ptr<Connection>> Conns;
@@ -320,17 +334,52 @@ void Server::readerLoop(const std::shared_ptr<Connection> &Conn) {
 
 void Server::workerLoop(unsigned Index) {
   Trace::Scope T("server.worker", std::to_string(Index));
+  const bool Offload = !Opts.Handler && !ValidatorThreads.empty();
   uint64_t Handled = 0;
   Job J;
   while (Queue.pop(J)) {
     const auto Start = std::chrono::steady_clock::now();
-    Value Response =
-        Opts.Handler ? Opts.Handler(J.Payload) : Svc.handle(J.Payload);
+    Service::PendingValidation Pending;
+    Value Response = Opts.Handler ? Opts.Handler(J.Payload)
+                     : Offload    ? Svc.handle(J.Payload, Pending)
+                                  : Svc.handle(J.Payload);
     FramePool.release(std::move(J.Payload));
+    if (Pending.Active) {
+      // Hand the equivalence check to the validator pool so this worker
+      // can pick up the next pipeline run.  A refused hand-off (full
+      // queue) finishes inline — the request was already admitted and
+      // computed, so shedding it here would waste the work.
+      ValidationJob VJ{std::move(J.Conn), std::move(Pending), Start};
+      if (ValidatorQueue.tryHandOff(VJ)) {
+        Stats::bump("server.validations_offloaded");
+        ++Handled;
+        continue;
+      }
+      Stats::bump("server.validations_inline_fallback");
+      Response = Svc.finishValidation(std::move(VJ.P));
+      J.Conn = std::move(VJ.Conn);
+    }
     writeResponse(*J.Conn, Response);
     requestDurations().observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
+            .count());
+    J.Conn.reset();
+    ++Handled;
+  }
+  T.note("handled", Handled);
+}
+
+void Server::validatorLoop(unsigned Index) {
+  Trace::Scope T("server.validator", std::to_string(Index));
+  uint64_t Handled = 0;
+  ValidationJob J;
+  while (ValidatorQueue.pop(J)) {
+    Value Response = Svc.finishValidation(std::move(J.P));
+    writeResponse(*J.Conn, Response);
+    requestDurations().observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      J.Start)
             .count());
     J.Conn.reset();
     ++Handled;

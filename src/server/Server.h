@@ -19,7 +19,11 @@
 /// - N worker threads popping the bounded queue, running the pipeline with
 ///   per-thread solver arenas (the dataflow engine's FactArena is
 ///   thread_local), and writing responses under a per-connection mutex so
-///   concurrent responses to a pipelining client never interleave.
+///   concurrent responses to a pipelining client never interleave;
+/// - optionally (Validators > 0) a validator pool completing the
+///   per-request equivalence check of `validate: true` requests, so the
+///   interpreter re-executions never occupy a pipeline worker; a full
+///   validator queue degrades gracefully to inline validation.
 ///
 /// shutdown() is the graceful drain SIGTERM triggers in the daemon: stop
 /// accepting, refuse new frames with `shutting_down`, answer everything
@@ -31,6 +35,7 @@
 #define LCM_SERVER_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -93,6 +98,14 @@ struct ServerOptions {
   unsigned Workers = 2;
   /// Bounded queue capacity; a full queue answers `overloaded`.
   size_t QueueCapacity = 64;
+  /// Dedicated threads completing `validate: true` requests' equivalence
+  /// checks off the worker pool (docs/SERVER.md).  0 keeps validation
+  /// inline on the workers.  Ignored when Handler is set.
+  unsigned Validators = 0;
+  /// Bounded validator-queue capacity.  When full, the worker finishes
+  /// the validation inline instead of shedding the already-computed
+  /// request.
+  size_t ValidatorQueueCapacity = 64;
   /// Frames larger than this are rejected and the connection closed.
   size_t MaxFrameBytes = DefaultMaxFrameBytes;
   /// Request-execution configuration (limits, deadlines, check runs).
@@ -150,16 +163,27 @@ private:
     std::shared_ptr<Connection> Conn;
     std::string Payload;
   };
+  /// A request whose pipeline ran on a worker and whose equivalence check
+  /// is pending on the validator pool.  Start carries the worker's
+  /// admission timestamp so the duration histogram still measures the
+  /// whole request.
+  struct ValidationJob {
+    std::shared_ptr<Connection> Conn;
+    Service::PendingValidation P;
+    std::chrono::steady_clock::time_point Start;
+  };
 
   void acceptLoop(int ListenFd, const char *Kind);
   void readerLoop(const std::shared_ptr<Connection> &Conn);
   void workerLoop(unsigned Index);
+  void validatorLoop(unsigned Index);
   void writeResponse(Connection &Conn, const json::Value &Response);
   void reapFinishedConnections();
 
   ServerOptions Opts;
   Service Svc;
   BoundedQueue<Job> Queue;
+  BoundedQueue<ValidationJob> ValidatorQueue;
   /// Recycles request-payload buffers between readers and workers.
   BufferPool FramePool;
 
@@ -172,6 +196,7 @@ private:
 
   std::vector<std::thread> AcceptThreads;
   std::vector<std::thread> WorkerThreads;
+  std::vector<std::thread> ValidatorThreads;
 
   mutable std::mutex ConnMu;
   std::vector<std::shared_ptr<Connection>> Connections;

@@ -91,6 +91,39 @@ bool validateServedIr(const Function &Original, const Function &Served,
 } // namespace
 
 Value Service::handle(const std::string &Payload) const {
+  return handleImpl(Payload, nullptr);
+}
+
+Value Service::handle(const std::string &Payload,
+                      PendingValidation &Deferred) const {
+  Deferred.Active = false;
+  return handleImpl(Payload, &Deferred);
+}
+
+Value Service::finishValidation(PendingValidation &&P) const {
+  // Validate the serving path end to end: the reply IR is reparsed from
+  // the entry (cached or fresh) exactly as a client would see it, and
+  // compared against the original under seeded oracles.  A divergence
+  // refuses to serve the IR — the checker, not the optimizer, is the
+  // trusted component (Monniaux & Six).
+  Trace::Scope T("server.request", "validate");
+  Stats::bump("server.validations");
+  ParseResult Served = parseFunction(P.ServedIr, Config.Limits);
+  std::string Why;
+  bool ValidOk = Served ? validateServedIr(P.Original, Served.Fn, P.Runs, Why)
+                        : (Why = "served IR unparsable: " + Served.Error,
+                           false);
+  if (!ValidOk) {
+    Stats::bump("server.validation_mismatches");
+    T.note("status", "validation_failed");
+    return finish(makeErrorResponse(P.Id, Status::ValidationFailed, Why));
+  }
+  T.note("status", "ok");
+  return finish(std::move(P.Response));
+}
+
+Value Service::handleImpl(const std::string &Payload,
+                          PendingValidation *Deferred) const {
   Stats::bump("server.requests");
   const auto Start = Clock::now();
 
@@ -201,6 +234,11 @@ Value Service::handle(const std::string &Payload) const {
       return cache::SingleFlight::Result::error(Run.Error,
                                                 int(Status::PipelineError));
 
+    // The check runs execute the original anyway, so their traversal
+    // counts are a free *measured* edge profile of the request's program —
+    // served back as `profile_out` for the client to feed into a later
+    // profiled (specpre) request.
+    specpre::EdgeProfile Measured;
     if (R.Check) {
       for (uint64_t Seed = 1; Seed <= Config.CheckRuns; ++Seed) {
         InterpResult Base = runSeeded(Original, Seed, Original.numVars(),
@@ -212,6 +250,8 @@ Value Service::handle(const std::string &Payload) const {
               "optimized program diverges from input under seed " +
                   std::to_string(Seed),
               int(Status::CheckFailed));
+        specpre::accumulateTraversals(Original, Base.SuccTraversals,
+                                      Measured);
       }
     }
 
@@ -221,6 +261,8 @@ Value Service::handle(const std::string &Payload) const {
       E.Changes += S.Changes;
     E.Checked = R.Check;
     E.CheckRuns = R.Check ? Config.CheckRuns : 0;
+    if (R.Check && !Measured.empty())
+      E.ProfileJson = specpre::profileToJson(Measured).dump(0);
     if (R.WantReport)
       E.ReportJson = Report.toJson().dump(0);
     return cache::SingleFlight::Result::value(std::move(E));
@@ -271,27 +313,6 @@ Value Service::handle(const std::string &Payload) const {
 
   const cache::CacheEntry &E = L.R.Entry;
 
-  if (R.Validate) {
-    // Validate the serving path end to end: the reply IR is reparsed from
-    // the entry (cached or fresh) exactly as a client would see it, and
-    // compared against the original under seeded oracles.  A divergence
-    // refuses to serve the IR — the checker, not the optimizer, is the
-    // trusted component (Monniaux & Six).
-    Stats::bump("server.validations");
-    ParseResult Served = parseFunction(E.Ir, Config.Limits);
-    std::string Why;
-    bool ValidOk =
-        Served ? validateServedIr(ValidateOriginal, Served.Fn,
-                                  std::max(1u, Config.CheckRuns), Why)
-               : (Why = "served IR unparsable: " + Served.Error, false);
-    if (!ValidOk) {
-      Stats::bump("server.validation_mismatches");
-      T.note("status", "validation_failed");
-      return finish(
-          makeErrorResponse(R.Id, Status::ValidationFailed, Why));
-    }
-  }
-
   Value Response = makeResponse(R.Id, Status::Ok);
   Response.set("ir", Value::str(E.Ir));
   Response.set("pipeline", Value::str(R.Pipeline));
@@ -303,6 +324,13 @@ Value Service::handle(const std::string &Payload) const {
   if (E.Checked) {
     Response.set("checked", Value::boolean(true));
     Response.set("check_runs", Value::number(uint64_t(E.CheckRuns)));
+    if (!E.ProfileJson.empty()) {
+      // Measured profile of the original program (lcm-profile-v1), ready
+      // to be sent back verbatim as a future request's `profile` field.
+      json::ParseResult PP = json::parse(E.ProfileJson);
+      if (PP.Ok)
+        Response.set("profile_out", std::move(PP.V));
+    }
   }
   if (R.Validate)
     Response.set("validated", Value::boolean(true));
@@ -343,5 +371,23 @@ Value Service::handle(const std::string &Payload) const {
   T.note("changes", E.Changes);
   if (Config.Cache)
     T.note("cached", L.cached() ? "true" : "false");
+
+  if (R.Validate) {
+    // The response is fully assembled but not yet trustworthy: package the
+    // equivalence check and either run it here (single-threaded callers)
+    // or hand it to the caller's validator pool.
+    PendingValidation P;
+    P.Active = true;
+    P.Id = R.Id;
+    P.Original = std::move(ValidateOriginal);
+    P.ServedIr = E.Ir;
+    P.Runs = std::max(1u, Config.CheckRuns);
+    P.Response = std::move(Response);
+    if (Deferred) {
+      *Deferred = std::move(P);
+      return Value::null();
+    }
+    return finishValidation(std::move(P));
+  }
   return finish(Response);
 }

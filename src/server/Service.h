@@ -40,6 +40,7 @@
 #include <memory>
 
 #include "cache/ResultCache.h"
+#include "ir/Function.h"
 #include "ir/Limits.h"
 #include "server/Protocol.h"
 #include "support/Json.h"
@@ -81,7 +82,47 @@ public:
   /// structured status.  Bumps the `server.*` Stats counters.
   json::Value handle(const std::string &Payload) const;
 
+  /// A `validate: true` request's equivalence check, split off handle()
+  /// so the Server can run it on a dedicated validator pool instead of
+  /// the worker that ran the pipeline: the check re-executes the program
+  /// Config.CheckRuns times and dominates a validating request's service
+  /// time (docs/SERVER.md), so keeping it off the workers keeps the
+  /// pipeline pool's throughput intact under validating load.
+  struct PendingValidation {
+    /// True when handle() deferred: the caller owns finishing the request
+    /// with finishValidation().
+    bool Active = false;
+    /// Echoed request id, for the failure response.
+    json::Value Id;
+    /// Pristine parse of the request IR — the validation baseline.
+    Function Original;
+    /// The entry bytes about to be served, reparsed and re-executed by
+    /// the check.
+    std::string ServedIr;
+    /// Seeded executions to run.
+    unsigned Runs = 0;
+    /// The fully assembled success response (already carrying
+    /// `validated: true`), returned verbatim when the check passes.
+    json::Value Response;
+  };
+
+  /// Like handle(), but a validating request that reaches the serving
+  /// step does not run its equivalence check inline: \p Deferred is
+  /// filled (Active = true) and the returned document is null — the
+  /// caller must complete the request with finishValidation(), on any
+  /// thread.  Requests that fail earlier, or never asked to validate,
+  /// behave exactly like handle() and leave Deferred inactive.
+  json::Value handle(const std::string &Payload,
+                     PendingValidation &Deferred) const;
+
+  /// Runs a deferred equivalence check and returns the final response:
+  /// the deferred success document, or `validation_failed`.
+  json::Value finishValidation(PendingValidation &&P) const;
+
 private:
+  json::Value handleImpl(const std::string &Payload,
+                         PendingValidation *Deferred) const;
+
   ServiceConfig Config;
 };
 

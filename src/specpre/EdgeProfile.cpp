@@ -234,28 +234,21 @@ uint64_t hashLabel(const std::string &S, uint64_t Seed) {
 constexpr double SynthEntryCount = 1000.0;
 constexpr double SynthTripWeight = 10.0;
 
-} // namespace
-
-EdgeProfile specpre::synthesizeEdgeProfile(const Function &Fn,
-                                           ProfileMode Mode, uint64_t Seed) {
+/// The BlockFrequency-style propagation shared by every synthetic
+/// generator.  \p Share maps (block, successor position, fan-out) to that
+/// arm's probability mass; the discrete modes and the continuous skew
+/// sweep differ only in this function.
+template <typename ShareFn>
+EdgeProfile synthesizeWithShares(const Function &Fn, ShareFn Share) {
   Dominators Dom(Fn);
   LoopForest Forest(Fn, Dom);
 
-  // Propagate mass through the acyclic skeleton with mode-specific branch
+  // Propagate mass through the acyclic skeleton with the caller's branch
   // shares, exactly the BlockFrequency discipline except that splits need
   // not be uniform.
   std::vector<double> Freq(Fn.numBlocks(), 0.0);
   Freq[Fn.entry()] = 1.0;
-  auto share = [&](BlockId B, size_t SuccIdx, size_t NumSuccs) -> double {
-    if (NumSuccs < 2)
-      return 1.0;
-    if (Mode == ProfileMode::Uniform)
-      return 1.0 / double(NumSuccs);
-    size_t Hot = size_t(hashLabel(Fn.block(B).label(), Seed) % NumSuccs);
-    if (Mode == ProfileMode::Adversarial)
-      Hot = (Hot + 1) % NumSuccs;
-    return SuccIdx == Hot ? 0.9 : 0.1 / double(NumSuccs - 1);
-  };
+  auto share = Share;
   for (BlockId B : reversePostOrder(Fn)) {
     double Out = Freq[B];
     const auto &Succs = Fn.block(B).succs();
@@ -290,6 +283,85 @@ EdgeProfile specpre::synthesizeEdgeProfile(const Function &Fn,
       P.Edges.push_back(std::move(E));
     }
   }
+  return P;
+}
+
+} // namespace
+
+EdgeProfile specpre::synthesizeEdgeProfile(const Function &Fn,
+                                           ProfileMode Mode, uint64_t Seed) {
+  return synthesizeWithShares(
+      Fn, [&](BlockId B, size_t SuccIdx, size_t NumSuccs) -> double {
+        if (NumSuccs < 2)
+          return 1.0;
+        if (Mode == ProfileMode::Uniform)
+          return 1.0 / double(NumSuccs);
+        size_t Hot = size_t(hashLabel(Fn.block(B).label(), Seed) % NumSuccs);
+        if (Mode == ProfileMode::Adversarial)
+          Hot = (Hot + 1) % NumSuccs;
+        return SuccIdx == Hot ? 0.9 : 0.1 / double(NumSuccs - 1);
+      });
+}
+
+EdgeProfile specpre::synthesizeSkewedProfile(const Function &Fn,
+                                             uint64_t Seed, double Skew) {
+  Skew = std::min(1.0, std::max(0.0, Skew));
+  // Both shares are interpolated independently so the S=0 endpoint is
+  // bit-identical to ProfileMode::Skewed (0.9 and 0.1 as literals; a
+  // `1.0 - HotShare` rewrite would round differently).
+  const double HotShare = 0.9 - 0.8 * Skew;
+  const double ColdMass = 0.1 + 0.8 * Skew;
+  return synthesizeWithShares(
+      Fn,
+      [&, HotShare, ColdMass](BlockId B, size_t SuccIdx,
+                              size_t NumSuccs) -> double {
+        if (NumSuccs < 2)
+          return 1.0;
+        size_t Hot = size_t(hashLabel(Fn.block(B).label(), Seed) % NumSuccs);
+        return SuccIdx == Hot ? HotShare : ColdMass / double(NumSuccs - 1);
+      });
+}
+
+//===----------------------------------------------------------------------===//
+// Measurement
+//===----------------------------------------------------------------------===//
+
+void specpre::accumulateTraversals(
+    const Function &Fn,
+    const std::vector<std::vector<uint64_t>> &SuccTraversals,
+    EdgeProfile &P) {
+  const size_t NumBlocks =
+      std::min(size_t(Fn.numBlocks()), SuccTraversals.size());
+  for (BlockId B = 0; B != BlockId(NumBlocks); ++B) {
+    const auto &Succs = Fn.block(B).succs();
+    const std::vector<uint64_t> &Counts = SuccTraversals[B];
+    for (size_t I = 0; I != Counts.size() && I != Succs.size(); ++I) {
+      if (Counts[I] == 0)
+        continue;
+      const std::string &From = Fn.block(B).label();
+      const std::string &To = Fn.block(Succs[I]).label();
+      // Linear merge: profiles are CFG-edge sized, far below any regime
+      // where an index would pay.
+      ProfiledEdge *Rec = nullptr;
+      for (ProfiledEdge &E : P.Edges)
+        if (E.SuccIdx == int32_t(I) && E.From == From && E.To == To) {
+          Rec = &E;
+          break;
+        }
+      if (!Rec) {
+        P.Edges.push_back({From, To, int32_t(I), 0});
+        Rec = &P.Edges.back();
+      }
+      Rec->Count += Counts[I];
+    }
+  }
+}
+
+EdgeProfile specpre::profileFromTraversals(
+    const Function &Fn,
+    const std::vector<std::vector<uint64_t>> &SuccTraversals) {
+  EdgeProfile P;
+  accumulateTraversals(Fn, SuccTraversals, P);
   return P;
 }
 

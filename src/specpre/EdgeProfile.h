@@ -115,6 +115,31 @@ bool parseProfileMode(std::string_view Name, ProfileMode &M);
 EdgeProfile synthesizeEdgeProfile(const Function &Fn, ProfileMode Mode,
                                   uint64_t Seed);
 
+/// Continuous interpolation between the discrete regimes: the seeded hot
+/// arm receives a 0.9 - 0.8 * Skew share of its branch's mass, so Skew=0
+/// reproduces ProfileMode::Skewed bit-for-bit and Skew=1 starves the hot
+/// arm down to 0.1 (the adversarial regime for two-way branches).  The
+/// loadgen --profile-skew sweep uses this to chart how speculative
+/// placement degrades as a profile goes stale.
+EdgeProfile synthesizeSkewedProfile(const Function &Fn, uint64_t Seed,
+                                    double Skew);
+
+/// Accumulates one interpreted run's per-successor traversal counts
+/// (InterpResult::SuccTraversals) into \p P: every block out-edge
+/// traversed at least once becomes a label-keyed record with an explicit
+/// successor position, merged with whatever \p P already holds so several
+/// seeded runs sum into one *measured* profile.
+void accumulateTraversals(
+    const Function &Fn,
+    const std::vector<std::vector<uint64_t>> &SuccTraversals,
+    EdgeProfile &P);
+
+/// One-shot form of accumulateTraversals: a fresh measured profile from a
+/// single run's traversal counts.
+EdgeProfile
+profileFromTraversals(const Function &Fn,
+                      const std::vector<std::vector<uint64_t>> &SuccTraversals);
+
 /// The thread-local active profile consumed by the `specpre` pipeline
 /// pass.  Null (the default) means "no profile": specpre then falls back
 /// to classic LCM, bit-identically.

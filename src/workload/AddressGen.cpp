@@ -125,12 +125,135 @@ private:
   }
 };
 
+/// Builds the memory-redundancy kernels: address arithmetic feeding real
+/// loads and stores, with every redundant revisit disguised behind a fresh
+/// copy of the base and/or a commuted operand order.
+class MemoryKernelBuilder {
+public:
+  MemoryKernelBuilder(Function &Fn, const MemoryGenOptions &Opts)
+      : B(Fn), Opts(Opts), R(Opts.Seed * 0x9e3779b97f4a7c15ULL + 13) {}
+
+  void run() {
+    Cur = B.startBlock("entry");
+    B.setBlock(Cur);
+    B.copy("s", IRBuilder::cst(0));
+    buildLoop(0);
+  }
+
+private:
+  IRBuilder B;
+  MemoryGenOptions Opts;
+  Rng R;
+  BlockId Cur = InvalidBlock;
+  unsigned NextTemp = 0;
+
+  /// One address shape `base + idx * stride`; the product variable is
+  /// stable per pattern but the base route and operand order vary per use.
+  struct Pattern {
+    std::string Base;
+    std::string Idx;
+    int64_t Stride;
+    std::string ProductVar;
+  };
+  std::vector<Pattern> Memo;
+
+  std::string counter(unsigned Level) const {
+    return "i" + std::to_string(Level);
+  }
+
+  Pattern pickPattern(unsigned InnermostLevel) {
+    if (!Memo.empty() && R.chance(Opts.ReusePercent, 100))
+      return Memo[R.below(Memo.size())];
+    static const int64_t Strides[] = {8, 16, 24, 40};
+    Pattern P;
+    P.Base = "b" + std::to_string(R.below(Opts.NumArrays));
+    P.Idx = counter(unsigned(R.below(InnermostLevel + 1)));
+    P.Stride = Strides[R.below(std::size(Strides))];
+    P.ProductVar = "p" + std::to_string(Memo.size());
+    Memo.push_back(P);
+    return P;
+  }
+
+  /// Emits one memory statement: compute the address through a randomly
+  /// disguised lexical route, then load from it (accumulating) or store
+  /// the running sum to it.
+  void emitMemStmt(unsigned InnermostLevel) {
+    Pattern P = pickPattern(InnermostLevel);
+    std::string Suffix = std::to_string(NextTemp);
+    ++NextTemp;
+    B.setBlock(Cur);
+    B.op(P.ProductVar, Opcode::Mul, B.var(P.Idx), IRBuilder::cst(P.Stride));
+
+    // Base route: direct, or through a fresh copy the value numbering must
+    // see through.
+    Operand Base = B.var(P.Base);
+    if (R.chance(Opts.AliasPercent, 100)) {
+      std::string Alias = "q" + Suffix;
+      B.copy(Alias, Base);
+      Base = B.var(Alias);
+    }
+    std::string Addr = "A" + Suffix;
+    if (R.chance(Opts.FlipPercent, 100))
+      B.op(Addr, Opcode::Add, B.var(P.ProductVar), Base);
+    else
+      B.op(Addr, Opcode::Add, Base, B.var(P.ProductVar));
+
+    if (R.chance(Opts.StorePercent, 100)) {
+      B.store(B.var(Addr), B.var("s"));
+    } else {
+      std::string V = "v" + Suffix;
+      B.load(V, B.var(Addr));
+      B.op("s", Opcode::Add, B.var("s"), B.var(V));
+    }
+  }
+
+  void buildLoop(unsigned Level) {
+    std::string I = counter(Level);
+    B.setBlock(Cur);
+    B.copy(I, IRBuilder::cst(0));
+
+    BlockId Header = B.startBlock("h" + std::to_string(Level));
+    BlockId Body = B.startBlock("body" + std::to_string(Level));
+    BlockId After = B.startBlock("after" + std::to_string(Level));
+
+    B.setBlock(Cur);
+    B.jump(Header);
+
+    B.setBlock(Header);
+    std::string Cond = "c" + std::to_string(Level);
+    B.op(Cond, Opcode::CmpLt, B.var(I), IRBuilder::cst(Opts.TripCount));
+    B.branch(Cond, Body, After);
+
+    Cur = Body;
+    if (Level + 1 < Opts.Depth) {
+      emitMemStmt(Level);
+      buildLoop(Level + 1);
+    } else {
+      for (unsigned S = 0; S != Opts.StmtsPerBody; ++S)
+        emitMemStmt(Level);
+    }
+    B.setBlock(Cur);
+    B.op(I, Opcode::Add, B.var(I), IRBuilder::cst(1));
+    B.jump(Header);
+
+    Cur = After;
+  }
+};
+
 } // namespace
 
 Function lcm::generateAddressKernel(const AddressGenOptions &Opts) {
   assert(Opts.Depth >= 1 && "need at least one loop");
   Function Fn("addr." + std::to_string(Opts.Seed));
   KernelBuilder KB(Fn, Opts);
+  KB.run();
+  return Fn;
+}
+
+Function lcm::generateMemoryKernel(const MemoryGenOptions &Opts) {
+  assert(Opts.Depth >= 1 && "need at least one loop");
+  Function Fn("mem." + std::to_string(Opts.Seed));
+  MemoryKernelBuilder KB(Fn, Opts);
   KB.run();
   return Fn;
 }

@@ -42,6 +42,36 @@ struct AddressGenOptions {
 /// Generates one address-computation kernel.
 Function generateAddressKernel(const AddressGenOptions &Opts);
 
+/// Options for the memory-redundancy variant: address kernels whose bodies
+/// actually *load and store* through the computed addresses, with the value
+/// redundancies routed through copy chains and commuted operand orders so
+/// they are invisible to lexical PRE until a value-numbering front end
+/// (gvn) canonicalizes them.  Deterministic and always terminating.
+struct MemoryGenOptions {
+  uint64_t Seed = 1;
+  /// Loop nest depth (1..3 are sensible).
+  unsigned Depth = 1;
+  /// Trip count of every loop level.
+  unsigned TripCount = 4;
+  /// Number of simulated arrays (base variables).
+  unsigned NumArrays = 4;
+  /// Memory statements per innermost loop body.
+  unsigned StmtsPerBody = 8;
+  /// Percent chance a statement revisits an earlier address pattern
+  /// (through a fresh lexical route — the GVN redundancy shape).
+  unsigned ReusePercent = 50;
+  /// Percent chance the base variable is routed through a fresh copy.
+  unsigned AliasPercent = 60;
+  /// Percent chance the address addition is emitted operand-flipped.
+  unsigned FlipPercent = 40;
+  /// Percent chance a statement stores (killing later loads) instead of
+  /// loading.
+  unsigned StorePercent = 25;
+};
+
+/// Generates one memory-redundancy kernel (`mem.<seed>`).
+Function generateMemoryKernel(const MemoryGenOptions &Opts);
+
 } // namespace lcm
 
 #endif // LCM_WORKLOAD_ADDRESSGEN_H

@@ -45,6 +45,15 @@ std::vector<CorpusEntry> lcm::makeDefaultCorpus() {
                         return generateAddressKernel(Opts);
                       }});
   }
+  for (unsigned Seed = 1; Seed <= 3; ++Seed) {
+    Corpus.push_back({"mem." + std::to_string(Seed), [Seed] {
+                        MemoryGenOptions Opts;
+                        Opts.Seed = Seed;
+                        Opts.Depth = 1 + Seed % 2;
+                        Opts.StmtsPerBody = 6 + 2 * Seed;
+                        return generateMemoryKernel(Opts);
+                      }});
+  }
   return Corpus;
 }
 

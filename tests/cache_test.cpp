@@ -440,6 +440,7 @@ TEST_F(DiskCacheTest, RoundTripAndRestartPersistence) {
   E.Checked = true;
   E.CheckRuns = 2;
   E.ReportJson = "{\"schema\":\"lcm-run-report-v1\"}";
+  E.ProfileJson = "{\"schema\":\"lcm-profile-v1\",\"edges\":[]}";
 
   {
     DiskCache Cache(options());
@@ -463,6 +464,7 @@ TEST_F(DiskCacheTest, RoundTripAndRestartPersistence) {
   EXPECT_TRUE(Out.Checked);
   EXPECT_EQ(Out.CheckRuns, 2u);
   EXPECT_EQ(Out.ReportJson, E.ReportJson);
+  EXPECT_EQ(Out.ProfileJson, E.ProfileJson);
 }
 
 TEST_F(DiskCacheTest, VersionBumpInvalidatesOldEntries) {

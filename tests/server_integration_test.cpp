@@ -23,6 +23,7 @@
 #include "metrics/Cost.h"
 #include "server/Client.h"
 #include "server/Server.h"
+#include "support/Stats.h"
 
 #include <gtest/gtest.h>
 
@@ -525,6 +526,38 @@ TEST(ServerIntegration, ValidatedResponsesOverTcp) {
   EXPECT_TRUE(Second.find("validated")->asBool());
   EXPECT_EQ(Second.find("cache_key")->asString(),
             First.find("cache_key")->asString());
+}
+
+TEST(ServerIntegration, ValidatorPoolOffloadsChecks) {
+  // With a dedicated validator pool, the oracle re-execution leaves the
+  // pipeline workers: responses still arrive validated, and the offload
+  // counter proves the handoff actually happened.
+  const uint64_t OffloadedBefore = Stats::get("server.validations_offloaded");
+  ServerOptions Opts;
+  Opts.TcpPort = 0;
+  Opts.Workers = 2;
+  Opts.Validators = 2;
+  RunningServer Srv(Opts);
+  ASSERT_TRUE(Srv.Started);
+
+  Client Cl;
+  std::string Error;
+  ASSERT_TRUE(Cl.connectTcp(Srv.S.tcpPort(), Error, 2000)) << Error;
+
+  for (int I = 0; I != 12; ++I) {
+    Request R = makeRequest(I, Programs[I % 3]);
+    R.Validate = true;
+    Value Response;
+    ASSERT_TRUE(Cl.call(R, Response, Error)) << Error;
+    ASSERT_EQ(statusOf(Response), "ok") << Response.dump();
+    ASSERT_NE(Response.find("validated"), nullptr) << Response.dump();
+    EXPECT_TRUE(Response.find("validated")->asBool());
+    EXPECT_TRUE(equivalentToOriginal(Programs[I % 3],
+                                     Response.find("ir")->asString()));
+  }
+
+  EXPECT_GT(Stats::get("server.validations_offloaded"), OffloadedBefore)
+      << "validator pool configured but every check ran inline";
 }
 
 TEST(ServerIntegration, ValidateFlagToleratedOnV1Payloads) {

@@ -12,9 +12,12 @@
 #include "server/Protocol.h"
 #include "server/RequestQueue.h"
 #include "server/Service.h"
+#include "specpre/EdgeProfile.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -334,6 +337,91 @@ TEST(Service, SpeculativeRequestAttestsStrategy) {
   EXPECT_EQ(Classic.find("server")->find("placement_strategy")->asString(),
             "classic");
   EXPECT_NE(Response.find("ir")->asString(), Classic.find("ir")->asString());
+}
+
+TEST(Service, CheckedRequestsEmitMeasuredProfile) {
+  // check:true re-executes the original, so the traversal counts come for
+  // free; the service must surface them as a consumable `profile_out`.
+  const char *LoopIr =
+      "block entry\n  i = 5\n  goto loop\n"
+      "block loop\n  y = a + b\n  i = i - 1\n  c = i > 0\n"
+      "  if c then loop else done\n"
+      "block done\n  exit\n";
+  ServiceConfig Config;
+  Config.Cache =
+      std::make_shared<cache::ResultCache>(cache::ResultCacheConfig());
+  std::string Error;
+  ASSERT_TRUE(Config.Cache->open(Error)) << Error;
+  Service S(Config);
+  Request R;
+  R.Ir = LoopIr;
+  R.Check = true;
+  Value Response = S.handle(requestToJson(R).dump(0));
+  ASSERT_EQ(statusOf(Response), "ok");
+  const Value *Prof = Response.find("profile_out");
+  ASSERT_TRUE(Prof && Prof->isObject());
+  EXPECT_EQ(Prof->find("schema")->asString(), "lcm-profile-v1");
+  specpre::ProfileParse Parsed = specpre::parseProfile(*Prof);
+  ASSERT_TRUE(Parsed) << Parsed.Error;
+  EXPECT_FALSE(Parsed.P.empty());
+  // The loop executed: some back edge carries more than one traversal.
+  uint64_t MaxCount = 0;
+  for (const specpre::ProfiledEdge &E : Parsed.P.Edges)
+    MaxCount = std::max(MaxCount, E.Count);
+  EXPECT_GT(MaxCount, 1u);
+
+  // A cached replay of the identical request still carries the profile.
+  Value Replay = S.handle(requestToJson(R).dump(0));
+  ASSERT_EQ(statusOf(Replay), "ok");
+  ASSERT_TRUE(Replay.find("cached") && Replay.find("cached")->asBool());
+  const Value *ReplayProf = Replay.find("profile_out");
+  ASSERT_TRUE(ReplayProf && ReplayProf->isObject());
+  EXPECT_EQ(ReplayProf->dump(), Prof->dump());
+
+  // Unchecked requests measure nothing and must not invent a profile.
+  Request Plain;
+  Plain.Ir = LoopIr;
+  Value Unchecked = S.handle(requestToJson(Plain).dump(0));
+  ASSERT_EQ(statusOf(Unchecked), "ok");
+  EXPECT_EQ(Unchecked.find("profile_out"), nullptr);
+
+  // Closing the loop: the measured profile feeds a speculative request.
+  Request Spec;
+  Spec.Ir = LoopIr;
+  Spec.Pipeline = "lcse,specpre";
+  Spec.Profile = *Prof;
+  Spec.ServerInfo = true;
+  Value SpecResponse = S.handle(requestToJson(Spec).dump(0));
+  ASSERT_EQ(statusOf(SpecResponse), "ok");
+  EXPECT_EQ(
+      SpecResponse.find("server")->find("placement_strategy")->asString(),
+      "speculative");
+}
+
+TEST(Service, DeferredValidationCompletesViaFinish) {
+  Service S;
+  Request R;
+  R.Ir = SmallIr;
+  R.Validate = true;
+  Service::PendingValidation Pending;
+  Value Deferred = S.handle(requestToJson(R).dump(0), Pending);
+  // The pipeline ran, but the equivalence check is handed back to the
+  // caller: no response yet, all state parked in Pending.
+  EXPECT_TRUE(Deferred.isNull());
+  ASSERT_TRUE(Pending.Active);
+  EXPECT_FALSE(Pending.ServedIr.empty());
+  Value Finished = S.finishValidation(std::move(Pending));
+  ASSERT_EQ(statusOf(Finished), "ok");
+  EXPECT_TRUE(Finished.find("validated")->asBool());
+
+  // Requests that don't validate complete inline through the same
+  // overload, leaving the out-param inert.
+  Request Plain;
+  Plain.Ir = SmallIr;
+  Service::PendingValidation Unused;
+  Value Direct = S.handle(requestToJson(Plain).dump(0), Unused);
+  ASSERT_EQ(statusOf(Direct), "ok");
+  EXPECT_FALSE(Unused.Active);
 }
 
 TEST(Service, MalformedProfileIsBadRequest) {

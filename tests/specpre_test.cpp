@@ -158,6 +158,79 @@ TEST(SpecPre, SyntheticModesDisagreeOnHotArm) {
   EXPECT_NE(Skewed.canonicalKey(), Adversarial.canonicalKey());
 }
 
+TEST(SpecPre, SkewZeroIsBitIdenticalToSkewedMode) {
+  // The continuous dial's S=0 endpoint must reproduce the discrete
+  // `skewed` mode exactly — the loadgen sweep's first step is then
+  // comparable to every historical --profile-mode=skewed run.
+  for (const CorpusEntry &Entry : makeDefaultCorpus()) {
+    Function Fn = Entry.Make();
+    runLocalCse(Fn);
+    EdgeProfile Mode = synthesizeEdgeProfile(Fn, ProfileMode::Skewed,
+                                             /*Seed=*/11);
+    EdgeProfile Dial = synthesizeSkewedProfile(Fn, /*Seed=*/11, /*Skew=*/0.0);
+    EXPECT_EQ(Mode.canonicalKey(), Dial.canonicalKey()) << Entry.Name;
+  }
+}
+
+TEST(SpecPre, SkewDialActuallyMovesTheMass) {
+  Function Fn = parseOrDie(RareKillLoop);
+  EdgeProfile S0 = synthesizeSkewedProfile(Fn, /*Seed=*/11, 0.0);
+  EdgeProfile S1 = synthesizeSkewedProfile(Fn, /*Seed=*/11, 1.0);
+  ASSERT_EQ(S0.Edges.size(), S1.Edges.size());
+  EXPECT_NE(S0.canonicalKey(), S1.canonicalKey());
+  // Out-of-range skews clamp to the endpoints instead of extrapolating.
+  EXPECT_EQ(synthesizeSkewedProfile(Fn, 11, -0.5).canonicalKey(),
+            S0.canonicalKey());
+  EXPECT_EQ(synthesizeSkewedProfile(Fn, 11, 7.0).canonicalKey(),
+            S1.canonicalKey());
+}
+
+TEST(SpecPre, TraversalCountsBecomeAMeasuredProfile) {
+  // A counted loop, so every seed terminates and the traversal counts
+  // are fully deterministic.
+  Function Fn = parseOrDie(R"(block entry
+  i = 7
+  goto loop
+block loop
+  y = a + b
+  i = i - 1
+  c = i > 0
+  if c then loop else done
+block done
+  exit
+)");
+  InterpResult R =
+      runSeeded(Fn, /*Seed=*/3, Fn.numVars(), uint32_t(Fn.numBlocks()));
+  ASSERT_TRUE(R.ReachedExit);
+  EdgeProfile P = profileFromTraversals(Fn, R.SuccTraversals);
+  EXPECT_FALSE(P.empty());
+  // Per block, the profile's outgoing mass equals the interpreter's
+  // traversal totals — the measured profile loses nothing in the
+  // label/successor-position mapping.
+  for (const BasicBlock &B : Fn.blocks()) {
+    uint64_t Traversed = 0;
+    for (uint64_t C : R.SuccTraversals[B.id()])
+      Traversed += C;
+    uint64_t Profiled = 0;
+    for (const ProfiledEdge &E : P.Edges)
+      if (E.From == B.label())
+        Profiled += E.Count;
+    EXPECT_EQ(Profiled, Traversed) << B.label();
+  }
+  // Accumulating the same run again doubles every count in place —
+  // the multi-run merge optimize_tool --emit-profile relies on.
+  EdgeProfile Twice = P;
+  accumulateTraversals(Fn, R.SuccTraversals, Twice);
+  ASSERT_EQ(Twice.Edges.size(), P.Edges.size());
+  for (size_t I = 0; I != P.Edges.size(); ++I)
+    EXPECT_EQ(Twice.Edges[I].Count, 2 * P.Edges[I].Count);
+  // The measured profile is a first-class profile: the wire format
+  // round-trips it untouched.
+  ProfileParse Reparsed = parseProfile(profileToJson(P));
+  ASSERT_TRUE(Reparsed) << Reparsed.Error;
+  EXPECT_EQ(Reparsed.P.canonicalKey(), P.canonicalKey());
+}
+
 TEST(SpecPre, PreservesSemanticsUnderAnyProfile) {
   for (const CorpusEntry &Entry : makeDefaultCorpus()) {
     const Function Original = corpusFunction(Entry);

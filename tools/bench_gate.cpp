@@ -48,6 +48,7 @@
 #include "core/LocalCse.h"
 #include "driver/CorpusDriver.h"
 #include "driver/Pipeline.h"
+#include "gvn/Gvn.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "metrics/Compare.h"
@@ -244,6 +245,50 @@ Value measureSuite() {
         .set("regressions", Value::number(Regressions));
   }
 
+  // GVN front end (docs/GVN.md), exact-gated: seeded dynamic evaluation
+  // counts of the `gvn,lcm` pipeline against plain lexical LCM on the same
+  // corpus, plus the congruence-class/merge totals.  All deterministic
+  // functions of the algorithms; `regressions` is pinned at 0 by the
+  // merge-never-split contract, so a GVN change that makes any program
+  // dynamically worse fails the gate outright.
+  Value Gvn = Value::object();
+  {
+    uint64_t LexEvals = 0, GvnEvals = 0, Merged = 0, Classes = 0,
+             Improved = 0, Regressions = 0;
+    for (const CorpusEntry &Entry : Corpus) {
+      Function Original = Entry.Make();
+      StrategyOutcome Lex = evaluateStrategy(
+          "LCM", Original,
+          [](Function &F) { runPre(F, PreStrategy::Lazy); },
+          /*DynSeedBase=*/1, /*NumDynRuns=*/3);
+      gvn::GvnReport Report;
+      StrategyOutcome Gv = evaluateStrategy(
+          "GVN+LCM", Original,
+          [&Report](Function &F) {
+            // Mirrors the `gvn` pipeline pass: value-number, then restore
+            // the LCSE precondition the merges may have broken.
+            Report = gvn::runGvn(F);
+            runLocalCse(F);
+            runPre(F, PreStrategy::Lazy);
+          },
+          /*DynSeedBase=*/1, /*NumDynRuns=*/3);
+      if (!Lex.AllRunsReachedExit || !Gv.AllRunsReachedExit)
+        continue;
+      LexEvals += Lex.DynamicEvals;
+      GvnEvals += Gv.DynamicEvals;
+      Merged += Report.MergedExprs;
+      Classes += Report.Classes;
+      Improved += Gv.DynamicEvals < Lex.DynamicEvals;
+      Regressions += Gv.DynamicEvals > Lex.DynamicEvals;
+    }
+    Gvn.set("dyn_evals_lexical", Value::number(LexEvals))
+        .set("dyn_evals_gvn", Value::number(GvnEvals))
+        .set("merged_exprs", Value::number(Merged))
+        .set("classes", Value::number(Classes))
+        .set("programs_improved", Value::number(Improved))
+        .set("regressions", Value::number(Regressions));
+  }
+
   // Hot-path contract: exact steady-state allocation count, gated at 0.
   Value Hotpath = Value::object();
   Hotpath.set("steady_allocations",
@@ -307,6 +352,7 @@ Value measureSuite() {
   Root.set("schema", Value::str(SchemaName))
       .set("suite", std::move(Suite))
       .set("specpre", std::move(SpecPre))
+      .set("gvn", std::move(Gvn))
       .set("hotpath", std::move(Hotpath))
       .set("timing", std::move(Timing));
   return Root;

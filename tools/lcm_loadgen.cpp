@@ -16,7 +16,14 @@
 // adversarial attaches a per-program synthetic edge profile (v3 `profile`
 // field, docs/SPECPRE.md) to every request and, unless --pipeline says
 // otherwise, switches the pipeline to "lcse,specpre" so the server's
-// speculative placement backend actually consumes it.  --dup-ratio=R makes
+// speculative placement backend actually consumes it.
+// --profile-skew=S generalizes that to a continuous profile-quality dial:
+// S=0 synthesizes the accurate (skewed) shape, S=0.5 is roughly uniform,
+// and S=1 inverts the hot arm (adversarial).  Given several steps
+// (`--profile-skew=sweep` or a comma list), the loadgen runs one full
+// measured load per step and emits a per-step `skew_sweep` table in the
+// JSON artifact — the plot-able placement-quality-vs-profile-error curve
+// of docs/EXPERIMENTS.md.  --dup-ratio=R makes
 // fraction R of
 // each connection's requests repeat one hot program (deterministically
 // interleaved), exercising the server's result cache: responses carrying
@@ -90,6 +97,12 @@ int usage(int Code) {
       "  --profile-mode=M  attach a synthetic edge profile to every request\n"
       "                    (M: uniform | skewed | adversarial) and default\n"
       "                    the pipeline to \"lcse,specpre\"\n"
+      "  --profile-skew=S  attach synthetic profiles of continuous skew S\n"
+      "                    (0 = accurate/skewed, 0.5 ~ uniform, 1 =\n"
+      "                    adversarial); S is a value in [0,1], a comma\n"
+      "                    list, or `sweep` for 0,0.25,0.5,0.75,1 -- each\n"
+      "                    step runs one full measured load and emits a\n"
+      "                    plot-able row in the JSON artifact\n"
       "  --dup-ratio=R     fraction (0..1) of requests repeating one hot\n"
       "                    program, to exercise the server's result cache\n"
       "  --validate        stamp requests with the v2 `validate` flag and\n"
@@ -130,6 +143,7 @@ struct WorkerResult {
   uint64_t Corrupted = 0;
   uint64_t Validated = 0;           ///< ok responses carrying validated:true.
   uint64_t ValidationMismatches = 0; ///< `validation_failed` responses.
+  uint64_t ChangesSum = 0;          ///< Summed `changes` over ok responses.
   std::string TransportError;
 };
 
@@ -213,6 +227,9 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
         ++Out.Ok;
         if (IsValidated)
           ++Out.Validated;
+        const json::Value *Changes = Response.find("changes");
+        if (Changes && Changes->isNumber())
+          Out.ChangesSum += Changes->asUInt();
         const json::Value *Cached = Response.find("cached");
         if (Cached && Cached->isBool())
           (Cached->asBool() ? Out.HitLatencyMs : Out.MissLatencyMs)
@@ -228,6 +245,83 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
       ++Out.OtherErrors;
     }
   }
+}
+
+/// One full measured load, aggregated across workers with latency vectors
+/// already sorted.  Factored out of main so a --profile-skew sweep can
+/// repeat the measurement once per step.
+struct Aggregate {
+  std::vector<double> Latencies, HitLatencies, MissLatencies;
+  uint64_t Ok = 0, Overloaded = 0, DeadlineExceeded = 0, OtherErrors = 0,
+           Corrupted = 0, Validated = 0, ValidationMismatches = 0,
+           ChangesSum = 0;
+  bool TransportFailed = false;
+  double WallSeconds = 0.0;
+
+  /// Folds another run into this one, so the overall printout and the
+  /// exit-code checks span every sweep step.  Leaves the latency vectors
+  /// unsorted; the caller re-sorts once after the last merge.
+  void merge(const Aggregate &O) {
+    Latencies.insert(Latencies.end(), O.Latencies.begin(), O.Latencies.end());
+    HitLatencies.insert(HitLatencies.end(), O.HitLatencies.begin(),
+                        O.HitLatencies.end());
+    MissLatencies.insert(MissLatencies.end(), O.MissLatencies.begin(),
+                         O.MissLatencies.end());
+    Ok += O.Ok;
+    Overloaded += O.Overloaded;
+    DeadlineExceeded += O.DeadlineExceeded;
+    OtherErrors += O.OtherErrors;
+    Corrupted += O.Corrupted;
+    Validated += O.Validated;
+    ValidationMismatches += O.ValidationMismatches;
+    ChangesSum += O.ChangesSum;
+    TransportFailed |= O.TransportFailed;
+    WallSeconds += O.WallSeconds;
+  }
+};
+
+Aggregate runLoad(int TcpPort, const std::string &UnixPath,
+                  unsigned Connections, unsigned Requests,
+                  const Request &Template,
+                  const std::vector<ProgramEntry> &Programs,
+                  double DupRatio) {
+  std::vector<WorkerResult> Results(Connections);
+  std::vector<std::thread> Threads;
+  const auto Start = Clock::now();
+  for (unsigned I = 0; I != Connections; ++I)
+    Threads.emplace_back([&, I] {
+      runWorker(TcpPort, UnixPath, Requests, I, Template, Programs, DupRatio,
+                Results[I]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Aggregate A;
+  A.WallSeconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  for (const WorkerResult &R : Results) {
+    A.Latencies.insert(A.Latencies.end(), R.LatencyMs.begin(),
+                       R.LatencyMs.end());
+    A.HitLatencies.insert(A.HitLatencies.end(), R.HitLatencyMs.begin(),
+                          R.HitLatencyMs.end());
+    A.MissLatencies.insert(A.MissLatencies.end(), R.MissLatencyMs.begin(),
+                           R.MissLatencyMs.end());
+    A.Ok += R.Ok;
+    A.Overloaded += R.Overloaded;
+    A.DeadlineExceeded += R.DeadlineExceeded;
+    A.OtherErrors += R.OtherErrors;
+    A.Corrupted += R.Corrupted;
+    A.Validated += R.Validated;
+    A.ValidationMismatches += R.ValidationMismatches;
+    A.ChangesSum += R.ChangesSum;
+    if (!R.TransportError.empty()) {
+      std::fprintf(stderr, "error: %s\n", R.TransportError.c_str());
+      A.TransportFailed = true;
+    }
+  }
+  std::sort(A.Latencies.begin(), A.Latencies.end());
+  std::sort(A.HitLatencies.begin(), A.HitLatencies.end());
+  std::sort(A.MissLatencies.begin(), A.MissLatencies.end());
+  return A;
 }
 
 /// Spawns each shard command as a supervised child, then kills one with
@@ -340,6 +434,7 @@ int main(int argc, char **argv) {
             ChaosWarmupMs = 1000;
   bool HasProfileMode = false, PipelineSet = false;
   specpre::ProfileMode Mode = specpre::ProfileMode::Uniform;
+  std::vector<double> SkewSteps;
   Request Template;
 
   for (int I = 1; I != argc; ++I) {
@@ -372,6 +467,23 @@ int main(int argc, char **argv) {
         return usage(2);
       }
       HasProfileMode = true;
+    } else if (std::strncmp(argv[I], "--profile-skew=", 15) == 0) {
+      const char *Spec = argv[I] + 15;
+      SkewSteps.clear();
+      if (std::strcmp(Spec, "sweep") == 0) {
+        SkewSteps = {0.0, 0.25, 0.5, 0.75, 1.0};
+      } else {
+        while (*Spec != '\0') {
+          double S = std::strtod(Spec, &End);
+          if (End == Spec || S < 0.0 || S > 1.0 ||
+              (*End != '\0' && *End != ','))
+            return usage(2);
+          SkewSteps.push_back(S);
+          Spec = *End == ',' ? End + 1 : End;
+        }
+        if (SkewSteps.empty())
+          return usage(2);
+      }
     } else if (std::strncmp(argv[I], "--deadline-ms=", 14) == 0) {
       long long N = std::strtoll(argv[I] + 14, &End, 10);
       if (*End != '\0' || N < 0)
@@ -421,8 +533,14 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: --chaos needs at least one --chaos-cmd\n");
     return usage(2);
   }
-  if (HasProfileMode) {
-    Template.ProfileMode = specpre::profileModeName(Mode);
+  if (HasProfileMode && !SkewSteps.empty()) {
+    std::fprintf(stderr,
+                 "error: --profile-mode and --profile-skew are exclusive\n");
+    return usage(2);
+  }
+  if (HasProfileMode || !SkewSteps.empty()) {
+    if (HasProfileMode)
+      Template.ProfileMode = specpre::profileModeName(Mode);
     // The profile only matters if something consumes it; unless the caller
     // pinned a pipeline, route placement through the speculative backend.
     if (!PipelineSet)
@@ -450,6 +568,9 @@ int main(int argc, char **argv) {
   // synthesis seed is fixed so reruns send byte-identical requests (and
   // the server's profile-keyed cache behaves the same run to run).
   std::vector<ProgramEntry> Programs;
+  // Kept only for --profile-skew: each sweep step re-synthesizes every
+  // program's profile from its CFG.
+  std::vector<Function> SkewFns;
   auto AddProgram = [&](const Function &Fn) {
     ProgramEntry P;
     P.Ir = printFunction(Fn);
@@ -457,6 +578,8 @@ int main(int argc, char **argv) {
       P.Profile =
           specpre::profileToJson(specpre::synthesizeEdgeProfile(Fn, Mode,
                                                                 /*Seed=*/11));
+    if (!SkewSteps.empty())
+      SkewFns.push_back(Fn);
     Programs.push_back(std::move(P));
   };
   if (!IrPath.empty()) {
@@ -471,7 +594,7 @@ int main(int argc, char **argv) {
     while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
       Data.append(Buf, N);
     std::fclose(In);
-    if (HasProfileMode) {
+    if (HasProfileMode || !SkewSteps.empty()) {
       // Profile synthesis needs the CFG, so the file must actually parse.
       ParseResult PR = parseFunction(Data);
       if (!PR) {
@@ -488,6 +611,25 @@ int main(int argc, char **argv) {
   } else {
     for (const CorpusEntry &E : makeDefaultCorpus())
       AddProgram(E.Make());
+  }
+
+  // With --profile-skew every program's profile is interpolated between
+  // the accurate and adversarial synthetic shapes at skew S
+  // (docs/SPECPRE.md); the first step's profiles are installed up front so
+  // the server-info probe below already carries one.
+  auto ApplySkew = [&](double S) {
+    for (size_t I = 0; I != Programs.size(); ++I)
+      Programs[I].Profile = specpre::profileToJson(
+          specpre::synthesizeSkewedProfile(SkewFns[I], /*Seed=*/11, S));
+  };
+  auto SkewLabel = [](double S) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "skew:%.2f", S);
+    return std::string(Buf);
+  };
+  if (!SkewSteps.empty()) {
+    ApplySkew(SkewSteps.front());
+    Template.ProfileMode = SkewLabel(SkewSteps.front());
   }
 
   // Chaos children come up before anything talks to the router, and get a
@@ -555,49 +697,69 @@ int main(int argc, char **argv) {
   if (Chaos)
     Supervisor.startKilling();
 
-  std::vector<WorkerResult> Results(Connections);
-  std::vector<std::thread> Threads;
-  const auto Start = Clock::now();
-  for (unsigned I = 0; I != Connections; ++I)
-    Threads.emplace_back([&, I] {
-      runWorker(TcpPort, UnixPath, Requests, I, Template, Programs, DupRatio,
-                Results[I]);
-    });
-  for (std::thread &T : Threads)
-    T.join();
-  const double WallSeconds =
-      std::chrono::duration<double>(Clock::now() - Start).count();
+  Aggregate Agg;
+  json::Value SkewRows = json::Value::array();
+  if (SkewSteps.size() > 1) {
+    // Sweep: one full measured load per skew step, profiles re-synthesized
+    // per step with everything else held fixed.  Per-step rows feed the
+    // JSON artifact so the placement-quality trend (mean `changes` per ok
+    // response as the profile degrades toward adversarial) plots directly.
+    for (double S : SkewSteps) {
+      ApplySkew(S);
+      Request StepTemplate = Template;
+      StepTemplate.ProfileMode = SkewLabel(S);
+      Aggregate A = runLoad(TcpPort, UnixPath, Connections, Requests,
+                            StepTemplate, Programs, DupRatio);
+      const double MeanChanges =
+          A.Ok ? double(A.ChangesSum) / double(A.Ok) : 0.0;
+      const double Rps = A.WallSeconds > 0
+                             ? double(A.Latencies.size()) / A.WallSeconds
+                             : 0.0;
+      std::printf("skew=%.2f ok=%llu/%llu changes_mean=%.3f p50=%.3fms "
+                  "p99=%.3fms rps=%.1f\n",
+                  S, (unsigned long long)A.Ok,
+                  (unsigned long long)(uint64_t(Connections) * Requests),
+                  MeanChanges, percentile(A.Latencies, 50),
+                  percentile(A.Latencies, 99), Rps);
+      json::Value Row = json::Value::object();
+      Row.set("skew", json::Value::number(S))
+          .set("ok", json::Value::number(A.Ok))
+          .set("responses", json::Value::number(uint64_t(A.Latencies.size())))
+          .set("changes_mean", json::Value::number(MeanChanges))
+          .set("latency_ms_p50",
+               json::Value::number(percentile(A.Latencies, 50)))
+          .set("latency_ms_p90",
+               json::Value::number(percentile(A.Latencies, 90)))
+          .set("latency_ms_p99",
+               json::Value::number(percentile(A.Latencies, 99)))
+          .set("throughput_rps", json::Value::number(Rps));
+      SkewRows.push(std::move(Row));
+      Agg.merge(A);
+    }
+    std::sort(Agg.Latencies.begin(), Agg.Latencies.end());
+    std::sort(Agg.HitLatencies.begin(), Agg.HitLatencies.end());
+    std::sort(Agg.MissLatencies.begin(), Agg.MissLatencies.end());
+  } else {
+    Agg = runLoad(TcpPort, UnixPath, Connections, Requests, Template,
+                  Programs, DupRatio);
+  }
 
   if (Chaos)
     Supervisor.stop();
 
-  std::vector<double> Latencies, HitLatencies, MissLatencies;
-  uint64_t Ok = 0, Overloaded = 0, DeadlineExceeded = 0, OtherErrors = 0,
-           Corrupted = 0, Validated = 0, ValidationMismatches = 0;
-  bool TransportFailed = false;
-  for (const WorkerResult &R : Results) {
-    Latencies.insert(Latencies.end(), R.LatencyMs.begin(), R.LatencyMs.end());
-    HitLatencies.insert(HitLatencies.end(), R.HitLatencyMs.begin(),
-                        R.HitLatencyMs.end());
-    MissLatencies.insert(MissLatencies.end(), R.MissLatencyMs.begin(),
-                         R.MissLatencyMs.end());
-    Ok += R.Ok;
-    Overloaded += R.Overloaded;
-    DeadlineExceeded += R.DeadlineExceeded;
-    OtherErrors += R.OtherErrors;
-    Corrupted += R.Corrupted;
-    Validated += R.Validated;
-    ValidationMismatches += R.ValidationMismatches;
-    if (!R.TransportError.empty()) {
-      std::fprintf(stderr, "error: %s\n", R.TransportError.c_str());
-      TransportFailed = true;
-    }
-  }
-  std::sort(Latencies.begin(), Latencies.end());
-  std::sort(HitLatencies.begin(), HitLatencies.end());
-  std::sort(MissLatencies.begin(), MissLatencies.end());
+  std::vector<double> &Latencies = Agg.Latencies;
+  std::vector<double> &HitLatencies = Agg.HitLatencies;
+  std::vector<double> &MissLatencies = Agg.MissLatencies;
+  const uint64_t Ok = Agg.Ok, Overloaded = Agg.Overloaded,
+                 DeadlineExceeded = Agg.DeadlineExceeded,
+                 OtherErrors = Agg.OtherErrors, Corrupted = Agg.Corrupted,
+                 Validated = Agg.Validated,
+                 ValidationMismatches = Agg.ValidationMismatches;
+  const bool TransportFailed = Agg.TransportFailed;
+  const double WallSeconds = Agg.WallSeconds;
   const uint64_t CacheReported = HitLatencies.size() + MissLatencies.size();
-  const uint64_t Total = uint64_t(Connections) * Requests;
+  const uint64_t Total = uint64_t(Connections) * Requests *
+                         (SkewSteps.size() > 1 ? SkewSteps.size() : 1);
   double Mean = 0.0;
   for (double L : Latencies)
     Mean += L;
@@ -679,14 +841,28 @@ int main(int argc, char **argv) {
     // What placement regime this run actually exercised: the mode the
     // loadgen requested, and the strategy the server attested to (absent
     // on pre-v3 servers).
-    Metrics.set("placement_strategy",
-                json::Value::str(!SrvStrategy.empty()
-                                     ? SrvStrategy
-                                     : (HasProfileMode ? "speculative"
-                                                       : "classic")));
+    Metrics.set(
+        "placement_strategy",
+        json::Value::str(!SrvStrategy.empty()
+                             ? SrvStrategy
+                             : (HasProfileMode || !SkewSteps.empty()
+                                    ? "speculative"
+                                    : "classic")));
     if (HasProfileMode)
       Metrics.set("profile_mode",
                   json::Value::str(specpre::profileModeName(Mode)));
+    if (!SkewSteps.empty()) {
+      Metrics.set("profile_mode",
+                  json::Value::str(SkewSteps.size() > 1
+                                       ? std::string("skew-sweep")
+                                       : Template.ProfileMode));
+      Metrics.set("profile_skew_steps",
+                  json::Value::number(uint64_t(SkewSteps.size())));
+      if (SkewSteps.size() > 1)
+        Metrics.set("skew_sweep", std::move(SkewRows));
+      else
+        Metrics.set("profile_skew", json::Value::number(SkewSteps.front()));
+    }
     if (CacheReported != 0) {
       Metrics
           .set("dup_ratio", json::Value::number(DupRatio))

@@ -42,7 +42,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: lcm_serve [--tcp=PORT] [--unix=PATH] [--workers=N]\n"
-      "                 [--queue=N] [--max-deadline-ms=N]\n"
+      "                 [--validators=N] [--queue=N] [--max-deadline-ms=N]\n"
       "                 [--default-deadline-ms=N] [--check-runs=N]\n"
       "                 [--max-source-bytes=N] [--max-blocks=N]\n"
       "                 [--max-instrs=N] [--enable-test-options]\n"
@@ -53,6 +53,9 @@ int usage() {
       "                         the bound port is printed on startup)\n"
       "  --unix=PATH            listen on a Unix-domain socket at PATH\n"
       "  --workers=N            worker threads (0 = all hardware threads)\n"
+      "  --validators=N         dedicated threads running `validate: true`\n"
+      "                         equivalence checks off the worker pool\n"
+      "                         (0 = validate inline on the workers)\n"
       "  --queue=N              bounded request queue capacity\n"
       "  --max-deadline-ms=N    clamp per-request deadlines (0 = no clamp)\n"
       "  --default-deadline-ms=N  deadline for requests that carry none\n"
@@ -110,6 +113,8 @@ int main(int argc, char **argv) {
       Opts.UnixPath = argv[I] + 7;
     } else if (parseNum(argv[I], "--workers=", N) && N >= 0 && N <= 4096) {
       Opts.Workers = N == 0 ? std::thread::hardware_concurrency() : unsigned(N);
+    } else if (parseNum(argv[I], "--validators=", N) && N >= 0 && N <= 4096) {
+      Opts.Validators = unsigned(N);
     } else if (parseNum(argv[I], "--queue=", N) && N > 0 && N <= 1'000'000) {
       Opts.QueueCapacity = size_t(N);
     } else if (parseNum(argv[I], "--max-deadline-ms=", N) && N >= 0) {
