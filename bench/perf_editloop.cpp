@@ -1,0 +1,88 @@
+//===- bench/perf_editloop.cpp - Incremental vs full reoptimization -------===//
+//
+// The headline measurement of docs/INCREMENTAL.md: a developer edit loop
+// over the whole-corpus module, comparing what a 1-block edit costs down
+// the protocol-v4 delta path (retained base + per-function memoization:
+// only the edited function re-optimizes) against a cacheless service that
+// re-optimizes the entire module from text on every edit.  The harness
+// (server/IncrementalBench.h) asserts both paths serve byte-identical
+// modules, so the speedup is work avoided, never work skipped.
+//
+// The gate lives in BENCH_baseline.json: `delta_applied == edits`,
+// `delta_full_equal`, and `delta_speedup_ge5x` are exact-checked by
+// bench_gate, and the raw p50s ride under its tolerance-checked timing
+// block.  This binary is the standalone/CI-artifact view of the same
+// measurement.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "server/IncrementalBench.h"
+
+using namespace lcm;
+
+namespace {
+
+void runEditLoopTable() {
+  printHeading("editloop",
+               "1-block edit: delta request vs full reoptimization");
+
+  server::EditLoopBenchResult R = server::runEditLoopBench(/*Edits=*/40);
+
+  Table T({"path", "p50 ms", "p90 ms", "edits"});
+  auto Pct = [](std::vector<double> V, unsigned P) {
+    std::sort(V.begin(), V.end());
+    return V.empty() ? 0.0 : V[std::min(V.size() * P / 100, V.size() - 1)];
+  };
+  char P50[32], P90[32];
+  std::snprintf(P50, sizeof(P50), "%.3f", R.deltaP50());
+  std::snprintf(P90, sizeof(P90), "%.3f", Pct(R.DeltaMs, 90));
+  T.row().add("delta").add(P50).add(P90).add(uint64_t(R.Edits));
+  std::snprintf(P50, sizeof(P50), "%.3f", R.fullP50());
+  std::snprintf(P90, sizeof(P90), "%.3f", Pct(R.FullMs, 90));
+  T.row().add("full").add(P50).add(P90).add(uint64_t(R.Edits));
+  printTable(T);
+
+  std::printf("\nmodule: %u functions; delta applied %llu/%u, "
+              "responses byte-identical: %s\n",
+              R.Functions, (unsigned long long)R.DeltaApplied, R.Edits,
+              R.DeltaFullEqual ? "yes" : "NO");
+  std::printf("p50 speedup (full / delta): %.2fx\n", R.speedupP50());
+
+  benchRecordMetric("functions", uint64_t(R.Functions));
+  benchRecordMetric("edits", uint64_t(R.Edits));
+  benchRecordMetric("delta_applied", R.DeltaApplied);
+  benchRecordMetric("delta_fallbacks", R.DeltaFallbacks);
+  benchRecordMetric("failures", R.Failures);
+  benchRecordMetric("delta_full_equal", R.DeltaFullEqual);
+  benchRecordMetric("delta_p50_ms", R.deltaP50());
+  benchRecordMetric("full_p50_ms", R.fullP50());
+  benchRecordMetric("speedup_p50", R.speedupP50());
+  benchRecordMetric("delta_speedup_ge5x", R.speedupP50() >= 5.0);
+}
+
+void BM_EditLoop(benchmark::State &State) {
+  for (auto _ : State) {
+    server::EditLoopBenchResult R =
+        server::runEditLoopBench(unsigned(State.range(0)));
+    benchmark::DoNotOptimize(R.DeltaApplied);
+  }
+}
+BENCHMARK(BM_EditLoop)->Arg(10)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchInit(&argc, argv, "perf_editloop");
+  runEditLoopTable();
+  if (benchJsonEnabled())
+    return benchFinish();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

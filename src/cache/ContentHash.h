@@ -55,7 +55,13 @@ namespace cache {
 /// v4: entries gained the measured-profile payload (CacheEntry::
 /// ProfileJson, the `profile_out` response field), so v3 disk entries —
 /// which would replay check:true results without one — are stale.
-inline constexpr uint32_t CacheSchemaVersion = 4;
+///
+/// v5: module requests (multiple `func`s per request) are keyed per
+/// function and the module-level key is a digest over the per-function
+/// keys; single-function keys are additionally the anchors of the
+/// retained-IR tier that materializes delta (`base_key` + patch)
+/// requests, so v4 entries must not satisfy v5 lookups.
+inline constexpr uint32_t CacheSchemaVersion = 5;
 
 /// A 128-bit content digest.
 struct Digest {

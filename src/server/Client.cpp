@@ -206,3 +206,60 @@ bool Client::call(const Request &R, Value &Response, std::string &Error) {
   return sendPayload(requestToJson(R).dump(0), Error) &&
          recvResponse(Response, Error);
 }
+
+bool Client::callPipelined(const std::vector<Request> &Batch,
+                           std::vector<Value> &Responses,
+                           std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (Batch.empty()) {
+    Responses.clear();
+    return true;
+  }
+  // One coalesced write: every frame of the batch goes out back-to-back,
+  // so the server's reader can queue all of them before the first worker
+  // finishes.
+  std::string Wire;
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    Value Doc = requestToJson(Batch[I]);
+    Doc.set("id", Value::number(int64_t(I)));
+    Wire += encodeFrame(Doc.dump(0));
+  }
+  const char *Data = Wire.data();
+  size_t N = Wire.size();
+  while (N != 0) {
+    ssize_t W = ::send(Fd, Data, N, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Data += W;
+    N -= size_t(W);
+  }
+
+  Responses.assign(Batch.size(), Value());
+  std::vector<uint8_t> Seen(Batch.size(), 0);
+  for (size_t Got = 0; Got != Batch.size(); ++Got) {
+    Value Response;
+    if (!recvResponse(Response, Error))
+      return false;
+    const Value *Id = Response.find("id");
+    if (!Id || !Id->isNumber()) {
+      Error = "pipelined response carries no numeric id";
+      return false;
+    }
+    const int64_t I = Id->asInt();
+    if (I < 0 || size_t(I) >= Batch.size() || Seen[size_t(I)]) {
+      Error = "pipelined response id " + std::to_string(I) +
+              " does not name an outstanding request";
+      return false;
+    }
+    Seen[size_t(I)] = 1;
+    Responses[size_t(I)] = std::move(Response);
+  }
+  return true;
+}

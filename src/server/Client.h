@@ -18,6 +18,7 @@
 #define LCM_SERVER_CLIENT_H
 
 #include <string>
+#include <vector>
 
 #include "server/Protocol.h"
 #include "support/Json.h"
@@ -62,6 +63,15 @@ public:
   /// sendPayload + recvResponse for a Request object — the common
   /// one-shot path.
   bool call(const Request &R, json::Value &Response, std::string &Error);
+
+  /// Pipelined batch over the persistent connection: stamps each request's
+  /// id with its batch index, writes every frame back-to-back in one send,
+  /// then drains one response per request.  The server's workers complete
+  /// in any order, so responses are matched by their echoed id and
+  /// returned in request order.  False on the first transport error or on
+  /// a response whose id does not name an outstanding request.
+  bool callPipelined(const std::vector<Request> &Batch,
+                     std::vector<json::Value> &Responses, std::string &Error);
 
 private:
   bool connectFd(int NewFd);

@@ -1,0 +1,178 @@
+//===- server/IncrementalBench.cpp ----------------------------------------===//
+
+#include "server/IncrementalBench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "cache/ResultCache.h"
+#include "cache/RetainedIr.h"
+#include "ir/Printer.h"
+#include "server/Protocol.h"
+#include "server/Service.h"
+#include "workload/Corpus.h"
+
+using namespace lcm;
+using namespace lcm::server;
+
+namespace {
+
+/// Span of the block labelled \p Label in canonical function text.
+bool findBlockSpan(const std::string &Text, const std::string &Label,
+                   size_t &Begin, size_t &End) {
+  size_t Pos = 0;
+  bool In = false;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    size_t LineEnd = Nl == std::string::npos ? Text.size() : Nl;
+    std::string_view Line(Text.data() + Pos, LineEnd - Pos);
+    if (Line.substr(0, 6) == "block ") {
+      if (In) {
+        End = Pos;
+        return true;
+      }
+      if (Line.substr(6) == Label) {
+        In = true;
+        Begin = Pos;
+      }
+    }
+    Pos = Nl == std::string::npos ? Text.size() : Nl + 1;
+  }
+  End = Text.size();
+  return In;
+}
+
+std::vector<std::string> blockLabels(const std::string &Text) {
+  std::vector<std::string> Labels;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    size_t LineEnd = Nl == std::string::npos ? Text.size() : Nl;
+    std::string_view Line(Text.data() + Pos, LineEnd - Pos);
+    if (Line.substr(0, 6) == "block ")
+      Labels.emplace_back(Line.substr(6));
+    Pos = Nl == std::string::npos ? Text.size() : Nl + 1;
+  }
+  return Labels;
+}
+
+std::string strField(const json::Value &V, const char *Key) {
+  const json::Value *F = V.find(Key);
+  return F && F->isString() ? F->asString() : std::string();
+}
+
+double sortedP50(std::vector<double> V) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
+}
+
+} // namespace
+
+double EditLoopBenchResult::deltaP50() const { return sortedP50(DeltaMs); }
+double EditLoopBenchResult::fullP50() const { return sortedP50(FullMs); }
+double EditLoopBenchResult::speedupP50() const {
+  const double D = deltaP50();
+  return D > 0 ? fullP50() / D : 0.0;
+}
+
+EditLoopBenchResult server::runEditLoopBench(unsigned Edits) {
+  EditLoopBenchResult R;
+
+  std::vector<std::string> FnTexts, FnNames;
+  for (const CorpusEntry &E : makeDefaultCorpus()) {
+    Function Fn = E.Make();
+    FnTexts.push_back(printFunction(Fn));
+    FnNames.push_back(Fn.name());
+  }
+  R.Functions = unsigned(FnTexts.size());
+  auto ModuleText = [&FnTexts] {
+    std::string Out;
+    for (const std::string &T : FnTexts)
+      Out += T;
+    return Out;
+  };
+
+  // The full path re-optimizes from text alone; the delta path has the
+  // result cache plus the retained tier it needs to materialize bases.
+  Service Full{ServiceConfig{}};
+  ServiceConfig DeltaConfig;
+  DeltaConfig.Cache =
+      std::make_shared<cache::ResultCache>(cache::ResultCacheConfig());
+  {
+    std::string Error;
+    DeltaConfig.Cache->open(Error);
+  }
+  DeltaConfig.Retained = std::make_shared<cache::RetainedIrCache>();
+  Service Delta{DeltaConfig};
+
+  // Initial whole-module optimization establishes the base (not timed:
+  // the edit loop measures steady-state reoptimization, not cold start).
+  Request Initial;
+  Initial.Ir = ModuleText();
+  json::Value First = Delta.handle(requestToJson(Initial).dump());
+  if (strField(First, "status") != "ok") {
+    ++R.Failures;
+    return R;
+  }
+  std::string BaseKey = strField(First, "cache_key");
+
+  using Clock = std::chrono::steady_clock;
+  uint64_t Rng = 0x9e3779b97f4a7c15ull;
+  auto Next = [&Rng] {
+    Rng = Rng * 6364136223846793005ull + 1442695040888963407ull;
+    return Rng >> 33;
+  };
+  for (unsigned I = 0; I != Edits; ++I) {
+    // One fresh computation in one block of one function.
+    const size_t FnIdx = size_t(Next() % FnTexts.size());
+    const std::vector<std::string> Labels = blockLabels(FnTexts[FnIdx]);
+    const std::string Label = Labels[size_t(Next() % Labels.size())];
+    size_t B = 0, E = 0;
+    findBlockSpan(FnTexts[FnIdx], Label, B, E);
+    std::string NewBlock = FnTexts[FnIdx].substr(B, E - B);
+    const std::string V = "qb" + std::to_string(I);
+    NewBlock.insert(NewBlock.find('\n') + 1,
+                    "  " + V + " = " + V + " + " + V + "\n");
+    FnTexts[FnIdx].replace(B, E - B, NewBlock);
+
+    Request DeltaReq;
+    DeltaReq.BaseKey = BaseKey;
+    DeltaReq.Patch.push_back(
+        {PatchOp::Kind::ReplaceBlock, Label, "", FnNames[FnIdx], NewBlock});
+    const std::string DeltaPayload = requestToJson(DeltaReq).dump();
+
+    Request FullReq;
+    FullReq.Ir = ModuleText();
+    const std::string FullPayload = requestToJson(FullReq).dump();
+
+    auto T0 = Clock::now();
+    json::Value DeltaResp = Delta.handle(DeltaPayload);
+    R.DeltaMs.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - T0)
+            .count());
+    T0 = Clock::now();
+    json::Value FullResp = Full.handle(FullPayload);
+    R.FullMs.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - T0)
+            .count());
+    ++R.Edits;
+
+    if (strField(DeltaResp, "status") != "ok" ||
+        strField(FullResp, "status") != "ok") {
+      ++R.Failures;
+      continue;
+    }
+    if (strField(DeltaResp, "delta") == "applied")
+      ++R.DeltaApplied;
+    else
+      ++R.DeltaFallbacks;
+    if (strField(DeltaResp, "ir") != strField(FullResp, "ir"))
+      R.DeltaFullEqual = false;
+    BaseKey = strField(DeltaResp, "cache_key");
+  }
+  return R;
+}

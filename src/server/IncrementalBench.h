@@ -1,0 +1,62 @@
+//===- server/IncrementalBench.h - Edit-loop measurement harness ---------===//
+//
+// Part of the lcm project: a reproduction of "Lazy Code Motion"
+// (Knoop, Ruething, Steffen; PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edit-loop measurement behind bench/perf_editloop and the
+/// `editloop` bench_gate section: optimize the whole default corpus as
+/// one module, then replay a deterministic stream of 1-block edits down
+/// two service configurations side by side --
+///
+///   * the *delta* path: a Service with the result cache and the
+///     retained-IR tier, answering protocol-v4 `base_key` + patch
+///     requests, so each edit re-optimizes only the edited function;
+///   * the *full* path: a cacheless Service re-optimizing the entire
+///     module from its text on every edit -- what a client without
+///     incremental serving pays.
+///
+/// Both paths see byte-identical module states, and the harness asserts
+/// their responses stay byte-identical, so the speedup is attributable
+/// to work avoided, never to work skipped.  docs/INCREMENTAL.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCM_SERVER_INCREMENTALBENCH_H
+#define LCM_SERVER_INCREMENTALBENCH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace lcm {
+namespace server {
+
+struct EditLoopBenchResult {
+  unsigned Functions = 0; ///< Module size (default corpus).
+  unsigned Edits = 0;     ///< Edits actually replayed.
+  uint64_t DeltaApplied = 0;   ///< Deltas the server answered `applied`.
+  uint64_t DeltaFallbacks = 0; ///< Deltas answered any other way.
+  uint64_t Failures = 0;       ///< Non-ok responses on either path.
+  /// Every delta response's module text was byte-identical to the
+  /// cacheless full re-optimization of the same module state.
+  bool DeltaFullEqual = true;
+  std::vector<double> DeltaMs; ///< Per-edit wall ms, delta path.
+  std::vector<double> FullMs;  ///< Per-edit wall ms, full path.
+
+  double deltaP50() const;
+  double fullP50() const;
+  /// fullP50 / deltaP50 (0 when degenerate).
+  double speedupP50() const;
+};
+
+/// Replays \p Edits deterministic 1-block edits (fixed LCG seed, so every
+/// run measures the same request stream) and returns both paths' per-edit
+/// wall times plus the equivalence counters.
+EditLoopBenchResult runEditLoopBench(unsigned Edits);
+
+} // namespace server
+} // namespace lcm
+
+#endif // LCM_SERVER_INCREMENTALBENCH_H

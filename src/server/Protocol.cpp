@@ -99,18 +99,76 @@ RequestParse server::parseRequest(const std::string &Payload) {
   if (!Schema || !Schema->isString() ||
       (Schema->asString() != RequestSchema &&
        Schema->asString() != RequestSchemaV2 &&
-       Schema->asString() != RequestSchemaV3)) {
+       Schema->asString() != RequestSchemaV3 &&
+       Schema->asString() != RequestSchemaV4)) {
     Out.Error = std::string("field 'schema' must be \"") + RequestSchema +
-                "\", \"" + RequestSchemaV2 + "\", or \"" + RequestSchemaV3 +
-                "\"";
+                "\" .. \"" + RequestSchemaV4 + "\"";
     return Out;
   }
+  if (const Value *B = Doc.V.find("base_key")) {
+    if (!B->isString()) {
+      Out.Error = "field 'base_key' must be a string";
+      return Out;
+    }
+    Out.R.BaseKey = B->asString();
+  }
   const Value *Ir = Doc.V.find("ir");
-  if (!Ir || !Ir->isString()) {
+  if (Ir) {
+    if (!Ir->isString()) {
+      Out.Error = "field 'ir' must be a string";
+      return Out;
+    }
+    Out.R.Ir = Ir->asString();
+  } else if (Out.R.BaseKey.empty()) {
+    // `ir` is only optional for delta requests, which can materialize the
+    // input from the retained tier.
     Out.Error = "field 'ir' must be a string";
     return Out;
   }
-  Out.R.Ir = Ir->asString();
+  if (const Value *P = Doc.V.find("patch")) {
+    if (!P->isArray()) {
+      Out.Error = "field 'patch' must be an array";
+      return Out;
+    }
+    for (const Value &OpV : P->items()) {
+      if (!OpV.isObject()) {
+        Out.Error = "patch ops must be objects";
+        return Out;
+      }
+      PatchOp Op;
+      const Value *Kind = OpV.find("op");
+      if (!Kind || !Kind->isString()) {
+        Out.Error = "patch op field 'op' must be a string";
+        return Out;
+      }
+      const std::string &K = Kind->asString();
+      if (K == "replace_block")
+        Op.K = PatchOp::Kind::ReplaceBlock;
+      else if (K == "insert_block")
+        Op.K = PatchOp::Kind::InsertBlock;
+      else if (K == "remove_block")
+        Op.K = PatchOp::Kind::RemoveBlock;
+      else {
+        Out.Error = "patch op '" + K + "' is not recognized";
+        return Out;
+      }
+      auto ReadStr = [&OpV](const char *Field, std::string &Dst) {
+        if (const Value *S = OpV.find(Field)) {
+          if (!S->isString())
+            return false;
+          Dst = S->asString();
+        }
+        return true;
+      };
+      if (!ReadStr("label", Op.Label) || !ReadStr("after", Op.After) ||
+          !ReadStr("func", Op.Func) || !ReadStr("ir", Op.Ir)) {
+        Out.Error = "patch op fields 'label'/'after'/'func'/'ir' must be "
+                    "strings";
+        return Out;
+      }
+      Out.R.Patch.push_back(std::move(Op));
+    }
+  }
   if (const Value *P = Doc.V.find("pipeline")) {
     if (!P->isString()) {
       Out.Error = "field 'pipeline' must be a string";
@@ -190,10 +248,36 @@ Value server::requestToJson(const Request &R) {
     Schema = RequestSchemaV2;
   if (!R.Profile.isNull() || !R.ProfileMode.empty())
     Schema = RequestSchemaV3;
+  if (!R.BaseKey.empty() || !R.Patch.empty())
+    Schema = RequestSchemaV4;
   Doc.set("schema", Value::str(Schema));
   if (!R.Id.isNull())
     Doc.set("id", R.Id);
-  Doc.set("ir", Value::str(R.Ir));
+  if (!R.Ir.empty() || R.BaseKey.empty())
+    Doc.set("ir", Value::str(R.Ir));
+  if (!R.BaseKey.empty())
+    Doc.set("base_key", Value::str(R.BaseKey));
+  if (!R.Patch.empty()) {
+    Value Ops = Value::array();
+    for (const PatchOp &Op : R.Patch) {
+      Value OpV = Value::object();
+      const char *K = Op.K == PatchOp::Kind::ReplaceBlock ? "replace_block"
+                      : Op.K == PatchOp::Kind::InsertBlock
+                          ? "insert_block"
+                          : "remove_block";
+      OpV.set("op", Value::str(K));
+      if (!Op.Label.empty())
+        OpV.set("label", Value::str(Op.Label));
+      if (!Op.After.empty())
+        OpV.set("after", Value::str(Op.After));
+      if (!Op.Func.empty())
+        OpV.set("func", Value::str(Op.Func));
+      if (!Op.Ir.empty())
+        OpV.set("ir", Value::str(Op.Ir));
+      Ops.push(OpV);
+    }
+    Doc.set("patch", Ops);
+  }
   Doc.set("pipeline", Value::str(R.Pipeline));
   if (R.DeadlineMs >= 0)
     Doc.set("deadline_ms", Value::number(R.DeadlineMs));
@@ -238,6 +322,8 @@ const char *server::statusName(Status S) {
     return "validation_failed";
   case Status::DeadlineExceeded:
     return "deadline_exceeded";
+  case Status::BaseMiss:
+    return "base_miss";
   case Status::Overloaded:
     return "overloaded";
   case Status::ShuttingDown:

@@ -12,13 +12,15 @@
 /// Length-prefixing keeps framing trivial to implement in any language and
 /// lets the server reject oversized payloads before buffering them.
 ///
-/// Requests carry schema "lcm-request-v1", "-v2", or "-v3": textual IR, a
+/// Requests carry schema "lcm-request-v1" through "-v4": textual IR, a
 /// pipeline spec, and options (deadline, report, semantic check).  Each
 /// version adds exactly one capability over its predecessor: v2 the
 /// `validate` flag (the interpreter-oracle equivalence check on the IR
 /// about to be returned, docs/FLEET.md), v3 the `profile` object (an
 /// lcm-profile-v1 edge profile driving the `specpre` pass,
-/// docs/SPECPRE.md) plus the informational `profile_mode` label.  Servers
+/// docs/SPECPRE.md) plus the informational `profile_mode` label, v4 the
+/// `base_key` + `patch` delta form (re-optimize a retained prior input
+/// after a block-level edit, docs/INCREMENTAL.md).  Servers
 /// accept every version; clients emit the lowest version that covers the
 /// fields they use, so a version-unaware server answers a loud schema
 /// error instead of silently dropping a capability.  Responses
@@ -48,6 +50,7 @@ namespace server {
 inline constexpr const char *RequestSchema = "lcm-request-v1";
 inline constexpr const char *RequestSchemaV2 = "lcm-request-v2";
 inline constexpr const char *RequestSchemaV3 = "lcm-request-v3";
+inline constexpr const char *RequestSchemaV4 = "lcm-request-v4";
 inline constexpr const char *ResponseSchema = "lcm-response-v1";
 
 /// Frames above this size are rejected without buffering the payload.
@@ -89,6 +92,32 @@ private:
 // Requests
 //===----------------------------------------------------------------------===//
 
+/// v4: one block-level edit of a delta request (docs/INCREMENTAL.md).
+/// Patches address blocks by their printed labels — the canonical IR text
+/// the server retains is label-stable, so anchors survive round trips.
+struct PatchOp {
+  enum class Kind {
+    /// Replace the block labelled `label` with the text in `ir`.
+    ReplaceBlock,
+    /// Insert the block text in `ir` after the block labelled `after`
+    /// (empty `after` inserts at the head of the function body).
+    InsertBlock,
+    /// Remove the block labelled `label`.
+    RemoveBlock,
+  };
+  Kind K = Kind::ReplaceBlock;
+  /// Anchor label for replace/remove.
+  std::string Label;
+  /// Anchor label for insert.
+  std::string After;
+  /// Function scope inside a module; empty targets the module's only
+  /// function (ambiguous with several — the delta then falls back).
+  std::string Func;
+  /// Replacement/new block text: a `block LABEL` header line plus body
+  /// lines, exactly the printed form.
+  std::string Ir;
+};
+
 /// One decoded optimization request.
 struct Request {
   /// Echoed verbatim into the response (any scalar JSON value; null when
@@ -127,6 +156,14 @@ struct Request {
   /// into the response's `server` object so bench artifacts record the
   /// regime that produced their numbers.  Informational; empty = unset.
   std::string ProfileMode;
+  /// v4: the cache key (Digest::hex() form) of a prior request whose
+  /// retained input this request patches.  Empty = not a delta.  When set,
+  /// `ir` is optional: if present it is the full-text fallback the server
+  /// uses on a retained-tier miss or malformed patch; if absent such a
+  /// miss answers `base_miss`.
+  std::string BaseKey;
+  /// v4: the block-level edits, applied in order to the retained input.
+  std::vector<PatchOp> Patch;
 };
 
 struct RequestParse {
@@ -162,6 +199,8 @@ enum class Status {
   CheckFailed,      ///< Semantic equivalence check failed (server-side bug).
   ValidationFailed, ///< Per-request output validation diverged (v2).
   DeadlineExceeded, ///< Cooperatively cancelled at the request deadline.
+  BaseMiss,         ///< Delta request's base is not retained and no
+                    ///< full-text `ir` fallback was provided (v4).
   Overloaded,       ///< Bounded queue full: explicit backpressure.
   ShuttingDown,     ///< Draining; request was not accepted.
   Unavailable,      ///< Router: no healthy shard could answer.

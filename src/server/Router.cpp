@@ -87,6 +87,93 @@ uint64_t Router::routingPoint(const std::string &Payload, Value *IdOut) {
 }
 
 //===----------------------------------------------------------------------===//
+// ResponseCache
+//===----------------------------------------------------------------------===//
+
+bool ResponseCache::requestKey(const std::string &Payload,
+                               cache::Digest &Key) {
+  json::ParseResult Doc = json::parse(Payload);
+  if (!Doc || !Doc.V.isObject())
+    return false;
+  // Every field except the echo-only id and the deadline participates:
+  // validate, profile, patch ops — anything that can change the response
+  // body must change the key.  Member names are sorted so two clients
+  // serializing the same request in different order share an entry.
+  std::vector<std::pair<std::string, std::string>> Fields;
+  Fields.reserve(Doc.V.members().size());
+  for (const auto &[Name, V] : Doc.V.members()) {
+    if (Name == "id" || Name == "deadline_ms")
+      continue;
+    Fields.emplace_back(Name, V.dump(0));
+  }
+  std::sort(Fields.begin(), Fields.end());
+  cache::Hasher H;
+  H.update("lcm-router-response-v1");
+  for (const auto &[Name, Dumped] : Fields) {
+    H.updateU64(Name.size());
+    H.update(Name);
+    H.updateU64(Dumped.size());
+    H.update(Dumped);
+  }
+  Key = H.digest();
+  return true;
+}
+
+bool ResponseCache::get(const cache::Digest &Key, Value &Response) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++Misses;
+    return false;
+  }
+  Lru.splice(Lru.begin(), Lru, It->second);
+  Response = It->second->Doc;
+  ++Hits;
+  return true;
+}
+
+void ResponseCache::put(const cache::Digest &Key, Value Response) {
+  // Stored copies carry a null id; the hit path re-stamps the requester's.
+  Response.set("id", Value());
+  Entry E;
+  E.Key = Key;
+  E.Bytes = Response.dump(0).size() + 64;
+  E.Doc = std::move(Response);
+  if (E.Bytes > MaxBytes)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    // Concurrent fill of the same key: keep the incumbent.
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  CurBytes += E.Bytes;
+  Lru.push_front(std::move(E));
+  Index.emplace(Key, Lru.begin());
+  ++Insertions;
+  while (CurBytes > MaxBytes && !Lru.empty()) {
+    const Entry &Victim = Lru.back();
+    CurBytes -= Victim.Bytes;
+    Index.erase(Victim.Key);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+ResponseCache::CacheStats ResponseCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  CacheStats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Insertions = Insertions;
+  S.Evictions = Evictions;
+  S.Bytes = CurBytes;
+  S.Entries = Lru.size();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
 // Lifecycle
 //===----------------------------------------------------------------------===//
 
@@ -105,6 +192,8 @@ bool Router::start(std::string &Error) {
     Ring.add(Ep.name(), Opts.VirtualNodes);
     Shards.push_back(std::move(S));
   }
+  if (Opts.CacheBytes > 0)
+    Cache = std::make_unique<ResponseCache>(Opts.CacheBytes);
 
   ServerOptions SrvOpts;
   SrvOpts.TcpPort = Opts.TcpPort;
@@ -200,6 +289,25 @@ json::Value Router::forward(const std::string &Payload) {
 
   Value Id;
   const uint64_t Point = routingPoint(Payload, &Id);
+
+  // Response cache (when configured): repeat requests short-circuit here
+  // without consuming a shard connection.  Only `ok` responses are stored
+  // below, so every error path keeps observing the live fleet.
+  cache::Digest CacheKey;
+  const bool Cacheable = Cache && ResponseCache::requestKey(Payload, CacheKey);
+  if (Cacheable) {
+    Value Hit;
+    if (Cache->get(CacheKey, Hit)) {
+      NumCacheHits.fetch_add(1);
+      Stats::bump("router.cache.hits");
+      Hit.set("id", Id);
+      T.note("cache", "hit");
+      return Hit;
+    }
+    NumCacheMisses.fetch_add(1);
+    Stats::bump("router.cache.misses");
+  }
+
   const std::vector<size_t> Order = Ring.walk(Point);
 
   std::string LastError = "no shards configured";
@@ -236,6 +344,8 @@ json::Value Router::forward(const std::string &Payload) {
         Stats::bump("router.response." +
                     (St && St->isString() ? St->asString()
                                           : std::string("unknown")));
+        if (Cacheable && St && St->isString() && St->asString() == "ok")
+          Cache->put(CacheKey, Response);
         T.note("shard", S.Ep.name());
         T.note("attempts", Attempt);
         return Response;
@@ -305,6 +415,8 @@ Router::Counters Router::counters() const {
   C.Retries = NumRetries.load();
   C.Failovers = NumFailovers.load();
   C.Unavailable = NumUnavailable.load();
+  C.CacheHits = NumCacheHits.load();
+  C.CacheMisses = NumCacheMisses.load();
   return C;
 }
 

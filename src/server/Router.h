@@ -38,12 +38,15 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "cache/ContentHash.h"
 #include "server/Client.h"
 #include "server/Server.h"
 
@@ -110,6 +113,54 @@ struct RouterOptions {
   int ShardRecvTimeoutMs = 30'000;
   /// Health thread probe period for unhealthy shards.
   int HealthIntervalMs = 200;
+  /// Router-side response cache budget in bytes; 0 disables it.  Repeat
+  /// requests (same semantics-bearing fields; id and deadline excluded)
+  /// are answered from the router without touching a shard.  Only `ok`
+  /// responses are cached — errors, overload, and `base_miss` always
+  /// re-forward, so a recovered shard is observed immediately.
+  size_t CacheBytes = 0;
+};
+
+/// The router's bounded response cache: an LRU over full response
+/// documents, keyed by the digest of the request's semantics-bearing
+/// fields.  Stored responses have their `id` nulled; hits re-stamp the
+/// requester's id, so a cached answer is byte-compatible with a fresh
+/// forward.  Internally synchronized.
+class ResponseCache {
+public:
+  explicit ResponseCache(size_t MaxBytes) : MaxBytes(MaxBytes) {}
+
+  /// Digest of every request field except `id` and `deadline_ms`, member
+  /// order ignored.  False when the payload is not a JSON object (such
+  /// requests bypass the cache and fail on the shard).
+  static bool requestKey(const std::string &Payload, cache::Digest &Key);
+
+  bool get(const cache::Digest &Key, json::Value &Response);
+  void put(const cache::Digest &Key, json::Value Response);
+
+  struct CacheStats {
+    uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+    size_t Bytes = 0, Entries = 0;
+  };
+  CacheStats stats() const;
+
+private:
+  struct Entry {
+    cache::Digest Key;
+    json::Value Doc;
+    size_t Bytes = 0;
+  };
+  struct DigestHash {
+    size_t operator()(const cache::Digest &D) const { return size_t(D.Lo); }
+  };
+
+  const size_t MaxBytes;
+  mutable std::mutex Mu;
+  std::list<Entry> Lru; ///< Front = most recently used.
+  std::unordered_map<cache::Digest, std::list<Entry>::iterator, DigestHash>
+      Index;
+  size_t CurBytes = 0;
+  uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
 };
 
 class Router {
@@ -135,6 +186,8 @@ public:
     uint64_t Retries = 0;     ///< Failed attempts that were retried.
     uint64_t Failovers = 0;   ///< Requests answered by a non-first shard.
     uint64_t Unavailable = 0; ///< Requests no shard could answer.
+    uint64_t CacheHits = 0;   ///< Requests answered from the response cache.
+    uint64_t CacheMisses = 0; ///< Cacheable requests that went to a shard.
   };
   Counters counters() const;
 
@@ -179,6 +232,7 @@ private:
   std::unique_ptr<Server> Srv;
   std::vector<std::unique_ptr<Shard>> Shards;
   HashRing Ring;
+  std::unique_ptr<ResponseCache> Cache; ///< Null when CacheBytes == 0.
 
   std::atomic<bool> HealthRunning{false};
   std::thread HealthThread;
@@ -189,6 +243,8 @@ private:
   std::atomic<uint64_t> NumRetries{0};
   std::atomic<uint64_t> NumFailovers{0};
   std::atomic<uint64_t> NumUnavailable{0};
+  std::atomic<uint64_t> NumCacheHits{0};
+  std::atomic<uint64_t> NumCacheMisses{0};
 };
 
 } // namespace server

@@ -88,6 +88,480 @@ bool validateServedIr(const Function &Original, const Function &Served,
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Modules and deltas (docs/INCREMENTAL.md)
+//===----------------------------------------------------------------------===//
+
+/// A `func` header line (canonical text puts it at column 0, but leading
+/// whitespace is tolerated like the parser does).
+bool isFuncHeaderLine(std::string_view Line) {
+  const size_t I = Line.find_first_not_of(" \t");
+  if (I == std::string_view::npos)
+    return false;
+  const std::string_view Rest = Line.substr(I);
+  return Rest.size() > 4 && Rest.substr(0, 4) == "func" &&
+         (Rest[4] == ' ' || Rest[4] == '\t');
+}
+
+/// A `block LABEL` header line; extracts the label when \p LabelOut is set.
+bool isBlockHeaderLine(std::string_view Line, std::string_view *LabelOut) {
+  const size_t I = Line.find_first_not_of(" \t");
+  if (I == std::string_view::npos)
+    return false;
+  const std::string_view Rest = Line.substr(I);
+  if (Rest.size() < 6 || Rest.substr(0, 5) != "block" ||
+      (Rest[5] != ' ' && Rest[5] != '\t'))
+    return false;
+  if (LabelOut) {
+    std::string_view L = Rest.substr(6);
+    const size_t B = L.find_first_not_of(" \t");
+    if (B == std::string_view::npos)
+      return false;
+    const size_t E = L.find_first_of(" \t\r", B);
+    *LabelOut = L.substr(B, E == std::string_view::npos ? E : E - B);
+  }
+  return true;
+}
+
+/// Splits module text into per-function chunks at `func` header lines.
+/// Text with zero or one header is a single chunk (the existing
+/// single-function request shape).
+void splitModuleInto(std::string_view Text,
+                     std::vector<std::string_view> &Out) {
+  Out.clear();
+  size_t ChunkStart = 0;
+  bool SeenHeader = false;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    const size_t Nl = Text.find('\n', Pos);
+    const size_t LineEnd = Nl == std::string_view::npos ? Text.size() : Nl;
+    if (isFuncHeaderLine(Text.substr(Pos, LineEnd - Pos))) {
+      if (SeenHeader) {
+        Out.push_back(Text.substr(ChunkStart, Pos - ChunkStart));
+        ChunkStart = Pos;
+      }
+      SeenHeader = true;
+    }
+    Pos = Nl == std::string_view::npos ? Text.size() : Nl + 1;
+  }
+  Out.push_back(Text.substr(ChunkStart));
+}
+
+/// Locates block \p Label's span [\p Begin, \p End) in canonical function
+/// text: its header line through the line before the next block header.
+bool findBlockSpan(std::string_view Text, std::string_view Label,
+                   size_t &Begin, size_t &End) {
+  size_t Pos = 0;
+  bool In = false;
+  Begin = End = 0;
+  while (Pos < Text.size()) {
+    const size_t Nl = Text.find('\n', Pos);
+    const size_t LineEnd = Nl == std::string_view::npos ? Text.size() : Nl;
+    std::string_view L;
+    if (isBlockHeaderLine(Text.substr(Pos, LineEnd - Pos), &L)) {
+      if (In) {
+        End = Pos;
+        return true;
+      }
+      if (L == Label) {
+        In = true;
+        Begin = Pos;
+      }
+    }
+    Pos = Nl == std::string_view::npos ? Text.size() : Nl + 1;
+  }
+  End = Text.size();
+  return In;
+}
+
+enum class DeltaFail { None, Miss, Malformed };
+
+/// Materializes a delta request's effective input: fetches the retained
+/// base module and applies the block-level patch in order, marking patched
+/// functions dirty.  Structural problems (unknown label/function,
+/// ambiguous scope) report Malformed; an unavailable base reports Miss.
+DeltaFail resolveDelta(const ServiceConfig &Config, const Request &R,
+                       const cache::Digest &FPD, cache::RetainedModule &Base,
+                       std::vector<uint8_t> &DirtyFn, std::string &Why) {
+  cache::Digest Key;
+  if (!cache::Digest::fromHex(R.BaseKey, Key)) {
+    Why = "malformed base_key";
+    return DeltaFail::Malformed;
+  }
+  if (!Config.Cache || !Config.Retained) {
+    Why = "delta serving disabled (no retained tier)";
+    return DeltaFail::Miss;
+  }
+  if (!Config.Retained->get(Key, Base)) {
+    Why = "base key not retained";
+    return DeltaFail::Miss;
+  }
+  if (!(Base.Fp == FPD)) {
+    // The retained per-function keys embed the base's fingerprint; a delta
+    // under a different pipeline/check configuration cannot reuse them.
+    Why = "base was optimized under a different configuration";
+    return DeltaFail::Miss;
+  }
+  DirtyFn.assign(Base.Functions.size(), 0);
+  for (const PatchOp &Op : R.Patch) {
+    size_t FnIdx = size_t(-1);
+    if (!Op.Func.empty()) {
+      for (size_t I = 0; I != Base.Functions.size(); ++I)
+        if (Base.Functions[I].Name == Op.Func) {
+          FnIdx = I;
+          break;
+        }
+      if (FnIdx == size_t(-1)) {
+        Why = "patch names unknown function '" + Op.Func + "'";
+        return DeltaFail::Malformed;
+      }
+    } else if (Base.Functions.size() == 1) {
+      FnIdx = 0;
+    } else {
+      Why = "patch op needs 'func' on a multi-function base";
+      return DeltaFail::Malformed;
+    }
+    std::string &Text = Base.Functions[FnIdx].Text;
+    std::string Block = Op.Ir;
+    if (!Block.empty() && Block.back() != '\n')
+      Block += '\n';
+    size_t B = 0, E = 0;
+    switch (Op.K) {
+    case PatchOp::Kind::ReplaceBlock:
+      if (Block.empty()) {
+        Why = "replace_block: empty 'ir'";
+        return DeltaFail::Malformed;
+      }
+      if (Op.Label.empty() || !findBlockSpan(Text, Op.Label, B, E)) {
+        Why = "replace_block: label '" + Op.Label + "' not found";
+        return DeltaFail::Malformed;
+      }
+      Text.replace(B, E - B, Block);
+      break;
+    case PatchOp::Kind::RemoveBlock:
+      if (Op.Label.empty() || !findBlockSpan(Text, Op.Label, B, E)) {
+        Why = "remove_block: label '" + Op.Label + "' not found";
+        return DeltaFail::Malformed;
+      }
+      Text.erase(B, E - B);
+      break;
+    case PatchOp::Kind::InsertBlock: {
+      if (Block.empty()) {
+        Why = "insert_block: empty 'ir'";
+        return DeltaFail::Malformed;
+      }
+      size_t At = 0;
+      if (Op.After.empty()) {
+        // Head of the function body: right after the `func` header line.
+        const size_t Nl = Text.find('\n');
+        if (Nl != std::string::npos &&
+            isFuncHeaderLine(std::string_view(Text).substr(0, Nl)))
+          At = Nl + 1;
+      } else {
+        if (!findBlockSpan(Text, Op.After, B, E)) {
+          Why = "insert_block: label '" + Op.After + "' not found";
+          return DeltaFail::Malformed;
+        }
+        At = E;
+      }
+      Text.insert(At, Block);
+      break;
+    }
+    }
+    DirtyFn[FnIdx] = 1;
+  }
+  return DeltaFail::None;
+}
+
+/// Module and delta requests: per-function memoization over the result
+/// cache, with delta inputs materialized from the retained tier.  An
+/// untouched function of an applied delta is answered straight from its
+/// retained key — no re-parse, no re-hash, no pipeline — which is where
+/// the edit-loop speedup comes from (bench/perf_editloop.cpp).
+/// Validation runs inline here; the validator-pool deferral carries
+/// exactly one function and stays on the single-function path.
+Value handleModuleOrDelta(const ServiceConfig &Config, const Request &R,
+                          Trace::Scope &T, const CancelToken *Deadline,
+                          Clock::time_point Start) {
+  const bool IsDelta = !R.BaseKey.empty();
+  Stats::bump(IsDelta ? "server.delta_requests" : "server.module_requests");
+
+  if (R.WantReport || !R.Profile.isNull()) {
+    T.note("status", "bad_request");
+    return finish(makeErrorResponse(
+        R.Id, Status::BadRequest,
+        std::string(R.WantReport ? "'report'" : "'profile'") +
+            " is not supported for module/delta requests"));
+  }
+
+  PipelineParse Spec = parsePipeline(R.Pipeline);
+  if (!Spec) {
+    T.note("status", "bad_request");
+    return finish(makeErrorResponse(R.Id, Status::BadRequest, Spec.Error));
+  }
+
+  cache::PipelineFingerprint FP;
+  for (size_t I = 0, N = Spec.P.size(); I != N; ++I) {
+    if (I)
+      FP.Pipeline += ',';
+    FP.Pipeline += Spec.P.stepName(I);
+  }
+  FP.Limits = Config.Limits;
+  FP.Check = R.Check;
+  FP.CheckRuns = R.Check ? Config.CheckRuns : 0;
+  const cache::Digest FPD = FP.digest();
+
+  cache::RetainedModule Base;
+  std::vector<uint8_t> DirtyFn;
+  std::string DeltaStatus, DeltaReason;
+  bool UseBase = false;
+  if (IsDelta) {
+    const DeltaFail F =
+        resolveDelta(Config, R, FPD, Base, DirtyFn, DeltaReason);
+    if (F == DeltaFail::None) {
+      UseBase = true;
+      DeltaStatus = "applied";
+      Stats::bump("server.delta_applied");
+    } else if (!R.Ir.empty()) {
+      // The request carried its full text: optimize that instead, and say
+      // so — the client learns its base is gone and re-anchors.
+      DeltaStatus = "fallback";
+      Stats::bump("server.delta_fallbacks");
+    } else {
+      const Status S =
+          F == DeltaFail::Miss ? Status::BaseMiss : Status::BadRequest;
+      T.note("status", statusName(S));
+      return finish(makeErrorResponse(R.Id, S, DeltaReason));
+    }
+  }
+
+  struct FnInput {
+    std::string_view Text;
+    const cache::Digest *Known = nullptr;
+    const std::string *NameHint = nullptr;
+  };
+  std::vector<FnInput> Inputs;
+  std::vector<std::string_view> Chunks;
+  if (UseBase) {
+    for (size_t I = 0; I != Base.Functions.size(); ++I) {
+      FnInput FI;
+      FI.Text = Base.Functions[I].Text;
+      if (!DirtyFn[I])
+        FI.Known = &Base.Functions[I].Key;
+      FI.NameHint = &Base.Functions[I].Name;
+      Inputs.push_back(FI);
+    }
+  } else {
+    splitModuleInto(R.Ir, Chunks);
+    for (std::string_view C : Chunks)
+      Inputs.push_back(FnInput{C, nullptr, nullptr});
+  }
+
+  struct FnOutcome {
+    std::string Name;
+    cache::Digest Key;
+    bool Cached = false;
+    cache::CacheEntry E;
+    /// Canonical *input* text — the next retained record and the
+    /// validation baseline.
+    std::string CanonText;
+  };
+  std::vector<FnOutcome> Outs;
+  Outs.reserve(Inputs.size());
+
+  thread_local ParserScratch Scratch;
+  thread_local ParseResult Ir;
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    const FnInput &FI = Inputs[I];
+    FnOutcome O;
+    if (FI.Known && Config.Cache && Config.Cache->get(*FI.Known, O.E)) {
+      // Untouched function of an applied delta: answered by its retained
+      // key alone.
+      O.Name = FI.NameHint ? *FI.NameHint : std::string();
+      O.Key = *FI.Known;
+      O.Cached = true;
+      O.CanonText.assign(FI.Text);
+      Stats::bump("server.delta_fn_reused");
+      Outs.push_back(std::move(O));
+      continue;
+    }
+    parseFunctionInto(FI.Text, Config.Limits, Scratch, Ir);
+    if (!Ir) {
+      const Status S = Ir.OverLimit ? Status::Limits : Status::ParseError;
+      T.note("status", statusName(S));
+      return finish(makeErrorResponse(
+          R.Id, S, "function " + std::to_string(I) + ": " + Ir.Error));
+    }
+    Function &Fn = Ir.Fn;
+    std::vector<std::string> Errors = verifyFunction(Fn);
+    if (!Errors.empty()) {
+      T.note("status", "verify_error");
+      return finish(makeErrorResponse(R.Id, Status::VerifyError,
+                                      "function " + std::to_string(I) +
+                                          " ('" + Fn.name() +
+                                          "'): " + Errors.front()));
+    }
+    O.Name = Fn.name();
+    O.Key = FI.Known ? *FI.Known : cache::requestKey(Fn, FP);
+    printFunction(Fn, O.CanonText);
+
+    auto Compute = [&]() -> cache::SingleFlight::Result {
+      Stats::bump("server.pipeline_runs");
+      Function Original = R.Check ? Fn : Function();
+      Pipeline::RunResult Run = Spec.P.run(Fn, Deadline);
+      if (Run.Cancelled)
+        return cache::SingleFlight::Result::cancelled(Run.Error);
+      if (!Run.Ok)
+        return cache::SingleFlight::Result::error(Run.Error,
+                                                  int(Status::PipelineError));
+      if (R.Check) {
+        for (uint64_t Seed = 1; Seed <= Config.CheckRuns; ++Seed) {
+          InterpResult BaseRun = runSeeded(Original, Seed, Original.numVars(),
+                                           uint32_t(Original.numBlocks()));
+          InterpResult After = runSeeded(Fn, Seed, Original.numVars(),
+                                         uint32_t(Original.numBlocks()));
+          if (!sameObservableBehaviour(BaseRun, After, Original.numVars()))
+            return cache::SingleFlight::Result::error(
+                "optimized program diverges from input under seed " +
+                    std::to_string(Seed),
+                int(Status::CheckFailed));
+        }
+      }
+      cache::CacheEntry E;
+      printFunction(Fn, E.Ir);
+      for (const Pipeline::StepResult &S : Run.Steps)
+        E.Changes += S.Changes;
+      E.Checked = R.Check;
+      E.CheckRuns = R.Check ? Config.CheckRuns : 0;
+      return cache::SingleFlight::Result::value(std::move(E));
+    };
+
+    cache::ResultCache::Lookup L;
+    if (Config.Cache) {
+      L = Config.Cache->getOrCompute(O.Key, Deadline, Compute);
+    } else {
+      L.Src = cache::ResultCache::Source::Computed;
+      L.R = Compute();
+    }
+    using RK = cache::SingleFlight::Result::Kind;
+    if (L.R.K == RK::Cancelled) {
+      T.note("status", "deadline_exceeded");
+      return finish(
+          makeErrorResponse(R.Id, Status::DeadlineExceeded, L.R.Error));
+    }
+    if (L.R.K == RK::Error) {
+      const Status S =
+          L.R.Code != 0 ? Status(L.R.Code) : Status::PipelineError;
+      T.note("status", statusName(S));
+      return finish(makeErrorResponse(R.Id, S,
+                                      "function " + std::to_string(I) +
+                                          " ('" + O.Name +
+                                          "'): " + L.R.Error));
+    }
+    O.Cached = L.cached();
+    O.E = std::move(L.R.Entry);
+    Outs.push_back(std::move(O));
+  }
+  Stats::bump("server.module_functions", Outs.size());
+
+  // The module key digests the per-function keys under this fingerprint —
+  // it is the response's cache_key and the retained entry's anchor, so the
+  // client's next delta can name this request as its base.
+  cache::Hasher H;
+  H.update("lcm-module-v1");
+  H.updateU64(FPD.Hi).updateU64(FPD.Lo);
+  for (const FnOutcome &O : Outs)
+    H.updateU64(O.Key.Hi).updateU64(O.Key.Lo);
+  const cache::Digest ModuleKey = H.digest();
+
+  if (R.Validate) {
+    Stats::bump("server.validations");
+    for (const FnOutcome &O : Outs) {
+      ParseResult Orig = parseFunction(O.CanonText, Config.Limits);
+      ParseResult Served = parseFunction(O.E.Ir, Config.Limits);
+      std::string Why;
+      const bool Ok = Orig && Served &&
+                      validateServedIr(Orig.Fn, Served.Fn,
+                                       std::max(1u, Config.CheckRuns), Why);
+      if (!Ok) {
+        if (Why.empty())
+          Why = "function IR unparsable";
+        Stats::bump("server.validation_mismatches");
+        T.note("status", "validation_failed");
+        return finish(makeErrorResponse(R.Id, Status::ValidationFailed,
+                                        "function '" + O.Name +
+                                            "': " + Why));
+      }
+    }
+  }
+
+  bool AllCached = true;
+  uint64_t TotalChanges = 0;
+  std::string IrOut;
+  Value Fns = Value::array();
+  for (const FnOutcome &O : Outs) {
+    AllCached &= O.Cached;
+    TotalChanges += O.E.Changes;
+    IrOut += O.E.Ir;
+    if (!IrOut.empty() && IrOut.back() != '\n')
+      IrOut += '\n';
+    Value FV = Value::object();
+    FV.set("name", Value::str(O.Name));
+    FV.set("cache_key", Value::str(O.Key.hex()));
+    FV.set("cached", Value::boolean(O.Cached));
+    Fns.push(std::move(FV));
+  }
+
+  Value Response = makeResponse(R.Id, Status::Ok);
+  Response.set("ir", Value::str(std::move(IrOut)));
+  Response.set("pipeline", Value::str(R.Pipeline));
+  Response.set("changes", Value::number(TotalChanges));
+  Response.set(
+      "seconds",
+      Value::number(std::chrono::duration<double>(Clock::now() - Start)
+                        .count()));
+  if (R.Check) {
+    Response.set("checked", Value::boolean(true));
+    Response.set("check_runs", Value::number(uint64_t(Config.CheckRuns)));
+  }
+  if (R.Validate)
+    Response.set("validated", Value::boolean(true));
+  Response.set("functions", std::move(Fns));
+  if (Config.Cache) {
+    Response.set("cached", Value::boolean(AllCached));
+    Response.set("cache_key", Value::str(ModuleKey.hex()));
+  }
+  if (IsDelta) {
+    Response.set("delta", Value::str(DeltaStatus));
+    if (DeltaStatus == "fallback" && !DeltaReason.empty())
+      Response.set("delta_reason", Value::str(DeltaReason));
+  }
+  if (R.ServerInfo) {
+    Value Srv = Value::object();
+    Srv.set("kernel_backend", Value::str(simdwords::backendName()));
+    if (Config.ReportWorkers > 0)
+      Srv.set("workers", Value::number(uint64_t(Config.ReportWorkers)));
+    Srv.set("hardware_threads",
+            Value::number(uint64_t(std::thread::hardware_concurrency())));
+    Srv.set("placement_strategy", Value::str("classic"));
+    Response.set("server", std::move(Srv));
+  }
+
+  if (Config.Cache && Config.Retained) {
+    cache::RetainedModule M;
+    M.Fp = FPD;
+    M.Functions.reserve(Outs.size());
+    for (FnOutcome &O : Outs)
+      M.Functions.push_back(
+          {std::move(O.Name), std::move(O.CanonText), O.Key});
+    Config.Retained->put(ModuleKey, std::move(M));
+  }
+
+  T.note("status", "ok");
+  T.note("changes", TotalChanges);
+  return finish(Response);
+}
+
 } // namespace
 
 Value Service::handle(const std::string &Payload) const {
@@ -145,6 +619,17 @@ Value Service::handleImpl(const std::string &Payload,
   const bool HasDeadline = DeadlineMs >= 0;
   if (HasDeadline)
     Deadline.setTimeoutMs(DeadlineMs);
+
+  // v4 deltas and multi-function modules take the per-function
+  // memoization path; plain single-function requests keep the original
+  // allocation-free hot path below.
+  {
+    thread_local std::vector<std::string_view> Probe;
+    splitModuleInto(R.Ir, Probe);
+    if (!R.BaseKey.empty() || Probe.size() > 1)
+      return handleModuleOrDelta(Config, R, T,
+                                 HasDeadline ? &Deadline : nullptr, Start);
+  }
 
   // Per-worker parser state: Function storage and every scratch buffer
   // reach a high-water capacity and are recycled, so steady-state parses
@@ -270,6 +755,17 @@ Value Service::handleImpl(const std::string &Payload,
 
   cache::ResultCache::Lookup L;
   std::string KeyHex;
+  cache::Digest ReqKey;
+  cache::Digest RetainedFp;
+  // Retain the canonical input so a later v4 delta can use this request's
+  // cache_key as its base (docs/INCREMENTAL.md).  Printed before the
+  // pipeline mutates Fn.
+  thread_local std::string RetainedText;
+  const bool Retain = Config.Cache != nullptr && Config.Retained != nullptr;
+  if (Retain) {
+    RetainedText.clear();
+    printFunction(Fn, RetainedText);
+  }
   if (Config.Cache) {
     // The key covers the *canonical* forms: the printed (parsed) IR and
     // the parsed pipeline's step names, so formatting variants of the same
@@ -289,9 +785,10 @@ Value Service::handleImpl(const std::string &Payload,
       FP.ProfileKey = Profile.canonicalKey();
     // Streaming form: the canonical IR is printed directly into the
     // incremental hasher, never materialized as a string.
-    const cache::Digest Key = cache::requestKey(Fn, FP);
-    KeyHex = Key.hex();
-    L = Config.Cache->getOrCompute(Key, HasDeadline ? &Deadline : nullptr,
+    ReqKey = cache::requestKey(Fn, FP);
+    KeyHex = ReqKey.hex();
+    RetainedFp = FP.digest();
+    L = Config.Cache->getOrCompute(ReqKey, HasDeadline ? &Deadline : nullptr,
                                    Compute);
   } else {
     L.Src = cache::ResultCache::Source::Computed;
@@ -312,6 +809,13 @@ Value Service::handleImpl(const std::string &Payload,
   }
 
   const cache::CacheEntry &E = L.R.Entry;
+
+  if (Retain) {
+    cache::RetainedModule M;
+    M.Fp = RetainedFp;
+    M.Functions.push_back({Fn.name(), RetainedText, ReqKey});
+    Config.Retained->put(ReqKey, std::move(M));
+  }
 
   Value Response = makeResponse(R.Id, Status::Ok);
   Response.set("ir", Value::str(E.Ir));

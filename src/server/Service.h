@@ -40,6 +40,7 @@
 #include <memory>
 
 #include "cache/ResultCache.h"
+#include "cache/RetainedIr.h"
 #include "ir/Function.h"
 #include "ir/Limits.h"
 #include "server/Protocol.h"
@@ -66,6 +67,13 @@ struct ServiceConfig {
   /// computation, and `ok` responses carry `cached` + `cache_key` fields.
   /// Null disables caching (every request runs the pipeline).
   std::shared_ptr<cache::ResultCache> Cache;
+  /// Retained-IR tier for protocol-v4 delta requests
+  /// (docs/INCREMENTAL.md): maps every served request key to its canonical
+  /// *input* split per function, so a later `base_key` + patch request can
+  /// re-optimize only the edited function.  Null disables delta serving
+  /// (v4 requests then fall back to their full-text `ir`, or answer
+  /// `base_miss` without one).
+  std::shared_ptr<cache::RetainedIrCache> Retained;
   /// Worker-pool size to report in `server_info` responses; informational
   /// only (the Service itself does not own threads).  0 = omit.
   unsigned ReportWorkers = 0;

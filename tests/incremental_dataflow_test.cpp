@@ -1,0 +1,225 @@
+//===- tests/incremental_dataflow_test.cpp - Warm-start == cold solve -----===//
+//
+// Randomized edit-sequence sweep for the warm-start sparse solver: starting
+// from a cold fixpoint, every mutation of the gen/kill transfers (a block
+// edit) re-solved warm from the previous fixpoint must be bit-identical to
+// solving the mutated problem from scratch with all three cold strategies.
+// Also pins the shape-mismatch fallback and the internal boundary-change
+// detection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LocalProperties.h"
+#include "dataflow/Dataflow.h"
+#include "workload/RandomCfg.h"
+#include "workload/StructuredGen.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace lcm;
+
+namespace {
+
+std::vector<GenKill> availabilityTransfers(const Function &Fn,
+                                           const LocalProperties &LP) {
+  std::vector<GenKill> T(Fn.numBlocks());
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    T[B].Gen = LP.comp(B);
+    T[B].Kill = complement(LP.transp(B));
+  }
+  return T;
+}
+
+std::vector<GenKill> anticipabilityTransfers(const Function &Fn,
+                                             const LocalProperties &LP) {
+  std::vector<GenKill> T(Fn.numBlocks());
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    T[B].Gen = LP.antloc(B);
+    T[B].Kill = complement(LP.transp(B));
+  }
+  return T;
+}
+
+/// Both generator families, sizes ramping with the seed (same recipe as
+/// tests/solver_equivalence_test.cpp).
+Function makeProgram(unsigned Seed) {
+  if (Seed % 2 == 0) {
+    StructuredGenOptions Opts;
+    Opts.Seed = Seed + 1;
+    Opts.MaxDepth = 2 + Seed % 4;
+    Opts.ControlPercent = 50;
+    return generateStructured(Opts);
+  }
+  RandomCfgOptions Opts;
+  Opts.Seed = Seed + 1;
+  Opts.NumBlocks = 6 + (Seed * 7) % 90;
+  return generateRandomCfg(Opts);
+}
+
+/// Flips a few random Gen/Kill bits of 1-3 random blocks — the dataflow
+/// image of editing those blocks' bodies — and returns the dirty set.
+std::vector<BlockId> mutateTransfers(std::vector<GenKill> &Transfers,
+                                     size_t Universe, std::mt19937 &Rng) {
+  std::vector<BlockId> Dirty;
+  if (Transfers.empty() || Universe == 0)
+    return Dirty;
+  const size_t NumEdits = 1 + Rng() % 3;
+  for (size_t I = 0; I != NumEdits; ++I) {
+    const BlockId B = BlockId(Rng() % Transfers.size());
+    GenKill &T = Transfers[B];
+    const size_t Bit = Rng() % Universe;
+    if (Rng() % 2)
+      T.Gen.set(Bit, !T.Gen.test(Bit));
+    else
+      T.Kill.set(Bit, !T.Kill.test(Bit));
+    Dirty.push_back(B);
+  }
+  return Dirty;
+}
+
+class IncrementalDataflow : public testing::TestWithParam<unsigned> {};
+
+TEST_P(IncrementalDataflow, EditSequenceMatchesColdSolvers) {
+  const unsigned Seed = GetParam();
+  Function Fn = makeProgram(Seed);
+  LocalProperties LP(Fn);
+  const size_t Universe = LP.numExprs();
+  std::mt19937 Rng(Seed * 7919 + 17);
+
+  struct Case {
+    Direction Dir;
+    Meet M;
+    std::vector<GenKill> Transfers;
+    BitVector Boundary;
+  };
+  const BitVector Empty(Universe);
+  const BitVector Full(Universe, true);
+  std::vector<Case> Cases;
+  Cases.push_back({Direction::Forward, Meet::Intersection,
+                   availabilityTransfers(Fn, LP), Empty});
+  Cases.push_back({Direction::Forward, Meet::Union,
+                   availabilityTransfers(Fn, LP), Full});
+  Cases.push_back({Direction::Backward, Meet::Intersection,
+                   anticipabilityTransfers(Fn, LP), Empty});
+  Cases.push_back({Direction::Backward, Meet::Union,
+                   anticipabilityTransfers(Fn, LP), Full});
+
+  for (Case &C : Cases) {
+    DataflowResult Prev =
+        solveGenKillSparse(Fn, C.Dir, C.M, C.Transfers, C.Boundary);
+    // 16 mutations per case x 4 cases = 64 edits per program seed.
+    for (unsigned Edit = 0; Edit != 16; ++Edit) {
+      const std::vector<BlockId> Dirty =
+          mutateTransfers(C.Transfers, Universe, Rng);
+      DataflowResult Warm;
+      solveGenKillSparseWarmInto(Fn, C.Dir, C.M, C.Transfers, C.Boundary,
+                                 Prev, Dirty, Warm);
+      const DataflowResult RR =
+          solveGenKill(Fn, C.Dir, C.M, C.Transfers, C.Boundary);
+      const DataflowResult WL =
+          solveGenKillWorklist(Fn, C.Dir, C.M, C.Transfers, C.Boundary);
+      const DataflowResult SP =
+          solveGenKillSparse(Fn, C.Dir, C.M, C.Transfers, C.Boundary);
+      for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+        ASSERT_EQ(Warm.In[B], RR.In[B])
+            << "round-robin In, edit " << Edit << ", block " << B;
+        ASSERT_EQ(Warm.Out[B], RR.Out[B])
+            << "round-robin Out, edit " << Edit << ", block " << B;
+        ASSERT_EQ(Warm.In[B], WL.In[B])
+            << "worklist In, edit " << Edit << ", block " << B;
+        ASSERT_EQ(Warm.Out[B], WL.Out[B])
+            << "worklist Out, edit " << Edit << ", block " << B;
+        ASSERT_EQ(Warm.In[B], SP.In[B])
+            << "sparse In, edit " << Edit << ", block " << B;
+        ASSERT_EQ(Warm.Out[B], SP.Out[B])
+            << "sparse Out, edit " << Edit << ", block " << B;
+      }
+      // The warm solve only visits the dirty cone; it must never do more
+      // pops than the cold sparse solve's full seeding.
+      EXPECT_LE(Warm.Stats.NodeVisits, SP.Stats.NodeVisits + Dirty.size());
+      Prev = std::move(Warm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, IncrementalDataflow,
+                         testing::Range(0u, 12u));
+
+TEST(IncrementalDataflow, ShapeMismatchFallsBackToColdSolve) {
+  Function Fn = makeProgram(5);
+  LocalProperties LP(Fn);
+  auto Transfers = availabilityTransfers(Fn, LP);
+  const BitVector Empty(LP.numExprs());
+
+  // A previous result for a *different* program: wrong block count.
+  Function Other = makeProgram(7);
+  LocalProperties OtherLP(Other);
+  ASSERT_NE(Other.numBlocks(), Fn.numBlocks());
+  DataflowResult Stale =
+      solveGenKillSparse(Other, Direction::Forward, Meet::Intersection,
+                         availabilityTransfers(Other, OtherLP),
+                         BitVector(OtherLP.numExprs()));
+
+  DataflowResult Warm;
+  solveGenKillSparseWarmInto(Fn, Direction::Forward, Meet::Intersection,
+                             Transfers, Empty, Stale, {BlockId(0)}, Warm);
+  const DataflowResult Cold = solveGenKill(Fn, Direction::Forward,
+                                           Meet::Intersection, Transfers,
+                                           Empty);
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    EXPECT_EQ(Warm.In[B], Cold.In[B]) << "block " << B;
+    EXPECT_EQ(Warm.Out[B], Cold.Out[B]) << "block " << B;
+  }
+}
+
+TEST(IncrementalDataflow, ChangedBoundaryDirtiesBoundaryBlock) {
+  Function Fn = makeProgram(4);
+  LocalProperties LP(Fn);
+  auto Transfers = availabilityTransfers(Fn, LP);
+  const BitVector Empty(LP.numExprs());
+  const BitVector Full(LP.numExprs(), true);
+
+  DataflowResult Prev = solveGenKillSparse(Fn, Direction::Forward,
+                                           Meet::Intersection, Transfers,
+                                           Empty);
+  // Re-solve with a different boundary fact and an *empty* dirty list:
+  // the solver must notice the boundary change on its own.
+  DataflowResult Warm;
+  solveGenKillSparseWarmInto(Fn, Direction::Forward, Meet::Intersection,
+                             Transfers, Full, Prev, {}, Warm);
+  const DataflowResult Cold = solveGenKill(Fn, Direction::Forward,
+                                           Meet::Intersection, Transfers,
+                                           Full);
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    EXPECT_EQ(Warm.In[B], Cold.In[B]) << "block " << B;
+    EXPECT_EQ(Warm.Out[B], Cold.Out[B]) << "block " << B;
+  }
+}
+
+TEST(IncrementalDataflow, NoopEditVisitsOnlyTheCone) {
+  Function Fn = makeProgram(6);
+  LocalProperties LP(Fn);
+  auto Transfers = availabilityTransfers(Fn, LP);
+  const BitVector Empty(LP.numExprs());
+  if (Fn.numBlocks() < 4)
+    GTEST_SKIP() << "program too small to observe a proper cone";
+
+  DataflowResult Prev = solveGenKillSparse(Fn, Direction::Forward,
+                                           Meet::Intersection, Transfers,
+                                           Empty);
+  const uint64_t ColdVisits = Prev.Stats.NodeVisits;
+  // Unchanged transfers, one dirty block: the warm solve re-runs just that
+  // block's cone and reconverges to the same fixpoint.
+  DataflowResult Warm;
+  solveGenKillSparseWarmInto(Fn, Direction::Forward, Meet::Intersection,
+                             Transfers, Empty, Prev, {Fn.exit()}, Warm);
+  for (BlockId B = 0; B != Fn.numBlocks(); ++B) {
+    EXPECT_EQ(Warm.In[B], Prev.In[B]) << "block " << B;
+    EXPECT_EQ(Warm.Out[B], Prev.Out[B]) << "block " << B;
+  }
+  EXPECT_LE(Warm.Stats.NodeVisits, ColdVisits);
+}
+
+} // namespace

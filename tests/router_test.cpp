@@ -12,7 +12,11 @@
 //   fails over to the next ring node, a shard dying *mid-request* (socket
 //   closed after the frame is read, before any reply) is retried
 //   elsewhere, shutdown drains in-flight requests, and only a fully dark
-//   fleet yields `unavailable`.
+//   fleet yields `unavailable`;
+// - ResponseCache: keys ignore the envelope (id, deadline) but cover every
+//   semantics-bearing field, eviction is LRU by bytes, repeats are
+//   answered without touching a shard, and error responses are never
+//   cached.
 //
 //===----------------------------------------------------------------------===//
 
@@ -137,6 +141,58 @@ TEST(RoutingPoint, ExtractsIdAndHandlesGarbage) {
 }
 
 //===----------------------------------------------------------------------===//
+// ResponseCache
+//===----------------------------------------------------------------------===//
+
+TEST(ResponseCache, RequestKeyIgnoresEnvelopeAndMemberOrder) {
+  cache::Digest K1, K2;
+  ASSERT_TRUE(ResponseCache::requestKey(R"({"ir":"x","id":1})", K1));
+  ASSERT_TRUE(
+      ResponseCache::requestKey(R"({"id":7,"deadline_ms":5,"ir":"x"})", K2));
+  EXPECT_TRUE(K1 == K2) << "id/deadline or member order leaked into the key";
+
+  // Every semantics-bearing field must move the key: a validate:true
+  // response (carries `validated`) must never answer a validate-less
+  // request.
+  cache::Digest K3;
+  ASSERT_TRUE(ResponseCache::requestKey(R"({"ir":"x","validate":true})", K3));
+  EXPECT_FALSE(K3 == K1);
+
+  cache::Digest K4;
+  EXPECT_FALSE(ResponseCache::requestKey("[1,2]", K4));
+  EXPECT_FALSE(ResponseCache::requestKey("not json", K4));
+}
+
+TEST(ResponseCache, LruEvictsByBytesAndNullsStoredId) {
+  auto Doc = [](const std::string &Tag) {
+    Value V = Value::object();
+    V.set("status", Value::str("ok"));
+    V.set("id", Value::number(int64_t(99)));
+    V.set("ir", Value::str(Tag + std::string(200, 'x')));
+    return V;
+  };
+  // Budget fits two padded entries but not three.
+  ResponseCache C(/*MaxBytes=*/700);
+  cache::Digest KA{1, 0}, KB{2, 0}, KC{3, 0};
+  C.put(KA, Doc("a"));
+  C.put(KB, Doc("b"));
+
+  Value Out;
+  ASSERT_TRUE(C.get(KA, Out)); // A becomes most recently used.
+  EXPECT_TRUE(Out.find("id")->isNull()) << "stored id must be nulled";
+
+  C.put(KC, Doc("c")); // Evicts B, the LRU tail.
+  EXPECT_FALSE(C.get(KB, Out));
+  EXPECT_TRUE(C.get(KA, Out));
+  EXPECT_TRUE(C.get(KC, Out));
+
+  ResponseCache::CacheStats St = C.stats();
+  EXPECT_EQ(St.Entries, 2u);
+  EXPECT_EQ(St.Evictions, 1u);
+  EXPECT_LE(St.Bytes, 700u);
+}
+
+//===----------------------------------------------------------------------===//
 // End-to-end over real shards
 //===----------------------------------------------------------------------===//
 
@@ -216,6 +272,45 @@ TEST(RouterE2E, ForwardsAndKeepsAffinity) {
   EXPECT_EQ(St[0].Forwards + St[2].Forwards, 0u);
   EXPECT_EQ(R.counters().Failovers, 0u);
   EXPECT_EQ(R.counters().Unavailable, 0u);
+  R.shutdown();
+}
+
+TEST(RouterE2E, ResponseCacheAnswersRepeatsWithoutForwarding) {
+  Fleet F(2);
+  RouterOptions Opts = F.routerOptions();
+  Opts.CacheBytes = 1 << 20;
+  Router R(Opts);
+  std::string Error;
+  ASSERT_TRUE(R.start(Error)) << Error;
+
+  // Same semantics under a different envelope: the repeat is served from
+  // the router, never reaches a shard, and carries its own id.
+  Value A = R.forward(makePayload(1, program(7)));
+  ASSERT_EQ(statusOf(A), "ok") << A.dump();
+  Value B = R.forward(makePayload(2, program(7)));
+  ASSERT_EQ(statusOf(B), "ok") << B.dump();
+  EXPECT_TRUE(*B.find("id") == Value::number(int64_t(2)));
+  EXPECT_TRUE(*A.find("ir") == *B.find("ir"));
+  EXPECT_EQ(R.counters().CacheHits, 1u);
+  EXPECT_EQ(R.counters().CacheMisses, 1u);
+  uint64_t ShardForwards = 0;
+  for (const Router::ShardStatus &S : R.shardStatus())
+    ShardForwards += S.Forwards;
+  EXPECT_EQ(ShardForwards, 1u) << "repeat request reached a shard";
+
+  // validate=true is a different key: it must forward.
+  Value C = R.forward(makePayload(3, program(7), /*Validate=*/true));
+  ASSERT_EQ(statusOf(C), "ok") << C.dump();
+  EXPECT_EQ(R.counters().CacheMisses, 2u);
+
+  // Error responses are never cached — a later fix (or recovered shard)
+  // must be observed, so identical bad requests keep forwarding.
+  Value E1 = R.forward(makePayload(4, "not ir"));
+  Value E2 = R.forward(makePayload(5, "not ir"));
+  EXPECT_EQ(statusOf(E1), statusOf(E2));
+  EXPECT_NE(statusOf(E1), "ok");
+  EXPECT_EQ(R.counters().CacheHits, 1u)
+      << "an error response was served from the cache";
   R.shutdown();
 }
 

@@ -53,6 +53,7 @@
 #include "ir/Printer.h"
 #include "metrics/Compare.h"
 #include "metrics/Gate.h"
+#include "server/IncrementalBench.h"
 #include "specpre/SpecPre.h"
 #include "support/AllocHook.h"
 #include "support/Json.h"
@@ -294,6 +295,23 @@ Value measureSuite() {
   Hotpath.set("steady_allocations",
               Value::number(measureSteadyAllocations()));
 
+  // Incremental reoptimization (docs/INCREMENTAL.md): a fixed stream of
+  // 1-block edits replayed down the protocol-v4 delta path and a
+  // cacheless full reoptimization side by side.  The counters and the
+  // byte-identity of the two paths' responses are deterministic and
+  // exact-gated; `delta_speedup_ge5x` is a ratio of the two paths in the
+  // same process, so it holds regardless of machine speed (both slow down
+  // together).  Raw p50s land under timing for tolerance checking.
+  Value EditLoop = Value::object();
+  server::EditLoopBenchResult EL = server::runEditLoopBench(/*Edits=*/24);
+  EditLoop.set("functions", Value::number(uint64_t(EL.Functions)))
+      .set("edits", Value::number(uint64_t(EL.Edits)))
+      .set("delta_applied", Value::number(EL.DeltaApplied))
+      .set("delta_fallbacks", Value::number(EL.DeltaFallbacks))
+      .set("failures", Value::number(EL.Failures))
+      .set("delta_full_equal", Value::boolean(EL.DeltaFullEqual))
+      .set("delta_speedup_ge5x", Value::boolean(EL.speedupP50() >= 5.0));
+
   // Timing block (tolerance-checked): suite wall time, the verified
   // parallel pipeline's throughput on a small generated batch, and the
   // hot path's parse/print throughput (one warm scratch, MB/s).
@@ -346,7 +364,9 @@ Value measureSuite() {
       .set("corpus_functions_per_second",
            Value::number(Throughput.functionsPerSecond()))
       .set("parse_mb_per_second", Value::number(ParseMbPerSec))
-      .set("print_mb_per_second", Value::number(PrintMbPerSec));
+      .set("print_mb_per_second", Value::number(PrintMbPerSec))
+      .set("editloop_delta_p50_ms", Value::number(EL.deltaP50()))
+      .set("editloop_full_p50_ms", Value::number(EL.fullP50()));
 
   Value Root = Value::object();
   Root.set("schema", Value::str(SchemaName))
@@ -354,6 +374,7 @@ Value measureSuite() {
       .set("specpre", std::move(SpecPre))
       .set("gvn", std::move(Gvn))
       .set("hotpath", std::move(Hotpath))
+      .set("editloop", std::move(EditLoop))
       .set("timing", std::move(Timing));
   return Root;
 }

@@ -22,6 +22,10 @@
 #include <cstring>
 #include <string>
 
+#include "interp/Interpreter.h"
+#include "interp/Oracle.h"
+#include "ir/Parser.h"
+#include "metrics/Cost.h"
 #include "server/Client.h"
 
 using namespace lcm;
@@ -43,12 +47,18 @@ int usage(int Code) {
       "  --id=VALUE            request id echoed by the server\n"
       "  --raw                 print the whole response document instead\n"
       "                        of just the optimized IR\n"
+      "  --closed-loop=N       optimize/run/re-optimize N rounds: each\n"
+      "                        response's measured profile_out becomes the\n"
+      "                        next request's profile (implies --check);\n"
+      "                        fails if the profiled cost of the served\n"
+      "                        program ever increases round over round\n"
       "\n"
       "exit codes:\n"
       "  0  success (response status \"ok\")\n"
       "  1  transport failure (cannot connect, connection dropped)\n"
       "  2  usage error\n"
-      "  3  server answered with an error status (printed to stderr)\n");
+      "  3  server answered with an error status (printed to stderr)\n"
+      "  4  closed-loop cost regression\n");
   return Code;
 }
 
@@ -61,6 +71,37 @@ std::string readAll(std::FILE *In) {
   return Data;
 }
 
+/// Profiled cost of the served program: total operation evaluations over
+/// seeded executions, with inputs aligned to the original program's
+/// variables by name (the server's validation idiom — reparsing renumbers
+/// VarIds around PRE temporaries).  Seeds and oracles are fixed, so the
+/// number is comparable across closed-loop rounds.
+bool profiledCost(const Function &Original, const std::string &ServedIr,
+                  uint64_t &Cost, std::string &Error) {
+  ParseResult Served = parseFunction(ServedIr);
+  if (!Served) {
+    Error = "served IR failed to reparse: " + Served.Error;
+    return false;
+  }
+  Cost = 0;
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    std::vector<int64_t> Inputs = makeSeededInputs(Seed, Original.numVars());
+    std::vector<int64_t> ServedInputs(Served.Fn.numVars(), 0);
+    for (VarId V = 0; V != VarId(Original.numVars()); ++V) {
+      VarId W = Served.Fn.findVar(Original.varName(V));
+      if (W != InvalidVar)
+        ServedInputs[W] = Inputs[V];
+    }
+    RandomOracle Oracle(Seed ^ 0x94d049bb133111ebULL);
+    Interpreter::Options Opts;
+    Opts.MaxOriginalBlockVisits = 3000;
+    Opts.OriginalBlockCount = uint32_t(Original.numBlocks());
+    InterpResult R = Interpreter::run(Served.Fn, ServedInputs, Oracle, Opts);
+    Cost += R.TotalEvals;
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -68,6 +109,7 @@ int main(int argc, char **argv) {
   std::string UnixPath;
   Request R;
   bool Raw = false;
+  long long ClosedLoop = 0;
   const char *Path = nullptr;
 
   for (int I = 1; I != argc; ++I) {
@@ -90,6 +132,11 @@ int main(int argc, char **argv) {
       R.DeadlineMs = N;
     } else if (std::strncmp(argv[I], "--id=", 5) == 0) {
       R.Id = json::Value::str(argv[I] + 5);
+    } else if (std::strncmp(argv[I], "--closed-loop=", 14) == 0) {
+      char *End = nullptr;
+      ClosedLoop = std::strtoll(argv[I] + 14, &End, 10);
+      if (*End != '\0' || ClosedLoop < 1)
+        return usage(2);
     } else if (std::strcmp(argv[I], "--check") == 0) {
       R.Check = true;
     } else if (std::strcmp(argv[I], "--report") == 0) {
@@ -128,6 +175,75 @@ int main(int argc, char **argv) {
   if (!Connected) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
+  }
+
+  if (ClosedLoop > 0) {
+    // Optimize -> run -> re-optimize: each round's measured profile_out
+    // (edge counts gathered while the server's check re-executed the
+    // program) drives the next round's request, closing the profile loop
+    // without client-side instrumentation.  The profiled cost of what the
+    // server returns must never increase — a better profile can only
+    // sharpen placement.
+    ParseResult Orig = parseFunction(R.Ir);
+    if (!Orig) {
+      std::fprintf(stderr, "error: input IR: %s\n", Orig.Error.c_str());
+      return 3;
+    }
+    R.Check = true; // profile_out is measured during the check runs
+    json::Value Profile;
+    std::string LastIr;
+    uint64_t PrevCost = 0;
+    bool HavePrev = false;
+    for (long long Round = 0; Round != ClosedLoop; ++Round) {
+      Request Req = R;
+      Req.Id = json::Value::number(int64_t(Round));
+      if (!Profile.isNull()) {
+        Req.Profile = Profile;
+        Req.ProfileMode = "measured";
+      }
+      json::Value Response;
+      if (!C.call(Req, Response, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      const json::Value *St = Response.find("status");
+      std::string Status =
+          St && St->isString() ? St->asString() : "(missing)";
+      if (Status != "ok") {
+        const json::Value *Msg = Response.find("error");
+        std::fprintf(stderr, "error: round %lld: %s: %s\n", Round,
+                     Status.c_str(),
+                     Msg && Msg->isString() ? Msg->asString().c_str() : "");
+        return 3;
+      }
+      const json::Value *Ir = Response.find("ir");
+      if (!Ir || !Ir->isString()) {
+        std::fprintf(stderr, "error: response carries no IR\n");
+        return 1;
+      }
+      uint64_t Cost = 0;
+      if (!profiledCost(Orig.Fn, Ir->asString(), Cost, Error)) {
+        std::fprintf(stderr, "error: round %lld: %s\n", Round,
+                     Error.c_str());
+        return 3;
+      }
+      std::fprintf(stderr, "closed-loop round %lld: profiled cost %llu%s\n",
+                   Round, (unsigned long long)Cost,
+                   Profile.isNull() ? " (unprofiled)" : "");
+      if (HavePrev && Cost > PrevCost) {
+        std::fprintf(stderr,
+                     "error: closed-loop cost increased: %llu -> %llu\n",
+                     (unsigned long long)PrevCost, (unsigned long long)Cost);
+        return 4;
+      }
+      PrevCost = Cost;
+      HavePrev = true;
+      LastIr = Ir->asString();
+      if (const json::Value *PO = Response.find("profile_out"))
+        Profile = *PO;
+    }
+    std::fputs(LastIr.c_str(), stdout);
+    return 0;
   }
 
   json::Value Response;

@@ -105,6 +105,16 @@ int usage(int Code) {
       "                    plot-able row in the JSON artifact\n"
       "  --dup-ratio=R     fraction (0..1) of requests repeating one hot\n"
       "                    program, to exercise the server's result cache\n"
+      "  --pipeline-depth=K  keep K framed requests in flight per\n"
+      "                    connection (protocol pipelining); latencies are\n"
+      "                    then amortized per batch\n"
+      "  --edit-loop[=N]   edit-loop benchmark over one pipelined\n"
+      "                    connection: optimize a whole-corpus module once,\n"
+      "                    then N times (default 40) send a 1-block delta\n"
+      "                    request and an equivalent full-text request in\n"
+      "                    flight together, and compare their latencies;\n"
+      "                    fails unless every delta applies and delta p50\n"
+      "                    beats full p50\n"
       "  --validate        stamp requests with the v2 `validate` flag and\n"
       "                    require `validated: true` on every ok response\n"
       "  --chaos           kill/restart the --chaos-cmd children during the\n"
@@ -154,10 +164,70 @@ double percentile(const std::vector<double> &Sorted, unsigned P) {
   return Sorted[std::min(Index, Sorted.size() - 1)];
 }
 
+/// Validates one response and folds it into \p Out under latency \p Ms.
+/// \p ExpectId is the id the response must echo, or null when the caller
+/// already matched responses to requests (the pipelined path, where
+/// Client::callPipelined stamps and verifies batch-index ids itself).
+void noteResponse(const json::Value &Response, double Ms,
+                  const Request &Template, const json::Value *ExpectId,
+                  WorkerResult &Out) {
+  Out.LatencyMs.push_back(Ms);
+
+  const json::Value *Schema = Response.find("schema");
+  const json::Value *St = Response.find("status");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != ResponseSchema || !St || !St->isString()) {
+    ++Out.Corrupted;
+    return;
+  }
+  std::string Status = St->asString();
+  // Admission-control replies are written before the payload is parsed,
+  // so they cannot echo the id; everything else must.
+  if (ExpectId && Status != "overloaded" && Status != "shutting_down") {
+    const json::Value *Id = Response.find("id");
+    if (!Id || !(*Id == *ExpectId)) {
+      ++Out.Corrupted;
+      return;
+    }
+  }
+  if (Status == "ok") {
+    const json::Value *Ir = Response.find("ir");
+    const json::Value *Validated = Response.find("validated");
+    bool IsValidated =
+        Validated && Validated->isBool() && Validated->asBool();
+    if (!Ir || !Ir->isString() || Ir->asString().empty()) {
+      ++Out.Corrupted;
+    } else if (Template.Validate && !IsValidated) {
+      // We asked for validation; an ok response that doesn't attest to
+      // it came from a server that silently skipped the check.
+      ++Out.Corrupted;
+    } else {
+      ++Out.Ok;
+      if (IsValidated)
+        ++Out.Validated;
+      const json::Value *Changes = Response.find("changes");
+      if (Changes && Changes->isNumber())
+        Out.ChangesSum += Changes->asUInt();
+      const json::Value *Cached = Response.find("cached");
+      if (Cached && Cached->isBool())
+        (Cached->asBool() ? Out.HitLatencyMs : Out.MissLatencyMs)
+            .push_back(Ms);
+    }
+  } else if (Status == "overloaded") {
+    ++Out.Overloaded;
+  } else if (Status == "deadline_exceeded") {
+    ++Out.DeadlineExceeded;
+  } else if (Status == "validation_failed") {
+    ++Out.ValidationMismatches;
+  } else {
+    ++Out.OtherErrors;
+  }
+}
+
 void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
                unsigned WorkerIndex, const Request &Template,
                const std::vector<ProgramEntry> &Programs, double DupRatio,
-               WorkerResult &Out) {
+               unsigned PipelineDepth, WorkerResult &Out) {
   Client C;
   std::string Error;
   bool Connected = TcpPort >= 0
@@ -172,7 +242,7 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
   // stream instead of bunched, so hit and miss latencies sample the same
   // server load.
   double DupAcc = 0.0;
-  for (unsigned I = 0; I != Requests; ++I) {
+  auto MakeRequest = [&](unsigned I) {
     Request R = Template;
     R.Id = json::Value::number(int64_t(WorkerIndex) * Requests + I);
     DupAcc += DupRatio;
@@ -184,6 +254,39 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
       DupAcc -= 1.0;
     R.Ir = P.Ir;
     R.Profile = P.Profile;
+    return R;
+  };
+
+  if (PipelineDepth > 1) {
+    // Keep up to PipelineDepth frames in flight on the one connection.
+    // Individual completion times are not observable per request (the
+    // batch is drained in arrival order), so each request in a batch is
+    // charged the amortized batch wall time.
+    for (unsigned I = 0; I != Requests;) {
+      const unsigned K = std::min(PipelineDepth, Requests - I);
+      std::vector<Request> Batch;
+      Batch.reserve(K);
+      for (unsigned J = 0; J != K; ++J)
+        Batch.push_back(MakeRequest(I + J));
+      std::vector<json::Value> Responses;
+      const auto Start = Clock::now();
+      if (!C.callPipelined(Batch, Responses, Error)) {
+        Out.TransportError = Error;
+        return;
+      }
+      const double Ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - Start)
+              .count() /
+          double(K);
+      for (const json::Value &Response : Responses)
+        noteResponse(Response, Ms, Template, /*ExpectId=*/nullptr, Out);
+      I += K;
+    }
+    return;
+  }
+
+  for (unsigned I = 0; I != Requests; ++I) {
+    Request R = MakeRequest(I);
     json::Value Response;
     const auto Start = Clock::now();
     if (!C.call(R, Response, Error)) {
@@ -193,57 +296,7 @@ void runWorker(int TcpPort, const std::string &UnixPath, unsigned Requests,
     const double Ms =
         std::chrono::duration<double, std::milli>(Clock::now() - Start)
             .count();
-    Out.LatencyMs.push_back(Ms);
-
-    const json::Value *Schema = Response.find("schema");
-    const json::Value *St = Response.find("status");
-    if (!Schema || !Schema->isString() ||
-        Schema->asString() != ResponseSchema || !St || !St->isString()) {
-      ++Out.Corrupted;
-      continue;
-    }
-    std::string Status = St->asString();
-    // Admission-control replies are written before the payload is parsed,
-    // so they cannot echo the id; everything else must.
-    if (Status != "overloaded" && Status != "shutting_down") {
-      const json::Value *Id = Response.find("id");
-      if (!Id || !(*Id == R.Id)) {
-        ++Out.Corrupted;
-        continue;
-      }
-    }
-    if (Status == "ok") {
-      const json::Value *Ir = Response.find("ir");
-      const json::Value *Validated = Response.find("validated");
-      bool IsValidated =
-          Validated && Validated->isBool() && Validated->asBool();
-      if (!Ir || !Ir->isString() || Ir->asString().empty()) {
-        ++Out.Corrupted;
-      } else if (Template.Validate && !IsValidated) {
-        // We asked for validation; an ok response that doesn't attest to
-        // it came from a server that silently skipped the check.
-        ++Out.Corrupted;
-      } else {
-        ++Out.Ok;
-        if (IsValidated)
-          ++Out.Validated;
-        const json::Value *Changes = Response.find("changes");
-        if (Changes && Changes->isNumber())
-          Out.ChangesSum += Changes->asUInt();
-        const json::Value *Cached = Response.find("cached");
-        if (Cached && Cached->isBool())
-          (Cached->asBool() ? Out.HitLatencyMs : Out.MissLatencyMs)
-              .push_back(Ms);
-      }
-    } else if (Status == "overloaded") {
-      ++Out.Overloaded;
-    } else if (Status == "deadline_exceeded") {
-      ++Out.DeadlineExceeded;
-    } else if (Status == "validation_failed") {
-      ++Out.ValidationMismatches;
-    } else {
-      ++Out.OtherErrors;
-    }
+    noteResponse(Response, Ms, Template, &R.Id, Out);
   }
 }
 
@@ -284,14 +337,14 @@ Aggregate runLoad(int TcpPort, const std::string &UnixPath,
                   unsigned Connections, unsigned Requests,
                   const Request &Template,
                   const std::vector<ProgramEntry> &Programs,
-                  double DupRatio) {
+                  double DupRatio, unsigned PipelineDepth) {
   std::vector<WorkerResult> Results(Connections);
   std::vector<std::thread> Threads;
   const auto Start = Clock::now();
   for (unsigned I = 0; I != Connections; ++I)
     Threads.emplace_back([&, I] {
       runWorker(TcpPort, UnixPath, Requests, I, Template, Programs, DupRatio,
-                Results[I]);
+                PipelineDepth, Results[I]);
     });
   for (std::thread &T : Threads)
     T.join();
@@ -322,6 +375,295 @@ Aggregate runLoad(int TcpPort, const std::string &UnixPath,
   std::sort(A.HitLatencies.begin(), A.HitLatencies.end());
   std::sort(A.MissLatencies.begin(), A.MissLatencies.end());
   return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Edit-loop benchmark (docs/INCREMENTAL.md)
+//===----------------------------------------------------------------------===//
+
+/// Span of the block labelled \p Label in canonical function text.
+bool findBlockSpanText(const std::string &Text, const std::string &Label,
+                       size_t &Begin, size_t &End) {
+  size_t Pos = 0;
+  bool In = false;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    size_t LineEnd = Nl == std::string::npos ? Text.size() : Nl;
+    std::string_view Line(Text.data() + Pos, LineEnd - Pos);
+    if (Line.substr(0, 6) == "block ") {
+      if (In) {
+        End = Pos;
+        return true;
+      }
+      if (Line.substr(6) == Label) {
+        In = true;
+        Begin = Pos;
+      }
+    }
+    Pos = Nl == std::string::npos ? Text.size() : Nl + 1;
+  }
+  End = Text.size();
+  return In;
+}
+
+std::vector<std::string> blockLabelsOf(const std::string &Text) {
+  std::vector<std::string> Labels;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    size_t LineEnd = Nl == std::string::npos ? Text.size() : Nl;
+    std::string_view Line(Text.data() + Pos, LineEnd - Pos);
+    if (Line.substr(0, 6) == "block ")
+      Labels.emplace_back(Line.substr(6));
+    Pos = Nl == std::string::npos ? Text.size() : Nl + 1;
+  }
+  return Labels;
+}
+
+/// A 1-block edit: the replacement text for one block of one function,
+/// with a fresh computation prepended to its body.
+struct OneBlockEdit {
+  size_t FnIdx = 0;
+  std::string Label;
+  std::string NewBlock;
+};
+
+OneBlockEdit makeEdit(const std::vector<std::string> &FnTexts, unsigned Salt,
+                      uint64_t &RngState) {
+  auto Next = [&RngState] {
+    RngState = RngState * 6364136223846793005ull + 1442695040888963407ull;
+    return RngState >> 33;
+  };
+  OneBlockEdit E;
+  E.FnIdx = size_t(Next() % FnTexts.size());
+  const std::vector<std::string> Labels = blockLabelsOf(FnTexts[E.FnIdx]);
+  E.Label = Labels[size_t(Next() % Labels.size())];
+  size_t B = 0, End = 0;
+  findBlockSpanText(FnTexts[E.FnIdx], E.Label, B, End);
+  E.NewBlock = FnTexts[E.FnIdx].substr(B, End - B);
+  const std::string V = "q" + std::to_string(Salt);
+  E.NewBlock.insert(E.NewBlock.find('\n') + 1,
+                    "  " + V + " = " + V + " + " + V + "\n");
+  return E;
+}
+
+/// The edit-loop benchmark: one persistent connection, an initial
+/// whole-module optimization, then per edit a v4 delta request and an
+/// equivalent full-text request *in flight together* (pipelined, completed
+/// out of order, matched by id).  Each carries exactly one never-seen
+/// function body, so the pipelined pair isolates what the delta path
+/// saves: re-parsing, re-hashing, and re-keying the untouched functions.
+int runEditLoop(int TcpPort, const std::string &UnixPath, unsigned Edits,
+                bool Validate, bool Json, const std::string &JsonPath) {
+  std::vector<std::string> FnTexts, FnNames;
+  for (const CorpusEntry &E : makeDefaultCorpus()) {
+    Function Fn = E.Make();
+    FnTexts.push_back(printFunction(Fn));
+    FnNames.push_back(Fn.name());
+  }
+  auto ModuleText = [&FnTexts] {
+    std::string Out;
+    for (const std::string &T : FnTexts)
+      Out += T;
+    return Out;
+  };
+
+  Client C;
+  std::string Error;
+  bool Connected = TcpPort >= 0
+                       ? C.connectTcp(TcpPort, Error, /*RetryMs=*/2000)
+                       : C.connectUnix(UnixPath, Error, /*RetryMs=*/2000);
+  if (!Connected) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  Request Initial;
+  Initial.Id = json::Value::str("edit-loop-initial");
+  Initial.Ir = ModuleText();
+  Initial.Validate = Validate;
+  json::Value First;
+  if (!C.call(Initial, First, Error)) {
+    std::fprintf(stderr, "error: initial request: %s\n", Error.c_str());
+    return 1;
+  }
+  const json::Value *St = First.find("status");
+  if (!St || !St->isString() || St->asString() != "ok") {
+    std::fprintf(stderr, "error: initial request answered %s\n",
+                 First.dump().c_str());
+    return 1;
+  }
+  const json::Value *Key = First.find("cache_key");
+  if (!Key || !Key->isString()) {
+    std::fprintf(stderr, "error: server reported no cache_key -- the edit "
+                         "loop needs a caching server (no --no-cache)\n");
+    return 1;
+  }
+  std::string BaseKey = Key->asString();
+
+  std::vector<double> DeltaMs, FullMs;
+  uint64_t Applied = 0, Fallbacks = 0, Validated = 0, Mismatches = 0,
+           Failures = 0;
+  uint64_t RngState = 0x9e3779b97f4a7c15ull;
+  for (unsigned I = 0; I != Edits; ++I) {
+    // Edit A advances the chain via the delta path; edit B is an
+    // independent probe of the same base, sent as full text.
+    const OneBlockEdit A = makeEdit(FnTexts, 2 * I, RngState);
+    const OneBlockEdit B = makeEdit(FnTexts, 2 * I + 1, RngState);
+
+    Request Delta;
+    Delta.Id = json::Value::number(int64_t(0));
+    Delta.BaseKey = BaseKey;
+    Delta.Validate = Validate;
+    Delta.Patch.push_back({PatchOp::Kind::ReplaceBlock, A.Label, "",
+                           FnNames[A.FnIdx], A.NewBlock});
+
+    std::vector<std::string> Probe = FnTexts;
+    size_t SB = 0, SE = 0;
+    findBlockSpanText(Probe[B.FnIdx], B.Label, SB, SE);
+    Probe[B.FnIdx].replace(SB, SE - SB, B.NewBlock);
+    Request Full;
+    Full.Id = json::Value::number(int64_t(1));
+    Full.Validate = Validate;
+    for (const std::string &T : Probe)
+      Full.Ir += T;
+
+    // Both frames go out before either response is read, so the pair is
+    // genuinely in flight together; arrivals are timed individually and
+    // matched by their echoed ids (the workers finish in either order).
+    const auto Start = Clock::now();
+    if (!C.sendPayload(requestToJson(Delta).dump(0), Error) ||
+        !C.sendPayload(requestToJson(Full).dump(0), Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    json::Value DeltaResp, FullResp;
+    for (int Got = 0; Got != 2; ++Got) {
+      json::Value Resp;
+      if (!C.recvResponse(Resp, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      const double Ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - Start)
+              .count();
+      const json::Value *Id = Resp.find("id");
+      const int64_t Which = Id && Id->isNumber() ? Id->asInt() : -1;
+      if (Which == 0) {
+        DeltaMs.push_back(Ms);
+        DeltaResp = std::move(Resp);
+      } else if (Which == 1) {
+        FullMs.push_back(Ms);
+        FullResp = std::move(Resp);
+      } else {
+        std::fprintf(stderr, "error: response with unknown id\n");
+        return 1;
+      }
+    }
+
+    for (const json::Value *Resp : {&DeltaResp, &FullResp}) {
+      const json::Value *S = Resp->find("status");
+      const std::string Status =
+          S && S->isString() ? S->asString() : "(missing)";
+      if (Status == "validation_failed") {
+        ++Mismatches;
+        continue;
+      }
+      if (Status != "ok") {
+        ++Failures;
+        std::fprintf(stderr, "error: edit %u answered %s\n", I,
+                     Resp->dump().c_str());
+        continue;
+      }
+      const json::Value *V = Resp->find("validated");
+      if (V && V->isBool() && V->asBool())
+        ++Validated;
+      else if (Validate)
+        ++Mismatches;
+    }
+    const json::Value *D = DeltaResp.find("delta");
+    if (D && D->isString() && D->asString() == "applied")
+      ++Applied;
+    else
+      ++Fallbacks;
+
+    // Advance the chain: edit A is now the base.
+    size_t AB = 0, AE = 0;
+    findBlockSpanText(FnTexts[A.FnIdx], A.Label, AB, AE);
+    FnTexts[A.FnIdx].replace(AB, AE - AB, A.NewBlock);
+    if (const json::Value *NK = DeltaResp.find("cache_key"))
+      if (NK->isString())
+        BaseKey = NK->asString();
+  }
+
+  std::sort(DeltaMs.begin(), DeltaMs.end());
+  std::sort(FullMs.begin(), FullMs.end());
+  const double DeltaP50 = percentile(DeltaMs, 50);
+  const double FullP50 = percentile(FullMs, 50);
+  const double Speedup = DeltaP50 > 0 ? FullP50 / DeltaP50 : 0.0;
+  std::printf("edit-loop: %zu functions, %u edits over one pipelined "
+              "connection\n",
+              FnTexts.size(), Edits);
+  std::printf("delta latency ms: p50=%.3f p90=%.3f p99=%.3f\n", DeltaP50,
+              percentile(DeltaMs, 90), percentile(DeltaMs, 99));
+  std::printf("full latency ms:  p50=%.3f p90=%.3f p99=%.3f\n", FullP50,
+              percentile(FullMs, 90), percentile(FullMs, 99));
+  std::printf("delta: applied=%llu fallbacks=%llu speedup_p50=%.2fx\n",
+              (unsigned long long)Applied, (unsigned long long)Fallbacks,
+              Speedup);
+  if (Validate)
+    std::printf("validation: validated=%llu mismatches=%llu\n",
+                (unsigned long long)Validated,
+                (unsigned long long)Mismatches);
+
+  if (Json) {
+    json::Value Metrics = json::Value::object();
+    Metrics.set("functions", json::Value::number(uint64_t(FnTexts.size())))
+        .set("edits", json::Value::number(uint64_t(Edits)))
+        .set("delta_applied", json::Value::number(Applied))
+        .set("delta_fallbacks", json::Value::number(Fallbacks))
+        .set("delta_latency_ms_p50", json::Value::number(DeltaP50))
+        .set("delta_latency_ms_p90",
+             json::Value::number(percentile(DeltaMs, 90)))
+        .set("delta_latency_ms_p99",
+             json::Value::number(percentile(DeltaMs, 99)))
+        .set("full_latency_ms_p50", json::Value::number(FullP50))
+        .set("full_latency_ms_p90",
+             json::Value::number(percentile(FullMs, 90)))
+        .set("full_latency_ms_p99",
+             json::Value::number(percentile(FullMs, 99)))
+        .set("speedup_p50", json::Value::number(Speedup));
+    if (Validate)
+      Metrics.set("validated", json::Value::number(Validated))
+          .set("validation_mismatches", json::Value::number(Mismatches));
+    json::Value Section = json::Value::object();
+    Section.set("title", json::Value::str("Edit-loop delta vs full"));
+    Section.set("metrics", std::move(Metrics));
+    json::Value Sections = json::Value::object();
+    Sections.set("editloop", std::move(Section));
+    json::Value Root = json::Value::object();
+    Root.set("schema", json::Value::str("lcm-bench-v1"))
+        .set("bench", json::Value::str("lcm_loadgen"))
+        .set("aborted", json::Value::boolean(false))
+        .set("sections", std::move(Sections));
+    if (JsonPath.empty()) {
+      std::printf("%s\n", Root.dump().c_str());
+    } else if (!json::writeFile(JsonPath, Root)) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+  }
+
+  if (Failures != 0 || Mismatches != 0 || Fallbacks != 0)
+    return 1;
+  if (!(DeltaP50 < FullP50)) {
+    std::fprintf(stderr,
+                 "error: delta p50 (%.3fms) did not beat full p50 "
+                 "(%.3fms)\n",
+                 DeltaP50, FullP50);
+    return 1;
+  }
+  return 0;
 }
 
 /// Spawns each shard command as a supervised child, then kills one with
@@ -427,6 +769,8 @@ int main(int argc, char **argv) {
   std::string UnixPath, IrPath, JsonPath;
   bool Json = false;
   unsigned Connections = 4, Requests = 50;
+  unsigned PipelineDepth = 1;
+  long long EditLoop = 0;
   double DupRatio = 0.0;
   bool Chaos = false;
   std::vector<std::string> ChaosCmds;
@@ -484,6 +828,17 @@ int main(int argc, char **argv) {
         if (SkewSteps.empty())
           return usage(2);
       }
+    } else if (std::strncmp(argv[I], "--pipeline-depth=", 17) == 0) {
+      long long N = std::strtoll(argv[I] + 17, &End, 10);
+      if (*End != '\0' || N <= 0 || N > 1024)
+        return usage(2);
+      PipelineDepth = unsigned(N);
+    } else if (std::strcmp(argv[I], "--edit-loop") == 0) {
+      EditLoop = 40;
+    } else if (std::strncmp(argv[I], "--edit-loop=", 12) == 0) {
+      EditLoop = std::strtoll(argv[I] + 12, &End, 10);
+      if (*End != '\0' || EditLoop <= 0 || EditLoop > 100'000)
+        return usage(2);
     } else if (std::strncmp(argv[I], "--deadline-ms=", 14) == 0) {
       long long N = std::strtoll(argv[I] + 14, &End, 10);
       if (*End != '\0' || N < 0)
@@ -561,6 +916,19 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
       return 1;
     }
+  }
+
+  if (EditLoop > 0) {
+    if (Chaos || HasProfileMode || !SkewSteps.empty() || !IrPath.empty() ||
+        DupRatio != 0.0) {
+      std::fprintf(stderr,
+                   "error: --edit-loop generates its own workload and is "
+                   "exclusive with --chaos, --profile-*, --ir, and "
+                   "--dup-ratio\n");
+      return usage(2);
+    }
+    return runEditLoop(TcpPort, UnixPath, unsigned(EditLoop),
+                       Template.Validate, Json, JsonPath);
   }
 
   // With a profile mode each program carries its own synthetic profile:
@@ -709,7 +1077,7 @@ int main(int argc, char **argv) {
       Request StepTemplate = Template;
       StepTemplate.ProfileMode = SkewLabel(S);
       Aggregate A = runLoad(TcpPort, UnixPath, Connections, Requests,
-                            StepTemplate, Programs, DupRatio);
+                            StepTemplate, Programs, DupRatio, PipelineDepth);
       const double MeanChanges =
           A.Ok ? double(A.ChangesSum) / double(A.Ok) : 0.0;
       const double Rps = A.WallSeconds > 0
@@ -741,7 +1109,7 @@ int main(int argc, char **argv) {
     std::sort(Agg.MissLatencies.begin(), Agg.MissLatencies.end());
   } else {
     Agg = runLoad(TcpPort, UnixPath, Connections, Requests, Template,
-                  Programs, DupRatio);
+                  Programs, DupRatio, PipelineDepth);
   }
 
   if (Chaos)

@@ -45,6 +45,7 @@ int usage() {
       "                  [--shard-unix=PATH]... [--workers=N] [--queue=N]\n"
       "                  [--vnodes=N] [--max-attempts=N] [--backoff-ms=N]\n"
       "                  [--health-interval-ms=N] [--metrics-port=PORT]\n"
+      "                  [--cache-bytes=N]\n"
       "\n"
       "  --tcp=PORT             client listener on 127.0.0.1:PORT (0 =\n"
       "                         ephemeral; the bound port is printed)\n"
@@ -60,6 +61,8 @@ int usage() {
       "  --health-interval-ms=N unhealthy-shard reprobe period\n"
       "  --metrics-port=PORT    Prometheus /metrics on 127.0.0.1:PORT\n"
       "                         (0 = ephemeral; the bound port is printed)\n"
+      "  --cache-bytes=N        router-side response cache budget (LRU,\n"
+      "                         `ok` responses only; 0 = disabled)\n"
       "\n"
       "SIGTERM/SIGINT drain gracefully: admitted requests are forwarded\n"
       "and answered, then the router exits 0.\n");
@@ -121,6 +124,8 @@ int main(int argc, char **argv) {
     } else if (parseNum(argv[I], "--metrics-port=", N) && N >= 0 &&
                N <= 65535) {
       MetricsPort = int(N);
+    } else if (parseNum(argv[I], "--cache-bytes=", N) && N >= 0) {
+      Opts.CacheBytes = size_t(N);
     } else {
       return usage();
     }
@@ -167,6 +172,12 @@ int main(int argc, char **argv) {
       E.counter("lcm_router_failovers_total",
                 "Requests answered by a non-first-choice shard.")
           .sample(R.counters().Failovers);
+      E.counter("lcm_router_cache_hits_total",
+                "Requests answered from the router response cache.")
+          .sample(R.counters().CacheHits);
+      E.counter("lcm_router_cache_misses_total",
+                "Cacheable requests that were forwarded to a shard.")
+          .sample(R.counters().CacheMisses);
       writeStatsCounters(E);
       return E.text();
     };
@@ -196,10 +207,13 @@ int main(int argc, char **argv) {
   Router::Counters C = R.counters();
   std::fprintf(stderr,
                "lcm_router: done. forwarded=%llu retries=%llu "
-               "failovers=%llu unavailable=%llu\n",
+               "failovers=%llu unavailable=%llu cache_hits=%llu "
+               "cache_misses=%llu\n",
                (unsigned long long)C.Forwarded,
                (unsigned long long)C.Retries,
                (unsigned long long)C.Failovers,
-               (unsigned long long)C.Unavailable);
+               (unsigned long long)C.Unavailable,
+               (unsigned long long)C.CacheHits,
+               (unsigned long long)C.CacheMisses);
   return 0;
 }

@@ -66,6 +66,9 @@ int usage() {
       "  --enable-test-options  honor the test-only `test_sleep_ms` option\n"
       "  --cache-bytes=N        in-memory result cache budget in bytes\n"
       "                         (default 64 MiB)\n"
+      "  --retain-bytes=N       retained-IR tier budget for protocol-v4\n"
+      "                         delta requests (0 disables delta serving;\n"
+      "                         default 32 MiB, needs the result cache)\n"
       "  --cache-dir=PATH       spill cached results to PATH so they\n"
       "                         survive restarts (docs/CACHE.md)\n"
       "  --no-cache             disable the result cache entirely\n"
@@ -102,6 +105,7 @@ void onSignal(int) {
 int main(int argc, char **argv) {
   ServerOptions Opts;
   cache::ResultCacheConfig CacheConfig;
+  long long RetainBytes = 32ll << 20;
   bool NoCache = false;
   int MetricsPort = -1;
   long long N = 0;
@@ -133,6 +137,8 @@ int main(int argc, char **argv) {
       Opts.Service.EnableTestOptions = true;
     } else if (parseNum(argv[I], "--cache-bytes=", N) && N > 0) {
       CacheConfig.MemoryBytes = size_t(N);
+    } else if (parseNum(argv[I], "--retain-bytes=", N) && N >= 0) {
+      RetainBytes = N;
     } else if (std::strncmp(argv[I], "--cache-dir=", 12) == 0 &&
                argv[I][12] != '\0') {
       CacheConfig.DiskDir = argv[I] + 12;
@@ -157,6 +163,11 @@ int main(int argc, char **argv) {
       return 1;
     }
     Opts.Service.Cache = std::move(Cache);
+    // Delta serving needs both tiers: retained inputs to materialize the
+    // base, cached results to answer its untouched functions.
+    if (RetainBytes > 0)
+      Opts.Service.Retained =
+          std::make_shared<cache::RetainedIrCache>(size_t(RetainBytes));
   }
 
   if (::pipe(SignalPipe) != 0) {
